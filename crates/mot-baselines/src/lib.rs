@@ -1,0 +1,59 @@
+//! Traffic-conscious tracking baselines MOT is evaluated against (§1.3, §8).
+//!
+//! All three prior algorithms maintain a *message-pruning tree*: a
+//! spanning structure whose internal nodes keep detection sets; an object
+//! move updates the path between the old and new proxies through their
+//! lowest common ancestor, and a query climbs to the first ancestor that
+//! knows the object and descends. They differ in how the tree is built —
+//! and all of them consume *detection rates* (a priori traffic knowledge),
+//! which MOT pointedly does not:
+//!
+//! * [`stun`] — Kung & Vlah's STUN via Drain-And-Balance: descending
+//!   rate thresholds, high-rate components merged into balanced subtrees
+//!   first (so chatty sensor pairs sit close in the tree).
+//! * [`dat`] — Lin et al.'s Deviation-Avoidance Tree: tree distance to
+//!   the sink equals graph distance; detection rates break ties.
+//! * [`zdat`] — zone-based DAT: the deployment region is carved into
+//!   recursive quadrants, zones are wired internally first, then zone
+//!   heads are combined upward. The `shortcuts` variant additionally lets
+//!   ancestors keep enough detail to route a located query straight to
+//!   the proxy (Liu et al.'s message-pruning-tree-with-shortcuts role:
+//!   the query-cost floor in Figs. 6/7).
+//!
+//! [`traffic::DetectionRates`] extracts the empirical per-edge crossing
+//! frequencies from a workload; the experiment harness hands those to the
+//! baselines (traffic-consciousness) while MOT never sees them.
+//!
+//! # Example
+//!
+//! ```
+//! use mot_baselines::{build_stun, DetectionRates, TreeTracker};
+//! use mot_core::{ObjectId, Tracker};
+//! use mot_net::{generators, DistanceMatrix, NodeId};
+//!
+//! let g = generators::grid(6, 6)?;
+//! let m = DistanceMatrix::build(&g)?;
+//!
+//! // STUN consumes detection rates (here: uniform — no prior traffic).
+//! let rates = DetectionRates::uniform(&g);
+//! let tree = build_stun(&g, &rates);
+//! // Kung & Vlah route queries through the sink.
+//! let mut stun = TreeTracker::new("STUN", tree, &m, false).with_root_queries();
+//!
+//! stun.publish(ObjectId(0), NodeId(14))?;
+//! stun.move_object(ObjectId(0), NodeId(15))?;
+//! assert_eq!(stun.query(NodeId(0), ObjectId(0))?.proxy, NodeId(15));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod dat;
+pub mod stun;
+pub mod traffic;
+pub mod tree;
+pub mod zdat;
+
+pub use dat::build_dat;
+pub use stun::build_stun;
+pub use traffic::DetectionRates;
+pub use tree::{TrackingTree, TreeTracker};
+pub use zdat::{build_zdat, ZdatParams};

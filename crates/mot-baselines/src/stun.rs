@@ -1,0 +1,149 @@
+//! STUN — Scalable Tracking Using Networked sensors (Kung & Vlah [18]).
+//!
+//! STUN builds its hierarchy with **Drain-And-Balance (DAB)**: walk the
+//! detection-rate thresholds from highest to lowest; at each threshold,
+//! components connected by edges at or above it are merged, the smaller
+//! component's subtree root attaching under the larger's (keeping
+//! subtrees balanced). Sensor pairs with heavy object traffic therefore
+//! merge early and sit close together in the tree — the whole point of
+//! traffic-consciousness — while rarely-crossed adjacencies connect only
+//! near the root.
+//!
+//! Because the result is a spanning tree shaped by rates rather than by
+//! distance, tree paths can deviate badly from graph shortest paths
+//! (Θ(D) on rings), which is exactly the weakness the paper's Figures
+//! 4–7 expose.
+
+use crate::traffic::DetectionRates;
+use crate::tree::TrackingTree;
+use mot_net::{Graph, NodeId};
+
+/// Disjoint-set forest tracking each component's current subtree root.
+struct Components {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    /// tree root of the component's subtree
+    root: Vec<NodeId>,
+}
+
+impl Components {
+    fn new(n: usize) -> Self {
+        Components {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            root: (0..n).map(NodeId::from_index).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            self.parent[x] = self.find(self.parent[x]);
+        }
+        self.parent[x]
+    }
+}
+
+/// Builds the STUN tracking tree from detection rates via DAB.
+pub fn build_stun(g: &Graph, rates: &DetectionRates) -> TrackingTree {
+    let n = g.node_count();
+    let mut comps = Components::new(n);
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    for (a, b, _rate) in rates.edges_by_rate_desc() {
+        let (ra, rb) = (comps.find(a.index()), comps.find(b.index()));
+        if ra == rb {
+            continue;
+        }
+        // Balance: the smaller component's subtree drains under the
+        // larger's root.
+        let (big, small) = if comps.size[ra] >= comps.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big_root, small_root) = (comps.root[big], comps.root[small]);
+        parent[small_root.index()] = Some(big_root);
+        comps.parent[small] = big;
+        comps.size[big] += comps.size[small];
+        comps.root[big] = big_root;
+    }
+    let top_comp = comps.find(0);
+    let top = comps.root[top_comp];
+    TrackingTree::from_parents(top, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeTracker;
+    use mot_core::{ObjectId, Tracker};
+    use mot_net::{generators, DistanceMatrix};
+
+    #[test]
+    fn spans_every_node() {
+        let g = generators::grid(5, 5).unwrap();
+        let t = build_stun(&g, &DetectionRates::uniform(&g));
+        assert_eq!(t.len(), 25);
+        for u in g.nodes() {
+            // every node reaches the root
+            let mut cur = u;
+            let mut hops = 0;
+            while let Some(p) = t.parent(cur) {
+                cur = p;
+                hops += 1;
+                assert!(hops <= 25);
+            }
+            assert_eq!(cur, t.root());
+        }
+    }
+
+    #[test]
+    fn hot_pairs_sit_adjacent_in_the_tree() {
+        // Heavy traffic between 0 and 1 merges them first: one becomes
+        // the other's direct tree child.
+        let g = generators::grid(4, 4).unwrap();
+        let moves = vec![(NodeId(0), NodeId(1)); 50];
+        let rates = DetectionRates::from_moves(&g, &moves);
+        let t = build_stun(&g, &rates);
+        let adjacent = t.parent(NodeId(0)) == Some(NodeId(1))
+            || t.parent(NodeId(1)) == Some(NodeId(0));
+        assert!(adjacent, "hottest pair not adjacent in the DAB tree");
+    }
+
+    #[test]
+    fn balanced_merges_keep_depth_logarithmic_under_uniform_rates() {
+        let g = generators::grid(8, 8).unwrap();
+        let t = build_stun(&g, &DetectionRates::uniform(&g));
+        let max_depth = g.nodes().map(|u| t.depth(u)).max().unwrap();
+        // size-balanced attachment: depth grows logarithmically, with
+        // slack for merge-order effects
+        assert!(max_depth <= 26, "depth {max_depth} too deep for balanced merges");
+    }
+
+    #[test]
+    fn ring_pathology_some_adjacency_pays_omega_n_in_the_tree() {
+        // Any spanning tree of a ring cuts one ring edge; its endpoints
+        // are graph-adjacent but Θ(n) apart in the tree — the cost-ratio
+        // failure mode the paper attributes to tree baselines.
+        let n = 32;
+        let g = generators::ring(n).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let t = build_stun(&g, &DetectionRates::uniform(&g));
+        let worst = g
+            .edges()
+            .map(|(a, b, _)| t.tree_distance(a, b, &m))
+            .fold(0.0, f64::max);
+        assert!(
+            worst >= (n / 4) as f64,
+            "worst adjacent tree distance {worst} < n/4"
+        );
+    }
+
+    #[test]
+    fn tracker_on_stun_tree_answers_queries() {
+        let g = generators::grid(5, 5).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let t = build_stun(&g, &DetectionRates::uniform(&g));
+        let mut tracker = TreeTracker::new("STUN", t, &m, false);
+        tracker.publish(ObjectId(0), NodeId(12)).unwrap();
+        tracker.move_object(ObjectId(0), NodeId(13)).unwrap();
+        for x in g.nodes() {
+            assert_eq!(tracker.query(x, ObjectId(0)).unwrap().proxy, NodeId(13));
+        }
+    }
+}

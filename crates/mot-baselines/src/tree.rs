@@ -1,0 +1,503 @@
+//! Message-pruning-tree semantics shared by every baseline.
+//!
+//! A tracking tree spans all sensors. For each object, the nodes holding
+//! it in their detection sets are exactly the tree ancestors of its proxy.
+//! A move climbs from the new proxy to the lowest ancestor that already
+//! knows the object (the LCA with the old proxy's path), then prunes the
+//! stale branch downward; a query climbs to the first ancestor that knows
+//! the object and descends the detection chain. Tree edges may be logical
+//! (representative-to-representative), so each hop costs the shortest-path
+//! distance between its endpoints.
+
+use mot_core::{CoreError, MoveOutcome, ObjectId, QueryResult, Tracker};
+use mot_net::{DistanceMatrix, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// A rooted spanning tree over the sensor nodes.
+#[derive(Clone, Debug)]
+pub struct TrackingTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+}
+
+impl TrackingTree {
+    /// Assembles and validates a tree from a parent array
+    /// (`parent[root] = None`, every node must reach the root).
+    ///
+    /// # Panics
+    /// Panics if the parent array contains a cycle, a second root, or a
+    /// node that cannot reach the root.
+    pub fn from_parents(root: NodeId, parent: Vec<Option<NodeId>>) -> Self {
+        let n = parent.len();
+        assert!(root.index() < n, "root out of range");
+        assert!(parent[root.index()].is_none(), "root must have no parent");
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(NodeId::from_index(i));
+            } else {
+                assert_eq!(i, root.index(), "second root at node {i}");
+            }
+        }
+        for ch in &mut children {
+            ch.sort();
+        }
+        // depth by walking up (also detects cycles / unreachable nodes)
+        let mut depth = vec![usize::MAX; n];
+        depth[root.index()] = 0;
+        for start in 0..n {
+            let mut chain = Vec::new();
+            let mut cur = start;
+            while depth[cur] == usize::MAX {
+                chain.push(cur);
+                assert!(chain.len() <= n, "cycle through node {start}");
+                cur = parent[cur].expect("non-root node missing parent").index();
+            }
+            let base = depth[cur];
+            for (k, &node) in chain.iter().rev().enumerate() {
+                depth[node] = base + k + 1;
+            }
+        }
+        TrackingTree { root, parent, children, depth }
+    }
+
+    /// The sink/root of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Always false — trees span the whole (non-empty) network.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tree parent of `u` (None for the root).
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        self.parent[u.index()]
+    }
+
+    /// Tree children of `u`, sorted by id.
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        &self.children[u.index()]
+    }
+
+    /// Hop depth of `u` below the root.
+    pub fn depth(&self, u: NodeId) -> usize {
+        self.depth[u.index()]
+    }
+
+    /// Tree-path distance from `u` to the root, with each tree hop costed
+    /// at the graph shortest-path distance between its endpoints.
+    pub fn dist_to_root(&self, u: NodeId, m: &DistanceMatrix) -> f64 {
+        let mut cost = 0.0;
+        let mut cur = u;
+        while let Some(p) = self.parent(cur) {
+            cost += m.dist(cur, p);
+            cur = p;
+        }
+        cost
+    }
+
+    /// Tree-path distance between two nodes (through their LCA), with
+    /// each tree hop costed at the graph shortest-path distance.
+    pub fn tree_distance(&self, u: NodeId, v: NodeId, m: &DistanceMatrix) -> f64 {
+        let (mut a, mut b) = (u, v);
+        let mut cost = 0.0;
+        while self.depth(a) > self.depth(b) {
+            let p = self.parent(a).expect("deeper node has a parent");
+            cost += m.dist(a, p);
+            a = p;
+        }
+        while self.depth(b) > self.depth(a) {
+            let p = self.parent(b).expect("deeper node has a parent");
+            cost += m.dist(b, p);
+            b = p;
+        }
+        while a != b {
+            let (pa, pb) = (self.parent(a).unwrap(), self.parent(b).unwrap());
+            cost += m.dist(a, pa) + m.dist(b, pb);
+            a = pa;
+            b = pb;
+        }
+        cost
+    }
+
+    /// Maximum *deviation* over all nodes: tree distance to root minus
+    /// graph distance to root (zero for a deviation-avoidance tree).
+    pub fn max_deviation(&self, m: &DistanceMatrix) -> f64 {
+        (0..self.len())
+            .map(NodeId::from_index)
+            .map(|u| self.dist_to_root(u, m) - m.dist(u, self.root))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Message-pruning-tree tracker: the [`Tracker`] implementation shared by
+/// STUN, DAT, Z-DAT, and Z-DAT+shortcuts.
+pub struct TreeTracker<'a> {
+    name: String,
+    tree: TrackingTree,
+    oracle: &'a DistanceMatrix,
+    detection: Vec<HashSet<ObjectId>>,
+    proxies: HashMap<ObjectId, NodeId>,
+    /// Liu-et-al.-style shortcuts: ancestors keep enough detail that a
+    /// located query routes straight (shortest path) to the proxy instead
+    /// of walking tree edges down.
+    shortcuts: bool,
+    /// STUN-style query routing: requests are forwarded to the sink
+    /// (root) first and descend from there — Kung & Vlah's design never
+    /// prunes queries at intermediate ancestors, one reason its query
+    /// cost ratio degrades (§1.3: "DAB does not take the query cost
+    /// into account").
+    via_root: bool,
+    load: Vec<usize>,
+}
+
+impl<'a> TreeTracker<'a> {
+    /// Wraps a tree in tracking state.
+    pub fn new(
+        name: impl Into<String>,
+        tree: TrackingTree,
+        oracle: &'a DistanceMatrix,
+        shortcuts: bool,
+    ) -> Self {
+        let n = tree.len();
+        TreeTracker {
+            name: name.into(),
+            tree,
+            oracle,
+            detection: vec![HashSet::new(); n],
+            proxies: HashMap::new(),
+            shortcuts,
+            via_root: false,
+            load: vec![0; n],
+        }
+    }
+
+    /// Routes queries through the root (STUN semantics) instead of
+    /// stopping at the first ancestor holding the object.
+    pub fn with_root_queries(mut self) -> Self {
+        self.via_root = true;
+        self
+    }
+
+    /// Whether queries are routed via the root.
+    pub fn queries_via_root(&self) -> bool {
+        self.via_root
+    }
+
+    /// The underlying tree (for structural assertions in tests).
+    pub fn tree(&self) -> &TrackingTree {
+        &self.tree
+    }
+
+    fn check_node(&self, u: NodeId) -> mot_core::Result<()> {
+        if u.index() >= self.tree.len() {
+            return Err(CoreError::UnknownNode(u));
+        }
+        Ok(())
+    }
+
+    fn add(&mut self, u: NodeId, o: ObjectId) {
+        if self.detection[u.index()].insert(o) {
+            self.load[u.index()] += 1;
+        }
+    }
+
+    fn remove(&mut self, u: NodeId, o: ObjectId) {
+        if self.detection[u.index()].remove(&o) {
+            self.load[u.index()] -= 1;
+        }
+    }
+
+    /// Whether `u` currently holds `o` in its detection set (committed
+    /// state; used by the concurrent execution engine).
+    pub fn holds(&self, u: NodeId, o: ObjectId) -> bool {
+        self.detection[u.index()].contains(&o)
+    }
+
+    /// Whether this tracker routes located queries straight to the proxy.
+    pub fn has_shortcuts(&self) -> bool {
+        self.shortcuts
+    }
+
+    /// Cost of the downward phase of a query that located `o` at `node`,
+    /// or `None` for an unpublished object.
+    pub fn descend_cost(&self, o: ObjectId, node: NodeId) -> Option<f64> {
+        let proxy = *self.proxies.get(&o)?;
+        if self.shortcuts {
+            return Some(self.oracle.dist(node, proxy));
+        }
+        let mut cost = 0.0;
+        let mut cur = node;
+        while cur != proxy {
+            let c = self
+                .tree
+                .children(cur)
+                .iter()
+                .copied()
+                .find(|c| self.holds(*c, o))?;
+            cost += self.oracle.dist(cur, c);
+            cur = c;
+        }
+        Some(cost)
+    }
+}
+
+impl Tracker for TreeTracker<'_> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn publish(&mut self, o: ObjectId, proxy: NodeId) -> mot_core::Result<f64> {
+        self.check_node(proxy)?;
+        if self.proxies.contains_key(&o) {
+            return Err(CoreError::AlreadyPublished(o));
+        }
+        let mut cost = 0.0;
+        let mut cur = proxy;
+        self.add(cur, o);
+        while let Some(p) = self.tree.parent(cur) {
+            cost += self.oracle.dist(cur, p);
+            cur = p;
+            self.add(cur, o);
+        }
+        self.proxies.insert(o, proxy);
+        Ok(cost)
+    }
+
+    fn move_object(&mut self, o: ObjectId, to: NodeId) -> mot_core::Result<MoveOutcome> {
+        self.check_node(to)?;
+        let from = *self.proxies.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        if from == to {
+            return Ok(MoveOutcome { from, cost: 0.0 });
+        }
+        let mut cost = 0.0;
+        // insert: climb from the new proxy to the first holder (the LCA
+        // of the old and new proxies).
+        let mut added = HashSet::new();
+        let mut cur = to;
+        while !self.holds(cur, o) {
+            self.add(cur, o);
+            added.insert(cur);
+            let p = self
+                .tree
+                .parent(cur)
+                .expect("the root holds every published object");
+            cost += self.oracle.dist(cur, p);
+            cur = p;
+        }
+        let meet = cur;
+        // delete: prune the stale branch from the meet down to `from`,
+        // following the unique old-path child (never the fresh one).
+        let mut d = meet;
+        loop {
+            let next = self
+                .tree
+                .children(d)
+                .iter()
+                .copied()
+                .find(|c| self.holds(*c, o) && !added.contains(c));
+            match next {
+                Some(c) => {
+                    cost += self.oracle.dist(d, c);
+                    self.remove(c, o);
+                    d = c;
+                }
+                None => break,
+            }
+        }
+        debug_assert_eq!(d, from, "stale branch must end at the old proxy");
+        self.proxies.insert(o, to);
+        Ok(MoveOutcome { from, cost })
+    }
+
+    fn query(&self, from: NodeId, o: ObjectId) -> mot_core::Result<QueryResult> {
+        self.check_node(from)?;
+        let proxy = *self.proxies.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        let mut cost = 0.0;
+        let mut cur = from;
+        let done = |t: &Self, cur: NodeId| {
+            if t.via_root {
+                cur == t.tree.root()
+            } else {
+                t.holds(cur, o)
+            }
+        };
+        while !done(self, cur) {
+            let p = self
+                .tree
+                .parent(cur)
+                .expect("the root holds every published object");
+            cost += self.oracle.dist(cur, p);
+            cur = p;
+        }
+        if self.shortcuts {
+            // Ancestors store the routing detail: jump straight down.
+            cost += self.oracle.dist(cur, proxy);
+        } else {
+            // Walk the detection chain down, one tree hop at a time.
+            while cur != proxy {
+                let c = self
+                    .tree
+                    .children(cur)
+                    .iter()
+                    .copied()
+                    .find(|c| self.holds(*c, o))
+                    .expect("detection chain must lead to the proxy");
+                cost += self.oracle.dist(cur, c);
+                cur = c;
+            }
+        }
+        Ok(QueryResult { proxy, cost })
+    }
+
+    fn proxy_of(&self, o: ObjectId) -> Option<NodeId> {
+        self.proxies.get(&o).copied()
+    }
+
+    fn node_loads(&self) -> Vec<usize> {
+        self.load.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_net::generators;
+
+    /// A simple BFS tree over a grid for exercising the tracker.
+    fn grid_tracker(shortcuts: bool) -> (mot_net::Graph, DistanceMatrix, Vec<Option<NodeId>>) {
+        let g = generators::grid(4, 4).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let spt = mot_net::shortest_path_tree(&g, NodeId(0));
+        let _ = shortcuts;
+        (g, m, spt.parent)
+    }
+
+    #[test]
+    fn from_parents_builds_consistent_structure() {
+        let (_, _, parents) = grid_tracker(false);
+        let t = TrackingTree::from_parents(NodeId(0), parents);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.len(), 16);
+        for i in 1..16 {
+            let u = NodeId(i);
+            let p = t.parent(u).unwrap();
+            assert_eq!(t.depth(u), t.depth(p) + 1);
+            assert!(t.children(p).contains(&u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_rejected() {
+        // 0 -> 1 -> 2 -> 1 cycle
+        let parent = vec![None, Some(NodeId(2)), Some(NodeId(1))];
+        let _ = TrackingTree::from_parents(NodeId(0), parent);
+    }
+
+    #[test]
+    fn publish_move_query_roundtrip() {
+        let (g, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        let o = ObjectId(0);
+        t.publish(o, NodeId(15)).unwrap();
+        // ancestors of 15 hold the object
+        assert!(t.holds(NodeId(15), o));
+        assert!(t.holds(NodeId(0), o));
+        let mv = t.move_object(o, NodeId(12)).unwrap();
+        assert_eq!(mv.from, NodeId(15));
+        assert!(!t.holds(NodeId(15), o));
+        for x in g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, NodeId(12));
+        }
+    }
+
+    #[test]
+    fn detection_sets_are_exactly_proxy_ancestors() {
+        let (_, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        let o = ObjectId(4);
+        t.publish(o, NodeId(10)).unwrap();
+        for hop in [11, 7, 3, 2, 6, 5] {
+            t.move_object(o, NodeId(hop)).unwrap();
+        }
+        // collect expected ancestors of final proxy 5
+        let mut expected = HashSet::new();
+        let mut cur = Some(NodeId(5));
+        while let Some(u) = cur {
+            expected.insert(u);
+            cur = t.tree().parent(u);
+        }
+        for i in 0..16 {
+            let u = NodeId(i);
+            assert_eq!(
+                t.holds(u, o),
+                expected.contains(&u),
+                "detection set wrong at {u}"
+            );
+        }
+        let total: usize = t.node_loads().iter().sum();
+        assert_eq!(total, expected.len());
+    }
+
+    #[test]
+    fn shortcuts_never_cost_more_on_queries() {
+        let (g, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents.clone());
+        let tree2 = TrackingTree::from_parents(NodeId(0), parents);
+        let mut plain = TreeTracker::new("plain", tree, &m, false);
+        let mut sc = TreeTracker::new("sc", tree2, &m, true);
+        let o = ObjectId(0);
+        for t in [&mut plain, &mut sc] {
+            t.publish(o, NodeId(9)).unwrap();
+            t.move_object(o, NodeId(13)).unwrap();
+        }
+        for x in g.nodes() {
+            let qp = plain.query(x, o).unwrap();
+            let qs = sc.query(x, o).unwrap();
+            assert_eq!(qp.proxy, qs.proxy);
+            assert!(qs.cost <= qp.cost + 1e-9, "from {x}: {} > {}", qs.cost, qp.cost);
+        }
+    }
+
+    #[test]
+    fn move_to_same_proxy_is_free() {
+        let (_, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        t.publish(ObjectId(0), NodeId(3)).unwrap();
+        assert_eq!(t.move_object(ObjectId(0), NodeId(3)).unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn errors_match_core_conventions() {
+        let (_, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        assert!(matches!(
+            t.query(NodeId(0), ObjectId(9)),
+            Err(CoreError::UnknownObject(_))
+        ));
+        t.publish(ObjectId(1), NodeId(1)).unwrap();
+        assert!(matches!(
+            t.publish(ObjectId(1), NodeId(2)),
+            Err(CoreError::AlreadyPublished(_))
+        ));
+        assert!(matches!(
+            t.publish(ObjectId(2), NodeId(99)),
+            Err(CoreError::UnknownNode(_))
+        ));
+    }
+}

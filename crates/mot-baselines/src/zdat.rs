@@ -1,0 +1,240 @@
+//! Z-DAT — Zone-based Deviation-Avoidance Tree (Lin et al. [21]).
+//!
+//! The sensing region is divided into rectangular zones which are
+//! recursively combined into a tree: quadrant subdivision until zones are
+//! small, a head per zone (the sensor nearest the zone center, ties
+//! favoring higher measured activity), zone members attached under their
+//! head, and child-zone heads attached under the parent zone's head.
+//! Spatial recursion keeps tree paths short and object hand-offs mostly
+//! zone-local — the structural reason Z-DAT tracks MOT closely in the
+//! paper's cost figures.
+//!
+//! The `shortcuts` flavor is obtained by wrapping the same tree in
+//! [`crate::TreeTracker`] with `shortcuts = true` (Liu et al. [23]).
+
+use crate::traffic::DetectionRates;
+use crate::tree::TrackingTree;
+use mot_net::{Graph, NetError, NodeId, Point};
+
+/// Zone-recursion parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ZdatParams {
+    /// Zones at or below this population stop subdividing.
+    pub leaf_capacity: usize,
+    /// Hard recursion depth limit (guards degenerate geometry).
+    pub max_depth: usize,
+}
+
+impl Default for ZdatParams {
+    fn default() -> Self {
+        ZdatParams { leaf_capacity: 4, max_depth: 16 }
+    }
+}
+
+struct Builder<'a> {
+    g: &'a Graph,
+    rates: &'a DetectionRates,
+    params: ZdatParams,
+    parent: Vec<Option<NodeId>>,
+}
+
+#[derive(Clone, Copy)]
+struct BBox {
+    min: Point,
+    max: Point,
+}
+
+impl BBox {
+    fn center(&self) -> Point {
+        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+}
+
+impl Builder<'_> {
+    /// Head = node nearest the zone center; ties by higher activity,
+    /// then smaller id.
+    fn pick_head(&self, nodes: &[NodeId], center: Point) -> NodeId {
+        *nodes
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = self.g.position(a).expect("positions checked").distance(&center);
+                let db = self.g.position(b).expect("positions checked").distance(&center);
+                da.partial_cmp(&db)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        let aa = self.rates.node_activity(self.g, a);
+                        let ab = self.rates.node_activity(self.g, b);
+                        ab.partial_cmp(&aa).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .then(a.cmp(&b))
+            })
+            .expect("zone is non-empty")
+    }
+
+    /// Builds the zone rooted in `bbox`, returning its head.
+    fn build_zone(&mut self, nodes: &[NodeId], bbox: BBox, depth: usize) -> NodeId {
+        let center = bbox.center();
+        if nodes.len() <= self.params.leaf_capacity || depth >= self.params.max_depth {
+            let head = self.pick_head(nodes, center);
+            for &u in nodes {
+                if u != head {
+                    self.parent[u.index()] = Some(head);
+                }
+            }
+            return head;
+        }
+        // quadrant split at the bbox midpoint
+        let mut quads: [Vec<NodeId>; 4] = Default::default();
+        for &u in nodes {
+            let p = self.g.position(u).expect("positions checked");
+            let right = usize::from(p.x > center.x);
+            let above = usize::from(p.y > center.y);
+            quads[above * 2 + right].push(u);
+        }
+        // Degenerate geometry (all nodes in one quadrant): fall back to a
+        // leaf zone rather than recursing forever.
+        if quads.iter().filter(|q| !q.is_empty()).count() <= 1 {
+            let head = self.pick_head(nodes, center);
+            for &u in nodes {
+                if u != head {
+                    self.parent[u.index()] = Some(head);
+                }
+            }
+            return head;
+        }
+        let mut heads = Vec::new();
+        for (qi, quad) in quads.iter().enumerate() {
+            if quad.is_empty() {
+                continue;
+            }
+            let (right, above) = (qi % 2 == 1, qi / 2 == 1);
+            let sub = BBox {
+                min: Point::new(
+                    if right { center.x } else { bbox.min.x },
+                    if above { center.y } else { bbox.min.y },
+                ),
+                max: Point::new(
+                    if right { bbox.max.x } else { center.x },
+                    if above { bbox.max.y } else { center.y },
+                ),
+            };
+            heads.push(self.build_zone(quad, sub, depth + 1));
+        }
+        let zone_head = self.pick_head(&heads, center);
+        for &h in &heads {
+            if h != zone_head {
+                self.parent[h.index()] = Some(zone_head);
+            }
+        }
+        zone_head
+    }
+}
+
+/// Builds the Z-DAT tree. Requires geographic positions.
+pub fn build_zdat(
+    g: &Graph,
+    rates: &DetectionRates,
+    params: ZdatParams,
+) -> Result<TrackingTree, NetError> {
+    let positions = g.positions().ok_or(NetError::MissingPositions)?;
+    let (mut min, mut max) = (positions[0], positions[0]);
+    for p in positions {
+        min = Point::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    let mut b = Builder { g, rates, params, parent: vec![None; g.node_count()] };
+    let all: Vec<NodeId> = g.nodes().collect();
+    let root = b.build_zone(&all, BBox { min, max }, 0);
+    Ok(TrackingTree::from_parents(root, b.parent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeTracker;
+    use mot_core::{ObjectId, Tracker};
+    use mot_net::{generators, DistanceMatrix};
+
+    #[test]
+    fn requires_positions() {
+        let g = generators::random_tree(10, 1).unwrap();
+        // random_tree has synthetic positions; strip them via a rebuild
+        let mut b = mot_net::GraphBuilder::new(10);
+        for (a, c, w) in g.edges() {
+            b.add_edge(a, c, w).unwrap();
+        }
+        let bare = b.build().unwrap();
+        assert!(matches!(
+            build_zdat(&bare, &DetectionRates::uniform(&bare), ZdatParams::default()),
+            Err(NetError::MissingPositions)
+        ));
+    }
+
+    #[test]
+    fn spans_grid_and_answers_queries() {
+        let g = generators::grid(6, 6).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
+        assert_eq!(t.len(), 36);
+        let mut tracker = TreeTracker::new("Z-DAT", t, &m, false);
+        tracker.publish(ObjectId(0), NodeId(0)).unwrap();
+        for hop in [1, 2, 8, 14, 20] {
+            tracker.move_object(ObjectId(0), NodeId(hop)).unwrap();
+        }
+        for x in g.nodes() {
+            assert_eq!(tracker.query(x, ObjectId(0)).unwrap().proxy, NodeId(20));
+        }
+    }
+
+    #[test]
+    fn zone_locality_beats_stun_on_local_moves() {
+        // Objects shuttling inside one corner zone should stay cheap in
+        // Z-DAT (zone-local LCA) — the paper's motivation for zones.
+        let g = generators::grid(8, 8).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
+        let mut tracker = TreeTracker::new("Z-DAT", t, &m, false);
+        tracker.publish(ObjectId(0), NodeId(0)).unwrap();
+        let mut cost = 0.0;
+        for _ in 0..10 {
+            cost += tracker.move_object(ObjectId(0), NodeId(1)).unwrap().cost;
+            cost += tracker.move_object(ObjectId(0), NodeId(0)).unwrap().cost;
+        }
+        // 20 single-hop moves; zone-local handling keeps the total far
+        // below 20 x diameter.
+        assert!(cost < 20.0 * m.diameter() / 2.0, "local moves cost {cost}");
+    }
+
+    #[test]
+    fn depth_reflects_quadrant_recursion() {
+        let g = generators::grid(16, 16).unwrap();
+        let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
+        let max_depth = g.nodes().map(|u| t.depth(u)).max().unwrap();
+        // 16x16 with leaf capacity 4: about log4(256/4) + 1 = 4 levels of
+        // zones, plus the leaf attachment
+        assert!((3..=8).contains(&max_depth), "unexpected depth {max_depth}");
+    }
+
+    #[test]
+    fn leaf_capacity_one_still_terminates() {
+        let g = generators::grid(4, 4).unwrap();
+        let t = build_zdat(
+            &g,
+            &DetectionRates::uniform(&g),
+            ZdatParams { leaf_capacity: 1, max_depth: 16 },
+        )
+        .unwrap();
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn works_on_random_geometric_deployments() {
+        let g = generators::random_geometric(60, 10.0, 2.2, 4).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
+        let mut tracker = TreeTracker::new("Z-DAT", t, &m, true);
+        tracker.publish(ObjectId(0), NodeId(30)).unwrap();
+        tracker.move_object(ObjectId(0), NodeId(31)).unwrap();
+        assert_eq!(tracker.query(NodeId(0), ObjectId(0)).unwrap().proxy, NodeId(31));
+    }
+}

@@ -1,0 +1,81 @@
+//! Ablation benches: the design choices DESIGN.md calls out — special
+//! parents, parent sets, load balancing, and the in-flight concurrency
+//! level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mot_baselines::DetectionRates;
+use mot_bench::{ablation_table, churn_table, general_graph_table, Profile};
+use mot_core::{MotConfig, MotTracker};
+use mot_hierarchy::{build_doubling, OverlayConfig};
+use mot_sim::{
+    replay_moves, run_publish, ConcurrentConfig, ConcurrentEngine, TestBed, WorkloadSpec,
+};
+
+fn bench(c: &mut Criterion) {
+    let p = Profile::quick(50);
+    eprintln!("{}", ablation_table(&p).render());
+    eprintln!("{}", general_graph_table(&p).render());
+    eprintln!("{}", churn_table().render());
+
+    // Variant timing: plain vs no-SP vs LB on one workload.
+    let bed = TestBed::grid(12, 12, 1);
+    let w = WorkloadSpec::new(10, 80, 2).generate(&bed.graph);
+    let mut group = c.benchmark_group("mot_variants_12x12");
+    group.sample_size(20);
+    for (label, cfg) in [
+        ("plain", MotConfig::plain()),
+        ("no_special_parents", MotConfig::no_special_parents()),
+        ("load_balanced", MotConfig::load_balanced()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut t = MotTracker::new(&bed.overlay, &bed.oracle, cfg.clone());
+                run_publish(&mut t, &w).unwrap();
+                replay_moves(&mut t, &w, &bed.oracle).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Overlay constants: practical vs paper-exact construction time.
+    let mut group = c.benchmark_group("overlay_constants_12x12");
+    group.sample_size(20);
+    for (label, ocfg) in [
+        ("practical", OverlayConfig::practical()),
+        ("paper_exact", OverlayConfig::paper_exact()),
+        ("singleton_parents", OverlayConfig::singleton_parents()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ocfg, |b, ocfg| {
+            b.iter(|| build_doubling(&bed.graph, &bed.oracle, ocfg, 7))
+        });
+    }
+    group.finish();
+
+    // In-flight sweep: how the concurrency level changes engine cost.
+    let rates = DetectionRates::uniform(&bed.graph);
+    let mut group = c.benchmark_group("concurrency_inflight_sweep");
+    group.sample_size(15);
+    for k in [1usize, 2, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = bed.make_tracker(mot_sim::Algo::Mot, &rates);
+                run_publish(t.as_mut(), &w).unwrap();
+                ConcurrentEngine::run(
+                    t.as_mut(),
+                    &w,
+                    &bed.oracle,
+                    &ConcurrentConfig {
+                        max_inflight_per_object: k,
+                        queries_per_batch: 0,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

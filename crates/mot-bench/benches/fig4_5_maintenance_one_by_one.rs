@@ -1,0 +1,37 @@
+//! Bench for Figures 4 & 5: one-by-one maintenance across algorithms.
+//!
+//! Prints the quick-profile figure tables once, then times the
+//! maintenance replay per algorithm on a fixed grid (the code path the
+//! figures exercise; run the `experiments` binary for full-scale cost
+//! tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mot_baselines::DetectionRates;
+use mot_bench::{maintenance_figure, Profile};
+use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure (quick profile) so `cargo bench` output
+    // carries the cost-ratio series alongside the timings.
+    eprintln!("{}", maintenance_figure(&Profile::quick(20), false).render());
+
+    let bed = TestBed::grid(12, 12, 1);
+    let w = WorkloadSpec::new(10, 100, 2).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+
+    let mut group = c.benchmark_group("maintenance_one_by_one_12x12");
+    group.sample_size(20);
+    for algo in Algo::paper_lineup() {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            b.iter(|| {
+                let mut t = bed.make_tracker(algo, &rates);
+                run_publish(t.as_mut(), &w).unwrap();
+                replay_moves(t.as_mut(), &w, &bed.oracle).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

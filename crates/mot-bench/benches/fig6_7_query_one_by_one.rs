@@ -1,0 +1,37 @@
+//! Bench for Figures 6 & 7: query cost after a maintenance workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mot_baselines::DetectionRates;
+use mot_bench::{query_figure, Profile};
+use mot_core::ObjectId;
+use mot_net::NodeId;
+use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", query_figure(&Profile::quick(20), false).render());
+
+    let bed = TestBed::grid(12, 12, 1);
+    let w = WorkloadSpec::new(10, 100, 2).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+
+    let mut group = c.benchmark_group("query_after_workload_12x12");
+    for algo in Algo::paper_lineup() {
+        // Prepare state once; time pure queries.
+        let mut t = bed.make_tracker(algo, &rates);
+        run_publish(t.as_mut(), &w).unwrap();
+        replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let from = NodeId(i % 144);
+                let o = ObjectId(i % 10);
+                i = i.wrapping_add(17);
+                t.query(from, o).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

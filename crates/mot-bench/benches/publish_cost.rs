@@ -1,0 +1,38 @@
+//! Bench for the Theorem 4.1 table: publish cost is O(D) per object.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mot_bench::{publish_cost_table, Profile};
+use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
+use mot_net::NodeId;
+use mot_sim::TestBed;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", publish_cost_table(&Profile::quick(50)).render());
+
+    let mut group = c.benchmark_group("publish_per_object");
+    for (r, cols) in [(8usize, 8usize), (16, 16), (23, 23)] {
+        let bed = TestBed::grid(r, cols, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(r * cols),
+            &bed,
+            |b, bed| {
+                let mut k = 0u32;
+                b.iter(|| {
+                    // fresh tracker per batch of publishes to keep state bounded
+                    let mut t =
+                        MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
+                    for i in 0..16u32 {
+                        let proxy = NodeId((k.wrapping_mul(31).wrapping_add(i * 7))
+                            % bed.graph.node_count() as u32);
+                        t.publish(ObjectId(i), proxy).unwrap();
+                    }
+                    k = k.wrapping_add(1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

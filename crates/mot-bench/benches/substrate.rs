@@ -1,0 +1,108 @@
+//! Substrate micro-benches: the building blocks under the tracking
+//! algorithms — APSP oracle, overlay construction, de Bruijn routing,
+//! MIS rounds, workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
+use mot_debruijn::DeBruijnGraph;
+use mot_hierarchy::{build_doubling, build_general, OverlayConfig};
+use mot_net::{generators, DistanceMatrix, NodeId};
+use mot_proto::ProtoTracker;
+use mot_sim::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    // APSP oracle build (parallel Dijkstra).
+    let mut group = c.benchmark_group("apsp_build");
+    group.sample_size(10);
+    for n in [8usize, 16, 23] {
+        let g = generators::grid(n, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &g, |b, g| {
+            b.iter(|| DistanceMatrix::build(g).unwrap())
+        });
+    }
+    group.finish();
+
+    // Overlay constructions.
+    let g = generators::grid(16, 16).unwrap();
+    let m = DistanceMatrix::build(&g).unwrap();
+    let mut group = c.benchmark_group("overlay_build_16x16");
+    group.sample_size(10);
+    group.bench_function("doubling", |b| {
+        b.iter(|| build_doubling(&g, &m, &OverlayConfig::practical(), 3))
+    });
+    group.bench_function("general_sparse_partition", |b| {
+        b.iter(|| build_general(&g, &m, &OverlayConfig::practical(), 3))
+    });
+    group.finish();
+
+    // de Bruijn canonical routing.
+    let db = DeBruijnGraph::new(10);
+    c.bench_function("debruijn_route_dim10", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let src = i.wrapping_mul(2654435761) & 1023;
+            let dst = i.wrapping_mul(40503) & 1023;
+            i = i.wrapping_add(1);
+            db.route(src, dst)
+        })
+    });
+
+    // Direct vs message-passing rendering: per-operation overhead of the
+    // protocol machinery (they compute identical results and costs).
+    let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 7);
+    let w = WorkloadSpec::new(5, 200, 3).generate(&g);
+    let mut group = c.benchmark_group("rendering_overhead_16x16");
+    group.sample_size(20);
+    group.bench_function("direct_mot", |b| {
+        b.iter(|| {
+            let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+            for (oi, &p) in w.initial.iter().enumerate() {
+                t.publish(ObjectId(oi as u32), p).unwrap();
+            }
+            for mv in &w.moves {
+                t.move_object(mv.object, mv.to).unwrap();
+            }
+            t.query(NodeId(0), ObjectId(0)).unwrap()
+        })
+    });
+    group.bench_function("message_passing_mot", |b| {
+        b.iter(|| {
+            let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+            for (oi, &p) in w.initial.iter().enumerate() {
+                t.publish(ObjectId(oi as u32), p).unwrap();
+            }
+            for mv in &w.moves {
+                t.move_object(mv.object, mv.to).unwrap();
+            }
+            t.query(NodeId(0), ObjectId(0)).unwrap()
+        })
+    });
+    group.finish();
+
+    // Workload generation (random walk + waypoint).
+    let mut group = c.benchmark_group("workload_generation_16x16");
+    group.bench_function("random_walk", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            WorkloadSpec::new(20, 100, seed).generate(&g)
+        })
+    });
+    group.bench_function("waypoint", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            WorkloadSpec {
+                objects: 20,
+                moves_per_object: 100,
+                model: mot_sim::MobilityModel::Waypoint,
+                seed,
+            }
+            .generate(&g)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

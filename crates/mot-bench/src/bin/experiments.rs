@@ -1,0 +1,112 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--profile quick|standard|paper] [--csv DIR] [IDS...]
+//! ```
+//!
+//! `IDS` default to every figure. Examples:
+//!
+//! ```text
+//! cargo run --release -p mot-bench --bin experiments -- fig4 fig6
+//! cargo run --release -p mot-bench --bin experiments -- --profile paper all
+//! ```
+
+use mot_bench::{
+    ablation_table, churn_table, general_graph_table, load_figure, maintenance_figure,
+    locality_table, mobility_table, publish_cost_table, query_figure, state_size_table,
+    FigureTable, Profile,
+};
+use mot_sim::Algo;
+use std::io::Write;
+
+fn profile_for(objects: usize, name: &str) -> Profile {
+    match name {
+        "quick" => Profile::quick(objects),
+        "standard" => Profile::standard(objects),
+        "paper" => Profile::paper(objects),
+        other => {
+            eprintln!("unknown profile '{other}' (quick|standard|paper)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile_name = "standard".to_string();
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => {
+                profile_name = it.next().unwrap_or_else(|| {
+                    eprintln!("--profile needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--profile quick|standard|paper] [--csv DIR] [IDS...]\n\
+                     ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15\n\
+                          pub-cost ablations general churn state-size locality mobility all"
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = [
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "pub-cost", "ablations", "general", "churn", "state-size", "locality", "mobility",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let emit = |table: FigureTable, id: &str| {
+        println!("{}", table.render());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{id}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv");
+            f.write_all(table.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    };
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match id.as_str() {
+            "fig4" => emit(maintenance_figure(&profile_for(100, &profile_name), false), id),
+            "fig5" => emit(maintenance_figure(&profile_for(1000, &profile_name), false), id),
+            "fig6" => emit(query_figure(&profile_for(100, &profile_name), false), id),
+            "fig7" => emit(query_figure(&profile_for(1000, &profile_name), false), id),
+            "fig8" => emit(load_figure(&profile_for(100, &profile_name), Algo::Stun, 0), id),
+            "fig9" => emit(load_figure(&profile_for(100, &profile_name), Algo::Stun, 10), id),
+            "fig10" => emit(load_figure(&profile_for(100, &profile_name), Algo::Zdat, 0), id),
+            "fig11" => emit(load_figure(&profile_for(100, &profile_name), Algo::Zdat, 10), id),
+            "fig12" => emit(maintenance_figure(&profile_for(100, &profile_name), true), id),
+            "fig13" => emit(maintenance_figure(&profile_for(1000, &profile_name), true), id),
+            "fig14" => emit(query_figure(&profile_for(100, &profile_name), true), id),
+            "fig15" => emit(query_figure(&profile_for(1000, &profile_name), true), id),
+            "pub-cost" => emit(publish_cost_table(&profile_for(100, &profile_name)), id),
+            "ablations" => emit(ablation_table(&profile_for(100, &profile_name)), id),
+            "general" => emit(general_graph_table(&profile_for(50, &profile_name)), id),
+            "churn" => emit(churn_table(), id),
+            "state-size" => emit(state_size_table(&profile_for(100, &profile_name)), id),
+            "locality" => emit(locality_table(&profile_for(100, &profile_name)), id),
+            "mobility" => emit(mobility_table(&profile_for(50, &profile_name)), id),
+            other => eprintln!("skipping unknown experiment id '{other}'"),
+        }
+        eprintln!("[{id} took {:.1?}]", started.elapsed());
+    }
+}

@@ -1,0 +1,635 @@
+//! Runners that regenerate the paper's tables and figures.
+
+use crate::report::FigureTable;
+use mot_baselines::DetectionRates;
+use mot_core::{MotConfig, MotTracker, Tracker};
+use mot_hierarchy::OverlayConfig;
+use mot_net::generators;
+use mot_sim::{
+    replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine,
+    CostStats, LoadStats, TestBed, WorkloadSpec,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Workload scale for a figure run.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    pub objects: usize,
+    pub moves_per_object: usize,
+    /// Repetitions averaged (the paper averages 5).
+    pub seeds: u64,
+    /// Queries per repetition for the query figures.
+    pub queries: usize,
+    /// Grid sizes swept (paper: ~10 → 1024 nodes).
+    pub grids: Vec<(usize, usize)>,
+}
+
+impl Profile {
+    /// Seconds-scale smoke profile (integration tests, criterion).
+    pub fn quick(objects: usize) -> Self {
+        Profile {
+            objects,
+            moves_per_object: 30,
+            seeds: 2,
+            queries: 100,
+            grids: vec![(3, 3), (6, 6), (10, 10)],
+        }
+    }
+
+    /// Minutes-scale profile covering the full grid sweep.
+    pub fn standard(objects: usize) -> Self {
+        Profile {
+            objects,
+            moves_per_object: 200,
+            seeds: 3,
+            queries: 500,
+            grids: generators::paper_grid_sizes(),
+        }
+    }
+
+    /// The paper's full scale: 1000 moves/object, 5 repetitions.
+    pub fn paper(objects: usize) -> Self {
+        Profile {
+            objects,
+            moves_per_object: 1000,
+            seeds: 5,
+            queries: 1000,
+            grids: generators::paper_grid_sizes(),
+        }
+    }
+}
+
+fn lineup() -> Vec<Algo> {
+    Algo::paper_lineup().to_vec()
+}
+
+/// Figs. 4/5 (one-by-one) and 12/13 (concurrent): maintenance cost ratio
+/// across network sizes.
+pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
+    let algos = lineup();
+    let mut rows = Vec::new();
+    for &(r, c) in &p.grids {
+        let mut per_algo = vec![CostStats::default(); algos.len()];
+        for seed in 0..p.seeds {
+            let bed = TestBed::grid(r, c, seed);
+            let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1)
+                .generate(&bed.graph);
+            let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+            for (ai, &algo) in algos.iter().enumerate() {
+                let mut t = bed.make_tracker(algo, &rates);
+                run_publish(t.as_mut(), &w).expect("publish");
+                let stats = if concurrent {
+                    ConcurrentEngine::run(
+                        t.as_mut(),
+                        &w,
+                        &bed.oracle,
+                        &ConcurrentConfig {
+                            max_inflight_per_object: 10,
+                            queries_per_batch: 0,
+                            seed,
+                        },
+                    )
+                    .expect("concurrent run")
+                    .maintenance
+                } else {
+                    replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay")
+                };
+                per_algo[ai].merge(&stats);
+            }
+        }
+        rows.push((
+            (r * c).to_string(),
+            per_algo.iter().map(CostStats::ratio).collect(),
+        ));
+    }
+    FigureTable {
+        title: format!(
+            "Maintenance cost ratio, {} objects, {} execution (paper Fig. {})",
+            p.objects,
+            if concurrent { "concurrent" } else { "one-by-one" },
+            match (p.objects >= 1000, concurrent) {
+                (false, false) => "4",
+                (true, false) => "5",
+                (false, true) => "12",
+                (true, true) => "13",
+            }
+        ),
+        x_label: "nodes".into(),
+        columns: algos.iter().map(|a| a.label().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figs. 6/7 (one-by-one) and 14/15 (concurrent): query cost ratio across
+/// network sizes, after the maintenance workload.
+pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
+    let algos = lineup();
+    let mut rows = Vec::new();
+    for &(r, c) in &p.grids {
+        let mut per_algo = vec![CostStats::default(); algos.len()];
+        for seed in 0..p.seeds {
+            let bed = TestBed::grid(r, c, seed);
+            let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1)
+                .generate(&bed.graph);
+            let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+            for (ai, &algo) in algos.iter().enumerate() {
+                let mut t = bed.make_tracker(algo, &rates);
+                run_publish(t.as_mut(), &w).expect("publish");
+                if concurrent {
+                    // queries race the maintenance batches (§4.2.2)
+                    let out = ConcurrentEngine::run(
+                        t.as_mut(),
+                        &w,
+                        &bed.oracle,
+                        &ConcurrentConfig {
+                            max_inflight_per_object: 10,
+                            queries_per_batch: 1,
+                            seed,
+                        },
+                    )
+                    .expect("concurrent run");
+                    assert_eq!(out.queries_correct, out.queries_issued);
+                    per_algo[ai].merge(&out.queries);
+                } else {
+                    replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+                    let q = run_queries(
+                        t.as_ref(),
+                        &bed.oracle,
+                        p.objects,
+                        p.queries,
+                        seed + 31,
+                    )
+                    .expect("queries");
+                    assert_eq!(q.correct, p.queries);
+                    per_algo[ai].merge(&q.cost);
+                }
+            }
+        }
+        rows.push((
+            (r * c).to_string(),
+            per_algo.iter().map(CostStats::mean_ratio).collect(),
+        ));
+    }
+    FigureTable {
+        title: format!(
+            "Query cost ratio, {} objects, {} execution (paper Fig. {})",
+            p.objects,
+            if concurrent { "concurrent" } else { "one-by-one" },
+            match (p.objects >= 1000, concurrent) {
+                (false, false) => "6",
+                (true, false) => "7",
+                (false, true) => "14",
+                (true, true) => "15",
+            }
+        ),
+        x_label: "nodes".into(),
+        columns: algos.iter().map(|a| a.label().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figs. 8–11: per-node load of MOT(+LB) against a baseline, on the
+/// largest grid of the profile, `moves_per_object` moves after
+/// initialization (0 = "just after initialization").
+pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> FigureTable {
+    let &(r, c) = p.grids.last().expect("profile has grids");
+    let bed = TestBed::grid(r, c, 1);
+    let w = WorkloadSpec::new(p.objects, moves_per_object.max(1), 5).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut rows = Vec::new();
+    for algo in [Algo::MotLb, vs] {
+        let mut t = bed.make_tracker(algo, &rates);
+        run_publish(t.as_mut(), &w).expect("publish");
+        if moves_per_object > 0 {
+            replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+        }
+        let stats = LoadStats::from_loads(&t.node_loads());
+        rows.push((
+            algo.label().to_string(),
+            vec![
+                stats.max as f64,
+                stats.mean,
+                stats.nodes_above_10 as f64,
+                stats.jain_index,
+            ],
+        ));
+    }
+    let fig = match (vs, moves_per_object > 0) {
+        (Algo::Stun, false) => "8",
+        (Algo::Stun, true) => "9",
+        (_, false) => "10",
+        (_, true) => "11",
+    };
+    FigureTable {
+        title: format!(
+            "Load per node, {} objects on {} nodes, {} (paper Fig. {fig})",
+            p.objects,
+            r * c,
+            if moves_per_object == 0 {
+                "after initialization".to_string()
+            } else {
+                format!("after {moves_per_object} moves/object")
+            },
+        ),
+        x_label: "algorithm".into(),
+        columns: vec![
+            "max_load".into(),
+            "mean_load".into(),
+            "nodes>10".into(),
+            "jain".into(),
+        ],
+        rows,
+    }
+}
+
+/// Theorem 4.1 sanity: publish cost stays `O(D)` as the diameter grows.
+pub fn publish_cost_table(p: &Profile) -> FigureTable {
+    let mut rows = Vec::new();
+    for &(r, c) in &p.grids {
+        let bed = TestBed::grid(r, c, 2);
+        let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = bed.graph.node_count();
+        let objects = p.objects.min(100);
+        let mut total = 0.0;
+        for k in 0..objects {
+            let proxy = mot_net::NodeId::from_index(rng.gen_range(0..n));
+            total += t.publish(mot_core::ObjectId(k as u32), proxy).expect("publish");
+        }
+        let d = bed.oracle.diameter();
+        let per_object = total / objects as f64;
+        rows.push(((r * c).to_string(), vec![d, per_object, per_object / d]));
+    }
+    FigureTable {
+        title: "Publish cost vs diameter (Theorem 4.1: O(D) per object)".into(),
+        x_label: "nodes".into(),
+        columns: vec!["diameter".into(), "publish/object".into(), "cost/D".into()],
+        rows,
+    }
+}
+
+/// Ablations over MOT's design choices on one mid-size grid: special
+/// parents, parent sets, load balancing.
+pub fn ablation_table(p: &Profile) -> FigureTable {
+    let (r, c) = (16, 16);
+    let seed = 3;
+    let variants: Vec<(&str, OverlayConfig, MotConfig)> = vec![
+        ("MOT", OverlayConfig::practical(), MotConfig::plain()),
+        ("MOT-noSP", OverlayConfig::practical(), MotConfig::no_special_parents()),
+        ("MOT-singletonPS", OverlayConfig::singleton_parents(), MotConfig::plain()),
+        ("MOT+LB", OverlayConfig::practical(), MotConfig::load_balanced()),
+    ];
+    let mut rows = Vec::new();
+    for (label, ocfg, mcfg) in variants {
+        let bed = TestBed::with_config(
+            generators::grid(r, c).expect("grid"),
+            &ocfg,
+            seed,
+        );
+        let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9)
+            .generate(&bed.graph);
+        let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg);
+        run_publish(&mut t, &w).expect("publish");
+        let maint = replay_moves(&mut t, &w, &bed.oracle).expect("replay");
+        let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 17)
+            .expect("queries");
+        let loads = LoadStats::from_loads(&t.node_loads());
+        rows.push((
+            label.to_string(),
+            vec![maint.ratio(), q.cost.mean_ratio(), loads.max as f64],
+        ));
+    }
+    FigureTable {
+        title: format!("Ablations on a {r}x{c} grid (maintenance / query / max load)"),
+        x_label: "variant".into(),
+        columns: vec!["maint_ratio".into(), "query_ratio".into(), "max_load".into()],
+        rows,
+    }
+}
+
+/// §6: MOT over the general-network overlay on non-grid topologies.
+pub fn general_graph_table(p: &Profile) -> FigureTable {
+    let topologies: Vec<(&str, mot_net::Graph)> = vec![
+        ("grid-10x10", generators::grid(10, 10).expect("grid")),
+        ("ring-100", generators::ring(100).expect("ring")),
+        ("rgg-100", generators::random_geometric(100, 12.0, 2.2, 7).expect("rgg")),
+    ];
+    let mut rows = Vec::new();
+    for (name, g) in topologies {
+        for (kind, bed) in [
+            ("doubling", TestBed::new(g.clone(), 4)),
+            ("general", TestBed::general(g.clone(), &OverlayConfig::practical(), 4)),
+        ] {
+            let w = WorkloadSpec::new(p.objects.min(50), p.moves_per_object, 13)
+                .generate(&bed.graph);
+            let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
+            run_publish(&mut t, &w).expect("publish");
+            let maint = replay_moves(&mut t, &w, &bed.oracle).expect("replay");
+            let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23)
+                .expect("queries");
+            rows.push((
+                format!("{name}/{kind}"),
+                vec![maint.ratio(), q.cost.mean_ratio()],
+            ));
+        }
+    }
+    FigureTable {
+        title: "MOT on doubling vs general (sparse-partition) overlays".into(),
+        x_label: "topology/overlay".into(),
+        columns: vec!["maint_ratio".into(), "query_ratio".into()],
+        rows,
+    }
+}
+
+/// §5's routing-state argument: with the embedded de Bruijn graph every
+/// cluster member keeps a constant-size neighbor table; without it, a
+/// member would need the physical addresses of the whole cluster
+/// (`O(|X|)`) to resolve hashed placements. This table measures both on
+/// the overlay's actual clusters.
+pub fn state_size_table(p: &Profile) -> FigureTable {
+    use mot_core::lb::ClusterTable;
+    let mut rows = Vec::new();
+    for &(r, c) in &p.grids {
+        let bed = TestBed::grid(r, c, 1);
+        let table = ClusterTable::build(&bed.overlay, &bed.oracle);
+        let (mut max_table, mut max_cluster, mut sum_table, mut count) = (0usize, 0usize, 0usize, 0usize);
+        for level in 1..=bed.overlay.height() {
+            for &center in bed.overlay.level_members(level) {
+                let e = table.embedding(center, level).expect("cluster exists");
+                max_cluster = max_cluster.max(e.len());
+                for &member in e.members() {
+                    let t = e.neighbor_table(member).len();
+                    max_table = max_table.max(t);
+                    sum_table += t;
+                    count += 1;
+                }
+            }
+        }
+        rows.push((
+            (r * c).to_string(),
+            vec![
+                max_cluster as f64,          // naive per-member state O(|X|)
+                max_table as f64,            // de Bruijn per-member state
+                sum_table as f64 / count.max(1) as f64,
+            ],
+        ));
+    }
+    FigureTable {
+        title: "Per-member routing state: naive cluster tables vs de Bruijn embedding (§5)"
+            .into(),
+        x_label: "nodes".into(),
+        columns: vec![
+            "naive_max(|X|)".into(),
+            "debruijn_max".into(),
+            "debruijn_mean".into(),
+        ],
+        rows,
+    }
+}
+
+/// Distance-sensitivity: mean query cost ratio as a function of how far
+/// the requester is from the object. MOT's O(1) promise (Thm 4.11) is
+/// strongest for nearby requesters; sink-routed STUN pays its full
+/// root detour exactly there.
+pub fn locality_table(p: &Profile) -> FigureTable {
+    let &(r, c) = p.grids.last().expect("profile has grids");
+    let bed = TestBed::grid(r, c, 2);
+    let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4)
+        .generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let algos = [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts];
+    let radii = [2.0, 4.0, 8.0, 16.0, bed.oracle.diameter()];
+    // prepare one tracker per algorithm
+    let mut trackers: Vec<_> = algos
+        .iter()
+        .map(|&a| {
+            let mut t = bed.make_tracker(a, &rates);
+            run_publish(t.as_mut(), &w).expect("publish");
+            replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+            t
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for &radius in &radii {
+        let mut ys = Vec::new();
+        for t in trackers.iter_mut() {
+            let q = mot_sim::run_local_queries(
+                t.as_ref(),
+                &bed.oracle,
+                w.object_count(),
+                radius,
+                p.queries,
+                11,
+            )
+            .expect("local queries");
+            assert_eq!(q.correct, p.queries);
+            ys.push(q.cost.mean_ratio());
+        }
+        let label = if radius >= bed.oracle.diameter() {
+            "any".to_string()
+        } else {
+            format!("<={radius:.0}")
+        };
+        rows.push((label, ys));
+    }
+    FigureTable {
+        title: format!(
+            "Query cost ratio by requester distance ({}x{} grid, {} objects)",
+            r,
+            c,
+            w.object_count()
+        ),
+        x_label: "distance".into(),
+        columns: algos.iter().map(|a| a.label().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Mobility-model stress test: maintenance cost ratios under the three
+/// mobility models, including the *commuter* model — perfectly
+/// predictable traffic, the best case for rate-built trees and the
+/// honest worst case for MOT's traffic-obliviousness.
+pub fn mobility_table(p: &Profile) -> FigureTable {
+    use mot_sim::MobilityModel;
+    let (r, c) = (16usize, 16usize);
+    let algos = [Algo::Mot, Algo::Stun, Algo::Dat, Algo::Zdat];
+    let mut rows = Vec::new();
+    for (label, model) in [
+        ("random-walk", MobilityModel::RandomWalk),
+        ("waypoint", MobilityModel::Waypoint),
+        ("commuter", MobilityModel::Commuter),
+    ] {
+        let bed = TestBed::grid(r, c, 3);
+        let spec = mot_sim::WorkloadSpec {
+            objects: p.objects.min(50),
+            moves_per_object: p.moves_per_object,
+            model,
+            seed: 5,
+        };
+        let w = spec.generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+        let mut ys = Vec::new();
+        for &algo in &algos {
+            let mut t = bed.make_tracker(algo, &rates);
+            run_publish(t.as_mut(), &w).expect("publish");
+            let stats = replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+            ys.push(stats.ratio());
+        }
+        rows.push((label.to_string(), ys));
+    }
+    FigureTable {
+        title: format!("Maintenance cost ratio by mobility model ({r}x{c} grid)"),
+        x_label: "mobility".into(),
+        columns: algos.iter().map(|a| a.label().to_string()).collect(),
+        rows,
+    }
+}
+
+/// §7: amortized adaptability under churn.
+pub fn churn_table() -> FigureTable {
+    let mut rows = Vec::new();
+    for &(r, c) in &[(8usize, 8usize), (16, 16)] {
+        let bed = TestBed::grid(r, c, 6);
+        let mut sim =
+            mot_core::dynamics::ChurnSimulator::new(&bed.overlay, &bed.oracle, 4.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = bed.graph.node_count();
+        let mut out: Vec<mot_net::NodeId> = Vec::new();
+        let mut departed = vec![false; n];
+        for _ in 0..6 * n {
+            if !out.is_empty() && rng.gen_bool(0.5) {
+                let u = out.swap_remove(rng.gen_range(0..out.len()));
+                departed[u.index()] = false;
+                sim.node_joins(u);
+            } else {
+                let u = mot_net::NodeId::from_index(rng.gen_range(0..n));
+                if !departed[u.index()] {
+                    departed[u.index()] = true;
+                    sim.node_leaves(u);
+                    out.push(u);
+                }
+            }
+        }
+        rows.push((
+            (r * c).to_string(),
+            vec![sim.amortized_adaptability(), sim.rebuilds_recommended as f64],
+        ));
+    }
+    FigureTable {
+        title: "Amortized adaptability under churn (§7: O(1) per cluster event)".into(),
+        x_label: "nodes".into(),
+        columns: vec!["updates/event".into(), "rebuilds".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_maintenance_figure_has_expected_shape() {
+        let p = Profile::quick(5);
+        let t = maintenance_figure(&p, false);
+        assert_eq!(t.rows.len(), p.grids.len());
+        assert_eq!(t.columns.len(), 4);
+        // every ratio at least 1 (costs can't beat optimal)
+        for (_, ys) in &t.rows {
+            for &y in ys {
+                assert!(y >= 1.0, "ratio {y} below optimal");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_query_figure_runs_both_modes() {
+        let p = Profile::quick(4);
+        let a = query_figure(&p, false);
+        let b = query_figure(&p, true);
+        assert_eq!(a.rows.len(), b.rows.len());
+    }
+
+    #[test]
+    fn load_figure_shows_balanced_mot() {
+        let mut p = Profile::quick(30);
+        p.grids = vec![(10, 10)];
+        let t = load_figure(&p, Algo::Stun, 0);
+        let mot = &t.rows[0];
+        let stun = &t.rows[1];
+        assert_eq!(mot.0, "MOT+LB");
+        // STUN's root carries every object: max load >= objects
+        assert!(stun.1[0] >= 30.0, "STUN max load {}", stun.1[0]);
+        assert!(mot.1[0] < stun.1[0], "MOT load not below STUN");
+    }
+
+    #[test]
+    fn publish_cost_is_linear_in_diameter() {
+        let p = Profile::quick(20);
+        let t = publish_cost_table(&p);
+        for (_, ys) in &t.rows {
+            let cost_over_d = ys[2];
+            assert!(cost_over_d < 16.0, "publish cost {cost_over_d} x D not O(D)");
+        }
+    }
+
+    #[test]
+    fn churn_adaptability_is_constant_like() {
+        let t = churn_table();
+        for (_, ys) in &t.rows {
+            assert!(ys[0] < 10.0, "amortized adaptability {} too large", ys[0]);
+        }
+    }
+
+    #[test]
+    fn state_size_is_constant_in_cluster_size() {
+        let mut p = Profile::quick(10);
+        p.grids = vec![(4, 4), (10, 10)];
+        let t = state_size_table(&p);
+        for (_, ys) in &t.rows {
+            let (naive, db_max) = (ys[0], ys[1]);
+            assert!(db_max <= 8.0, "de Bruijn table {db_max} not constant");
+            assert!(naive >= db_max, "naive {naive} below de Bruijn {db_max}");
+        }
+        // naive state grows with n; de Bruijn stays flat
+        assert!(t.rows[1].1[0] > t.rows[0].1[0]);
+        assert!(t.rows[1].1[1] <= t.rows[0].1[1] + 1.0);
+    }
+
+    #[test]
+    fn locality_shows_mot_flat_and_stun_steep() {
+        let mut p = Profile::quick(20);
+        p.grids = vec![(12, 12)];
+        p.queries = 150;
+        let t = locality_table(&p);
+        let mot = t.column("MOT").unwrap();
+        let stun = t.column("STUN").unwrap();
+        // STUN pays far more than MOT for the nearest requesters
+        assert!(
+            stun[0] > 2.0 * mot[0],
+            "nearby queries: STUN {} vs MOT {}",
+            stun[0],
+            mot[0]
+        );
+        // MOT stays within a small band across distances (O(1))
+        let (lo, hi) = mot
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+        assert!(hi <= 4.0 * lo, "MOT locality profile not flat: {mot:?}");
+    }
+
+    #[test]
+    fn mobility_table_covers_three_models() {
+        let mut p = Profile::quick(8);
+        p.moves_per_object = 40;
+        let t = mobility_table(&p);
+        assert_eq!(t.rows.len(), 3);
+        let labels: Vec<&str> = t.rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["random-walk", "waypoint", "commuter"]);
+        for (_, ys) in &t.rows {
+            for &y in ys {
+                assert!(y >= 1.0);
+            }
+        }
+    }
+}

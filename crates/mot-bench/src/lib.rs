@@ -1,0 +1,25 @@
+//! Experiment definitions regenerating every figure of the paper's §8,
+//! plus the ablations DESIGN.md calls out.
+//!
+//! The `experiments` binary prints the tables; the criterion benches in
+//! `benches/` time the same code paths on reduced workloads. Figures:
+//!
+//! | id       | paper figure | metric |
+//! |----------|--------------|--------|
+//! | `fig4`   | Fig. 4  | maintenance cost ratio, one-by-one, 100 objects |
+//! | `fig5`   | Fig. 5  | maintenance cost ratio, one-by-one, 1000 objects |
+//! | `fig6`   | Fig. 6  | query cost ratio, one-by-one, 100 objects |
+//! | `fig7`   | Fig. 7  | query cost ratio, one-by-one, 1000 objects |
+//! | `fig8`…`fig11` | Figs. 8–11 | load/node vs STUN and Z-DAT |
+//! | `fig12`/`fig13` | Figs. 12–13 | maintenance ratio, concurrent |
+//! | `fig14`/`fig15` | Figs. 14–15 | query ratio, concurrent |
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{
+    ablation_table, churn_table, general_graph_table, load_figure, locality_table,
+    maintenance_figure, mobility_table, publish_cost_table, query_figure,
+    state_size_table, Profile,
+};
+pub use report::FigureTable;

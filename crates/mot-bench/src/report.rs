@@ -1,0 +1,123 @@
+//! Plain-text / CSV rendering of experiment tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One regenerated figure: a labelled series per algorithm over an x axis
+/// (network size, usually).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureTable {
+    pub title: String,
+    /// x-axis label (e.g. "nodes").
+    pub x_label: String,
+    /// Series names (e.g. algorithm labels).
+    pub columns: Vec<String>,
+    /// Rows: x value + one y value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(x, _)| x.len())
+                .chain([self.x_label.len()])
+                .max()
+                .unwrap_or(4),
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, ys)| format!("{:.3}", ys[i]).len())
+                .chain([c.len()])
+                .max()
+                .unwrap_or(6);
+            widths.push(w);
+        }
+        out.push_str(&format!("{:>w$}", self.x_label, w = widths[0]));
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", c, w = widths[i + 1]));
+        }
+        out.push('\n');
+        for (x, ys) in &self.rows {
+            out.push_str(&format!("{:>w$}", x, w = widths[0]));
+            for (i, y) in ys.iter().enumerate() {
+                out.push_str(&format!("  {:>w$.3}", y, w = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (x, ys) in &self.rows {
+            out.push_str(x);
+            for y in ys {
+                out.push_str(&format!(",{y:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The series values of a named column (testing aid).
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|(_, ys)| ys[idx]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        FigureTable {
+            title: "t".into(),
+            x_label: "nodes".into(),
+            columns: vec!["MOT".into(), "STUN".into()],
+            rows: vec![
+                ("9".into(), vec![1.5, 4.0]),
+                ("1024".into(), vec![2.25, 30.125]),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let r = sample().render();
+        assert!(r.contains("MOT"));
+        assert!(r.contains("STUN"));
+        assert!(r.contains("1024"));
+        assert!(r.contains("30.125"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "nodes,MOT,STUN");
+        assert!(lines[2].starts_with("1024,"));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample();
+        assert_eq!(t.column("MOT"), Some(vec![1.5, 2.25]));
+        assert_eq!(t.column("nope"), None);
+    }
+}

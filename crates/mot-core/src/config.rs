@@ -1,0 +1,72 @@
+//! Configuration of the MOT tracker.
+
+use serde::{Deserialize, Serialize};
+
+/// Feature toggles and cost-accounting switches for [`crate::MotTracker`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MotConfig {
+    /// Maintain special parents / special detection lists (§3). Turning
+    /// this off reproduces the path-fragmentation pathology of Fig. 2 and
+    /// backs the `ablation-sp` experiment.
+    pub use_special_parents: bool,
+    /// Count the distance travelled to update/probe special parents in
+    /// reported costs. The paper's analysis excludes it ("we do not take
+    /// into account the cost for probing special-parents"; it is a
+    /// constant factor in doubling networks), so the default matches.
+    pub count_sp_cost: bool,
+    /// Distribute detection lists across radius-`2^i` clusters with
+    /// hashed placement and de Bruijn routing (§5).
+    pub load_balance: bool,
+    /// Count the intra-cluster de Bruijn routing distance in reported
+    /// costs (the `O(log n)` factor of Corollary 5.2). Only meaningful
+    /// with `load_balance`.
+    pub count_lb_cost: bool,
+}
+
+impl MotConfig {
+    /// Plain MOT: Algorithm 1 exactly, analysis-style cost accounting.
+    pub fn plain() -> Self {
+        MotConfig {
+            use_special_parents: true,
+            count_sp_cost: false,
+            load_balance: false,
+            count_lb_cost: false,
+        }
+    }
+
+    /// Load-balanced MOT (§5), de Bruijn routing costs included.
+    pub fn load_balanced() -> Self {
+        MotConfig {
+            use_special_parents: true,
+            count_sp_cost: false,
+            load_balance: true,
+            count_lb_cost: true,
+        }
+    }
+
+    /// MOT without special parents — the Fig. 2 pathology, for ablation.
+    pub fn no_special_parents() -> Self {
+        MotConfig { use_special_parents: false, ..Self::plain() }
+    }
+}
+
+impl Default for MotConfig {
+    fn default() -> Self {
+        Self::plain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(MotConfig::plain().use_special_parents);
+        assert!(!MotConfig::plain().load_balance);
+        assert!(MotConfig::load_balanced().load_balance);
+        assert!(MotConfig::load_balanced().count_lb_cost);
+        assert!(!MotConfig::no_special_parents().use_special_parents);
+        assert!(MotConfig::default().use_special_parents);
+    }
+}

@@ -1,0 +1,655 @@
+//! The MOT tracker — Algorithm 1 with parent sets, special parents, and
+//! the optional §5 load-balancing extension.
+//!
+//! One-by-one semantics: each call runs to completion before the next
+//! starts (the paper's primary analysis case; the concurrent execution
+//! engine in `mot-sim` layers message timing on top of the same
+//! transitions).
+
+use crate::config::MotConfig;
+use crate::error::CoreError;
+use crate::lb::ClusterTable;
+use crate::object::ObjectId;
+use crate::state::{NodeStores, ObjectRecord, SpEntry, TrailLevel};
+use crate::tracker::{MoveOutcome, QueryResult, Tracker};
+use crate::Result;
+use mot_hierarchy::Overlay;
+use mot_net::{DistanceMatrix, NodeId};
+use std::collections::HashMap;
+
+/// Mobile Object Tracking using sensors.
+pub struct MotTracker<'a> {
+    overlay: &'a Overlay,
+    oracle: &'a DistanceMatrix,
+    cfg: MotConfig,
+    stores: NodeStores,
+    records: HashMap<ObjectId, ObjectRecord>,
+    clusters: Option<ClusterTable>,
+}
+
+impl<'a> MotTracker<'a> {
+    /// Creates a tracker over a prebuilt overlay.
+    pub fn new(overlay: &'a Overlay, oracle: &'a DistanceMatrix, cfg: MotConfig) -> Self {
+        let clusters = cfg
+            .load_balance
+            .then(|| ClusterTable::build(overlay, oracle));
+        MotTracker {
+            overlay,
+            oracle,
+            cfg,
+            stores: NodeStores::new(overlay.node_count()),
+            records: HashMap::new(),
+            clusters,
+        }
+    }
+
+    /// The overlay this tracker runs on.
+    pub fn overlay(&self) -> &Overlay {
+        self.overlay
+    }
+
+    /// Ids of all currently tracked objects.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.records.keys().copied()
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<()> {
+        if u.index() >= self.overlay.node_count() {
+            return Err(CoreError::UnknownNode(u));
+        }
+        Ok(())
+    }
+
+    /// Physical placement of role `(node, level)`'s entry for `o` plus
+    /// the de Bruijn route cost to reach it (0 unless load balancing).
+    fn placement(&self, node: NodeId, level: usize, o: ObjectId) -> (NodeId, f64) {
+        match (&self.clusters, level) {
+            (Some(t), l) if l >= 1 => {
+                let p = t.placement(node, l, o, self.oracle);
+                let cost = if self.cfg.count_lb_cost { p.route_cost } else { 0.0 };
+                (p.holder, cost)
+            }
+            _ => (node, 0.0),
+        }
+    }
+
+    /// Installs the SDL entry guarding holder `child` (station index `j`
+    /// of `path_origin`'s level-`level` station). Returns the entry (for
+    /// the trail) and any counted cost.
+    fn install_sp(
+        &mut self,
+        path_origin: NodeId,
+        level: usize,
+        j: usize,
+        child: NodeId,
+        o: ObjectId,
+    ) -> (Option<SpEntry>, f64) {
+        if !self.cfg.use_special_parents {
+            return (None, 0.0);
+        }
+        let sp_level = self.overlay.sp_level(level);
+        if sp_level == level {
+            // Near the root special parents are undefined (§3); the root
+            // itself already guards everything.
+            return (None, 0.0);
+        }
+        let host = self.overlay.sp_host(path_origin, level, j);
+        let (holder, lb_cost) = self.placement(host, sp_level, o);
+        let entry = SpEntry { host, child, holder };
+        self.stores.sdl_add(entry, level, o);
+        let mut cost = lb_cost;
+        if self.cfg.count_sp_cost {
+            cost += self.oracle.dist(child, host);
+        }
+        (Some(entry), cost)
+    }
+
+    fn remove_sp(&mut self, entry: SpEntry, level: usize, o: ObjectId) -> f64 {
+        self.stores.sdl_remove(entry, level, o);
+        if self.cfg.count_sp_cost {
+            self.oracle.dist(entry.child, entry.host)
+        } else {
+            0.0
+        }
+    }
+
+    /// Walks the trail downward from `(from_node, from_level)` to the
+    /// proxy following DL holders, accumulating cost. At each level the
+    /// message forwards to the nearest child holder (sensors know their
+    /// geographic locations, §2.1).
+    fn descend(&self, rec: &ObjectRecord, from_node: NodeId, from_level: usize) -> f64 {
+        let mut cost = 0.0;
+        let mut cur = from_node;
+        for level in (0..from_level).rev() {
+            let next = self
+                .oracle
+                .nearest_in(cur, &rec.trail[level].holders)
+                .expect("trail levels are never empty");
+            cost += self.oracle.dist(cur, next);
+            cur = next;
+        }
+        cost
+    }
+
+    /// Whether `node` currently holds `o` in its level-`level` detection
+    /// list (committed state; used by the concurrent execution engine).
+    pub fn holds(&self, node: NodeId, level: usize, o: ObjectId) -> bool {
+        self.stores.dl_has(node, level, o)
+    }
+
+    /// First SDL entry for `o` at `node`: the guarded level and special
+    /// child, if any (committed state).
+    pub fn sdl_lookup(&self, node: NodeId, o: ObjectId) -> Option<(usize, NodeId)> {
+        self.stores.sdl_get(node, o)
+    }
+
+    /// Cost of descending the current trail of `o` from `(node, level)`
+    /// to the proxy, or `None` for an unpublished object.
+    pub fn descend_cost(&self, o: ObjectId, node: NodeId, level: usize) -> Option<f64> {
+        self.records.get(&o).map(|rec| self.descend(rec, node, level))
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &MotConfig {
+        &self.cfg
+    }
+
+    /// If a query probing `(node, level)` can locate `o` from here — via
+    /// the DL or, when enabled, the SDL — the cost of the downward phase;
+    /// `None` when this probe misses (committed state).
+    pub fn locate_cost(&self, node: NodeId, _level: usize, o: ObjectId) -> Option<f64> {
+        let rec = self.records.get(&o)?;
+        if let Some(found_level) = self.stores.dl_lowest_level(node, o) {
+            return Some(self.descend(rec, node, found_level));
+        }
+        if self.cfg.use_special_parents {
+            if let Some((guarded_level, child)) = self.stores.sdl_get(node, o) {
+                return Some(
+                    self.oracle.dist(node, child) + self.descend(rec, child, guarded_level),
+                );
+            }
+        }
+        None
+    }
+
+    /// Verifies the structural invariants of every object record; used by
+    /// tests and exposed for the simulator's sanity sweeps. Panics with a
+    /// description on violation.
+    pub fn check_invariants(&self) {
+        let h = self.overlay.height();
+        for (&o, rec) in &self.records {
+            assert_eq!(rec.trail.len(), h + 1, "{o:?}: trail height mismatch");
+            assert_eq!(rec.trail[0].holders.len(), 1, "{o:?}: proxy level must be single");
+            for (level, tl) in rec.trail.iter().enumerate() {
+                assert!(!tl.holders.is_empty(), "{o:?}: empty trail level {level}");
+                assert!(
+                    tl.holders.windows(2).all(|w| w[0] < w[1]),
+                    "{o:?}: unsorted holders at level {level}"
+                );
+                for &hnode in &tl.holders {
+                    assert!(
+                        self.stores.dl_has(hnode, level, o),
+                        "{o:?}: trail holder {hnode} lost its level-{level} DL entry"
+                    );
+                }
+            }
+            let root = self.overlay.root();
+            assert!(
+                rec.trail[h].holders.contains(&root),
+                "{o:?}: root dropped from the trail"
+            );
+        }
+    }
+}
+
+impl Tracker for MotTracker<'_> {
+    fn name(&self) -> String {
+        match (self.cfg.load_balance, self.cfg.use_special_parents) {
+            (true, _) => "MOT+LB".to_string(),
+            (false, true) => "MOT".to_string(),
+            (false, false) => "MOT-noSP".to_string(),
+        }
+    }
+
+    fn publish(&mut self, o: ObjectId, proxy: NodeId) -> Result<f64> {
+        self.check_node(proxy)?;
+        if self.records.contains_key(&o) {
+            return Err(CoreError::AlreadyPublished(o));
+        }
+        let h = self.overlay.height();
+        let mut cost = 0.0;
+        let mut cur = proxy;
+        let mut trail = Vec::with_capacity(h + 1);
+        for level in 0..=h {
+            let station = self.overlay.station(proxy, level).to_vec();
+            let mut tl = TrailLevel::default();
+            for (j, &s) in station.iter().enumerate() {
+                cost += self.oracle.dist(cur, s);
+                cur = s;
+                let (holder, lb_cost) = self.placement(s, level, o);
+                cost += lb_cost;
+                self.stores.dl_add(s, level, o, holder);
+                tl.holders.push(s);
+                let (entry, sp_cost) = self.install_sp(proxy, level, j, s, o);
+                cost += sp_cost;
+                if let Some(e) = entry {
+                    tl.sp_entries.push(e);
+                }
+            }
+            trail.push(tl);
+        }
+        self.records.insert(o, ObjectRecord { trail });
+        Ok(cost)
+    }
+
+    fn move_object(&mut self, o: ObjectId, to: NodeId) -> Result<MoveOutcome> {
+        self.check_node(to)?;
+        let from = self
+            .records
+            .get(&o)
+            .ok_or(CoreError::UnknownObject(o))?
+            .proxy();
+        if from == to {
+            return Ok(MoveOutcome { from, cost: 0.0 });
+        }
+        let h = self.overlay.height();
+        let mut cost = 0.0;
+        let mut cur = to;
+
+        // ---- insert: climb DPath(to) until a node already holds o ------
+        // Level 0: the new proxy takes the object.
+        let mut new_levels: Vec<TrailLevel> = Vec::new();
+        {
+            let (holder, lb_cost) = self.placement(to, 0, o);
+            cost += lb_cost;
+            self.stores.dl_add(to, 0, o, holder);
+            let mut tl = TrailLevel { holders: vec![to], sp_entries: Vec::new() };
+            let (entry, sp_cost) = self.install_sp(to, 0, 0, to, o);
+            cost += sp_cost;
+            if let Some(e) = entry {
+                tl.sp_entries.push(e);
+            }
+            new_levels.push(tl);
+        }
+        let mut meet: Option<(usize, NodeId)> = None;
+        'climb: for level in 1..=h {
+            let station = self.overlay.station(to, level).to_vec();
+            let mut tl = TrailLevel::default();
+            for (j, &s) in station.iter().enumerate() {
+                cost += self.oracle.dist(cur, s);
+                cur = s;
+                // Probing the DL costs a de Bruijn round within the
+                // cluster in load-balanced mode.
+                let (holder, lb_cost) = self.placement(s, level, o);
+                cost += lb_cost;
+                if self.stores.dl_has(s, level, o) {
+                    // Found the lowest ancestor already holding o: the
+                    // insert stops here (Algorithm 1, line 9). Additions
+                    // made at the meet level before the holder was found
+                    // are rolled back with a reverse walk, so every trail
+                    // level remains the complete parent set of a single
+                    // origin — the invariant that keeps the distributed
+                    // (message-passing) rendering's routing state exact.
+                    // sp_entries, when present, pair positionally with
+                    // holders (SP applicability depends only on the level).
+                    debug_assert!(
+                        tl.sp_entries.is_empty() || tl.sp_entries.len() == tl.holders.len()
+                    );
+                    let mut back = s;
+                    for ri in (0..tl.holders.len()).rev() {
+                        let rs = tl.holders[ri];
+                        cost += self.oracle.dist(back, rs);
+                        back = rs;
+                        let (h2, lb2) = self.placement(rs, level, o);
+                        cost += lb2;
+                        self.stores.dl_remove(rs, level, o, h2);
+                        if let Some(&e) = tl.sp_entries.get(ri) {
+                            cost += self.remove_sp(e, level, o);
+                        }
+                    }
+                    meet = Some((level, s));
+                    break 'climb;
+                }
+                self.stores.dl_add(s, level, o, holder);
+                tl.holders.push(s);
+                let (entry, sp_cost) = self.install_sp(to, level, j, s, o);
+                cost += sp_cost;
+                if let Some(e) = entry {
+                    tl.sp_entries.push(e);
+                }
+            }
+            new_levels.push(tl);
+        }
+        let (meet_level, meet_node) =
+            meet.expect("the root always holds every published object");
+
+        // ---- delete: walk the stale trail below the meet downward ------
+        let mut rec = self.records.remove(&o).expect("record checked above");
+        let mut dcur = meet_node;
+        for level in (0..meet_level).rev() {
+            let tl = std::mem::take(&mut rec.trail[level]);
+            for &hnode in &tl.holders {
+                cost += self.oracle.dist(dcur, hnode);
+                dcur = hnode;
+                let (holder, lb_cost) = self.placement(hnode, level, o);
+                cost += lb_cost;
+                self.stores.dl_remove(hnode, level, o, holder);
+            }
+            for e in tl.sp_entries {
+                cost += self.remove_sp(e, level, o);
+            }
+        }
+
+        // ---- splice the new fragment under the old upper trail ---------
+        let mut trail = new_levels; // levels 0..meet_level-1
+        trail.extend(rec.trail.into_iter().skip(meet_level));
+        debug_assert_eq!(trail.len(), h + 1);
+        self.records.insert(o, ObjectRecord { trail });
+        Ok(MoveOutcome { from, cost })
+    }
+
+    fn query(&self, from: NodeId, o: ObjectId) -> Result<QueryResult> {
+        self.check_node(from)?;
+        let rec = self.records.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        let proxy = rec.proxy();
+        let h = self.overlay.height();
+        let mut cost = 0.0;
+        let mut cur = from;
+        for level in 0..=h {
+            for &s in self.overlay.station(from, level) {
+                cost += self.oracle.dist(cur, s);
+                cur = s;
+                // DL probe (pays the intra-cluster route when balanced).
+                // A physical node knows the DL of every role it plays, so
+                // the probe may hit any level; descending from the lowest
+                // is cheapest.
+                let (_, lb_cost) = self.placement(s, level, o);
+                cost += lb_cost;
+                if let Some(found_level) = self.stores.dl_lowest_level(s, o) {
+                    cost += self.descend(rec, s, found_level);
+                    return Ok(QueryResult { proxy, cost });
+                }
+                if self.cfg.use_special_parents {
+                    if let Some((guarded_level, child)) = self.stores.sdl_get(s, o) {
+                        // Jump to the special child, then follow its DL
+                        // trail down (Algorithm 1, line 24).
+                        cost += self.oracle.dist(s, child);
+                        cost += self.descend(rec, child, guarded_level);
+                        return Ok(QueryResult { proxy, cost });
+                    }
+                }
+            }
+        }
+        unreachable!("the root station always resolves a published object")
+    }
+
+    fn proxy_of(&self, o: ObjectId) -> Option<NodeId> {
+        self.records.get(&o).map(|r| r.proxy())
+    }
+
+    fn node_loads(&self) -> Vec<usize> {
+        self.stores.loads().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_hierarchy::{build_doubling, OverlayConfig};
+    use mot_net::{generators, Graph};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    struct Fixture {
+        g: Graph,
+        m: DistanceMatrix,
+        overlay: Overlay,
+    }
+
+    fn fixture(rows: usize, cols: usize) -> Fixture {
+        let g = generators::grid(rows, cols).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 11);
+        Fixture { g, m, overlay }
+    }
+
+    #[test]
+    fn publish_then_query_from_everywhere() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        let proxy = NodeId(14);
+        let cost = t.publish(o, proxy).unwrap();
+        assert!(cost > 0.0);
+        t.check_invariants();
+        for x in f.g.nodes() {
+            let r = t.query(x, o).unwrap();
+            assert_eq!(r.proxy, proxy, "query from {x}");
+            assert!(r.cost.is_finite() && r.cost >= 0.0);
+        }
+        // querying from the proxy itself is free
+        assert_eq!(t.query(proxy, o).unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn publish_twice_is_an_error() {
+        let f = fixture(3, 3);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        t.publish(ObjectId(0), NodeId(0)).unwrap();
+        assert_eq!(
+            t.publish(ObjectId(0), NodeId(1)),
+            Err(CoreError::AlreadyPublished(ObjectId(0)))
+        );
+    }
+
+    #[test]
+    fn unknown_object_and_node_errors() {
+        let f = fixture(3, 3);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        assert_eq!(
+            t.query(NodeId(0), ObjectId(5)),
+            Err(CoreError::UnknownObject(ObjectId(5)))
+        );
+        assert_eq!(
+            t.move_object(ObjectId(5), NodeId(0)),
+            Err(CoreError::UnknownObject(ObjectId(5)))
+        );
+        assert_eq!(
+            t.publish(ObjectId(0), NodeId(99)),
+            Err(CoreError::UnknownNode(NodeId(99)))
+        );
+    }
+
+    #[test]
+    fn move_updates_proxy_and_preserves_queries() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(3);
+        t.publish(o, NodeId(0)).unwrap();
+        let mv = t.move_object(o, NodeId(7)).unwrap();
+        assert_eq!(mv.from, NodeId(0));
+        assert!(mv.cost > 0.0);
+        assert_eq!(t.proxy_of(o), Some(NodeId(7)));
+        t.check_invariants();
+        for x in f.g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, NodeId(7));
+        }
+    }
+
+    #[test]
+    fn move_to_same_proxy_is_free() {
+        let f = fixture(4, 4);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        t.publish(ObjectId(0), NodeId(5)).unwrap();
+        let mv = t.move_object(ObjectId(0), NodeId(5)).unwrap();
+        assert_eq!(mv.cost, 0.0);
+        assert_eq!(mv.from, NodeId(5));
+    }
+
+    #[test]
+    fn random_walk_keeps_invariants_and_query_correctness() {
+        let f = fixture(8, 8);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let objects: Vec<ObjectId> = (0..5).map(ObjectId).collect();
+        let mut proxies = Vec::new();
+        for &o in &objects {
+            let p = NodeId(rng.gen_range(0..64));
+            t.publish(o, p).unwrap();
+            proxies.push(p);
+        }
+        for step in 0..300 {
+            let i = rng.gen_range(0..objects.len());
+            let cur = proxies[i];
+            let nbrs = f.g.neighbors(cur);
+            let next = nbrs[rng.gen_range(0..nbrs.len())].to;
+            let mv = t.move_object(objects[i], next).unwrap();
+            assert_eq!(mv.from, cur, "step {step}");
+            proxies[i] = next;
+            if step % 37 == 0 {
+                t.check_invariants();
+                let from = NodeId(rng.gen_range(0..64));
+                let q = t.query(from, objects[i]).unwrap();
+                assert_eq!(q.proxy, next);
+            }
+        }
+        t.check_invariants();
+        // all queries resolve to true proxies
+        for (i, &o) in objects.iter().enumerate() {
+            for x in f.g.nodes() {
+                assert_eq!(t.query(x, o).unwrap().proxy, proxies[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_move_is_cheap_fig1_style() {
+        // An object hopping one grid edge should cost far less than a
+        // publish: the insert meets the old trail at a low level.
+        let f = fixture(8, 8);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        t.publish(o, NodeId(27)).unwrap();
+        let mv = t.move_object(o, NodeId(28)).unwrap();
+        let diameter = f.m.diameter();
+        assert!(
+            mv.cost < 2.0 * diameter,
+            "adjacent move cost {} should not dwarf the diameter {diameter}",
+            mv.cost
+        );
+    }
+
+    #[test]
+    fn query_cost_scales_with_distance() {
+        // Fresh publish: a query from distance d costs O(d) (Thm 4.11).
+        let f = fixture(8, 8);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        let proxy = NodeId(0);
+        t.publish(o, proxy).unwrap();
+        for x in [NodeId(1), NodeId(9), NodeId(63)] {
+            let q = t.query(x, o).unwrap();
+            let d = f.m.dist(x, proxy);
+            assert!(
+                q.cost <= 40.0 * d.max(1.0),
+                "query from {x}: cost {} vs distance {d}",
+                q.cost
+            );
+        }
+    }
+
+    #[test]
+    fn special_parents_bound_fragmented_query_cost() {
+        // Recreate Fig. 2: drag the object through many distinct proxies
+        // so the trail fragments, then compare nearby-query costs with
+        // and without special parents. SP must never lose, and the
+        // scenario must stay correct in both modes.
+        let f = fixture(8, 8);
+        let mut with_sp = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let mut without = MotTracker::new(&f.overlay, &f.m, MotConfig::no_special_parents());
+        let o = ObjectId(0);
+        for t in [&mut with_sp, &mut without] {
+            t.publish(o, NodeId(63)).unwrap();
+        }
+        let tour = [56, 7, 62, 1, 57, 6, 58, 5, 59, 4]; // zig-zag fragmentation
+        for &p in &tour {
+            with_sp.move_object(o, NodeId(p)).unwrap();
+            without.move_object(o, NodeId(p)).unwrap();
+        }
+        let proxy = NodeId(*tour.last().unwrap());
+        let neighbor = NodeId(3); // adjacent to final proxy 4
+        let qs = with_sp.query(neighbor, o).unwrap();
+        let qn = without.query(neighbor, o).unwrap();
+        assert_eq!(qs.proxy, proxy);
+        assert_eq!(qn.proxy, proxy);
+        assert!(qs.cost <= qn.cost + 1e-9, "SP query {} > no-SP {}", qs.cost, qn.cost);
+    }
+
+    #[test]
+    fn load_balanced_mode_reduces_max_load() {
+        let f = fixture(8, 8);
+        let mut plain = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let mut lb = MotTracker::new(&f.overlay, &f.m, MotConfig::load_balanced());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for k in 0..40 {
+            let p = NodeId(rng.gen_range(0..64));
+            plain.publish(ObjectId(k), p).unwrap();
+            lb.publish(ObjectId(k), p).unwrap();
+        }
+        let max_plain = *plain.node_loads().iter().max().unwrap();
+        let max_lb = *lb.node_loads().iter().max().unwrap();
+        assert!(
+            max_lb < max_plain,
+            "LB max load {max_lb} not below plain {max_plain}"
+        );
+        // total entries conserved between modes
+        assert_eq!(
+            plain.node_loads().iter().sum::<usize>(),
+            lb.node_loads().iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn load_balanced_queries_remain_correct() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::load_balanced());
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        t.publish(ObjectId(0), NodeId(0)).unwrap();
+        let mut proxy = NodeId(0);
+        for _ in 0..60 {
+            let nbrs = f.g.neighbors(proxy);
+            proxy = nbrs[rng.gen_range(0..nbrs.len())].to;
+            t.move_object(ObjectId(0), proxy).unwrap();
+        }
+        for x in f.g.nodes() {
+            let q = t.query(x, ObjectId(0)).unwrap();
+            assert_eq!(q.proxy, proxy);
+        }
+        // LB probing costs are included, so queries cost at least as much
+        // as the plain-mode distance floor of zero.
+        assert!(t.query(proxy, ObjectId(0)).unwrap().cost >= 0.0);
+    }
+
+    #[test]
+    fn loads_return_to_baseline_after_move_cycles() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        t.publish(o, NodeId(0)).unwrap();
+        let baseline: usize = t.node_loads().iter().sum();
+        // wander away and back
+        for p in [1, 2, 8, 14, 8, 2, 1, 0] {
+            t.move_object(o, NodeId(p)).unwrap();
+        }
+        let now: usize = t.node_loads().iter().sum();
+        // Entry count can differ (trail fragments differ from the publish
+        // path) but must stay within the structural budget: stations ×
+        // levels, with no leak proportional to the number of moves.
+        let budget: usize = (0..=f.overlay.height())
+            .map(|l| f.overlay.station(NodeId(0), l).len().max(8))
+            .sum::<usize>()
+            * 2;
+        assert!(now <= baseline + budget, "load leak: {baseline} -> {now}");
+        t.check_invariants();
+    }
+}

@@ -1,0 +1,57 @@
+//! Mobile object identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a mobile object (the paper's `o_i`, with objects
+/// distinguishable by ID).
+///
+/// The load-balanced variant hashes objects into cluster slots by
+/// `key(o) mod |X|` (§5); [`ObjectId::key`] is that key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The hash key used for cluster placement (`key(o_i) ∈ [1..m]` in
+    /// the paper; dense ids make the modular placement perfectly uniform).
+    #[inline]
+    pub fn key(self) -> u32 {
+        self.0
+    }
+
+    /// Dense index for vector-backed storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_and_index_roundtrip() {
+        let o = ObjectId(17);
+        assert_eq!(o.key(), 17);
+        assert_eq!(o.index(), 17);
+        assert_eq!(format!("{o:?}"), "o17");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ObjectId(2) < ObjectId(10));
+    }
+}

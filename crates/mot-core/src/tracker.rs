@@ -1,0 +1,67 @@
+//! The uniform tracker interface driven by the simulator.
+
+use crate::object::ObjectId;
+use crate::Result;
+use mot_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Result of a query operation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The proxy node the query located.
+    pub proxy: NodeId,
+    /// Total message distance spent serving the query.
+    pub cost: f64,
+}
+
+/// Result of a maintenance (move) operation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MoveOutcome {
+    /// The proxy the object moved away from (the structure's own record —
+    /// the simulator checks it against ground truth).
+    pub from: NodeId,
+    /// Total message distance spent updating the structure.
+    pub cost: f64,
+}
+
+/// A location-tracking structure: publish / maintenance / query with
+/// message-distance cost accounting and a per-node load snapshot.
+///
+/// Implemented by [`crate::MotTracker`] (plain and load-balanced) and by
+/// the STUN / DAT / Z-DAT baselines in `mot-baselines`, so experiments
+/// treat every algorithm identically.
+pub trait Tracker {
+    /// Human-readable algorithm name used in reports.
+    fn name(&self) -> String;
+
+    /// One-time insertion of `o` at proxy `v`. Returns the message cost.
+    fn publish(&mut self, o: ObjectId, proxy: NodeId) -> Result<f64>;
+
+    /// Object `o` moved to proxy `to`; update the structure. Returns the
+    /// old proxy and the maintenance cost.
+    fn move_object(&mut self, o: ObjectId, to: NodeId) -> Result<MoveOutcome>;
+
+    /// Locate `o` from node `from`. Pure read: must not mutate lists.
+    fn query(&self, from: NodeId, o: ObjectId) -> Result<QueryResult>;
+
+    /// The structure's current proxy record for `o`.
+    fn proxy_of(&self, o: ObjectId) -> Option<NodeId>;
+
+    /// Per-node count of stored object/bookkeeping entries — the
+    /// load metric of Figs. 8–11.
+    fn node_loads(&self) -> Vec<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_types_are_value_like() {
+        let q = QueryResult { proxy: NodeId(3), cost: 2.5 };
+        let q2 = q;
+        assert_eq!(q, q2);
+        let m = MoveOutcome { from: NodeId(1), cost: 0.0 };
+        assert_eq!(m.from, NodeId(1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Dynamic cluster membership (paper §7).
+//!
+//! When sensors join or leave, the embedded de Bruijn graph must track the
+//! cluster. The paper's scheme (borrowed from Rajaraman et al. [28]):
+//!
+//! * **join:** the newcomer takes label `|X|`. If `|X|+1` becomes a power
+//!   of two the dimension grows by one and every member splits its
+//!   emulated label — `|X|` updates; otherwise only the member that was
+//!   emulating label `|X|` and its de Bruijn neighbors update — `O(1)`.
+//! * **leave:** if the departing label is `|X|−1` and `|X|−1` is a power
+//!   of two, the dimension shrinks and all members merge labels — `|X|`
+//!   updates; otherwise the member with the top label takes over the
+//!   vacated label — `O(1)`. A departing leader additionally hands
+//!   leadership to the relabelled member.
+//!
+//! Doubling events happen every `Θ(|X|)` operations, so the *amortized*
+//! adaptability is `O(1)` per event — the property the `churn` experiment
+//! measures.
+
+use crate::embedding::Embedding;
+use mot_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Record of one membership change and the work it caused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Members whose state (labels, neighbor tables, stored objects) had
+    /// to be touched — the paper's *adaptability* measure.
+    pub nodes_updated: usize,
+    /// Whether the embedded graph changed dimension.
+    pub dimension_changed: bool,
+    /// Whether cluster leadership moved.
+    pub leader_changed: bool,
+}
+
+/// A cluster whose de Bruijn embedding is maintained under churn.
+#[derive(Clone, Debug)]
+pub struct DynamicCluster {
+    members: Vec<NodeId>,
+    leader: NodeId,
+    /// Cumulative adaptability statistics.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl DynamicCluster {
+    /// Starts a cluster with the given members; the first member leads.
+    ///
+    /// # Panics
+    /// Panics on an empty member list.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        assert!(!members.is_empty(), "cluster cannot start empty");
+        let leader = members[0];
+        DynamicCluster { members, leader, events: Vec::new() }
+    }
+
+    /// Current members in label order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The current cluster leader.
+    pub fn leader(&self) -> NodeId {
+        self.leader
+    }
+
+    /// Current embedding snapshot.
+    pub fn embedding(&self) -> Embedding {
+        Embedding::new(self.members.clone())
+    }
+
+    fn is_power_of_two(x: usize) -> bool {
+        x != 0 && x & (x - 1) == 0
+    }
+
+    /// A node joins the cluster; returns the churn record.
+    pub fn join(&mut self, node: NodeId) -> ChurnEvent {
+        debug_assert!(!self.members.contains(&node), "{node} already a member");
+        self.members.push(node);
+        let new_size = self.members.len();
+        let dimension_changed = Self::is_power_of_two(new_size) && new_size > 1;
+        let nodes_updated = if dimension_changed {
+            // |X| reached a power of two: every member previously emulated
+            // two labels and now owns one — dimension grew.
+            new_size
+        } else {
+            // newcomer + the member that was emulating its label + the
+            // O(1) de Bruijn neighbors of that label
+            3
+        };
+        let ev = ChurnEvent { nodes_updated, dimension_changed, leader_changed: false };
+        self.events.push(ev);
+        ev
+    }
+
+    /// A node leaves the cluster; returns the churn record.
+    ///
+    /// # Panics
+    /// Panics when `node` is not a member or is the last member.
+    pub fn leave(&mut self, node: NodeId) -> ChurnEvent {
+        let pos = self
+            .members
+            .iter()
+            .position(|&m| m == node)
+            .expect("departing node must be a member");
+        assert!(self.members.len() > 1, "cannot empty the cluster");
+        let was_leader = node == self.leader;
+        // The member holding the top label takes over the vacated slot
+        // (for the top label itself this is a plain pop).
+        let top = self.members.pop().unwrap();
+        if pos < self.members.len() {
+            self.members[pos] = top;
+        }
+        let new_size = self.members.len();
+        let dimension_changed = Self::is_power_of_two(new_size);
+        let nodes_updated = if dimension_changed {
+            // |X| fell back to a power of two: dimension shrinks, every
+            // member re-merges an emulated label.
+            new_size
+        } else {
+            // relabelled member + its O(1) de Bruijn neighbors
+            3
+        };
+        if was_leader {
+            self.leader = self.members[0];
+        }
+        let ev = ChurnEvent { nodes_updated, dimension_changed, leader_changed: was_leader };
+        self.events.push(ev);
+        ev
+    }
+
+    /// Average nodes updated per event so far — the amortized
+    /// adaptability, which §7 argues is `O(1)` per cluster.
+    pub fn amortized_adaptability(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().map(|e| e.nodes_updated as f64).sum::<f64>()
+            / self.events.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    #[test]
+    fn join_grows_membership_and_embedding() {
+        let mut c = DynamicCluster::new(ids(0..3));
+        let ev = c.join(NodeId(10));
+        assert_eq!(c.members().len(), 4);
+        assert!(ev.dimension_changed); // 4 is a power of two
+        assert_eq!(ev.nodes_updated, 4);
+        let ev = c.join(NodeId(11));
+        assert!(!ev.dimension_changed);
+        assert_eq!(ev.nodes_updated, 3);
+        assert_eq!(c.embedding().graph().dim(), 3);
+    }
+
+    #[test]
+    fn leave_relabels_top_member() {
+        let mut c = DynamicCluster::new(ids(0..5));
+        c.leave(NodeId(1));
+        // member 4 took label 1
+        assert_eq!(c.members(), &[NodeId(0), NodeId(4), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn leader_handoff_on_leader_departure() {
+        let mut c = DynamicCluster::new(ids(0..4));
+        assert_eq!(c.leader(), NodeId(0));
+        let ev = c.leave(NodeId(0));
+        assert!(ev.leader_changed);
+        assert_ne!(c.leader(), NodeId(0));
+        assert!(c.members().contains(&c.leader()));
+    }
+
+    #[test]
+    fn dimension_shrinks_at_power_of_two() {
+        let mut c = DynamicCluster::new(ids(0..5)); // dim 3
+        let ev = c.leave(NodeId(4)); // size 4 -> dim 2
+        assert!(ev.dimension_changed);
+        assert_eq!(ev.nodes_updated, 4);
+        assert_eq!(c.embedding().graph().dim(), 2);
+    }
+
+    #[test]
+    fn amortized_adaptability_is_constant() {
+        // A long alternating churn sequence: expensive (dimension-change)
+        // events are 1-in-Θ(|X|), so the running average stays small.
+        let mut c = DynamicCluster::new(ids(0..2));
+        let mut next = 100u32;
+        for round in 0..500 {
+            if round % 3 == 2 {
+                let victim = c.members()[c.members().len() / 2];
+                c.leave(victim);
+            } else {
+                c.join(NodeId(next));
+                next += 1;
+            }
+        }
+        let amortized = c.amortized_adaptability();
+        assert!(amortized < 6.0, "amortized adaptability {amortized} not O(1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot empty the cluster")]
+    fn cannot_remove_last_member() {
+        let mut c = DynamicCluster::new(ids(0..1));
+        c.leave(NodeId(0));
+    }
+}

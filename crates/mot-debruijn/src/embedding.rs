@@ -1,0 +1,181 @@
+//! Embedding a de Bruijn graph onto a physical cluster (paper §5).
+//!
+//! A cluster `X` (the members of an internal node's radius-`2^i` ball)
+//! hosts a `d = ⌈log |X|⌉`-dimensional de Bruijn graph. Member `i` hosts
+//! virtual label `i`; a virtual label `ℓ ≥ |X|` is *emulated* by the
+//! member whose label equals `ℓ` with the most significant bit cleared
+//! (Rajaraman et al.'s trick, quoted in §7). Each member therefore stores
+//! only the physical addresses of its ≤ 4 de Bruijn neighbors — constant
+//! state — yet any member can route to the holder of any label in
+//! `≤ d` overlay hops.
+
+use crate::graph::DeBruijnGraph;
+use mot_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A de Bruijn graph embedded in a concrete cluster of sensor nodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Embedding {
+    graph: DeBruijnGraph,
+    /// Cluster members; member `i` hosts virtual label `i` (plus the
+    /// emulated label `i | msb` when that exceeds the member count).
+    members: Vec<NodeId>,
+}
+
+impl Embedding {
+    /// Embeds the minimal de Bruijn graph over `members`.
+    ///
+    /// # Panics
+    /// Panics on an empty cluster.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        assert!(!members.is_empty(), "cannot embed into an empty cluster");
+        let graph = DeBruijnGraph::for_cluster_size(members.len());
+        Embedding { graph, members }
+    }
+
+    /// The abstract graph.
+    pub fn graph(&self) -> &DeBruijnGraph {
+        &self.graph
+    }
+
+    /// Number of physical members `|X|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for a single-member cluster.
+    pub fn is_empty(&self) -> bool {
+        false // constructor rejects empty clusters
+    }
+
+    /// Cluster members in label order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The physical host of virtual `label`.
+    pub fn host(&self, label: u32) -> NodeId {
+        debug_assert!(label < self.graph.vertex_count());
+        let idx = label as usize;
+        if idx < self.members.len() {
+            self.members[idx]
+        } else {
+            // Clear the most significant bit of the d-bit label.
+            let msb = 1u32 << (self.graph.dim() - 1);
+            self.members[(label & !msb) as usize]
+        }
+    }
+
+    /// The physical label a member hosts primarily.
+    pub fn label_of(&self, node: NodeId) -> Option<u32> {
+        self.members.iter().position(|&m| m == node).map(|i| i as u32)
+    }
+
+    /// Physical node sequence of the canonical route between two virtual
+    /// labels, with consecutive duplicates collapsed (a member emulating
+    /// two labels forwards to itself for free).
+    pub fn route_hosts(&self, src: u32, dst: u32) -> Vec<NodeId> {
+        let mut hosts: Vec<NodeId> = self
+            .graph
+            .route(src, dst)
+            .into_iter()
+            .map(|l| self.host(l))
+            .collect();
+        hosts.dedup();
+        hosts
+    }
+
+    /// The constant-size neighbor table of `node`: physical addresses of
+    /// the de Bruijn successors/predecessors of every label it hosts.
+    pub fn neighbor_table(&self, node: NodeId) -> Vec<NodeId> {
+        let mut table = Vec::new();
+        for label in 0..self.graph.vertex_count() {
+            if self.host(label) != node {
+                continue;
+            }
+            for next in self.graph.successors(label) {
+                table.push(self.host(next));
+            }
+            for prev in self.graph.predecessors(label) {
+                table.push(self.host(prev));
+            }
+        }
+        table.sort();
+        table.dedup();
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Embedding {
+        Embedding::new((0..n).map(|i| NodeId::from_index(100 + i)).collect())
+    }
+
+    #[test]
+    fn hosts_cover_all_labels() {
+        let e = cluster(5); // dim 3, 8 labels
+        assert_eq!(e.graph().dim(), 3);
+        for label in 0..8 {
+            let h = e.host(label);
+            assert!(e.members().contains(&h));
+        }
+        // label 4 hosted by member 4; labels >= |X| are emulated: label 5
+        // by member 5 & !4 = 1, label 7 by member 7 & !4 = 3
+        assert_eq!(e.host(4), NodeId(104));
+        assert_eq!(e.host(5), NodeId(101));
+        assert_eq!(e.host(7), NodeId(103));
+    }
+
+    #[test]
+    fn emulated_label_differs_only_in_msb() {
+        let e = cluster(6); // dim 3
+        for label in 6..8u32 {
+            let emulated_by = e.host(label);
+            let base = label & !(1 << 2);
+            assert_eq!(emulated_by, e.members()[base as usize]);
+        }
+    }
+
+    #[test]
+    fn route_hosts_connect_endpoints() {
+        let e = cluster(11); // dim 4
+        for src in 0..e.graph().vertex_count() {
+            for dst in 0..e.graph().vertex_count() {
+                let hosts = e.route_hosts(src, dst);
+                assert_eq!(*hosts.first().unwrap(), e.host(src));
+                assert_eq!(*hosts.last().unwrap(), e.host(dst));
+                assert!(hosts.len() <= e.graph().dim() as usize + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_tables_are_constant_size() {
+        // In-degree + out-degree ≤ 4 per hosted label, ≤ 2 labels per
+        // member ⇒ table of at most 8 distinct physical neighbors.
+        let e = cluster(13);
+        for &m in e.members() {
+            let t = e.neighbor_table(m);
+            assert!(!t.is_empty());
+            assert!(t.len() <= 8, "table for {m} has {} entries", t.len());
+        }
+    }
+
+    #[test]
+    fn single_member_cluster() {
+        let e = cluster(1);
+        assert_eq!(e.graph().dim(), 0);
+        assert_eq!(e.host(0), NodeId(100));
+        assert_eq!(e.route_hosts(0, 0), vec![NodeId(100)]);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let e = cluster(4);
+        assert_eq!(e.label_of(NodeId(102)), Some(2));
+        assert_eq!(e.label_of(NodeId(999)), None);
+    }
+}

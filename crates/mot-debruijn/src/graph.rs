@@ -1,0 +1,231 @@
+//! The abstract `d`-dimensional de Bruijn graph.
+//!
+//! Vertices are the `2^d` binary strings of length `d`; vertex
+//! `u₁u₂…u_d` has directed edges to `u₂…u_d·0` and `u₂…u_d·1`. In- and
+//! out-degree are 2, the diameter is `d`, and between any two vertices
+//! the canonical *shift-in* walk (append the destination's bits after the
+//! longest suffix/prefix overlap) is a shortest path.
+
+use serde::{Deserialize, Serialize};
+
+/// A `d`-dimensional de Bruijn graph over labels `0..2^d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeBruijnGraph {
+    dim: u32,
+}
+
+impl DeBruijnGraph {
+    /// Creates the `d`-dimensional graph. `d = 0` is the single-vertex
+    /// graph (used by one-member clusters).
+    ///
+    /// # Panics
+    /// Panics if `dim > 31` (labels are `u32`).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 31, "de Bruijn dimension {dim} too large");
+        DeBruijnGraph { dim }
+    }
+
+    /// The smallest graph that can host `size` distinct labels
+    /// (`d = ⌈log₂ size⌉`).
+    pub fn for_cluster_size(size: usize) -> Self {
+        assert!(size >= 1, "cluster must have at least one member");
+        let dim = (usize::BITS - (size - 1).leading_zeros()).min(31);
+        DeBruijnGraph::new(if size == 1 { 0 } else { dim })
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of vertices `2^d`.
+    pub fn vertex_count(&self) -> u32 {
+        1 << self.dim
+    }
+
+    fn mask(&self) -> u32 {
+        (1u32 << self.dim) - 1
+    }
+
+    /// The two out-neighbors of `label` (one when `d = 0`).
+    pub fn successors(&self, label: u32) -> Vec<u32> {
+        debug_assert!(label < self.vertex_count());
+        if self.dim == 0 {
+            return vec![0];
+        }
+        let base = (label << 1) & self.mask();
+        if base == base | 1 {
+            vec![base]
+        } else {
+            vec![base, base | 1]
+        }
+    }
+
+    /// The two in-neighbors of `label`.
+    pub fn predecessors(&self, label: u32) -> Vec<u32> {
+        debug_assert!(label < self.vertex_count());
+        if self.dim == 0 {
+            return vec![0];
+        }
+        let shifted = label >> 1;
+        let high = 1u32 << (self.dim - 1);
+        let a = shifted;
+        let b = shifted | high;
+        if a == b {
+            vec![a]
+        } else {
+            vec![a, b]
+        }
+    }
+
+    /// Length of the longest `k` such that the last `k` bits of `src`
+    /// equal the first `k` bits of `dst`.
+    fn overlap(&self, src: u32, dst: u32) -> u32 {
+        let d = self.dim;
+        for k in (0..=d).rev() {
+            if k == 0 {
+                return 0;
+            }
+            // last k bits of src
+            let suffix = src & ((1u32 << k) - 1);
+            // first k bits of dst
+            let prefix = dst >> (d - k);
+            if suffix == prefix {
+                return k;
+            }
+        }
+        0
+    }
+
+    /// Number of hops of the canonical route from `src` to `dst`
+    /// (`d − overlap`), which is a shortest path.
+    pub fn distance(&self, src: u32, dst: u32) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        self.dim - self.overlap(src, dst)
+    }
+
+    /// The canonical shift-in route `src → … → dst` (inclusive of both
+    /// endpoints). Every consecutive pair is a directed edge.
+    pub fn route(&self, src: u32, dst: u32) -> Vec<u32> {
+        debug_assert!(src < self.vertex_count() && dst < self.vertex_count());
+        if src == dst {
+            return vec![src];
+        }
+        let k = self.overlap(src, dst);
+        let steps = self.dim - k;
+        let mut path = Vec::with_capacity(steps as usize + 1);
+        let mut cur = src;
+        path.push(cur);
+        for i in (0..steps).rev() {
+            let bit = (dst >> i) & 1;
+            cur = ((cur << 1) | bit) & self.mask();
+            path.push(cur);
+        }
+        debug_assert_eq!(*path.last().unwrap(), dst);
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// BFS ground truth for shortest directed distance.
+    fn bfs_distance(g: &DeBruijnGraph, src: u32, dst: u32) -> u32 {
+        let n = g.vertex_count();
+        let mut dist = vec![u32::MAX; n as usize];
+        let mut q = VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for v in g.successors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist[dst as usize]
+    }
+
+    #[test]
+    fn dimension_for_cluster_sizes() {
+        assert_eq!(DeBruijnGraph::for_cluster_size(1).dim(), 0);
+        assert_eq!(DeBruijnGraph::for_cluster_size(2).dim(), 1);
+        assert_eq!(DeBruijnGraph::for_cluster_size(3).dim(), 2);
+        assert_eq!(DeBruijnGraph::for_cluster_size(4).dim(), 2);
+        assert_eq!(DeBruijnGraph::for_cluster_size(5).dim(), 3);
+        assert_eq!(DeBruijnGraph::for_cluster_size(1024).dim(), 10);
+    }
+
+    #[test]
+    fn degrees_are_at_most_two() {
+        let g = DeBruijnGraph::new(4);
+        for v in 0..g.vertex_count() {
+            assert!(g.successors(v).len() <= 2);
+            assert!(g.predecessors(v).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_inverse() {
+        let g = DeBruijnGraph::new(5);
+        for u in 0..g.vertex_count() {
+            for v in g.successors(u) {
+                assert!(g.predecessors(v).contains(&u), "{u} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_follows_edges_and_reaches_destination() {
+        let g = DeBruijnGraph::new(6);
+        for src in (0..64).step_by(5) {
+            for dst in (0..64).step_by(7) {
+                let path = g.route(src, dst);
+                assert_eq!(*path.first().unwrap(), src);
+                assert_eq!(*path.last().unwrap(), dst);
+                for w in path.windows(2) {
+                    assert!(g.successors(w[0]).contains(&w[1]), "bad hop {w:?}");
+                }
+                assert_eq!(path.len() as u32 - 1, g.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_distance_is_shortest() {
+        let g = DeBruijnGraph::new(5);
+        for src in 0..g.vertex_count() {
+            for dst in 0..g.vertex_count() {
+                assert_eq!(
+                    g.distance(src, dst),
+                    bfs_distance(&g, src, dst),
+                    "src={src:05b} dst={dst:05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_dimension() {
+        let g = DeBruijnGraph::new(4);
+        let worst = (0..16)
+            .flat_map(|s| (0..16).map(move |t| (s, t)))
+            .map(|(s, t)| g.distance(s, t))
+            .max()
+            .unwrap();
+        assert_eq!(worst, 4);
+    }
+
+    #[test]
+    fn zero_dimension_is_trivial() {
+        let g = DeBruijnGraph::new(0);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.distance(0, 0), 0);
+        assert_eq!(g.route(0, 0), vec![0]);
+    }
+}

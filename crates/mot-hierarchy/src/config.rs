@@ -1,0 +1,82 @@
+//! Tunable constants of the overlay construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Constants governing overlay geometry.
+///
+/// The paper's worst-case analysis fixes the parent-set radius at
+/// `4 · 2^{ℓ+1}` and the special-parent gap at `3ρ + 6` levels; those
+/// values make the lemmas airtight but are wildly conservative on 2-D
+/// deployments (they were chosen to beat adversarial doubling metrics).
+/// The `practical` profile uses the small constants any implementation
+/// (including the paper's own §8 simulation) would run with; the
+/// `paper_exact` profile restores the analysis constants so the property
+/// tests can check Lemma 2.1/2.2 with the stated guarantees.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OverlayConfig {
+    /// Parent set of a level-(ℓ−1) node = level-ℓ members within
+    /// `parent_set_radius_mult · 2^ℓ` of it (default parent always
+    /// included). Paper value: 4.0.
+    pub parent_set_radius_mult: f64,
+    /// Special parents sit `sp_gap` levels above the level they guard
+    /// (Definition 3 uses `3ρ + 6`).
+    pub sp_gap: usize,
+    /// Number of labelled padded decompositions per level in the general
+    /// model, as a multiple of `log2 n` (paper: `O(log n)`).
+    pub general_trials_per_log_n: f64,
+    /// Cluster carving radius in the general model, as a multiple of
+    /// `2^ℓ · ln n` (paper: cluster radius `O(2^ℓ log n)`).
+    pub general_radius_mult: f64,
+}
+
+impl OverlayConfig {
+    /// Small constants suitable for experiments; matches the spirit of the
+    /// paper's own simulation.
+    pub fn practical() -> Self {
+        OverlayConfig {
+            parent_set_radius_mult: 1.0,
+            sp_gap: 2,
+            general_trials_per_log_n: 1.0,
+            general_radius_mult: 1.0,
+        }
+    }
+
+    /// The constants used in the paper's proofs (ρ = 2 for planar
+    /// deployments ⇒ `sp_gap = 3ρ + 6 = 12`).
+    pub fn paper_exact() -> Self {
+        OverlayConfig {
+            parent_set_radius_mult: 4.0,
+            sp_gap: 12,
+            general_trials_per_log_n: 2.0,
+            general_radius_mult: 2.0,
+        }
+    }
+
+    /// Degenerate profile with singleton parent sets (only the default
+    /// parent) — used by the `ablation-ps` experiment to show why parent
+    /// sets matter.
+    pub fn singleton_parents() -> Self {
+        OverlayConfig { parent_set_radius_mult: 0.0, ..Self::practical() }
+    }
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        Self::practical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_as_documented() {
+        let p = OverlayConfig::practical();
+        let e = OverlayConfig::paper_exact();
+        assert!(e.parent_set_radius_mult > p.parent_set_radius_mult);
+        assert!(e.sp_gap > p.sp_gap);
+        assert_eq!(OverlayConfig::default().sp_gap, p.sp_gap);
+        assert_eq!(OverlayConfig::singleton_parents().parent_set_radius_mult, 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Overlay construction for constant-doubling networks (§2.2).
+//!
+//! Level 0 contains every sensor. Level `ℓ+1` is a maximal independent set
+//! of the connectivity graph `I_ℓ = (V_ℓ, E_ℓ)` where `E_ℓ` joins level-ℓ
+//! members closer than `2^{ℓ+1}`; consequently level-(ℓ+1) members are
+//! pairwise `≥ 2^{ℓ+1}` apart and every level-ℓ member lies within
+//! `2^{ℓ+1}` of one (its *default parent*). Construction ends when a level
+//! holds a single member — the root. `h ≤ ⌈log D⌉ + 1` levels.
+
+use crate::config::OverlayConfig;
+use crate::mis::luby_mis;
+use crate::overlay::{Overlay, OverlayKind};
+use crate::path::DetectionPath;
+use mot_net::{DistanceMatrix, Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Builds the MIS-coarsened overlay for a (constant-doubling) network.
+///
+/// `seed` drives Luby's random priorities; identical seeds yield identical
+/// overlays.
+pub fn build_doubling(
+    g: &Graph,
+    m: &DistanceMatrix,
+    cfg: &OverlayConfig,
+    seed: u64,
+) -> Overlay {
+    assert_eq!(g.node_count(), m.node_count(), "graph and oracle disagree on n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = g.node_count();
+
+    // --- level sets -----------------------------------------------------
+    let mut levels: Vec<Vec<NodeId>> = vec![g.nodes().collect()];
+    // Hard cap: radii double each level, so ⌈log2 D⌉ + 2 levels always
+    // suffice; 64 guards against pathological float behaviour.
+    for level in 1..=64usize {
+        let prev = &levels[level - 1];
+        if prev.len() == 1 {
+            break;
+        }
+        let radius = (1u64 << level) as f64; // edges join nodes with dist < 2^ℓ at stage ℓ-1→ℓ
+        let adjacency: Vec<Vec<usize>> = prev
+            .iter()
+            .map(|&u| {
+                prev.iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != u && m.dist(u, v) < radius)
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        let mis = luby_mis(prev, &adjacency, &mut rng);
+        levels.push(mis);
+    }
+    // The loop above always terminates with a singleton: once
+    // 2^ℓ > diameter the connectivity graph is complete.
+    assert_eq!(
+        levels.last().map(Vec::len),
+        Some(1),
+        "doubling construction did not converge to a root (n = {n}, D = {})",
+        m.diameter()
+    );
+    let height = levels.len() - 1;
+
+    // --- default parents (per level: member -> nearest next-level node) --
+    let default_parent: Vec<HashMap<NodeId, NodeId>> = (0..height)
+        .map(|l| {
+            levels[l]
+                .iter()
+                .map(|&w| {
+                    let p = m
+                        .nearest_in(w, &levels[l + 1])
+                        .expect("non-empty upper level");
+                    debug_assert!(
+                        m.dist(w, p) < (1u64 << (l + 1)) as f64 + 1e-6,
+                        "default parent must lie within 2^(l+1): dist({w},{p}) = {}",
+                        m.dist(w, p)
+                    );
+                    (w, p)
+                })
+                .collect()
+        })
+        .collect();
+
+    // --- detection paths -------------------------------------------------
+    let paths: Vec<DetectionPath> = g
+        .nodes()
+        .map(|u| {
+            let mut stations = Vec::with_capacity(height + 1);
+            stations.push(vec![u]);
+            let mut home = u;
+            for l in 1..=height {
+                let dp = default_parent[l - 1][&home];
+                let radius = cfg.parent_set_radius_mult * (1u64 << l) as f64;
+                let mut station: Vec<NodeId> = levels[l]
+                    .iter()
+                    .copied()
+                    .filter(|&v| m.dist(home, v) <= radius)
+                    .collect();
+                if !station.contains(&dp) {
+                    station.push(dp);
+                }
+                station.sort();
+                stations.push(station);
+                home = dp;
+            }
+            DetectionPath { stations }
+        })
+        .collect();
+
+    Overlay::new(OverlayKind::Doubling, levels, paths, cfg.sp_gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_net::generators;
+
+    fn build(rows: usize, cols: usize, cfg: OverlayConfig) -> (Overlay, DistanceMatrix) {
+        let g = generators::grid(rows, cols).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let o = build_doubling(&g, &m, &cfg, 7);
+        (o, m)
+    }
+
+    #[test]
+    fn single_node_graph_degenerates_gracefully() {
+        let g = generators::line(1).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let o = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
+        assert_eq!(o.height(), 0);
+        assert_eq!(o.root(), NodeId(0));
+        assert_eq!(o.station(NodeId(0), 0), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn level_counts_shrink_to_root() {
+        let (o, m) = build(8, 8, OverlayConfig::practical());
+        let h = o.height();
+        assert_eq!(o.level_members(h).len(), 1);
+        for l in 0..h {
+            assert!(
+                o.level_members(l).len() >= o.level_members(l + 1).len(),
+                "level {l} smaller than level {}",
+                l + 1
+            );
+        }
+        // h <= ceil(log2 D) + 1
+        let bound = (m.diameter().log2().ceil() as usize) + 1;
+        assert!(h <= bound, "h = {h} > {bound}");
+    }
+
+    #[test]
+    fn levels_are_nested_independent_sets() {
+        let (o, m) = build(8, 8, OverlayConfig::practical());
+        for l in 1..=o.height() {
+            let cur = o.level_members(l);
+            let prev: std::collections::HashSet<_> =
+                o.level_members(l - 1).iter().copied().collect();
+            for &v in cur {
+                assert!(prev.contains(&v), "level {l} member {v} missing from level below");
+            }
+            // pairwise separation >= 2^l
+            let sep = (1u64 << l) as f64;
+            for (i, &a) in cur.iter().enumerate() {
+                for &b in &cur[i + 1..] {
+                    assert!(
+                        m.dist(a, b) >= sep,
+                        "level {l}: dist({a},{b}) = {} < {sep}",
+                        m.dist(a, b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_covered_by_next_level() {
+        let (o, m) = build(12, 12, OverlayConfig::practical());
+        for l in 0..o.height() {
+            let next = o.level_members(l + 1);
+            let cover = (1u64 << (l + 1)) as f64;
+            for &w in o.level_members(l) {
+                let nearest = m.nearest_in(w, next).unwrap();
+                assert!(
+                    m.dist(w, nearest) < cover + 1e-6,
+                    "level {l} node {w} uncovered at radius {cover}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stations_start_at_self_and_end_at_root() {
+        let (o, _) = build(6, 6, OverlayConfig::practical());
+        for u in 0..o.node_count() {
+            let u = NodeId::from_index(u);
+            assert_eq!(o.station(u, 0), &[u]);
+            assert_eq!(o.station(u, o.height()), &[o.root()]);
+            for l in 0..=o.height() {
+                let s = o.station(u, l);
+                assert!(!s.is_empty());
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "station not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_profile_yields_single_parent_stations() {
+        let (o, _) = build(8, 8, OverlayConfig::singleton_parents());
+        for u in 0..o.node_count() {
+            let u = NodeId::from_index(u);
+            for l in 0..=o.height() {
+                assert_eq!(o.station(u, l).len(), 1, "node {u} level {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn observation_1_station_size_bounded() {
+        // Obs. 1: at most 2^{3ρ} parents; on a 2-D grid with the paper
+        // radius multiplier the packing bound gives a modest constant.
+        let (o, _) = build(16, 16, OverlayConfig::paper_exact());
+        assert!(
+            o.max_station_size() <= 64,
+            "station size {} exceeds the 2-D packing bound",
+            o.max_station_size()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::grid(8, 8).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let a = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let b = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        for l in 0..=a.height() {
+            assert_eq!(a.level_members(l), b.level_members(l));
+        }
+    }
+
+    #[test]
+    fn meet_lemma_2_1_with_paper_constants() {
+        // Lemma 2.1: DPath(u), DPath(v) meet by level ⌈log dist(u,v)⌉ + 1.
+        let (o, m) = build(8, 8, OverlayConfig::paper_exact());
+        for u in 0..o.node_count() {
+            for v in 0..o.node_count() {
+                let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                if u == v {
+                    continue;
+                }
+                let d = m.dist(u, v);
+                let bound = ((d.log2().ceil() as i64).max(0) as usize + 1).min(o.height());
+                assert!(
+                    o.meet_level(u, v) <= bound,
+                    "meet({u},{v}) = {} > {bound} (d = {d})",
+                    o.meet_level(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_grows_geometrically_lemma_2_2() {
+        // Lemma 2.2: length(DPath_j(u)) ≤ c · 2^j for a topology-dependent
+        // constant c. Verify the ratio length/2^j is bounded uniformly.
+        let (o, m) = build(16, 16, OverlayConfig::practical());
+        let mut worst: f64 = 0.0;
+        for u in (0..o.node_count()).step_by(7) {
+            let u = NodeId::from_index(u);
+            for j in 1..=o.height() {
+                let len = o.path_length(u, j, &m);
+                worst = worst.max(len / (1u64 << j) as f64);
+            }
+        }
+        assert!(worst <= 64.0, "path length ratio {worst} not geometric");
+    }
+}

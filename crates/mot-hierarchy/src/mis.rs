@@ -1,0 +1,175 @@
+//! Luby's randomized maximal independent set.
+//!
+//! The overlay coarsens each level with an MIS (§2.2 cites Luby [24]): in
+//! every round each undecided node draws a random priority; a node joins
+//! the MIS when its priority beats every undecided neighbor's, and then it
+//! and its neighbors leave the contest. Expected `O(log n)` rounds. We run
+//! the same round structure sequentially (the distributed algorithm's
+//! message behaviour is what the paper charges to the *construction* cost,
+//! which is a one-time cost outside all cost ratios).
+
+use mot_net::NodeId;
+use rand::Rng;
+
+/// Computes a maximal independent set of the graph induced by `nodes` and
+/// the symmetric `neighbors` adjacency (indices into `nodes`).
+///
+/// Returns the selected members of `nodes`. Ties on priority are broken by
+/// node id so runs are reproducible for a seeded `rng`.
+pub fn luby_mis<R: Rng>(
+    nodes: &[NodeId],
+    neighbors: &[Vec<usize>],
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert_eq!(nodes.len(), neighbors.len(), "adjacency must cover every node");
+    let n = nodes.len();
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Undecided,
+        InMis,
+        Out,
+    }
+    let mut state = vec![State::Undecided; n];
+    let mut undecided = n;
+    let mut priority = vec![0u64; n];
+    while undecided > 0 {
+        for i in 0..n {
+            if state[i] == State::Undecided {
+                priority[i] = rng.gen();
+            }
+        }
+        // A node wins its round when (priority, id) is the local maximum
+        // among undecided neighbors.
+        let mut winners = Vec::new();
+        for i in 0..n {
+            if state[i] != State::Undecided {
+                continue;
+            }
+            let key = (priority[i], nodes[i]);
+            let beaten = neighbors[i]
+                .iter()
+                .filter(|&&j| state[j] == State::Undecided)
+                .any(|&j| (priority[j], nodes[j]) > key);
+            if !beaten {
+                winners.push(i);
+            }
+        }
+        debug_assert!(!winners.is_empty(), "Luby round must make progress");
+        for &w in &winners {
+            if state[w] != State::Undecided {
+                continue; // already knocked out by an earlier winner's closure
+            }
+            state[w] = State::InMis;
+            undecided -= 1;
+            for &j in &neighbors[w] {
+                if state[j] == State::Undecided {
+                    state[j] = State::Out;
+                    undecided -= 1;
+                }
+            }
+        }
+    }
+    let mut mis: Vec<NodeId> = (0..n)
+        .filter(|&i| state[i] == State::InMis)
+        .map(|i| nodes[i])
+        .collect();
+    mis.sort();
+    mis
+}
+
+/// Verifies independence and maximality of `mis` within (`nodes`,
+/// `neighbors`); used by tests and the overlay validator.
+pub fn is_valid_mis(nodes: &[NodeId], neighbors: &[Vec<usize>], mis: &[NodeId]) -> bool {
+    let in_mis: std::collections::HashSet<NodeId> = mis.iter().copied().collect();
+    for (i, &u) in nodes.iter().enumerate() {
+        let u_in = in_mis.contains(&u);
+        let neighbor_in = neighbors[i].iter().any(|&j| in_mis.contains(&nodes[j]));
+        if u_in && neighbor_in {
+            return false; // not independent
+        }
+        if !u_in && !neighbor_in {
+            return false; // not maximal
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path_adjacency(n: usize) -> (Vec<NodeId>, Vec<Vec<usize>>) {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        let neighbors = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect();
+        (nodes, neighbors)
+    }
+
+    #[test]
+    fn mis_on_path_is_valid() {
+        let (nodes, adj) = path_adjacency(17);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mis = luby_mis(&nodes, &adj, &mut rng);
+        assert!(is_valid_mis(&nodes, &adj, &mis));
+        // a path MIS has between ceil(n/3) and ceil(n/2) members
+        assert!(mis.len() >= 6 && mis.len() <= 9, "|MIS| = {}", mis.len());
+    }
+
+    #[test]
+    fn mis_on_complete_graph_is_single_node() {
+        let n = 12;
+        let nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|i| (0..n).filter(|&j| j != i).collect()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mis = luby_mis(&nodes, &adj, &mut rng);
+        assert_eq!(mis.len(), 1);
+    }
+
+    #[test]
+    fn mis_on_edgeless_graph_is_everything() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId::from_index).collect();
+        let adj = vec![Vec::new(); 8];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mis = luby_mis(&nodes, &adj, &mut rng);
+        assert_eq!(mis.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (nodes, adj) = path_adjacency(40);
+        let a = luby_mis(&nodes, &adj, &mut ChaCha8Rng::seed_from_u64(3));
+        let b = luby_mis(&nodes, &adj, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validator_rejects_bad_sets() {
+        let (nodes, adj) = path_adjacency(5);
+        // adjacent pair: not independent
+        assert!(!is_valid_mis(&nodes, &adj, &[NodeId(0), NodeId(1)]));
+        // non-maximal: node 4 uncovered
+        assert!(!is_valid_mis(&nodes, &adj, &[NodeId(0)]));
+        // valid
+        assert!(is_valid_mis(&nodes, &adj, &[NodeId(0), NodeId(2), NodeId(4)]));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mis = luby_mis(&[], &[], &mut rng);
+        assert!(mis.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The assembled overlay `HS` consumed by the tracking algorithms.
+
+use crate::path::DetectionPath;
+use mot_net::{DistanceMatrix, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which construction produced the overlay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlayKind {
+    /// MIS coarsening for constant-doubling networks (§2.2).
+    Doubling,
+    /// Sparse-partition scheme for general networks (§6).
+    General,
+}
+
+/// The hierarchical overlay `HS = (V_T, E_T)`.
+///
+/// Exposes exactly what MOT needs: per bottom node the [`DetectionPath`]
+/// (stations per level in visiting order), the level membership sets, and
+/// the special-parent pairing of Definition 3 extended to parent sets
+/// (station index `j` at level `ℓ` pairs with station index
+/// `j mod |station(ℓ + gap)|` at level `ℓ + gap`, wrapping as §3 puts it:
+/// "start again from the smallest ID node").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Overlay {
+    kind: OverlayKind,
+    height: usize,
+    levels: Vec<Vec<NodeId>>,
+    paths: Vec<DetectionPath>,
+    sp_gap: usize,
+}
+
+impl Overlay {
+    pub(crate) fn new(
+        kind: OverlayKind,
+        levels: Vec<Vec<NodeId>>,
+        paths: Vec<DetectionPath>,
+        sp_gap: usize,
+    ) -> Self {
+        let height = levels.len() - 1;
+        debug_assert!(levels.last().map(|top| top.len() == 1).unwrap_or(false));
+        debug_assert!(paths.iter().all(|p| p.height() == height));
+        Overlay { kind, height, levels, paths, sp_gap }
+    }
+
+    /// Which construction produced this overlay.
+    pub fn kind(&self) -> OverlayKind {
+        self.kind
+    }
+
+    /// Top level index `h` (`stations` run `0..=h`).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of bottom-level sensor nodes.
+    pub fn node_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The single root node `r` (the paper notes the sink typically plays
+    /// this role in deployments).
+    pub fn root(&self) -> NodeId {
+        self.levels[self.height][0]
+    }
+
+    /// Members of level `ℓ` (for the general model: the distinct cluster
+    /// leaders of that level).
+    pub fn level_members(&self, level: usize) -> &[NodeId] {
+        &self.levels[level]
+    }
+
+    /// Detection path of bottom node `u`.
+    pub fn path(&self, u: NodeId) -> &DetectionPath {
+        &self.paths[u.index()]
+    }
+
+    /// Station (ordered parent set) of `u` at `level`.
+    pub fn station(&self, u: NodeId, level: usize) -> &[NodeId] {
+        self.paths[u.index()].station(level)
+    }
+
+    /// The configured special-parent level gap.
+    pub fn sp_gap(&self) -> usize {
+        self.sp_gap
+    }
+
+    /// Level at which the special parents of level-`ℓ` stations sit
+    /// (clamped at the root level; the paper notes special parents near
+    /// the root are undefined / collapse to it without harming the
+    /// algorithm).
+    pub fn sp_level(&self, level: usize) -> usize {
+        (level + self.sp_gap).min(self.height)
+    }
+
+    /// Special parent (host of the SDL entry) for the `j`-th member of
+    /// `u`'s level-`ℓ` station.
+    pub fn sp_host(&self, u: NodeId, level: usize, j: usize) -> NodeId {
+        let sp_station = self.station(u, self.sp_level(level));
+        sp_station[j % sp_station.len()]
+    }
+
+    /// Lowest level where the detection paths of `u` and `v` share a
+    /// station member (Lemma 2.1's quantity).
+    pub fn meet_level(&self, u: NodeId, v: NodeId) -> usize {
+        self.paths[u.index()].meet_level(&self.paths[v.index()])
+    }
+
+    /// `length(DPath_j(u))` per Lemma 2.2.
+    pub fn path_length(&self, u: NodeId, up_to_level: usize, m: &DistanceMatrix) -> f64 {
+        self.paths[u.index()].length_up_to(up_to_level, m)
+    }
+
+    /// Largest station size over all nodes and levels (Observation 1
+    /// bounds this by `2^{3ρ}` in the doubling model, `O(log n)` in the
+    /// general model).
+    pub fn max_station_size(&self) -> usize {
+        self.paths
+            .iter()
+            .flat_map(|p| p.stations.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct (level ≥ 1) parent roles a physical node plays —
+    /// the bookkeeping footprint used by the load experiments.
+    pub fn parent_roles(&self, u: NodeId) -> usize {
+        (1..=self.height)
+            .filter(|&l| self.levels[l].binary_search(&u).is_ok())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_overlay() -> Overlay {
+        // 4 bottom nodes, 3 levels: {0,1,2,3} -> {0,2} -> {0}
+        let levels = vec![
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(0)],
+        ];
+        let paths = (0..4)
+            .map(|i| DetectionPath {
+                stations: vec![
+                    vec![NodeId(i)],
+                    if i < 2 { vec![NodeId(0)] } else { vec![NodeId(0), NodeId(2)] },
+                    vec![NodeId(0)],
+                ],
+            })
+            .collect();
+        Overlay::new(OverlayKind::Doubling, levels, paths, 1)
+    }
+
+    #[test]
+    fn accessors() {
+        let o = toy_overlay();
+        assert_eq!(o.height(), 2);
+        assert_eq!(o.node_count(), 4);
+        assert_eq!(o.root(), NodeId(0));
+        assert_eq!(o.level_members(1), &[NodeId(0), NodeId(2)]);
+        assert_eq!(o.station(NodeId(3), 1), &[NodeId(0), NodeId(2)]);
+        assert_eq!(o.kind(), OverlayKind::Doubling);
+    }
+
+    #[test]
+    fn sp_levels_clamp_at_root() {
+        let o = toy_overlay();
+        assert_eq!(o.sp_level(0), 1);
+        assert_eq!(o.sp_level(1), 2);
+        assert_eq!(o.sp_level(2), 2);
+    }
+
+    #[test]
+    fn sp_host_pairs_by_index_with_wrap() {
+        let o = toy_overlay();
+        // node 3's level-1 station has two members; sp station at level 2
+        // has one member -> both pair to the root.
+        assert_eq!(o.sp_host(NodeId(3), 1, 0), NodeId(0));
+        assert_eq!(o.sp_host(NodeId(3), 1, 1), NodeId(0));
+        // level-0 station pairs into level-1 station
+        assert_eq!(o.sp_host(NodeId(3), 0, 0), NodeId(0));
+    }
+
+    #[test]
+    fn meet_level_via_overlay() {
+        let o = toy_overlay();
+        assert_eq!(o.meet_level(NodeId(0), NodeId(1)), 1);
+        assert_eq!(o.meet_level(NodeId(2), NodeId(3)), 1);
+        assert_eq!(o.meet_level(NodeId(1), NodeId(3)), 1); // share node 0 at level 1
+    }
+
+    #[test]
+    fn parent_roles_counts_levels() {
+        let o = toy_overlay();
+        assert_eq!(o.parent_roles(NodeId(0)), 2);
+        assert_eq!(o.parent_roles(NodeId(2)), 1);
+        assert_eq!(o.parent_roles(NodeId(1)), 0);
+        assert_eq!(o.max_station_size(), 2);
+    }
+}

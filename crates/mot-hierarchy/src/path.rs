@@ -1,0 +1,120 @@
+//! Detection paths (Definition 1).
+//!
+//! A detection message from a bottom node `u` climbs the overlay visiting,
+//! at every level, the members of `u`'s parent set *in increasing ID
+//! order* (the visiting discipline of §3.1 that prevents the Fig. 3 race).
+//! Connecting consecutive visits by shortest physical paths yields
+//! `DPath(u)`.
+
+use mot_net::{DistanceMatrix, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The per-level stations of one bottom node's detection path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DetectionPath {
+    /// `stations[ℓ]` = level-ℓ parent set, sorted by node id (the visiting
+    /// order). `stations[0] = [u]`; `stations[h] = [root]`.
+    pub stations: Vec<Vec<NodeId>>,
+}
+
+impl DetectionPath {
+    /// Top level index `h`.
+    pub fn height(&self) -> usize {
+        self.stations.len() - 1
+    }
+
+    /// The station visited at `level`.
+    pub fn station(&self, level: usize) -> &[NodeId] {
+        &self.stations[level]
+    }
+
+    /// The bottom node this path belongs to.
+    pub fn origin(&self) -> NodeId {
+        self.stations[0][0]
+    }
+
+    /// Flattened visiting sequence from the origin up to and including
+    /// `up_to_level`.
+    pub fn walk(&self, up_to_level: usize) -> Vec<NodeId> {
+        self.stations[..=up_to_level.min(self.height())]
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// `length(DPath_j(u))` — total shortest-path distance of the visiting
+    /// walk up to level `j` (Lemma 2.2's quantity).
+    pub fn length_up_to(&self, level: usize, m: &DistanceMatrix) -> f64 {
+        m.walk_length(&self.walk(level))
+    }
+
+    /// Lowest level at which this path and `other` share a station member
+    /// (guaranteed to exist: both top stations are the root).
+    pub fn meet_level(&self, other: &DetectionPath) -> usize {
+        debug_assert_eq!(self.height(), other.height());
+        for level in 0..=self.height() {
+            let a = self.station(level);
+            let b = other.station(level);
+            // stations are sorted: linear merge intersection
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return level,
+                }
+            }
+        }
+        unreachable!("paths always share the root station")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_net::generators;
+
+    fn path(stations: Vec<Vec<u32>>) -> DetectionPath {
+        DetectionPath {
+            stations: stations
+                .into_iter()
+                .map(|s| s.into_iter().map(NodeId).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn walk_flattens_in_level_order() {
+        let p = path(vec![vec![3], vec![1, 5], vec![9]]);
+        assert_eq!(p.origin(), NodeId(3));
+        assert_eq!(p.height(), 2);
+        assert_eq!(
+            p.walk(2),
+            vec![NodeId(3), NodeId(1), NodeId(5), NodeId(9)]
+        );
+        assert_eq!(p.walk(0), vec![NodeId(3)]);
+        // clamped above height
+        assert_eq!(p.walk(99).len(), 4);
+    }
+
+    #[test]
+    fn meet_level_finds_lowest_shared_station() {
+        let a = path(vec![vec![0], vec![2, 4], vec![9]]);
+        let b = path(vec![vec![1], vec![4, 6], vec![9]]);
+        assert_eq!(a.meet_level(&b), 1);
+        let c = path(vec![vec![1], vec![6, 7], vec![9]]);
+        assert_eq!(a.meet_level(&c), 2);
+        assert_eq!(a.meet_level(&a), 0);
+    }
+
+    #[test]
+    fn length_accumulates_walk_distance() {
+        let g = generators::line(10).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let p = path(vec![vec![0], vec![2], vec![6]]);
+        assert_eq!(p.length_up_to(0, &m), 0.0);
+        assert_eq!(p.length_up_to(1, &m), 2.0);
+        assert_eq!(p.length_up_to(2, &m), 6.0);
+    }
+}

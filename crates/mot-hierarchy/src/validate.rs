@@ -1,0 +1,103 @@
+//! Structural validation of overlays.
+//!
+//! Used by tests and by `mot-core`'s debug assertions: a malformed overlay
+//! (empty station, unsorted visiting order, missing root) would silently
+//! corrupt detection lists, so the checks live next to the constructions.
+
+use crate::overlay::{Overlay, OverlayKind};
+use mot_net::DistanceMatrix;
+
+/// Collects human-readable descriptions of every structural violation.
+/// An empty result means the overlay is well-formed.
+pub fn validate(o: &Overlay, m: &DistanceMatrix) -> Vec<String> {
+    let mut issues = Vec::new();
+    let h = o.height();
+    if o.level_members(h).len() != 1 {
+        issues.push(format!(
+            "top level has {} members, expected exactly the root",
+            o.level_members(h).len()
+        ));
+    }
+    for ui in 0..o.node_count() {
+        let u = mot_net::NodeId::from_index(ui);
+        if o.station(u, 0) != [u] {
+            issues.push(format!("station({u}, 0) is not [{u}]"));
+        }
+        if o.station(u, h) != [o.root()] {
+            issues.push(format!("station({u}, {h}) does not equal the root"));
+        }
+        for l in 0..=h {
+            let s = o.station(u, l);
+            if s.is_empty() {
+                issues.push(format!("station({u}, {l}) is empty"));
+            }
+            if !s.windows(2).all(|w| w[0] < w[1]) {
+                issues.push(format!("station({u}, {l}) not sorted/deduped"));
+            }
+            for &member in s {
+                if o.level_members(l).binary_search(&member).is_err() {
+                    issues.push(format!(
+                        "station({u}, {l}) member {member} is not a level-{l} node"
+                    ));
+                }
+            }
+        }
+    }
+    if o.kind() == OverlayKind::Doubling {
+        // level-ℓ members pairwise >= 2^ℓ apart (MIS separation)
+        for l in 1..=h {
+            let members = o.level_members(l);
+            let sep = (1u64 << l) as f64;
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    if m.dist(a, b) < sep {
+                        issues.push(format!(
+                            "level {l}: members {a}, {b} violate 2^{l} separation"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    issues
+}
+
+/// Panics with a readable report if the overlay is malformed. Handy in
+/// tests and example binaries.
+pub fn assert_valid(o: &Overlay, m: &DistanceMatrix) {
+    let issues = validate(o, m);
+    assert!(issues.is_empty(), "overlay invalid:\n{}", issues.join("\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OverlayConfig;
+    use crate::{build_doubling, build_general};
+    use mot_net::generators;
+
+    #[test]
+    fn doubling_overlays_validate() {
+        for (r, c) in [(3, 3), (6, 6), (8, 8)] {
+            let g = generators::grid(r, c).unwrap();
+            let m = DistanceMatrix::build(&g).unwrap();
+            for cfg in [OverlayConfig::practical(), OverlayConfig::paper_exact()] {
+                let o = build_doubling(&g, &m, &cfg, 42);
+                assert_valid(&o, &m);
+            }
+        }
+    }
+
+    #[test]
+    fn general_overlays_validate() {
+        for g in [
+            generators::grid(6, 6).unwrap(),
+            generators::ring(30).unwrap(),
+            generators::random_tree(40, 5).unwrap(),
+        ] {
+            let m = DistanceMatrix::build(&g).unwrap();
+            let o = build_general(&g, &m, &OverlayConfig::practical(), 42);
+            assert_valid(&o, &m);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the graph substrate.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors raised while constructing or querying sensor-network graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// An edge referenced a node outside `0..n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// An edge weight was not strictly positive and finite.
+    InvalidWeight { a: NodeId, b: NodeId, weight: f64 },
+    /// A self-loop was requested (the paper fixes `w(u,u) = 0`; explicit
+    /// self-loop edges are rejected instead of stored).
+    SelfLoop { node: NodeId },
+    /// The same undirected edge was inserted twice with different weights.
+    DuplicateEdge { a: NodeId, b: NodeId },
+    /// The operation requires a connected graph.
+    Disconnected,
+    /// The operation requires geographic positions but the graph has none.
+    MissingPositions,
+    /// A generator was asked for a degenerate size.
+    EmptyGraph,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            NetError::InvalidWeight { a, b, weight } => {
+                write!(f, "edge ({a}, {b}) has invalid weight {weight}")
+            }
+            NetError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            NetError::DuplicateEdge { a, b } => {
+                write!(f, "edge ({a}, {b}) inserted twice with different weights")
+            }
+            NetError::Disconnected => write!(f, "graph is not connected"),
+            NetError::MissingPositions => {
+                write!(f, "operation requires geographic positions")
+            }
+            NetError::EmptyGraph => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetError::NodeOutOfRange { node: NodeId(7), n: 4 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("4"));
+        let e = NetError::InvalidWeight { a: NodeId(0), b: NodeId(1), weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The weighted sensor-network graph `G = (V, E, w)`.
+
+use crate::error::NetError;
+use crate::node::{NodeId, Point};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A weighted half-edge stored in a node's adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The neighbor this half-edge points to.
+    pub to: NodeId,
+    /// Normalized distance between the two adjacent sensors (`w` in the
+    /// paper). Always finite and strictly positive.
+    pub weight: f64,
+}
+
+/// A static, connected, undirected, weighted graph of sensor nodes.
+///
+/// Construction goes through [`crate::GraphBuilder`] (or a generator in
+/// [`crate::generators`]), which validates weights and rejects duplicate
+/// edges; once built the graph is immutable, matching the paper's static
+/// network model (dynamism is layered on top in `mot-core::dynamics` by
+/// masking nodes, not by mutating `G`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<Edge>>,
+    positions: Option<Vec<Point>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        adjacency: Vec<Vec<Edge>>,
+        positions: Option<Vec<Point>>,
+        edge_count: usize,
+    ) -> Self {
+        Graph { adjacency, positions, edge_count }
+    }
+
+    /// Number of sensor nodes `n = |V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len()).map(NodeId::from_index)
+    }
+
+    /// The adjacency list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[Edge] {
+        &self.adjacency[u.index()]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    /// Returns the weight of the undirected edge `(u, v)` if present.
+    /// By convention `w(u, u) = 0` (the paper's assumption).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if u == v {
+            return Some(0.0);
+        }
+        self.adjacency[u.index()]
+            .iter()
+            .find(|e| e.to == v)
+            .map(|e| e.weight)
+    }
+
+    /// True when `(u, v)` is an edge of `G`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.adjacency[u.index()].iter().any(|e| e.to == v)
+    }
+
+    /// Iterator over undirected edges, each reported once with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, adj)| {
+            let a = NodeId::from_index(i);
+            adj.iter()
+                .filter(move |e| a < e.to)
+                .map(move |e| (a, e.to, e.weight))
+        })
+    }
+
+    /// Geographic positions, if the graph carries them.
+    pub fn positions(&self) -> Option<&[Point]> {
+        self.positions.as_deref()
+    }
+
+    /// Geographic position of `u`, or an error if the graph has none.
+    pub fn position(&self, u: NodeId) -> Result<Point> {
+        self.positions
+            .as_ref()
+            .map(|p| p[u.index()])
+            .ok_or(NetError::MissingPositions)
+    }
+
+    /// The smallest edge weight in the graph.
+    pub fn min_edge_weight(&self) -> Option<f64> {
+        self.edges().map(|(_, _, w)| w).fold(None, |acc, w| {
+            Some(match acc {
+                None => w,
+                Some(m) => m.min(w),
+            })
+        })
+    }
+
+    /// Returns a copy of the graph with all edge weights rescaled so the
+    /// shortest edge has weight exactly 1 (the paper's normalization; the
+    /// cost-ratio bounds are then independent of the network's scale).
+    pub fn normalized(&self) -> Graph {
+        let Some(min_w) = self.min_edge_weight() else {
+            return self.clone();
+        };
+        if (min_w - 1.0).abs() < f64::EPSILON {
+            return self.clone();
+        }
+        let mut g = self.clone();
+        for adj in &mut g.adjacency {
+            for e in adj {
+                e.weight /= min_w;
+            }
+        }
+        g
+    }
+
+    /// Whether the graph is connected (trivially true for `n <= 1`).
+    ///
+    /// The paper assumes `G` is connected; generators assert this and the
+    /// distance oracle rejects disconnected graphs.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1usize;
+        while let Some(u) = stack.pop() {
+            for e in &self.adjacency[u] {
+                let v = e.to.index();
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Sum of all edge weights — handy for sanity checks in tests.
+    pub fn total_weight(&self) -> f64 {
+        self.edges().map(|(_, _, w)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn edge_weight_lookup_is_symmetric() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(1.0));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(0)), Some(0.0));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b, _) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn normalization_rescales_to_unit_minimum() {
+        let g = triangle().normalized();
+        let min = g.min_edge_weight().unwrap();
+        assert!((min - 1.0).abs() < 1e-12);
+        // relative proportions preserved
+        assert!((g.edge_weight(NodeId(2), NodeId(0)).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = triangle();
+        assert!(g.is_connected());
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build_unchecked();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn positions_absent_by_default() {
+        let g = triangle();
+        assert!(g.positions().is_none());
+        assert_eq!(g.position(NodeId(0)), Err(NetError::MissingPositions));
+    }
+}

@@ -1,0 +1,61 @@
+//! Weighted sensor-network graph substrate for the MOT tracking suite.
+//!
+//! The paper models a sensor field as a static weighted graph
+//! `G = (V, E, w)`: vertices are sensor nodes, an edge connects two sensors
+//! when a mobile object can pass directly between their detection ranges,
+//! and `w` gives the (normalized) distance between adjacent sensors. Every
+//! communication cost in the tracking algorithms is a sum of shortest-path
+//! distances in `G`, so this crate provides:
+//!
+//! * [`Graph`] — the weighted graph with optional geographic positions,
+//! * generators for the topologies used in the evaluation
+//!   ([`generators::grid`], [`generators::ring`], [`generators::torus`],
+//!   [`generators::line`], [`generators::random_geometric`],
+//!   [`generators::random_tree`]),
+//! * single-source shortest paths ([`dijkstra`]) and shortest-path trees,
+//! * an all-pairs [`DistanceMatrix`] oracle (built in parallel) that backs
+//!   hierarchy construction, ball queries, and cost accounting,
+//! * network [`metrics`]: diameter, doubling-dimension estimation,
+//!   growth-restriction checks.
+//!
+//! # Example
+//!
+//! ```
+//! use mot_net::{generators, DistanceMatrix, NodeId};
+//!
+//! // The paper's largest evaluation topology: a 32x32 unit grid.
+//! let g = generators::grid(32, 32)?;
+//! assert_eq!(g.node_count(), 1024);
+//!
+//! // The all-pairs oracle backs every cost account and radius query.
+//! let m = DistanceMatrix::build(&g)?;
+//! assert_eq!(m.diameter(), 62.0);
+//! assert_eq!(m.dist(NodeId(0), NodeId(1023)), 62.0);
+//!
+//! // k-neighborhoods (the paper's N(v, r)):
+//! let near = m.ball(NodeId(0), 2.0);
+//! assert_eq!(near.len(), 6); // self + 2 at distance 1 + 3 at distance 2
+//! # Ok::<(), mot_net::NetError>(())
+//! ```
+
+pub mod builder;
+pub mod dijkstra;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+pub mod node;
+pub mod ops;
+pub mod oracle;
+
+pub use builder::GraphBuilder;
+pub use dijkstra::{dijkstra, dijkstra_targeted, shortest_path_tree, PathTree};
+pub use error::NetError;
+pub use graph::{Edge, Graph};
+pub use metrics::{estimate_doubling_dimension, growth_ratio, GraphStats};
+pub use node::{NodeId, Point};
+pub use ops::{k_nearest, path_between, subgraph};
+pub use oracle::DistanceMatrix;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,101 @@
+//! Node identifiers and geographic positions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sensor node.
+///
+/// Node ids are dense indices `0..n` into the graph's adjacency table. The
+/// paper assumes every sensor has a unique ID and that ties (e.g. parent
+/// selection, parent-set visiting order) are broken by ID order; this
+/// newtype keeps those comparisons explicit and type-safe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The adjacency-table index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index overflows u32");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A geographic position of a sensor in the plane.
+///
+/// The paper assumes sensors are aware of their geographic locations; the
+/// Z-DAT baseline additionally needs them to carve the sensing region into
+/// rectangular zones.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_numeric_order() {
+        assert!(NodeId(3) < NodeId(10));
+        let mut v = vec![NodeId(5), NodeId(1), NodeId(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(&a) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+}

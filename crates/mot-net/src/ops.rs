@@ -1,0 +1,146 @@
+//! Graph operations: subgraph extraction and path reconstruction.
+//!
+//! `subgraph` backs the §7 rebuild path (after enough churn the overlay
+//! is rebuilt from the surviving sensors); `path_between` materializes
+//! the physical hop sequence behind a logical overlay edge when a
+//! simulation needs the actual relay nodes rather than just the cost.
+
+use crate::builder::GraphBuilder;
+use crate::dijkstra::shortest_path_tree;
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// The induced subgraph on the nodes with `keep[i] == true`, re-indexed
+/// densely. Returns the subgraph and the mapping from new ids to the
+/// original ids.
+///
+/// Fails with [`NetError::Disconnected`] when the survivors do not form
+/// a connected deployment (the §7 rebuild threshold is supposed to fire
+/// before that happens; callers treat the error as "rebuild impossible,
+/// redeploy").
+pub fn subgraph(g: &Graph, keep: &[bool]) -> Result<(Graph, Vec<NodeId>)> {
+    assert_eq!(keep.len(), g.node_count(), "keep mask must cover every node");
+    let old_ids: Vec<NodeId> = g.nodes().filter(|u| keep[u.index()]).collect();
+    if old_ids.is_empty() {
+        return Err(NetError::EmptyGraph);
+    }
+    let mut new_of = vec![usize::MAX; g.node_count()];
+    for (new, old) in old_ids.iter().enumerate() {
+        new_of[old.index()] = new;
+    }
+    let mut b = GraphBuilder::new(old_ids.len());
+    for (a, c, w) in g.edges() {
+        if keep[a.index()] && keep[c.index()] {
+            b.add_edge(
+                NodeId::from_index(new_of[a.index()]),
+                NodeId::from_index(new_of[c.index()]),
+                w,
+            )?;
+        }
+    }
+    let positions = g
+        .positions()
+        .map(|ps| old_ids.iter().map(|u| ps[u.index()]).collect::<Vec<_>>());
+    let sub = match positions {
+        Some(ps) => b.with_positions(ps).build()?,
+        None => b.build()?,
+    };
+    Ok((sub, old_ids))
+}
+
+/// One shortest physical path between `u` and `v` (inclusive of both
+/// endpoints).
+pub fn path_between(g: &Graph, u: NodeId, v: NodeId) -> Vec<NodeId> {
+    let tree = shortest_path_tree(g, v);
+    tree.path_to_root(u)
+}
+
+/// The `k` nodes nearest to `u` (excluding `u`), by shortest-path
+/// distance, ties broken by id.
+pub fn k_nearest(g: &Graph, u: NodeId, k: usize) -> Vec<NodeId> {
+    let dist = crate::dijkstra::dijkstra(g, u);
+    let mut order: Vec<NodeId> = g.nodes().filter(|&v| v != u).collect();
+    order.sort_by(|&a, &b| {
+        dist[a.index()]
+            .partial_cmp(&dist[b.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn subgraph_reindexes_and_keeps_weights() {
+        let g = generators::grid(3, 3).unwrap();
+        // drop the middle column: nodes 1, 4, 7 -> disconnected
+        let mut keep = vec![true; 9];
+        for i in [1, 4, 7] {
+            keep[i] = false;
+        }
+        assert!(matches!(subgraph(&g, &keep), Err(NetError::Disconnected)));
+
+        // drop one corner instead: still connected
+        let mut keep = vec![true; 9];
+        keep[8] = false;
+        let (sub, mapping) = subgraph(&g, &keep).unwrap();
+        assert_eq!(sub.node_count(), 8);
+        assert!(!mapping.contains(&NodeId(8)));
+        assert!(sub.is_connected());
+        // edge (0,1) survives under new ids
+        let a = mapping.iter().position(|&m| m == NodeId(0)).unwrap();
+        let b = mapping.iter().position(|&m| m == NodeId(1)).unwrap();
+        assert_eq!(
+            sub.edge_weight(NodeId::from_index(a), NodeId::from_index(b)),
+            Some(1.0)
+        );
+        // positions carried over
+        assert_eq!(
+            sub.position(NodeId::from_index(b)).unwrap(),
+            g.position(NodeId(1)).unwrap()
+        );
+    }
+
+    #[test]
+    fn subgraph_of_everything_is_identity() {
+        let g = generators::ring(10).unwrap();
+        let (sub, mapping) = subgraph(&g, &[true; 10]).unwrap();
+        assert_eq!(sub.node_count(), 10);
+        assert_eq!(sub.edge_count(), 10);
+        assert_eq!(mapping, g.nodes().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_keep_mask_is_an_error() {
+        let g = generators::line(4).unwrap();
+        assert!(matches!(subgraph(&g, &[false; 4]), Err(NetError::EmptyGraph)));
+    }
+
+    #[test]
+    fn path_between_endpoints_is_shortest() {
+        let g = generators::grid(4, 4).unwrap();
+        let p = path_between(&g, NodeId(0), NodeId(15));
+        assert_eq!(*p.first().unwrap(), NodeId(0));
+        assert_eq!(*p.last().unwrap(), NodeId(15));
+        assert_eq!(p.len(), 7); // manhattan distance 6 => 7 nodes
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance_then_id() {
+        let g = generators::grid(3, 3).unwrap();
+        let near = k_nearest(&g, NodeId(4), 4);
+        assert_eq!(near, vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7)]);
+        let all = k_nearest(&g, NodeId(0), 100);
+        assert_eq!(all.len(), 8);
+    }
+}

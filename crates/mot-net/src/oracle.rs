@@ -1,0 +1,198 @@
+//! All-pairs distance oracle.
+//!
+//! Hierarchy construction repeatedly asks "which nodes lie within `2^ℓ` of
+//! `u`?" and every cost account is a sum of `dist_G(·,·)` terms, so the
+//! suite precomputes the full distance matrix once per topology. Sources
+//! are solved with Dijkstra in parallel across `crossbeam` scoped threads;
+//! entries are stored as `f32` (1024² ⇒ 4 MiB) which is far more precision
+//! than the unit-normalized weights require.
+
+use crate::dijkstra::dijkstra;
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Symmetric all-pairs shortest-path distance matrix.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f32>,
+    diameter: f64,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths for a connected graph, in
+    /// parallel. Fails with [`NetError::Disconnected`] otherwise.
+    pub fn build(g: &Graph) -> Result<Self> {
+        if g.node_count() == 0 {
+            return Err(NetError::EmptyGraph);
+        }
+        if !g.is_connected() {
+            return Err(NetError::Disconnected);
+        }
+        let n = g.node_count();
+        let mut data = vec![0f32; n * n];
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let rows_per = n.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (chunk_idx, chunk) in data.chunks_mut(rows_per * n).enumerate() {
+                let start = chunk_idx * rows_per;
+                s.spawn(move |_| {
+                    for (row_off, row) in chunk.chunks_mut(n).enumerate() {
+                        let src = NodeId::from_index(start + row_off);
+                        let d = dijkstra(g, src);
+                        for (cell, dv) in row.iter_mut().zip(d) {
+                            *cell = dv as f32;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("APSP worker panicked");
+        let diameter = data.iter().copied().fold(0f32, f32::max) as f64;
+        Ok(DistanceMatrix { n, data, diameter })
+    }
+
+    /// Number of nodes covered by the matrix.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance between `u` and `v`.
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        self.data[u.index() * self.n + v.index()] as f64
+    }
+
+    /// Network diameter `D = max_{u,v} dist(u, v)`.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        self.diameter
+    }
+
+    /// All nodes within distance `r` of `u` (inclusive; includes `u`) —
+    /// the paper's `k`-neighborhood `N(u, r)`.
+    pub fn ball(&self, u: NodeId, r: f64) -> Vec<NodeId> {
+        let row = &self.data[u.index() * self.n..(u.index() + 1) * self.n];
+        row.iter()
+            .enumerate()
+            .filter(|(_, &d)| (d as f64) <= r)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Number of nodes within distance `r` of `u` (inclusive).
+    pub fn ball_size(&self, u: NodeId, r: f64) -> usize {
+        let row = &self.data[u.index() * self.n..(u.index() + 1) * self.n];
+        row.iter().filter(|&&d| (d as f64) <= r).count()
+    }
+
+    /// The member of `candidates` nearest to `u`, ties broken by smallest
+    /// node id (the paper breaks parent ties arbitrarily; ID order keeps
+    /// runs reproducible). Returns `None` on an empty candidate list.
+    pub fn nearest_in(&self, u: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.dist(u, a)
+                    .partial_cmp(&self.dist(u, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+    }
+
+    /// Total length of a node walk `p_0 → p_1 → … → p_k` where consecutive
+    /// hops travel along shortest physical paths (the cost model for all
+    /// overlay messages).
+    pub fn walk_length(&self, walk: &[NodeId]) -> f64 {
+        walk.windows(2).map(|w| self.dist(w[0], w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn matrix_matches_per_source_dijkstra() {
+        let g = generators::grid(6, 5).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        for s in g.nodes() {
+            let d = dijkstra(&g, s);
+            for t in g.nodes() {
+                assert!(
+                    (m.dist(s, t) - d[t.index()]).abs() < 1e-5,
+                    "({s},{t}): {} vs {}",
+                    m.dist(s, t),
+                    d[t.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_and_zero_diagonal() {
+        let g = generators::random_geometric(60, 8.0, 2.0, 3).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        for u in g.nodes() {
+            assert_eq!(m.dist(u, u), 0.0);
+            for v in g.nodes() {
+                assert!((m.dist(u, v) - m.dist(v, u)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan_extent() {
+        let g = generators::grid(8, 8).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        assert_eq!(m.diameter(), 14.0);
+    }
+
+    #[test]
+    fn ball_queries() {
+        let g = generators::grid(5, 5).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let center = NodeId(12); // (2,2)
+        let b1 = m.ball(center, 1.0);
+        assert_eq!(b1.len(), 5); // self + 4 neighbors
+        assert!(b1.contains(&center));
+        assert_eq!(m.ball_size(center, 0.0), 1);
+        assert_eq!(m.ball_size(center, 100.0), 25);
+    }
+
+    #[test]
+    fn nearest_in_breaks_ties_by_id() {
+        let g = generators::grid(3, 3).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        // nodes 1 and 3 are both at distance 1 from node 0
+        let got = m.nearest_in(NodeId(0), &[NodeId(3), NodeId(1)]);
+        assert_eq!(got, Some(NodeId(1)));
+        assert_eq!(m.nearest_in(NodeId(0), &[]), None);
+    }
+
+    #[test]
+    fn walk_length_sums_hops() {
+        let g = generators::line(5).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let walk = [NodeId(0), NodeId(4), NodeId(2)];
+        assert_eq!(m.walk_length(&walk), 4.0 + 2.0);
+        assert_eq!(m.walk_length(&[NodeId(3)]), 0.0);
+        assert_eq!(m.walk_length(&[]), 0.0);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = crate::builder::GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build_unchecked();
+        assert!(matches!(DistanceMatrix::build(&g), Err(NetError::Disconnected)));
+    }
+}

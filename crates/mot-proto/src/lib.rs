@@ -1,0 +1,64 @@
+//! Message-passing realization of the MOT algorithm.
+//!
+//! The paper presents Algorithm 1 "as an iteration over the nodes for the
+//! sake of simplicity" and notes (footnote 2) that it converts immediately
+//! to a message-passing distributed algorithm — each node reacting to
+//! `publish`, `insert`, `delete`, and `query` messages from its overlay
+//! neighbors. This crate is that conversion:
+//!
+//! * [`message`] — the typed wire protocol (climb, delete, repoint,
+//!   SDL install/remove, query, descend, reply),
+//! * [`node`] — the per-sensor state machine: detection-list entries with
+//!   *down-member* routing state (which lower-level holders a delete or
+//!   query descent should visit), SDL entries, and the handler that maps
+//!   one incoming message to outgoing messages,
+//! * [`transport`] — a deterministic message queue with a distance-based
+//!   cost ledger per message kind,
+//! * [`runtime`] — [`ProtoTracker`], a [`mot_core::Tracker`] that drives
+//!   the node machines to quiescence per operation (the paper's
+//!   one-by-one case).
+//!
+//! The differential tests in `tests/` replay identical workloads through
+//! [`ProtoTracker`] and the direct [`mot_core::MotTracker`] and assert
+//! byte-identical detection-list state and *exactly equal* maintenance
+//! costs — the two implementations are two renderings of the same
+//! algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use mot_core::{MotConfig, ObjectId, Tracker};
+//! use mot_hierarchy::{build_doubling, OverlayConfig};
+//! use mot_net::{generators, DistanceMatrix, NodeId};
+//! use mot_proto::{BatchOp, ProtoTracker};
+//!
+//! let g = generators::grid(6, 6)?;
+//! let m = DistanceMatrix::build(&g)?;
+//! let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+//! let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+//!
+//! // One-by-one operations run the message protocol to quiescence.
+//! t.publish(ObjectId(0), NodeId(0))?;
+//! t.move_object(ObjectId(0), NodeId(1))?;
+//! assert_eq!(t.query(NodeId(35), ObjectId(0))?.proxy, NodeId(1));
+//!
+//! // Distinct-object operations can race at message granularity.
+//! let out = t.run_batch(
+//!     &[
+//!         BatchOp::Publish { object: ObjectId(1), proxy: NodeId(30) },
+//!         BatchOp::Query { object: ObjectId(0), from: NodeId(20) },
+//!     ],
+//!     0.0,
+//! )?;
+//! assert_eq!(out.replies, vec![(ObjectId(0), NodeId(1))]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod message;
+pub mod node;
+pub mod runtime;
+pub mod transport;
+
+pub use message::{Message, Payload};
+pub use runtime::{BatchOp, BatchOutcome, ProtoTracker};
+pub use transport::{CostLedger, TimedTransport, Transport};

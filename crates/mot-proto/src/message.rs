@@ -1,0 +1,165 @@
+//! The wire protocol between sensor nodes.
+
+use mot_core::ObjectId;
+use mot_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Message payloads. `Climb` doubles as the paper's `publish` and
+/// `insert` detection messages (a publish is an insert that never meets);
+/// `Delete` walks stale holders downward; `Repoint` refreshes the
+/// down-member routing state of meet-level holders after a splice;
+/// `SpInstall`/`SpRemove` maintain special detection lists; `Query` /
+/// `Descend` / `Reply` implement lookups.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A detection message climbing `DPath(origin)`, currently visiting
+    /// `station(origin, level)[index]`.
+    Climb {
+        object: ObjectId,
+        /// The (new) proxy whose detection path this climb follows.
+        origin: NodeId,
+        level: usize,
+        index: usize,
+        /// Complete holder list of the level below (becomes each new
+        /// entry's down-member routing state).
+        prev_members: Vec<NodeId>,
+        /// Members already holding the object at the current level from
+        /// this pass.
+        added: Vec<NodeId>,
+        /// Publish climbs never stop at a meet; inserts do.
+        publish: bool,
+    },
+    /// Refresh the down-members of co-holders at the meet level after a
+    /// splice (bookkeeping fan-out; not charged, mirroring the analysis'
+    /// treatment of special-parent probing).
+    Repoint {
+        object: ObjectId,
+        level: usize,
+        new_down: Vec<NodeId>,
+        targets_remaining: Vec<NodeId>,
+    },
+    /// Remove the object from holders at `level`: walk
+    /// `members_remaining`, then — for stale-trail deletes
+    /// (`continue_down`) — proceed to the level below via the last
+    /// member's down-members. Rollback deletes (undoing a meet level's
+    /// partial additions) set `continue_down = false`: the entries they
+    /// remove point at the *fresh* fragment, which must survive.
+    Delete {
+        object: ObjectId,
+        level: usize,
+        members_remaining: Vec<NodeId>,
+        continue_down: bool,
+    },
+    /// Install an SDL entry at a special parent.
+    SpInstall { object: ObjectId, guarded_level: usize, child: NodeId },
+    /// Remove an SDL entry from a special parent.
+    SpRemove { object: ObjectId, guarded_level: usize, child: NodeId },
+    /// A query climbing `DPath(origin)`.
+    Query { object: ObjectId, origin: NodeId, level: usize, index: usize },
+    /// A located query descending the holder chain; the receiver holds
+    /// the object at `level`.
+    Descend { object: ObjectId, origin: NodeId, level: usize },
+    /// The proxy's answer heading back to the querier.
+    Reply { object: ObjectId, proxy: NodeId },
+}
+
+impl Payload {
+    /// Whether the message's travel distance counts toward the
+    /// operation's reported cost (the paper's ratios exclude
+    /// special-parent maintenance; `Repoint` is the same kind of
+    /// bookkeeping; `Reply` is reported separately).
+    pub fn charged(&self) -> bool {
+        matches!(
+            self,
+            Payload::Climb { .. }
+                | Payload::Delete { .. }
+                | Payload::Query { .. }
+                | Payload::Descend { .. }
+        )
+    }
+
+    /// The object this message concerns (used for per-object cost
+    /// attribution in batched executions).
+    pub fn object(&self) -> ObjectId {
+        match *self {
+            Payload::Climb { object, .. }
+            | Payload::Repoint { object, .. }
+            | Payload::Delete { object, .. }
+            | Payload::SpInstall { object, .. }
+            | Payload::SpRemove { object, .. }
+            | Payload::Query { object, .. }
+            | Payload::Descend { object, .. }
+            | Payload::Reply { object, .. } => object,
+        }
+    }
+
+    /// For climb/query messages that just crossed into a new level
+    /// (station index 0 above the bottom), the level entered — the §4.1.2
+    /// period gate applies to these.
+    pub fn level_entry(&self) -> Option<usize> {
+        match *self {
+            Payload::Climb { level, index: 0, .. } | Payload::Query { level, index: 0, .. }
+                if level > 0 =>
+            {
+                Some(level)
+            }
+            _ => None,
+        }
+    }
+
+    /// Short kind label for ledgers and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Climb { publish: true, .. } => "publish",
+            Payload::Climb { .. } => "insert",
+            Payload::Repoint { .. } => "repoint",
+            Payload::Delete { .. } => "delete",
+            Payload::SpInstall { .. } => "sp_install",
+            Payload::SpRemove { .. } => "sp_remove",
+            Payload::Query { .. } => "query",
+            Payload::Descend { .. } => "descend",
+            Payload::Reply { .. } => "reply",
+        }
+    }
+}
+
+/// A message in flight between two sensors (routed along a shortest
+/// physical path; its cost is the shortest-path distance).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_policy_matches_the_analysis() {
+        let climb = Payload::Climb {
+            object: ObjectId(0),
+            origin: NodeId(0),
+            level: 1,
+            index: 0,
+            prev_members: vec![],
+            added: vec![],
+            publish: false,
+        };
+        assert!(climb.charged());
+        assert_eq!(climb.kind(), "insert");
+        let sp = Payload::SpInstall { object: ObjectId(0), guarded_level: 1, child: NodeId(2) };
+        assert!(!sp.charged());
+        let rp = Payload::Repoint {
+            object: ObjectId(0),
+            level: 1,
+            new_down: vec![],
+            targets_remaining: vec![],
+        };
+        assert!(!rp.charged());
+        let reply = Payload::Reply { object: ObjectId(0), proxy: NodeId(1) };
+        assert!(!reply.charged());
+        assert_eq!(reply.kind(), "reply");
+    }
+}

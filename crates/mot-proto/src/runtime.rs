@@ -1,0 +1,542 @@
+//! The tracker runtime: drives the node machines to quiescence per
+//! operation (the paper's one-by-one case, where event inter-arrival
+//! times dwarf message propagation times).
+
+use crate::message::{Message, Payload};
+use crate::node::{Ctx, DlEntry, NodeState};
+use crate::transport::{TimedTransport, Transport};
+use mot_core::{CoreError, MotConfig, MoveOutcome, ObjectId, QueryResult, Tracker};
+use mot_hierarchy::Overlay;
+use mot_net::{DistanceMatrix, NodeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// One operation of a concurrent batch. All operations in a batch must
+/// reference *distinct* objects — the paper observes that overlay
+/// changes for one object never interfere with another's, which is what
+/// makes cross-object concurrency safe at message granularity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchOp {
+    Publish { object: ObjectId, proxy: NodeId },
+    Move { object: ObjectId, to: NodeId },
+    Query { object: ObjectId, from: NodeId },
+}
+
+impl BatchOp {
+    fn object(&self) -> ObjectId {
+        match *self {
+            BatchOp::Publish { object, .. }
+            | BatchOp::Move { object, .. }
+            | BatchOp::Query { object, .. } => object,
+        }
+    }
+}
+
+/// Result of a concurrently executed batch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutcome {
+    /// Total charged message distance across the batch.
+    pub total_cost: f64,
+    /// Wall-clock completion time (message latency = distance; climbs
+    /// gated by the §4.1.2 periods when `period_base > 0`).
+    pub makespan: f64,
+    /// Charged cost attributed per object.
+    pub per_object: Vec<(ObjectId, f64)>,
+    /// Query answers observed (object → proxy).
+    pub replies: Vec<(ObjectId, NodeId)>,
+}
+
+struct Inner<'a> {
+    overlay: &'a Overlay,
+    oracle: &'a DistanceMatrix,
+    use_special_parents: bool,
+    nodes: Vec<NodeState>,
+    transport: Transport,
+    proxies: HashMap<ObjectId, NodeId>,
+    last_reply: Option<(ObjectId, NodeId)>,
+    /// Reply (result delivery) distance, reported separately from the
+    /// query cost like the direct implementation.
+    pub reply_distance: f64,
+}
+
+impl Inner<'_> {
+    fn run_to_idle(&mut self) {
+        while let Some(msg) = self.transport.deliver(self.oracle) {
+            if let Payload::Reply { object, proxy } = msg.payload {
+                self.last_reply = Some((object, proxy));
+                self.reply_distance += self.oracle.dist(msg.src, msg.dst);
+                continue;
+            }
+            let ctx = Ctx {
+                overlay: self.overlay,
+                oracle: self.oracle,
+                use_special_parents: self.use_special_parents,
+            };
+            let out = self.nodes[msg.dst.index()].handle(msg.dst, msg.payload, &ctx);
+            self.transport.send_all(out);
+        }
+    }
+
+    /// Seeds the level-0 entry at a (new) proxy and builds the messages
+    /// that launch the climb.
+    fn seed_climb_messages(&mut self, o: ObjectId, proxy: NodeId, publish: bool) -> Vec<Message> {
+        // level-0 special parent, same policy as internal levels
+        let sp0 = if self.use_special_parents && self.overlay.sp_level(0) != 0 {
+            Some(self.overlay.sp_host(proxy, 0, 0))
+        } else {
+            None
+        };
+        self.nodes[proxy.index()].seed_proxy_entry(o, proxy, sp0);
+        let mut msgs = Vec::new();
+        if let Some(host) = sp0 {
+            msgs.push(Message {
+                src: proxy,
+                dst: host,
+                payload: Payload::SpInstall { object: o, guarded_level: 0, child: proxy },
+            });
+        }
+        if self.overlay.height() >= 1 {
+            let station = self.overlay.station(proxy, 1);
+            msgs.push(Message {
+                src: proxy,
+                dst: station[0],
+                payload: Payload::Climb {
+                    object: o,
+                    origin: proxy,
+                    level: 1,
+                    index: 0,
+                    prev_members: vec![proxy],
+                    added: Vec::new(),
+                    publish,
+                },
+            });
+        }
+        msgs
+    }
+
+    /// Seeds and launches a climb on the FIFO transport (one-by-one path).
+    fn start_climb(&mut self, o: ObjectId, proxy: NodeId, publish: bool) {
+        let msgs = self.seed_climb_messages(o, proxy, publish);
+        self.transport.send_all(msgs);
+    }
+}
+
+/// A message-passing MOT tracker (one-by-one execution).
+///
+/// Implements [`Tracker`] by injecting protocol messages and running the
+/// network to quiescence; costs come from the transport's distance
+/// ledger, mirroring the direct implementation's accounting (charged:
+/// publish/insert/delete/query/descend; uncharged bookkeeping:
+/// SDL installs/removes, repoints; replies ledgered separately).
+pub struct ProtoTracker<'a> {
+    inner: RefCell<Inner<'a>>,
+}
+
+impl<'a> ProtoTracker<'a> {
+    /// Creates the runtime over a prebuilt overlay. Only the
+    /// `use_special_parents` switch of `cfg` applies (the message runtime
+    /// models plain MOT; load balancing composes at the storage layer and
+    /// is exercised through the direct implementation).
+    pub fn new(overlay: &'a Overlay, oracle: &'a DistanceMatrix, cfg: &MotConfig) -> Self {
+        ProtoTracker {
+            inner: RefCell::new(Inner {
+                overlay,
+                oracle,
+                use_special_parents: cfg.use_special_parents,
+                nodes: vec![NodeState::default(); overlay.node_count()],
+                transport: Transport::new(),
+                proxies: HashMap::new(),
+                last_reply: None,
+                reply_distance: 0.0,
+            }),
+        }
+    }
+
+    /// Whether `node` holds `o` at role `level` (for differential tests).
+    pub fn holds(&self, node: NodeId, level: usize, o: ObjectId) -> bool {
+        self.inner.borrow().nodes[node.index()].holds(o, level)
+    }
+
+    /// Total reply (result delivery) distance accumulated so far.
+    pub fn reply_distance(&self) -> f64 {
+        self.inner.borrow().reply_distance
+    }
+
+    /// Executes a batch of operations on *distinct* objects concurrently
+    /// at message granularity: all operations start at time 0, messages
+    /// race through a timed transport (latency = distance), and climbs
+    /// entering level `i` wait for the period `Φ(i) = period_base · 2^i`
+    /// (§4.1.2; 0 disables the gate). Because the objects are distinct,
+    /// the final state is identical to any sequential execution — what
+    /// concurrency buys is the makespan.
+    ///
+    /// # Panics
+    /// Panics if two operations reference the same object.
+    pub fn run_batch(
+        &mut self,
+        ops: &[BatchOp],
+        period_base: f64,
+    ) -> mot_core::Result<BatchOutcome> {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for op in ops {
+                assert!(
+                    seen.insert(op.object()),
+                    "batch operations must reference distinct objects ({} repeats)",
+                    op.object()
+                );
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        let mut timed = TimedTransport::new(period_base);
+        let mut outcome = BatchOutcome::default();
+        let mut per_object: HashMap<ObjectId, f64> = HashMap::new();
+
+        // Inject every operation at t = 0.
+        for op in ops {
+            match *op {
+                BatchOp::Publish { object, proxy } => {
+                    if inner.proxies.contains_key(&object) {
+                        return Err(CoreError::AlreadyPublished(object));
+                    }
+                    if proxy.index() >= inner.nodes.len() {
+                        return Err(CoreError::UnknownNode(proxy));
+                    }
+                    for m in inner.seed_climb_messages(object, proxy, true) {
+                        timed.send_at(m, 0.0, inner.oracle);
+                    }
+                    inner.proxies.insert(object, proxy);
+                }
+                BatchOp::Move { object, to } => {
+                    let from = *inner
+                        .proxies
+                        .get(&object)
+                        .ok_or(CoreError::UnknownObject(object))?;
+                    if to.index() >= inner.nodes.len() {
+                        return Err(CoreError::UnknownNode(to));
+                    }
+                    if from == to {
+                        continue;
+                    }
+                    for m in inner.seed_climb_messages(object, to, false) {
+                        timed.send_at(m, 0.0, inner.oracle);
+                    }
+                    inner.proxies.insert(object, to);
+                }
+                BatchOp::Query { object, from } => {
+                    if !inner.proxies.contains_key(&object) {
+                        return Err(CoreError::UnknownObject(object));
+                    }
+                    if from.index() >= inner.nodes.len() {
+                        return Err(CoreError::UnknownNode(from));
+                    }
+                    timed.send_at(
+                        Message {
+                            src: from,
+                            dst: from,
+                            payload: Payload::Query { object, origin: from, level: 0, index: 0 },
+                        },
+                        0.0,
+                        inner.oracle,
+                    );
+                }
+            }
+        }
+
+        // Race everything to quiescence.
+        while let Some(msg) = timed.deliver(inner.oracle) {
+            let sent_at = timed.now;
+            if msg.payload.charged() {
+                *per_object.entry(msg.payload.object()).or_default() +=
+                    inner.oracle.dist(msg.src, msg.dst);
+            }
+            if let Payload::Reply { object, proxy } = msg.payload {
+                outcome.replies.push((object, proxy));
+                continue;
+            }
+            let ctx = Ctx {
+                overlay: inner.overlay,
+                oracle: inner.oracle,
+                use_special_parents: inner.use_special_parents,
+            };
+            let out = inner.nodes[msg.dst.index()].handle(msg.dst, msg.payload, &ctx);
+            for m in out {
+                timed.send_at(m, sent_at, inner.oracle);
+            }
+        }
+        outcome.total_cost = timed.ledger.charged;
+        outcome.makespan = timed.now;
+        outcome.per_object = {
+            let mut v: Vec<_> = per_object.into_iter().collect();
+            v.sort_by_key(|&(o, _)| o);
+            v
+        };
+        Ok(outcome)
+    }
+
+    /// Distance accumulated under a payload kind since the start.
+    fn check_node(&self, u: NodeId) -> mot_core::Result<()> {
+        if u.index() >= self.inner.borrow().nodes.len() {
+            return Err(CoreError::UnknownNode(u));
+        }
+        Ok(())
+    }
+}
+
+impl Tracker for ProtoTracker<'_> {
+    fn name(&self) -> String {
+        "MOT (message-passing)".to_string()
+    }
+
+    fn publish(&mut self, o: ObjectId, proxy: NodeId) -> mot_core::Result<f64> {
+        self.check_node(proxy)?;
+        let mut inner = self.inner.borrow_mut();
+        if inner.proxies.contains_key(&o) {
+            return Err(CoreError::AlreadyPublished(o));
+        }
+        inner.transport.ledger.reset();
+        inner.start_climb(o, proxy, true);
+        inner.run_to_idle();
+        inner.proxies.insert(o, proxy);
+        Ok(inner.transport.ledger.charged)
+    }
+
+    fn move_object(&mut self, o: ObjectId, to: NodeId) -> mot_core::Result<MoveOutcome> {
+        self.check_node(to)?;
+        let mut inner = self.inner.borrow_mut();
+        let from = *inner.proxies.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        if from == to {
+            return Ok(MoveOutcome { from, cost: 0.0 });
+        }
+        inner.transport.ledger.reset();
+        inner.start_climb(o, to, false);
+        inner.run_to_idle();
+        inner.proxies.insert(o, to);
+        Ok(MoveOutcome { from, cost: inner.transport.ledger.charged })
+    }
+
+    fn query(&self, from: NodeId, o: ObjectId) -> mot_core::Result<QueryResult> {
+        self.check_node(from)?;
+        let mut inner = self.inner.borrow_mut();
+        if !inner.proxies.contains_key(&o) {
+            return Err(CoreError::UnknownObject(o));
+        }
+        inner.transport.ledger.reset();
+        inner.last_reply = None;
+        inner.transport.send(Message {
+            src: from,
+            dst: from, // zero-distance self-delivery starts the probe
+            payload: Payload::Query { object: o, origin: from, level: 0, index: 0 },
+        });
+        inner.run_to_idle();
+        let (obj, proxy) = inner.last_reply.expect("published objects always resolve");
+        debug_assert_eq!(obj, o);
+        Ok(QueryResult { proxy, cost: inner.transport.ledger.charged })
+    }
+
+    fn proxy_of(&self, o: ObjectId) -> Option<NodeId> {
+        self.inner.borrow().proxies.get(&o).copied()
+    }
+
+    fn node_loads(&self) -> Vec<usize> {
+        self.inner.borrow().nodes.iter().map(NodeState::load).collect()
+    }
+}
+
+impl NodeState {
+    /// Installs the level-0 (proxy) entry directly — the proxy detects
+    /// the object locally; no message is needed for its own entry.
+    pub fn seed_proxy_entry(&mut self, o: ObjectId, me: NodeId, sp_host: Option<NodeId>) {
+        self.insert_entry(
+            o,
+            0,
+            DlEntry { down_members: Vec::new(), level_members: vec![me], sp_host },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_hierarchy::{build_doubling, OverlayConfig};
+    use mot_net::generators;
+
+    fn env() -> (mot_net::Graph, DistanceMatrix) {
+        let g = generators::grid(6, 6).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        (g, m)
+    }
+
+    #[test]
+    fn publish_move_query_lifecycle() {
+        let (g, m) = env();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let o = ObjectId(0);
+        let c = t.publish(o, NodeId(0)).unwrap();
+        assert!(c > 0.0);
+        let mv = t.move_object(o, NodeId(1)).unwrap();
+        assert_eq!(mv.from, NodeId(0));
+        assert!(mv.cost > 0.0);
+        for x in g.nodes() {
+            let q = t.query(x, o).unwrap();
+            assert_eq!(q.proxy, NodeId(1), "query from {x}");
+        }
+        assert!(t.reply_distance() > 0.0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let (g, m) = env();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        assert!(matches!(
+            t.query(NodeId(0), ObjectId(7)),
+            Err(CoreError::UnknownObject(_))
+        ));
+        t.publish(ObjectId(0), NodeId(2)).unwrap();
+        assert!(matches!(
+            t.publish(ObjectId(0), NodeId(3)),
+            Err(CoreError::AlreadyPublished(_))
+        ));
+        assert!(matches!(
+            t.publish(ObjectId(1), NodeId(999)),
+            Err(CoreError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn batch_publish_matches_sequential_cost_with_smaller_makespan() {
+        let (g, m) = env();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let pubs: Vec<BatchOp> = (0..8u32)
+            .map(|k| BatchOp::Publish { object: ObjectId(k), proxy: NodeId(k * 4 % 36) })
+            .collect();
+
+        // sequential reference
+        let mut seq = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let mut seq_cost = 0.0;
+        let mut latencies = Vec::new();
+        for op in &pubs {
+            if let BatchOp::Publish { object, proxy } = *op {
+                let c = seq.publish(object, proxy).unwrap();
+                seq_cost += c;
+                latencies.push(c);
+            }
+        }
+
+        // concurrent batch (no period gate)
+        let mut con = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let out = con.run_batch(&pubs, 0.0).unwrap();
+        assert!(
+            (out.total_cost - seq_cost).abs() < 1e-6,
+            "batch cost {} vs sequential {}",
+            out.total_cost,
+            seq_cost
+        );
+        // cross-object parallelism: finish before the serialized sum but
+        // no earlier than the slowest single operation's own latency.
+        assert!(out.makespan < seq_cost, "no parallelism: makespan {}", out.makespan);
+        // identical final state
+        for node in g.nodes() {
+            for level in 0..=overlay.height() {
+                for k in 0..8u32 {
+                    assert_eq!(
+                        seq.holds(node, level, ObjectId(k)),
+                        con.holds(node, level, ObjectId(k))
+                    );
+                }
+            }
+        }
+        assert_eq!(out.per_object.len(), 8);
+    }
+
+    #[test]
+    fn batch_moves_and_queries_race_safely() {
+        let (g, m) = env();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        for k in 0..6u32 {
+            t.publish(ObjectId(k), NodeId(k * 6 % 36)).unwrap();
+        }
+        // moves for objects 0..3, queries for objects 3..6 — distinct
+        let ops = vec![
+            BatchOp::Move { object: ObjectId(0), to: NodeId(1) },
+            BatchOp::Move { object: ObjectId(1), to: NodeId(7) },
+            BatchOp::Move { object: ObjectId(2), to: NodeId(13) },
+            BatchOp::Query { object: ObjectId(3), from: NodeId(35) },
+            BatchOp::Query { object: ObjectId(4), from: NodeId(0) },
+            BatchOp::Query { object: ObjectId(5), from: NodeId(17) },
+        ];
+        let out = t.run_batch(&ops, 0.0).unwrap();
+        assert_eq!(out.replies.len(), 3);
+        for &(o, answered) in &out.replies {
+            assert_eq!(Some(answered), t.proxy_of(o), "query answer for {o}");
+        }
+        assert_eq!(t.proxy_of(ObjectId(0)), Some(NodeId(1)));
+        assert_eq!(t.proxy_of(ObjectId(2)), Some(NodeId(13)));
+        // post-batch structure still answers everything correctly
+        for k in 0..6u32 {
+            let truth = t.proxy_of(ObjectId(k)).unwrap();
+            assert_eq!(t.query(NodeId(20), ObjectId(k)).unwrap().proxy, truth);
+        }
+    }
+
+    #[test]
+    fn period_gating_slows_makespan_but_not_cost() {
+        let (_, m) = env();
+        let g = generators::grid(6, 6).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let pubs: Vec<BatchOp> = (0..5u32)
+            .map(|k| BatchOp::Publish { object: ObjectId(k), proxy: NodeId(k * 7 % 36) })
+            .collect();
+        let mut free = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let out_free = free.run_batch(&pubs, 0.0).unwrap();
+        let mut gated = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let out_gated = gated.run_batch(&pubs, 1.0).unwrap();
+        assert!((out_free.total_cost - out_gated.total_cost).abs() < 1e-6);
+        assert!(
+            out_gated.makespan >= out_free.makespan,
+            "periods cannot speed things up: {} < {}",
+            out_gated.makespan,
+            out_free.makespan
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct objects")]
+    fn batch_rejects_duplicate_objects() {
+        let g = generators::grid(3, 3).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
+        let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let _ = t.run_batch(
+            &[
+                BatchOp::Publish { object: ObjectId(0), proxy: NodeId(0) },
+                BatchOp::Move { object: ObjectId(0), to: NodeId(1) },
+            ],
+            0.0,
+        );
+    }
+
+    #[test]
+    fn random_walk_stays_consistent() {
+        use rand::{Rng, SeedableRng};
+        let (g, m) = env();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let o = ObjectId(0);
+        let mut proxy = NodeId(17);
+        t.publish(o, proxy).unwrap();
+        for _ in 0..150 {
+            let nbrs = g.neighbors(proxy);
+            proxy = nbrs[rng.gen_range(0..nbrs.len())].to;
+            let mv = t.move_object(o, proxy).unwrap();
+            assert!(mv.cost > 0.0);
+        }
+        for x in g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, proxy);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Deterministic message transport with a distance-based cost ledger.
+//!
+//! The one-by-one case needs no timing model — a single operation's
+//! messages are causally chained — so delivery is FIFO. Every delivered
+//! message is billed its shortest-path distance under its payload kind;
+//! the ledger separates charged protocol traffic from uncharged
+//! bookkeeping (special-parent updates, repoints) and from query replies.
+
+use crate::message::{Message, Payload};
+use mot_net::DistanceMatrix;
+use std::collections::{HashMap, VecDeque};
+
+/// Per-kind accumulated message distance.
+#[derive(Clone, Debug, Default)]
+pub struct CostLedger {
+    by_kind: HashMap<&'static str, f64>,
+    /// Total distance of charged messages since the last reset.
+    pub charged: f64,
+    /// Number of messages delivered since the last reset.
+    pub messages: usize,
+}
+
+impl CostLedger {
+    /// Distance accumulated under a payload kind.
+    pub fn of_kind(&self, kind: &str) -> f64 {
+        self.by_kind.get(kind).copied().unwrap_or(0.0)
+    }
+
+    fn bill(&mut self, payload: &Payload, dist: f64) {
+        *self.by_kind.entry(payload.kind()).or_insert(0.0) += dist;
+        if payload.charged() {
+            self.charged += dist;
+        }
+        self.messages += 1;
+    }
+
+    /// Clears the per-operation counters.
+    pub fn reset(&mut self) {
+        self.by_kind.clear();
+        self.charged = 0.0;
+        self.messages = 0;
+    }
+}
+
+/// FIFO message queue between sensor nodes.
+#[derive(Debug, Default)]
+pub struct Transport {
+    queue: VecDeque<Message>,
+    pub ledger: CostLedger,
+}
+
+impl Transport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a message.
+    pub fn send(&mut self, msg: Message) {
+        self.queue.push_back(msg);
+    }
+
+    /// Enqueues a batch.
+    pub fn send_all(&mut self, msgs: impl IntoIterator<Item = Message>) {
+        for m in msgs {
+            self.send(m);
+        }
+    }
+
+    /// Pops the next message, billing its travel distance.
+    pub fn deliver(&mut self, oracle: &DistanceMatrix) -> Option<Message> {
+        let msg = self.queue.pop_front()?;
+        let dist = oracle.dist(msg.src, msg.dst);
+        self.ledger.bill(&msg.payload, dist);
+        Some(msg)
+    }
+
+    /// True when no messages remain in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A message scheduled for timed delivery.
+#[derive(Debug)]
+struct Scheduled {
+    deliver_at: f64,
+    seq: u64,
+    msg: Message,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // min-heap on (time, seq)
+        other
+            .deliver_at
+            .partial_cmp(&self.deliver_at)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Timed message transport for concurrent (batched) executions: message
+/// latency equals message distance, and a climb/query entering level `i`
+/// waits for the end of the current period `Φ(i) = period_base · 2^i`
+/// (§4.1.2's forwarding discipline; `period_base = 0` disables gating).
+#[derive(Debug)]
+pub struct TimedTransport {
+    heap: std::collections::BinaryHeap<Scheduled>,
+    seq: u64,
+    /// Simulation clock: the delivery time of the last popped message.
+    pub now: f64,
+    pub period_base: f64,
+    pub ledger: CostLedger,
+}
+
+impl TimedTransport {
+    pub fn new(period_base: f64) -> Self {
+        TimedTransport {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            period_base,
+            ledger: CostLedger::default(),
+        }
+    }
+
+    /// Schedules `msg` sent at time `sent_at`.
+    pub fn send_at(&mut self, msg: Message, sent_at: f64, oracle: &DistanceMatrix) {
+        let mut deliver_at = sent_at + oracle.dist(msg.src, msg.dst);
+        if self.period_base > 0.0 {
+            if let Some(level) = msg.payload.level_entry() {
+                let phi = self.period_base * (1u64 << level) as f64;
+                deliver_at = (deliver_at / phi).ceil() * phi;
+            }
+        }
+        self.heap.push(Scheduled { deliver_at, seq: self.seq, msg });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest message, advancing the clock and billing its
+    /// distance.
+    pub fn deliver(&mut self, oracle: &DistanceMatrix) -> Option<Message> {
+        let Scheduled { deliver_at, msg, .. } = self.heap.pop()?;
+        debug_assert!(deliver_at >= self.now - 1e-9, "time ran backwards");
+        self.now = self.now.max(deliver_at);
+        self.ledger.bill(&msg.payload, oracle.dist(msg.src, msg.dst));
+        Some(msg)
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_core::ObjectId;
+    use mot_net::{generators, NodeId};
+
+    fn msg(src: u32, dst: u32, payload: Payload) -> Message {
+        Message { src: NodeId(src), dst: NodeId(dst), payload }
+    }
+
+    #[test]
+    fn deliveries_are_fifo_and_billed_by_distance() {
+        let g = generators::line(5).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let mut t = Transport::new();
+        t.send(msg(0, 4, Payload::Delete { object: ObjectId(0), level: 1, members_remaining: vec![], continue_down: true }));
+        t.send(msg(4, 2, Payload::Reply { object: ObjectId(0), proxy: NodeId(2) }));
+        let first = t.deliver(&m).unwrap();
+        assert_eq!(first.dst, NodeId(4));
+        assert_eq!(t.ledger.charged, 4.0); // delete is charged
+        let _second = t.deliver(&m).unwrap();
+        assert_eq!(t.ledger.charged, 4.0); // reply is not
+        assert_eq!(t.ledger.of_kind("reply"), 2.0);
+        assert_eq!(t.ledger.messages, 2);
+        assert!(t.is_idle());
+        assert!(t.deliver(&m).is_none());
+    }
+
+    #[test]
+    fn timed_transport_orders_by_arrival() {
+        let g = generators::line(6).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let mut t = TimedTransport::new(0.0);
+        // sent simultaneously: the shorter hop arrives first
+        t.send_at(
+            msg(0, 5, Payload::Reply { object: ObjectId(0), proxy: NodeId(5) }),
+            0.0,
+            &m,
+        );
+        t.send_at(
+            msg(0, 1, Payload::Reply { object: ObjectId(1), proxy: NodeId(1) }),
+            0.0,
+            &m,
+        );
+        let first = t.deliver(&m).unwrap();
+        assert_eq!(first.payload.object(), ObjectId(1));
+        assert!((t.now - 1.0).abs() < 1e-12);
+        let second = t.deliver(&m).unwrap();
+        assert_eq!(second.payload.object(), ObjectId(0));
+        assert!((t.now - 5.0).abs() < 1e-12);
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn period_gate_delays_level_entries() {
+        let g = generators::line(8).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let climb_into_level_2 = Payload::Climb {
+            object: ObjectId(0),
+            origin: NodeId(0),
+            level: 2,
+            index: 0,
+            prev_members: vec![],
+            added: vec![],
+            publish: false,
+        };
+        assert_eq!(climb_into_level_2.level_entry(), Some(2));
+
+        let mut gated = TimedTransport::new(1.0); // Φ(2) = 4
+        gated.send_at(msg(0, 1, climb_into_level_2.clone()), 0.0, &m);
+        gated.deliver(&m).unwrap();
+        assert!((gated.now - 4.0).abs() < 1e-12, "arrival gated to the period end");
+
+        let mut free = TimedTransport::new(0.0);
+        free.send_at(msg(0, 1, climb_into_level_2), 0.0, &m);
+        free.deliver(&m).unwrap();
+        assert!((free.now - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_level_hops_are_not_gated() {
+        let p = Payload::Climb {
+            object: ObjectId(0),
+            origin: NodeId(0),
+            level: 2,
+            index: 1,
+            prev_members: vec![],
+            added: vec![],
+            publish: false,
+        };
+        assert_eq!(p.level_entry(), None);
+        let q = Payload::Query { object: ObjectId(0), origin: NodeId(0), level: 0, index: 0 };
+        assert_eq!(q.level_entry(), None, "level-0 start is not a level entry");
+    }
+
+    #[test]
+    fn reset_clears_operation_counters() {
+        let g = generators::line(3).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let mut t = Transport::new();
+        t.send(msg(0, 2, Payload::Query { object: ObjectId(1), origin: NodeId(0), level: 0, index: 0 }));
+        t.deliver(&m).unwrap();
+        assert!(t.ledger.charged > 0.0);
+        t.ledger.reset();
+        assert_eq!(t.ledger.charged, 0.0);
+        assert_eq!(t.ledger.messages, 0);
+        assert_eq!(t.ledger.of_kind("query"), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based differential testing: on random deployments and random
+//! walks, the message-passing runtime and the direct implementation stay
+//! cost- and state-identical.
+
+use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
+use mot_hierarchy::{build_doubling, OverlayConfig};
+use mot_net::{generators, DistanceMatrix, NodeId};
+use mot_proto::ProtoTracker;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn proto_and_direct_agree_on_random_walks(
+        n in 12usize..50,
+        graph_seed in 0u64..500,
+        overlay_seed in 0u64..50,
+        start in any::<u32>(),
+        steps in proptest::collection::vec(any::<u32>(), 1..60),
+        use_sp in any::<bool>(),
+    ) {
+        let g = generators::random_geometric(n, 8.0, 2.6, graph_seed)
+            .expect("connected deployment");
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
+        let cfg = if use_sp { MotConfig::plain() } else { MotConfig::no_special_parents() };
+        let mut direct = MotTracker::new(&overlay, &m, cfg.clone());
+        let mut proto = ProtoTracker::new(&overlay, &m, &cfg);
+
+        let o = ObjectId(0);
+        let mut proxy = NodeId(start % n as u32);
+        let cd = direct.publish(o, proxy).unwrap();
+        let cp = proto.publish(o, proxy).unwrap();
+        prop_assert!((cd - cp).abs() < 1e-6, "publish: {cd} vs {cp}");
+
+        for (i, &s) in steps.iter().enumerate() {
+            let nbrs = g.neighbors(proxy);
+            proxy = nbrs[(s as usize) % nbrs.len()].to;
+            let md = direct.move_object(o, proxy).unwrap();
+            let mp = proto.move_object(o, proxy).unwrap();
+            prop_assert!(
+                (md.cost - mp.cost).abs() < 1e-6,
+                "step {i}: direct {} vs proto {}", md.cost, mp.cost
+            );
+        }
+
+        // identical state everywhere
+        for node in g.nodes() {
+            for level in 0..=overlay.height() {
+                prop_assert_eq!(
+                    direct.holds(node, level, o),
+                    proto.holds(node, level, o),
+                    "DL divergence at {} level {}", node, level
+                );
+            }
+        }
+        prop_assert_eq!(direct.node_loads(), proto.node_loads());
+
+        // identical query behaviour from a sample of nodes
+        for x in g.nodes().step_by(5) {
+            let qd = direct.query(x, o).unwrap();
+            let qp = proto.query(x, o).unwrap();
+            prop_assert_eq!(qd.proxy, qp.proxy);
+            prop_assert!(
+                (qd.cost - qp.cost).abs() < 1e-6,
+                "query from {}: direct {} vs proto {}", x, qd.cost, qp.cost
+            );
+        }
+    }
+}

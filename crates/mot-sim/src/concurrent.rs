@@ -1,0 +1,514 @@
+//! Concurrent execution engine (paper §4.1.2, §4.2.2, §8).
+//!
+//! A discrete-event simulation in which message latency equals message
+//! distance (one time unit per distance unit). Maintenance operations for
+//! one object race: up to `max_inflight_per_object` requests climb their
+//! detection paths simultaneously, each probing the *committed* tracking
+//! state as it goes; an operation commits the moment its probe finds a
+//! node that currently knows the object. Operations crossing into level
+//! `i` wait for the end of the current level-`i` period `Φ(i) ∝ 2^i`
+//! (the synchronization discipline of §4.1.2). Racing requests that lose
+//! a meet point to an earlier commit climb higher and pay more — exactly
+//! the concurrency overhead Figs. 12–15 measure.
+//!
+//! Queries may overlap maintenance (§4.2.2): a query locates the object
+//! against the committed state, descends, and — if the object moved while
+//! the result message was in flight — chases the forwarding pointer the
+//! delete message left behind, until it lands on the live proxy.
+
+use crate::metrics::CostStats;
+use crate::mobility::Workload;
+use mot_baselines::TreeTracker;
+use mot_core::{MotTracker, ObjectId, Result, Tracker};
+use mot_net::{DistanceMatrix, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A tracking structure the event engine can drive: a climb order, a
+/// committed-state probe, a locate probe for queries, and the forwarding
+/// period per level.
+pub trait ClimbStructure: Tracker {
+    /// The visiting sequence of a maintenance/query climb from `v`:
+    /// `(station node, level)` pairs in order, ending at the root.
+    fn climb_sequence(&self, v: NodeId) -> Vec<(NodeId, usize)>;
+
+    /// Whether `node` holds `o` at role `level` in the committed state.
+    fn committed_holds(&self, node: NodeId, level: usize, o: ObjectId) -> bool;
+
+    /// If a query probing `(node, level)` can locate `o`, the cost of its
+    /// downward phase against the committed state.
+    fn locate(&self, node: NodeId, level: usize, o: ObjectId) -> Option<f64>;
+
+    /// Forwarding period `Φ(level)`; 0 disables period synchronization
+    /// (tree baselines forward immediately).
+    fn level_period(&self, level: usize) -> f64;
+}
+
+impl ClimbStructure for MotTracker<'_> {
+    fn climb_sequence(&self, v: NodeId) -> Vec<(NodeId, usize)> {
+        let overlay = self.overlay();
+        (0..=overlay.height())
+            .flat_map(|l| overlay.station(v, l).iter().map(move |&s| (s, l)))
+            .collect()
+    }
+
+    fn committed_holds(&self, node: NodeId, level: usize, o: ObjectId) -> bool {
+        self.holds(node, level, o)
+    }
+
+    fn locate(&self, node: NodeId, level: usize, o: ObjectId) -> Option<f64> {
+        self.locate_cost(node, level, o)
+    }
+
+    fn level_period(&self, level: usize) -> f64 {
+        (1u64 << level) as f64
+    }
+}
+
+impl ClimbStructure for TreeTracker<'_> {
+    fn climb_sequence(&self, v: NodeId) -> Vec<(NodeId, usize)> {
+        let mut seq = Vec::new();
+        let mut cur = Some(v);
+        let mut level = 0usize;
+        while let Some(u) = cur {
+            seq.push((u, level));
+            cur = self.tree().parent(u);
+            level += 1;
+        }
+        seq
+    }
+
+    fn committed_holds(&self, node: NodeId, _level: usize, o: ObjectId) -> bool {
+        self.holds(node, o)
+    }
+
+    fn locate(&self, node: NodeId, _level: usize, o: ObjectId) -> Option<f64> {
+        if self.queries_via_root() && node != self.tree().root() {
+            // STUN routes queries to the sink; intermediate ancestors
+            // never answer.
+            return None;
+        }
+        if self.holds(node, o) {
+            self.descend_cost(o, node)
+        } else {
+            None
+        }
+    }
+
+    fn level_period(&self, _level: usize) -> f64 {
+        0.0
+    }
+}
+
+/// Engine parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConcurrentConfig {
+    /// Maximum simultaneously in-flight maintenance operations per object
+    /// (the paper's experiments fix this at 10).
+    pub max_inflight_per_object: usize,
+    /// Queries injected per batch, racing the batch's maintenance
+    /// operations (0 reproduces the maintenance-only figures).
+    pub queries_per_batch: usize,
+    /// Seed for query placement.
+    pub seed: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 0, seed: 0 }
+    }
+}
+
+/// Aggregate results of a concurrent run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentOutcome {
+    pub maintenance: CostStats,
+    pub queries: CostStats,
+    pub queries_issued: usize,
+    pub queries_correct: usize,
+}
+
+enum Task {
+    /// A maintenance request heading to `to`, currently probing
+    /// `path[pos]`. `optimal` is the operation's share of `C*(E)` — the
+    /// distance the object physically moved for this trace step (the
+    /// paper's optimal is defined on the operation *set*, independent of
+    /// the realized commit order).
+    Move { to: NodeId, optimal: f64 },
+    /// A query from `from`, climbing; after locating it verifies/chases.
+    QueryClimb { from: NodeId },
+    /// A query result in flight toward `expected` proxy; on arrival the
+    /// proxy may have moved again.
+    QueryChase { from: NodeId, expected: NodeId, cost_so_far: f64 },
+}
+
+struct Op {
+    task: Task,
+    path: Vec<(NodeId, usize)>,
+    pos: usize,
+}
+
+struct Event {
+    time: f64,
+    op: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.op == other.op
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap by (time, op id)
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.op.cmp(&self.op))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The discrete-event concurrent executor.
+pub struct ConcurrentEngine;
+
+impl ConcurrentEngine {
+    /// Runs `workload` concurrently: each object's moves are cut into
+    /// batches of `max_inflight_per_object` simultaneous requests
+    /// (batches for one object run in trace order; objects never
+    /// interact, so batch order across objects is immaterial). Optional
+    /// queries race each batch.
+    pub fn run<S: ClimbStructure + ?Sized>(
+        tracker: &mut S,
+        workload: &Workload,
+        oracle: &DistanceMatrix,
+        cfg: &ConcurrentConfig,
+    ) -> Result<ConcurrentOutcome> {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut outcome = ConcurrentOutcome::default();
+        let k = cfg.max_inflight_per_object.max(1);
+
+        // Group moves per object, keeping trace order.
+        let mut per_object: Vec<Vec<crate::mobility::MoveOp>> =
+            vec![Vec::new(); workload.object_count()];
+        for m in &workload.moves {
+            per_object[m.object.index()].push(*m);
+        }
+
+        for (oi, destinations) in per_object.iter().enumerate() {
+            let object = ObjectId(oi as u32);
+            for batch in destinations.chunks(k) {
+                Self::run_batch(
+                    tracker,
+                    object,
+                    batch,
+                    oracle,
+                    cfg,
+                    &mut rng,
+                    &mut outcome,
+                )?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn run_batch<S: ClimbStructure + ?Sized>(
+        tracker: &mut S,
+        object: ObjectId,
+        destinations: &[crate::mobility::MoveOp],
+        oracle: &DistanceMatrix,
+        cfg: &ConcurrentConfig,
+        rng: &mut ChaCha8Rng,
+        outcome: &mut ConcurrentOutcome,
+    ) -> Result<()> {
+        let mut ops: Vec<Op> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        for mv in destinations {
+            let path = tracker.climb_sequence(mv.to);
+            heap.push(Event { time: 0.0, op: ops.len() });
+            ops.push(Op {
+                task: Task::Move { to: mv.to, optimal: oracle.dist(mv.from, mv.to) },
+                path,
+                pos: 0,
+            });
+        }
+        let n = oracle.node_count();
+        for _ in 0..cfg.queries_per_batch {
+            let from = NodeId::from_index(rng.gen_range(0..n));
+            // Queries start staggered through the batch's early phase so
+            // some overlap the racing maintenance mid-flight.
+            let start = rng.gen_range(0.0..oracle.diameter().max(1.0));
+            let path = tracker.climb_sequence(from);
+            heap.push(Event { time: start, op: ops.len() });
+            ops.push(Op { task: Task::QueryClimb { from }, path, pos: 0 });
+            outcome.queries_issued += 1;
+        }
+
+        while let Some(Event { time, op: op_idx }) = heap.pop() {
+            let (node, level) = ops[op_idx].path[ops[op_idx].pos];
+            match ops[op_idx].task {
+                Task::Move { to, optimal } => {
+                    if tracker.committed_holds(node, level, object) {
+                        // The request found the object's information: the
+                        // update commits against the committed state. The
+                        // request may have climbed past levels that were
+                        // empty when it probed them but have been
+                        // re-populated by a racing commit since —
+                        // `move_object`'s fresh climb stops at the first
+                        // holder *now*, so bill the difference between
+                        // the distance this op actually traveled and the
+                        // fresh climb (the wasted racing distance).
+                        let travelled = Self::climb_cost(&ops[op_idx], oracle);
+                        let fresh = Self::fresh_climb_cost(tracker, &ops[op_idx], object, oracle);
+                        let mv = tracker.move_object(object, to)?;
+                        let waste = (travelled - fresh).max(0.0);
+                        outcome.maintenance.record(mv.cost + waste, optimal);
+                    } else {
+                        Self::advance(tracker, &mut ops, op_idx, time, oracle, &mut heap);
+                    }
+                }
+                Task::QueryClimb { from } => {
+                    if let Some(descend) = tracker.locate(node, level, object) {
+                        let climbed = Self::climb_cost(&ops[op_idx], oracle);
+                        let expected =
+                            tracker.proxy_of(object).expect("object is published");
+                        let cost_so_far = climbed + descend;
+                        ops[op_idx].task =
+                            Task::QueryChase { from, expected, cost_so_far };
+                        heap.push(Event { time: time + descend, op: op_idx });
+                    } else {
+                        Self::advance(tracker, &mut ops, op_idx, time, oracle, &mut heap);
+                    }
+                }
+                Task::QueryChase { from, expected, cost_so_far } => {
+                    let live = tracker.proxy_of(object).expect("object is published");
+                    if live == expected {
+                        // Query settled on the true proxy.
+                        outcome.queries_correct += 1;
+                        let optimal = oracle.dist(from, live);
+                        if optimal > 0.0 {
+                            outcome.queries.record(cost_so_far, optimal);
+                        }
+                    } else {
+                        // The object moved while the result was in
+                        // flight: the stale proxy forwards the query
+                        // along the location carried by the delete.
+                        let hop = oracle.dist(expected, live);
+                        ops[op_idx].task = Task::QueryChase {
+                            from,
+                            expected: live,
+                            cost_so_far: cost_so_far + hop,
+                        };
+                        heap.push(Event { time: time + hop.max(1e-9), op: op_idx });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Distance already travelled along an op's climb path up to its
+    /// current position.
+    fn climb_cost(op: &Op, oracle: &DistanceMatrix) -> f64 {
+        op.path[..=op.pos]
+            .windows(2)
+            .map(|w| oracle.dist(w[0].0, w[1].0))
+            .sum()
+    }
+
+    /// Distance a climb along `op.path` would travel against the current
+    /// committed state (stopping at the first holder) — what
+    /// `move_object` is about to recompute and charge internally.
+    fn fresh_climb_cost<S: ClimbStructure + ?Sized>(
+        tracker: &S,
+        op: &Op,
+        object: ObjectId,
+        oracle: &DistanceMatrix,
+    ) -> f64 {
+        let mut cost = 0.0;
+        for w in op.path.windows(2) {
+            let (node, level) = w[0];
+            if tracker.committed_holds(node, level, object) {
+                break;
+            }
+            cost += oracle.dist(node, w[1].0);
+        }
+        cost
+    }
+
+    /// Schedules the next probe of a climbing op: travel time plus the
+    /// period barrier when crossing into a higher level.
+    fn advance<S: ClimbStructure + ?Sized>(
+        tracker: &S,
+        ops: &mut [Op],
+        op_idx: usize,
+        now: f64,
+        oracle: &DistanceMatrix,
+        heap: &mut BinaryHeap<Event>,
+    ) {
+        let op = &mut ops[op_idx];
+        debug_assert!(
+            op.pos + 1 < op.path.len(),
+            "climb ran past the root without meeting the object"
+        );
+        let (cur, cur_level) = op.path[op.pos];
+        op.pos += 1;
+        let (next, next_level) = op.path[op.pos];
+        let mut t = now + oracle.dist(cur, next).max(1e-9);
+        if next_level > cur_level {
+            let phi = tracker.level_period(next_level);
+            if phi > 0.0 {
+                t = (t / phi).ceil() * phi;
+            }
+        }
+        heap.push(Event { time: t, op: op_idx });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::WorkloadSpec;
+    use crate::run::run_publish;
+    use mot_baselines::{build_stun, DetectionRates, TrackingTree, TreeTracker};
+    use mot_core::{MotConfig, MotTracker};
+    use mot_hierarchy::{build_doubling, OverlayConfig};
+    use mot_net::generators;
+
+    fn grid_env() -> (mot_net::Graph, DistanceMatrix, mot_hierarchy::Overlay) {
+        let g = generators::grid(6, 6).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let o = build_doubling(&g, &m, &OverlayConfig::practical(), 5);
+        (g, m, o)
+    }
+
+    #[test]
+    fn concurrent_moves_commit_every_operation() {
+        let (g, m, overlay) = grid_env();
+        let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+        let w = WorkloadSpec::new(3, 50, 2).generate(&g);
+        run_publish(&mut t, &w).unwrap();
+        let out = ConcurrentEngine::run(
+            &mut t,
+            &w,
+            &m,
+            &ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 0, seed: 1 },
+        )
+        .unwrap();
+        assert_eq!(out.maintenance.operations, 150);
+        assert!(out.maintenance.ratio() >= 1.0);
+        t.check_invariants();
+        // the final proxy of each object is one of its trace destinations
+        for (oi, _) in w.initial.iter().enumerate() {
+            let o = ObjectId(oi as u32);
+            let p = t.proxy_of(o).unwrap();
+            let dests: Vec<NodeId> = w
+                .moves
+                .iter()
+                .filter(|mv| mv.object == o)
+                .map(|mv| mv.to)
+                .collect();
+            assert!(dests.contains(&p) || w.initial[oi] == p);
+        }
+    }
+
+    #[test]
+    fn inflight_one_matches_one_by_one_costs() {
+        // With a single in-flight op per object the engine degenerates to
+        // one-by-one execution: identical total maintenance cost.
+        let (g, m, overlay) = grid_env();
+        let w = WorkloadSpec::new(2, 40, 8).generate(&g);
+
+        let mut seq = MotTracker::new(&overlay, &m, MotConfig::plain());
+        run_publish(&mut seq, &w).unwrap();
+        let seq_stats = crate::run::replay_moves(&mut seq, &w, &m).unwrap();
+
+        let mut con = MotTracker::new(&overlay, &m, MotConfig::plain());
+        run_publish(&mut con, &w).unwrap();
+        let out = ConcurrentEngine::run(
+            &mut con,
+            &w,
+            &m,
+            &ConcurrentConfig { max_inflight_per_object: 1, queries_per_batch: 0, seed: 1 },
+        )
+        .unwrap();
+        assert!(
+            (out.maintenance.total - seq_stats.total).abs() < 1e-6,
+            "k=1 concurrent {} != sequential {}",
+            out.maintenance.total,
+            seq_stats.total
+        );
+        assert!((out.maintenance.optimal - seq_stats.optimal).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_queries_always_settle_on_the_live_proxy() {
+        let (g, m, overlay) = grid_env();
+        let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+        let w = WorkloadSpec::new(2, 60, 3).generate(&g);
+        run_publish(&mut t, &w).unwrap();
+        let out = ConcurrentEngine::run(
+            &mut t,
+            &w,
+            &m,
+            &ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 4, seed: 7 },
+        )
+        .unwrap();
+        assert!(out.queries_issued > 0);
+        assert_eq!(out.queries_correct, out.queries_issued);
+        assert!(out.queries.ratio() >= 1.0);
+    }
+
+    #[test]
+    fn tree_trackers_run_concurrently_too() {
+        let g = generators::grid(5, 5).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let w = WorkloadSpec::new(2, 30, 4).generate(&g);
+        let rates = DetectionRates::from_moves(&g, &w.move_pairs());
+        let tree: TrackingTree = build_stun(&g, &rates);
+        let mut t = TreeTracker::new("STUN", tree, &m, false);
+        run_publish(&mut t, &w).unwrap();
+        let out = ConcurrentEngine::run(
+            &mut t,
+            &w,
+            &m,
+            &ConcurrentConfig { max_inflight_per_object: 5, queries_per_batch: 2, seed: 5 },
+        )
+        .unwrap();
+        assert_eq!(out.maintenance.operations, 60);
+        assert_eq!(out.queries_correct, out.queries_issued);
+    }
+
+    #[test]
+    fn concurrency_does_not_undershoot_sequential_ratio_much() {
+        // Racing requests can only climb at least as far as the
+        // sequential execution for the same committed meets; the ratio
+        // should be in the same ballpark or above.
+        let (g, m, overlay) = grid_env();
+        let w = WorkloadSpec::new(4, 80, 12).generate(&g);
+
+        let mut seq = MotTracker::new(&overlay, &m, MotConfig::plain());
+        run_publish(&mut seq, &w).unwrap();
+        let s = crate::run::replay_moves(&mut seq, &w, &m).unwrap();
+
+        let mut con = MotTracker::new(&overlay, &m, MotConfig::plain());
+        run_publish(&mut con, &w).unwrap();
+        let c = ConcurrentEngine::run(&mut con, &w, &m, &ConcurrentConfig::default())
+            .unwrap();
+        assert!(
+            c.maintenance.ratio() > 0.3 * s.ratio(),
+            "concurrent ratio {} collapsed vs sequential {}",
+            c.maintenance.ratio(),
+            s.ratio()
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload persistence: save generated traces, replay recorded ones.
+//!
+//! Reproducibility beyond seeds: a workload can be written to JSON and
+//! replayed later (or shipped alongside results). `validate_against`
+//! guards replays on the wrong topology — a trace is only meaningful on
+//! the graph whose adjacencies it walks.
+
+use crate::mobility::Workload;
+use mot_net::Graph;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised by workload I/O.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Json(serde_json::Error),
+    /// The trace references nodes or adjacencies the graph lacks.
+    TopologyMismatch(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "workload i/o failed: {e}"),
+            IoError::Json(e) => write!(f, "workload (de)serialization failed: {e}"),
+            IoError::TopologyMismatch(what) => {
+                write!(f, "trace does not fit the topology: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Writes a workload as pretty JSON.
+pub fn save_workload(w: &Workload, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    serde_json::to_writer_pretty(&mut out, w)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a workload back from JSON.
+pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, IoError> {
+    let file = BufReader::new(std::fs::File::open(path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+/// Checks that a (possibly externally produced) trace is executable on
+/// `g`: nodes in range, every move leaving the object's current proxy
+/// along an existing adjacency.
+pub fn validate_against(w: &Workload, g: &Graph) -> Result<(), IoError> {
+    let n = g.node_count();
+    for (oi, &p) in w.initial.iter().enumerate() {
+        if p.index() >= n {
+            return Err(IoError::TopologyMismatch(format!(
+                "initial proxy {p} of object {oi} out of range (n = {n})"
+            )));
+        }
+    }
+    let mut pos = w.initial.clone();
+    for (step, m) in w.moves.iter().enumerate() {
+        if m.object.index() >= pos.len() {
+            return Err(IoError::TopologyMismatch(format!(
+                "move {step} references unknown object {}",
+                m.object
+            )));
+        }
+        if m.from != pos[m.object.index()] {
+            return Err(IoError::TopologyMismatch(format!(
+                "move {step}: object {} is at {}, not {}",
+                m.object,
+                pos[m.object.index()],
+                m.from
+            )));
+        }
+        if m.to.index() >= n || !g.has_edge(m.from, m.to) {
+            return Err(IoError::TopologyMismatch(format!(
+                "move {step}: ({}, {}) is not an adjacency",
+                m.from, m.to
+            )));
+        }
+        pos[m.object.index()] = m.to;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{MoveOp, WorkloadSpec};
+    use mot_core::ObjectId;
+    use mot_net::{generators, NodeId};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mot-sim-io-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_trace() {
+        let g = generators::grid(4, 4).unwrap();
+        let w = WorkloadSpec::new(3, 25, 7).generate(&g);
+        let path = tmp("roundtrip");
+        save_workload(&w, &path).unwrap();
+        let back = load_workload(&path).unwrap();
+        assert_eq!(w, back);
+        validate_against(&back, &g).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn validation_rejects_wrong_topology() {
+        let g = generators::grid(4, 4).unwrap();
+        let small = generators::grid(2, 2).unwrap();
+        let w = WorkloadSpec::new(2, 30, 3).generate(&g);
+        assert!(matches!(
+            validate_against(&w, &small),
+            Err(IoError::TopologyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_broken_chains() {
+        let g = generators::grid(3, 3).unwrap();
+        let w = Workload {
+            initial: vec![NodeId(0)],
+            moves: vec![MoveOp { object: ObjectId(0), from: NodeId(4), to: NodeId(5) }],
+        };
+        let err = validate_against(&w, &g).unwrap_err();
+        assert!(err.to_string().contains("is at 0, not 4"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_teleports() {
+        let g = generators::grid(3, 3).unwrap();
+        let w = Workload {
+            initial: vec![NodeId(0)],
+            moves: vec![MoveOp { object: ObjectId(0), from: NodeId(0), to: NodeId(8) }],
+        };
+        assert!(matches!(
+            validate_against(&w, &g),
+            Err(IoError::TopologyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"{ not json").unwrap();
+        assert!(matches!(load_workload(&path), Err(IoError::Json(_))));
+        std::fs::remove_file(path).ok();
+        assert!(matches!(load_workload("/no/such/file.json"), Err(IoError::Io(_))));
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulation harness for the MOT evaluation (paper §8).
+//!
+//! Builds workloads (mobility traces + query batches), drives any
+//! [`mot_core::Tracker`] through them in the paper's two execution modes,
+//! and aggregates the metrics the figures report:
+//!
+//! * [`mobility`] — object mobility models and workload generation
+//!   (adjacent random walks, shortest-path waypoint tours),
+//! * [`run`] — one-by-one execution: publish, replay moves, issue
+//!   queries, with cost-ratio accounting against the optimal costs,
+//! * [`concurrent`] — the discrete-event engine for concurrent
+//!   executions: message latency = distance, per-level forwarding periods
+//!   `Φ(i) ∝ 2^i` (§4.1.2), bounded in-flight operations per object,
+//!   queries that chase moving objects (§4.2.2),
+//! * [`metrics`] — cost and load statistics (ratios, histograms,
+//!   fairness),
+//! * [`testbed`] — one-stop construction of a topology, its distance
+//!   oracle, overlay, and any of the six trackers the experiments
+//!   compare.
+//!
+//! # Example
+//!
+//! ```
+//! use mot_sim::{replay_moves, run_publish, run_queries, Algo, TestBed, WorkloadSpec};
+//! use mot_baselines::DetectionRates;
+//!
+//! let bed = TestBed::grid(6, 6, 42);
+//! let w = WorkloadSpec::new(3, 50, 1).generate(&bed.graph);
+//! let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+//!
+//! let mut tracker = bed.make_tracker(Algo::Mot, &rates);
+//! run_publish(tracker.as_mut(), &w)?;
+//! let maint = replay_moves(tracker.as_mut(), &w, &bed.oracle)?;
+//! assert!(maint.ratio() >= 1.0); // nothing beats the optimal cost
+//!
+//! let queries = run_queries(tracker.as_ref(), &bed.oracle, 3, 50, 2)?;
+//! assert_eq!(queries.correct, 50); // every query finds the true proxy
+//! # Ok::<(), mot_core::CoreError>(())
+//! ```
+
+pub mod concurrent;
+pub mod io;
+pub mod metrics;
+pub mod mobility;
+pub mod run;
+pub mod testbed;
+
+pub use concurrent::{ConcurrentConfig, ConcurrentEngine};
+pub use io::{load_workload, save_workload, validate_against};
+pub use metrics::{CostStats, LoadStats};
+pub use mobility::{MobilityModel, MoveOp, Workload, WorkloadSpec};
+pub use run::{replay_moves, run_local_queries, run_publish, run_queries, QueryBatchStats};
+pub use testbed::{Algo, TestBed};

@@ -1,0 +1,196 @@
+//! Cost and load statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated algorithm-vs-optimal communication cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostStats {
+    /// Total message distance spent by the algorithm.
+    pub total: f64,
+    /// Total optimal cost (sum of `dist(u_i, v_i)` for maintenance; sum
+    /// of `dist(querier, proxy)` for queries).
+    pub optimal: f64,
+    /// Sum of per-operation ratios (for operations with positive optimal
+    /// cost).
+    pub ratio_sum: f64,
+    /// Number of operations accumulated.
+    pub operations: usize,
+}
+
+impl CostStats {
+    /// Folds one operation in.
+    pub fn record(&mut self, cost: f64, optimal: f64) {
+        self.total += cost;
+        self.optimal += optimal;
+        if optimal > 0.0 {
+            self.ratio_sum += cost / optimal;
+        } else {
+            // free operation served free: ratio 1 by convention
+            self.ratio_sum += 1.0;
+        }
+        self.operations += 1;
+    }
+
+    /// The amortized cost ratio `C(E) / C*(E)` — the metric of the
+    /// maintenance analysis (a *sequence* of operations is charged
+    /// against the optimal for the whole sequence). 1.0 when no optimal
+    /// cost has accrued.
+    pub fn ratio(&self) -> f64 {
+        if self.optimal <= 0.0 {
+            1.0
+        } else {
+            self.total / self.optimal
+        }
+    }
+
+    /// Mean of per-operation ratios — the metric of the query analysis
+    /// (each query is charged against its own optimal, Theorem 4.11).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.operations == 0 {
+            1.0
+        } else {
+            self.ratio_sum / self.operations as f64
+        }
+    }
+
+    /// Merges another accumulator (e.g. across seeds).
+    pub fn merge(&mut self, other: &CostStats) {
+        self.total += other.total;
+        self.optimal += other.optimal;
+        self.ratio_sum += other.ratio_sum;
+        self.operations += other.operations;
+    }
+}
+
+/// Mean and (sample) standard deviation of a series of repeated
+/// measurements — used when reporting across seeds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub mean: f64,
+    pub stddev: f64,
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples.
+    pub fn of(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Summary { mean, stddev: var.sqrt(), count: n }
+    }
+}
+
+/// Snapshot statistics over per-node loads (Figs. 8–11).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    pub max: usize,
+    pub mean: f64,
+    /// Number of nodes with load strictly greater than 10 — the
+    /// threshold the paper's load figures call out.
+    pub nodes_above_10: usize,
+    /// Jain's fairness index in `(0, 1]`; 1 = perfectly even.
+    pub jain_index: f64,
+    /// Histogram over fixed bins: `[0, 1, 2, 3-5, 6-10, >10]`.
+    pub histogram: [usize; 6],
+}
+
+impl LoadStats {
+    /// Computes statistics from a per-node load vector.
+    pub fn from_loads(loads: &[usize]) -> LoadStats {
+        let n = loads.len().max(1);
+        let sum: usize = loads.iter().sum();
+        let sum_sq: f64 = loads.iter().map(|&l| (l * l) as f64).sum();
+        let jain = if sum == 0 {
+            1.0
+        } else {
+            (sum as f64 * sum as f64) / (n as f64 * sum_sq)
+        };
+        let mut histogram = [0usize; 6];
+        for &l in loads {
+            let bin = match l {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                3..=5 => 3,
+                6..=10 => 4,
+                _ => 5,
+            };
+            histogram[bin] += 1;
+        }
+        LoadStats {
+            max: loads.iter().copied().max().unwrap_or(0),
+            mean: sum as f64 / n as f64,
+            nodes_above_10: loads.iter().filter(|&&l| l > 10).count(),
+            jain_index: jain,
+            histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_accumulates() {
+        let mut c = CostStats::default();
+        c.record(10.0, 2.0);
+        c.record(6.0, 2.0);
+        assert_eq!(c.operations, 2);
+        assert!((c.ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_one() {
+        assert_eq!(CostStats::default().ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = CostStats::default();
+        a.record(4.0, 1.0);
+        let mut b = CostStats::default();
+        b.record(2.0, 1.0);
+        a.merge(&b);
+        assert_eq!(a.total, 6.0);
+        assert_eq!(a.operations, 2);
+        assert!((a.ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_and_stddev() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.count, 8);
+        assert_eq!(Summary::of(&[]).count, 0);
+        assert_eq!(Summary::of(&[3.0]).stddev, 0.0);
+    }
+
+    #[test]
+    fn load_stats_basic() {
+        let s = LoadStats::from_loads(&[0, 1, 1, 2, 15]);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.nodes_above_10, 1);
+        assert!((s.mean - 3.8).abs() < 1e-12);
+        assert_eq!(s.histogram, [1, 2, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn jain_index_detects_imbalance() {
+        let even = LoadStats::from_loads(&[5, 5, 5, 5]);
+        assert!((even.jain_index - 1.0).abs() < 1e-12);
+        let skewed = LoadStats::from_loads(&[20, 0, 0, 0]);
+        assert!((skewed.jain_index - 0.25).abs() < 1e-12);
+        let empty = LoadStats::from_loads(&[0, 0]);
+        assert_eq!(empty.jain_index, 1.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Object mobility models and workload generation.
+//!
+//! The paper assumes the distance an object can traverse per unit time is
+//! bounded, i.e. objects hand off between *adjacent* sensors. The random
+//! walk model hops one adjacency per move (the classic tracking
+//! workload); the waypoint model walks shortest paths toward successive
+//! random targets, producing directional traces with hot corridors —
+//! traffic the rate-conscious baselines can genuinely exploit.
+
+use mot_core::ObjectId;
+use mot_net::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How objects pick their next proxy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityModel {
+    /// Uniform hop to a random adjacent sensor per move.
+    RandomWalk,
+    /// Walk a shortest path toward a random waypoint; pick a new waypoint
+    /// on arrival.
+    Waypoint,
+    /// Shuttle between two fixed anchor sensors along shortest paths —
+    /// the most predictable traffic possible, i.e. the *best case* for
+    /// the traffic-conscious baselines (every crossing is on one hot
+    /// corridor the rate-built trees can hug) and therefore the honest
+    /// stress test for MOT's traffic-obliviousness claim.
+    Commuter,
+}
+
+/// One maintenance operation: object `object` moves `from → to`
+/// (`from` is recorded so optimal costs and detection rates don't need
+/// replaying).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MoveOp {
+    pub object: ObjectId,
+    pub from: NodeId,
+    pub to: NodeId,
+}
+
+/// A complete generated workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Initial proxy per object (index = object id).
+    pub initial: Vec<NodeId>,
+    /// Moves in a random global interleaving that preserves each object's
+    /// own order (the paper replays "operations per object in random
+    /// order").
+    pub moves: Vec<MoveOp>,
+}
+
+impl Workload {
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// The `(from, to)` pairs — input for
+    /// `mot_baselines::DetectionRates::from_moves` (the baselines'
+    /// traffic knowledge).
+    pub fn move_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.moves.iter().map(|m| (m.from, m.to)).collect()
+    }
+
+    /// Final proxy of every object after the full replay.
+    pub fn final_proxies(&self) -> Vec<NodeId> {
+        let mut p = self.initial.clone();
+        for m in &self.moves {
+            p[m.object.index()] = m.to;
+        }
+        p
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    pub objects: usize,
+    pub moves_per_object: usize,
+    pub model: MobilityModel,
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor for the paper's standard workload shape.
+    pub fn new(objects: usize, moves_per_object: usize, seed: u64) -> Self {
+        WorkloadSpec { objects, moves_per_object, model: MobilityModel::RandomWalk, seed }
+    }
+
+    /// Generates the workload on `g`.
+    pub fn generate(&self, g: &Graph) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = g.node_count();
+        let initial: Vec<NodeId> = (0..self.objects)
+            .map(|_| NodeId::from_index(rng.gen_range(0..n)))
+            .collect();
+
+        // Per-object move sequences.
+        let mut per_object: Vec<Vec<MoveOp>> = Vec::with_capacity(self.objects);
+        for (oi, &start) in initial.iter().enumerate() {
+            let o = ObjectId(oi as u32);
+            let mut seq = Vec::with_capacity(self.moves_per_object);
+            let mut cur = start;
+            let mut waypoint_path: Vec<NodeId> = Vec::new();
+            // Commuter state: the opposite anchor (the walk shuttles
+            // start <-> anchor forever).
+            let far_anchor = loop {
+                let t = NodeId::from_index(rng.gen_range(0..n));
+                if t != start {
+                    break t;
+                }
+            };
+            let mut heading_out = true;
+            for _ in 0..self.moves_per_object {
+                let next = match self.model {
+                    MobilityModel::RandomWalk => {
+                        let nbrs = g.neighbors(cur);
+                        nbrs[rng.gen_range(0..nbrs.len())].to
+                    }
+                    MobilityModel::Waypoint => {
+                        if waypoint_path.is_empty() {
+                            let target = loop {
+                                let t = NodeId::from_index(rng.gen_range(0..n));
+                                if t != cur {
+                                    break t;
+                                }
+                            };
+                            // shortest path cur -> target, excluding cur
+                            let tree = mot_net::shortest_path_tree(g, target);
+                            let mut path = tree.path_to_root(cur);
+                            path.remove(0);
+                            path.reverse(); // will pop() from the cur-end
+                            waypoint_path = path;
+                        }
+                        waypoint_path.pop().expect("refilled above")
+                    }
+                    MobilityModel::Commuter => {
+                        if waypoint_path.is_empty() {
+                            let target = if heading_out { far_anchor } else { start };
+                            heading_out = !heading_out;
+                            if target == cur {
+                                // degenerate: anchors adjacent loops; hop away
+                                let nbrs = g.neighbors(cur);
+                                waypoint_path = vec![nbrs[0].to];
+                            } else {
+                                let tree = mot_net::shortest_path_tree(g, target);
+                                let mut path = tree.path_to_root(cur);
+                                path.remove(0);
+                                path.reverse();
+                                waypoint_path = path;
+                            }
+                        }
+                        waypoint_path.pop().expect("refilled above")
+                    }
+                };
+                seq.push(MoveOp { object: o, from: cur, to: next });
+                cur = next;
+            }
+            per_object.push(seq);
+        }
+
+        // Random global interleaving preserving per-object order: shuffle
+        // a deck with `moves_per_object` copies of each object id.
+        let mut deck: Vec<usize> = (0..self.objects)
+            .flat_map(|oi| std::iter::repeat_n(oi, self.moves_per_object))
+            .collect();
+        deck.shuffle(&mut rng);
+        let mut cursors = vec![0usize; self.objects];
+        let mut moves = Vec::with_capacity(deck.len());
+        for oi in deck {
+            moves.push(per_object[oi][cursors[oi]]);
+            cursors[oi] += 1;
+        }
+        Workload { initial, moves }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_net::generators;
+
+    #[test]
+    fn random_walk_moves_are_adjacent() {
+        let g = generators::grid(5, 5).unwrap();
+        let w = WorkloadSpec::new(4, 50, 7).generate(&g);
+        assert_eq!(w.object_count(), 4);
+        assert_eq!(w.moves.len(), 200);
+        for m in &w.moves {
+            assert!(g.has_edge(m.from, m.to), "move {m:?} not an adjacency");
+        }
+    }
+
+    #[test]
+    fn per_object_order_is_a_consistent_walk() {
+        let g = generators::grid(4, 4).unwrap();
+        let w = WorkloadSpec::new(3, 40, 9).generate(&g);
+        let mut pos = w.initial.clone();
+        for m in &w.moves {
+            assert_eq!(m.from, pos[m.object.index()], "broken chain at {m:?}");
+            pos[m.object.index()] = m.to;
+        }
+        assert_eq!(pos, w.final_proxies());
+    }
+
+    #[test]
+    fn interleaving_mixes_objects() {
+        let g = generators::grid(4, 4).unwrap();
+        let w = WorkloadSpec::new(2, 100, 3).generate(&g);
+        // the first 100 moves should not all belong to object 0
+        let first_obj: Vec<_> = w.moves[..100].iter().map(|m| m.object).collect();
+        assert!(first_obj.contains(&ObjectId(0)));
+        assert!(first_obj.contains(&ObjectId(1)));
+    }
+
+    #[test]
+    fn waypoint_walks_shortest_paths() {
+        let g = generators::grid(6, 6).unwrap();
+        let spec = WorkloadSpec {
+            objects: 2,
+            moves_per_object: 60,
+            model: MobilityModel::Waypoint,
+            seed: 5,
+        };
+        let w = spec.generate(&g);
+        for m in &w.moves {
+            assert!(g.has_edge(m.from, m.to), "waypoint hop {m:?} not an edge");
+        }
+    }
+
+    #[test]
+    fn commuter_shuttles_along_one_corridor() {
+        let g = generators::grid(8, 8).unwrap();
+        let spec = WorkloadSpec {
+            objects: 1,
+            moves_per_object: 120,
+            model: MobilityModel::Commuter,
+            seed: 6,
+        };
+        let w = spec.generate(&g);
+        for m in &w.moves {
+            assert!(g.has_edge(m.from, m.to));
+        }
+        // a commuter revisits a small set of edges over and over
+        let mut edges = std::collections::HashSet::new();
+        for m in &w.moves {
+            let (a, b) = if m.from < m.to { (m.from, m.to) } else { (m.to, m.from) };
+            edges.insert((a, b));
+        }
+        assert!(
+            edges.len() * 3 <= w.moves.len(),
+            "commuter used {} distinct edges over {} moves — not a corridor",
+            edges.len(),
+            w.moves.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::grid(4, 4).unwrap();
+        let a = WorkloadSpec::new(3, 20, 11).generate(&g);
+        let b = WorkloadSpec::new(3, 20, 11).generate(&g);
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.moves, b.moves);
+        let c = WorkloadSpec::new(3, 20, 12).generate(&g);
+        assert_ne!(a.moves, c.moves);
+    }
+}

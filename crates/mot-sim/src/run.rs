@@ -1,0 +1,181 @@
+//! One-by-one execution: publish, maintenance replay, query batches.
+//!
+//! Each operation completes before the next starts (the paper's primary
+//! case, matching scenarios where event inter-arrival times dwarf message
+//! propagation times).
+
+use crate::metrics::CostStats;
+use crate::mobility::Workload;
+use mot_core::{ObjectId, Result, Tracker};
+use mot_net::{DistanceMatrix, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Publishes every object of `workload` at its initial proxy. Returns the
+/// total publish cost (a one-time cost outside the cost ratios).
+pub fn run_publish(tracker: &mut dyn Tracker, workload: &Workload) -> Result<f64> {
+    let mut total = 0.0;
+    for (oi, &proxy) in workload.initial.iter().enumerate() {
+        total += tracker.publish(ObjectId(oi as u32), proxy)?;
+    }
+    Ok(total)
+}
+
+/// Replays the maintenance operations one by one, verifying each move's
+/// provenance and accumulating algorithm-vs-optimal cost.
+pub fn replay_moves(
+    tracker: &mut dyn Tracker,
+    workload: &Workload,
+    oracle: &DistanceMatrix,
+) -> Result<CostStats> {
+    let mut stats = CostStats::default();
+    for m in &workload.moves {
+        let outcome = tracker.move_object(m.object, m.to)?;
+        debug_assert_eq!(
+            outcome.from, m.from,
+            "structure proxy record diverged from the trace"
+        );
+        stats.record(outcome.cost, oracle.dist(m.from, m.to));
+    }
+    Ok(stats)
+}
+
+/// Statistics of one query batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryBatchStats {
+    pub cost: CostStats,
+    /// Queries whose requester happened to be the proxy (optimal cost 0;
+    /// excluded from the ratio, reported for completeness).
+    pub zero_distance: usize,
+    /// Queries that returned the true proxy (must equal the batch size).
+    pub correct: usize,
+}
+
+/// Issues `count` queries from random nodes for random objects against
+/// the tracker's current state and scores them against the optimal cost
+/// `dist(requester, proxy)`.
+pub fn run_queries(
+    tracker: &dyn Tracker,
+    oracle: &DistanceMatrix,
+    object_count: usize,
+    count: usize,
+    seed: u64,
+) -> Result<QueryBatchStats> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = oracle.node_count();
+    let mut out = QueryBatchStats::default();
+    for _ in 0..count {
+        let from = NodeId::from_index(rng.gen_range(0..n));
+        let o = ObjectId(rng.gen_range(0..object_count as u32));
+        let truth = tracker.proxy_of(o).expect("workload published every object");
+        let r = tracker.query(from, o)?;
+        if r.proxy == truth {
+            out.correct += 1;
+        }
+        let optimal = oracle.dist(from, truth);
+        if optimal <= 0.0 {
+            out.zero_distance += 1;
+        } else {
+            out.cost.record(r.cost, optimal);
+        }
+    }
+    Ok(out)
+}
+
+/// Issues `count` *local* queries: each requester is drawn from within
+/// distance `radius` of the queried object's proxy. Distance-sensitive
+/// tracking is the paper's core promise — a query about a nearby object
+/// must cost proportional to the distance, not the network size — and
+/// local queries are where sink-routed baselines pay their detour.
+pub fn run_local_queries(
+    tracker: &dyn Tracker,
+    oracle: &DistanceMatrix,
+    object_count: usize,
+    radius: f64,
+    count: usize,
+    seed: u64,
+) -> Result<QueryBatchStats> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = QueryBatchStats::default();
+    for _ in 0..count {
+        let o = ObjectId(rng.gen_range(0..object_count as u32));
+        let truth = tracker.proxy_of(o).expect("workload published every object");
+        let near = oracle.ball(truth, radius);
+        let from = near[rng.gen_range(0..near.len())];
+        let r = tracker.query(from, o)?;
+        if r.proxy == truth {
+            out.correct += 1;
+        }
+        let optimal = oracle.dist(from, truth);
+        if optimal <= 0.0 {
+            out.zero_distance += 1;
+        } else {
+            out.cost.record(r.cost, optimal);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::WorkloadSpec;
+    use mot_core::{MotConfig, MotTracker};
+    use mot_hierarchy::{build_doubling, OverlayConfig};
+    use mot_net::generators;
+
+    #[test]
+    fn full_pipeline_on_mot() {
+        let g = generators::grid(6, 6).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+        let w = WorkloadSpec::new(5, 100, 1).generate(&g);
+        let publish_cost = run_publish(&mut t, &w).unwrap();
+        assert!(publish_cost > 0.0);
+        let stats = replay_moves(&mut t, &w, &m).unwrap();
+        assert_eq!(stats.operations, 500);
+        // random-walk moves are unit hops: optimal = #moves
+        assert!((stats.optimal - 500.0).abs() < 1e-6);
+        assert!(stats.ratio() >= 1.0, "ratio {} below optimal", stats.ratio());
+        // final proxies agree with the trace
+        for (oi, &p) in w.final_proxies().iter().enumerate() {
+            assert_eq!(t.proxy_of(ObjectId(oi as u32)), Some(p));
+        }
+        let q = run_queries(&t, &m, 5, 200, 9).unwrap();
+        assert_eq!(q.correct, 200, "every query must find the true proxy");
+        assert!(q.cost.ratio() >= 1.0);
+    }
+
+    #[test]
+    fn local_queries_come_from_within_the_radius() {
+        let g = generators::grid(8, 8).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+        let w = WorkloadSpec::new(4, 50, 2).generate(&g);
+        run_publish(&mut t, &w).unwrap();
+        replay_moves(&mut t, &w, &m).unwrap();
+        let q = run_local_queries(&t, &m, 4, 2.0, 150, 7).unwrap();
+        assert_eq!(q.correct, 150);
+        // optimal distances capped by the radius
+        assert!(q.cost.optimal <= 2.0 * q.cost.operations as f64 + 1e-9);
+        assert!(q.cost.mean_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn query_batch_counts_zero_distance_cases() {
+        let g = generators::grid(3, 3).unwrap();
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+        // park one object on every node: many queries hit distance zero
+        let w = Workload { initial: g.nodes().collect(), moves: vec![] };
+        run_publish(&mut t, &w).unwrap();
+        let q = run_queries(&t, &m, 9, 300, 4).unwrap();
+        assert!(q.zero_distance > 0);
+        assert_eq!(q.correct, 300);
+        assert_eq!(q.cost.operations + q.zero_distance, 300);
+    }
+}

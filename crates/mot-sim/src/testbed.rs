@@ -1,0 +1,210 @@
+//! One-stop experiment environments.
+//!
+//! A [`TestBed`] bundles a topology, its distance oracle, and a prebuilt
+//! overlay; [`TestBed::make_tracker`] instantiates any of the compared
+//! algorithms over it. The traffic-conscious baselines receive the
+//! workload's measured [`DetectionRates`]; MOT never sees them
+//! (traffic-obliviousness is its defining property).
+
+use crate::concurrent::ClimbStructure;
+use mot_baselines::{build_dat, build_stun, build_zdat, DetectionRates, TreeTracker, ZdatParams};
+use mot_core::{MotConfig, MotTracker};
+use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
+use mot_net::{DistanceMatrix, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The algorithms compared in the paper's evaluation, plus the ablation
+/// variants this reproduction adds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// MOT, plain (Algorithm 1).
+    Mot,
+    /// MOT with §5 load balancing (hashing + de Bruijn routing costs).
+    MotLb,
+    /// MOT without special parents (ablation: Fig. 2 pathology).
+    MotNoSp,
+    /// STUN via Drain-And-Balance (Kung & Vlah).
+    Stun,
+    /// Deviation-Avoidance Tree (Lin et al.).
+    Dat,
+    /// Zone-based DAT (Lin et al.).
+    Zdat,
+    /// Z-DAT wrapped with Liu-et-al.-style shortcuts.
+    ZdatShortcuts,
+}
+
+impl Algo {
+    /// The four algorithms the paper's figures compare.
+    pub fn paper_lineup() -> [Algo; 4] {
+        [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts]
+    }
+
+    /// Display name used in reports (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::Mot => "MOT",
+            Algo::MotLb => "MOT+LB",
+            Algo::MotNoSp => "MOT-noSP",
+            Algo::Stun => "STUN",
+            Algo::Dat => "DAT",
+            Algo::Zdat => "Z-DAT",
+            Algo::ZdatShortcuts => "Z-DAT+shortcuts",
+        }
+    }
+}
+
+/// A topology with its oracle and overlay, ready to instantiate trackers.
+pub struct TestBed {
+    pub graph: Graph,
+    pub oracle: DistanceMatrix,
+    pub overlay: Overlay,
+}
+
+impl TestBed {
+    /// Builds a bed over an arbitrary connected graph with the doubling
+    /// (MIS) overlay — the constant-doubling model used by the paper's
+    /// experiments.
+    pub fn new(graph: Graph, seed: u64) -> Self {
+        Self::with_config(graph, &OverlayConfig::practical(), seed)
+    }
+
+    /// Builds a bed with an explicit overlay configuration.
+    pub fn with_config(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
+        let oracle = DistanceMatrix::build(&graph).expect("connected graph");
+        let overlay = build_doubling(&graph, &oracle, cfg, seed);
+        TestBed { graph, oracle, overlay }
+    }
+
+    /// Builds a bed with the §6 general-network (sparse partition)
+    /// overlay instead of the doubling one.
+    pub fn general(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
+        let oracle = DistanceMatrix::build(&graph).expect("connected graph");
+        let overlay = build_general(&graph, &oracle, cfg, seed);
+        TestBed { graph, oracle, overlay }
+    }
+
+    /// `rows × cols` unit grid bed (the paper's topology).
+    pub fn grid(rows: usize, cols: usize, seed: u64) -> Self {
+        Self::new(mot_net::generators::grid(rows, cols).expect("valid grid"), seed)
+    }
+
+    /// A graph center — the sink the tree baselines root at.
+    pub fn center(&self) -> NodeId {
+        let n = self.graph.node_count();
+        (0..n)
+            .map(NodeId::from_index)
+            .min_by(|&a, &b| {
+                let ea = (0..n)
+                    .map(|v| self.oracle.dist(a, NodeId::from_index(v)))
+                    .fold(0.0, f64::max);
+                let eb = (0..n)
+                    .map(|v| self.oracle.dist(b, NodeId::from_index(v)))
+                    .fold(0.0, f64::max);
+                ea.partial_cmp(&eb).unwrap().then(a.cmp(&b))
+            })
+            .expect("non-empty graph")
+    }
+
+    /// Instantiates `algo` over this bed. `rates` is the traffic
+    /// knowledge handed to the traffic-conscious baselines (ignored by
+    /// the MOT variants).
+    pub fn make_tracker<'a>(
+        &'a self,
+        algo: Algo,
+        rates: &DetectionRates,
+    ) -> Box<dyn ClimbStructure + 'a> {
+        match algo {
+            Algo::Mot => {
+                Box::new(MotTracker::new(&self.overlay, &self.oracle, MotConfig::plain()))
+            }
+            Algo::MotLb => Box::new(MotTracker::new(
+                &self.overlay,
+                &self.oracle,
+                MotConfig::load_balanced(),
+            )),
+            Algo::MotNoSp => Box::new(MotTracker::new(
+                &self.overlay,
+                &self.oracle,
+                MotConfig::no_special_parents(),
+            )),
+            Algo::Stun => {
+                // Kung & Vlah's queries are served from the sink: the
+                // request travels to the root and descends from there.
+                let tree = build_stun(&self.graph, rates);
+                Box::new(
+                    TreeTracker::new("STUN", tree, &self.oracle, false)
+                        .with_root_queries(),
+                )
+            }
+            Algo::Dat => {
+                let tree = build_dat(&self.graph, rates, self.center());
+                Box::new(TreeTracker::new("DAT", tree, &self.oracle, false))
+            }
+            Algo::Zdat => {
+                let tree = build_zdat(&self.graph, rates, ZdatParams::default())
+                    .expect("beds carry positions");
+                Box::new(TreeTracker::new("Z-DAT", tree, &self.oracle, false))
+            }
+            Algo::ZdatShortcuts => {
+                let tree = build_zdat(&self.graph, rates, ZdatParams::default())
+                    .expect("beds carry positions");
+                Box::new(TreeTracker::new("Z-DAT+shortcuts", tree, &self.oracle, true))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::WorkloadSpec;
+    use crate::run::{replay_moves, run_publish, run_queries};
+
+    #[test]
+    fn all_algorithms_run_one_workload() {
+        let bed = TestBed::grid(5, 5, 3);
+        let w = WorkloadSpec::new(3, 40, 1).generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+        for algo in [
+            Algo::Mot,
+            Algo::MotLb,
+            Algo::MotNoSp,
+            Algo::Stun,
+            Algo::Dat,
+            Algo::Zdat,
+            Algo::ZdatShortcuts,
+        ] {
+            let mut t = bed.make_tracker(algo, &rates);
+            run_publish(t.as_mut(), &w).unwrap();
+            let stats = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
+            assert!(stats.ratio() >= 1.0, "{}: ratio {}", algo.label(), stats.ratio());
+            let q = run_queries(t.as_ref(), &bed.oracle, 3, 50, 2).unwrap();
+            assert_eq!(q.correct, 50, "{} answered queries wrong", algo.label());
+        }
+    }
+
+    #[test]
+    fn center_of_grid_is_central() {
+        let bed = TestBed::grid(5, 5, 1);
+        assert_eq!(bed.center(), NodeId(12));
+    }
+
+    #[test]
+    fn paper_lineup_has_the_four_compared_algorithms() {
+        let labels: Vec<_> = Algo::paper_lineup().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["MOT", "STUN", "Z-DAT", "Z-DAT+shortcuts"]);
+    }
+
+    #[test]
+    fn general_overlay_bed_works_end_to_end() {
+        let g = mot_net::generators::grid(5, 5).unwrap();
+        let bed = TestBed::general(g, &mot_hierarchy::OverlayConfig::practical(), 2);
+        let w = WorkloadSpec::new(2, 30, 5).generate(&bed.graph);
+        let rates = DetectionRates::uniform(&bed.graph);
+        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        run_publish(t.as_mut(), &w).unwrap();
+        replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
+        let q = run_queries(t.as_ref(), &bed.oracle, 2, 40, 3).unwrap();
+        assert_eq!(q.correct, 40);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate tests of the concurrent execution engine (§4.1.2, §4.2.2).
+
+use mot_tracking::prelude::*;
+
+fn bed_and_workload(seed: u64) -> (TestBed, Workload) {
+    let bed = TestBed::grid(8, 8, seed);
+    let w = WorkloadSpec::new(4, 80, seed + 1).generate(&bed.graph);
+    (bed, w)
+}
+
+#[test]
+fn single_inflight_equals_sequential_for_every_algorithm() {
+    let (bed, w) = bed_and_workload(2);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    for algo in [Algo::Mot, Algo::Stun, Algo::Zdat] {
+        let mut seq = bed.make_tracker(algo, &rates);
+        run_publish(seq.as_mut(), &w).unwrap();
+        let s = replay_moves(seq.as_mut(), &w, &bed.oracle).unwrap();
+
+        let mut con = bed.make_tracker(algo, &rates);
+        run_publish(con.as_mut(), &w).unwrap();
+        let c = ConcurrentEngine::run(
+            con.as_mut(),
+            &w,
+            &bed.oracle,
+            &ConcurrentConfig { max_inflight_per_object: 1, queries_per_batch: 0, seed: 0 },
+        )
+        .unwrap();
+        assert!(
+            (c.maintenance.total - s.total).abs() < 1e-6,
+            "{}: k=1 concurrent {} != sequential {}",
+            algo.label(),
+            c.maintenance.total,
+            s.total
+        );
+    }
+}
+
+#[test]
+fn concurrency_never_loses_operations() {
+    let (bed, w) = bed_and_workload(5);
+    let rates = DetectionRates::uniform(&bed.graph);
+    for k in [2, 5, 10, 17] {
+        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        run_publish(t.as_mut(), &w).unwrap();
+        let out = ConcurrentEngine::run(
+            t.as_mut(),
+            &w,
+            &bed.oracle,
+            &ConcurrentConfig { max_inflight_per_object: k, queries_per_batch: 0, seed: 3 },
+        )
+        .unwrap();
+        assert_eq!(out.maintenance.operations, w.moves.len(), "k = {k}");
+        assert!(out.maintenance.ratio() >= 1.0, "k = {k}");
+    }
+}
+
+#[test]
+fn concurrent_cost_at_least_sequential_cost() {
+    // Racing requests climb at least as far as the sequential execution:
+    // the total maintenance cost must not drop below one-by-one replay.
+    let (bed, w) = bed_and_workload(7);
+    let rates = DetectionRates::uniform(&bed.graph);
+
+    let mut seq = bed.make_tracker(Algo::Mot, &rates);
+    run_publish(seq.as_mut(), &w).unwrap();
+    let s = replay_moves(seq.as_mut(), &w, &bed.oracle).unwrap();
+
+    let mut con = bed.make_tracker(Algo::Mot, &rates);
+    run_publish(con.as_mut(), &w).unwrap();
+    let c = ConcurrentEngine::run(con.as_mut(), &w, &bed.oracle, &ConcurrentConfig::default())
+        .unwrap();
+    assert!(
+        c.maintenance.total >= 0.5 * s.total,
+        "concurrent total {} collapsed below sequential {}",
+        c.maintenance.total,
+        s.total
+    );
+}
+
+#[test]
+fn overlapping_queries_settle_for_all_algorithms() {
+    let (bed, w) = bed_and_workload(9);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    for algo in [Algo::Mot, Algo::MotLb, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts] {
+        let mut t = bed.make_tracker(algo, &rates);
+        run_publish(t.as_mut(), &w).unwrap();
+        let out = ConcurrentEngine::run(
+            t.as_mut(),
+            &w,
+            &bed.oracle,
+            &ConcurrentConfig { max_inflight_per_object: 8, queries_per_batch: 3, seed: 4 },
+        )
+        .unwrap();
+        assert!(out.queries_issued > 0, "{}", algo.label());
+        assert_eq!(
+            out.queries_correct,
+            out.queries_issued,
+            "{}: some overlapping query never settled",
+            algo.label()
+        );
+    }
+}
+
+#[test]
+fn mot_invariants_survive_concurrency() {
+    let (bed, w) = bed_and_workload(13);
+    let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
+    run_publish(&mut t, &w).unwrap();
+    ConcurrentEngine::run(&mut t, &w, &bed.oracle, &ConcurrentConfig::default()).unwrap();
+    t.check_invariants();
+    // and the structure still answers every query correctly afterwards
+    let q = run_queries(&t, &bed.oracle, 4, 200, 8).unwrap();
+    assert_eq!(q.correct, 200);
+}

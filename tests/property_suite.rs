@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) over the whole stack: random
+//! topologies, random workloads, adversarial churn — checking the
+//! invariants the correctness of tracking rests on.
+
+use mot_tracking::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a connected random-geometric deployment of 10..=60 sensors.
+fn deployment() -> impl Strategy<Value = Graph> {
+    (10usize..=60, 0u64..1000).prop_map(|(n, seed)| {
+        generators::random_geometric(n, 8.0, 2.5, seed).expect("connected deployment")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The distance oracle is a metric: symmetric, zero diagonal,
+    /// triangle inequality.
+    #[test]
+    fn distance_oracle_is_a_metric(g in deployment()) {
+        let m = DistanceMatrix::build(&g).unwrap();
+        let n = g.node_count();
+        for i in 0..n.min(12) {
+            for j in 0..n.min(12) {
+                let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+                prop_assert!((m.dist(u, v) - m.dist(v, u)).abs() < 1e-4);
+                if i == j {
+                    prop_assert_eq!(m.dist(u, v), 0.0);
+                }
+                for k in 0..n.min(8) {
+                    let w = NodeId::from_index(k);
+                    prop_assert!(m.dist(u, v) <= m.dist(u, w) + m.dist(w, v) + 1e-4);
+                }
+            }
+        }
+    }
+
+    /// The core reachability invariant: after ANY sequence of random
+    /// moves, every sensor's query returns the object's true proxy, in
+    /// plain and load-balanced mode.
+    #[test]
+    fn queries_always_find_the_true_proxy(
+        g in deployment(),
+        moves in proptest::collection::vec(any::<u32>(), 1..80),
+        lb in any::<bool>(),
+        overlay_seed in 0u64..100,
+    ) {
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
+        let cfg = if lb { MotConfig::load_balanced() } else { MotConfig::plain() };
+        let mut t = MotTracker::new(&overlay, &m, cfg);
+        let o = ObjectId(0);
+        let mut proxy = NodeId(0);
+        t.publish(o, proxy).unwrap();
+        for mv in moves {
+            let nbrs = g.neighbors(proxy);
+            proxy = nbrs[(mv as usize) % nbrs.len()].to;
+            t.move_object(o, proxy).unwrap();
+        }
+        t.check_invariants();
+        for x in g.nodes() {
+            let q = t.query(x, o).unwrap();
+            prop_assert_eq!(q.proxy, proxy);
+            prop_assert!(q.cost.is_finite() && q.cost >= 0.0);
+        }
+    }
+
+    /// Lemma 2.1 with the paper's constants: detection paths of nodes at
+    /// distance d meet by level ceil(log2 d) + 1.
+    #[test]
+    fn detection_paths_meet_at_the_lemma_level(
+        g in deployment(),
+        seed in 0u64..50,
+    ) {
+        let m = DistanceMatrix::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::paper_exact(), seed);
+        let n = g.node_count();
+        for i in (0..n).step_by(3) {
+            for j in (1..n).step_by(5) {
+                let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+                if u == v {
+                    continue;
+                }
+                let d = m.dist(u, v);
+                let bound =
+                    (((d.log2().ceil()) as i64).max(0) as usize + 1).min(overlay.height());
+                prop_assert!(
+                    overlay.meet_level(u, v) <= bound,
+                    "meet({}, {}) = {} > {} (d = {})",
+                    u, v, overlay.meet_level(u, v), bound, d
+                );
+            }
+        }
+    }
+
+    /// Message-pruning-tree invariant: after any move sequence the
+    /// detection sets of a tree baseline are exactly the proxy's tree
+    /// ancestors.
+    #[test]
+    fn tree_detection_sets_are_proxy_ancestors(
+        g in deployment(),
+        moves in proptest::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let m = DistanceMatrix::build(&g).unwrap();
+        let rates = DetectionRates::uniform(&g);
+        let tree = build_stun(&g, &rates);
+        let mut t = TreeTracker::new("STUN", tree, &m, false);
+        let o = ObjectId(0);
+        let mut proxy = NodeId(0);
+        t.publish(o, proxy).unwrap();
+        for mv in moves {
+            let nbrs = g.neighbors(proxy);
+            proxy = nbrs[(mv as usize) % nbrs.len()].to;
+            t.move_object(o, proxy).unwrap();
+        }
+        // expected ancestor chain
+        let mut expected = std::collections::HashSet::new();
+        let mut cur = Some(proxy);
+        while let Some(u) = cur {
+            expected.insert(u);
+            cur = t.tree().parent(u);
+        }
+        for u in g.nodes() {
+            prop_assert_eq!(t.holds(u, o), expected.contains(&u), "at {}", u);
+        }
+        let total: usize = t.node_loads().iter().sum();
+        prop_assert_eq!(total, expected.len());
+    }
+
+    /// de Bruijn canonical routing is a shortest path for every dimension
+    /// and label pair.
+    #[test]
+    fn debruijn_routing_is_shortest(dim in 0u32..9, src in any::<u32>(), dst in any::<u32>()) {
+        let g = DeBruijnGraph::new(dim);
+        let mask = g.vertex_count() - 1;
+        let (src, dst) = (src & mask, dst & mask);
+        let route = g.route(src, dst);
+        prop_assert_eq!(route[0], src);
+        prop_assert_eq!(*route.last().unwrap(), dst);
+        for w in route.windows(2) {
+            prop_assert!(g.successors(w[0]).contains(&w[1]));
+        }
+        prop_assert!(route.len() as u32 - 1 <= dim);
+    }
+
+    /// Dynamic clusters stay routable through arbitrary churn: after any
+    /// join/leave sequence every virtual label routes to a live member.
+    #[test]
+    fn dynamic_cluster_stays_routable(
+        ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 1..60),
+    ) {
+        let mut c = DynamicCluster::new((0..4u32).map(NodeId).collect());
+        let mut next_id = 100u32;
+        for (join, pick) in ops {
+            if join || c.members().len() <= 1 {
+                c.join(NodeId(next_id));
+                next_id += 1;
+            } else {
+                let idx = (pick as usize) % c.members().len();
+                let victim = c.members()[idx];
+                c.leave(victim);
+            }
+            let e = c.embedding();
+            prop_assert!(e.members().contains(&c.leader()));
+            for label in 0..e.graph().vertex_count() {
+                prop_assert!(e.members().contains(&e.host(label)));
+            }
+            // every member can route to the leader
+            let leader_label = e.label_of(c.leader()).unwrap();
+            for &mm in e.members() {
+                let src = e.label_of(mm).unwrap();
+                let hosts = e.route_hosts(src, leader_label);
+                prop_assert_eq!(*hosts.last().unwrap(), c.leader());
+            }
+        }
+    }
+
+    /// Workload generation always produces valid adjacent chains.
+    #[test]
+    fn workloads_are_valid_walks(
+        g in deployment(),
+        objects in 1usize..6,
+        moves in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let w = WorkloadSpec::new(objects, moves, seed).generate(&g);
+        let mut pos = w.initial.clone();
+        for m in &w.moves {
+            prop_assert!(g.has_edge(m.from, m.to));
+            prop_assert_eq!(m.from, pos[m.object.index()]);
+            pos[m.object.index()] = m.to;
+        }
+    }
+}
