@@ -1,10 +1,9 @@
 //! Plain-text / CSV rendering of experiment tables.
 
-use serde::{Deserialize, Serialize};
 
 /// One regenerated figure: a labelled series per algorithm over an x axis
 /// (network size, usually).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigureTable {
     pub title: String,
     /// x-axis label (e.g. "nodes").

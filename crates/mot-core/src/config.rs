@@ -1,9 +1,8 @@
 //! Configuration of the MOT tracker.
 
-use serde::{Deserialize, Serialize};
 
 /// Feature toggles and cost-accounting switches for [`crate::MotTracker`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MotConfig {
     /// Maintain special parents / special detection lists (§3). Turning
     /// this off reproduces the path-fragmentation pathology of Fig. 2 and

@@ -17,10 +17,9 @@ use crate::tracker::Tracker;
 use mot_debruijn::DynamicCluster;
 use mot_hierarchy::{build_doubling, Overlay, OverlayConfig};
 use mot_net::{dijkstra, subgraph, DistanceMatrix, Graph, NetError, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate effect of one join/leave across every affected cluster.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ChurnReport {
     /// Total member updates across all affected clusters (the paper's
     /// adaptability measure, summed over the `O(log D)` levels the node

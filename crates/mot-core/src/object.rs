@@ -1,6 +1,5 @@
 //! Mobile object identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a mobile object (the paper's `o_i`, with objects
@@ -8,7 +7,7 @@ use std::fmt;
 ///
 /// The load-balanced variant hashes objects into cluster slots by
 /// `key(o) mod |X|` (§5); [`ObjectId::key`] is that key.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
 
 impl ObjectId {

@@ -3,10 +3,9 @@
 use crate::object::ObjectId;
 use crate::Result;
 use mot_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Result of a query operation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueryResult {
     /// The proxy node the query located.
     pub proxy: NodeId,
@@ -15,7 +14,7 @@ pub struct QueryResult {
 }
 
 /// Result of a maintenance (move) operation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MoveOutcome {
     /// The proxy the object moved away from (the structure's own record —
     /// the simulator checks it against ground truth).

@@ -19,10 +19,9 @@
 
 use crate::embedding::Embedding;
 use mot_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Record of one membership change and the work it caused.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChurnEvent {
     /// Members whose state (labels, neighbor tables, stored objects) had
     /// to be touched — the paper's *adaptability* measure.

@@ -11,10 +11,9 @@
 
 use crate::graph::DeBruijnGraph;
 use mot_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A de Bruijn graph embedded in a concrete cluster of sensor nodes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Embedding {
     graph: DeBruijnGraph,
     /// Cluster members; member `i` hosts virtual label `i` (plus the

@@ -6,10 +6,9 @@
 //! the canonical *shift-in* walk (append the destination's bits after the
 //! longest suffix/prefix overlap) is a shortest path.
 
-use serde::{Deserialize, Serialize};
 
 /// A `d`-dimensional de Bruijn graph over labels `0..2^d`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeBruijnGraph {
     dim: u32,
 }

@@ -1,6 +1,5 @@
 //! Tunable constants of the overlay construction.
 
-use serde::{Deserialize, Serialize};
 
 /// Constants governing overlay geometry.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// (including the paper's own §8 simulation) would run with; the
 /// `paper_exact` profile restores the analysis constants so the property
 /// tests can check Lemma 2.1/2.2 with the stated guarantees.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OverlayConfig {
     /// Parent set of a level-(ℓ−1) node = level-ℓ members within
     /// `parent_set_radius_mult · 2^ℓ` of it (default parent always

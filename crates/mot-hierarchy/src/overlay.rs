@@ -2,10 +2,9 @@
 
 use crate::path::DetectionPath;
 use mot_net::{DistanceMatrix, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Which construction produced the overlay.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OverlayKind {
     /// MIS coarsening for constant-doubling networks (§2.2).
     Doubling,
@@ -21,7 +20,7 @@ pub enum OverlayKind {
 /// (station index `j` at level `ℓ` pairs with station index
 /// `j mod |station(ℓ + gap)|` at level `ℓ + gap`, wrapping as §3 puts it:
 /// "start again from the smallest ID node").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Overlay {
     kind: OverlayKind,
     height: usize,

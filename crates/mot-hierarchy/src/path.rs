@@ -7,10 +7,9 @@
 //! `DPath(u)`.
 
 use mot_net::{DistanceMatrix, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// The per-level stations of one bottom node's detection path.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DetectionPath {
     /// `stations[ℓ]` = level-ℓ parent set, sorted by node id (the visiting
     /// order). `stations[0] = [u]`; `stations[h] = [root]`.

@@ -3,10 +3,9 @@
 use crate::error::NetError;
 use crate::node::{NodeId, Point};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A weighted half-edge stored in a node's adjacency list.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Edge {
     /// The neighbor this half-edge points to.
     pub to: NodeId,
@@ -22,7 +21,7 @@ pub struct Edge {
 /// edges; once built the graph is immutable, matching the paper's static
 /// network model (dynamism is layered on top in `mot-core::dynamics` by
 /// masking nodes, not by mutating `G`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     adjacency: Vec<Vec<Edge>>,
     positions: Option<Vec<Point>>,

@@ -8,10 +8,9 @@
 use crate::graph::Graph;
 use crate::node::NodeId;
 use crate::oracle::DistanceMatrix;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a deployed sensor network.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GraphStats {
     pub nodes: usize,
     pub edges: usize,

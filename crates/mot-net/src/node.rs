@@ -1,6 +1,5 @@
 //! Node identifiers and geographic positions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a sensor node.
@@ -9,7 +8,7 @@ use std::fmt;
 /// paper assumes every sensor has a unique ID and that ties (e.g. parent
 /// selection, parent-set visiting order) are broken by ID order; this
 /// newtype keeps those comparisons explicit and type-safe.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -50,7 +49,7 @@ impl From<u32> for NodeId {
 /// The paper assumes sensors are aware of their geographic locations; the
 /// Z-DAT baseline additionally needs them to carve the sensing region into
 /// rectangular zones.
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

@@ -3,9 +3,9 @@
 //! Hierarchy construction repeatedly asks "which nodes lie within `2^ℓ` of
 //! `u`?" and every cost account is a sum of `dist_G(·,·)` terms, so the
 //! suite precomputes the full distance matrix once per topology. Sources
-//! are solved with Dijkstra in parallel across `crossbeam` scoped threads;
-//! entries are stored as `f32` (1024² ⇒ 4 MiB) which is far more precision
-//! than the unit-normalized weights require.
+//! are solved with Dijkstra in parallel across `std::thread::scope`
+//! workers; entries are stored as `f32` (1024² ⇒ 4 MiB) which is far more
+//! precision than the unit-normalized weights require.
 
 use crate::dijkstra::dijkstra;
 use crate::error::NetError;
@@ -38,10 +38,10 @@ impl DistanceMatrix {
             .unwrap_or(1)
             .min(n.max(1));
         let rows_per = n.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (chunk_idx, chunk) in data.chunks_mut(rows_per * n).enumerate() {
                 let start = chunk_idx * rows_per;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (row_off, row) in chunk.chunks_mut(n).enumerate() {
                         let src = NodeId::from_index(start + row_off);
                         let d = dijkstra(g, src);
@@ -51,8 +51,7 @@ impl DistanceMatrix {
                     }
                 });
             }
-        })
-        .expect("APSP worker panicked");
+        });
         let diameter = data.iter().copied().fold(0f32, f32::max) as f64;
         Ok(DistanceMatrix { n, data, diameter })
     }

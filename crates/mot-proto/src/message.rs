@@ -2,7 +2,6 @@
 
 use mot_core::ObjectId;
 use mot_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Message payloads. `Climb` doubles as the paper's `publish` and
 /// `insert` detection messages (a publish is an insert that never meets);
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// down-member routing state of meet-level holders after a splice;
 /// `SpInstall`/`SpRemove` maintain special detection lists; `Query` /
 /// `Descend` / `Reply` implement lookups.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Payload {
     /// A detection message climbing `DPath(origin)`, currently visiting
     /// `station(origin, level)[index]`.
@@ -125,7 +124,7 @@ impl Payload {
 
 /// A message in flight between two sensors (routed along a shortest
 /// physical path; its cost is the shortest-path distance).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Message {
     pub src: NodeId,
     pub dst: NodeId,

@@ -23,7 +23,6 @@ use mot_core::{MotTracker, ObjectId, Result, Tracker};
 use mot_net::{DistanceMatrix, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -104,7 +103,7 @@ impl ClimbStructure for TreeTracker<'_> {
 }
 
 /// Engine parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConcurrentConfig {
     /// Maximum simultaneously in-flight maintenance operations per object
     /// (the paper's experiments fix this at 10).
@@ -123,7 +122,7 @@ impl Default for ConcurrentConfig {
 }
 
 /// Aggregate results of a concurrent run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ConcurrentOutcome {
     pub maintenance: CostStats,
     pub queries: CostStats,

@@ -4,17 +4,23 @@
 //! replayed later (or shipped alongside results). `validate_against`
 //! guards replays on the wrong topology — a trace is only meaningful on
 //! the graph whose adjacencies it walks.
+//!
+//! The on-disk format is plain JSON; the codec is hand-rolled (the
+//! build environment vendors no serde) and intentionally tiny: a
+//! workload is two arrays of unsigned integers.
 
-use crate::mobility::Workload;
-use mot_net::Graph;
-use std::io::{BufReader, BufWriter, Write};
+use crate::mobility::{MoveOp, Workload};
+use mot_core::ObjectId;
+use mot_net::{Graph, NodeId};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Errors raised by workload I/O.
 #[derive(Debug)]
 pub enum IoError {
     Io(std::io::Error),
-    Json(serde_json::Error),
+    /// Malformed JSON, with a human-readable position/diagnosis.
+    Json(String),
     /// The trace references nodes or adjacencies the graph lacks.
     TopologyMismatch(String),
 }
@@ -39,24 +45,215 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Json(e)
-    }
-}
-
 /// Writes a workload as pretty JSON.
 pub fn save_workload(w: &Workload, path: impl AsRef<Path>) -> Result<(), IoError> {
     let mut out = BufWriter::new(std::fs::File::create(path)?);
-    serde_json::to_writer_pretty(&mut out, w)?;
+    writeln!(out, "{{")?;
+    let initial: Vec<String> = w.initial.iter().map(|p| p.index().to_string()).collect();
+    writeln!(out, "  \"initial\": [{}],", initial.join(", "))?;
+    writeln!(out, "  \"moves\": [")?;
+    for (i, m) in w.moves.iter().enumerate() {
+        let comma = if i + 1 < w.moves.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{ \"object\": {}, \"from\": {}, \"to\": {} }}{comma}",
+            m.object.index(),
+            m.from.index(),
+            m.to.index()
+        )?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
     out.flush()?;
     Ok(())
 }
 
 /// Reads a workload back from JSON.
 pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, IoError> {
-    let file = BufReader::new(std::fs::File::open(path)?);
-    Ok(serde_json::from_reader(file)?)
+    let text = std::fs::read_to_string(path)?;
+    parse_workload(&text)
+}
+
+/// Byte-level parser for the workload JSON subset: one object with an
+/// `initial` array of integers and a `moves` array of
+/// `{object, from, to}` objects, in either order.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> IoError {
+        IoError::Json(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), IoError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, IoError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|e| self.err(&format!("integer out of range ({e})")))
+    }
+
+    fn string_key(&mut self) -> Result<String, IoError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        if self.pos == self.bytes.len() {
+            return Err(self.err("unterminated string"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-utf8 string"))?
+            .to_string();
+        self.pos += 1; // closing quote
+        Ok(s)
+    }
+
+    fn int_array(&mut self) -> Result<Vec<u64>, IoError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.integer()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn move_op(&mut self) -> Result<MoveOp, IoError> {
+        self.expect(b'{')?;
+        let (mut object, mut from, mut to) = (None, None, None);
+        loop {
+            let key = self.string_key()?;
+            self.expect(b':')?;
+            let v = self.integer()?;
+            match key.as_str() {
+                "object" => object = Some(v),
+                "from" => from = Some(v),
+                "to" => to = Some(v),
+                other => return Err(self.err(&format!("unknown move field '{other}'"))),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or '}' in move")),
+            }
+        }
+        match (object, from, to) {
+            (Some(o), Some(f), Some(t)) => Ok(MoveOp {
+                object: ObjectId(
+                    u32::try_from(o).map_err(|_| self.err("object id exceeds u32"))?,
+                ),
+                from: NodeId(u32::try_from(f).map_err(|_| self.err("node id exceeds u32"))?),
+                to: NodeId(u32::try_from(t).map_err(|_| self.err("node id exceeds u32"))?),
+            }),
+            _ => Err(self.err("move missing one of object/from/to")),
+        }
+    }
+
+    fn move_array(&mut self) -> Result<Vec<MoveOp>, IoError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.move_op()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected ',' or ']' in moves")),
+            }
+        }
+    }
+}
+
+fn parse_workload(text: &str) -> Result<Workload, IoError> {
+    let mut p = Parser::new(text);
+    p.expect(b'{')?;
+    let (mut initial, mut moves) = (None, None);
+    loop {
+        let key = p.string_key()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "initial" => {
+                let raw = p.int_array()?;
+                let mut ids = Vec::with_capacity(raw.len());
+                for v in raw {
+                    ids.push(NodeId(
+                        u32::try_from(v).map_err(|_| p.err("node id exceeds u32"))?,
+                    ));
+                }
+                initial = Some(ids);
+            }
+            "moves" => moves = Some(p.move_array()?),
+            other => return Err(p.err(&format!("unknown workload field '{other}'"))),
+        }
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                break;
+            }
+            _ => return Err(p.err("expected ',' or '}' in workload")),
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.err("trailing data after workload"));
+    }
+    match (initial, moves) {
+        (Some(initial), Some(moves)) => Ok(Workload { initial, moves }),
+        _ => Err(IoError::Json("workload missing 'initial' or 'moves'".into())),
+    }
 }
 
 /// Checks that a (possibly externally produced) trace is executable on
@@ -118,6 +315,28 @@ mod tests {
         let back = load_workload(&path).unwrap();
         assert_eq!(w, back);
         validate_against(&back, &g).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parses_foreign_formatting() {
+        // Same schema, different whitespace and key order than we emit.
+        let text = r#"{"moves":[{"to":1,"from":0,"object":0}],
+                       "initial" : [ 0 ]}"#;
+        let w = parse_workload(text).unwrap();
+        assert_eq!(w.initial, vec![NodeId(0)]);
+        assert_eq!(
+            w.moves,
+            vec![MoveOp { object: ObjectId(0), from: NodeId(0), to: NodeId(1) }]
+        );
+    }
+
+    #[test]
+    fn empty_workload_roundtrips() {
+        let w = Workload { initial: vec![], moves: vec![] };
+        let path = tmp("empty");
+        save_workload(&w, &path).unwrap();
+        assert_eq!(load_workload(&path).unwrap(), w);
         std::fs::remove_file(path).ok();
     }
 

@@ -1,9 +1,8 @@
 //! Cost and load statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Accumulated algorithm-vs-optimal communication cost.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostStats {
     /// Total message distance spent by the algorithm.
     pub total: f64,
@@ -64,7 +63,7 @@ impl CostStats {
 
 /// Mean and (sample) standard deviation of a series of repeated
 /// measurements — used when reporting across seeds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     pub mean: f64,
     pub stddev: f64,
@@ -89,7 +88,7 @@ impl Summary {
 }
 
 /// Snapshot statistics over per-node loads (Figs. 8–11).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadStats {
     pub max: usize,
     pub mean: f64,

@@ -12,10 +12,9 @@ use mot_net::{Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// How objects pick their next proxy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MobilityModel {
     /// Uniform hop to a random adjacent sensor per move.
     RandomWalk,
@@ -33,7 +32,7 @@ pub enum MobilityModel {
 /// One maintenance operation: object `object` moves `from → to`
 /// (`from` is recorded so optimal costs and detection rates don't need
 /// replaying).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MoveOp {
     pub object: ObjectId,
     pub from: NodeId,
@@ -41,7 +40,7 @@ pub struct MoveOp {
 }
 
 /// A complete generated workload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Workload {
     /// Initial proxy per object (index = object id).
     pub initial: Vec<NodeId>,
@@ -75,7 +74,7 @@ impl Workload {
 }
 
 /// Workload parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     pub objects: usize,
     pub moves_per_object: usize,

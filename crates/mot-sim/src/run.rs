@@ -10,7 +10,6 @@ use mot_core::{ObjectId, Result, Tracker};
 use mot_net::{DistanceMatrix, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// Publishes every object of `workload` at its initial proxy. Returns the
 /// total publish cost (a one-time cost outside the cost ratios).
@@ -42,7 +41,7 @@ pub fn replay_moves(
 }
 
 /// Statistics of one query batch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueryBatchStats {
     pub cost: CostStats,
     /// Queries whose requester happened to be the proxy (optimal cost 0;

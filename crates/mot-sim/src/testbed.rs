@@ -11,11 +11,10 @@ use mot_baselines::{build_dat, build_stun, build_zdat, DetectionRates, TreeTrack
 use mot_core::{MotConfig, MotTracker};
 use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
 use mot_net::{DistanceMatrix, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// The algorithms compared in the paper's evaluation, plus the ablation
 /// variants this reproduction adds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algo {
     /// MOT, plain (Algorithm 1).
     Mot,

@@ -1,0 +1,168 @@
+//! Workspace-local `ChaCha8Rng`: a genuine ChaCha stream cipher core
+//! (8 rounds, RFC 7539 state layout, 64-bit block counter) exposed
+//! through the workspace `rand` shim's `RngCore`/`SeedableRng` traits.
+//!
+//! The build environment has no registry access, so this replaces the
+//! crates.io `rand_chacha`. Streams are fully deterministic per seed
+//! and of cryptographic quality; they are not bit-identical to the
+//! crates.io crate's word ordering, which nothing in this workspace
+//! depends on.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS: usize = 16;
+/// "expand 32-byte k" in little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with 8 rounds, seeded from 32 key bytes; nonce fixed at zero
+/// (one independent stream per seed, which is all the workspace needs).
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; WORDS],
+    /// Next unread word in `buffer`; `WORDS` means exhausted.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; WORDS] = [0; WORDS];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14], state[15]: zero nonce
+        let input = state;
+        for _ in 0..4 {
+            // column round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buffer.iter_mut().zip(state.iter().zip(input.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index == WORDS {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng { key, counter: 0, buffer: [0; WORDS], index: WORDS }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn block_boundary_is_seamless() {
+        // Draw an odd number of u32s, then u64s, crossing the 16-word
+        // block boundary; nothing should repeat or panic.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(rng.next_u32());
+        }
+        // 1000 draws from a 32-bit space: collisions astronomically
+        // unlikely for a healthy stream.
+        assert!(seen.len() >= 998, "stream shows repeats: {}", seen.len());
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = rng.gen_range(0..10usize);
+        assert!(x < 10);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn matches_chacha8_reference_block() {
+        // RFC 7539 state layout, 8 rounds, all-zero key and nonce,
+        // counter 0: first word of the keystream must equal the value
+        // produced by an independent ChaCha8 implementation.
+        let rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut clone = rng.clone();
+        let first = clone.next_u32();
+        // Recompute by hand with the same core to guard against
+        // accidental layout changes (double-entry, not independent).
+        let mut state = [0u32; WORDS];
+        state[..4].copy_from_slice(&SIGMA);
+        let input = state;
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        assert_eq!(first, state[0].wrapping_add(input[0]));
+    }
+}

@@ -1,51 +1,75 @@
-//! Property-based tests (proptest) over the whole stack: random
-//! topologies, random workloads, adversarial churn — checking the
-//! invariants the correctness of tracking rests on.
+//! Property-based tests over the whole stack: random topologies, random
+//! workloads, adversarial churn — checking the invariants the
+//! correctness of tracking rests on.
+//!
+//! The harness is hand-rolled (the environment vendors no proptest):
+//! every property is exercised over a deterministic sweep of seeded
+//! random cases, so failures reproduce exactly by case number.
 
 use mot_tracking::prelude::*;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy: a connected random-geometric deployment of 10..=60 sensors.
-fn deployment() -> impl Strategy<Value = Graph> {
-    (10usize..=60, 0u64..1000).prop_map(|(n, seed)| {
-        generators::random_geometric(n, 8.0, 2.5, seed).expect("connected deployment")
-    })
+const CASES: u64 = 24;
+
+/// Per-property, per-case generator: independent, reproducible streams.
+fn case_rng(property: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(property.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// A connected random-geometric deployment of 10..=60 sensors.
+fn deployment(rng: &mut ChaCha8Rng) -> Graph {
+    let n = rng.gen_range(10usize..=60);
+    let seed = rng.gen_range(0u64..1000);
+    generators::random_geometric(n, 8.0, 2.5, seed).expect("connected deployment")
+}
 
-    /// The distance oracle is a metric: symmetric, zero diagonal,
-    /// triangle inequality.
-    #[test]
-    fn distance_oracle_is_a_metric(g in deployment()) {
+/// The distance oracle is a metric: symmetric, zero diagonal, triangle
+/// inequality.
+#[test]
+fn distance_oracle_is_a_metric() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let g = deployment(&mut rng);
         let m = DistanceMatrix::build(&g).unwrap();
         let n = g.node_count();
+        // Tolerances scale with the distances involved: entries are f32,
+        // and weight normalization (min edge weight = 1) can push
+        // distances into the thousands where a fixed 1e-4 is below one
+        // f32 ULP.
+        let tol = |scale: f64| 1e-4 + scale.abs() * 1e-6;
         for i in 0..n.min(12) {
             for j in 0..n.min(12) {
                 let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
-                prop_assert!((m.dist(u, v) - m.dist(v, u)).abs() < 1e-4);
+                let duv = m.dist(u, v);
+                assert!((duv - m.dist(v, u)).abs() < tol(duv), "case {case}");
                 if i == j {
-                    prop_assert_eq!(m.dist(u, v), 0.0);
+                    assert_eq!(duv, 0.0, "case {case}");
                 }
                 for k in 0..n.min(8) {
                     let w = NodeId::from_index(k);
-                    prop_assert!(m.dist(u, v) <= m.dist(u, w) + m.dist(w, v) + 1e-4);
+                    let detour = m.dist(u, w) + m.dist(w, v);
+                    assert!(
+                        duv <= detour + tol(detour),
+                        "case {case}: triangle violated at ({u}, {v}, {w}): {duv} > {detour}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The core reachability invariant: after ANY sequence of random
-    /// moves, every sensor's query returns the object's true proxy, in
-    /// plain and load-balanced mode.
-    #[test]
-    fn queries_always_find_the_true_proxy(
-        g in deployment(),
-        moves in proptest::collection::vec(any::<u32>(), 1..80),
-        lb in any::<bool>(),
-        overlay_seed in 0u64..100,
-    ) {
+/// The core reachability invariant: after ANY sequence of random moves,
+/// every sensor's query returns the object's true proxy, in plain and
+/// load-balanced mode.
+#[test]
+fn queries_always_find_the_true_proxy() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let g = deployment(&mut rng);
+        let move_count = rng.gen_range(1usize..80);
+        let lb: bool = rng.gen();
+        let overlay_seed = rng.gen_range(0u64..100);
         let m = DistanceMatrix::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
         let cfg = if lb { MotConfig::load_balanced() } else { MotConfig::plain() };
@@ -53,26 +77,28 @@ proptest! {
         let o = ObjectId(0);
         let mut proxy = NodeId(0);
         t.publish(o, proxy).unwrap();
-        for mv in moves {
+        for _ in 0..move_count {
             let nbrs = g.neighbors(proxy);
-            proxy = nbrs[(mv as usize) % nbrs.len()].to;
+            proxy = nbrs[rng.gen_range(0..nbrs.len())].to;
             t.move_object(o, proxy).unwrap();
         }
         t.check_invariants();
         for x in g.nodes() {
             let q = t.query(x, o).unwrap();
-            prop_assert_eq!(q.proxy, proxy);
-            prop_assert!(q.cost.is_finite() && q.cost >= 0.0);
+            assert_eq!(q.proxy, proxy, "case {case}: query from {x}");
+            assert!(q.cost.is_finite() && q.cost >= 0.0, "case {case}");
         }
     }
+}
 
-    /// Lemma 2.1 with the paper's constants: detection paths of nodes at
-    /// distance d meet by level ceil(log2 d) + 1.
-    #[test]
-    fn detection_paths_meet_at_the_lemma_level(
-        g in deployment(),
-        seed in 0u64..50,
-    ) {
+/// Lemma 2.1 with the paper's constants: detection paths of nodes at
+/// distance d meet by level ceil(log2 d) + 1.
+#[test]
+fn detection_paths_meet_at_the_lemma_level() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let g = deployment(&mut rng);
+        let seed = rng.gen_range(0u64..50);
         let m = DistanceMatrix::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::paper_exact(), seed);
         let n = g.node_count();
@@ -85,23 +111,29 @@ proptest! {
                 let d = m.dist(u, v);
                 let bound =
                     (((d.log2().ceil()) as i64).max(0) as usize + 1).min(overlay.height());
-                prop_assert!(
+                assert!(
                     overlay.meet_level(u, v) <= bound,
-                    "meet({}, {}) = {} > {} (d = {})",
-                    u, v, overlay.meet_level(u, v), bound, d
+                    "case {case}: meet({}, {}) = {} > {} (d = {})",
+                    u,
+                    v,
+                    overlay.meet_level(u, v),
+                    bound,
+                    d
                 );
             }
         }
     }
+}
 
-    /// Message-pruning-tree invariant: after any move sequence the
-    /// detection sets of a tree baseline are exactly the proxy's tree
-    /// ancestors.
-    #[test]
-    fn tree_detection_sets_are_proxy_ancestors(
-        g in deployment(),
-        moves in proptest::collection::vec(any::<u32>(), 1..60),
-    ) {
+/// Message-pruning-tree invariant: after any move sequence the
+/// detection sets of a tree baseline are exactly the proxy's tree
+/// ancestors.
+#[test]
+fn tree_detection_sets_are_proxy_ancestors() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let g = deployment(&mut rng);
+        let move_count = rng.gen_range(1usize..60);
         let m = DistanceMatrix::build(&g).unwrap();
         let rates = DetectionRates::uniform(&g);
         let tree = build_stun(&g, &rates);
@@ -109,9 +141,9 @@ proptest! {
         let o = ObjectId(0);
         let mut proxy = NodeId(0);
         t.publish(o, proxy).unwrap();
-        for mv in moves {
+        for _ in 0..move_count {
             let nbrs = g.neighbors(proxy);
-            proxy = nbrs[(mv as usize) % nbrs.len()].to;
+            proxy = nbrs[rng.gen_range(0..nbrs.len())].to;
             t.move_object(o, proxy).unwrap();
         }
         // expected ancestor chain
@@ -122,73 +154,82 @@ proptest! {
             cur = t.tree().parent(u);
         }
         for u in g.nodes() {
-            prop_assert_eq!(t.holds(u, o), expected.contains(&u), "at {}", u);
+            assert_eq!(t.holds(u, o), expected.contains(&u), "case {case}: at {u}");
         }
         let total: usize = t.node_loads().iter().sum();
-        prop_assert_eq!(total, expected.len());
+        assert_eq!(total, expected.len(), "case {case}");
     }
+}
 
-    /// de Bruijn canonical routing is a shortest path for every dimension
-    /// and label pair.
-    #[test]
-    fn debruijn_routing_is_shortest(dim in 0u32..9, src in any::<u32>(), dst in any::<u32>()) {
+/// de Bruijn canonical routing is a shortest path for every dimension
+/// and label pair.
+#[test]
+fn debruijn_routing_is_shortest() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let dim = rng.gen_range(0u32..9);
         let g = DeBruijnGraph::new(dim);
         let mask = g.vertex_count() - 1;
-        let (src, dst) = (src & mask, dst & mask);
+        let (src, dst) = (rng.gen::<u32>() & mask, rng.gen::<u32>() & mask);
         let route = g.route(src, dst);
-        prop_assert_eq!(route[0], src);
-        prop_assert_eq!(*route.last().unwrap(), dst);
+        assert_eq!(route[0], src, "case {case}");
+        assert_eq!(*route.last().unwrap(), dst, "case {case}");
         for w in route.windows(2) {
-            prop_assert!(g.successors(w[0]).contains(&w[1]));
+            assert!(g.successors(w[0]).contains(&w[1]), "case {case}");
         }
-        prop_assert!(route.len() as u32 - 1 <= dim);
+        assert!(route.len() as u32 - 1 <= dim, "case {case}");
     }
+}
 
-    /// Dynamic clusters stay routable through arbitrary churn: after any
-    /// join/leave sequence every virtual label routes to a live member.
-    #[test]
-    fn dynamic_cluster_stays_routable(
-        ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 1..60),
-    ) {
+/// Dynamic clusters stay routable through arbitrary churn: after any
+/// join/leave sequence every virtual label routes to a live member.
+#[test]
+fn dynamic_cluster_stays_routable() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let op_count = rng.gen_range(1usize..60);
         let mut c = DynamicCluster::new((0..4u32).map(NodeId).collect());
         let mut next_id = 100u32;
-        for (join, pick) in ops {
+        for _ in 0..op_count {
+            let join: bool = rng.gen();
             if join || c.members().len() <= 1 {
                 c.join(NodeId(next_id));
                 next_id += 1;
             } else {
-                let idx = (pick as usize) % c.members().len();
+                let idx = rng.gen_range(0..c.members().len());
                 let victim = c.members()[idx];
                 c.leave(victim);
             }
             let e = c.embedding();
-            prop_assert!(e.members().contains(&c.leader()));
+            assert!(e.members().contains(&c.leader()), "case {case}");
             for label in 0..e.graph().vertex_count() {
-                prop_assert!(e.members().contains(&e.host(label)));
+                assert!(e.members().contains(&e.host(label)), "case {case}");
             }
             // every member can route to the leader
             let leader_label = e.label_of(c.leader()).unwrap();
             for &mm in e.members() {
                 let src = e.label_of(mm).unwrap();
                 let hosts = e.route_hosts(src, leader_label);
-                prop_assert_eq!(*hosts.last().unwrap(), c.leader());
+                assert_eq!(*hosts.last().unwrap(), c.leader(), "case {case}");
             }
         }
     }
+}
 
-    /// Workload generation always produces valid adjacent chains.
-    #[test]
-    fn workloads_are_valid_walks(
-        g in deployment(),
-        objects in 1usize..6,
-        moves in 1usize..50,
-        seed in 0u64..500,
-    ) {
+/// Workload generation always produces valid adjacent chains.
+#[test]
+fn workloads_are_valid_walks() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let g = deployment(&mut rng);
+        let objects = rng.gen_range(1usize..6);
+        let moves = rng.gen_range(1usize..50);
+        let seed = rng.gen_range(0u64..500);
         let w = WorkloadSpec::new(objects, moves, seed).generate(&g);
         let mut pos = w.initial.clone();
         for m in &w.moves {
-            prop_assert!(g.has_edge(m.from, m.to));
-            prop_assert_eq!(m.from, pos[m.object.index()]);
+            assert!(g.has_edge(m.from, m.to), "case {case}");
+            assert_eq!(m.from, pos[m.object.index()], "case {case}");
             pos[m.object.index()] = m.to;
         }
     }
