@@ -55,7 +55,11 @@ pub fn build_stun(g: &Graph, rates: &DetectionRates) -> TrackingTree {
         }
         // Balance: the smaller component's subtree drains under the
         // larger's root.
-        let (big, small) = if comps.size[ra] >= comps.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if comps.size[ra] >= comps.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         let (big_root, small_root) = (comps.root[big], comps.root[small]);
         parent[small_root.index()] = Some(big_root);
         comps.parent[small] = big;
@@ -100,8 +104,8 @@ mod tests {
         let moves = vec![(NodeId(0), NodeId(1)); 50];
         let rates = DetectionRates::from_moves(&g, &moves);
         let t = build_stun(&g, &rates);
-        let adjacent = t.parent(NodeId(0)) == Some(NodeId(1))
-            || t.parent(NodeId(1)) == Some(NodeId(0));
+        let adjacent =
+            t.parent(NodeId(0)) == Some(NodeId(1)) || t.parent(NodeId(1)) == Some(NodeId(0));
         assert!(adjacent, "hottest pair not adjacent in the DAB tree");
     }
 
@@ -112,7 +116,10 @@ mod tests {
         let max_depth = g.nodes().map(|u| t.depth(u)).max().unwrap();
         // size-balanced attachment: depth grows logarithmically, with
         // slack for merge-order effects
-        assert!(max_depth <= 26, "depth {max_depth} too deep for balanced merges");
+        assert!(
+            max_depth <= 26,
+            "depth {max_depth} too deep for balanced merges"
+        );
     }
 
     #[test]

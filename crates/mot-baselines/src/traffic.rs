@@ -76,11 +76,8 @@ impl DetectionRates {
     /// All edges sorted by descending rate (DAB's merge order), ties by
     /// endpoint ids for determinism.
     pub fn edges_by_rate_desc(&self) -> Vec<(NodeId, NodeId, f64)> {
-        let mut v: Vec<(NodeId, NodeId, f64)> = self
-            .rates
-            .iter()
-            .map(|(&(a, b), &r)| (a, b, r))
-            .collect();
+        let mut v: Vec<(NodeId, NodeId, f64)> =
+            self.rates.iter().map(|(&(a, b), &r)| (a, b, r)).collect();
         v.sort_by(|x, y| {
             y.2.partial_cmp(&x.2)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -118,7 +115,10 @@ mod tests {
         let r = DetectionRates::from_moves(&g, &moves);
         assert!(r.rate(NodeId(0), NodeId(1)) > 1.9);
         assert!(r.rate(NodeId(4), NodeId(5)) > 0.9);
-        assert!(r.rate(NodeId(7), NodeId(8)) < 0.01, "unvisited edge keeps floor rate");
+        assert!(
+            r.rate(NodeId(7), NodeId(8)) < 0.01,
+            "unvisited edge keeps floor rate"
+        );
     }
 
     #[test]
@@ -126,7 +126,10 @@ mod tests {
         let g = generators::line(5).unwrap();
         let r = DetectionRates::from_moves(&g, &[(NodeId(0), NodeId(4))]);
         for i in 0..4u32 {
-            assert!(r.rate(NodeId(i), NodeId(i + 1)) >= 1.0, "edge {i} uncharged");
+            assert!(
+                r.rate(NodeId(i), NodeId(i + 1)) >= 1.0,
+                "edge {i} uncharged"
+            );
         }
     }
 

@@ -60,7 +60,12 @@ impl TrackingTree {
                 depth[node] = base + k + 1;
             }
         }
-        TrackingTree { root, parent, children, depth }
+        TrackingTree {
+            root,
+            parent,
+            children,
+            depth,
+        }
     }
 
     /// The sink/root of the tree.
@@ -468,7 +473,12 @@ mod tests {
             let qp = plain.query(x, o).unwrap();
             let qs = sc.query(x, o).unwrap();
             assert_eq!(qp.proxy, qs.proxy);
-            assert!(qs.cost <= qp.cost + 1e-9, "from {x}: {} > {}", qs.cost, qp.cost);
+            assert!(
+                qs.cost <= qp.cost + 1e-9,
+                "from {x}: {} > {}",
+                qs.cost,
+                qp.cost
+            );
         }
     }
 

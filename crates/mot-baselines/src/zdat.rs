@@ -27,7 +27,10 @@ pub struct ZdatParams {
 
 impl Default for ZdatParams {
     fn default() -> Self {
-        ZdatParams { leaf_capacity: 4, max_depth: 16 }
+        ZdatParams {
+            leaf_capacity: 4,
+            max_depth: 16,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ struct BBox {
 
 impl BBox {
     fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 }
 
@@ -57,8 +63,16 @@ impl Builder<'_> {
         *nodes
             .iter()
             .min_by(|&&a, &&b| {
-                let da = self.g.position(a).expect("positions checked").distance(&center);
-                let db = self.g.position(b).expect("positions checked").distance(&center);
+                let da = self
+                    .g
+                    .position(a)
+                    .expect("positions checked")
+                    .distance(&center);
+                let db = self
+                    .g
+                    .position(b)
+                    .expect("positions checked")
+                    .distance(&center);
                 da.partial_cmp(&db)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| {
@@ -142,7 +156,12 @@ pub fn build_zdat(
         min = Point::new(min.x.min(p.x), min.y.min(p.y));
         max = Point::new(max.x.max(p.x), max.y.max(p.y));
     }
-    let mut b = Builder { g, rates, params, parent: vec![None; g.node_count()] };
+    let mut b = Builder {
+        g,
+        rates,
+        params,
+        parent: vec![None; g.node_count()],
+    };
     let all: Vec<NodeId> = g.nodes().collect();
     let root = b.build_zone(&all, BBox { min, max }, 0);
     Ok(TrackingTree::from_parents(root, b.parent))
@@ -165,7 +184,11 @@ mod tests {
         }
         let bare = b.build().unwrap();
         assert!(matches!(
-            build_zdat(&bare, &DetectionRates::uniform(&bare), ZdatParams::default()),
+            build_zdat(
+                &bare,
+                &DetectionRates::uniform(&bare),
+                ZdatParams::default()
+            ),
             Err(NetError::MissingPositions)
         ));
     }
@@ -221,7 +244,10 @@ mod tests {
         let t = build_zdat(
             &g,
             &DetectionRates::uniform(&g),
-            ZdatParams { leaf_capacity: 1, max_depth: 16 },
+            ZdatParams {
+                leaf_capacity: 1,
+                max_depth: 16,
+            },
         )
         .unwrap();
         assert_eq!(t.len(), 16);
@@ -235,6 +261,9 @@ mod tests {
         let mut tracker = TreeTracker::new("Z-DAT", t, &m, true);
         tracker.publish(ObjectId(0), NodeId(30)).unwrap();
         tracker.move_object(ObjectId(0), NodeId(31)).unwrap();
-        assert_eq!(tracker.query(NodeId(0), ObjectId(0)).unwrap().proxy, NodeId(31));
+        assert_eq!(
+            tracker.query(NodeId(0), ObjectId(0)).unwrap().proxy,
+            NodeId(31)
+        );
     }
 }

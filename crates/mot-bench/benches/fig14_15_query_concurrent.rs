@@ -11,20 +11,28 @@ fn bench(c: &mut Criterion) {
     let bed = TestBed::grid(12, 12, 1);
     let w = WorkloadSpec::new(8, 80, 2).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-    let cfg = ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 2, seed: 5 };
+    let cfg = ConcurrentConfig {
+        max_inflight_per_object: 10,
+        queries_per_batch: 2,
+        seed: 5,
+    };
 
     let mut group = c.benchmark_group("query_overlapping_concurrent_12x12");
     group.sample_size(20);
     for algo in Algo::paper_lineup() {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| {
-                let mut t = bed.make_tracker(algo, &rates);
-                run_publish(t.as_mut(), &w).unwrap();
-                let out = ConcurrentEngine::run(t.as_mut(), &w, &bed.oracle, &cfg).unwrap();
-                assert_eq!(out.queries_correct, out.queries_issued);
-                out
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut t = bed.make_tracker(algo, &rates);
+                    run_publish(t.as_mut(), &w).unwrap();
+                    let out = ConcurrentEngine::run(t.as_mut(), &w, &bed.oracle, &cfg).unwrap();
+                    assert_eq!(out.queries_correct, out.queries_issued);
+                    out
+                })
+            },
+        );
     }
     group.finish();
 }

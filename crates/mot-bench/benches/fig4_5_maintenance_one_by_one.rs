@@ -13,7 +13,10 @@ use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
 fn bench(c: &mut Criterion) {
     // Regenerate the figure (quick profile) so `cargo bench` output
     // carries the cost-ratio series alongside the timings.
-    eprintln!("{}", maintenance_figure(&Profile::quick(20), false).render());
+    eprintln!(
+        "{}",
+        maintenance_figure(&Profile::quick(20), false).render()
+    );
 
     let bed = TestBed::grid(12, 12, 1);
     let w = WorkloadSpec::new(10, 100, 2).generate(&bed.graph);
@@ -22,13 +25,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("maintenance_one_by_one_12x12");
     group.sample_size(20);
     for algo in Algo::paper_lineup() {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| {
-                let mut t = bed.make_tracker(algo, &rates);
-                run_publish(t.as_mut(), &w).unwrap();
-                replay_moves(t.as_mut(), &w, &bed.oracle).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut t = bed.make_tracker(algo, &rates);
+                    run_publish(t.as_mut(), &w).unwrap();
+                    replay_moves(t.as_mut(), &w, &bed.oracle).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

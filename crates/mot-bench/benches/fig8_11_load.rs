@@ -8,8 +8,12 @@ use mot_sim::{run_publish, Algo, LoadStats, TestBed, WorkloadSpec};
 fn bench(c: &mut Criterion) {
     let mut p = Profile::quick(50);
     p.grids = vec![(16, 16)];
-    for (vs, after) in [(Algo::Stun, 0), (Algo::Stun, 10), (Algo::Zdat, 0), (Algo::Zdat, 10)]
-    {
+    for (vs, after) in [
+        (Algo::Stun, 0),
+        (Algo::Stun, 10),
+        (Algo::Zdat, 0),
+        (Algo::Zdat, 10),
+    ] {
         eprintln!("{}", load_figure(&p, vs, after).render());
     }
 
@@ -20,13 +24,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("publish_and_load_snapshot_16x16");
     group.sample_size(20);
     for algo in [Algo::MotLb, Algo::Stun, Algo::Zdat] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| {
-                let mut t = bed.make_tracker(algo, &rates);
-                run_publish(t.as_mut(), &w).unwrap();
-                LoadStats::from_loads(&t.node_loads())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut t = bed.make_tracker(algo, &rates);
+                    run_publish(t.as_mut(), &w).unwrap();
+                    LoadStats::from_loads(&t.node_loads())
+                })
+            },
+        );
     }
     group.finish();
 }

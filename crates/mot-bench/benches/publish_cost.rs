@@ -12,24 +12,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("publish_per_object");
     for (r, cols) in [(8usize, 8usize), (16, 16), (23, 23)] {
         let bed = TestBed::grid(r, cols, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(r * cols),
-            &bed,
-            |b, bed| {
-                let mut k = 0u32;
-                b.iter(|| {
-                    // fresh tracker per batch of publishes to keep state bounded
-                    let mut t =
-                        MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
-                    for i in 0..16u32 {
-                        let proxy = NodeId((k.wrapping_mul(31).wrapping_add(i * 7))
-                            % bed.graph.node_count() as u32);
-                        t.publish(ObjectId(i), proxy).unwrap();
-                    }
-                    k = k.wrapping_add(1);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(r * cols), &bed, |b, bed| {
+            let mut k = 0u32;
+            b.iter(|| {
+                // fresh tracker per batch of publishes to keep state bounded
+                let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
+                for i in 0..16u32 {
+                    let proxy = NodeId(
+                        (k.wrapping_mul(31).wrapping_add(i * 7)) % bed.graph.node_count() as u32,
+                    );
+                    t.publish(ObjectId(i), proxy).unwrap();
+                }
+                k = k.wrapping_add(1);
+            })
+        });
     }
     group.finish();
 }

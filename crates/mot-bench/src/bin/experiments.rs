@@ -12,8 +12,8 @@
 //! ```
 
 use mot_bench::{
-    ablation_table, churn_table, general_graph_table, load_figure, maintenance_figure,
-    locality_table, mobility_table, publish_cost_table, query_figure, state_size_table,
+    ablation_table, churn_table, general_graph_table, load_figure, locality_table,
+    maintenance_figure, mobility_table, publish_cost_table, query_figure, state_size_table,
     FigureTable, Profile,
 };
 use mot_sim::Algo;
@@ -64,8 +64,25 @@ fn main() {
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = [
-            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "fig15", "pub-cost", "ablations", "general", "churn", "state-size", "locality", "mobility",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "pub-cost",
+            "ablations",
+            "general",
+            "churn",
+            "state-size",
+            "locality",
+            "mobility",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -86,16 +103,40 @@ fn main() {
     for id in &ids {
         let started = std::time::Instant::now();
         match id.as_str() {
-            "fig4" => emit(maintenance_figure(&profile_for(100, &profile_name), false), id),
-            "fig5" => emit(maintenance_figure(&profile_for(1000, &profile_name), false), id),
+            "fig4" => emit(
+                maintenance_figure(&profile_for(100, &profile_name), false),
+                id,
+            ),
+            "fig5" => emit(
+                maintenance_figure(&profile_for(1000, &profile_name), false),
+                id,
+            ),
             "fig6" => emit(query_figure(&profile_for(100, &profile_name), false), id),
             "fig7" => emit(query_figure(&profile_for(1000, &profile_name), false), id),
-            "fig8" => emit(load_figure(&profile_for(100, &profile_name), Algo::Stun, 0), id),
-            "fig9" => emit(load_figure(&profile_for(100, &profile_name), Algo::Stun, 10), id),
-            "fig10" => emit(load_figure(&profile_for(100, &profile_name), Algo::Zdat, 0), id),
-            "fig11" => emit(load_figure(&profile_for(100, &profile_name), Algo::Zdat, 10), id),
-            "fig12" => emit(maintenance_figure(&profile_for(100, &profile_name), true), id),
-            "fig13" => emit(maintenance_figure(&profile_for(1000, &profile_name), true), id),
+            "fig8" => emit(
+                load_figure(&profile_for(100, &profile_name), Algo::Stun, 0),
+                id,
+            ),
+            "fig9" => emit(
+                load_figure(&profile_for(100, &profile_name), Algo::Stun, 10),
+                id,
+            ),
+            "fig10" => emit(
+                load_figure(&profile_for(100, &profile_name), Algo::Zdat, 0),
+                id,
+            ),
+            "fig11" => emit(
+                load_figure(&profile_for(100, &profile_name), Algo::Zdat, 10),
+                id,
+            ),
+            "fig12" => emit(
+                maintenance_figure(&profile_for(100, &profile_name), true),
+                id,
+            ),
+            "fig13" => emit(
+                maintenance_figure(&profile_for(1000, &profile_name), true),
+                id,
+            ),
             "fig14" => emit(query_figure(&profile_for(100, &profile_name), true), id),
             "fig15" => emit(query_figure(&profile_for(1000, &profile_name), true), id),
             "pub-cost" => emit(publish_cost_table(&profile_for(100, &profile_name)), id),

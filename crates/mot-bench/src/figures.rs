@@ -6,8 +6,8 @@ use mot_core::{MotConfig, MotTracker, Tracker};
 use mot_hierarchy::OverlayConfig;
 use mot_net::generators;
 use mot_sim::{
-    replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine,
-    CostStats, LoadStats, TestBed, WorkloadSpec,
+    replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine, CostStats,
+    LoadStats, TestBed, WorkloadSpec,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -73,8 +73,8 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
         let mut per_algo = vec![CostStats::default(); algos.len()];
         for seed in 0..p.seeds {
             let bed = TestBed::grid(r, c, seed);
-            let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1)
-                .generate(&bed.graph);
+            let w =
+                WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
             for (ai, &algo) in algos.iter().enumerate() {
                 let mut t = bed.make_tracker(algo, &rates);
@@ -107,7 +107,11 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
         title: format!(
             "Maintenance cost ratio, {} objects, {} execution (paper Fig. {})",
             p.objects,
-            if concurrent { "concurrent" } else { "one-by-one" },
+            if concurrent {
+                "concurrent"
+            } else {
+                "one-by-one"
+            },
             match (p.objects >= 1000, concurrent) {
                 (false, false) => "4",
                 (true, false) => "5",
@@ -130,8 +134,8 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
         let mut per_algo = vec![CostStats::default(); algos.len()];
         for seed in 0..p.seeds {
             let bed = TestBed::grid(r, c, seed);
-            let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1)
-                .generate(&bed.graph);
+            let w =
+                WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
             for (ai, &algo) in algos.iter().enumerate() {
                 let mut t = bed.make_tracker(algo, &rates);
@@ -153,14 +157,8 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
                     per_algo[ai].merge(&out.queries);
                 } else {
                     replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
-                    let q = run_queries(
-                        t.as_ref(),
-                        &bed.oracle,
-                        p.objects,
-                        p.queries,
-                        seed + 31,
-                    )
-                    .expect("queries");
+                    let q = run_queries(t.as_ref(), &bed.oracle, p.objects, p.queries, seed + 31)
+                        .expect("queries");
                     assert_eq!(q.correct, p.queries);
                     per_algo[ai].merge(&q.cost);
                 }
@@ -175,7 +173,11 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
         title: format!(
             "Query cost ratio, {} objects, {} execution (paper Fig. {})",
             p.objects,
-            if concurrent { "concurrent" } else { "one-by-one" },
+            if concurrent {
+                "concurrent"
+            } else {
+                "one-by-one"
+            },
             match (p.objects >= 1000, concurrent) {
                 (false, false) => "6",
                 (true, false) => "7",
@@ -255,7 +257,9 @@ pub fn publish_cost_table(p: &Profile) -> FigureTable {
         let mut total = 0.0;
         for k in 0..objects {
             let proxy = mot_net::NodeId::from_index(rng.gen_range(0..n));
-            total += t.publish(mot_core::ObjectId(k as u32), proxy).expect("publish");
+            total += t
+                .publish(mot_core::ObjectId(k as u32), proxy)
+                .expect("publish");
         }
         let d = bed.oracle.diameter();
         let per_object = total / objects as f64;
@@ -276,24 +280,30 @@ pub fn ablation_table(p: &Profile) -> FigureTable {
     let seed = 3;
     let variants: Vec<(&str, OverlayConfig, MotConfig)> = vec![
         ("MOT", OverlayConfig::practical(), MotConfig::plain()),
-        ("MOT-noSP", OverlayConfig::practical(), MotConfig::no_special_parents()),
-        ("MOT-singletonPS", OverlayConfig::singleton_parents(), MotConfig::plain()),
-        ("MOT+LB", OverlayConfig::practical(), MotConfig::load_balanced()),
+        (
+            "MOT-noSP",
+            OverlayConfig::practical(),
+            MotConfig::no_special_parents(),
+        ),
+        (
+            "MOT-singletonPS",
+            OverlayConfig::singleton_parents(),
+            MotConfig::plain(),
+        ),
+        (
+            "MOT+LB",
+            OverlayConfig::practical(),
+            MotConfig::load_balanced(),
+        ),
     ];
     let mut rows = Vec::new();
     for (label, ocfg, mcfg) in variants {
-        let bed = TestBed::with_config(
-            generators::grid(r, c).expect("grid"),
-            &ocfg,
-            seed,
-        );
-        let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9)
-            .generate(&bed.graph);
+        let bed = TestBed::with_config(generators::grid(r, c).expect("grid"), &ocfg, seed);
+        let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9).generate(&bed.graph);
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg);
         run_publish(&mut t, &w).expect("publish");
         let maint = replay_moves(&mut t, &w, &bed.oracle).expect("replay");
-        let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 17)
-            .expect("queries");
+        let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 17).expect("queries");
         let loads = LoadStats::from_loads(&t.node_loads());
         rows.push((
             label.to_string(),
@@ -303,7 +313,11 @@ pub fn ablation_table(p: &Profile) -> FigureTable {
     FigureTable {
         title: format!("Ablations on a {r}x{c} grid (maintenance / query / max load)"),
         x_label: "variant".into(),
-        columns: vec!["maint_ratio".into(), "query_ratio".into(), "max_load".into()],
+        columns: vec![
+            "maint_ratio".into(),
+            "query_ratio".into(),
+            "max_load".into(),
+        ],
         rows,
     }
 }
@@ -313,21 +327,26 @@ pub fn general_graph_table(p: &Profile) -> FigureTable {
     let topologies: Vec<(&str, mot_net::Graph)> = vec![
         ("grid-10x10", generators::grid(10, 10).expect("grid")),
         ("ring-100", generators::ring(100).expect("ring")),
-        ("rgg-100", generators::random_geometric(100, 12.0, 2.2, 7).expect("rgg")),
+        (
+            "rgg-100",
+            generators::random_geometric(100, 12.0, 2.2, 7).expect("rgg"),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, g) in topologies {
         for (kind, bed) in [
             ("doubling", TestBed::new(g.clone(), 4)),
-            ("general", TestBed::general(g.clone(), &OverlayConfig::practical(), 4)),
+            (
+                "general",
+                TestBed::general(g.clone(), &OverlayConfig::practical(), 4),
+            ),
         ] {
-            let w = WorkloadSpec::new(p.objects.min(50), p.moves_per_object, 13)
-                .generate(&bed.graph);
+            let w =
+                WorkloadSpec::new(p.objects.min(50), p.moves_per_object, 13).generate(&bed.graph);
             let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
             run_publish(&mut t, &w).expect("publish");
             let maint = replay_moves(&mut t, &w, &bed.oracle).expect("replay");
-            let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23)
-                .expect("queries");
+            let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23).expect("queries");
             rows.push((
                 format!("{name}/{kind}"),
                 vec![maint.ratio(), q.cost.mean_ratio()],
@@ -353,7 +372,8 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
     for &(r, c) in &p.grids {
         let bed = TestBed::grid(r, c, 1);
         let table = ClusterTable::build(&bed.overlay, &bed.oracle);
-        let (mut max_table, mut max_cluster, mut sum_table, mut count) = (0usize, 0usize, 0usize, 0usize);
+        let (mut max_table, mut max_cluster, mut sum_table, mut count) =
+            (0usize, 0usize, 0usize, 0usize);
         for level in 1..=bed.overlay.height() {
             for &center in bed.overlay.level_members(level) {
                 let e = table.embedding(center, level).expect("cluster exists");
@@ -369,15 +389,14 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
         rows.push((
             (r * c).to_string(),
             vec![
-                max_cluster as f64,          // naive per-member state O(|X|)
-                max_table as f64,            // de Bruijn per-member state
+                max_cluster as f64, // naive per-member state O(|X|)
+                max_table as f64,   // de Bruijn per-member state
                 sum_table as f64 / count.max(1) as f64,
             ],
         ));
     }
     FigureTable {
-        title: "Per-member routing state: naive cluster tables vs de Bruijn embedding (§5)"
-            .into(),
+        title: "Per-member routing state: naive cluster tables vs de Bruijn embedding (§5)".into(),
         x_label: "nodes".into(),
         columns: vec![
             "naive_max(|X|)".into(),
@@ -395,8 +414,7 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
 pub fn locality_table(p: &Profile) -> FigureTable {
     let &(r, c) = p.grids.last().expect("profile has grids");
     let bed = TestBed::grid(r, c, 2);
-    let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4)
-        .generate(&bed.graph);
+    let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let algos = [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts];
     let radii = [2.0, 4.0, 8.0, 16.0, bed.oracle.diameter()];
@@ -491,8 +509,7 @@ pub fn churn_table() -> FigureTable {
     let mut rows = Vec::new();
     for &(r, c) in &[(8usize, 8usize), (16, 16)] {
         let bed = TestBed::grid(r, c, 6);
-        let mut sim =
-            mot_core::dynamics::ChurnSimulator::new(&bed.overlay, &bed.oracle, 4.0);
+        let mut sim = mot_core::dynamics::ChurnSimulator::new(&bed.overlay, &bed.oracle, 4.0);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let n = bed.graph.node_count();
         let mut out: Vec<mot_net::NodeId> = Vec::new();
@@ -513,7 +530,10 @@ pub fn churn_table() -> FigureTable {
         }
         rows.push((
             (r * c).to_string(),
-            vec![sim.amortized_adaptability(), sim.rebuilds_recommended as f64],
+            vec![
+                sim.amortized_adaptability(),
+                sim.rebuilds_recommended as f64,
+            ],
         ));
     }
     FigureTable {
@@ -569,7 +589,10 @@ mod tests {
         let t = publish_cost_table(&p);
         for (_, ys) in &t.rows {
             let cost_over_d = ys[2];
-            assert!(cost_over_d < 16.0, "publish cost {cost_over_d} x D not O(D)");
+            assert!(
+                cost_over_d < 16.0,
+                "publish cost {cost_over_d} x D not O(D)"
+            );
         }
     }
 

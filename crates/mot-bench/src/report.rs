@@ -1,6 +1,5 @@
 //! Plain-text / CSV rendering of experiment tables.
 
-
 /// One regenerated figure: a labelled series per algorithm over an x axis
 /// (network size, usually).
 #[derive(Clone, Debug)]

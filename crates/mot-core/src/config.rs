@@ -1,6 +1,5 @@
 //! Configuration of the MOT tracker.
 
-
 /// Feature toggles and cost-accounting switches for [`crate::MotTracker`].
 #[derive(Clone, Debug)]
 pub struct MotConfig {
@@ -45,7 +44,10 @@ impl MotConfig {
 
     /// MOT without special parents — the Fig. 2 pathology, for ablation.
     pub fn no_special_parents() -> Self {
-        MotConfig { use_special_parents: false, ..Self::plain() }
+        MotConfig {
+            use_special_parents: false,
+            ..Self::plain()
+        }
     }
 }
 

@@ -88,8 +88,7 @@ impl<'a> ChurnSimulator<'a> {
         self.departed[u.index()] = true;
         let mut report = ChurnReport::default();
         for idx in 0..self.clusters.len() {
-            if !self.clusters[idx].members().contains(&u)
-                || self.clusters[idx].members().len() <= 1
+            if !self.clusters[idx].members().contains(&u) || self.clusters[idx].members().len() <= 1
             {
                 continue;
             }
@@ -114,9 +113,7 @@ impl<'a> ChurnSimulator<'a> {
         let mut report = ChurnReport::default();
         for idx in 0..self.clusters.len() {
             let (_, center, radius) = self.roles[idx];
-            if self.oracle.dist(center, u) > radius
-                || self.clusters[idx].members().contains(&u)
-            {
+            if self.oracle.dist(center, u) > radius || self.clusters[idx].members().contains(&u) {
                 continue;
             }
             let ev = self.clusters[idx].join(u);
@@ -229,7 +226,14 @@ pub fn plan_rebuild(
             (o, new_proxy)
         })
         .collect();
-    Ok(RebuildPlan { graph: sub, oracle, overlay, old_of_new, new_of_old, proxies })
+    Ok(RebuildPlan {
+        graph: sub,
+        oracle,
+        overlay,
+        old_of_new,
+        new_of_old,
+        proxies,
+    })
 }
 
 #[cfg(test)]
@@ -275,15 +279,24 @@ mod tests {
         let o = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
         let mut sim = ChurnSimulator::new(&o, &m, 8.0);
         let u = NodeId(35);
-        let before: usize =
-            sim.clusters.iter().filter(|c| c.members().contains(&u)).count();
+        let before: usize = sim
+            .clusters
+            .iter()
+            .filter(|c| c.members().contains(&u))
+            .count();
         sim.node_leaves(u);
-        let mid: usize =
-            sim.clusters.iter().filter(|c| c.members().contains(&u)).count();
+        let mid: usize = sim
+            .clusters
+            .iter()
+            .filter(|c| c.members().contains(&u))
+            .count();
         assert_eq!(mid, 0);
         sim.node_joins(u);
-        let after: usize =
-            sim.clusters.iter().filter(|c| c.members().contains(&u)).count();
+        let after: usize = sim
+            .clusters
+            .iter()
+            .filter(|c| c.members().contains(&u))
+            .count();
         assert_eq!(after, before);
     }
 
@@ -361,7 +374,7 @@ mod tests {
         let (g, m) = setup();
         let o = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
         let mut sim = ChurnSimulator::new(&o, &m, 1.2); // tight threshold
-        // strip the neighborhood of node 0 until some cluster shrinks
+                                                        // strip the neighborhood of node 0 until some cluster shrinks
         let mut recommended = false;
         for u in [0u32, 1, 8, 9, 2, 16, 10, 17] {
             let rep = sim.node_leaves(NodeId(u));

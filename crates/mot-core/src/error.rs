@@ -34,8 +34,12 @@ mod tests {
 
     #[test]
     fn messages_name_the_culprit() {
-        assert!(CoreError::UnknownObject(ObjectId(3)).to_string().contains('3'));
-        assert!(CoreError::AlreadyPublished(ObjectId(9)).to_string().contains('9'));
+        assert!(CoreError::UnknownObject(ObjectId(3))
+            .to_string()
+            .contains('3'));
+        assert!(CoreError::AlreadyPublished(ObjectId(9))
+            .to_string()
+            .contains('9'));
         assert!(CoreError::UnknownNode(NodeId(5)).to_string().contains('5'));
     }
 }

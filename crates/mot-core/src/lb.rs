@@ -66,14 +66,20 @@ impl ClusterTable {
     ) -> Placement {
         let Some(embedding) = self.embedding(center, level) else {
             // A role outside the table (e.g. level 0) stores locally.
-            return Placement { holder: center, route_cost: 0.0 };
+            return Placement {
+                holder: center,
+                route_cost: 0.0,
+            };
         };
         let label = o.key() % embedding.len() as u32;
         let src = embedding
             .label_of(center)
             .expect("cluster center is always a member of its own ball");
         let hosts = embedding.route_hosts(src, label);
-        Placement { holder: embedding.host(label), route_cost: m.walk_length(&hosts) }
+        Placement {
+            holder: embedding.host(label),
+            route_cost: m.walk_length(&hosts),
+        }
     }
 
     /// Number of clusters in the table.

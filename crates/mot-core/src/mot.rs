@@ -66,7 +66,11 @@ impl<'a> MotTracker<'a> {
         match (&self.clusters, level) {
             (Some(t), l) if l >= 1 => {
                 let p = t.placement(node, l, o, self.oracle);
-                let cost = if self.cfg.count_lb_cost { p.route_cost } else { 0.0 };
+                let cost = if self.cfg.count_lb_cost {
+                    p.route_cost
+                } else {
+                    0.0
+                };
                 (p.holder, cost)
             }
             _ => (node, 0.0),
@@ -95,7 +99,11 @@ impl<'a> MotTracker<'a> {
         }
         let host = self.overlay.sp_host(path_origin, level, j);
         let (holder, lb_cost) = self.placement(host, sp_level, o);
-        let entry = SpEntry { host, child, holder };
+        let entry = SpEntry {
+            host,
+            child,
+            holder,
+        };
         self.stores.sdl_add(entry, level, o);
         let mut cost = lb_cost;
         if self.cfg.count_sp_cost {
@@ -146,7 +154,9 @@ impl<'a> MotTracker<'a> {
     /// Cost of descending the current trail of `o` from `(node, level)`
     /// to the proxy, or `None` for an unpublished object.
     pub fn descend_cost(&self, o: ObjectId, node: NodeId, level: usize) -> Option<f64> {
-        self.records.get(&o).map(|rec| self.descend(rec, node, level))
+        self.records
+            .get(&o)
+            .map(|rec| self.descend(rec, node, level))
     }
 
     /// The tracker's configuration.
@@ -179,7 +189,11 @@ impl<'a> MotTracker<'a> {
         let h = self.overlay.height();
         for (&o, rec) in &self.records {
             assert_eq!(rec.trail.len(), h + 1, "{o:?}: trail height mismatch");
-            assert_eq!(rec.trail[0].holders.len(), 1, "{o:?}: proxy level must be single");
+            assert_eq!(
+                rec.trail[0].holders.len(),
+                1,
+                "{o:?}: proxy level must be single"
+            );
             for (level, tl) in rec.trail.iter().enumerate() {
                 assert!(!tl.holders.is_empty(), "{o:?}: empty trail level {level}");
                 assert!(
@@ -263,7 +277,10 @@ impl Tracker for MotTracker<'_> {
             let (holder, lb_cost) = self.placement(to, 0, o);
             cost += lb_cost;
             self.stores.dl_add(to, 0, o, holder);
-            let mut tl = TrailLevel { holders: vec![to], sp_entries: Vec::new() };
+            let mut tl = TrailLevel {
+                holders: vec![to],
+                sp_entries: Vec::new(),
+            };
             let (entry, sp_cost) = self.install_sp(to, 0, 0, to, o);
             cost += sp_cost;
             if let Some(e) = entry {
@@ -320,8 +337,7 @@ impl Tracker for MotTracker<'_> {
             }
             new_levels.push(tl);
         }
-        let (meet_level, meet_node) =
-            meet.expect("the root always holds every published object");
+        let (meet_level, meet_node) = meet.expect("the root always holds every published object");
 
         // ---- delete: walk the stale trail below the meet downward ------
         let mut rec = self.records.remove(&o).expect("record checked above");
@@ -582,7 +598,12 @@ mod tests {
         let qn = without.query(neighbor, o).unwrap();
         assert_eq!(qs.proxy, proxy);
         assert_eq!(qn.proxy, proxy);
-        assert!(qs.cost <= qn.cost + 1e-9, "SP query {} > no-SP {}", qs.cost, qn.cost);
+        assert!(
+            qs.cost <= qn.cost + 1e-9,
+            "SP query {} > no-SP {}",
+            qs.cost,
+            qn.cost
+        );
     }
 
     #[test]

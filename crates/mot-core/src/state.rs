@@ -107,13 +107,7 @@ impl NodeStores {
 
     /// Removes `o` from `node`'s level-`level` DL, releasing `holder`'s
     /// charge. Returns false if it was not present.
-    pub fn dl_remove(
-        &mut self,
-        node: NodeId,
-        level: usize,
-        o: ObjectId,
-        holder: NodeId,
-    ) -> bool {
+    pub fn dl_remove(&mut self, node: NodeId, level: usize, o: ObjectId, holder: NodeId) -> bool {
         let entry = self.dl[node.index()].get_mut(&o);
         let Some(mask) = entry else { return false };
         let bit = 1u64 << level;
@@ -152,7 +146,10 @@ impl NodeStores {
     pub fn sdl_remove(&mut self, e: SpEntry, level: usize, o: ObjectId) {
         let entries = self.sdl[e.host.index()].get_mut(&o);
         let Some(v) = entries else { return };
-        if let Some(pos) = v.iter().position(|&(l, c)| l == level as u8 && c == e.child) {
+        if let Some(pos) = v
+            .iter()
+            .position(|&(l, c)| l == level as u8 && c == e.child)
+        {
             v.swap_remove(pos);
             if v.is_empty() {
                 self.sdl[e.host.index()].remove(&o);
@@ -209,7 +206,10 @@ mod tests {
         // role node 0, physical holder 3 (load-balanced placement)
         s.dl_add(NodeId(0), 1, ObjectId(1), NodeId(3));
         assert_eq!(s.loads(), &[0, 0, 0, 1]);
-        assert!(s.dl_has(NodeId(0), 1, ObjectId(1)), "lookup stays role-keyed");
+        assert!(
+            s.dl_has(NodeId(0), 1, ObjectId(1)),
+            "lookup stays role-keyed"
+        );
         s.dl_remove(NodeId(0), 1, ObjectId(1), NodeId(3));
         assert_eq!(s.loads(), &[0, 0, 0, 0]);
     }
@@ -218,7 +218,11 @@ mod tests {
     fn sdl_entries_roundtrip() {
         let mut s = NodeStores::new(5);
         let o = ObjectId(9);
-        let e = SpEntry { host: NodeId(4), child: NodeId(1), holder: NodeId(4) };
+        let e = SpEntry {
+            host: NodeId(4),
+            child: NodeId(1),
+            holder: NodeId(4),
+        };
         s.sdl_add(e, 2, o);
         assert_eq!(s.sdl_get(NodeId(4), o), Some((2, NodeId(1))));
         assert_eq!(s.sdl_get(NodeId(3), o), None);
@@ -232,8 +236,16 @@ mod tests {
     fn sdl_supports_multiple_levels_per_host() {
         let mut s = NodeStores::new(3);
         let o = ObjectId(1);
-        let a = SpEntry { host: NodeId(0), child: NodeId(1), holder: NodeId(0) };
-        let b = SpEntry { host: NodeId(0), child: NodeId(2), holder: NodeId(0) };
+        let a = SpEntry {
+            host: NodeId(0),
+            child: NodeId(1),
+            holder: NodeId(0),
+        };
+        let b = SpEntry {
+            host: NodeId(0),
+            child: NodeId(2),
+            holder: NodeId(0),
+        };
         s.sdl_add(a, 1, o);
         s.sdl_add(b, 3, o);
         assert_eq!(s.loads()[0], 2);
@@ -245,8 +257,14 @@ mod tests {
     fn record_proxy_is_bottom_holder() {
         let rec = ObjectRecord {
             trail: vec![
-                TrailLevel { holders: vec![NodeId(5)], sp_entries: vec![] },
-                TrailLevel { holders: vec![NodeId(1), NodeId(2)], sp_entries: vec![] },
+                TrailLevel {
+                    holders: vec![NodeId(5)],
+                    sp_entries: vec![],
+                },
+                TrailLevel {
+                    holders: vec![NodeId(1), NodeId(2)],
+                    sp_entries: vec![],
+                },
             ],
         };
         assert_eq!(rec.proxy(), NodeId(5));

@@ -57,10 +57,16 @@ mod tests {
 
     #[test]
     fn result_types_are_value_like() {
-        let q = QueryResult { proxy: NodeId(3), cost: 2.5 };
+        let q = QueryResult {
+            proxy: NodeId(3),
+            cost: 2.5,
+        };
         let q2 = q;
         assert_eq!(q, q2);
-        let m = MoveOutcome { from: NodeId(1), cost: 0.0 };
+        let m = MoveOutcome {
+            from: NodeId(1),
+            cost: 0.0,
+        };
         assert_eq!(m.from, NodeId(1));
     }
 }

@@ -49,7 +49,11 @@ impl DynamicCluster {
     pub fn new(members: Vec<NodeId>) -> Self {
         assert!(!members.is_empty(), "cluster cannot start empty");
         let leader = members[0];
-        DynamicCluster { members, leader, events: Vec::new() }
+        DynamicCluster {
+            members,
+            leader,
+            events: Vec::new(),
+        }
     }
 
     /// Current members in label order.
@@ -86,7 +90,11 @@ impl DynamicCluster {
             // O(1) de Bruijn neighbors of that label
             3
         };
-        let ev = ChurnEvent { nodes_updated, dimension_changed, leader_changed: false };
+        let ev = ChurnEvent {
+            nodes_updated,
+            dimension_changed,
+            leader_changed: false,
+        };
         self.events.push(ev);
         ev
     }
@@ -122,7 +130,11 @@ impl DynamicCluster {
         if was_leader {
             self.leader = self.members[0];
         }
-        let ev = ChurnEvent { nodes_updated, dimension_changed, leader_changed: was_leader };
+        let ev = ChurnEvent {
+            nodes_updated,
+            dimension_changed,
+            leader_changed: was_leader,
+        };
         self.events.push(ev);
         ev
     }
@@ -133,7 +145,10 @@ impl DynamicCluster {
         if self.events.is_empty() {
             return 0.0;
         }
-        self.events.iter().map(|e| e.nodes_updated as f64).sum::<f64>()
+        self.events
+            .iter()
+            .map(|e| e.nodes_updated as f64)
+            .sum::<f64>()
             / self.events.len() as f64
     }
 }
@@ -202,7 +217,10 @@ mod tests {
             }
         }
         let amortized = c.amortized_adaptability();
-        assert!(amortized < 6.0, "amortized adaptability {amortized} not O(1)");
+        assert!(
+            amortized < 6.0,
+            "amortized adaptability {amortized} not O(1)"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Embedding {
 
     /// The physical label a member hosts primarily.
     pub fn label_of(&self, node: NodeId) -> Option<u32> {
-        self.members.iter().position(|&m| m == node).map(|i| i as u32)
+        self.members
+            .iter()
+            .position(|&m| m == node)
+            .map(|i| i as u32)
     }
 
     /// Physical node sequence of the canonical route between two virtual

@@ -6,7 +6,6 @@
 //! the canonical *shift-in* walk (append the destination's bits after the
 //! longest suffix/prefix overlap) is a shortest path.
 
-
 /// A `d`-dimensional de Bruijn graph over labels `0..2^d`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeBruijnGraph {

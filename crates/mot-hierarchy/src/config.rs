@@ -1,6 +1,5 @@
 //! Tunable constants of the overlay construction.
 
-
 /// Constants governing overlay geometry.
 ///
 /// The paper's worst-case analysis fixes the parent-set radius at
@@ -55,7 +54,10 @@ impl OverlayConfig {
     /// parent) — used by the `ablation-ps` experiment to show why parent
     /// sets matter.
     pub fn singleton_parents() -> Self {
-        OverlayConfig { parent_set_radius_mult: 0.0, ..Self::practical() }
+        OverlayConfig {
+            parent_set_radius_mult: 0.0,
+            ..Self::practical()
+        }
     }
 }
 
@@ -76,6 +78,9 @@ mod tests {
         assert!(e.parent_set_radius_mult > p.parent_set_radius_mult);
         assert!(e.sp_gap > p.sp_gap);
         assert_eq!(OverlayConfig::default().sp_gap, p.sp_gap);
-        assert_eq!(OverlayConfig::singleton_parents().parent_set_radius_mult, 0.0);
+        assert_eq!(
+            OverlayConfig::singleton_parents().parent_set_radius_mult,
+            0.0
+        );
     }
 }

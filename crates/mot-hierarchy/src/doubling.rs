@@ -20,13 +20,12 @@ use std::collections::HashMap;
 ///
 /// `seed` drives Luby's random priorities; identical seeds yield identical
 /// overlays.
-pub fn build_doubling(
-    g: &Graph,
-    m: &DistanceMatrix,
-    cfg: &OverlayConfig,
-    seed: u64,
-) -> Overlay {
-    assert_eq!(g.node_count(), m.node_count(), "graph and oracle disagree on n");
+pub fn build_doubling(g: &Graph, m: &DistanceMatrix, cfg: &OverlayConfig, seed: u64) -> Overlay {
+    assert_eq!(
+        g.node_count(),
+        m.node_count(),
+        "graph and oracle disagree on n"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = g.node_count();
 
@@ -159,7 +158,10 @@ mod tests {
             let prev: std::collections::HashSet<_> =
                 o.level_members(l - 1).iter().copied().collect();
             for &v in cur {
-                assert!(prev.contains(&v), "level {l} member {v} missing from level below");
+                assert!(
+                    prev.contains(&v),
+                    "level {l} member {v} missing from level below"
+                );
             }
             // pairwise separation >= 2^l
             let sep = (1u64 << l) as f64;

@@ -31,11 +31,7 @@ struct Partition {
     leaders: Vec<NodeId>,
 }
 
-fn carve_partition<R: Rng>(
-    m: &DistanceMatrix,
-    radius: f64,
-    rng: &mut R,
-) -> Partition {
+fn carve_partition<R: Rng>(m: &DistanceMatrix, radius: f64, rng: &mut R) -> Partition {
     let n = m.node_count();
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
@@ -54,7 +50,10 @@ fn carve_partition<R: Rng>(
             }
         }
     }
-    Partition { assignment, leaders }
+    Partition {
+        assignment,
+        leaders,
+    }
 }
 
 /// True when the ball `B(u, r)` lies inside `u`'s cluster of `p`.
@@ -67,13 +66,12 @@ fn ball_padded(m: &DistanceMatrix, p: &Partition, u: NodeId, r: f64) -> bool {
 
 /// Builds the sparse-partition overlay for an arbitrary (connected)
 /// network.
-pub fn build_general(
-    g: &Graph,
-    m: &DistanceMatrix,
-    cfg: &OverlayConfig,
-    seed: u64,
-) -> Overlay {
-    assert_eq!(g.node_count(), m.node_count(), "graph and oracle disagree on n");
+pub fn build_general(g: &Graph, m: &DistanceMatrix, cfg: &OverlayConfig, seed: u64) -> Overlay {
+    assert_eq!(
+        g.node_count(),
+        m.node_count(),
+        "graph and oracle disagree on n"
+    );
     let n = g.node_count();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
@@ -82,8 +80,12 @@ pub fn build_general(
     let root = (0..n)
         .map(NodeId::from_index)
         .min_by(|&a, &b| {
-            let ea = (0..n).map(|v| m.dist(a, NodeId::from_index(v))).fold(0.0, f64::max);
-            let eb = (0..n).map(|v| m.dist(b, NodeId::from_index(v))).fold(0.0, f64::max);
+            let ea = (0..n)
+                .map(|v| m.dist(a, NodeId::from_index(v)))
+                .fold(0.0, f64::max);
+            let eb = (0..n)
+                .map(|v| m.dist(b, NodeId::from_index(v)))
+                .fold(0.0, f64::max);
             ea.partial_cmp(&eb).unwrap().then(a.cmp(&b))
         })
         .expect("non-empty graph");

@@ -16,12 +16,12 @@ use rand::Rng;
 ///
 /// Returns the selected members of `nodes`. Ties on priority are broken by
 /// node id so runs are reproducible for a seeded `rng`.
-pub fn luby_mis<R: Rng>(
-    nodes: &[NodeId],
-    neighbors: &[Vec<usize>],
-    rng: &mut R,
-) -> Vec<NodeId> {
-    assert_eq!(nodes.len(), neighbors.len(), "adjacency must cover every node");
+pub fn luby_mis<R: Rng>(nodes: &[NodeId], neighbors: &[Vec<usize>], rng: &mut R) -> Vec<NodeId> {
+    assert_eq!(
+        nodes.len(),
+        neighbors.len(),
+        "adjacency must cover every node"
+    );
     let n = nodes.len();
     #[derive(Clone, Copy, PartialEq)]
     enum State {
@@ -131,8 +131,9 @@ mod tests {
     fn mis_on_complete_graph_is_single_node() {
         let n = 12;
         let nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|i| (0..n).filter(|&j| j != i).collect()).collect();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let mis = luby_mis(&nodes, &adj, &mut rng);
         assert_eq!(mis.len(), 1);
@@ -163,7 +164,11 @@ mod tests {
         // non-maximal: node 4 uncovered
         assert!(!is_valid_mis(&nodes, &adj, &[NodeId(0)]));
         // valid
-        assert!(is_valid_mis(&nodes, &adj, &[NodeId(0), NodeId(2), NodeId(4)]));
+        assert!(is_valid_mis(
+            &nodes,
+            &adj,
+            &[NodeId(0), NodeId(2), NodeId(4)]
+        ));
     }
 
     #[test]

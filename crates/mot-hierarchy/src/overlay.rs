@@ -39,7 +39,13 @@ impl Overlay {
         let height = levels.len() - 1;
         debug_assert!(levels.last().map(|top| top.len() == 1).unwrap_or(false));
         debug_assert!(paths.iter().all(|p| p.height() == height));
-        Overlay { kind, height, levels, paths, sp_gap }
+        Overlay {
+            kind,
+            height,
+            levels,
+            paths,
+            sp_gap,
+        }
     }
 
     /// Which construction produced this overlay.
@@ -145,7 +151,11 @@ mod tests {
             .map(|i| DetectionPath {
                 stations: vec![
                     vec![NodeId(i)],
-                    if i < 2 { vec![NodeId(0)] } else { vec![NodeId(0), NodeId(2)] },
+                    if i < 2 {
+                        vec![NodeId(0)]
+                    } else {
+                        vec![NodeId(0), NodeId(2)]
+                    },
                     vec![NodeId(0)],
                 ],
             })

@@ -88,10 +88,7 @@ mod tests {
         let p = path(vec![vec![3], vec![1, 5], vec![9]]);
         assert_eq!(p.origin(), NodeId(3));
         assert_eq!(p.height(), 2);
-        assert_eq!(
-            p.walk(2),
-            vec![NodeId(3), NodeId(1), NodeId(5), NodeId(9)]
-        );
+        assert_eq!(p.walk(2), vec![NodeId(3), NodeId(1), NodeId(5), NodeId(9)]);
         assert_eq!(p.walk(0), vec![NodeId(3)]);
         // clamped above height
         assert_eq!(p.walk(99).len(), 4);

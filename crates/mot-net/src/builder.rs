@@ -21,7 +21,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { adjacency: vec![Vec::new(); n], positions: None, edge_count: 0 }
+        GraphBuilder {
+            adjacency: vec![Vec::new(); n],
+            positions: None,
+            edge_count: 0,
+        }
     }
 
     /// Number of nodes the graph will have.
@@ -144,7 +148,10 @@ mod tests {
 
     #[test]
     fn build_rejects_empty_and_disconnected() {
-        assert!(matches!(GraphBuilder::new(0).build(), Err(NetError::EmptyGraph)));
+        assert!(matches!(
+            GraphBuilder::new(0).build(),
+            Err(NetError::EmptyGraph)
+        ));
         let b = GraphBuilder::new(2);
         assert!(matches!(b.build(), Err(NetError::Disconnected)));
     }

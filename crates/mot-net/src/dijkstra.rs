@@ -48,7 +48,10 @@ pub fn dijkstra_targeted(g: &Graph, source: NodeId, target: NodeId) -> f64 {
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u.index()] {
             continue;
@@ -60,7 +63,10 @@ pub fn dijkstra_targeted(g: &Graph, source: NodeId, target: NodeId) -> f64 {
             let nd = d + e.weight;
             if nd < dist[e.to.index()] {
                 dist[e.to.index()] = nd;
-                heap.push(HeapEntry { dist: nd, node: e.to });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: e.to,
+                });
             }
         }
     }
@@ -73,7 +79,10 @@ fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<f64>, Vec<Option<Nod
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u.index()] {
             continue;
@@ -84,7 +93,10 @@ fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<f64>, Vec<Option<Nod
             if nd < dist[vi] {
                 dist[vi] = nd;
                 parent[vi] = Some(u);
-                heap.push(HeapEntry { dist: nd, node: e.to });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: e.to,
+                });
             }
         }
     }

@@ -53,10 +53,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = NetError::NodeOutOfRange { node: NodeId(7), n: 4 };
+        let e = NetError::NodeOutOfRange {
+            node: NodeId(7),
+            n: 4,
+        };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("4"));
-        let e = NetError::InvalidWeight { a: NodeId(0), b: NodeId(1), weight: -1.0 };
+        let e = NetError::InvalidWeight {
+            a: NodeId(0),
+            b: NodeId(1),
+            weight: -1.0,
+        };
         assert!(e.to_string().contains("-1"));
     }
 }

@@ -7,10 +7,10 @@
 //! lines round out the test matrix.
 
 use crate::builder::GraphBuilder;
+use crate::error::NetError;
 use crate::graph::Graph;
 use crate::node::{NodeId, Point};
 use crate::Result;
-use crate::error::NetError;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -197,7 +197,10 @@ pub fn perturbed_grid(rows: usize, cols: usize, jitter: f64, seed: u64) -> Resul
     if rows == 0 || cols == 0 {
         return Err(NetError::EmptyGraph);
     }
-    assert!((0.0..0.5).contains(&jitter), "jitter must stay below half the spacing");
+    assert!(
+        (0.0..0.5).contains(&jitter),
+        "jitter must stay below half the spacing"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let positions: Vec<Point> = (0..rows * cols)
         .map(|i| {
@@ -236,13 +239,7 @@ pub fn perturbed_grid(rows: usize, cols: usize, jitter: f64, seed: u64) -> Resul
 /// non-uniform-density field where hierarchical overlays earn their keep.
 /// Built as a random-geometric graph over the clustered positions, then
 /// bridged to connectivity like [`random_geometric`].
-pub fn clustered(
-    n: usize,
-    clusters: usize,
-    side: f64,
-    radius: f64,
-    seed: u64,
-) -> Result<Graph> {
+pub fn clustered(n: usize, clusters: usize, side: f64, radius: f64, seed: u64) -> Result<Graph> {
     if n == 0 || clusters == 0 {
         return Err(NetError::EmptyGraph);
     }
@@ -313,7 +310,16 @@ fn bridge_to_connectivity(mut g: Graph, positions: &[Point]) -> Result<Graph> {
 /// The grid sizes used throughout the paper's evaluation (≈10 → 1024
 /// nodes). Returns `(rows, cols)` pairs.
 pub fn paper_grid_sizes() -> Vec<(usize, usize)> {
-    vec![(3, 3), (4, 4), (6, 6), (8, 8), (12, 12), (16, 16), (23, 23), (32, 32)]
+    vec![
+        (3, 3),
+        (4, 4),
+        (6, 6),
+        (8, 8),
+        (12, 12),
+        (16, 16),
+        (23, 23),
+        (32, 32),
+    ]
 }
 
 #[cfg(test)]

@@ -34,7 +34,11 @@ impl Graph {
         positions: Option<Vec<Point>>,
         edge_count: usize,
     ) -> Self {
-        Graph { adjacency, positions, edge_count }
+        Graph {
+            adjacency,
+            positions,
+            edge_count,
+        }
     }
 
     /// Number of sensor nodes `n = |V|`.

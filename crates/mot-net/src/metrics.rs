@@ -31,7 +31,11 @@ impl GraphStats {
             nodes,
             edges: g.edge_count(),
             diameter: m.diameter(),
-            avg_degree: if nodes == 0 { 0.0 } else { 2.0 * g.edge_count() as f64 / nodes as f64 },
+            avg_degree: if nodes == 0 {
+                0.0
+            } else {
+                2.0 * g.edge_count() as f64 / nodes as f64
+            },
             max_degree,
             doubling_dimension: estimate_doubling_dimension(m),
         }

@@ -21,7 +21,11 @@ use crate::Result;
 /// before that happens; callers treat the error as "rebuild impossible,
 /// redeploy").
 pub fn subgraph(g: &Graph, keep: &[bool]) -> Result<(Graph, Vec<NodeId>)> {
-    assert_eq!(keep.len(), g.node_count(), "keep mask must cover every node");
+    assert_eq!(
+        keep.len(),
+        g.node_count(),
+        "keep mask must cover every node"
+    );
     let old_ids: Vec<NodeId> = g.nodes().filter(|u| keep[u.index()]).collect();
     if old_ids.is_empty() {
         return Err(NetError::EmptyGraph);
@@ -120,7 +124,10 @@ mod tests {
     #[test]
     fn empty_keep_mask_is_an_error() {
         let g = generators::line(4).unwrap();
-        assert!(matches!(subgraph(&g, &[false; 4]), Err(NetError::EmptyGraph)));
+        assert!(matches!(
+            subgraph(&g, &[false; 4]),
+            Err(NetError::EmptyGraph)
+        ));
     }
 
     #[test]

@@ -95,15 +95,12 @@ impl DistanceMatrix {
     /// node id (the paper breaks parent ties arbitrarily; ID order keeps
     /// runs reproducible). Returns `None` on an empty candidate list.
     pub fn nearest_in(&self, u: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.dist(u, a)
-                    .partial_cmp(&self.dist(u, b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            })
+        candidates.iter().copied().min_by(|&a, &b| {
+            self.dist(u, a)
+                .partial_cmp(&self.dist(u, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        })
     }
 
     /// Total length of a node walk `p_0 → p_1 → … → p_k` where consecutive
@@ -192,6 +189,9 @@ mod tests {
         let mut b = crate::builder::GraphBuilder::new(3);
         b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
         let g = b.build_unchecked();
-        assert!(matches!(DistanceMatrix::build(&g), Err(NetError::Disconnected)));
+        assert!(matches!(
+            DistanceMatrix::build(&g),
+            Err(NetError::Disconnected)
+        ));
     }
 }

@@ -50,14 +50,31 @@ pub enum Payload {
         continue_down: bool,
     },
     /// Install an SDL entry at a special parent.
-    SpInstall { object: ObjectId, guarded_level: usize, child: NodeId },
+    SpInstall {
+        object: ObjectId,
+        guarded_level: usize,
+        child: NodeId,
+    },
     /// Remove an SDL entry from a special parent.
-    SpRemove { object: ObjectId, guarded_level: usize, child: NodeId },
+    SpRemove {
+        object: ObjectId,
+        guarded_level: usize,
+        child: NodeId,
+    },
     /// A query climbing `DPath(origin)`.
-    Query { object: ObjectId, origin: NodeId, level: usize, index: usize },
+    Query {
+        object: ObjectId,
+        origin: NodeId,
+        level: usize,
+        index: usize,
+    },
     /// A located query descending the holder chain; the receiver holds
     /// the object at `level`.
-    Descend { object: ObjectId, origin: NodeId, level: usize },
+    Descend {
+        object: ObjectId,
+        origin: NodeId,
+        level: usize,
+    },
     /// The proxy's answer heading back to the querier.
     Reply { object: ObjectId, proxy: NodeId },
 }
@@ -97,11 +114,12 @@ impl Payload {
     /// period gate applies to these.
     pub fn level_entry(&self) -> Option<usize> {
         match *self {
-            Payload::Climb { level, index: 0, .. } | Payload::Query { level, index: 0, .. }
-                if level > 0 =>
-            {
-                Some(level)
+            Payload::Climb {
+                level, index: 0, ..
             }
+            | Payload::Query {
+                level, index: 0, ..
+            } if level > 0 => Some(level),
             _ => None,
         }
     }
@@ -148,7 +166,11 @@ mod tests {
         };
         assert!(climb.charged());
         assert_eq!(climb.kind(), "insert");
-        let sp = Payload::SpInstall { object: ObjectId(0), guarded_level: 1, child: NodeId(2) };
+        let sp = Payload::SpInstall {
+            object: ObjectId(0),
+            guarded_level: 1,
+            child: NodeId(2),
+        };
         assert!(!sp.charged());
         let rp = Payload::Repoint {
             object: ObjectId(0),
@@ -157,7 +179,10 @@ mod tests {
             targets_remaining: vec![],
         };
         assert!(!rp.charged());
-        let reply = Payload::Reply { object: ObjectId(0), proxy: NodeId(1) };
+        let reply = Payload::Reply {
+            object: ObjectId(0),
+            proxy: NodeId(1),
+        };
         assert!(!reply.charged());
         assert_eq!(reply.kind(), "reply");
     }

@@ -94,10 +94,31 @@ impl NodeState {
     /// messages.
     pub fn handle(&mut self, me: NodeId, msg: Payload, ctx: &Ctx<'_>) -> Vec<Message> {
         match msg {
-            Payload::Climb { object, origin, level, index, prev_members, added, publish } => {
-                self.on_climb(me, ctx, object, origin, level, index, prev_members, added, publish)
-            }
-            Payload::Repoint { object, level, new_down, targets_remaining } => {
+            Payload::Climb {
+                object,
+                origin,
+                level,
+                index,
+                prev_members,
+                added,
+                publish,
+            } => self.on_climb(
+                me,
+                ctx,
+                object,
+                origin,
+                level,
+                index,
+                prev_members,
+                added,
+                publish,
+            ),
+            Payload::Repoint {
+                object,
+                level,
+                new_down,
+                targets_remaining,
+            } => {
                 if let Some(e) = self.dl.get_mut(&(object, level as u8)) {
                     e.down_members = new_down.clone();
                 }
@@ -115,17 +136,32 @@ impl NodeState {
                     None => Vec::new(),
                 }
             }
-            Payload::Delete { object, level, members_remaining, continue_down } => {
-                self.on_delete(me, object, level, members_remaining, continue_down)
-            }
-            Payload::SpInstall { object, guarded_level, child } => {
-                self.sdl.entry(object).or_default().push((guarded_level as u8, child));
+            Payload::Delete {
+                object,
+                level,
+                members_remaining,
+                continue_down,
+            } => self.on_delete(me, object, level, members_remaining, continue_down),
+            Payload::SpInstall {
+                object,
+                guarded_level,
+                child,
+            } => {
+                self.sdl
+                    .entry(object)
+                    .or_default()
+                    .push((guarded_level as u8, child));
                 Vec::new()
             }
-            Payload::SpRemove { object, guarded_level, child } => {
+            Payload::SpRemove {
+                object,
+                guarded_level,
+                child,
+            } => {
                 if let Some(v) = self.sdl.get_mut(&object) {
-                    if let Some(pos) =
-                        v.iter().position(|&(l, c)| l == guarded_level as u8 && c == child)
+                    if let Some(pos) = v
+                        .iter()
+                        .position(|&(l, c)| l == guarded_level as u8 && c == child)
                     {
                         v.swap_remove(pos);
                     }
@@ -135,12 +171,17 @@ impl NodeState {
                 }
                 Vec::new()
             }
-            Payload::Query { object, origin, level, index } => {
-                self.on_query(me, ctx, object, origin, level, index)
-            }
-            Payload::Descend { object, origin, level } => {
-                self.on_descend(me, ctx, object, origin, level)
-            }
+            Payload::Query {
+                object,
+                origin,
+                level,
+                index,
+            } => self.on_query(me, ctx, object, origin, level, index),
+            Payload::Descend {
+                object,
+                origin,
+                level,
+            } => self.on_descend(me, ctx, object, origin, level),
             Payload::Reply { .. } => Vec::new(), // intercepted by the runtime
         }
     }
@@ -234,7 +275,11 @@ impl NodeState {
             out.push(Message {
                 src: me,
                 dst: host,
-                payload: Payload::SpInstall { object, guarded_level: level, child: me },
+                payload: Payload::SpInstall {
+                    object,
+                    guarded_level: level,
+                    child: me,
+                },
             });
         }
         added.push(me);
@@ -289,7 +334,11 @@ impl NodeState {
                 out.push(Message {
                     src: me,
                     dst: host,
-                    payload: Payload::SpRemove { object, guarded_level: level, child: me },
+                    payload: Payload::SpRemove {
+                        object,
+                        guarded_level: level,
+                        child: me,
+                    },
                 });
             }
         }
@@ -343,7 +392,11 @@ impl NodeState {
                 return vec![Message {
                     src: me,
                     dst: child,
-                    payload: Payload::Descend { object, origin, level: guarded_level },
+                    payload: Payload::Descend {
+                        object,
+                        origin,
+                        level: guarded_level,
+                    },
                 }];
             }
         }
@@ -353,7 +406,12 @@ impl NodeState {
             vec![Message {
                 src: me,
                 dst: station[index + 1],
-                payload: Payload::Query { object, origin, level, index: index + 1 },
+                payload: Payload::Query {
+                    object,
+                    origin,
+                    level,
+                    index: index + 1,
+                },
             }]
         } else {
             debug_assert!(
@@ -364,7 +422,12 @@ impl NodeState {
             vec![Message {
                 src: me,
                 dst: next_station[0],
-                payload: Payload::Query { object, origin, level: level + 1, index: 0 },
+                payload: Payload::Query {
+                    object,
+                    origin,
+                    level: level + 1,
+                    index: 0,
+                },
             }]
         }
     }
@@ -406,7 +469,11 @@ impl NodeState {
         vec![Message {
             src: me,
             dst: next,
-            payload: Payload::Descend { object, origin, level: level - 1 },
+            payload: Payload::Descend {
+                object,
+                origin,
+                level: level - 1,
+            },
         }]
     }
 }

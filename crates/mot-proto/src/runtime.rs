@@ -92,7 +92,11 @@ impl Inner<'_> {
             msgs.push(Message {
                 src: proxy,
                 dst: host,
-                payload: Payload::SpInstall { object: o, guarded_level: 0, child: proxy },
+                payload: Payload::SpInstall {
+                    object: o,
+                    guarded_level: 0,
+                    child: proxy,
+                },
             });
         }
         if self.overlay.height() >= 1 {
@@ -234,7 +238,12 @@ impl<'a> ProtoTracker<'a> {
                         Message {
                             src: from,
                             dst: from,
-                            payload: Payload::Query { object, origin: from, level: 0, index: 0 },
+                            payload: Payload::Query {
+                                object,
+                                origin: from,
+                                level: 0,
+                                index: 0,
+                            },
                         },
                         0.0,
                         inner.oracle,
@@ -312,7 +321,10 @@ impl Tracker for ProtoTracker<'_> {
         inner.start_climb(o, to, false);
         inner.run_to_idle();
         inner.proxies.insert(o, to);
-        Ok(MoveOutcome { from, cost: inner.transport.ledger.charged })
+        Ok(MoveOutcome {
+            from,
+            cost: inner.transport.ledger.charged,
+        })
     }
 
     fn query(&self, from: NodeId, o: ObjectId) -> mot_core::Result<QueryResult> {
@@ -326,12 +338,20 @@ impl Tracker for ProtoTracker<'_> {
         inner.transport.send(Message {
             src: from,
             dst: from, // zero-distance self-delivery starts the probe
-            payload: Payload::Query { object: o, origin: from, level: 0, index: 0 },
+            payload: Payload::Query {
+                object: o,
+                origin: from,
+                level: 0,
+                index: 0,
+            },
         });
         inner.run_to_idle();
         let (obj, proxy) = inner.last_reply.expect("published objects always resolve");
         debug_assert_eq!(obj, o);
-        Ok(QueryResult { proxy, cost: inner.transport.ledger.charged })
+        Ok(QueryResult {
+            proxy,
+            cost: inner.transport.ledger.charged,
+        })
     }
 
     fn proxy_of(&self, o: ObjectId) -> Option<NodeId> {
@@ -339,7 +359,12 @@ impl Tracker for ProtoTracker<'_> {
     }
 
     fn node_loads(&self) -> Vec<usize> {
-        self.inner.borrow().nodes.iter().map(NodeState::load).collect()
+        self.inner
+            .borrow()
+            .nodes
+            .iter()
+            .map(NodeState::load)
+            .collect()
     }
 }
 
@@ -350,7 +375,11 @@ impl NodeState {
         self.insert_entry(
             o,
             0,
-            DlEntry { down_members: Vec::new(), level_members: vec![me], sp_host },
+            DlEntry {
+                down_members: Vec::new(),
+                level_members: vec![me],
+                sp_host,
+            },
         );
     }
 }
@@ -410,7 +439,10 @@ mod tests {
         let (g, m) = env();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let pubs: Vec<BatchOp> = (0..8u32)
-            .map(|k| BatchOp::Publish { object: ObjectId(k), proxy: NodeId(k * 4 % 36) })
+            .map(|k| BatchOp::Publish {
+                object: ObjectId(k),
+                proxy: NodeId(k * 4 % 36),
+            })
             .collect();
 
         // sequential reference
@@ -436,7 +468,11 @@ mod tests {
         );
         // cross-object parallelism: finish before the serialized sum but
         // no earlier than the slowest single operation's own latency.
-        assert!(out.makespan < seq_cost, "no parallelism: makespan {}", out.makespan);
+        assert!(
+            out.makespan < seq_cost,
+            "no parallelism: makespan {}",
+            out.makespan
+        );
         // identical final state
         for node in g.nodes() {
             for level in 0..=overlay.height() {
@@ -461,12 +497,30 @@ mod tests {
         }
         // moves for objects 0..3, queries for objects 3..6 — distinct
         let ops = vec![
-            BatchOp::Move { object: ObjectId(0), to: NodeId(1) },
-            BatchOp::Move { object: ObjectId(1), to: NodeId(7) },
-            BatchOp::Move { object: ObjectId(2), to: NodeId(13) },
-            BatchOp::Query { object: ObjectId(3), from: NodeId(35) },
-            BatchOp::Query { object: ObjectId(4), from: NodeId(0) },
-            BatchOp::Query { object: ObjectId(5), from: NodeId(17) },
+            BatchOp::Move {
+                object: ObjectId(0),
+                to: NodeId(1),
+            },
+            BatchOp::Move {
+                object: ObjectId(1),
+                to: NodeId(7),
+            },
+            BatchOp::Move {
+                object: ObjectId(2),
+                to: NodeId(13),
+            },
+            BatchOp::Query {
+                object: ObjectId(3),
+                from: NodeId(35),
+            },
+            BatchOp::Query {
+                object: ObjectId(4),
+                from: NodeId(0),
+            },
+            BatchOp::Query {
+                object: ObjectId(5),
+                from: NodeId(17),
+            },
         ];
         let out = t.run_batch(&ops, 0.0).unwrap();
         assert_eq!(out.replies.len(), 3);
@@ -488,7 +542,10 @@ mod tests {
         let g = generators::grid(6, 6).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let pubs: Vec<BatchOp> = (0..5u32)
-            .map(|k| BatchOp::Publish { object: ObjectId(k), proxy: NodeId(k * 7 % 36) })
+            .map(|k| BatchOp::Publish {
+                object: ObjectId(k),
+                proxy: NodeId(k * 7 % 36),
+            })
             .collect();
         let mut free = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
         let out_free = free.run_batch(&pubs, 0.0).unwrap();
@@ -512,8 +569,14 @@ mod tests {
         let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
         let _ = t.run_batch(
             &[
-                BatchOp::Publish { object: ObjectId(0), proxy: NodeId(0) },
-                BatchOp::Move { object: ObjectId(0), to: NodeId(1) },
+                BatchOp::Publish {
+                    object: ObjectId(0),
+                    proxy: NodeId(0),
+                },
+                BatchOp::Move {
+                    object: ObjectId(0),
+                    to: NodeId(1),
+                },
             ],
             0.0,
         );

@@ -144,17 +144,24 @@ impl TimedTransport {
                 deliver_at = (deliver_at / phi).ceil() * phi;
             }
         }
-        self.heap.push(Scheduled { deliver_at, seq: self.seq, msg });
+        self.heap.push(Scheduled {
+            deliver_at,
+            seq: self.seq,
+            msg,
+        });
         self.seq += 1;
     }
 
     /// Pops the earliest message, advancing the clock and billing its
     /// distance.
     pub fn deliver(&mut self, oracle: &DistanceMatrix) -> Option<Message> {
-        let Scheduled { deliver_at, msg, .. } = self.heap.pop()?;
+        let Scheduled {
+            deliver_at, msg, ..
+        } = self.heap.pop()?;
         debug_assert!(deliver_at >= self.now - 1e-9, "time ran backwards");
         self.now = self.now.max(deliver_at);
-        self.ledger.bill(&msg.payload, oracle.dist(msg.src, msg.dst));
+        self.ledger
+            .bill(&msg.payload, oracle.dist(msg.src, msg.dst));
         Some(msg)
     }
 
@@ -171,7 +178,11 @@ mod tests {
     use mot_net::{generators, NodeId};
 
     fn msg(src: u32, dst: u32, payload: Payload) -> Message {
-        Message { src: NodeId(src), dst: NodeId(dst), payload }
+        Message {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            payload,
+        }
     }
 
     #[test]
@@ -179,8 +190,24 @@ mod tests {
         let g = generators::line(5).unwrap();
         let m = DistanceMatrix::build(&g).unwrap();
         let mut t = Transport::new();
-        t.send(msg(0, 4, Payload::Delete { object: ObjectId(0), level: 1, members_remaining: vec![], continue_down: true }));
-        t.send(msg(4, 2, Payload::Reply { object: ObjectId(0), proxy: NodeId(2) }));
+        t.send(msg(
+            0,
+            4,
+            Payload::Delete {
+                object: ObjectId(0),
+                level: 1,
+                members_remaining: vec![],
+                continue_down: true,
+            },
+        ));
+        t.send(msg(
+            4,
+            2,
+            Payload::Reply {
+                object: ObjectId(0),
+                proxy: NodeId(2),
+            },
+        ));
         let first = t.deliver(&m).unwrap();
         assert_eq!(first.dst, NodeId(4));
         assert_eq!(t.ledger.charged, 4.0); // delete is charged
@@ -199,12 +226,26 @@ mod tests {
         let mut t = TimedTransport::new(0.0);
         // sent simultaneously: the shorter hop arrives first
         t.send_at(
-            msg(0, 5, Payload::Reply { object: ObjectId(0), proxy: NodeId(5) }),
+            msg(
+                0,
+                5,
+                Payload::Reply {
+                    object: ObjectId(0),
+                    proxy: NodeId(5),
+                },
+            ),
             0.0,
             &m,
         );
         t.send_at(
-            msg(0, 1, Payload::Reply { object: ObjectId(1), proxy: NodeId(1) }),
+            msg(
+                0,
+                1,
+                Payload::Reply {
+                    object: ObjectId(1),
+                    proxy: NodeId(1),
+                },
+            ),
             0.0,
             &m,
         );
@@ -235,7 +276,10 @@ mod tests {
         let mut gated = TimedTransport::new(1.0); // Φ(2) = 4
         gated.send_at(msg(0, 1, climb_into_level_2.clone()), 0.0, &m);
         gated.deliver(&m).unwrap();
-        assert!((gated.now - 4.0).abs() < 1e-12, "arrival gated to the period end");
+        assert!(
+            (gated.now - 4.0).abs() < 1e-12,
+            "arrival gated to the period end"
+        );
 
         let mut free = TimedTransport::new(0.0);
         free.send_at(msg(0, 1, climb_into_level_2), 0.0, &m);
@@ -255,7 +299,12 @@ mod tests {
             publish: false,
         };
         assert_eq!(p.level_entry(), None);
-        let q = Payload::Query { object: ObjectId(0), origin: NodeId(0), level: 0, index: 0 };
+        let q = Payload::Query {
+            object: ObjectId(0),
+            origin: NodeId(0),
+            level: 0,
+            index: 0,
+        };
         assert_eq!(q.level_entry(), None, "level-0 start is not a level entry");
     }
 
@@ -264,7 +313,16 @@ mod tests {
         let g = generators::line(3).unwrap();
         let m = DistanceMatrix::build(&g).unwrap();
         let mut t = Transport::new();
-        t.send(msg(0, 2, Payload::Query { object: ObjectId(1), origin: NodeId(0), level: 0, index: 0 }));
+        t.send(msg(
+            0,
+            2,
+            Payload::Query {
+                object: ObjectId(1),
+                origin: NodeId(0),
+                level: 0,
+                index: 0,
+            },
+        ));
         t.deliver(&m).unwrap();
         assert!(t.ledger.charged > 0.0);
         t.ledger.reset();

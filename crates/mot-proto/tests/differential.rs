@@ -22,7 +22,11 @@ struct Env {
 fn env(g: Graph, seed: u64, cfg: &OverlayConfig) -> Env {
     let oracle = DistanceMatrix::build(&g).unwrap();
     let overlay = build_doubling(&g, &oracle, cfg, seed);
-    Env { graph: g, oracle, overlay }
+    Env {
+        graph: g,
+        oracle,
+        overlay,
+    }
 }
 
 fn assert_state_identical(env: &Env, direct: &MotTracker, proto: &ProtoTracker, objects: u32) {
@@ -103,13 +107,21 @@ fn run_differential(env: &Env, objects: u32, moves: usize, seed: u64, cfg: MotCo
 
 #[test]
 fn identical_on_grid_with_special_parents() {
-    let env = env(generators::grid(6, 6).unwrap(), 3, &OverlayConfig::practical());
+    let env = env(
+        generators::grid(6, 6).unwrap(),
+        3,
+        &OverlayConfig::practical(),
+    );
     run_differential(&env, 3, 120, 7, MotConfig::plain());
 }
 
 #[test]
 fn identical_on_grid_without_special_parents() {
-    let env = env(generators::grid(6, 6).unwrap(), 3, &OverlayConfig::practical());
+    let env = env(
+        generators::grid(6, 6).unwrap(),
+        3,
+        &OverlayConfig::practical(),
+    );
     run_differential(&env, 3, 120, 11, MotConfig::no_special_parents());
 }
 
@@ -122,13 +134,21 @@ fn identical_on_random_geometric() {
 
 #[test]
 fn identical_on_ring() {
-    let env = env(generators::ring(32).unwrap(), 4, &OverlayConfig::practical());
+    let env = env(
+        generators::ring(32).unwrap(),
+        4,
+        &OverlayConfig::practical(),
+    );
     run_differential(&env, 2, 90, 17, MotConfig::plain());
 }
 
 #[test]
 fn identical_with_paper_exact_constants() {
-    let env = env(generators::grid(5, 5).unwrap(), 6, &OverlayConfig::paper_exact());
+    let env = env(
+        generators::grid(5, 5).unwrap(),
+        6,
+        &OverlayConfig::paper_exact(),
+    );
     run_differential(&env, 2, 60, 19, MotConfig::plain());
 }
 

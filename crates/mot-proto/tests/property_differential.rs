@@ -24,11 +24,15 @@ fn proto_and_direct_agree_on_random_walks() {
         let step_count = rng.gen_range(1usize..60);
         let use_sp: bool = rng.gen();
 
-        let g = generators::random_geometric(n, 8.0, 2.6, graph_seed)
-            .expect("connected deployment");
+        let g =
+            generators::random_geometric(n, 8.0, 2.6, graph_seed).expect("connected deployment");
         let m = DistanceMatrix::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
-        let cfg = if use_sp { MotConfig::plain() } else { MotConfig::no_special_parents() };
+        let cfg = if use_sp {
+            MotConfig::plain()
+        } else {
+            MotConfig::no_special_parents()
+        };
         let mut direct = MotTracker::new(&overlay, &m, cfg.clone());
         let mut proto = ProtoTracker::new(&overlay, &m, &cfg);
 

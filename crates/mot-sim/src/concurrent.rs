@@ -117,7 +117,11 @@ pub struct ConcurrentConfig {
 
 impl Default for ConcurrentConfig {
     fn default() -> Self {
-        ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 0, seed: 0 }
+        ConcurrentConfig {
+            max_inflight_per_object: 10,
+            queries_per_batch: 0,
+            seed: 0,
+        }
     }
 }
 
@@ -141,7 +145,11 @@ enum Task {
     QueryClimb { from: NodeId },
     /// A query result in flight toward `expected` proxy; on arrival the
     /// proxy may have moved again.
-    QueryChase { from: NodeId, expected: NodeId, cost_so_far: f64 },
+    QueryChase {
+        from: NodeId,
+        expected: NodeId,
+        cost_so_far: f64,
+    },
 }
 
 struct Op {
@@ -206,15 +214,7 @@ impl ConcurrentEngine {
         for (oi, destinations) in per_object.iter().enumerate() {
             let object = ObjectId(oi as u32);
             for batch in destinations.chunks(k) {
-                Self::run_batch(
-                    tracker,
-                    object,
-                    batch,
-                    oracle,
-                    cfg,
-                    &mut rng,
-                    &mut outcome,
-                )?;
+                Self::run_batch(tracker, object, batch, oracle, cfg, &mut rng, &mut outcome)?;
             }
         }
         Ok(outcome)
@@ -233,9 +233,15 @@ impl ConcurrentEngine {
         let mut heap = BinaryHeap::new();
         for mv in destinations {
             let path = tracker.climb_sequence(mv.to);
-            heap.push(Event { time: 0.0, op: ops.len() });
+            heap.push(Event {
+                time: 0.0,
+                op: ops.len(),
+            });
             ops.push(Op {
-                task: Task::Move { to: mv.to, optimal: oracle.dist(mv.from, mv.to) },
+                task: Task::Move {
+                    to: mv.to,
+                    optimal: oracle.dist(mv.from, mv.to),
+                },
                 path,
                 pos: 0,
             });
@@ -247,8 +253,15 @@ impl ConcurrentEngine {
             // some overlap the racing maintenance mid-flight.
             let start = rng.gen_range(0.0..oracle.diameter().max(1.0));
             let path = tracker.climb_sequence(from);
-            heap.push(Event { time: start, op: ops.len() });
-            ops.push(Op { task: Task::QueryClimb { from }, path, pos: 0 });
+            heap.push(Event {
+                time: start,
+                op: ops.len(),
+            });
+            ops.push(Op {
+                task: Task::QueryClimb { from },
+                path,
+                pos: 0,
+            });
             outcome.queries_issued += 1;
         }
 
@@ -278,17 +291,26 @@ impl ConcurrentEngine {
                 Task::QueryClimb { from } => {
                     if let Some(descend) = tracker.locate(node, level, object) {
                         let climbed = Self::climb_cost(&ops[op_idx], oracle);
-                        let expected =
-                            tracker.proxy_of(object).expect("object is published");
+                        let expected = tracker.proxy_of(object).expect("object is published");
                         let cost_so_far = climbed + descend;
-                        ops[op_idx].task =
-                            Task::QueryChase { from, expected, cost_so_far };
-                        heap.push(Event { time: time + descend, op: op_idx });
+                        ops[op_idx].task = Task::QueryChase {
+                            from,
+                            expected,
+                            cost_so_far,
+                        };
+                        heap.push(Event {
+                            time: time + descend,
+                            op: op_idx,
+                        });
                     } else {
                         Self::advance(tracker, &mut ops, op_idx, time, oracle, &mut heap);
                     }
                 }
-                Task::QueryChase { from, expected, cost_so_far } => {
+                Task::QueryChase {
+                    from,
+                    expected,
+                    cost_so_far,
+                } => {
                     let live = tracker.proxy_of(object).expect("object is published");
                     if live == expected {
                         // Query settled on the true proxy.
@@ -307,7 +329,10 @@ impl ConcurrentEngine {
                             expected: live,
                             cost_so_far: cost_so_far + hop,
                         };
-                        heap.push(Event { time: time + hop.max(1e-9), op: op_idx });
+                        heap.push(Event {
+                            time: time + hop.max(1e-9),
+                            op: op_idx,
+                        });
                     }
                 }
             }
@@ -369,7 +394,10 @@ impl ConcurrentEngine {
                 t = (t / phi).ceil() * phi;
             }
         }
-        heap.push(Event { time: t, op: op_idx });
+        heap.push(Event {
+            time: t,
+            op: op_idx,
+        });
     }
 }
 
@@ -400,7 +428,11 @@ mod tests {
             &mut t,
             &w,
             &m,
-            &ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 0, seed: 1 },
+            &ConcurrentConfig {
+                max_inflight_per_object: 10,
+                queries_per_batch: 0,
+                seed: 1,
+            },
         )
         .unwrap();
         assert_eq!(out.maintenance.operations, 150);
@@ -437,7 +469,11 @@ mod tests {
             &mut con,
             &w,
             &m,
-            &ConcurrentConfig { max_inflight_per_object: 1, queries_per_batch: 0, seed: 1 },
+            &ConcurrentConfig {
+                max_inflight_per_object: 1,
+                queries_per_batch: 0,
+                seed: 1,
+            },
         )
         .unwrap();
         assert!(
@@ -459,7 +495,11 @@ mod tests {
             &mut t,
             &w,
             &m,
-            &ConcurrentConfig { max_inflight_per_object: 10, queries_per_batch: 4, seed: 7 },
+            &ConcurrentConfig {
+                max_inflight_per_object: 10,
+                queries_per_batch: 4,
+                seed: 7,
+            },
         )
         .unwrap();
         assert!(out.queries_issued > 0);
@@ -480,7 +520,11 @@ mod tests {
             &mut t,
             &w,
             &m,
-            &ConcurrentConfig { max_inflight_per_object: 5, queries_per_batch: 2, seed: 5 },
+            &ConcurrentConfig {
+                max_inflight_per_object: 5,
+                queries_per_batch: 2,
+                seed: 5,
+            },
         )
         .unwrap();
         assert_eq!(out.maintenance.operations, 60);
@@ -501,8 +545,7 @@ mod tests {
 
         let mut con = MotTracker::new(&overlay, &m, MotConfig::plain());
         run_publish(&mut con, &w).unwrap();
-        let c = ConcurrentEngine::run(&mut con, &w, &m, &ConcurrentConfig::default())
-            .unwrap();
+        let c = ConcurrentEngine::run(&mut con, &w, &m, &ConcurrentConfig::default()).unwrap();
         assert!(
             c.maintenance.ratio() > 0.3 * s.ratio(),
             "concurrent ratio {} collapsed vs sequential {}",

@@ -84,7 +84,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, what: &str) -> IoError {
@@ -186,9 +189,7 @@ impl<'a> Parser<'a> {
         }
         match (object, from, to) {
             (Some(o), Some(f), Some(t)) => Ok(MoveOp {
-                object: ObjectId(
-                    u32::try_from(o).map_err(|_| self.err("object id exceeds u32"))?,
-                ),
+                object: ObjectId(u32::try_from(o).map_err(|_| self.err("object id exceeds u32"))?),
                 from: NodeId(u32::try_from(f).map_err(|_| self.err("node id exceeds u32"))?),
                 to: NodeId(u32::try_from(t).map_err(|_| self.err("node id exceeds u32"))?),
             }),
@@ -252,7 +253,9 @@ fn parse_workload(text: &str) -> Result<Workload, IoError> {
     }
     match (initial, moves) {
         (Some(initial), Some(moves)) => Ok(Workload { initial, moves }),
-        _ => Err(IoError::Json("workload missing 'initial' or 'moves'".into())),
+        _ => Err(IoError::Json(
+            "workload missing 'initial' or 'moves'".into(),
+        )),
     }
 }
 
@@ -327,13 +330,20 @@ mod tests {
         assert_eq!(w.initial, vec![NodeId(0)]);
         assert_eq!(
             w.moves,
-            vec![MoveOp { object: ObjectId(0), from: NodeId(0), to: NodeId(1) }]
+            vec![MoveOp {
+                object: ObjectId(0),
+                from: NodeId(0),
+                to: NodeId(1)
+            }]
         );
     }
 
     #[test]
     fn empty_workload_roundtrips() {
-        let w = Workload { initial: vec![], moves: vec![] };
+        let w = Workload {
+            initial: vec![],
+            moves: vec![],
+        };
         let path = tmp("empty");
         save_workload(&w, &path).unwrap();
         assert_eq!(load_workload(&path).unwrap(), w);
@@ -356,7 +366,11 @@ mod tests {
         let g = generators::grid(3, 3).unwrap();
         let w = Workload {
             initial: vec![NodeId(0)],
-            moves: vec![MoveOp { object: ObjectId(0), from: NodeId(4), to: NodeId(5) }],
+            moves: vec![MoveOp {
+                object: ObjectId(0),
+                from: NodeId(4),
+                to: NodeId(5),
+            }],
         };
         let err = validate_against(&w, &g).unwrap_err();
         assert!(err.to_string().contains("is at 0, not 4"), "{err}");
@@ -367,7 +381,11 @@ mod tests {
         let g = generators::grid(3, 3).unwrap();
         let w = Workload {
             initial: vec![NodeId(0)],
-            moves: vec![MoveOp { object: ObjectId(0), from: NodeId(0), to: NodeId(8) }],
+            moves: vec![MoveOp {
+                object: ObjectId(0),
+                from: NodeId(0),
+                to: NodeId(8),
+            }],
         };
         assert!(matches!(
             validate_against(&w, &g),
@@ -381,6 +399,9 @@ mod tests {
         std::fs::write(&path, b"{ not json").unwrap();
         assert!(matches!(load_workload(&path), Err(IoError::Json(_))));
         std::fs::remove_file(path).ok();
-        assert!(matches!(load_workload("/no/such/file.json"), Err(IoError::Io(_))));
+        assert!(matches!(
+            load_workload("/no/such/file.json"),
+            Err(IoError::Io(_))
+        ));
     }
 }

@@ -1,6 +1,5 @@
 //! Cost and load statistics.
 
-
 /// Accumulated algorithm-vs-optimal communication cost.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostStats {
@@ -83,7 +82,11 @@ impl Summary {
         } else {
             samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
         };
-        Summary { mean, stddev: var.sqrt(), count: n }
+        Summary {
+            mean,
+            stddev: var.sqrt(),
+            count: n,
+        }
     }
 }
 

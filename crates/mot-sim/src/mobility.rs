@@ -85,7 +85,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Convenience constructor for the paper's standard workload shape.
     pub fn new(objects: usize, moves_per_object: usize, seed: u64) -> Self {
-        WorkloadSpec { objects, moves_per_object, model: MobilityModel::RandomWalk, seed }
+        WorkloadSpec {
+            objects,
+            moves_per_object,
+            model: MobilityModel::RandomWalk,
+            seed,
+        }
     }
 
     /// Generates the workload on `g`.
@@ -154,7 +159,11 @@ impl WorkloadSpec {
                         waypoint_path.pop().expect("refilled above")
                     }
                 };
-                seq.push(MoveOp { object: o, from: cur, to: next });
+                seq.push(MoveOp {
+                    object: o,
+                    from: cur,
+                    to: next,
+                });
                 cur = next;
             }
             per_object.push(seq);
@@ -245,7 +254,11 @@ mod tests {
         // a commuter revisits a small set of edges over and over
         let mut edges = std::collections::HashSet::new();
         for m in &w.moves {
-            let (a, b) = if m.from < m.to { (m.from, m.to) } else { (m.to, m.from) };
+            let (a, b) = if m.from < m.to {
+                (m.from, m.to)
+            } else {
+                (m.to, m.from)
+            };
             edges.insert((a, b));
         }
         assert!(

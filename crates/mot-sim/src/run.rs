@@ -67,7 +67,9 @@ pub fn run_queries(
     for _ in 0..count {
         let from = NodeId::from_index(rng.gen_range(0..n));
         let o = ObjectId(rng.gen_range(0..object_count as u32));
-        let truth = tracker.proxy_of(o).expect("workload published every object");
+        let truth = tracker
+            .proxy_of(o)
+            .expect("workload published every object");
         let r = tracker.query(from, o)?;
         if r.proxy == truth {
             out.correct += 1;
@@ -99,7 +101,9 @@ pub fn run_local_queries(
     let mut out = QueryBatchStats::default();
     for _ in 0..count {
         let o = ObjectId(rng.gen_range(0..object_count as u32));
-        let truth = tracker.proxy_of(o).expect("workload published every object");
+        let truth = tracker
+            .proxy_of(o)
+            .expect("workload published every object");
         let near = oracle.ball(truth, radius);
         let from = near[rng.gen_range(0..near.len())];
         let r = tracker.query(from, o)?;
@@ -137,7 +141,11 @@ mod tests {
         assert_eq!(stats.operations, 500);
         // random-walk moves are unit hops: optimal = #moves
         assert!((stats.optimal - 500.0).abs() < 1e-6);
-        assert!(stats.ratio() >= 1.0, "ratio {} below optimal", stats.ratio());
+        assert!(
+            stats.ratio() >= 1.0,
+            "ratio {} below optimal",
+            stats.ratio()
+        );
         // final proxies agree with the trace
         for (oi, &p) in w.final_proxies().iter().enumerate() {
             assert_eq!(t.proxy_of(ObjectId(oi as u32)), Some(p));
@@ -170,7 +178,10 @@ mod tests {
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
         // park one object on every node: many queries hit distance zero
-        let w = Workload { initial: g.nodes().collect(), moves: vec![] };
+        let w = Workload {
+            initial: g.nodes().collect(),
+            moves: vec![],
+        };
         run_publish(&mut t, &w).unwrap();
         let q = run_queries(&t, &m, 9, 300, 4).unwrap();
         assert!(q.zero_distance > 0);

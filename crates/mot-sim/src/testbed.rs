@@ -71,7 +71,11 @@ impl TestBed {
     pub fn with_config(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
         let oracle = DistanceMatrix::build(&graph).expect("connected graph");
         let overlay = build_doubling(&graph, &oracle, cfg, seed);
-        TestBed { graph, oracle, overlay }
+        TestBed {
+            graph,
+            oracle,
+            overlay,
+        }
     }
 
     /// Builds a bed with the §6 general-network (sparse partition)
@@ -79,12 +83,19 @@ impl TestBed {
     pub fn general(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
         let oracle = DistanceMatrix::build(&graph).expect("connected graph");
         let overlay = build_general(&graph, &oracle, cfg, seed);
-        TestBed { graph, oracle, overlay }
+        TestBed {
+            graph,
+            oracle,
+            overlay,
+        }
     }
 
     /// `rows × cols` unit grid bed (the paper's topology).
     pub fn grid(rows: usize, cols: usize, seed: u64) -> Self {
-        Self::new(mot_net::generators::grid(rows, cols).expect("valid grid"), seed)
+        Self::new(
+            mot_net::generators::grid(rows, cols).expect("valid grid"),
+            seed,
+        )
     }
 
     /// A graph center — the sink the tree baselines root at.
@@ -113,9 +124,11 @@ impl TestBed {
         rates: &DetectionRates,
     ) -> Box<dyn ClimbStructure + 'a> {
         match algo {
-            Algo::Mot => {
-                Box::new(MotTracker::new(&self.overlay, &self.oracle, MotConfig::plain()))
-            }
+            Algo::Mot => Box::new(MotTracker::new(
+                &self.overlay,
+                &self.oracle,
+                MotConfig::plain(),
+            )),
             Algo::MotLb => Box::new(MotTracker::new(
                 &self.overlay,
                 &self.oracle,
@@ -130,10 +143,7 @@ impl TestBed {
                 // Kung & Vlah's queries are served from the sink: the
                 // request travels to the root and descends from there.
                 let tree = build_stun(&self.graph, rates);
-                Box::new(
-                    TreeTracker::new("STUN", tree, &self.oracle, false)
-                        .with_root_queries(),
-                )
+                Box::new(TreeTracker::new("STUN", tree, &self.oracle, false).with_root_queries())
             }
             Algo::Dat => {
                 let tree = build_dat(&self.graph, rates, self.center());
@@ -147,7 +157,12 @@ impl TestBed {
             Algo::ZdatShortcuts => {
                 let tree = build_zdat(&self.graph, rates, ZdatParams::default())
                     .expect("beds carry positions");
-                Box::new(TreeTracker::new("Z-DAT+shortcuts", tree, &self.oracle, true))
+                Box::new(TreeTracker::new(
+                    "Z-DAT+shortcuts",
+                    tree,
+                    &self.oracle,
+                    true,
+                ))
             }
         }
     }
@@ -176,7 +191,12 @@ mod tests {
             let mut t = bed.make_tracker(algo, &rates);
             run_publish(t.as_mut(), &w).unwrap();
             let stats = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
-            assert!(stats.ratio() >= 1.0, "{}: ratio {}", algo.label(), stats.ratio());
+            assert!(
+                stats.ratio() >= 1.0,
+                "{}: ratio {}",
+                algo.label(),
+                stats.ratio()
+            );
             let q = run_queries(t.as_ref(), &bed.oracle, 3, 50, 2).unwrap();
             assert_eq!(q.correct, 50, "{} answered queries wrong", algo.label());
         }

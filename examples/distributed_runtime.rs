@@ -49,7 +49,10 @@ fn main() {
     // collared simultaneously; messages race, climbs wait at level-period
     // boundaries.
     let pubs: Vec<BatchOp> = (1..=12u32)
-        .map(|k| BatchOp::Publish { object: ObjectId(k), proxy: NodeId(k * 5 % 64) })
+        .map(|k| BatchOp::Publish {
+            object: ObjectId(k),
+            proxy: NodeId(k * 5 % 64),
+        })
         .collect();
     let mut fresh = ProtoTracker::new(&bed.overlay, &bed.oracle, &cfg);
     let free = fresh.run_batch(&pubs, 0.0).unwrap();
@@ -65,17 +68,35 @@ fn main() {
         gated.total_cost, gated.makespan
     );
     assert!((free.total_cost - gated.total_cost).abs() < 1e-6);
-    assert!(free.makespan < free.total_cost, "parallelism must beat serialization");
+    assert!(
+        free.makespan < free.total_cost,
+        "parallelism must beat serialization"
+    );
 
     // Mixed racing batch: moves and queries on distinct objects.
     let ops = vec![
-        BatchOp::Move { object: ObjectId(1), to: NodeId(6) },
-        BatchOp::Move { object: ObjectId(2), to: NodeId(11) },
-        BatchOp::Query { object: ObjectId(3), from: NodeId(63) },
-        BatchOp::Query { object: ObjectId(4), from: NodeId(56) },
+        BatchOp::Move {
+            object: ObjectId(1),
+            to: NodeId(6),
+        },
+        BatchOp::Move {
+            object: ObjectId(2),
+            to: NodeId(11),
+        },
+        BatchOp::Query {
+            object: ObjectId(3),
+            from: NodeId(63),
+        },
+        BatchOp::Query {
+            object: ObjectId(4),
+            from: NodeId(56),
+        },
     ];
     let out = fresh.run_batch(&ops, 0.0).unwrap();
-    println!("\nmixed batch (2 moves + 2 queries): makespan {:.1}", out.makespan);
+    println!(
+        "\nmixed batch (2 moves + 2 queries): makespan {:.1}",
+        out.makespan
+    );
     for (obj, proxy) in &out.replies {
         println!("  query answer: object {obj} is at sensor {proxy}");
     }

@@ -63,5 +63,8 @@ fn main() {
         "per-mote load: max {}, mean {:.1}, nodes above 10 entries: {}, Jain {:.2}",
         loads.max, loads.mean, loads.nodes_above_10, loads.jain_index
     );
-    assert!(loads.jain_index > 0.2, "load should be spread across the field");
+    assert!(
+        loads.jain_index > 0.2,
+        "load should be spread across the field"
+    );
 }

@@ -16,7 +16,10 @@ use mot_tracking::prelude::*;
 fn main() {
     let n = 64;
     let bed = TestBed::new(generators::ring(n).expect("ring"), 17);
-    println!("perimeter fence: ring of {n} sensors, diameter {}\n", bed.oracle.diameter());
+    println!(
+        "perimeter fence: ring of {n} sensors, diameter {}\n",
+        bed.oracle.diameter()
+    );
 
     // The intruder creeps around the full perimeter, twice.
     let mut moves = Vec::new();
@@ -28,7 +31,10 @@ fn main() {
     }
     let rates = DetectionRates::from_moves(&bed.graph, &moves);
 
-    println!("{:<18} {:>14} {:>16}", "algorithm", "total cost", "cost ratio");
+    println!(
+        "{:<18} {:>14} {:>16}",
+        "algorithm", "total cost", "cost ratio"
+    );
     for algo in [Algo::Mot, Algo::Stun, Algo::Dat] {
         let mut t = bed.make_tracker(algo, &rates);
         t.publish(ObjectId(0), NodeId(0)).expect("publish");
@@ -37,7 +43,12 @@ fn main() {
             total += t.move_object(ObjectId(0), to).expect("move").cost;
         }
         let optimal = moves.len() as f64; // unit hops
-        println!("{:<18} {:>14.1} {:>16.2}", algo.label(), total, total / optimal);
+        println!(
+            "{:<18} {:>14.1} {:>16.2}",
+            algo.label(),
+            total,
+            total / optimal
+        );
     }
 
     // Quantify the structural cause: the worst tree detour between

@@ -39,7 +39,10 @@ fn main() {
     for hop in path {
         let mv = tracker.move_object(tiger, NodeId(hop)).unwrap();
         total += mv.cost;
-        println!("move {:>2} -> {:>2}:                 cost {:6.1}", mv.from, hop, mv.cost);
+        println!(
+            "move {:>2} -> {:>2}:                 cost {:6.1}",
+            mv.from, hop, mv.cost
+        );
     }
     println!(
         "maintenance cost ratio:         {:.2}  ({} moves, optimal {})\n",
@@ -64,5 +67,8 @@ fn main() {
         .graph
         .nodes()
         .all(|x| tracker.query(x, tiger).unwrap().proxy == proxy));
-    println!("\nall {} sensors resolve the object at sensor {proxy}", bed.graph.node_count());
+    println!(
+        "\nall {} sensors resolve the object at sensor {proxy}",
+        bed.graph.node_count()
+    );
 }

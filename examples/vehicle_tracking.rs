@@ -37,8 +37,14 @@ fn main() {
         "{:<18} {:>12} {:>12} {:>10} {:>10}",
         "algorithm", "maint ratio", "query ratio", "max load", "correct"
     );
-    for algo in [Algo::Mot, Algo::MotLb, Algo::Stun, Algo::Dat, Algo::Zdat, Algo::ZdatShortcuts]
-    {
+    for algo in [
+        Algo::Mot,
+        Algo::MotLb,
+        Algo::Stun,
+        Algo::Dat,
+        Algo::Zdat,
+        Algo::ZdatShortcuts,
+    ] {
         let mut t = bed.make_tracker(algo, &rates);
         run_publish(t.as_mut(), &traffic).expect("publish");
         let maint = replay_moves(t.as_mut(), &traffic, &bed.oracle).expect("replay");

@@ -29,11 +29,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -50,7 +54,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { label: self.to_string() }
+        BenchmarkId {
+            label: self.to_string(),
+        }
     }
 }
 
@@ -169,7 +175,8 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into_benchmark_id();
         let label = format!("{}/{}", self.name, id.label);
-        self.criterion.run_one(&label, self.sample_size, |b| f(b, input));
+        self.criterion
+            .run_one(&label, self.sample_size, |b| f(b, input));
         self
     }
 
@@ -199,14 +206,22 @@ impl Default for Criterion {
                 a => filter = Some(a.to_string()),
             }
         }
-        Criterion { default_sample_size: 30, test_mode, filter }
+        Criterion {
+            default_sample_size: 30,
+            test_mode,
+            filter,
+        }
     }
 }
 
 impl Criterion {
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
     }
 
     pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
@@ -224,8 +239,11 @@ impl Criterion {
                 return;
             }
         }
-        let mut bencher =
-            Bencher { sample_size, test_mode: self.test_mode, samples: Vec::new() };
+        let mut bencher = Bencher {
+            sample_size,
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
         f(&mut bencher);
         if self.test_mode {
             println!("{label:<48} ok (test mode)");
@@ -260,7 +278,11 @@ mod tests {
 
     #[test]
     fn groups_and_functions_run() {
-        let mut c = Criterion { default_sample_size: 3, test_mode: false, filter: None };
+        let mut c = Criterion {
+            default_sample_size: 3,
+            test_mode: false,
+            filter: None,
+        };
         let mut ran = 0;
         {
             let mut g = c.benchmark_group("unit");

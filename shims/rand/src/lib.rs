@@ -213,7 +213,10 @@ pub trait Rng: RngCore {
     }
 
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
         f64::sample(self) < p
     }
 }

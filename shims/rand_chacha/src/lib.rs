@@ -84,7 +84,12 @@ impl SeedableRng for ChaCha8Rng {
         for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        ChaCha8Rng { key, counter: 0, buffer: [0; WORDS], index: WORDS }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; WORDS],
+            index: WORDS,
+        }
     }
 }
 

@@ -56,17 +56,14 @@ pub use mot_sim as sim;
 /// Everything a typical user or example needs in scope.
 pub mod prelude {
     pub use mot_baselines::{
-        build_dat, build_stun, build_zdat, DetectionRates, TrackingTree, TreeTracker,
-        ZdatParams,
+        build_dat, build_stun, build_zdat, DetectionRates, TrackingTree, TreeTracker, ZdatParams,
     };
     pub use mot_core::{
         CoreError, MotConfig, MotTracker, MoveOutcome, ObjectId, QueryResult, Tracker,
     };
     pub use mot_debruijn::{DeBruijnGraph, DynamicCluster, Embedding};
     pub use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
-    pub use mot_net::{
-        dijkstra, generators, DistanceMatrix, Graph, GraphBuilder, NodeId, Point,
-    };
+    pub use mot_net::{dijkstra, generators, DistanceMatrix, Graph, GraphBuilder, NodeId, Point};
     pub use mot_proto::ProtoTracker;
     pub use mot_sim::{
         replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine,

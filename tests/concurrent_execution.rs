@@ -23,7 +23,11 @@ fn single_inflight_equals_sequential_for_every_algorithm() {
             con.as_mut(),
             &w,
             &bed.oracle,
-            &ConcurrentConfig { max_inflight_per_object: 1, queries_per_batch: 0, seed: 0 },
+            &ConcurrentConfig {
+                max_inflight_per_object: 1,
+                queries_per_batch: 0,
+                seed: 0,
+            },
         )
         .unwrap();
         assert!(
@@ -47,7 +51,11 @@ fn concurrency_never_loses_operations() {
             t.as_mut(),
             &w,
             &bed.oracle,
-            &ConcurrentConfig { max_inflight_per_object: k, queries_per_batch: 0, seed: 3 },
+            &ConcurrentConfig {
+                max_inflight_per_object: k,
+                queries_per_batch: 0,
+                seed: 3,
+            },
         )
         .unwrap();
         assert_eq!(out.maintenance.operations, w.moves.len(), "k = {k}");
@@ -68,8 +76,8 @@ fn concurrent_cost_at_least_sequential_cost() {
 
     let mut con = bed.make_tracker(Algo::Mot, &rates);
     run_publish(con.as_mut(), &w).unwrap();
-    let c = ConcurrentEngine::run(con.as_mut(), &w, &bed.oracle, &ConcurrentConfig::default())
-        .unwrap();
+    let c =
+        ConcurrentEngine::run(con.as_mut(), &w, &bed.oracle, &ConcurrentConfig::default()).unwrap();
     assert!(
         c.maintenance.total >= 0.5 * s.total,
         "concurrent total {} collapsed below sequential {}",
@@ -82,14 +90,24 @@ fn concurrent_cost_at_least_sequential_cost() {
 fn overlapping_queries_settle_for_all_algorithms() {
     let (bed, w) = bed_and_workload(9);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-    for algo in [Algo::Mot, Algo::MotLb, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts] {
+    for algo in [
+        Algo::Mot,
+        Algo::MotLb,
+        Algo::Stun,
+        Algo::Zdat,
+        Algo::ZdatShortcuts,
+    ] {
         let mut t = bed.make_tracker(algo, &rates);
         run_publish(t.as_mut(), &w).unwrap();
         let out = ConcurrentEngine::run(
             t.as_mut(),
             &w,
             &bed.oracle,
-            &ConcurrentConfig { max_inflight_per_object: 8, queries_per_batch: 3, seed: 4 },
+            &ConcurrentConfig {
+                max_inflight_per_object: 8,
+                queries_per_batch: 3,
+                seed: 4,
+            },
         )
         .unwrap();
         assert!(out.queries_issued > 0, "{}", algo.label());

@@ -122,7 +122,11 @@ fn saved_workload_replays_identically() {
         run_publish(t.as_mut(), w).unwrap();
         replay_moves(t.as_mut(), w, &bed.oracle).unwrap().total
     };
-    assert_eq!(run(&w), run(&replayed), "saved trace must replay to identical costs");
+    assert_eq!(
+        run(&w),
+        run(&replayed),
+        "saved trace must replay to identical costs"
+    );
 }
 
 #[test]

@@ -72,7 +72,11 @@ fn queries_always_find_the_true_proxy() {
         let overlay_seed = rng.gen_range(0u64..100);
         let m = DistanceMatrix::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
-        let cfg = if lb { MotConfig::load_balanced() } else { MotConfig::plain() };
+        let cfg = if lb {
+            MotConfig::load_balanced()
+        } else {
+            MotConfig::plain()
+        };
         let mut t = MotTracker::new(&overlay, &m, cfg);
         let o = ObjectId(0);
         let mut proxy = NodeId(0);
@@ -109,8 +113,7 @@ fn detection_paths_meet_at_the_lemma_level() {
                     continue;
                 }
                 let d = m.dist(u, v);
-                let bound =
-                    (((d.log2().ceil()) as i64).max(0) as usize + 1).min(overlay.height());
+                let bound = (((d.log2().ceil()) as i64).max(0) as usize + 1).min(overlay.height());
                 assert!(
                     overlay.meet_level(u, v) <= bound,
                     "case {case}: meet({}, {}) = {} > {} (d = {})",

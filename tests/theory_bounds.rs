@@ -76,8 +76,14 @@ fn query_ratio_flat_across_distances() {
     }
     let short_mean = short.0 / short.1 as f64;
     let long_mean = long.0 / long.1 as f64;
-    assert!(short_mean < 24.0, "short-range query ratio {short_mean} unbounded");
-    assert!(long_mean < 24.0, "long-range query ratio {long_mean} unbounded");
+    assert!(
+        short_mean < 24.0,
+        "short-range query ratio {short_mean} unbounded"
+    );
+    assert!(
+        long_mean < 24.0,
+        "long-range query ratio {long_mean} unbounded"
+    );
 }
 
 /// Theorem 5.1 / Corollary 5.2: load balancing flattens the maximum load
@@ -107,7 +113,10 @@ fn load_balancing_tradeoff_matches_corollary_5_2() {
         "LB cost multiplier {} exceeds O(log n)",
         lb_cost.total / plain_cost.total
     );
-    assert!(lb_cost.total >= plain_cost.total, "routing inside clusters is not free");
+    assert!(
+        lb_cost.total >= plain_cost.total,
+        "routing inside clusters is not free"
+    );
 }
 
 /// §3 / Fig. 2: special parents may only help query costs, and the no-SP
