@@ -43,12 +43,12 @@ pub fn build_dat(g: &Graph, rates: &DetectionRates, sink: NodeId) -> TrackingTre
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mot_net::{generators, DistanceMatrix};
+    use mot_net::{generators, DenseOracle};
 
     #[test]
     fn zero_deviation_on_grids() {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_dat(&g, &DetectionRates::uniform(&g), NodeId(0));
         assert!(t.max_deviation(&m) < 1e-9, "DAT must be deviation-free");
     }
@@ -56,7 +56,7 @@ mod tests {
     #[test]
     fn zero_deviation_on_weighted_random_geometric() {
         let g = generators::random_geometric(50, 8.0, 2.0, 9).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_dat(&g, &DetectionRates::uniform(&g), NodeId(3));
         assert!(t.max_deviation(&m) < 1e-6);
     }

@@ -29,10 +29,10 @@
 //! ```
 //! use mot_baselines::{build_stun, DetectionRates, TreeTracker};
 //! use mot_core::{ObjectId, Tracker};
-//! use mot_net::{generators, DistanceMatrix, NodeId};
+//! use mot_net::{generators, DenseOracle, NodeId};
 //!
 //! let g = generators::grid(6, 6)?;
-//! let m = DistanceMatrix::build(&g)?;
+//! let m = DenseOracle::build(&g)?;
 //!
 //! // STUN consumes detection rates (here: uniform — no prior traffic).
 //! let rates = DetectionRates::uniform(&g);

@@ -76,7 +76,7 @@ mod tests {
     use super::*;
     use crate::tree::TreeTracker;
     use mot_core::{ObjectId, Tracker};
-    use mot_net::{generators, DistanceMatrix};
+    use mot_net::{generators, DenseOracle};
 
     #[test]
     fn spans_every_node() {
@@ -129,7 +129,7 @@ mod tests {
         // failure mode the paper attributes to tree baselines.
         let n = 32;
         let g = generators::ring(n).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_stun(&g, &DetectionRates::uniform(&g));
         let worst = g
             .edges()
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn tracker_on_stun_tree_answers_queries() {
         let g = generators::grid(5, 5).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_stun(&g, &DetectionRates::uniform(&g));
         let mut tracker = TreeTracker::new("STUN", t, &m, false);
         tracker.publish(ObjectId(0), NodeId(12)).unwrap();

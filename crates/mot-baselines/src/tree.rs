@@ -10,7 +10,7 @@
 //! distance between its endpoints.
 
 use mot_core::{CoreError, MoveOutcome, ObjectId, QueryResult, Tracker};
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use std::collections::{HashMap, HashSet};
 
 /// A rooted spanning tree over the sensor nodes.
@@ -100,7 +100,7 @@ impl TrackingTree {
 
     /// Tree-path distance from `u` to the root, with each tree hop costed
     /// at the graph shortest-path distance between its endpoints.
-    pub fn dist_to_root(&self, u: NodeId, m: &DistanceMatrix) -> f64 {
+    pub fn dist_to_root(&self, u: NodeId, m: &dyn DistanceOracle) -> f64 {
         let mut cost = 0.0;
         let mut cur = u;
         while let Some(p) = self.parent(cur) {
@@ -112,7 +112,7 @@ impl TrackingTree {
 
     /// Tree-path distance between two nodes (through their LCA), with
     /// each tree hop costed at the graph shortest-path distance.
-    pub fn tree_distance(&self, u: NodeId, v: NodeId, m: &DistanceMatrix) -> f64 {
+    pub fn tree_distance(&self, u: NodeId, v: NodeId, m: &dyn DistanceOracle) -> f64 {
         let (mut a, mut b) = (u, v);
         let mut cost = 0.0;
         while self.depth(a) > self.depth(b) {
@@ -136,7 +136,7 @@ impl TrackingTree {
 
     /// Maximum *deviation* over all nodes: tree distance to root minus
     /// graph distance to root (zero for a deviation-avoidance tree).
-    pub fn max_deviation(&self, m: &DistanceMatrix) -> f64 {
+    pub fn max_deviation(&self, m: &dyn DistanceOracle) -> f64 {
         (0..self.len())
             .map(NodeId::from_index)
             .map(|u| self.dist_to_root(u, m) - m.dist(u, self.root))
@@ -149,7 +149,7 @@ impl TrackingTree {
 pub struct TreeTracker<'a> {
     name: String,
     tree: TrackingTree,
-    oracle: &'a DistanceMatrix,
+    oracle: &'a dyn DistanceOracle,
     detection: Vec<HashSet<ObjectId>>,
     proxies: HashMap<ObjectId, NodeId>,
     /// Liu-et-al.-style shortcuts: ancestors keep enough detail that a
@@ -170,7 +170,7 @@ impl<'a> TreeTracker<'a> {
     pub fn new(
         name: impl Into<String>,
         tree: TrackingTree,
-        oracle: &'a DistanceMatrix,
+        oracle: &'a dyn DistanceOracle,
         shortcuts: bool,
     ) -> Self {
         let n = tree.len();
@@ -377,11 +377,12 @@ impl Tracker for TreeTracker<'_> {
 mod tests {
     use super::*;
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
     /// A simple BFS tree over a grid for exercising the tracker.
-    fn grid_tracker(shortcuts: bool) -> (mot_net::Graph, DistanceMatrix, Vec<Option<NodeId>>) {
+    fn grid_tracker(shortcuts: bool) -> (mot_net::Graph, DenseOracle, Vec<Option<NodeId>>) {
         let g = generators::grid(4, 4).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let spt = mot_net::shortest_path_tree(&g, NodeId(0));
         let _ = shortcuts;
         (g, m, spt.parent)

@@ -172,7 +172,7 @@ mod tests {
     use super::*;
     use crate::tree::TreeTracker;
     use mot_core::{ObjectId, Tracker};
-    use mot_net::{generators, DistanceMatrix};
+    use mot_net::{generators, DenseOracle};
 
     #[test]
     fn requires_positions() {
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn spans_grid_and_answers_queries() {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
         assert_eq!(t.len(), 36);
         let mut tracker = TreeTracker::new("Z-DAT", t, &m, false);
@@ -214,7 +214,7 @@ mod tests {
         // Objects shuttling inside one corner zone should stay cheap in
         // Z-DAT (zone-local LCA) — the paper's motivation for zones.
         let g = generators::grid(8, 8).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
         let mut tracker = TreeTracker::new("Z-DAT", t, &m, false);
         tracker.publish(ObjectId(0), NodeId(0)).unwrap();
@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn works_on_random_geometric_deployments() {
         let g = generators::random_geometric(60, 10.0, 2.2, 4).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let t = build_zdat(&g, &DetectionRates::uniform(&g), ZdatParams::default()).unwrap();
         let mut tracker = TreeTracker::new("Z-DAT", t, &m, true);
         tracker.publish(ObjectId(0), NodeId(30)).unwrap();

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
 use mot_debruijn::DeBruijnGraph;
 use mot_hierarchy::{build_doubling, build_general, OverlayConfig};
-use mot_net::{generators, DistanceMatrix, NodeId};
+use mot_net::{generators, DenseOracle, DistanceOracle, LazyOracle, NodeId};
 use mot_proto::ProtoTracker;
 use mot_sim::WorkloadSpec;
 
@@ -17,14 +17,59 @@ fn bench(c: &mut Criterion) {
     for n in [8usize, 16, 23] {
         let g = generators::grid(n, n).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n * n), &g, |b, g| {
-            b.iter(|| DistanceMatrix::build(g).unwrap())
+            b.iter(|| DenseOracle::build(g).unwrap())
+        });
+    }
+    group.finish();
+
+    // Dense vs lazy distance backends at the grid sizes where the
+    // choice starts to matter (1024 and 4096 nodes — the latter is the
+    // Auto cutoff). "Build" is what you pay up front: the full APSP
+    // matrix for dense, constructor plus a 64-row working set for lazy.
+    // "Query" is a warm mix of point distances and radius-4 balls.
+    let mut group = c.benchmark_group("oracle_backend");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let g = generators::grid(n, n).unwrap();
+        let nodes = n * n;
+        group.bench_with_input(BenchmarkId::new("dense_build", nodes), &g, |b, g| {
+            b.iter(|| DenseOracle::build(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_build_warm64", nodes), &g, |b, g| {
+            b.iter(|| {
+                let o = LazyOracle::new(g).unwrap();
+                for u in 0..64 {
+                    o.dist(NodeId::from_index(u * nodes / 64), NodeId(0));
+                }
+                o
+            })
+        });
+        let query_mix = |o: &dyn DistanceOracle| {
+            let mut acc = 0.0;
+            for u in (0..nodes).step_by(17) {
+                let u = NodeId::from_index(u);
+                acc += o.dist(u, NodeId(0));
+                acc += o.ball_size(u, 4.0) as f64;
+            }
+            acc
+        };
+        let dense = DenseOracle::build(&g).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("dense_query_mix", nodes),
+            &dense,
+            |b, o| b.iter(|| query_mix(o)),
+        );
+        let lazy = LazyOracle::new(&g).unwrap();
+        query_mix(&lazy); // warm the row cache once
+        group.bench_with_input(BenchmarkId::new("lazy_query_mix", nodes), &lazy, |b, o| {
+            b.iter(|| query_mix(o))
         });
     }
     group.finish();
 
     // Overlay constructions.
     let g = generators::grid(16, 16).unwrap();
-    let m = DistanceMatrix::build(&g).unwrap();
+    let m = DenseOracle::build(&g).unwrap();
     let mut group = c.benchmark_group("overlay_build_16x16");
     group.sample_size(10);
     group.bench_function("doubling", |b| {

@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--profile quick|standard|paper] [--csv DIR] [IDS...]
+//! experiments [--profile quick|standard|paper] [--oracle auto|dense|lazy|hybrid]
+//!             [--csv DIR] [IDS...]
 //! ```
 //!
 //! `IDS` default to every figure. Examples:
@@ -9,17 +10,19 @@
 //! ```text
 //! cargo run --release -p mot-bench --bin experiments -- fig4 fig6
 //! cargo run --release -p mot-bench --bin experiments -- --profile paper all
+//! cargo run --release -p mot-bench --bin experiments -- --oracle lazy scale
 //! ```
 
 use mot_bench::{
     ablation_table, churn_table, general_graph_table, load_figure, locality_table,
-    maintenance_figure, mobility_table, publish_cost_table, query_figure, state_size_table,
-    FigureTable, Profile,
+    maintenance_figure, mobility_table, publish_cost_table, query_figure, scale_table,
+    state_size_table, FigureTable, Profile,
 };
+use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
 
-fn profile_for(objects: usize, name: &str) -> Profile {
+fn profile_for(objects: usize, name: &str, oracle: OracleKind) -> Profile {
     match name {
         "quick" => Profile::quick(objects),
         "standard" => Profile::standard(objects),
@@ -29,11 +32,22 @@ fn profile_for(objects: usize, name: &str) -> Profile {
             std::process::exit(2);
         }
     }
+    .with_oracle(oracle)
+}
+
+/// The `scale` experiment sweeps grids past the paper's sizes; the
+/// largest (64×64 = 4096 nodes) sits exactly at the dense limit, so
+/// `--oracle lazy` runs it well under the dense matrix's 64 MiB.
+fn scale_profile(name: &str, oracle: OracleKind) -> Profile {
+    let mut p = profile_for(50, name, oracle);
+    p.grids = vec![(32, 32), (64, 64)];
+    p
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile_name = "standard".to_string();
+    let mut oracle = OracleKind::Auto;
     let mut csv_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -45,6 +59,16 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--oracle" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--oracle needs a value (auto|dense|lazy|hybrid)");
+                    std::process::exit(2);
+                });
+                oracle = OracleKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown oracle '{v}' (auto|dense|lazy|hybrid)");
+                    std::process::exit(2);
+                });
+            }
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--csv needs a directory");
@@ -53,9 +77,11 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--profile quick|standard|paper] [--csv DIR] [IDS...]\n\
+                    "usage: experiments [--profile quick|standard|paper]\n\
+                     \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR] [IDS...]\n\
                      ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15\n\
-                          pub-cost ablations general churn state-size locality mobility all"
+                     \x20    pub-cost ablations general churn state-size locality mobility\n\
+                     \x20    scale all"
                 );
                 return;
             }
@@ -83,6 +109,7 @@ fn main() {
             "state-size",
             "locality",
             "mobility",
+            "scale",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -104,48 +131,70 @@ fn main() {
         let started = std::time::Instant::now();
         match id.as_str() {
             "fig4" => emit(
-                maintenance_figure(&profile_for(100, &profile_name), false),
+                maintenance_figure(&profile_for(100, &profile_name, oracle), false),
                 id,
             ),
             "fig5" => emit(
-                maintenance_figure(&profile_for(1000, &profile_name), false),
+                maintenance_figure(&profile_for(1000, &profile_name, oracle), false),
                 id,
             ),
-            "fig6" => emit(query_figure(&profile_for(100, &profile_name), false), id),
-            "fig7" => emit(query_figure(&profile_for(1000, &profile_name), false), id),
+            "fig6" => emit(
+                query_figure(&profile_for(100, &profile_name, oracle), false),
+                id,
+            ),
+            "fig7" => emit(
+                query_figure(&profile_for(1000, &profile_name, oracle), false),
+                id,
+            ),
             "fig8" => emit(
-                load_figure(&profile_for(100, &profile_name), Algo::Stun, 0),
+                load_figure(&profile_for(100, &profile_name, oracle), Algo::Stun, 0),
                 id,
             ),
             "fig9" => emit(
-                load_figure(&profile_for(100, &profile_name), Algo::Stun, 10),
+                load_figure(&profile_for(100, &profile_name, oracle), Algo::Stun, 10),
                 id,
             ),
             "fig10" => emit(
-                load_figure(&profile_for(100, &profile_name), Algo::Zdat, 0),
+                load_figure(&profile_for(100, &profile_name, oracle), Algo::Zdat, 0),
                 id,
             ),
             "fig11" => emit(
-                load_figure(&profile_for(100, &profile_name), Algo::Zdat, 10),
+                load_figure(&profile_for(100, &profile_name, oracle), Algo::Zdat, 10),
                 id,
             ),
             "fig12" => emit(
-                maintenance_figure(&profile_for(100, &profile_name), true),
+                maintenance_figure(&profile_for(100, &profile_name, oracle), true),
                 id,
             ),
             "fig13" => emit(
-                maintenance_figure(&profile_for(1000, &profile_name), true),
+                maintenance_figure(&profile_for(1000, &profile_name, oracle), true),
                 id,
             ),
-            "fig14" => emit(query_figure(&profile_for(100, &profile_name), true), id),
-            "fig15" => emit(query_figure(&profile_for(1000, &profile_name), true), id),
-            "pub-cost" => emit(publish_cost_table(&profile_for(100, &profile_name)), id),
-            "ablations" => emit(ablation_table(&profile_for(100, &profile_name)), id),
-            "general" => emit(general_graph_table(&profile_for(50, &profile_name)), id),
+            "fig14" => emit(
+                query_figure(&profile_for(100, &profile_name, oracle), true),
+                id,
+            ),
+            "fig15" => emit(
+                query_figure(&profile_for(1000, &profile_name, oracle), true),
+                id,
+            ),
+            "pub-cost" => emit(
+                publish_cost_table(&profile_for(100, &profile_name, oracle)),
+                id,
+            ),
+            "ablations" => emit(ablation_table(&profile_for(100, &profile_name, oracle)), id),
+            "general" => emit(
+                general_graph_table(&profile_for(50, &profile_name, oracle)),
+                id,
+            ),
             "churn" => emit(churn_table(), id),
-            "state-size" => emit(state_size_table(&profile_for(100, &profile_name)), id),
-            "locality" => emit(locality_table(&profile_for(100, &profile_name)), id),
-            "mobility" => emit(mobility_table(&profile_for(50, &profile_name)), id),
+            "state-size" => emit(
+                state_size_table(&profile_for(100, &profile_name, oracle)),
+                id,
+            ),
+            "locality" => emit(locality_table(&profile_for(100, &profile_name, oracle)), id),
+            "mobility" => emit(mobility_table(&profile_for(50, &profile_name, oracle)), id),
+            "scale" => emit(scale_table(&scale_profile(&profile_name, oracle)), id),
             other => eprintln!("skipping unknown experiment id '{other}'"),
         }
         eprintln!("[{id} took {:.1?}]", started.elapsed());

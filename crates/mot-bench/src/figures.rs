@@ -4,7 +4,7 @@ use crate::report::FigureTable;
 use mot_baselines::DetectionRates;
 use mot_core::{MotConfig, MotTracker, Tracker};
 use mot_hierarchy::OverlayConfig;
-use mot_net::generators;
+use mot_net::{generators, DistanceOracle, OracleKind};
 use mot_sim::{
     replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine, CostStats,
     LoadStats, TestBed, WorkloadSpec,
@@ -23,6 +23,8 @@ pub struct Profile {
     pub queries: usize,
     /// Grid sizes swept (paper: ~10 → 1024 nodes).
     pub grids: Vec<(usize, usize)>,
+    /// Distance backend every bed in the run is built on.
+    pub oracle: OracleKind,
 }
 
 impl Profile {
@@ -34,6 +36,7 @@ impl Profile {
             seeds: 2,
             queries: 100,
             grids: vec![(3, 3), (6, 6), (10, 10)],
+            oracle: OracleKind::Auto,
         }
     }
 
@@ -45,6 +48,7 @@ impl Profile {
             seeds: 3,
             queries: 500,
             grids: generators::paper_grid_sizes(),
+            oracle: OracleKind::Auto,
         }
     }
 
@@ -56,7 +60,14 @@ impl Profile {
             seeds: 5,
             queries: 1000,
             grids: generators::paper_grid_sizes(),
+            oracle: OracleKind::Auto,
         }
+    }
+
+    /// Same profile on an explicit distance backend.
+    pub fn with_oracle(mut self, kind: OracleKind) -> Self {
+        self.oracle = kind;
+        self
     }
 }
 
@@ -72,7 +83,7 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
     for &(r, c) in &p.grids {
         let mut per_algo = vec![CostStats::default(); algos.len()];
         for seed in 0..p.seeds {
-            let bed = TestBed::grid(r, c, seed);
+            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle);
             let w =
                 WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
@@ -133,7 +144,7 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
     for &(r, c) in &p.grids {
         let mut per_algo = vec![CostStats::default(); algos.len()];
         for seed in 0..p.seeds {
-            let bed = TestBed::grid(r, c, seed);
+            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle);
             let w =
                 WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
@@ -196,7 +207,7 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
 /// initialization (0 = "just after initialization").
 pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> FigureTable {
     let &(r, c) = p.grids.last().expect("profile has grids");
-    let bed = TestBed::grid(r, c, 1);
+    let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
     let w = WorkloadSpec::new(p.objects, moves_per_object.max(1), 5).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let mut rows = Vec::new();
@@ -249,7 +260,7 @@ pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> FigureTabl
 pub fn publish_cost_table(p: &Profile) -> FigureTable {
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
-        let bed = TestBed::grid(r, c, 2);
+        let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle);
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let n = bed.graph.node_count();
@@ -298,7 +309,8 @@ pub fn ablation_table(p: &Profile) -> FigureTable {
     ];
     let mut rows = Vec::new();
     for (label, ocfg, mcfg) in variants {
-        let bed = TestBed::with_config(generators::grid(r, c).expect("grid"), &ocfg, seed);
+        let bed =
+            TestBed::with_oracle(generators::grid(r, c).expect("grid"), &ocfg, seed, p.oracle);
         let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9).generate(&bed.graph);
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg);
         run_publish(&mut t, &w).expect("publish");
@@ -370,7 +382,7 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
     use mot_core::lb::ClusterTable;
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
-        let bed = TestBed::grid(r, c, 1);
+        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
         let table = ClusterTable::build(&bed.overlay, &bed.oracle);
         let (mut max_table, mut max_cluster, mut sum_table, mut count) =
             (0usize, 0usize, 0usize, 0usize);
@@ -413,7 +425,7 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
 /// root detour exactly there.
 pub fn locality_table(p: &Profile) -> FigureTable {
     let &(r, c) = p.grids.last().expect("profile has grids");
-    let bed = TestBed::grid(r, c, 2);
+    let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle);
     let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let algos = [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts];
@@ -478,7 +490,7 @@ pub fn mobility_table(p: &Profile) -> FigureTable {
         ("waypoint", MobilityModel::Waypoint),
         ("commuter", MobilityModel::Commuter),
     ] {
-        let bed = TestBed::grid(r, c, 3);
+        let bed = TestBed::grid_with_oracle(r, c, 3, p.oracle);
         let spec = mot_sim::WorkloadSpec {
             objects: p.objects.min(50),
             moves_per_object: p.moves_per_object,
@@ -500,6 +512,49 @@ pub fn mobility_table(p: &Profile) -> FigureTable {
         title: format!("Maintenance cost ratio by mobility model ({r}x{c} grid)"),
         x_label: "mobility".into(),
         columns: algos.iter().map(|a| a.label().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Backend scaling: fig4-style MOT maintenance over the profile's
+/// grids, reporting the distance backend's *measured* memory footprint
+/// next to the dense matrix it replaces. On the 64×64 grid (4096
+/// nodes, the dense limit) the lazy backend's LRU holds 256 rows
+/// (~12.6 MiB) against the 64 MiB matrix; a 128×128 grid would pit
+/// ~50 MiB of rows against a 1 GiB matrix.
+pub fn scale_table(p: &Profile) -> FigureTable {
+    const MIB: f64 = (1024 * 1024) as f64;
+    let mut rows = Vec::new();
+    for &(r, c) in &p.grids {
+        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
+        let w = WorkloadSpec::new(p.objects.min(50), p.moves_per_object.min(100), 5)
+            .generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        run_publish(t.as_mut(), &w).expect("publish");
+        let stats = replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+        let n = bed.graph.node_count();
+        let dense_bytes = (n * n * std::mem::size_of::<f32>()) as f64;
+        rows.push((
+            (r * c).to_string(),
+            vec![
+                stats.ratio(),
+                bed.oracle.memory_bytes() as f64 / MIB,
+                dense_bytes / MIB,
+            ],
+        ));
+    }
+    FigureTable {
+        title: format!(
+            "MOT maintenance at scale, {} distance backend (measured memory vs dense matrix)",
+            p.oracle.label()
+        ),
+        x_label: "nodes".into(),
+        columns: vec![
+            "maint_ratio".into(),
+            "oracle_MiB".into(),
+            "dense_matrix_MiB".into(),
+        ],
         rows,
     }
 }
@@ -639,6 +694,19 @@ mod tests {
             .iter()
             .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
         assert!(hi <= 4.0 * lo, "MOT locality profile not flat: {mot:?}");
+    }
+
+    #[test]
+    fn scale_table_reports_ratio_and_memory() {
+        let mut p = Profile::quick(5).with_oracle(OracleKind::Lazy);
+        p.grids = vec![(8, 8)];
+        let t = scale_table(&p);
+        assert_eq!(t.rows.len(), 1);
+        let ys = &t.rows[0].1;
+        assert!(ys[0] >= 1.0, "ratio {} below optimal", ys[0]);
+        assert!(ys[1] > 0.0, "lazy backend reported no memory");
+        // 64 nodes: dense matrix is 64*64*4 bytes
+        assert!((ys[2] - (64.0 * 64.0 * 4.0) / (1024.0 * 1024.0)).abs() < 1e-9);
     }
 
     #[test]

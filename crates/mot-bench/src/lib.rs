@@ -19,7 +19,7 @@ pub mod report;
 
 pub use figures::{
     ablation_table, churn_table, general_graph_table, load_figure, locality_table,
-    maintenance_figure, mobility_table, publish_cost_table, query_figure, state_size_table,
-    Profile,
+    maintenance_figure, mobility_table, publish_cost_table, query_figure, scale_table,
+    state_size_table, Profile,
 };
 pub use report::FigureTable;

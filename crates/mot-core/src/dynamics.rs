@@ -16,7 +16,7 @@ use crate::object::ObjectId;
 use crate::tracker::Tracker;
 use mot_debruijn::DynamicCluster;
 use mot_hierarchy::{build_doubling, Overlay, OverlayConfig};
-use mot_net::{dijkstra, subgraph, DistanceMatrix, Graph, NetError, NodeId};
+use mot_net::{dijkstra, subgraph, DistanceOracle, Graph, NetError, NodeId, OracleKind};
 
 /// Aggregate effect of one join/leave across every affected cluster.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -36,7 +36,7 @@ pub struct ChurnReport {
 
 /// Simulates §7's churn protocol over all clusters of an overlay.
 pub struct ChurnSimulator<'a> {
-    oracle: &'a DistanceMatrix,
+    oracle: &'a dyn DistanceOracle,
     /// (level, radius) of each simulated cluster.
     roles: Vec<(usize, NodeId, f64)>,
     clusters: Vec<DynamicCluster>,
@@ -51,7 +51,7 @@ pub struct ChurnSimulator<'a> {
 impl<'a> ChurnSimulator<'a> {
     /// Builds the cluster population of `overlay` (one radius-`2^ℓ`
     /// cluster per internal member, as in §5).
-    pub fn new(overlay: &Overlay, oracle: &'a DistanceMatrix, drift_factor: f64) -> Self {
+    pub fn new(overlay: &Overlay, oracle: &'a dyn DistanceOracle, drift_factor: f64) -> Self {
         let mut roles = Vec::new();
         let mut clusters = Vec::new();
         for level in 1..=overlay.height() {
@@ -156,7 +156,7 @@ impl<'a> ChurnSimulator<'a> {
 /// assignment for every surviving tracked object.
 pub struct RebuildPlan {
     pub graph: Graph,
-    pub oracle: DistanceMatrix,
+    pub oracle: Box<dyn DistanceOracle>,
     pub overlay: Overlay,
     /// `old_of_new[new] = old` node id mapping.
     pub old_of_new: Vec<NodeId>,
@@ -173,7 +173,7 @@ impl RebuildPlan {
     /// every object, returning the tracker and the total publish cost —
     /// the price of a §7 rebuild.
     pub fn execute(&self, cfg: MotConfig) -> crate::Result<(MotTracker<'_>, f64)> {
-        let mut t = MotTracker::new(&self.overlay, &self.oracle, cfg);
+        let mut t = MotTracker::new(&self.overlay, &*self.oracle, cfg);
         let mut cost = 0.0;
         for &(o, proxy) in &self.proxies {
             cost += t.publish(o, proxy)?;
@@ -194,9 +194,22 @@ pub fn plan_rebuild(
     ocfg: &OverlayConfig,
     seed: u64,
 ) -> Result<RebuildPlan, NetError> {
+    plan_rebuild_with(g, alive, objects, ocfg, seed, OracleKind::Auto)
+}
+
+/// As [`plan_rebuild`] with an explicit distance-oracle backend for the
+/// rebuilt substrate.
+pub fn plan_rebuild_with(
+    g: &Graph,
+    alive: &[bool],
+    objects: &[(ObjectId, NodeId)],
+    ocfg: &OverlayConfig,
+    seed: u64,
+    kind: OracleKind,
+) -> Result<RebuildPlan, NetError> {
     let (sub, old_of_new) = subgraph(g, alive)?;
-    let oracle = DistanceMatrix::build(&sub)?;
-    let overlay = build_doubling(&sub, &oracle, ocfg, seed);
+    let oracle = kind.build(&sub)?;
+    let overlay = build_doubling(&sub, &*oracle, ocfg, seed);
     let mut new_of_old = vec![None; g.node_count()];
     for (new, old) in old_of_new.iter().enumerate() {
         new_of_old[old.index()] = Some(NodeId::from_index(new));
@@ -240,12 +253,13 @@ pub fn plan_rebuild(
 mod tests {
     use super::*;
     use mot_net::generators;
+    use mot_net::DenseOracle;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
-    fn setup() -> (mot_net::Graph, DistanceMatrix) {
+    fn setup() -> (mot_net::Graph, DenseOracle) {
         let g = generators::grid(8, 8).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         (g, m)
     }
 

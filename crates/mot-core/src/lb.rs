@@ -9,7 +9,7 @@
 use crate::object::ObjectId;
 use mot_debruijn::Embedding;
 use mot_hierarchy::Overlay;
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use std::collections::HashMap;
 
 /// Placement of one logical entry.
@@ -32,7 +32,7 @@ pub struct ClusterTable {
 impl ClusterTable {
     /// Builds the radius-`2^ℓ` cluster (and its de Bruijn embedding)
     /// around every level-`ℓ ≥ 1` member of the overlay.
-    pub fn build(overlay: &Overlay, m: &DistanceMatrix) -> Self {
+    pub fn build(overlay: &Overlay, m: &dyn DistanceOracle) -> Self {
         let mut clusters = HashMap::new();
         for level in 1..=overlay.height() {
             let radius = (1u64 << level) as f64;
@@ -62,7 +62,7 @@ impl ClusterTable {
         center: NodeId,
         level: usize,
         o: ObjectId,
-        m: &DistanceMatrix,
+        m: &dyn DistanceOracle,
     ) -> Placement {
         let Some(embedding) = self.embedding(center, level) else {
             // A role outside the table (e.g. level 0) stores locally.
@@ -98,10 +98,11 @@ mod tests {
     use super::*;
     use mot_hierarchy::{build_doubling, OverlayConfig};
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
-    fn setup() -> (Overlay, DistanceMatrix) {
+    fn setup() -> (Overlay, DenseOracle) {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let o = build_doubling(&g, &m, &OverlayConfig::practical(), 5);
         (o, m)
     }

@@ -23,10 +23,10 @@
 //! ```
 //! use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
 //! use mot_hierarchy::{build_doubling, OverlayConfig};
-//! use mot_net::{generators, DistanceMatrix, NodeId};
+//! use mot_net::{generators, DenseOracle, NodeId};
 //!
 //! let g = generators::grid(8, 8)?;
-//! let oracle = DistanceMatrix::build(&g)?;
+//! let oracle = DenseOracle::build(&g)?;
 //! let overlay = build_doubling(&g, &oracle, &OverlayConfig::practical(), 42);
 //! let mut tracker = MotTracker::new(&overlay, &oracle, MotConfig::plain());
 //!
@@ -55,6 +55,8 @@ pub mod tracker;
 pub use config::MotConfig;
 pub use error::CoreError;
 pub use mot::MotTracker;
+/// Distance-backend selector, re-exported for experiment configuration.
+pub use mot_net::OracleKind;
 pub use object::ObjectId;
 pub use tracker::{MoveOutcome, QueryResult, Tracker};
 

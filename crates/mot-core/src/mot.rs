@@ -14,13 +14,13 @@ use crate::state::{NodeStores, ObjectRecord, SpEntry, TrailLevel};
 use crate::tracker::{MoveOutcome, QueryResult, Tracker};
 use crate::Result;
 use mot_hierarchy::Overlay;
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use std::collections::HashMap;
 
 /// Mobile Object Tracking using sensors.
 pub struct MotTracker<'a> {
     overlay: &'a Overlay,
-    oracle: &'a DistanceMatrix,
+    oracle: &'a dyn DistanceOracle,
     cfg: MotConfig,
     stores: NodeStores,
     records: HashMap<ObjectId, ObjectRecord>,
@@ -29,7 +29,7 @@ pub struct MotTracker<'a> {
 
 impl<'a> MotTracker<'a> {
     /// Creates a tracker over a prebuilt overlay.
-    pub fn new(overlay: &'a Overlay, oracle: &'a DistanceMatrix, cfg: MotConfig) -> Self {
+    pub fn new(overlay: &'a Overlay, oracle: &'a dyn DistanceOracle, cfg: MotConfig) -> Self {
         let clusters = cfg
             .load_balance
             .then(|| ClusterTable::build(overlay, oracle));
@@ -412,19 +412,20 @@ impl Tracker for MotTracker<'_> {
 mod tests {
     use super::*;
     use mot_hierarchy::{build_doubling, OverlayConfig};
+    use mot_net::DenseOracle;
     use mot_net::{generators, Graph};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     struct Fixture {
         g: Graph,
-        m: DistanceMatrix,
+        m: DenseOracle,
         overlay: Overlay,
     }
 
     fn fixture(rows: usize, cols: usize) -> Fixture {
         let g = generators::grid(rows, cols).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 11);
         Fixture { g, m, overlay }
     }

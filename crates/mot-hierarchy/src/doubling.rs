@@ -11,7 +11,7 @@ use crate::config::OverlayConfig;
 use crate::mis::luby_mis;
 use crate::overlay::{Overlay, OverlayKind};
 use crate::path::DetectionPath;
-use mot_net::{DistanceMatrix, Graph, NodeId};
+use mot_net::{DistanceOracle, Graph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -20,7 +20,12 @@ use std::collections::HashMap;
 ///
 /// `seed` drives Luby's random priorities; identical seeds yield identical
 /// overlays.
-pub fn build_doubling(g: &Graph, m: &DistanceMatrix, cfg: &OverlayConfig, seed: u64) -> Overlay {
+pub fn build_doubling(
+    g: &Graph,
+    m: &dyn DistanceOracle,
+    cfg: &OverlayConfig,
+    seed: u64,
+) -> Overlay {
     assert_eq!(
         g.node_count(),
         m.node_count(),
@@ -115,10 +120,11 @@ pub fn build_doubling(g: &Graph, m: &DistanceMatrix, cfg: &OverlayConfig, seed: 
 mod tests {
     use super::*;
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
-    fn build(rows: usize, cols: usize, cfg: OverlayConfig) -> (Overlay, DistanceMatrix) {
+    fn build(rows: usize, cols: usize, cfg: OverlayConfig) -> (Overlay, DenseOracle) {
         let g = generators::grid(rows, cols).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let o = build_doubling(&g, &m, &cfg, 7);
         (o, m)
     }
@@ -126,7 +132,7 @@ mod tests {
     #[test]
     fn single_node_graph_degenerates_gracefully() {
         let g = generators::line(1).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let o = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
         assert_eq!(o.height(), 0);
         assert_eq!(o.root(), NodeId(0));
@@ -234,7 +240,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::grid(8, 8).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let a = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let b = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         for l in 0..=a.height() {

@@ -18,7 +18,7 @@
 use crate::config::OverlayConfig;
 use crate::overlay::{Overlay, OverlayKind};
 use crate::path::DetectionPath;
-use mot_net::{DistanceMatrix, Graph, NodeId};
+use mot_net::{DistanceOracle, Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,7 +31,7 @@ struct Partition {
     leaders: Vec<NodeId>,
 }
 
-fn carve_partition<R: Rng>(m: &DistanceMatrix, radius: f64, rng: &mut R) -> Partition {
+fn carve_partition<R: Rng>(m: &dyn DistanceOracle, radius: f64, rng: &mut R) -> Partition {
     let n = m.node_count();
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
@@ -57,7 +57,7 @@ fn carve_partition<R: Rng>(m: &DistanceMatrix, radius: f64, rng: &mut R) -> Part
 }
 
 /// True when the ball `B(u, r)` lies inside `u`'s cluster of `p`.
-fn ball_padded(m: &DistanceMatrix, p: &Partition, u: NodeId, r: f64) -> bool {
+fn ball_padded(m: &dyn DistanceOracle, p: &Partition, u: NodeId, r: f64) -> bool {
     let cu = p.assignment[u.index()];
     m.ball(u, r)
         .into_iter()
@@ -66,7 +66,7 @@ fn ball_padded(m: &DistanceMatrix, p: &Partition, u: NodeId, r: f64) -> bool {
 
 /// Builds the sparse-partition overlay for an arbitrary (connected)
 /// network.
-pub fn build_general(g: &Graph, m: &DistanceMatrix, cfg: &OverlayConfig, seed: u64) -> Overlay {
+pub fn build_general(g: &Graph, m: &dyn DistanceOracle, cfg: &OverlayConfig, seed: u64) -> Overlay {
     assert_eq!(
         g.node_count(),
         m.node_count(),
@@ -166,9 +166,10 @@ pub fn build_general(g: &Graph, m: &DistanceMatrix, cfg: &OverlayConfig, seed: u
 mod tests {
     use super::*;
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
-    fn build(g: &Graph, seed: u64) -> (Overlay, DistanceMatrix) {
-        let m = DistanceMatrix::build(g).unwrap();
+    fn build(g: &Graph, seed: u64) -> (Overlay, DenseOracle) {
+        let m = DenseOracle::build(g).unwrap();
         let o = build_general(g, &m, &OverlayConfig::practical(), seed);
         (o, m)
     }
@@ -249,7 +250,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let a = build_general(&g, &m, &OverlayConfig::practical(), 17);
         let b = build_general(&g, &m, &OverlayConfig::practical(), 17);
         for u in g.nodes() {

@@ -22,10 +22,10 @@
 //!
 //! ```
 //! use mot_hierarchy::{build_doubling, OverlayConfig};
-//! use mot_net::{generators, DistanceMatrix, NodeId};
+//! use mot_net::{generators, DenseOracle, NodeId};
 //!
 //! let g = generators::grid(8, 8)?;
-//! let m = DistanceMatrix::build(&g)?;
+//! let m = DenseOracle::build(&g)?;
 //! let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 7);
 //!
 //! // h <= ceil(log2 D) + 1 levels, shrinking to a single root.

@@ -1,7 +1,7 @@
 //! The assembled overlay `HS` consumed by the tracking algorithms.
 
 use crate::path::DetectionPath;
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 
 /// Which construction produced the overlay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,7 +112,7 @@ impl Overlay {
     }
 
     /// `length(DPath_j(u))` per Lemma 2.2.
-    pub fn path_length(&self, u: NodeId, up_to_level: usize, m: &DistanceMatrix) -> f64 {
+    pub fn path_length(&self, u: NodeId, up_to_level: usize, m: &dyn DistanceOracle) -> f64 {
         self.paths[u.index()].length_up_to(up_to_level, m)
     }
 

@@ -6,7 +6,7 @@
 //! Connecting consecutive visits by shortest physical paths yields
 //! `DPath(u)`.
 
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 
 /// The per-level stations of one bottom node's detection path.
 #[derive(Clone, Debug)]
@@ -44,7 +44,7 @@ impl DetectionPath {
 
     /// `length(DPath_j(u))` — total shortest-path distance of the visiting
     /// walk up to level `j` (Lemma 2.2's quantity).
-    pub fn length_up_to(&self, level: usize, m: &DistanceMatrix) -> f64 {
+    pub fn length_up_to(&self, level: usize, m: &dyn DistanceOracle) -> f64 {
         m.walk_length(&self.walk(level))
     }
 
@@ -73,6 +73,7 @@ impl DetectionPath {
 mod tests {
     use super::*;
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
     fn path(stations: Vec<Vec<u32>>) -> DetectionPath {
         DetectionPath {
@@ -107,7 +108,7 @@ mod tests {
     #[test]
     fn length_accumulates_walk_distance() {
         let g = generators::line(10).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let p = path(vec![vec![0], vec![2], vec![6]]);
         assert_eq!(p.length_up_to(0, &m), 0.0);
         assert_eq!(p.length_up_to(1, &m), 2.0);

@@ -5,11 +5,11 @@
 //! corrupt detection lists, so the checks live next to the constructions.
 
 use crate::overlay::{Overlay, OverlayKind};
-use mot_net::DistanceMatrix;
+use mot_net::DistanceOracle;
 
 /// Collects human-readable descriptions of every structural violation.
 /// An empty result means the overlay is well-formed.
-pub fn validate(o: &Overlay, m: &DistanceMatrix) -> Vec<String> {
+pub fn validate(o: &Overlay, m: &dyn DistanceOracle) -> Vec<String> {
     let mut issues = Vec::new();
     let h = o.height();
     if o.level_members(h).len() != 1 {
@@ -64,7 +64,7 @@ pub fn validate(o: &Overlay, m: &DistanceMatrix) -> Vec<String> {
 
 /// Panics with a readable report if the overlay is malformed. Handy in
 /// tests and example binaries.
-pub fn assert_valid(o: &Overlay, m: &DistanceMatrix) {
+pub fn assert_valid(o: &Overlay, m: &dyn DistanceOracle) {
     let issues = validate(o, m);
     assert!(issues.is_empty(), "overlay invalid:\n{}", issues.join("\n"));
 }
@@ -75,12 +75,13 @@ mod tests {
     use crate::config::OverlayConfig;
     use crate::{build_doubling, build_general};
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
     #[test]
     fn doubling_overlays_validate() {
         for (r, c) in [(3, 3), (6, 6), (8, 8)] {
             let g = generators::grid(r, c).unwrap();
-            let m = DistanceMatrix::build(&g).unwrap();
+            let m = DenseOracle::build(&g).unwrap();
             for cfg in [OverlayConfig::practical(), OverlayConfig::paper_exact()] {
                 let o = build_doubling(&g, &m, &cfg, 42);
                 assert_valid(&o, &m);
@@ -95,7 +96,7 @@ mod tests {
             generators::ring(30).unwrap(),
             generators::random_tree(40, 5).unwrap(),
         ] {
-            let m = DistanceMatrix::build(&g).unwrap();
+            let m = DenseOracle::build(&g).unwrap();
             let o = build_general(&g, &m, &OverlayConfig::practical(), 42);
             assert_valid(&o, &m);
         }

@@ -13,28 +13,36 @@
 //!   [`generators::line`], [`generators::random_geometric`],
 //!   [`generators::random_tree`]),
 //! * single-source shortest paths ([`dijkstra`]) and shortest-path trees,
-//! * an all-pairs [`DistanceMatrix`] oracle (built in parallel) that backs
-//!   hierarchy construction, ball queries, and cost accounting,
+//! * the [`DistanceOracle`] trait with three backends — the dense
+//!   all-pairs [`DenseOracle`] (built in parallel), the on-demand
+//!   [`LazyOracle`], and the pinned-hot-set [`HybridOracle`] — selected
+//!   via [`OracleKind`]; every hierarchy construction, ball query, and
+//!   cost account goes through the trait,
 //! * network [`metrics`]: diameter, doubling-dimension estimation,
 //!   growth-restriction checks.
 //!
 //! # Example
 //!
 //! ```
-//! use mot_net::{generators, DistanceMatrix, NodeId};
+//! use mot_net::{generators, DenseOracle, DistanceOracle, NodeId, OracleKind};
 //!
 //! // The paper's largest evaluation topology: a 32x32 unit grid.
 //! let g = generators::grid(32, 32)?;
 //! assert_eq!(g.node_count(), 1024);
 //!
-//! // The all-pairs oracle backs every cost account and radius query.
-//! let m = DistanceMatrix::build(&g)?;
+//! // The oracle backs every cost account and radius query. Backends
+//! // are interchangeable behind `&dyn DistanceOracle`.
+//! let m = DenseOracle::build(&g)?;
 //! assert_eq!(m.diameter(), 62.0);
 //! assert_eq!(m.dist(NodeId(0), NodeId(1023)), 62.0);
 //!
-//! // k-neighborhoods (the paper's N(v, r)):
+//! // k-neighborhoods (the paper's N(v, r)), sorted by distance:
 //! let near = m.ball(NodeId(0), 2.0);
 //! assert_eq!(near.len(), 6); // self + 2 at distance 1 + 3 at distance 2
+//!
+//! // Or let the factory pick: dense up to 4096 nodes, lazy beyond.
+//! let auto: Box<dyn DistanceOracle> = OracleKind::Auto.build(&g)?;
+//! assert_eq!(auto.dist(NodeId(0), NodeId(1023)), 62.0);
 //! # Ok::<(), mot_net::NetError>(())
 //! ```
 
@@ -55,7 +63,7 @@ pub use graph::{Edge, Graph};
 pub use metrics::{estimate_doubling_dimension, growth_ratio, GraphStats};
 pub use node::{NodeId, Point};
 pub use ops::{k_nearest, path_between, subgraph};
-pub use oracle::DistanceMatrix;
+pub use oracle::{DenseOracle, DistanceOracle, HybridOracle, LazyOracle, OracleKind};
 
 /// Convenient result alias for this crate.
 pub type Result<T> = std::result::Result<T, NetError>;

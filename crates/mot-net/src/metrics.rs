@@ -7,7 +7,7 @@
 
 use crate::graph::Graph;
 use crate::node::NodeId;
-use crate::oracle::DistanceMatrix;
+use crate::oracle::DistanceOracle;
 
 /// Summary statistics of a deployed sensor network.
 #[derive(Clone, Debug)]
@@ -23,8 +23,8 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Gathers statistics for `g`, reusing a prebuilt distance matrix.
-    pub fn compute(g: &Graph, m: &DistanceMatrix) -> GraphStats {
+    /// Gathers statistics for `g`, reusing a prebuilt distance oracle.
+    pub fn compute(g: &Graph, m: &dyn DistanceOracle) -> GraphStats {
         let nodes = g.node_count();
         let max_degree = g.nodes().map(|u| g.degree(u)).max().unwrap_or(0);
         GraphStats {
@@ -49,7 +49,7 @@ impl GraphStats {
 /// load result assumes growth-restricted networks); for finite metrics it
 /// tracks the ball-cover doubling constant up to small factors and is the
 /// standard measurable proxy.
-pub fn estimate_doubling_dimension(m: &DistanceMatrix) -> f64 {
+pub fn estimate_doubling_dimension(m: &dyn DistanceOracle) -> f64 {
     let n = m.node_count();
     if n <= 1 {
         return 0.0;
@@ -73,7 +73,7 @@ pub fn estimate_doubling_dimension(m: &DistanceMatrix) -> f64 {
 }
 
 /// Growth ratio `|B(u, 2r)| / |B(u, r)|` for a specific center and radius.
-pub fn growth_ratio(m: &DistanceMatrix, u: NodeId, r: f64) -> f64 {
+pub fn growth_ratio(m: &dyn DistanceOracle, u: NodeId, r: f64) -> f64 {
     let small = m.ball_size(u, r);
     if small == 0 {
         return 0.0;
@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn grid_has_small_doubling_dimension() {
         let g = generators::grid(16, 16).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = crate::oracle::DenseOracle::build(&g).unwrap();
         let rho = estimate_doubling_dimension(&m);
         // A 2-D grid is constant-doubling; growth ratio of interior balls
         // approaches 4 (rho = 2) with boundary effects pushing it a little
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn line_has_dimension_about_one() {
         let g = generators::line(128).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = crate::oracle::DenseOracle::build(&g).unwrap();
         let rho = estimate_doubling_dimension(&m);
         assert!(rho <= 1.2, "rho = {rho}");
     }
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn stats_populate_all_fields() {
         let g = generators::grid(4, 4).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = crate::oracle::DenseOracle::build(&g).unwrap();
         let s = GraphStats::compute(&g, &m);
         assert_eq!(s.nodes, 16);
         assert_eq!(s.edges, 24);
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn growth_ratio_on_grid_interior() {
         let g = generators::grid(9, 9).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = crate::oracle::DenseOracle::build(&g).unwrap();
         let center = NodeId(40); // middle
         let ratio = growth_ratio(&m, center, 2.0);
         assert!(ratio > 1.0 && ratio <= 8.0, "ratio = {ratio}");

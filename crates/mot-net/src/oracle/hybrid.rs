@@ -1,0 +1,191 @@
+//! Lazy backend with a pinned hot set.
+//!
+//! Hierarchy overlays concentrate their distance queries on a small
+//! set of structural nodes — cluster leaders, parent-set members,
+//! detection-list hosts — that every publish/move/query touches again
+//! and again. [`HybridOracle`] keeps [`LazyOracle`]'s on-demand rows
+//! for the long tail but lets the overlay [`pin`](HybridOracle::pin)
+//! its internal nodes after construction, so the hot rows are computed
+//! once and never churn out of the LRU cache regardless of query
+//! pattern.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use super::{DistRow, DistanceOracle, LazyOracle};
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// [`LazyOracle`] plus an explicitly pinned row set.
+pub struct HybridOracle {
+    lazy: LazyOracle,
+    /// Rows held forever, outside the LRU: source id → row.
+    pinned: RwLock<HashMap<u32, Arc<DistRow>>>,
+}
+
+impl std::fmt::Debug for HybridOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridOracle")
+            .field("node_count", &self.lazy.node_count())
+            .field("pinned_rows", &self.pinned_rows())
+            .field("cached_rows", &self.lazy.cached_rows())
+            .finish()
+    }
+}
+
+impl HybridOracle {
+    /// Validates the graph and creates an oracle with nothing pinned
+    /// and the default LRU capacity.
+    pub fn new(g: &Graph) -> Result<Self> {
+        Ok(HybridOracle {
+            lazy: LazyOracle::new(g)?,
+            pinned: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// As [`HybridOracle::new`] with an explicit LRU row capacity for
+    /// the unpinned tail.
+    pub fn with_row_capacity(g: &Graph, rows: usize) -> Result<Self> {
+        Ok(HybridOracle {
+            lazy: LazyOracle::with_row_capacity(g, rows)?,
+            pinned: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Pins `nodes`' rows: computes any that are missing and holds them
+    /// outside the LRU until the oracle is dropped. Idempotent; callers
+    /// typically pass the overlay's internal-node set right after
+    /// construction. Takes `&self` — pinning is a cache annotation, not
+    /// a logical mutation.
+    pub fn pin(&self, nodes: &[NodeId]) {
+        // Compute outside the write lock so readers aren't blocked
+        // behind Dijkstra runs.
+        let missing: Vec<NodeId> = {
+            let pinned = self.pinned.read().expect("pinned map poisoned");
+            nodes
+                .iter()
+                .copied()
+                .filter(|u| !pinned.contains_key(&u.0))
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let rows: Vec<(u32, Arc<DistRow>)> = missing
+            .into_iter()
+            .map(|u| (u.0, self.lazy.row(u)))
+            .collect();
+        let mut pinned = self.pinned.write().expect("pinned map poisoned");
+        for (id, row) in rows {
+            pinned.entry(id).or_insert(row);
+        }
+    }
+
+    /// Number of pinned rows.
+    pub fn pinned_rows(&self) -> usize {
+        self.pinned.read().expect("pinned map poisoned").len()
+    }
+
+    /// Heap footprint of pinned plus LRU-cached rows, in bytes. Rows
+    /// present in both are counted once per store (the `Arc` shares the
+    /// allocation, so this slightly overstates).
+    pub fn memory_bytes(&self) -> usize {
+        let pinned: usize = self
+            .pinned
+            .read()
+            .expect("pinned map poisoned")
+            .values()
+            .map(|row| row.bytes())
+            .sum();
+        pinned + self.lazy.memory_bytes()
+    }
+
+    fn row(&self, u: NodeId) -> Arc<DistRow> {
+        if let Some(row) = self.pinned.read().expect("pinned map poisoned").get(&u.0) {
+            return Arc::clone(row);
+        }
+        self.lazy.row(u)
+    }
+}
+
+impl DistanceOracle for HybridOracle {
+    fn node_count(&self) -> usize {
+        self.lazy.node_count()
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        self.row(u).dist(v)
+    }
+
+    fn diameter(&self) -> f64 {
+        self.lazy.diameter()
+    }
+
+    fn ball(&self, u: NodeId, r: f64) -> Vec<NodeId> {
+        self.row(u).ball(r)
+    }
+
+    fn ball_size(&self, u: NodeId, r: f64) -> usize {
+        self.row(u).ball_size(r)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        HybridOracle::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::DenseOracle;
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn agrees_with_dense_pinned_or_not() {
+        let g = generators::random_geometric(45, 8.0, 2.5, 23).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let hybrid = HybridOracle::new(&g).unwrap();
+        let pins: Vec<NodeId> = g.nodes().step_by(5).collect();
+        hybrid.pin(&pins);
+        for u in g.nodes() {
+            for v in g.nodes().step_by(3) {
+                assert_eq!(hybrid.dist(u, v), dense.dist(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_rows_survive_cache_churn() {
+        let g = generators::grid(10, 10).unwrap();
+        let hybrid = HybridOracle::with_row_capacity(&g, 1).unwrap();
+        hybrid.pin(&[NodeId(0), NodeId(99)]);
+        assert_eq!(hybrid.pinned_rows(), 2);
+        // Churn the tiny LRU with every other source.
+        for u in g.nodes() {
+            hybrid.dist(u, NodeId(50));
+        }
+        // Pinned rows still answer without being recomputed (observable
+        // as: pinned set unchanged, distances exact).
+        assert_eq!(hybrid.pinned_rows(), 2);
+        assert_eq!(hybrid.dist(NodeId(0), NodeId(99)), 18.0);
+    }
+
+    #[test]
+    fn pin_is_idempotent() {
+        let g = generators::grid(5, 5).unwrap();
+        let hybrid = HybridOracle::new(&g).unwrap();
+        hybrid.pin(&[NodeId(3), NodeId(4)]);
+        hybrid.pin(&[NodeId(4), NodeId(3), NodeId(4)]);
+        assert_eq!(hybrid.pinned_rows(), 2);
+    }
+
+    #[test]
+    fn memory_accounts_for_pins() {
+        let g = generators::grid(6, 6).unwrap();
+        let hybrid = HybridOracle::new(&g).unwrap();
+        assert_eq!(hybrid.memory_bytes(), 0);
+        hybrid.pin(&[NodeId(0)]);
+        assert!(hybrid.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! On-demand per-source Dijkstra backend.
+//!
+//! Where [`DenseOracle`](super::DenseOracle) spends O(n²) memory up
+//! front, this backend solves a single-source shortest-path tree the
+//! first time a source is queried and keeps the resulting
+//! [`DistRow`](super::DistRow) in a sharded, LRU-evicted cache. Memory
+//! is O(cached_rows · n); construction is O(1). The trade: a cache miss
+//! costs one Dijkstra, and the diameter is a double-sweep estimate
+//! `est` with `D/2 ≤ est ≤ D` (exact on trees, and on grids and other
+//! graphs whose eccentricity is maximized at a sweep endpoint) instead
+//! of the exact maximum over all pairs.
+//!
+//! Rows are quantized through `f32` exactly like the dense matrix, so
+//! `dist`/`ball`/cost accounts are bit-identical to the dense backend
+//! (Dijkstra is deterministic); only `diameter` may differ.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::{DistRow, DistanceOracle};
+use crate::dijkstra::dijkstra;
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+const SHARDS: usize = 16;
+
+#[derive(Default)]
+struct Shard {
+    /// Source id → (row, last-touch stamp).
+    rows: HashMap<u32, (Arc<DistRow>, u64)>,
+}
+
+/// Distance oracle that computes per-source rows on demand.
+pub struct LazyOracle {
+    g: Graph,
+    shards: Vec<Mutex<Shard>>,
+    /// Max cached rows per shard (total capacity spread evenly).
+    per_shard: usize,
+    /// Monotonic LRU clock; advanced on every row touch.
+    clock: AtomicU64,
+    diameter: OnceLock<f64>,
+}
+
+impl std::fmt::Debug for LazyOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyOracle")
+            .field("node_count", &self.g.node_count())
+            .field("cached_rows", &self.cached_rows())
+            .finish()
+    }
+}
+
+impl LazyOracle {
+    /// Default total row capacity for an `n`-node graph: enough rows
+    /// that hierarchy-construction working sets fit, bounded well below
+    /// the dense matrix (`n` rows).
+    pub fn default_row_capacity(n: usize) -> usize {
+        (n / 16).max(128)
+    }
+
+    /// Validates the graph (connected, non-empty) and creates an oracle
+    /// with the default row capacity. No distances are computed yet.
+    pub fn new(g: &Graph) -> Result<Self> {
+        Self::with_row_capacity(g, Self::default_row_capacity(g.node_count()))
+    }
+
+    /// As [`LazyOracle::new`] with an explicit total row capacity
+    /// (clamped to at least one row per shard).
+    pub fn with_row_capacity(g: &Graph, rows: usize) -> Result<Self> {
+        if g.node_count() == 0 {
+            return Err(NetError::EmptyGraph);
+        }
+        if !g.is_connected() {
+            return Err(NetError::Disconnected);
+        }
+        Ok(LazyOracle {
+            g: g.clone(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: rows.div_ceil(SHARDS).max(1),
+            clock: AtomicU64::new(0),
+            diameter: OnceLock::new(),
+        })
+    }
+
+    /// The row for source `u`, from cache or computed now. Dijkstra
+    /// runs outside the shard lock so concurrent misses on different
+    /// sources don't serialize.
+    pub(crate) fn row(&self, u: NodeId) -> Arc<DistRow> {
+        let shard = &self.shards[u.index() % SHARDS];
+        {
+            let mut s = shard.lock().expect("oracle shard poisoned");
+            if let Some((row, stamp)) = s.rows.get_mut(&u.0) {
+                *stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(row);
+            }
+        }
+        let row = Arc::new(DistRow::from_dijkstra(&dijkstra(&self.g, u)));
+        let mut s = shard.lock().expect("oracle shard poisoned");
+        // Another thread may have raced us here; keep whichever row is
+        // already in (they're identical — Dijkstra is deterministic).
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let entry = s
+            .rows
+            .entry(u.0)
+            .or_insert_with(|| (Arc::clone(&row), stamp));
+        entry.1 = stamp;
+        let out = Arc::clone(&entry.0);
+        if s.rows.len() > self.per_shard {
+            // Evict the least-recently-touched row in this shard.
+            if let Some(&victim) = s
+                .rows
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                s.rows.remove(&victim);
+            }
+        }
+        out
+    }
+
+    /// Number of rows currently cached across all shards.
+    pub fn cached_rows(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("oracle shard poisoned").rows.len())
+            .sum()
+    }
+
+    /// Heap footprint of the cached rows, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("oracle shard poisoned")
+                    .rows
+                    .values()
+                    .map(|(row, _)| row.bytes())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The underlying graph (lazy backends own a copy).
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Double-sweep diameter estimate: the farthest node from an
+    /// arbitrary start, then the eccentricity of that node. Always a
+    /// lower bound on the true diameter `D`, never below `D/2`.
+    fn double_sweep(&self) -> f64 {
+        let first = self.row(NodeId(0));
+        let a = first
+            .farthest()
+            .expect("non-empty graph has a farthest node");
+        self.row(a).max()
+    }
+}
+
+impl DistanceOracle for LazyOracle {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        self.row(u).dist(v)
+    }
+
+    fn diameter(&self) -> f64 {
+        *self.diameter.get_or_init(|| self.double_sweep())
+    }
+
+    fn ball(&self, u: NodeId, r: f64) -> Vec<NodeId> {
+        self.row(u).ball(r)
+    }
+
+    fn ball_size(&self, u: NodeId, r: f64) -> usize {
+        self.row(u).ball_size(r)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        LazyOracle::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::DenseOracle;
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dist_matches_dense() {
+        let g = generators::random_geometric(50, 8.0, 2.5, 17).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let lazy = LazyOracle::new(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(lazy.dist(u, v), dense.dist(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn ball_matches_dense_exactly() {
+        let g = generators::grid(7, 6).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let lazy = LazyOracle::new(&g).unwrap();
+        for u in g.nodes() {
+            for r in [0.0, 1.0, 2.0, 3.5, 20.0] {
+                assert_eq!(lazy.ball(u, r), dense.ball(u, r), "u = {u}, r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_exact_on_grid() {
+        let g = generators::grid(8, 8).unwrap();
+        let lazy = LazyOracle::new(&g).unwrap();
+        assert_eq!(lazy.diameter(), 14.0);
+    }
+
+    #[test]
+    fn diameter_estimate_within_bounds() {
+        for seed in 0..8 {
+            let g = generators::random_geometric(40, 8.0, 2.5, seed).unwrap();
+            let exact = DenseOracle::build(&g).unwrap().diameter();
+            let est = LazyOracle::new(&g).unwrap().diameter();
+            assert!(
+                est <= exact + 1e-6 && est >= exact / 2.0 - 1e-6,
+                "seed {seed}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_evicts_down_to_capacity() {
+        let g = generators::grid(10, 10).unwrap();
+        // 16 shards, 1 row per shard.
+        let lazy = LazyOracle::with_row_capacity(&g, 1).unwrap();
+        for u in g.nodes() {
+            lazy.dist(u, NodeId(0));
+        }
+        assert!(
+            lazy.cached_rows() <= SHARDS,
+            "cache grew past capacity: {}",
+            lazy.cached_rows()
+        );
+        // Evicted rows recompute transparently.
+        assert_eq!(lazy.dist(NodeId(0), NodeId(99)), 18.0);
+    }
+
+    #[test]
+    fn memory_stays_below_dense() {
+        let g = generators::grid(16, 16).unwrap(); // 256 nodes
+        let lazy = LazyOracle::with_row_capacity(&g, 16).unwrap();
+        for u in g.nodes() {
+            lazy.ball(u, 3.0);
+        }
+        let dense_bytes = 256 * 256 * 4;
+        assert!(
+            lazy.memory_bytes() < dense_bytes / 2,
+            "lazy {} vs dense {}",
+            lazy.memory_bytes(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let g = generators::grid(12, 12).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let lazy = LazyOracle::with_row_capacity(&g, 8).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (lazy, dense, g) = (&lazy, &dense, &g);
+                s.spawn(move || {
+                    for u in g.nodes().skip(t).step_by(4) {
+                        for v in g.nodes().step_by(7) {
+                            assert_eq!(lazy.dist(u, v), dense.dist(u, v));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_bad_graphs() {
+        let mut b = crate::builder::GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build_unchecked();
+        assert!(matches!(LazyOracle::new(&g), Err(NetError::Disconnected)));
+    }
+}

@@ -1,0 +1,333 @@
+//! Pluggable distance oracles.
+//!
+//! Every cost account and hierarchy radius query in the suite goes
+//! through the [`DistanceOracle`] trait: "how far apart are `u` and
+//! `v`?", "which nodes lie within `r` of `u`?", "what is the network
+//! diameter?". Three backends implement it:
+//!
+//! * [`DenseOracle`] — the precomputed all-pairs matrix (parallel
+//!   Dijkstra, O(n²) f32 storage). Exact everything; the right choice
+//!   up to a few thousand nodes ([`OracleKind::DENSE_NODE_LIMIT`]).
+//! * [`LazyOracle`] — per-source Dijkstra rows computed on demand and
+//!   kept in a sharded LRU cache. O(cached · n) memory; the diameter is
+//!   a double-sweep estimate (a lower bound within 2× of the true
+//!   diameter, exact on trees and grids).
+//! * [`HybridOracle`] — lazy rows plus an explicitly pinned hot set
+//!   (hierarchy-internal nodes: every detection-list probe and
+//!   parent-set scan hits them), so the hot rows never churn out of
+//!   cache.
+//!
+//! All three quantize distances through `f32` exactly like the dense
+//! matrix always has, so switching backends never changes a cost
+//! account (see the `oracle_differential` integration tests).
+//!
+//! [`OracleKind`] is the configuration-level selector; consumers take
+//! `&dyn DistanceOracle` and never name a concrete backend.
+
+mod dense;
+mod hybrid;
+mod lazy;
+
+pub use dense::DenseOracle;
+pub use hybrid::HybridOracle;
+pub use lazy::LazyOracle;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Shortest-path distance queries over a fixed connected graph.
+///
+/// Implementations are thread-safe (`Send + Sync`) so one oracle can
+/// back parallel construction and concurrent replay. Distances are
+/// quantized through `f32` by every backend, which keeps cost accounts
+/// bit-identical when backends are swapped.
+pub trait DistanceOracle: Send + Sync {
+    /// Number of nodes covered by the oracle.
+    fn node_count(&self) -> usize;
+
+    /// Shortest-path distance between `u` and `v`.
+    fn dist(&self, u: NodeId, v: NodeId) -> f64;
+
+    /// Network diameter `D = max_{u,v} dist(u, v)` — or, for lazy
+    /// backends, a documented estimate `est` with `D/2 ≤ est ≤ D`.
+    fn diameter(&self) -> f64;
+
+    /// All nodes within distance `r` of `u` (inclusive; includes `u`) —
+    /// the paper's neighborhood `N(u, r)` — sorted by distance from
+    /// `u`, ties by node id.
+    fn ball(&self, u: NodeId, r: f64) -> Vec<NodeId>;
+
+    /// Number of nodes within distance `r` of `u` (inclusive).
+    fn ball_size(&self, u: NodeId, r: f64) -> usize {
+        self.ball(u, r).len()
+    }
+
+    /// The member of `candidates` nearest to `u`, ties broken by
+    /// smallest node id (the paper breaks parent ties arbitrarily; ID
+    /// order keeps runs reproducible). `None` on an empty list.
+    fn nearest_in(&self, u: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        candidates.iter().copied().min_by(|&a, &b| {
+            self.dist(u, a)
+                .partial_cmp(&self.dist(u, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        })
+    }
+
+    /// Total length of a node walk `p_0 → p_1 → … → p_k` where
+    /// consecutive hops travel along shortest physical paths (the cost
+    /// model for all overlay messages).
+    fn walk_length(&self, walk: &[NodeId]) -> f64 {
+        walk.windows(2).map(|w| self.dist(w[0], w[1])).sum()
+    }
+
+    /// Approximate heap footprint of the backend's distance storage at
+    /// call time, in bytes: the full matrix for dense, the cached /
+    /// pinned rows for the lazy backends. Experiment reports use this to
+    /// compare backends at scale.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Boxed oracles are oracles, so owners of a `Box<dyn DistanceOracle>`
+/// can hand out `&self.oracle` wherever `&dyn DistanceOracle` is asked
+/// for.
+impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        (**self).dist(u, v)
+    }
+
+    fn diameter(&self) -> f64 {
+        (**self).diameter()
+    }
+
+    fn ball(&self, u: NodeId, r: f64) -> Vec<NodeId> {
+        (**self).ball(u, r)
+    }
+
+    fn ball_size(&self, u: NodeId, r: f64) -> usize {
+        (**self).ball_size(u, r)
+    }
+
+    fn nearest_in(&self, u: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        (**self).nearest_in(u, candidates)
+    }
+
+    fn walk_length(&self, walk: &[NodeId]) -> f64 {
+        (**self).walk_length(walk)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+impl std::fmt::Debug for dyn DistanceOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceOracle")
+            .field("node_count", &self.node_count())
+            .finish()
+    }
+}
+
+/// One source node's distances, shared by the lazy backends and the
+/// dense sorted index: distances by node index plus a
+/// sorted-by-(distance, id) view so `ball` is a binary search + slice.
+#[derive(Clone, Debug)]
+pub(crate) struct DistRow {
+    /// f32-quantized distance to every node, indexed by node id.
+    by_node: Vec<f32>,
+    /// `(dist, node)` ascending by distance, ties by node id.
+    sorted: Vec<(f32, u32)>,
+}
+
+impl DistRow {
+    /// Builds a row from f64 Dijkstra output, quantizing through f32
+    /// exactly like the dense matrix does.
+    pub(crate) fn from_dijkstra(dists: &[f64]) -> Self {
+        let by_node: Vec<f32> = dists.iter().map(|&d| d as f32).collect();
+        Self::from_f32(by_node)
+    }
+
+    pub(crate) fn from_f32(by_node: Vec<f32>) -> Self {
+        let mut sorted: Vec<(f32, u32)> = by_node
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
+        sorted.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        DistRow { by_node, sorted }
+    }
+
+    #[inline]
+    pub(crate) fn dist(&self, v: NodeId) -> f64 {
+        self.by_node[v.index()] as f64
+    }
+
+    #[inline]
+    pub(crate) fn max(&self) -> f64 {
+        self.sorted.last().map(|&(d, _)| d as f64).unwrap_or(0.0)
+    }
+
+    /// The node farthest from the source (deterministic under ties),
+    /// `None` on an empty row.
+    #[inline]
+    pub(crate) fn farthest(&self) -> Option<NodeId> {
+        self.sorted.last().map(|&(_, i)| NodeId(i))
+    }
+
+    /// Index of the first sorted entry strictly beyond `r`.
+    #[inline]
+    fn cut(&self, r: f64) -> usize {
+        self.sorted.partition_point(|&(d, _)| (d as f64) <= r)
+    }
+
+    /// Nodes within `r`, sorted by (distance, id).
+    pub(crate) fn ball(&self, r: f64) -> Vec<NodeId> {
+        self.sorted[..self.cut(r)]
+            .iter()
+            .map(|&(_, i)| NodeId(i))
+            .collect()
+    }
+
+    pub(crate) fn ball_size(&self, r: f64) -> usize {
+        self.cut(r)
+    }
+
+    /// Approximate heap footprint, for cache accounting.
+    pub(crate) fn bytes(&self) -> usize {
+        self.by_node.len() * std::mem::size_of::<f32>()
+            + self.sorted.len() * std::mem::size_of::<(f32, u32)>()
+    }
+}
+
+/// Which distance backend to run an experiment on.
+///
+/// `Auto` picks [`DenseOracle`] up to [`OracleKind::DENSE_NODE_LIMIT`]
+/// nodes (where the n² matrix is cheap and exact) and [`LazyOracle`]
+/// beyond it. Re-exported through `mot_core::config` for experiment
+/// configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Dense for small deployments, lazy past the node limit.
+    #[default]
+    Auto,
+    Dense,
+    Lazy,
+    Hybrid,
+}
+
+impl OracleKind {
+    /// Largest node count `Auto` still solves densely: a 64×64 grid,
+    /// 4096² f32 entries = 64 MiB. A 128×128 grid would already need
+    /// 1 GiB — that is what the lazy backends exist for.
+    pub const DENSE_NODE_LIMIT: usize = 4096;
+
+    /// The concrete backend `Auto` resolves to for an `n`-node graph.
+    pub fn resolve(self, n: usize) -> OracleKind {
+        match self {
+            OracleKind::Auto => {
+                if n <= Self::DENSE_NODE_LIMIT {
+                    OracleKind::Dense
+                } else {
+                    OracleKind::Lazy
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Builds the selected backend for `g`.
+    pub fn build(self, g: &Graph) -> Result<Box<dyn DistanceOracle>> {
+        Ok(match self.resolve(g.node_count()) {
+            OracleKind::Dense => Box::new(DenseOracle::build(g)?),
+            OracleKind::Lazy => Box::new(LazyOracle::new(g)?),
+            OracleKind::Hybrid => Box::new(HybridOracle::new(g)?),
+            OracleKind::Auto => unreachable!("resolve never returns Auto"),
+        })
+    }
+
+    /// CLI / config spelling.
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        match s {
+            "auto" => Some(OracleKind::Auto),
+            "dense" => Some(OracleKind::Dense),
+            "lazy" => Some(OracleKind::Lazy),
+            "hybrid" => Some(OracleKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            OracleKind::Auto => "auto",
+            OracleKind::Dense => "dense",
+            OracleKind::Lazy => "lazy",
+            OracleKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dist_row_ball_is_binary_search_prefix() {
+        let row = DistRow::from_dijkstra(&[0.0, 1.0, 1.0, 2.0, 5.0]);
+        assert_eq!(row.dist(NodeId(3)), 2.0);
+        assert_eq!(row.ball(1.0), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(row.ball_size(1.0), 3);
+        assert_eq!(row.ball_size(4.999), 4);
+        assert_eq!(row.ball(-1.0), Vec::<NodeId>::new());
+        assert_eq!(row.max(), 5.0);
+    }
+
+    #[test]
+    fn auto_resolves_by_node_count() {
+        assert_eq!(OracleKind::Auto.resolve(4096), OracleKind::Dense);
+        assert_eq!(OracleKind::Auto.resolve(4097), OracleKind::Lazy);
+        assert_eq!(OracleKind::Lazy.resolve(10), OracleKind::Lazy);
+        assert_eq!(OracleKind::Hybrid.resolve(10_000), OracleKind::Hybrid);
+    }
+
+    #[test]
+    fn kind_parse_and_label_roundtrip() {
+        for kind in [
+            OracleKind::Auto,
+            OracleKind::Dense,
+            OracleKind::Lazy,
+            OracleKind::Hybrid,
+        ] {
+            assert_eq!(OracleKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(OracleKind::parse("sparse"), None);
+    }
+
+    #[test]
+    fn factory_builds_every_backend() {
+        let g = generators::grid(4, 4).unwrap();
+        for kind in [
+            OracleKind::Auto,
+            OracleKind::Dense,
+            OracleKind::Lazy,
+            OracleKind::Hybrid,
+        ] {
+            let o = kind.build(&g).unwrap();
+            assert_eq!(o.node_count(), 16);
+            assert_eq!(o.dist(NodeId(0), NodeId(15)), 6.0);
+        }
+    }
+
+    #[test]
+    fn trait_object_debug_is_printable() {
+        let g = generators::grid(3, 3).unwrap();
+        let o = OracleKind::Dense.build(&g).unwrap();
+        assert!(format!("{o:?}").contains("node_count"));
+    }
+}

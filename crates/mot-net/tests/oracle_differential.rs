@@ -1,0 +1,183 @@
+//! Backend parity: the lazy and hybrid oracles must agree with the
+//! dense matrix on every query the tracking stack issues.
+//!
+//! `dist` and `ball` agree *exactly* — all backends quantize through
+//! `f32` and Dijkstra is deterministic, so swapping backends can never
+//! change a cost account. `diameter` is exact for dense; the lazy
+//! double-sweep estimate must sit in the documented `[D/2, D]` band
+//! (and be exact on grids).
+
+use mot_net::{
+    generators, DenseOracle, DistanceOracle, Graph, HybridOracle, LazyOracle, NodeId, OracleKind,
+};
+
+/// The topology families the evaluation sweeps.
+fn topologies() -> Vec<(String, Graph)> {
+    let mut out: Vec<(String, Graph)> = vec![
+        ("grid-9x7".into(), generators::grid(9, 7).unwrap()),
+        ("ring-40".into(), generators::ring(40).unwrap()),
+        ("line-30".into(), generators::line(30).unwrap()),
+        ("torus-6x6".into(), generators::torus(6, 6).unwrap()),
+    ];
+    for seed in [2, 11, 29] {
+        out.push((
+            format!("udg-{seed}"),
+            generators::random_geometric(50, 8.0, 2.5, seed).unwrap(),
+        ));
+    }
+    for seed in [5, 13] {
+        out.push((
+            format!("tree-{seed}"),
+            generators::random_tree(45, seed).unwrap(),
+        ));
+    }
+    out
+}
+
+/// All three backends over the same graph; hybrid gets a pinned subset
+/// so both its row paths (pinned and LRU) are exercised.
+fn backends(g: &Graph) -> Vec<(&'static str, Box<dyn DistanceOracle>)> {
+    let hybrid = HybridOracle::new(g).unwrap();
+    let pins: Vec<NodeId> = g.nodes().step_by(4).collect();
+    hybrid.pin(&pins);
+    vec![
+        (
+            "lazy",
+            Box::new(LazyOracle::new(g).unwrap()) as Box<dyn DistanceOracle>,
+        ),
+        (
+            "lazy-tiny-cache",
+            Box::new(LazyOracle::with_row_capacity(g, 2).unwrap()),
+        ),
+        ("hybrid", Box::new(hybrid)),
+    ]
+}
+
+#[test]
+fn dist_is_bit_identical_across_backends() {
+    for (name, g) in topologies() {
+        let dense = DenseOracle::build(&g).unwrap();
+        for (backend, oracle) in backends(&g) {
+            assert_eq!(oracle.node_count(), dense.node_count(), "{name}/{backend}");
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let (got, want) = (oracle.dist(u, v), dense.dist(u, v));
+                    assert!(
+                        got == want,
+                        "{name}/{backend}: dist({u},{v}) = {got} != {want}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ball_contents_and_order_match_dense() {
+    for (name, g) in topologies() {
+        let dense = DenseOracle::build(&g).unwrap();
+        let radii = [
+            0.0,
+            0.5,
+            1.0,
+            2.0,
+            3.5,
+            dense.diameter() / 2.0,
+            dense.diameter(),
+        ];
+        for (backend, oracle) in backends(&g) {
+            for u in g.nodes().step_by(3) {
+                for r in radii {
+                    assert_eq!(
+                        oracle.ball(u, r),
+                        dense.ball(u, r),
+                        "{name}/{backend}: ball({u}, {r})"
+                    );
+                    assert_eq!(
+                        oracle.ball_size(u, r),
+                        dense.ball_size(u, r),
+                        "{name}/{backend}: ball_size({u}, {r})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nearest_and_walks_match_dense() {
+    for (name, g) in topologies() {
+        let dense = DenseOracle::build(&g).unwrap();
+        let candidates: Vec<NodeId> = g.nodes().step_by(5).collect();
+        let walk: Vec<NodeId> = g.nodes().step_by(7).collect();
+        for (backend, oracle) in backends(&g) {
+            for u in g.nodes().step_by(2) {
+                assert_eq!(
+                    oracle.nearest_in(u, &candidates),
+                    dense.nearest_in(u, &candidates),
+                    "{name}/{backend}: nearest_in({u})"
+                );
+            }
+            assert_eq!(
+                oracle.walk_length(&walk),
+                dense.walk_length(&walk),
+                "{name}/{backend}"
+            );
+        }
+    }
+}
+
+#[test]
+fn diameter_estimates_stay_in_the_documented_band() {
+    for (name, g) in topologies() {
+        let exact = DenseOracle::build(&g).unwrap().diameter();
+        for (backend, oracle) in backends(&g) {
+            let est = oracle.diameter();
+            assert!(
+                est <= exact + 1e-9 && est >= exact / 2.0 - 1e-9,
+                "{name}/{backend}: diameter estimate {est} outside [{}, {exact}]",
+                exact / 2.0
+            );
+        }
+    }
+}
+
+#[test]
+fn diameter_is_exact_on_grids_and_trees() {
+    // Double sweep is exact on trees; on grids the corner reached by the
+    // first sweep realizes the true diameter.
+    for (name, g) in [
+        ("grid", generators::grid(12, 9).unwrap()),
+        ("line", generators::line(64).unwrap()),
+        ("tree", generators::random_tree(80, 3).unwrap()),
+    ] {
+        let exact = DenseOracle::build(&g).unwrap().diameter();
+        let lazy = LazyOracle::new(&g).unwrap();
+        assert_eq!(lazy.diameter(), exact, "{name}");
+    }
+}
+
+#[test]
+fn factory_backends_agree_on_shared_queries() {
+    let g = generators::grid(10, 10).unwrap();
+    let oracles: Vec<Box<dyn DistanceOracle>> = [
+        OracleKind::Dense,
+        OracleKind::Lazy,
+        OracleKind::Hybrid,
+        OracleKind::Auto,
+    ]
+    .into_iter()
+    .map(|k| k.build(&g).unwrap())
+    .collect();
+    for u in g.nodes().step_by(3) {
+        for v in g.nodes().step_by(4) {
+            let d0 = oracles[0].dist(u, v);
+            for o in &oracles[1..] {
+                assert_eq!(o.dist(u, v), d0, "({u},{v})");
+            }
+        }
+    }
+    for o in &oracles {
+        assert_eq!(o.diameter(), 18.0);
+    }
+}

@@ -29,11 +29,11 @@
 //! ```
 //! use mot_core::{MotConfig, ObjectId, Tracker};
 //! use mot_hierarchy::{build_doubling, OverlayConfig};
-//! use mot_net::{generators, DistanceMatrix, NodeId};
+//! use mot_net::{generators, DenseOracle, NodeId};
 //! use mot_proto::{BatchOp, ProtoTracker};
 //!
 //! let g = generators::grid(6, 6)?;
-//! let m = DistanceMatrix::build(&g)?;
+//! let m = DenseOracle::build(&g)?;
 //! let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
 //! let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
 //!

@@ -13,7 +13,7 @@
 use crate::message::{Message, Payload};
 use mot_core::ObjectId;
 use mot_hierarchy::Overlay;
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use std::collections::HashMap;
 
 /// One detection-list entry with its distributed routing state.
@@ -31,7 +31,7 @@ pub struct DlEntry {
 /// Context shared by every handler invocation.
 pub struct Ctx<'a> {
     pub overlay: &'a Overlay,
-    pub oracle: &'a DistanceMatrix,
+    pub oracle: &'a dyn DistanceOracle,
     pub use_special_parents: bool,
 }
 

@@ -7,7 +7,7 @@ use crate::node::{Ctx, DlEntry, NodeState};
 use crate::transport::{TimedTransport, Transport};
 use mot_core::{CoreError, MotConfig, MoveOutcome, ObjectId, QueryResult, Tracker};
 use mot_hierarchy::Overlay;
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -48,7 +48,7 @@ pub struct BatchOutcome {
 
 struct Inner<'a> {
     overlay: &'a Overlay,
-    oracle: &'a DistanceMatrix,
+    oracle: &'a dyn DistanceOracle,
     use_special_parents: bool,
     nodes: Vec<NodeState>,
     transport: Transport,
@@ -141,7 +141,7 @@ impl<'a> ProtoTracker<'a> {
     /// `use_special_parents` switch of `cfg` applies (the message runtime
     /// models plain MOT; load balancing composes at the storage layer and
     /// is exercised through the direct implementation).
-    pub fn new(overlay: &'a Overlay, oracle: &'a DistanceMatrix, cfg: &MotConfig) -> Self {
+    pub fn new(overlay: &'a Overlay, oracle: &'a dyn DistanceOracle, cfg: &MotConfig) -> Self {
         ProtoTracker {
             inner: RefCell::new(Inner {
                 overlay,
@@ -389,10 +389,11 @@ mod tests {
     use super::*;
     use mot_hierarchy::{build_doubling, OverlayConfig};
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
-    fn env() -> (mot_net::Graph, DistanceMatrix) {
+    fn env() -> (mot_net::Graph, DenseOracle) {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         (g, m)
     }
 
@@ -564,7 +565,7 @@ mod tests {
     #[should_panic(expected = "distinct objects")]
     fn batch_rejects_duplicate_objects() {
         let g = generators::grid(3, 3).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
         let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
         let _ = t.run_batch(

@@ -7,7 +7,7 @@
 //! bookkeeping (special-parent updates, repoints) and from query replies.
 
 use crate::message::{Message, Payload};
-use mot_net::DistanceMatrix;
+use mot_net::DistanceOracle;
 use std::collections::{HashMap, VecDeque};
 
 /// Per-kind accumulated message distance.
@@ -67,7 +67,7 @@ impl Transport {
     }
 
     /// Pops the next message, billing its travel distance.
-    pub fn deliver(&mut self, oracle: &DistanceMatrix) -> Option<Message> {
+    pub fn deliver(&mut self, oracle: &dyn DistanceOracle) -> Option<Message> {
         let msg = self.queue.pop_front()?;
         let dist = oracle.dist(msg.src, msg.dst);
         self.ledger.bill(&msg.payload, dist);
@@ -136,7 +136,7 @@ impl TimedTransport {
     }
 
     /// Schedules `msg` sent at time `sent_at`.
-    pub fn send_at(&mut self, msg: Message, sent_at: f64, oracle: &DistanceMatrix) {
+    pub fn send_at(&mut self, msg: Message, sent_at: f64, oracle: &dyn DistanceOracle) {
         let mut deliver_at = sent_at + oracle.dist(msg.src, msg.dst);
         if self.period_base > 0.0 {
             if let Some(level) = msg.payload.level_entry() {
@@ -154,7 +154,7 @@ impl TimedTransport {
 
     /// Pops the earliest message, advancing the clock and billing its
     /// distance.
-    pub fn deliver(&mut self, oracle: &DistanceMatrix) -> Option<Message> {
+    pub fn deliver(&mut self, oracle: &dyn DistanceOracle) -> Option<Message> {
         let Scheduled {
             deliver_at, msg, ..
         } = self.heap.pop()?;
@@ -175,6 +175,7 @@ impl TimedTransport {
 mod tests {
     use super::*;
     use mot_core::ObjectId;
+    use mot_net::DenseOracle;
     use mot_net::{generators, NodeId};
 
     fn msg(src: u32, dst: u32, payload: Payload) -> Message {
@@ -188,7 +189,7 @@ mod tests {
     #[test]
     fn deliveries_are_fifo_and_billed_by_distance() {
         let g = generators::line(5).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let mut t = Transport::new();
         t.send(msg(
             0,
@@ -222,7 +223,7 @@ mod tests {
     #[test]
     fn timed_transport_orders_by_arrival() {
         let g = generators::line(6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let mut t = TimedTransport::new(0.0);
         // sent simultaneously: the shorter hop arrives first
         t.send_at(
@@ -261,7 +262,7 @@ mod tests {
     #[test]
     fn period_gate_delays_level_entries() {
         let g = generators::line(8).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let climb_into_level_2 = Payload::Climb {
             object: ObjectId(0),
             origin: NodeId(0),
@@ -311,7 +312,7 @@ mod tests {
     #[test]
     fn reset_clears_operation_counters() {
         let g = generators::line(3).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let mut t = Transport::new();
         t.send(msg(
             0,

@@ -9,18 +9,18 @@
 
 use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
 use mot_hierarchy::{build_doubling, Overlay, OverlayConfig};
-use mot_net::{generators, DistanceMatrix, Graph};
+use mot_net::{generators, DenseOracle, Graph};
 use mot_proto::ProtoTracker;
 use mot_sim::{MobilityModel, WorkloadSpec};
 
 struct Env {
     graph: Graph,
-    oracle: DistanceMatrix,
+    oracle: DenseOracle,
     overlay: Overlay,
 }
 
 fn env(g: Graph, seed: u64, cfg: &OverlayConfig) -> Env {
-    let oracle = DistanceMatrix::build(&g).unwrap();
+    let oracle = DenseOracle::build(&g).unwrap();
     let overlay = build_doubling(&g, &oracle, cfg, seed);
     Env {
         graph: g,

@@ -7,7 +7,7 @@
 
 use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
 use mot_hierarchy::{build_doubling, OverlayConfig};
-use mot_net::{generators, DistanceMatrix, NodeId};
+use mot_net::{generators, DenseOracle, NodeId};
 use mot_proto::ProtoTracker;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -26,7 +26,7 @@ fn proto_and_direct_agree_on_random_walks() {
 
         let g =
             generators::random_geometric(n, 8.0, 2.6, graph_seed).expect("connected deployment");
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
         let cfg = if use_sp {
             MotConfig::plain()

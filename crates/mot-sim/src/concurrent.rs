@@ -20,7 +20,7 @@ use crate::metrics::CostStats;
 use crate::mobility::Workload;
 use mot_baselines::TreeTracker;
 use mot_core::{MotTracker, ObjectId, Result, Tracker};
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Ordering;
@@ -197,7 +197,7 @@ impl ConcurrentEngine {
     pub fn run<S: ClimbStructure + ?Sized>(
         tracker: &mut S,
         workload: &Workload,
-        oracle: &DistanceMatrix,
+        oracle: &dyn DistanceOracle,
         cfg: &ConcurrentConfig,
     ) -> Result<ConcurrentOutcome> {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -224,7 +224,7 @@ impl ConcurrentEngine {
         tracker: &mut S,
         object: ObjectId,
         destinations: &[crate::mobility::MoveOp],
-        oracle: &DistanceMatrix,
+        oracle: &dyn DistanceOracle,
         cfg: &ConcurrentConfig,
         rng: &mut ChaCha8Rng,
         outcome: &mut ConcurrentOutcome,
@@ -342,7 +342,7 @@ impl ConcurrentEngine {
 
     /// Distance already travelled along an op's climb path up to its
     /// current position.
-    fn climb_cost(op: &Op, oracle: &DistanceMatrix) -> f64 {
+    fn climb_cost(op: &Op, oracle: &dyn DistanceOracle) -> f64 {
         op.path[..=op.pos]
             .windows(2)
             .map(|w| oracle.dist(w[0].0, w[1].0))
@@ -356,7 +356,7 @@ impl ConcurrentEngine {
         tracker: &S,
         op: &Op,
         object: ObjectId,
-        oracle: &DistanceMatrix,
+        oracle: &dyn DistanceOracle,
     ) -> f64 {
         let mut cost = 0.0;
         for w in op.path.windows(2) {
@@ -376,7 +376,7 @@ impl ConcurrentEngine {
         ops: &mut [Op],
         op_idx: usize,
         now: f64,
-        oracle: &DistanceMatrix,
+        oracle: &dyn DistanceOracle,
         heap: &mut BinaryHeap<Event>,
     ) {
         let op = &mut ops[op_idx];
@@ -410,10 +410,11 @@ mod tests {
     use mot_core::{MotConfig, MotTracker};
     use mot_hierarchy::{build_doubling, OverlayConfig};
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
-    fn grid_env() -> (mot_net::Graph, DistanceMatrix, mot_hierarchy::Overlay) {
+    fn grid_env() -> (mot_net::Graph, DenseOracle, mot_hierarchy::Overlay) {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let o = build_doubling(&g, &m, &OverlayConfig::practical(), 5);
         (g, m, o)
     }
@@ -510,7 +511,7 @@ mod tests {
     #[test]
     fn tree_trackers_run_concurrently_too() {
         let g = generators::grid(5, 5).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let w = WorkloadSpec::new(2, 30, 4).generate(&g);
         let rates = DetectionRates::from_moves(&g, &w.move_pairs());
         let tree: TrackingTree = build_stun(&g, &rates);

@@ -1,0 +1,84 @@
+//! Simulation-level errors.
+
+use mot_core::{CoreError, ObjectId};
+use mot_net::NodeId;
+
+/// Errors surfaced while driving a tracker through a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The tracker's proxy record no longer matches the workload trace:
+    /// at `step`, the trace says `object` moves from `expected`, but the
+    /// structure believed it was at `actual`. Either the workload was
+    /// generated against a different initial state or the structure
+    /// corrupted its records — both invalidate every cost account after
+    /// this point, so replay stops here.
+    TraceDiverged {
+        /// Index of the offending move in `workload.moves`.
+        step: usize,
+        object: ObjectId,
+        /// Proxy the trace expects the object to move from.
+        expected: NodeId,
+        /// Proxy the structure actually recorded.
+        actual: NodeId,
+    },
+    /// An error reported by the tracker itself.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TraceDiverged {
+                step,
+                object,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replay diverged from trace at move {step}: object {object:?} \
+                 expected at {expected}, structure records {actual}"
+            ),
+            SimError::Core(e) => write!(f, "tracker error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_divergence() {
+        let e = SimError::TraceDiverged {
+            step: 7,
+            object: ObjectId(2),
+            expected: NodeId(3),
+            actual: NodeId(5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("move 7"), "{msg}");
+        assert!(msg.contains('3') && msg.contains('5'), "{msg}");
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let core = CoreError::UnknownObject(ObjectId(1));
+        let sim: SimError = core.clone().into();
+        assert_eq!(sim, SimError::Core(core));
+    }
+}

@@ -35,10 +35,11 @@
 //!
 //! let queries = run_queries(tracker.as_ref(), &bed.oracle, 3, 50, 2)?;
 //! assert_eq!(queries.correct, 50); // every query finds the true proxy
-//! # Ok::<(), mot_core::CoreError>(())
+//! # Ok::<(), mot_sim::SimError>(())
 //! ```
 
 pub mod concurrent;
+pub mod error;
 pub mod io;
 pub mod metrics;
 pub mod mobility;
@@ -46,6 +47,7 @@ pub mod run;
 pub mod testbed;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentEngine};
+pub use error::SimError;
 pub use io::{load_workload, save_workload, validate_against};
 pub use metrics::{CostStats, LoadStats};
 pub use mobility::{MobilityModel, MoveOp, Workload, WorkloadSpec};

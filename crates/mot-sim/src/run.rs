@@ -4,10 +4,11 @@
 //! case, matching scenarios where event inter-arrival times dwarf message
 //! propagation times).
 
+use crate::error::SimError;
 use crate::metrics::CostStats;
 use crate::mobility::Workload;
 use mot_core::{ObjectId, Result, Tracker};
-use mot_net::{DistanceMatrix, NodeId};
+use mot_net::{DistanceOracle, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -23,18 +24,27 @@ pub fn run_publish(tracker: &mut dyn Tracker, workload: &Workload) -> Result<f64
 
 /// Replays the maintenance operations one by one, verifying each move's
 /// provenance and accumulating algorithm-vs-optimal cost.
+///
+/// Every move's `from` is checked against the structure's proxy record;
+/// a mismatch aborts the replay with [`SimError::TraceDiverged`] — cost
+/// accounts after a divergence would compare the algorithm against the
+/// wrong optimal.
 pub fn replay_moves(
     tracker: &mut dyn Tracker,
     workload: &Workload,
-    oracle: &DistanceMatrix,
-) -> Result<CostStats> {
+    oracle: &dyn DistanceOracle,
+) -> std::result::Result<CostStats, SimError> {
     let mut stats = CostStats::default();
-    for m in &workload.moves {
+    for (step, m) in workload.moves.iter().enumerate() {
         let outcome = tracker.move_object(m.object, m.to)?;
-        debug_assert_eq!(
-            outcome.from, m.from,
-            "structure proxy record diverged from the trace"
-        );
+        if outcome.from != m.from {
+            return Err(SimError::TraceDiverged {
+                step,
+                object: m.object,
+                expected: m.from,
+                actual: outcome.from,
+            });
+        }
         stats.record(outcome.cost, oracle.dist(m.from, m.to));
     }
     Ok(stats)
@@ -56,7 +66,7 @@ pub struct QueryBatchStats {
 /// `dist(requester, proxy)`.
 pub fn run_queries(
     tracker: &dyn Tracker,
-    oracle: &DistanceMatrix,
+    oracle: &dyn DistanceOracle,
     object_count: usize,
     count: usize,
     seed: u64,
@@ -91,7 +101,7 @@ pub fn run_queries(
 /// local queries are where sink-routed baselines pay their detour.
 pub fn run_local_queries(
     tracker: &dyn Tracker,
-    oracle: &DistanceMatrix,
+    oracle: &dyn DistanceOracle,
     object_count: usize,
     radius: f64,
     count: usize,
@@ -127,11 +137,12 @@ mod tests {
     use mot_core::{MotConfig, MotTracker};
     use mot_hierarchy::{build_doubling, OverlayConfig};
     use mot_net::generators;
+    use mot_net::DenseOracle;
 
     #[test]
     fn full_pipeline_on_mot() {
         let g = generators::grid(6, 6).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
         let w = WorkloadSpec::new(5, 100, 1).generate(&g);
@@ -158,7 +169,7 @@ mod tests {
     #[test]
     fn local_queries_come_from_within_the_radius() {
         let g = generators::grid(8, 8).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
         let w = WorkloadSpec::new(4, 50, 2).generate(&g);
@@ -172,9 +183,39 @@ mod tests {
     }
 
     #[test]
+    fn replay_detects_trace_divergence() {
+        use crate::mobility::MoveOp;
+        let g = generators::grid(4, 4).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
+        let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
+        t.publish(ObjectId(0), NodeId(5)).unwrap();
+        // The trace believes the object starts at node 0; the structure
+        // has it at node 5.
+        let w = Workload {
+            initial: vec![NodeId(0)],
+            moves: vec![MoveOp {
+                object: ObjectId(0),
+                from: NodeId(0),
+                to: NodeId(1),
+            }],
+        };
+        let err = replay_moves(&mut t, &w, &m).unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimError::TraceDiverged {
+                step: 0,
+                object: ObjectId(0),
+                expected: NodeId(0),
+                actual: NodeId(5),
+            }
+        );
+    }
+
+    #[test]
     fn query_batch_counts_zero_distance_cases() {
         let g = generators::grid(3, 3).unwrap();
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
         let mut t = MotTracker::new(&overlay, &m, MotConfig::plain());
         // park one object on every node: many queries hit distance zero

@@ -10,7 +10,7 @@ use crate::concurrent::ClimbStructure;
 use mot_baselines::{build_dat, build_stun, build_zdat, DetectionRates, TreeTracker, ZdatParams};
 use mot_core::{MotConfig, MotTracker};
 use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
-use mot_net::{DistanceMatrix, Graph, NodeId};
+use mot_net::{DistanceOracle, Graph, HybridOracle, NodeId, OracleKind};
 
 /// The algorithms compared in the paper's evaluation, plus the ablation
 /// variants this reproduction adds.
@@ -53,9 +53,16 @@ impl Algo {
 }
 
 /// A topology with its oracle and overlay, ready to instantiate trackers.
+///
+/// The oracle is a boxed [`DistanceOracle`] chosen via [`OracleKind`]:
+/// dense (exact all-pairs matrix) by default up to
+/// [`OracleKind::DENSE_NODE_LIMIT`] nodes, lazy per-source rows beyond
+/// that. With the hybrid backend the bed pins every hierarchy-internal
+/// node's row right after overlay construction, so the hot set never
+/// churns out of the row cache.
 pub struct TestBed {
     pub graph: Graph,
-    pub oracle: DistanceMatrix,
+    pub oracle: Box<dyn DistanceOracle>,
     pub overlay: Overlay,
 }
 
@@ -69,20 +76,55 @@ impl TestBed {
 
     /// Builds a bed with an explicit overlay configuration.
     pub fn with_config(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
-        let oracle = DistanceMatrix::build(&graph).expect("connected graph");
-        let overlay = build_doubling(&graph, &oracle, cfg, seed);
-        TestBed {
-            graph,
-            oracle,
-            overlay,
-        }
+        Self::with_oracle(graph, cfg, seed, OracleKind::Auto)
+    }
+
+    /// Builds a doubling-overlay bed on an explicit distance backend.
+    pub fn with_oracle(graph: Graph, cfg: &OverlayConfig, seed: u64, kind: OracleKind) -> Self {
+        Self::assemble(graph, cfg, seed, kind, false)
     }
 
     /// Builds a bed with the §6 general-network (sparse partition)
     /// overlay instead of the doubling one.
     pub fn general(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
-        let oracle = DistanceMatrix::build(&graph).expect("connected graph");
-        let overlay = build_general(&graph, &oracle, cfg, seed);
+        Self::assemble(graph, cfg, seed, OracleKind::Auto, true)
+    }
+
+    fn assemble(
+        graph: Graph,
+        cfg: &OverlayConfig,
+        seed: u64,
+        kind: OracleKind,
+        general: bool,
+    ) -> Self {
+        let build_overlay = |g: &Graph, m: &dyn DistanceOracle| {
+            if general {
+                build_general(g, m, cfg, seed)
+            } else {
+                build_doubling(g, m, cfg, seed)
+            }
+        };
+        let (oracle, overlay): (Box<dyn DistanceOracle>, Overlay) =
+            match kind.resolve(graph.node_count()) {
+                OracleKind::Hybrid => {
+                    let h = HybridOracle::new(&graph).expect("connected graph");
+                    let overlay = build_overlay(&graph, &h);
+                    // Pin the hierarchy-internal hot set: every level-1+
+                    // member is hit by each publish/move/query climb.
+                    let mut hot: Vec<NodeId> = (1..=overlay.height())
+                        .flat_map(|l| overlay.level_members(l).iter().copied())
+                        .collect();
+                    hot.sort_unstable();
+                    hot.dedup();
+                    h.pin(&hot);
+                    (Box::new(h), overlay)
+                }
+                resolved => {
+                    let oracle = resolved.build(&graph).expect("connected graph");
+                    let overlay = build_overlay(&graph, &*oracle);
+                    (oracle, overlay)
+                }
+            };
         TestBed {
             graph,
             oracle,
@@ -95,6 +137,16 @@ impl TestBed {
         Self::new(
             mot_net::generators::grid(rows, cols).expect("valid grid"),
             seed,
+        )
+    }
+
+    /// Grid bed on an explicit distance backend.
+    pub fn grid_with_oracle(rows: usize, cols: usize, seed: u64, kind: OracleKind) -> Self {
+        Self::with_oracle(
+            mot_net::generators::grid(rows, cols).expect("valid grid"),
+            &OverlayConfig::practical(),
+            seed,
+            kind,
         )
     }
 

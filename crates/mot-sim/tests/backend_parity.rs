@@ -1,0 +1,65 @@
+//! End-to-end backend parity: a fig4-style tracking pipeline (build
+//! bed, publish, replay a mobility trace, issue query batches) must
+//! produce *identical* cost accounts whichever distance backend the bed
+//! runs on. Distances are f32-quantized by every backend and grid
+//! diameters are exact under the lazy double sweep, so the overlays —
+//! and therefore every cost — match bit for bit.
+
+use mot_baselines::DetectionRates;
+use mot_net::OracleKind;
+use mot_sim::{replay_moves, run_publish, run_queries, Algo, TestBed, WorkloadSpec};
+
+struct PipelineOutcome {
+    publish: f64,
+    maintenance: f64,
+    maintenance_ratio: f64,
+    query_ratio: f64,
+    correct: usize,
+}
+
+fn run_pipeline(kind: OracleKind, algo: Algo) -> PipelineOutcome {
+    let bed = TestBed::grid_with_oracle(12, 12, 7, kind);
+    let w = WorkloadSpec::new(4, 120, 3).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut t = bed.make_tracker(algo, &rates);
+    let publish = run_publish(t.as_mut(), &w).unwrap();
+    let stats = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
+    let q = run_queries(t.as_ref(), &bed.oracle, 4, 80, 5).unwrap();
+    PipelineOutcome {
+        publish,
+        maintenance: stats.total,
+        maintenance_ratio: stats.ratio(),
+        query_ratio: q.cost.ratio(),
+        correct: q.correct,
+    }
+}
+
+#[test]
+fn grid_pipeline_costs_are_identical_dense_vs_lazy_vs_hybrid() {
+    for algo in [Algo::Mot, Algo::MotLb, Algo::Stun] {
+        let dense = run_pipeline(OracleKind::Dense, algo);
+        for kind in [OracleKind::Lazy, OracleKind::Hybrid] {
+            let other = run_pipeline(kind, algo);
+            let label = format!("{:?}/{:?}", algo, kind);
+            assert_eq!(other.publish, dense.publish, "{label}: publish cost");
+            assert_eq!(
+                other.maintenance, dense.maintenance,
+                "{label}: maintenance cost"
+            );
+            assert_eq!(
+                other.maintenance_ratio, dense.maintenance_ratio,
+                "{label}: maintenance ratio"
+            );
+            assert_eq!(other.query_ratio, dense.query_ratio, "{label}: query ratio");
+            assert_eq!(other.correct, dense.correct, "{label}: query correctness");
+        }
+    }
+}
+
+#[test]
+fn auto_matches_dense_below_the_node_limit() {
+    let auto = run_pipeline(OracleKind::Auto, Algo::Mot);
+    let dense = run_pipeline(OracleKind::Dense, Algo::Mot);
+    assert_eq!(auto.maintenance, dense.maintenance);
+    assert_eq!(auto.query_ratio, dense.query_ratio);
+}

@@ -63,11 +63,14 @@ pub mod prelude {
     };
     pub use mot_debruijn::{DeBruijnGraph, DynamicCluster, Embedding};
     pub use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
-    pub use mot_net::{dijkstra, generators, DistanceMatrix, Graph, GraphBuilder, NodeId, Point};
+    pub use mot_net::{
+        dijkstra, generators, DenseOracle, DistanceOracle, Graph, GraphBuilder, HybridOracle,
+        LazyOracle, NodeId, OracleKind, Point,
+    };
     pub use mot_proto::ProtoTracker;
     pub use mot_sim::{
         replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine,
-        CostStats, LoadStats, MobilityModel, TestBed, Workload, WorkloadSpec,
+        CostStats, LoadStats, MobilityModel, SimError, TestBed, Workload, WorkloadSpec,
     };
 }
 

@@ -31,7 +31,7 @@ fn distance_oracle_is_a_metric() {
     for case in 0..CASES {
         let mut rng = case_rng(1, case);
         let g = deployment(&mut rng);
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let n = g.node_count();
         // Tolerances scale with the distances involved: entries are f32,
         // and weight normalization (min edge weight = 1) can push
@@ -70,7 +70,7 @@ fn queries_always_find_the_true_proxy() {
         let move_count = rng.gen_range(1usize..80);
         let lb: bool = rng.gen();
         let overlay_seed = rng.gen_range(0u64..100);
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), overlay_seed);
         let cfg = if lb {
             MotConfig::load_balanced()
@@ -103,7 +103,7 @@ fn detection_paths_meet_at_the_lemma_level() {
         let mut rng = case_rng(3, case);
         let g = deployment(&mut rng);
         let seed = rng.gen_range(0u64..50);
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let overlay = build_doubling(&g, &m, &OverlayConfig::paper_exact(), seed);
         let n = g.node_count();
         for i in (0..n).step_by(3) {
@@ -137,7 +137,7 @@ fn tree_detection_sets_are_proxy_ancestors() {
         let mut rng = case_rng(4, case);
         let g = deployment(&mut rng);
         let move_count = rng.gen_range(1usize..60);
-        let m = DistanceMatrix::build(&g).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
         let rates = DetectionRates::uniform(&g);
         let tree = build_stun(&g, &rates);
         let mut t = TreeTracker::new("STUN", tree, &m, false);
