@@ -163,6 +163,16 @@ pub struct TreeTracker<'a> {
     /// into account").
     via_root: bool,
     load: Vec<usize>,
+    /// Per-node liveness under the fault model (true = crashed).
+    down: Vec<bool>,
+    /// Number of nodes currently down (0 ⇒ skip liveness checks).
+    down_count: usize,
+    /// Objects that lost a detection entry to a crash and whose chain has
+    /// not been rebuilt yet. Empty on fault-free runs, so those stay
+    /// bit-identical to a build without the fault layer.
+    dirty: HashSet<ObjectId>,
+    /// Message distance spent on crash repair (handoffs + chain rebuilds).
+    repair_spent: f64,
 }
 
 impl<'a> TreeTracker<'a> {
@@ -183,6 +193,10 @@ impl<'a> TreeTracker<'a> {
             shortcuts,
             via_root: false,
             load: vec![0; n],
+            down: vec![false; n],
+            down_count: 0,
+            dirty: HashSet::new(),
+            repair_spent: 0.0,
         }
     }
 
@@ -233,6 +247,34 @@ impl<'a> TreeTracker<'a> {
         self.shortcuts
     }
 
+    /// The live node nearest to `u` (deterministic tie-break by id) —
+    /// the handoff target when a proxy crashes.
+    fn nearest_live(&self, u: NodeId) -> Option<NodeId> {
+        let live: Vec<NodeId> = (0..self.tree.len())
+            .map(NodeId::from_index)
+            .filter(|&v| v != u && !self.down[v.index()])
+            .collect();
+        self.oracle.nearest_in(u, &live)
+    }
+
+    /// The first crashed node on the tree path from `v` to the root, if
+    /// any — a climb from `v` cannot get past it until it reboots.
+    fn path_blocked(&self, v: NodeId) -> Option<NodeId> {
+        if self.down_count == 0 {
+            return None;
+        }
+        let mut cur = v;
+        loop {
+            if self.down[cur.index()] {
+                return Some(cur);
+            }
+            match self.tree.parent(cur) {
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
     /// Cost of the downward phase of a query that located `o` at `node`,
     /// or `None` for an unpublished object.
     pub fn descend_cost(&self, o: ObjectId, node: NodeId) -> Option<f64> {
@@ -266,6 +308,9 @@ impl Tracker for TreeTracker<'_> {
         if self.proxies.contains_key(&o) {
             return Err(CoreError::AlreadyPublished(o));
         }
+        if let Some(b) = self.path_blocked(proxy) {
+            return Err(CoreError::NodeDown(b));
+        }
         let mut cost = 0.0;
         let mut cur = proxy;
         self.add(cur, o);
@@ -280,7 +325,18 @@ impl Tracker for TreeTracker<'_> {
 
     fn move_object(&mut self, o: ObjectId, to: NodeId) -> mot_core::Result<MoveOutcome> {
         self.check_node(to)?;
-        let from = *self.proxies.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        if !self.proxies.contains_key(&o) {
+            return Err(CoreError::UnknownObject(o));
+        }
+        if let Some(b) = self.path_blocked(to) {
+            return Err(CoreError::NodeDown(b));
+        }
+        if self.dirty.contains(&o) {
+            // Self-repair: rebuild the broken detection chain before the
+            // climb, or the prune below would walk into the gap.
+            self.repair_object(o)?;
+        }
+        let from = *self.proxies.get(&o).expect("checked above");
         if from == to {
             return Ok(MoveOutcome { from, cost: 0.0 });
         }
@@ -327,6 +383,26 @@ impl Tracker for TreeTracker<'_> {
     fn query(&self, from: NodeId, o: ObjectId) -> mot_core::Result<QueryResult> {
         self.check_node(from)?;
         let proxy = *self.proxies.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        if self.dirty.contains(&o) {
+            // A read-only query cannot rebuild the chain; name the node
+            // that broke it so a mutable caller can repair and retry.
+            let mut culprit = proxy;
+            let mut cur = proxy;
+            loop {
+                if self.down[cur.index()] || !self.holds(cur, o) {
+                    culprit = cur;
+                    break;
+                }
+                match self.tree.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            return Err(CoreError::NodeDown(culprit));
+        }
+        if let Some(b) = self.path_blocked(from) {
+            return Err(CoreError::NodeDown(b));
+        }
         let mut cost = 0.0;
         let mut cur = from;
         let done = |t: &Self, cur: NodeId| {
@@ -370,6 +446,77 @@ impl Tracker for TreeTracker<'_> {
 
     fn node_loads(&self) -> Vec<usize> {
         self.load.clone()
+    }
+
+    fn crash_node(&mut self, u: NodeId) {
+        if u.index() >= self.tree.len() || self.down[u.index()] {
+            return;
+        }
+        self.down[u.index()] = true;
+        self.down_count += 1;
+        let lost = std::mem::take(&mut self.detection[u.index()]);
+        self.load[u.index()] = self.load[u.index()].saturating_sub(lost.len());
+        let mut lost: Vec<ObjectId> = lost.into_iter().collect();
+        lost.sort();
+        for o in lost {
+            self.dirty.insert(o);
+            // Graceful degradation: an object proxied at the crashed
+            // sensor is re-detected by the nearest live one (one handoff
+            // hop, billed as repair); its chain rebuild stays lazy.
+            if self.proxies.get(&o) == Some(&u) {
+                if let Some(next) = self.nearest_live(u) {
+                    self.repair_spent += self.oracle.dist(u, next);
+                    self.proxies.insert(o, next);
+                    self.add(next, o);
+                }
+            }
+        }
+    }
+
+    fn recover_node(&mut self, u: NodeId) {
+        if u.index() < self.tree.len() && self.down[u.index()] {
+            self.down[u.index()] = false;
+            self.down_count -= 1;
+        }
+    }
+
+    fn repair_object(&mut self, o: ObjectId) -> mot_core::Result<f64> {
+        if !self.dirty.contains(&o) {
+            return Ok(0.0);
+        }
+        let recorded = *self.proxies.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        let proxy = if self.down[recorded.index()] {
+            self.nearest_live(recorded)
+                .ok_or(CoreError::NodeDown(recorded))?
+        } else {
+            recorded
+        };
+        if let Some(b) = self.path_blocked(proxy) {
+            // A crashed ancestor blocks the rebuild: defer — the next
+            // operation after it reboots finishes the repair.
+            return Err(CoreError::NodeDown(b));
+        }
+        // Scrub every surviving entry (stale branches included), then
+        // re-publish the chain from the proxy; the climb is the repair.
+        for i in 0..self.tree.len() {
+            self.remove(NodeId::from_index(i), o);
+        }
+        self.proxies.insert(o, proxy);
+        let mut cost = 0.0;
+        let mut cur = proxy;
+        self.add(cur, o);
+        while let Some(p) = self.tree.parent(cur) {
+            cost += self.oracle.dist(cur, p);
+            cur = p;
+            self.add(cur, o);
+        }
+        self.repair_spent += cost;
+        self.dirty.remove(&o);
+        Ok(cost)
+    }
+
+    fn repair_cost(&self) -> f64 {
+        self.repair_spent
     }
 }
 
@@ -490,6 +637,79 @@ mod tests {
         let mut t = TreeTracker::new("BFS", tree, &m, false);
         t.publish(ObjectId(0), NodeId(3)).unwrap();
         assert_eq!(t.move_object(ObjectId(0), NodeId(3)).unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn crashed_proxy_hands_object_to_live_neighbor() {
+        let (g, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        let o = ObjectId(0);
+        t.publish(o, NodeId(15)).unwrap();
+        t.crash_node(NodeId(15));
+        let new_proxy = t.proxy_of(o).unwrap();
+        assert_ne!(new_proxy, NodeId(15));
+        assert_eq!(m.dist(NodeId(15), new_proxy), 1.0, "nearest live sensor");
+        assert!(t.repair_cost() > 0.0, "handoff hop billed as repair");
+        t.recover_node(NodeId(15));
+        assert!(t.repair_object(o).unwrap() > 0.0, "chain rebuild billed");
+        for x in g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, new_proxy);
+        }
+    }
+
+    #[test]
+    fn mid_chain_crash_query_surfaces_node_down_then_repairs() {
+        let (g, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        // STUN semantics: queries via the root
+        let mut t = TreeTracker::new("STUN", tree, &m, false).with_root_queries();
+        let o = ObjectId(0);
+        t.publish(o, NodeId(15)).unwrap();
+        let victim = t.tree().parent(NodeId(15)).unwrap();
+        t.crash_node(victim);
+        t.recover_node(victim);
+        let err = t.query(NodeId(3), o).unwrap_err();
+        assert!(matches!(err, CoreError::NodeDown(_)), "got {err:?}");
+        let c = t.repair_object(o).unwrap();
+        assert!(c > 0.0);
+        assert_eq!(t.repair_object(o).unwrap(), 0.0, "repair is idempotent");
+        for x in g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, NodeId(15));
+        }
+    }
+
+    #[test]
+    fn move_self_repairs_after_proxy_crash() {
+        let (_, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        let o = ObjectId(0);
+        t.publish(o, NodeId(15)).unwrap();
+        t.crash_node(NodeId(15));
+        t.recover_node(NodeId(15));
+        let handoff = t.proxy_of(o).unwrap();
+        let mv = t.move_object(o, NodeId(5)).unwrap();
+        assert_eq!(mv.from, handoff, "move starts from the handoff proxy");
+        assert_eq!(t.proxy_of(o), Some(NodeId(5)));
+        assert_eq!(t.query(NodeId(10), o).unwrap().proxy, NodeId(5));
+        // detection sets are whole again: exactly the ancestors of 5
+        let total: usize = t.node_loads().iter().sum();
+        assert_eq!(total, t.tree().depth(NodeId(5)) + 1);
+    }
+
+    #[test]
+    fn operations_refuse_paths_through_down_nodes() {
+        let (_, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let mut t = TreeTracker::new("BFS", tree, &m, false);
+        t.crash_node(NodeId(0)); // the root blocks every climb
+        assert!(matches!(
+            t.publish(ObjectId(0), NodeId(15)),
+            Err(CoreError::NodeDown(_))
+        ));
+        t.recover_node(NodeId(0));
+        t.publish(ObjectId(0), NodeId(15)).unwrap();
     }
 
     #[test]

@@ -13,9 +13,9 @@ use mot_sim::{
 
 fn bench(c: &mut Criterion) {
     let p = Profile::quick(50);
-    eprintln!("{}", ablation_table(&p).render());
-    eprintln!("{}", general_graph_table(&p).render());
-    eprintln!("{}", churn_table().render());
+    eprintln!("{}", ablation_table(&p).expect("figure").render());
+    eprintln!("{}", general_graph_table(&p).expect("figure").render());
+    eprintln!("{}", churn_table().expect("figure").render());
 
     // Variant timing: plain vs no-SP vs LB on one workload.
     let bed = TestBed::grid(12, 12, 1);

@@ -7,7 +7,12 @@ use mot_bench::{maintenance_figure, Profile};
 use mot_sim::{run_publish, Algo, ConcurrentConfig, ConcurrentEngine, TestBed, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
-    eprintln!("{}", maintenance_figure(&Profile::quick(20), true).render());
+    eprintln!(
+        "{}",
+        maintenance_figure(&Profile::quick(20), true)
+            .expect("figure")
+            .render()
+    );
 
     let bed = TestBed::grid(12, 12, 1);
     let w = WorkloadSpec::new(8, 80, 2).generate(&bed.graph);

@@ -6,7 +6,12 @@ use mot_bench::{query_figure, Profile};
 use mot_sim::{run_publish, Algo, ConcurrentConfig, ConcurrentEngine, TestBed, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
-    eprintln!("{}", query_figure(&Profile::quick(20), true).render());
+    eprintln!(
+        "{}",
+        query_figure(&Profile::quick(20), true)
+            .expect("figure")
+            .render()
+    );
 
     let bed = TestBed::grid(12, 12, 1);
     let w = WorkloadSpec::new(8, 80, 2).generate(&bed.graph);

@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     // carries the cost-ratio series alongside the timings.
     eprintln!(
         "{}",
-        maintenance_figure(&Profile::quick(20), false).render()
+        maintenance_figure(&Profile::quick(20), false)
+            .expect("figure")
+            .render()
     );
 
     let bed = TestBed::grid(12, 12, 1);

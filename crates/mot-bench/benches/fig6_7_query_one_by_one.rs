@@ -8,7 +8,12 @@ use mot_net::NodeId;
 use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
-    eprintln!("{}", query_figure(&Profile::quick(20), false).render());
+    eprintln!(
+        "{}",
+        query_figure(&Profile::quick(20), false)
+            .expect("figure")
+            .render()
+    );
 
     let bed = TestBed::grid(12, 12, 1);
     let w = WorkloadSpec::new(10, 100, 2).generate(&bed.graph);

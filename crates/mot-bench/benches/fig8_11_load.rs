@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         (Algo::Zdat, 0),
         (Algo::Zdat, 10),
     ] {
-        eprintln!("{}", load_figure(&p, vs, after).render());
+        eprintln!("{}", load_figure(&p, vs, after).expect("figure").render());
     }
 
     let bed = TestBed::grid(16, 16, 1);

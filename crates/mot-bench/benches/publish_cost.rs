@@ -7,7 +7,12 @@ use mot_net::NodeId;
 use mot_sim::TestBed;
 
 fn bench(c: &mut Criterion) {
-    eprintln!("{}", publish_cost_table(&Profile::quick(50)).render());
+    eprintln!(
+        "{}",
+        publish_cost_table(&Profile::quick(50))
+            .expect("figure")
+            .render()
+    );
 
     let mut group = c.benchmark_group("publish_per_object");
     for (r, cols) in [(8usize, 8usize), (16, 16), (23, 23)] {

@@ -11,40 +11,78 @@
 //! cargo run --release -p mot-bench --bin experiments -- fig4 fig6
 //! cargo run --release -p mot-bench --bin experiments -- --profile paper all
 //! cargo run --release -p mot-bench --bin experiments -- --oracle lazy scale
+//! cargo run --release -p mot-bench --bin experiments -- --profile quick faults-smoke
 //! ```
+//!
+//! Any failure — bad arguments, an unwritable CSV directory, a tracker
+//! error, or a runner's own health check (wrong query answers,
+//! unrepaired objects) — exits nonzero with a readable message.
 
 use mot_bench::{
-    ablation_table, churn_table, general_graph_table, load_figure, locality_table,
+    ablation_table, churn_table, faults_table, general_graph_table, load_figure, locality_table,
     maintenance_figure, mobility_table, publish_cost_table, query_figure, scale_table,
-    state_size_table, FigureTable, Profile,
+    state_size_table, BenchError, FigureTable, Profile,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
+use std::process::ExitCode;
 
-fn profile_for(objects: usize, name: &str, oracle: OracleKind) -> Profile {
-    match name {
+const ALL_IDS: [&str; 22] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "pub-cost",
+    "ablations",
+    "general",
+    "churn",
+    "state-size",
+    "locality",
+    "mobility",
+    "scale",
+    "faults",
+    "faults-smoke",
+];
+
+fn profile_for(objects: usize, name: &str, oracle: OracleKind) -> Result<Profile, BenchError> {
+    Ok(match name {
         "quick" => Profile::quick(objects),
         "standard" => Profile::standard(objects),
         "paper" => Profile::paper(objects),
-        other => {
-            eprintln!("unknown profile '{other}' (quick|standard|paper)");
-            std::process::exit(2);
-        }
+        other => return Err(format!("unknown profile '{other}' (quick|standard|paper)").into()),
     }
-    .with_oracle(oracle)
+    .with_oracle(oracle))
 }
 
 /// The `scale` experiment sweeps grids past the paper's sizes; the
 /// largest (64×64 = 4096 nodes) sits exactly at the dense limit, so
 /// `--oracle lazy` runs it well under the dense matrix's 64 MiB.
-fn scale_profile(name: &str, oracle: OracleKind) -> Profile {
-    let mut p = profile_for(50, name, oracle);
+fn scale_profile(name: &str, oracle: OracleKind) -> Result<Profile, BenchError> {
+    let mut p = profile_for(50, name, oracle)?;
     p.grids = vec![(32, 32), (64, 64)];
+    Ok(p)
+}
+
+/// The CI smoke environment: a fixed-seed quick profile on a 16×16 grid
+/// whose health checks (all queries correct, zero unrepaired objects)
+/// fail the process — the `--profile` flag deliberately has no effect.
+fn smoke_profile(oracle: OracleKind) -> Profile {
+    let mut p = Profile::quick(10).with_oracle(oracle);
+    p.moves_per_object = 60;
+    p.queries = 120;
     p
 }
 
-fn main() {
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile_name = "standard".to_string();
     let mut oracle = OracleKind::Auto;
@@ -53,150 +91,93 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--profile" => {
-                profile_name = it.next().unwrap_or_else(|| {
-                    eprintln!("--profile needs a value");
-                    std::process::exit(2);
-                })
-            }
+            "--profile" => profile_name = it.next().ok_or("--profile needs a value")?,
             "--oracle" => {
-                let v = it.next().unwrap_or_else(|| {
-                    eprintln!("--oracle needs a value (auto|dense|lazy|hybrid)");
-                    std::process::exit(2);
-                });
-                oracle = OracleKind::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown oracle '{v}' (auto|dense|lazy|hybrid)");
-                    std::process::exit(2);
-                });
+                let v = it
+                    .next()
+                    .ok_or("--oracle needs a value (auto|dense|lazy|hybrid)")?;
+                oracle = OracleKind::parse(&v)
+                    .ok_or_else(|| format!("unknown oracle '{v}' (auto|dense|lazy|hybrid)"))?;
             }
-            "--csv" => {
-                csv_dir = Some(it.next().unwrap_or_else(|| {
-                    eprintln!("--csv needs a directory");
-                    std::process::exit(2);
-                }))
-            }
+            "--csv" => csv_dir = Some(it.next().ok_or("--csv needs a directory")?),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--profile quick|standard|paper]\n\
                      \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR] [IDS...]\n\
-                     ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15\n\
-                     \x20    pub-cost ablations general churn state-size locality mobility\n\
-                     \x20    scale all"
+                     ids: {}\n\
+                     \x20    all",
+                    ALL_IDS.join(" ")
                 );
-                return;
+                return Ok(());
             }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = [
-            "fig4",
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "pub-cost",
-            "ablations",
-            "general",
-            "churn",
-            "state-size",
-            "locality",
-            "mobility",
-            "scale",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
 
-    let emit = |table: FigureTable, id: &str| {
+    let emit = |table: FigureTable, id: &str| -> Result<(), BenchError> {
         println!("{}", table.render());
         if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create csv dir '{dir}': {e}"))?;
             let path = format!("{dir}/{id}.csv");
-            let mut f = std::fs::File::create(&path).expect("create csv");
-            f.write_all(table.to_csv().as_bytes()).expect("write csv");
+            let mut f =
+                std::fs::File::create(&path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+            f.write_all(table.to_csv().as_bytes())
+                .map_err(|e| format!("cannot write '{path}': {e}"))?;
             eprintln!("wrote {path}");
         }
+        Ok(())
     };
 
     for id in &ids {
         let started = std::time::Instant::now();
-        match id.as_str() {
-            "fig4" => emit(
-                maintenance_figure(&profile_for(100, &profile_name, oracle), false),
-                id,
-            ),
-            "fig5" => emit(
-                maintenance_figure(&profile_for(1000, &profile_name, oracle), false),
-                id,
-            ),
-            "fig6" => emit(
-                query_figure(&profile_for(100, &profile_name, oracle), false),
-                id,
-            ),
-            "fig7" => emit(
-                query_figure(&profile_for(1000, &profile_name, oracle), false),
-                id,
-            ),
-            "fig8" => emit(
-                load_figure(&profile_for(100, &profile_name, oracle), Algo::Stun, 0),
-                id,
-            ),
-            "fig9" => emit(
-                load_figure(&profile_for(100, &profile_name, oracle), Algo::Stun, 10),
-                id,
-            ),
-            "fig10" => emit(
-                load_figure(&profile_for(100, &profile_name, oracle), Algo::Zdat, 0),
-                id,
-            ),
-            "fig11" => emit(
-                load_figure(&profile_for(100, &profile_name, oracle), Algo::Zdat, 10),
-                id,
-            ),
-            "fig12" => emit(
-                maintenance_figure(&profile_for(100, &profile_name, oracle), true),
-                id,
-            ),
-            "fig13" => emit(
-                maintenance_figure(&profile_for(1000, &profile_name, oracle), true),
-                id,
-            ),
-            "fig14" => emit(
-                query_figure(&profile_for(100, &profile_name, oracle), true),
-                id,
-            ),
-            "fig15" => emit(
-                query_figure(&profile_for(1000, &profile_name, oracle), true),
-                id,
-            ),
-            "pub-cost" => emit(
-                publish_cost_table(&profile_for(100, &profile_name, oracle)),
-                id,
-            ),
-            "ablations" => emit(ablation_table(&profile_for(100, &profile_name, oracle)), id),
-            "general" => emit(
-                general_graph_table(&profile_for(50, &profile_name, oracle)),
-                id,
-            ),
-            "churn" => emit(churn_table(), id),
-            "state-size" => emit(
-                state_size_table(&profile_for(100, &profile_name, oracle)),
-                id,
-            ),
-            "locality" => emit(locality_table(&profile_for(100, &profile_name, oracle)), id),
-            "mobility" => emit(mobility_table(&profile_for(50, &profile_name, oracle)), id),
-            "scale" => emit(scale_table(&scale_profile(&profile_name, oracle)), id),
-            other => eprintln!("skipping unknown experiment id '{other}'"),
-        }
+        let name = profile_name.as_str();
+        let table = match id.as_str() {
+            "fig4" => maintenance_figure(&profile_for(100, name, oracle)?, false),
+            "fig5" => maintenance_figure(&profile_for(1000, name, oracle)?, false),
+            "fig6" => query_figure(&profile_for(100, name, oracle)?, false),
+            "fig7" => query_figure(&profile_for(1000, name, oracle)?, false),
+            "fig8" => load_figure(&profile_for(100, name, oracle)?, Algo::Stun, 0),
+            "fig9" => load_figure(&profile_for(100, name, oracle)?, Algo::Stun, 10),
+            "fig10" => load_figure(&profile_for(100, name, oracle)?, Algo::Zdat, 0),
+            "fig11" => load_figure(&profile_for(100, name, oracle)?, Algo::Zdat, 10),
+            "fig12" => maintenance_figure(&profile_for(100, name, oracle)?, true),
+            "fig13" => maintenance_figure(&profile_for(1000, name, oracle)?, true),
+            "fig14" => query_figure(&profile_for(100, name, oracle)?, true),
+            "fig15" => query_figure(&profile_for(1000, name, oracle)?, true),
+            "pub-cost" => publish_cost_table(&profile_for(100, name, oracle)?),
+            "ablations" => ablation_table(&profile_for(100, name, oracle)?),
+            "general" => general_graph_table(&profile_for(50, name, oracle)?),
+            "churn" => churn_table(),
+            "state-size" => state_size_table(&profile_for(100, name, oracle)?),
+            "locality" => locality_table(&profile_for(100, name, oracle)?),
+            "mobility" => mobility_table(&profile_for(50, name, oracle)?),
+            "scale" => scale_table(&scale_profile(name, oracle)?),
+            "faults" => faults_table(&profile_for(100, name, oracle)?, (32, 32)),
+            "faults-smoke" => faults_table(&smoke_profile(oracle), (16, 16)),
+            other => {
+                let known = ALL_IDS.join(" ");
+                return Err(format!("unknown experiment id '{other}' (known: {known} all)").into());
+            }
+        };
+        emit(
+            table.map_err(|e| format!("experiment '{id}' failed: {e}"))?,
+            id,
+        )?;
         eprintln!("[{id} took {:.1?}]", started.elapsed());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

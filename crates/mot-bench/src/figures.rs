@@ -6,11 +6,20 @@ use mot_core::{MotConfig, MotTracker, Tracker};
 use mot_hierarchy::OverlayConfig;
 use mot_net::{generators, DistanceOracle, OracleKind};
 use mot_sim::{
-    replay_moves, run_publish, run_queries, Algo, ConcurrentConfig, ConcurrentEngine, CostStats,
+    repair_all, replay_moves, replay_moves_faulty, run_publish, run_queries, run_queries_faulty,
+    unrepaired_objects, Algo, ConcurrentConfig, ConcurrentEngine, CostStats, FaultConfig,
     LoadStats, TestBed, WorkloadSpec,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Errors a figure run can surface: tracker/simulation failures plus the
+/// runners' own sanity checks (e.g. a query batch answering wrong).
+pub type BenchError = Box<dyn std::error::Error>;
+
+/// Every runner returns the table or a readable error — the
+/// `experiments` binary turns these into a nonzero exit, not a panic.
+pub type BenchResult = Result<FigureTable, BenchError>;
 
 /// Workload scale for a figure run.
 #[derive(Clone, Debug)]
@@ -77,7 +86,7 @@ fn lineup() -> Vec<Algo> {
 
 /// Figs. 4/5 (one-by-one) and 12/13 (concurrent): maintenance cost ratio
 /// across network sizes.
-pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
+pub fn maintenance_figure(p: &Profile, concurrent: bool) -> BenchResult {
     let algos = lineup();
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
@@ -89,7 +98,7 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
             for (ai, &algo) in algos.iter().enumerate() {
                 let mut t = bed.make_tracker(algo, &rates);
-                run_publish(t.as_mut(), &w).expect("publish");
+                run_publish(t.as_mut(), &w)?;
                 let stats = if concurrent {
                     ConcurrentEngine::run(
                         t.as_mut(),
@@ -100,11 +109,10 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
                             queries_per_batch: 0,
                             seed,
                         },
-                    )
-                    .expect("concurrent run")
+                    )?
                     .maintenance
                 } else {
-                    replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay")
+                    replay_moves(t.as_mut(), &w, &bed.oracle)?
                 };
                 per_algo[ai].merge(&stats);
             }
@@ -114,7 +122,7 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
             per_algo.iter().map(CostStats::ratio).collect(),
         ));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: format!(
             "Maintenance cost ratio, {} objects, {} execution (paper Fig. {})",
             p.objects,
@@ -133,12 +141,12 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> FigureTable {
         x_label: "nodes".into(),
         columns: algos.iter().map(|a| a.label().to_string()).collect(),
         rows,
-    }
+    })
 }
 
 /// Figs. 6/7 (one-by-one) and 14/15 (concurrent): query cost ratio across
 /// network sizes, after the maintenance workload.
-pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
+pub fn query_figure(p: &Profile, concurrent: bool) -> BenchResult {
     let algos = lineup();
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
@@ -150,7 +158,7 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
             for (ai, &algo) in algos.iter().enumerate() {
                 let mut t = bed.make_tracker(algo, &rates);
-                run_publish(t.as_mut(), &w).expect("publish");
+                run_publish(t.as_mut(), &w)?;
                 if concurrent {
                     // queries race the maintenance batches (§4.2.2)
                     let out = ConcurrentEngine::run(
@@ -162,15 +170,29 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
                             queries_per_batch: 1,
                             seed,
                         },
-                    )
-                    .expect("concurrent run");
-                    assert_eq!(out.queries_correct, out.queries_issued);
+                    )?;
+                    if out.queries_correct != out.queries_issued {
+                        return Err(format!(
+                            "{}: {}/{} concurrent queries answered wrong",
+                            algo.label(),
+                            out.queries_issued - out.queries_correct,
+                            out.queries_issued
+                        )
+                        .into());
+                    }
                     per_algo[ai].merge(&out.queries);
                 } else {
-                    replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
-                    let q = run_queries(t.as_ref(), &bed.oracle, p.objects, p.queries, seed + 31)
-                        .expect("queries");
-                    assert_eq!(q.correct, p.queries);
+                    replay_moves(t.as_mut(), &w, &bed.oracle)?;
+                    let q = run_queries(t.as_ref(), &bed.oracle, p.objects, p.queries, seed + 31)?;
+                    if q.correct != p.queries {
+                        return Err(format!(
+                            "{}: {}/{} queries answered wrong",
+                            algo.label(),
+                            p.queries - q.correct,
+                            p.queries
+                        )
+                        .into());
+                    }
                     per_algo[ai].merge(&q.cost);
                 }
             }
@@ -180,7 +202,7 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
             per_algo.iter().map(CostStats::mean_ratio).collect(),
         ));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: format!(
             "Query cost ratio, {} objects, {} execution (paper Fig. {})",
             p.objects,
@@ -199,23 +221,23 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> FigureTable {
         x_label: "nodes".into(),
         columns: algos.iter().map(|a| a.label().to_string()).collect(),
         rows,
-    }
+    })
 }
 
 /// Figs. 8–11: per-node load of MOT(+LB) against a baseline, on the
 /// largest grid of the profile, `moves_per_object` moves after
 /// initialization (0 = "just after initialization").
-pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> FigureTable {
-    let &(r, c) = p.grids.last().expect("profile has grids");
+pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> BenchResult {
+    let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
     let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
     let w = WorkloadSpec::new(p.objects, moves_per_object.max(1), 5).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let mut rows = Vec::new();
     for algo in [Algo::MotLb, vs] {
         let mut t = bed.make_tracker(algo, &rates);
-        run_publish(t.as_mut(), &w).expect("publish");
+        run_publish(t.as_mut(), &w)?;
         if moves_per_object > 0 {
-            replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+            replay_moves(t.as_mut(), &w, &bed.oracle)?;
         }
         let stats = LoadStats::from_loads(&t.node_loads());
         rows.push((
@@ -234,7 +256,7 @@ pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> FigureTabl
         (_, false) => "10",
         (_, true) => "11",
     };
-    FigureTable {
+    Ok(FigureTable {
         title: format!(
             "Load per node, {} objects on {} nodes, {} (paper Fig. {fig})",
             p.objects,
@@ -253,11 +275,11 @@ pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> FigureTabl
             "jain".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// Theorem 4.1 sanity: publish cost stays `O(D)` as the diameter grows.
-pub fn publish_cost_table(p: &Profile) -> FigureTable {
+pub fn publish_cost_table(p: &Profile) -> BenchResult {
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
         let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle);
@@ -268,25 +290,23 @@ pub fn publish_cost_table(p: &Profile) -> FigureTable {
         let mut total = 0.0;
         for k in 0..objects {
             let proxy = mot_net::NodeId::from_index(rng.gen_range(0..n));
-            total += t
-                .publish(mot_core::ObjectId(k as u32), proxy)
-                .expect("publish");
+            total += t.publish(mot_core::ObjectId(k as u32), proxy)?;
         }
         let d = bed.oracle.diameter();
         let per_object = total / objects as f64;
         rows.push(((r * c).to_string(), vec![d, per_object, per_object / d]));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: "Publish cost vs diameter (Theorem 4.1: O(D) per object)".into(),
         x_label: "nodes".into(),
         columns: vec!["diameter".into(), "publish/object".into(), "cost/D".into()],
         rows,
-    }
+    })
 }
 
 /// Ablations over MOT's design choices on one mid-size grid: special
 /// parents, parent sets, load balancing.
-pub fn ablation_table(p: &Profile) -> FigureTable {
+pub fn ablation_table(p: &Profile) -> BenchResult {
     let (r, c) = (16, 16);
     let seed = 3;
     let variants: Vec<(&str, OverlayConfig, MotConfig)> = vec![
@@ -313,16 +333,16 @@ pub fn ablation_table(p: &Profile) -> FigureTable {
             TestBed::with_oracle(generators::grid(r, c).expect("grid"), &ocfg, seed, p.oracle);
         let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9).generate(&bed.graph);
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg);
-        run_publish(&mut t, &w).expect("publish");
-        let maint = replay_moves(&mut t, &w, &bed.oracle).expect("replay");
-        let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 17).expect("queries");
+        run_publish(&mut t, &w)?;
+        let maint = replay_moves(&mut t, &w, &bed.oracle)?;
+        let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 17)?;
         let loads = LoadStats::from_loads(&t.node_loads());
         rows.push((
             label.to_string(),
             vec![maint.ratio(), q.cost.mean_ratio(), loads.max as f64],
         ));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: format!("Ablations on a {r}x{c} grid (maintenance / query / max load)"),
         x_label: "variant".into(),
         columns: vec![
@@ -331,11 +351,11 @@ pub fn ablation_table(p: &Profile) -> FigureTable {
             "max_load".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// §6: MOT over the general-network overlay on non-grid topologies.
-pub fn general_graph_table(p: &Profile) -> FigureTable {
+pub fn general_graph_table(p: &Profile) -> BenchResult {
     let topologies: Vec<(&str, mot_net::Graph)> = vec![
         ("grid-10x10", generators::grid(10, 10).expect("grid")),
         ("ring-100", generators::ring(100).expect("ring")),
@@ -356,21 +376,21 @@ pub fn general_graph_table(p: &Profile) -> FigureTable {
             let w =
                 WorkloadSpec::new(p.objects.min(50), p.moves_per_object, 13).generate(&bed.graph);
             let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
-            run_publish(&mut t, &w).expect("publish");
-            let maint = replay_moves(&mut t, &w, &bed.oracle).expect("replay");
-            let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23).expect("queries");
+            run_publish(&mut t, &w)?;
+            let maint = replay_moves(&mut t, &w, &bed.oracle)?;
+            let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23)?;
             rows.push((
                 format!("{name}/{kind}"),
                 vec![maint.ratio(), q.cost.mean_ratio()],
             ));
         }
     }
-    FigureTable {
+    Ok(FigureTable {
         title: "MOT on doubling vs general (sparse-partition) overlays".into(),
         x_label: "topology/overlay".into(),
         columns: vec!["maint_ratio".into(), "query_ratio".into()],
         rows,
-    }
+    })
 }
 
 /// §5's routing-state argument: with the embedded de Bruijn graph every
@@ -378,7 +398,7 @@ pub fn general_graph_table(p: &Profile) -> FigureTable {
 /// member would need the physical addresses of the whole cluster
 /// (`O(|X|)`) to resolve hashed placements. This table measures both on
 /// the overlay's actual clusters.
-pub fn state_size_table(p: &Profile) -> FigureTable {
+pub fn state_size_table(p: &Profile) -> BenchResult {
     use mot_core::lb::ClusterTable;
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
@@ -388,7 +408,9 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
             (0usize, 0usize, 0usize, 0usize);
         for level in 1..=bed.overlay.height() {
             for &center in bed.overlay.level_members(level) {
-                let e = table.embedding(center, level).expect("cluster exists");
+                let e = table
+                    .embedding(center, level)
+                    .ok_or("overlay cluster without embedding")?;
                 max_cluster = max_cluster.max(e.len());
                 for &member in e.members() {
                     let t = e.neighbor_table(member).len();
@@ -407,7 +429,7 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
             ],
         ));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: "Per-member routing state: naive cluster tables vs de Bruijn embedding (§5)".into(),
         x_label: "nodes".into(),
         columns: vec![
@@ -416,30 +438,28 @@ pub fn state_size_table(p: &Profile) -> FigureTable {
             "debruijn_mean".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// Distance-sensitivity: mean query cost ratio as a function of how far
 /// the requester is from the object. MOT's O(1) promise (Thm 4.11) is
 /// strongest for nearby requesters; sink-routed STUN pays its full
 /// root detour exactly there.
-pub fn locality_table(p: &Profile) -> FigureTable {
-    let &(r, c) = p.grids.last().expect("profile has grids");
+pub fn locality_table(p: &Profile) -> BenchResult {
+    let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
     let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle);
     let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let algos = [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts];
     let radii = [2.0, 4.0, 8.0, 16.0, bed.oracle.diameter()];
     // prepare one tracker per algorithm
-    let mut trackers: Vec<_> = algos
-        .iter()
-        .map(|&a| {
-            let mut t = bed.make_tracker(a, &rates);
-            run_publish(t.as_mut(), &w).expect("publish");
-            replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
-            t
-        })
-        .collect();
+    let mut trackers = Vec::new();
+    for &a in &algos {
+        let mut t = bed.make_tracker(a, &rates);
+        run_publish(t.as_mut(), &w)?;
+        replay_moves(t.as_mut(), &w, &bed.oracle)?;
+        trackers.push(t);
+    }
     let mut rows = Vec::new();
     for &radius in &radii {
         let mut ys = Vec::new();
@@ -451,9 +471,14 @@ pub fn locality_table(p: &Profile) -> FigureTable {
                 radius,
                 p.queries,
                 11,
-            )
-            .expect("local queries");
-            assert_eq!(q.correct, p.queries);
+            )?;
+            if q.correct != p.queries {
+                return Err(format!(
+                    "local queries answered wrong: {}/{} correct",
+                    q.correct, p.queries
+                )
+                .into());
+            }
             ys.push(q.cost.mean_ratio());
         }
         let label = if radius >= bed.oracle.diameter() {
@@ -463,7 +488,7 @@ pub fn locality_table(p: &Profile) -> FigureTable {
         };
         rows.push((label, ys));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: format!(
             "Query cost ratio by requester distance ({}x{} grid, {} objects)",
             r,
@@ -473,14 +498,14 @@ pub fn locality_table(p: &Profile) -> FigureTable {
         x_label: "distance".into(),
         columns: algos.iter().map(|a| a.label().to_string()).collect(),
         rows,
-    }
+    })
 }
 
 /// Mobility-model stress test: maintenance cost ratios under the three
 /// mobility models, including the *commuter* model — perfectly
 /// predictable traffic, the best case for rate-built trees and the
 /// honest worst case for MOT's traffic-obliviousness.
-pub fn mobility_table(p: &Profile) -> FigureTable {
+pub fn mobility_table(p: &Profile) -> BenchResult {
     use mot_sim::MobilityModel;
     let (r, c) = (16usize, 16usize);
     let algos = [Algo::Mot, Algo::Stun, Algo::Dat, Algo::Zdat];
@@ -502,18 +527,18 @@ pub fn mobility_table(p: &Profile) -> FigureTable {
         let mut ys = Vec::new();
         for &algo in &algos {
             let mut t = bed.make_tracker(algo, &rates);
-            run_publish(t.as_mut(), &w).expect("publish");
-            let stats = replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+            run_publish(t.as_mut(), &w)?;
+            let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
             ys.push(stats.ratio());
         }
         rows.push((label.to_string(), ys));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: format!("Maintenance cost ratio by mobility model ({r}x{c} grid)"),
         x_label: "mobility".into(),
         columns: algos.iter().map(|a| a.label().to_string()).collect(),
         rows,
-    }
+    })
 }
 
 /// Backend scaling: fig4-style MOT maintenance over the profile's
@@ -522,7 +547,7 @@ pub fn mobility_table(p: &Profile) -> FigureTable {
 /// nodes, the dense limit) the lazy backend's LRU holds 256 rows
 /// (~12.6 MiB) against the 64 MiB matrix; a 128×128 grid would pit
 /// ~50 MiB of rows against a 1 GiB matrix.
-pub fn scale_table(p: &Profile) -> FigureTable {
+pub fn scale_table(p: &Profile) -> BenchResult {
     const MIB: f64 = (1024 * 1024) as f64;
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
@@ -531,8 +556,8 @@ pub fn scale_table(p: &Profile) -> FigureTable {
             .generate(&bed.graph);
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
         let mut t = bed.make_tracker(Algo::Mot, &rates);
-        run_publish(t.as_mut(), &w).expect("publish");
-        let stats = replay_moves(t.as_mut(), &w, &bed.oracle).expect("replay");
+        run_publish(t.as_mut(), &w)?;
+        let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
         let n = bed.graph.node_count();
         let dense_bytes = (n * n * std::mem::size_of::<f32>()) as f64;
         rows.push((
@@ -544,7 +569,7 @@ pub fn scale_table(p: &Profile) -> FigureTable {
             ],
         ));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: format!(
             "MOT maintenance at scale, {} distance backend (measured memory vs dense matrix)",
             p.oracle.label()
@@ -556,11 +581,11 @@ pub fn scale_table(p: &Profile) -> FigureTable {
             "dense_matrix_MiB".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// §7: amortized adaptability under churn.
-pub fn churn_table() -> FigureTable {
+pub fn churn_table() -> BenchResult {
     let mut rows = Vec::new();
     for &(r, c) in &[(8usize, 8usize), (16, 16)] {
         let bed = TestBed::grid(r, c, 6);
@@ -591,12 +616,112 @@ pub fn churn_table() -> FigureTable {
             ],
         ));
     }
-    FigureTable {
+    Ok(FigureTable {
         title: "Amortized adaptability under churn (§7: O(1) per cluster event)".into(),
         x_label: "nodes".into(),
         columns: vec!["updates/event".into(), "rebuilds".into()],
         rows,
+    })
+}
+
+/// Robustness sweep: the fig-4 grid workload replayed under injected
+/// faults — message drop rates × sensor crash counts — for MOT vs STUN.
+/// Per cell the table reports maintenance and query stretch of the
+/// *effective* traffic plus two overhead percentages (relative to the
+/// effective maintenance distance): `retry%`, the distance wasted on
+/// lost/duplicated transmissions, and `repair%`, the distance spent on
+/// crash handoffs and pointer-path re-publishes.
+///
+/// Every cell is also a health check: all queries must answer correctly
+/// (after self-repair) and a final repair pass must leave zero
+/// unrepaired objects, or the run fails with a readable error.
+pub fn faults_table(p: &Profile, grid: (usize, usize)) -> BenchResult {
+    let (r, c) = grid;
+    let drop_rates = [0.0, 0.01, 0.05, 0.10];
+    let crash_counts = [0usize, 4, 16];
+    let algos = [Algo::Mot, Algo::Stun];
+    let mut rows = Vec::new();
+    for &crashes in &crash_counts {
+        for &drop_rate in &drop_rates {
+            let mut ys = Vec::new();
+            for &algo in &algos {
+                let mut maint = CostStats::default();
+                let mut query = CostStats::default();
+                let (mut retry, mut repair) = (0.0, 0.0);
+                for seed in 0..p.seeds {
+                    let bed =
+                        TestBed::grid_with_oracle(r, c, seed, p.oracle).with_faults(FaultConfig {
+                            seed: seed * 101 + 13,
+                            drop_rate,
+                            crashes,
+                            ..FaultConfig::default()
+                        });
+                    let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1)
+                        .generate(&bed.graph);
+                    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+                    let mut plan = bed.fault_plan(w.moves.len()).ok_or("bed has no faults")?;
+                    let mut t = bed.make_tracker(algo, &rates);
+                    run_publish(t.as_mut(), &w)?;
+                    let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan)?;
+                    let q = run_queries_faulty(
+                        t.as_mut(),
+                        &bed.oracle,
+                        p.objects,
+                        p.queries,
+                        seed + 31,
+                        &mut plan,
+                    )?;
+                    if q.batch.correct != p.queries {
+                        return Err(format!(
+                            "{} (drop {drop_rate}, {crashes} crashes): {}/{} faulty \
+                             queries answered wrong",
+                            algo.label(),
+                            p.queries - q.batch.correct,
+                            p.queries
+                        )
+                        .into());
+                    }
+                    repair_all(t.as_mut(), p.objects)?;
+                    let unrepaired = unrepaired_objects(t.as_ref(), p.objects, bed.center());
+                    if unrepaired != 0 {
+                        return Err(format!(
+                            "{} (drop {drop_rate}, {crashes} crashes): {unrepaired} \
+                             objects unrepaired after the repair pass",
+                            algo.label()
+                        )
+                        .into());
+                    }
+                    maint.merge(&run.maintenance);
+                    query.merge(&q.batch.cost);
+                    retry += run.retry_overhead + q.retry_overhead;
+                    repair += t.repair_cost();
+                }
+                let effective = maint.total.max(f64::EPSILON);
+                ys.push(maint.ratio());
+                ys.push(query.mean_ratio());
+                ys.push(100.0 * retry / effective);
+                ys.push(100.0 * repair / effective);
+            }
+            rows.push((format!("d={:.0}% x={crashes}", drop_rate * 100.0), ys));
+        }
     }
+    Ok(FigureTable {
+        title: format!(
+            "Fault sweep on a {r}x{c} grid, {} objects (drop rate × crashes; \
+             overheads relative to effective maintenance distance)",
+            p.objects
+        ),
+        x_label: "faults".into(),
+        columns: algos
+            .iter()
+            .flat_map(|a| {
+                ["maint", "query", "retry%", "repair%"]
+                    .iter()
+                    .map(move |m| format!("{}_{m}", a.label()))
+            })
+            .collect(),
+        rows,
+    })
 }
 
 #[cfg(test)]
@@ -606,7 +731,7 @@ mod tests {
     #[test]
     fn quick_maintenance_figure_has_expected_shape() {
         let p = Profile::quick(5);
-        let t = maintenance_figure(&p, false);
+        let t = maintenance_figure(&p, false).unwrap();
         assert_eq!(t.rows.len(), p.grids.len());
         assert_eq!(t.columns.len(), 4);
         // every ratio at least 1 (costs can't beat optimal)
@@ -620,8 +745,8 @@ mod tests {
     #[test]
     fn quick_query_figure_runs_both_modes() {
         let p = Profile::quick(4);
-        let a = query_figure(&p, false);
-        let b = query_figure(&p, true);
+        let a = query_figure(&p, false).unwrap();
+        let b = query_figure(&p, true).unwrap();
         assert_eq!(a.rows.len(), b.rows.len());
     }
 
@@ -629,7 +754,7 @@ mod tests {
     fn load_figure_shows_balanced_mot() {
         let mut p = Profile::quick(30);
         p.grids = vec![(10, 10)];
-        let t = load_figure(&p, Algo::Stun, 0);
+        let t = load_figure(&p, Algo::Stun, 0).unwrap();
         let mot = &t.rows[0];
         let stun = &t.rows[1];
         assert_eq!(mot.0, "MOT+LB");
@@ -641,7 +766,7 @@ mod tests {
     #[test]
     fn publish_cost_is_linear_in_diameter() {
         let p = Profile::quick(20);
-        let t = publish_cost_table(&p);
+        let t = publish_cost_table(&p).unwrap();
         for (_, ys) in &t.rows {
             let cost_over_d = ys[2];
             assert!(
@@ -653,7 +778,7 @@ mod tests {
 
     #[test]
     fn churn_adaptability_is_constant_like() {
-        let t = churn_table();
+        let t = churn_table().unwrap();
         for (_, ys) in &t.rows {
             assert!(ys[0] < 10.0, "amortized adaptability {} too large", ys[0]);
         }
@@ -663,7 +788,7 @@ mod tests {
     fn state_size_is_constant_in_cluster_size() {
         let mut p = Profile::quick(10);
         p.grids = vec![(4, 4), (10, 10)];
-        let t = state_size_table(&p);
+        let t = state_size_table(&p).unwrap();
         for (_, ys) in &t.rows {
             let (naive, db_max) = (ys[0], ys[1]);
             assert!(db_max <= 8.0, "de Bruijn table {db_max} not constant");
@@ -679,7 +804,7 @@ mod tests {
         let mut p = Profile::quick(20);
         p.grids = vec![(12, 12)];
         p.queries = 150;
-        let t = locality_table(&p);
+        let t = locality_table(&p).unwrap();
         let mot = t.column("MOT").unwrap();
         let stun = t.column("STUN").unwrap();
         // STUN pays far more than MOT for the nearest requesters
@@ -700,7 +825,7 @@ mod tests {
     fn scale_table_reports_ratio_and_memory() {
         let mut p = Profile::quick(5).with_oracle(OracleKind::Lazy);
         p.grids = vec![(8, 8)];
-        let t = scale_table(&p);
+        let t = scale_table(&p).unwrap();
         assert_eq!(t.rows.len(), 1);
         let ys = &t.rows[0].1;
         assert!(ys[0] >= 1.0, "ratio {} below optimal", ys[0]);
@@ -710,10 +835,32 @@ mod tests {
     }
 
     #[test]
+    fn faults_table_covers_the_sweep_and_recovers_everything() {
+        let mut p = Profile::quick(6);
+        p.seeds = 1;
+        p.queries = 60;
+        let t = faults_table(&p, (8, 8)).unwrap();
+        assert_eq!(t.rows.len(), 12, "4 drop rates x 3 crash counts");
+        assert_eq!(t.columns.len(), 8, "4 metrics per algorithm");
+        // the clean cell pays no overhead at all
+        let clean = &t.rows[0];
+        assert_eq!(clean.0, "d=0% x=0");
+        assert_eq!(clean.1[2], 0.0, "MOT retry overhead in the clean cell");
+        assert_eq!(clean.1[3], 0.0, "MOT repair overhead in the clean cell");
+        // the harshest cell pays retry overhead and keeps stretch sane
+        let harsh = t.rows.last().unwrap();
+        assert_eq!(harsh.0, "d=10% x=16");
+        assert!(harsh.1[2] > 0.0, "10% drops must waste distance");
+        for (_, ys) in &t.rows {
+            assert!(ys[0] >= 1.0 && ys[4] >= 1.0, "stretch below optimal");
+        }
+    }
+
+    #[test]
     fn mobility_table_covers_three_models() {
         let mut p = Profile::quick(8);
         p.moves_per_object = 40;
-        let t = mobility_table(&p);
+        let t = mobility_table(&p).unwrap();
         assert_eq!(t.rows.len(), 3);
         let labels: Vec<&str> = t.rows.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(labels, vec!["random-walk", "waypoint", "commuter"]);

@@ -13,13 +13,15 @@
 //! | `fig8`…`fig11` | Figs. 8–11 | load/node vs STUN and Z-DAT |
 //! | `fig12`/`fig13` | Figs. 12–13 | maintenance ratio, concurrent |
 //! | `fig14`/`fig15` | Figs. 14–15 | query ratio, concurrent |
+//! | `faults` | — | fault sweep: drop rates × crashes, MOT vs STUN, 32×32 grid |
+//! | `faults-smoke` | — | fixed-seed 16×16 fault sweep (CI health check) |
 
 pub mod figures;
 pub mod report;
 
 pub use figures::{
-    ablation_table, churn_table, general_graph_table, load_figure, locality_table,
+    ablation_table, churn_table, faults_table, general_graph_table, load_figure, locality_table,
     maintenance_figure, mobility_table, publish_cost_table, query_figure, scale_table,
-    state_size_table, Profile,
+    state_size_table, BenchError, BenchResult, Profile,
 };
 pub use report::FigureTable;

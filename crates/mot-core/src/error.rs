@@ -14,6 +14,16 @@ pub enum CoreError {
     AlreadyPublished(ObjectId),
     /// A node id outside the network was used.
     UnknownNode(NodeId),
+    /// The operation hit tracking state lost to a crashed (or
+    /// rebooted-with-amnesia) sensor. A read-only `query` surfaces this
+    /// so a caller with mutable access can run
+    /// [`crate::Tracker::repair_object`] and retry; mutating operations
+    /// self-repair instead of returning it.
+    NodeDown(NodeId),
+    /// A lossy transport exhausted its retry budget for a message of
+    /// `object` after `attempts` transmissions; the operation did not
+    /// complete.
+    DeliveryFailed { object: ObjectId, attempts: u32 },
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +32,13 @@ impl fmt::Display for CoreError {
             CoreError::UnknownObject(o) => write!(f, "object {o} was never published"),
             CoreError::AlreadyPublished(o) => write!(f, "object {o} published twice"),
             CoreError::UnknownNode(u) => write!(f, "node {u} is not part of the network"),
+            CoreError::NodeDown(u) => {
+                write!(f, "node {u} crashed and lost its tracking state")
+            }
+            CoreError::DeliveryFailed { object, attempts } => write!(
+                f,
+                "delivery failed for a message of object {object} after {attempts} attempts"
+            ),
         }
     }
 }
@@ -41,5 +58,17 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(CoreError::UnknownNode(NodeId(5)).to_string().contains('5'));
+        assert!(CoreError::NodeDown(NodeId(4)).to_string().contains('4'));
+        let e = CoreError::DeliveryFailed {
+            object: ObjectId(2),
+            attempts: 16,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CoreError>();
     }
 }

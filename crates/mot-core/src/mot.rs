@@ -25,6 +25,15 @@ pub struct MotTracker<'a> {
     stores: NodeStores,
     records: HashMap<ObjectId, ObjectRecord>,
     clusters: Option<ClusterTable>,
+    /// Per-node liveness under the fault model (true = crashed).
+    down: Vec<bool>,
+    /// Number of nodes currently down (0 ⇒ skip liveness checks).
+    down_count: usize,
+    /// Whether any crash ever happened (false ⇒ skip damage scans, so a
+    /// fault-free run costs exactly what it did before the fault layer).
+    ever_crashed: bool,
+    /// Message distance spent on crash repair (handoffs + re-publishes).
+    repair_spent: f64,
 }
 
 impl<'a> MotTracker<'a> {
@@ -40,6 +49,10 @@ impl<'a> MotTracker<'a> {
             stores: NodeStores::new(overlay.node_count()),
             records: HashMap::new(),
             clusters,
+            down: vec![false; overlay.node_count()],
+            down_count: 0,
+            ever_crashed: false,
+            repair_spent: 0.0,
         }
     }
 
@@ -182,6 +195,109 @@ impl<'a> MotTracker<'a> {
         None
     }
 
+    /// Climbs `DPath(proxy)` from scratch, installing a complete trail
+    /// for `o` — the publish path, reused verbatim by crash repair so a
+    /// repaired object is indistinguishable from a freshly published one.
+    fn build_trail(&mut self, o: ObjectId, proxy: NodeId) -> (Vec<TrailLevel>, f64) {
+        let h = self.overlay.height();
+        let mut cost = 0.0;
+        let mut cur = proxy;
+        let mut trail = Vec::with_capacity(h + 1);
+        for level in 0..=h {
+            let station = self.overlay.station(proxy, level).to_vec();
+            let mut tl = TrailLevel::default();
+            for (j, &s) in station.iter().enumerate() {
+                cost += self.oracle.dist(cur, s);
+                cur = s;
+                let (holder, lb_cost) = self.placement(s, level, o);
+                cost += lb_cost;
+                self.stores.dl_add(s, level, o, holder);
+                tl.holders.push(s);
+                let (entry, sp_cost) = self.install_sp(proxy, level, j, s, o);
+                cost += sp_cost;
+                if let Some(e) = entry {
+                    tl.sp_entries.push(e);
+                }
+            }
+            trail.push(tl);
+        }
+        (trail, cost)
+    }
+
+    /// The live node nearest to `u` (deterministic tie-break by id) —
+    /// the handoff target when a proxy crashes.
+    fn nearest_live(&self, u: NodeId) -> Option<NodeId> {
+        let live: Vec<NodeId> = (0..self.overlay.node_count())
+            .map(NodeId::from_index)
+            .filter(|&v| v != u && !self.down[v.index()])
+            .collect();
+        self.oracle.nearest_in(u, &live)
+    }
+
+    /// The first crashed node on `DPath(v)`, if any — an operation
+    /// climbing from `v` cannot get past it until the node reboots.
+    fn path_blocked(&self, v: NodeId) -> Option<NodeId> {
+        if self.down_count == 0 {
+            return None;
+        }
+        (0..=self.overlay.height())
+            .flat_map(|l| self.overlay.station(v, l).iter().copied())
+            .find(|s| self.down[s.index()])
+    }
+
+    /// The first node on `o`'s recorded trail whose DL entry was lost to
+    /// a crash (or that is itself still down), if any.
+    fn damage_in(&self, o: ObjectId, rec: &ObjectRecord) -> Option<NodeId> {
+        for (level, tl) in rec.trail.iter().enumerate() {
+            for &hnode in &tl.holders {
+                if self.down[hnode.index()] || !self.stores.dl_has(hnode, level, o) {
+                    return Some(hnode);
+                }
+            }
+        }
+        None
+    }
+
+    /// Tears down what is left of `o`'s trail and re-publishes it from
+    /// `proxy` (the current proxy unless a crash handoff picked a new
+    /// one), billing the climb to the repair account.
+    fn repair_now(&mut self, o: ObjectId, new_proxy: Option<NodeId>) -> Result<f64> {
+        let rec = self.records.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        let proxy = match new_proxy {
+            Some(p) => p,
+            None => {
+                let p = rec.proxy();
+                if self.down[p.index()] {
+                    self.nearest_live(p).ok_or(CoreError::NodeDown(p))?
+                } else {
+                    p
+                }
+            }
+        };
+        if let Some(s) = self.path_blocked(proxy) {
+            // A crashed hierarchy node sits on the re-publish path:
+            // defer — the next operation after it reboots finishes.
+            return Err(CoreError::NodeDown(s));
+        }
+        let rec = self.records.remove(&o).expect("checked above");
+        // Scrub the surviving entries of the damaged trail. These are
+        // local state drops (the dead node's entries are already gone);
+        // the messages billed are the re-publish climb below.
+        for (level, tl) in rec.trail.iter().enumerate() {
+            for &hnode in &tl.holders {
+                let (holder, _) = self.placement(hnode, level, o);
+                self.stores.dl_remove(hnode, level, o, holder);
+            }
+            for &e in &tl.sp_entries {
+                self.stores.sdl_remove(e, level, o);
+            }
+        }
+        let (trail, cost) = self.build_trail(o, proxy);
+        self.records.insert(o, ObjectRecord { trail });
+        self.repair_spent += cost;
+        Ok(cost)
+    }
+
     /// Verifies the structural invariants of every object record; used by
     /// tests and exposed for the simulator's sanity sweeps. Panics with a
     /// description on violation.
@@ -230,39 +346,28 @@ impl Tracker for MotTracker<'_> {
         if self.records.contains_key(&o) {
             return Err(CoreError::AlreadyPublished(o));
         }
-        let h = self.overlay.height();
-        let mut cost = 0.0;
-        let mut cur = proxy;
-        let mut trail = Vec::with_capacity(h + 1);
-        for level in 0..=h {
-            let station = self.overlay.station(proxy, level).to_vec();
-            let mut tl = TrailLevel::default();
-            for (j, &s) in station.iter().enumerate() {
-                cost += self.oracle.dist(cur, s);
-                cur = s;
-                let (holder, lb_cost) = self.placement(s, level, o);
-                cost += lb_cost;
-                self.stores.dl_add(s, level, o, holder);
-                tl.holders.push(s);
-                let (entry, sp_cost) = self.install_sp(proxy, level, j, s, o);
-                cost += sp_cost;
-                if let Some(e) = entry {
-                    tl.sp_entries.push(e);
-                }
-            }
-            trail.push(tl);
+        if let Some(s) = self.path_blocked(proxy) {
+            return Err(CoreError::NodeDown(s));
         }
+        let (trail, cost) = self.build_trail(o, proxy);
         self.records.insert(o, ObjectRecord { trail });
         Ok(cost)
     }
 
     fn move_object(&mut self, o: ObjectId, to: NodeId) -> Result<MoveOutcome> {
         self.check_node(to)?;
-        let from = self
-            .records
-            .get(&o)
-            .ok_or(CoreError::UnknownObject(o))?
-            .proxy();
+        if !self.records.contains_key(&o) {
+            return Err(CoreError::UnknownObject(o));
+        }
+        if let Some(s) = self.path_blocked(to) {
+            return Err(CoreError::NodeDown(s));
+        }
+        if self.ever_crashed {
+            // Self-repair: a move touching a crash-damaged trail first
+            // re-publishes the pointer path, then proceeds normally.
+            self.repair_object(o)?;
+        }
+        let from = self.records.get(&o).expect("checked above").proxy();
         if from == to {
             return Ok(MoveOutcome { from, cost: 0.0 });
         }
@@ -367,6 +472,16 @@ impl Tracker for MotTracker<'_> {
     fn query(&self, from: NodeId, o: ObjectId) -> Result<QueryResult> {
         self.check_node(from)?;
         let rec = self.records.get(&o).ok_or(CoreError::UnknownObject(o))?;
+        if self.ever_crashed {
+            // A read-only query cannot repair; surface the dead node so
+            // a mutable caller can run `repair_object` and retry.
+            if let Some(s) = self.damage_in(o, rec) {
+                return Err(CoreError::NodeDown(s));
+            }
+            if let Some(s) = self.path_blocked(from) {
+                return Err(CoreError::NodeDown(s));
+            }
+        }
         let proxy = rec.proxy();
         let h = self.overlay.height();
         let mut cost = 0.0;
@@ -405,6 +520,73 @@ impl Tracker for MotTracker<'_> {
 
     fn node_loads(&self) -> Vec<usize> {
         self.stores.loads().to_vec()
+    }
+
+    fn crash_node(&mut self, u: NodeId) {
+        if u.index() >= self.overlay.node_count() || self.down[u.index()] {
+            return;
+        }
+        self.down[u.index()] = true;
+        self.down_count += 1;
+        self.ever_crashed = true;
+        self.stores.wipe_node(u);
+        // Graceful degradation: objects proxied at the crashed sensor
+        // are re-detected by the nearest live sensor, which takes over
+        // as proxy immediately (one handoff hop, billed as repair). The
+        // rest of the pointer path is re-published lazily by the next
+        // operation that notices the damage.
+        let mut orphaned: Vec<ObjectId> = self
+            .records
+            .iter()
+            .filter(|(_, rec)| rec.proxy() == u)
+            .map(|(&o, _)| o)
+            .collect();
+        orphaned.sort();
+        for o in orphaned {
+            let Some(next) = self.nearest_live(u) else {
+                break;
+            };
+            self.repair_spent += self.oracle.dist(u, next);
+            let (holder, _) = self.placement(next, 0, o);
+            let old_sp = {
+                let rec = self
+                    .records
+                    .get_mut(&o)
+                    .expect("orphan ids come from records");
+                rec.trail[0].holders = vec![next];
+                std::mem::take(&mut rec.trail[0].sp_entries)
+            };
+            self.stores.dl_add(next, 0, o, holder);
+            for e in old_sp {
+                // Old guards point at the dead proxy; drop them locally.
+                self.stores.sdl_remove(e, 0, o);
+            }
+        }
+    }
+
+    fn recover_node(&mut self, u: NodeId) {
+        if u.index() < self.overlay.node_count() && self.down[u.index()] {
+            self.down[u.index()] = false;
+            self.down_count -= 1;
+        }
+    }
+
+    fn repair_object(&mut self, o: ObjectId) -> Result<f64> {
+        if !self.ever_crashed {
+            return Ok(0.0);
+        }
+        let damaged = {
+            let rec = self.records.get(&o).ok_or(CoreError::UnknownObject(o))?;
+            self.damage_in(o, rec).is_some()
+        };
+        if !damaged {
+            return Ok(0.0);
+        }
+        self.repair_now(o, None)
+    }
+
+    fn repair_cost(&self) -> f64 {
+        self.repair_spent
     }
 }
 
@@ -650,6 +832,85 @@ mod tests {
         // LB probing costs are included, so queries cost at least as much
         // as the plain-mode distance floor of zero.
         assert!(t.query(proxy, ObjectId(0)).unwrap().cost >= 0.0);
+    }
+
+    #[test]
+    fn crashed_proxy_hands_object_to_live_neighbor() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        t.publish(o, NodeId(14)).unwrap();
+        t.crash_node(NodeId(14));
+        let new_proxy = t.proxy_of(o).unwrap();
+        assert_ne!(new_proxy, NodeId(14), "object handed off the dead proxy");
+        assert_eq!(
+            f.m.dist(NodeId(14), new_proxy),
+            1.0,
+            "handoff goes to the nearest live sensor"
+        );
+        assert!(t.repair_cost() > 0.0, "the handoff hop is billed as repair");
+        t.recover_node(NodeId(14));
+        // the next touch finishes the repair; queries then resolve to
+        // the handoff proxy from everywhere
+        t.repair_object(o).unwrap();
+        for x in f.g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, new_proxy);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn crash_mid_trail_query_surfaces_node_down_then_repairs() {
+        let f = fixture(8, 8);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        t.publish(o, NodeId(0)).unwrap();
+        // crash an internal (non-proxy) holder on the trail
+        let victim = (0..64)
+            .map(NodeId::from_index)
+            .find(|&v| v != NodeId(0) && (1..=f.overlay.height()).any(|l| t.holds(v, l, o)))
+            .expect("a published trail has internal holders");
+        t.crash_node(victim);
+        t.recover_node(victim);
+        let err = t.query(NodeId(63), o).unwrap_err();
+        assert!(matches!(err, CoreError::NodeDown(_)), "got {err:?}");
+        let c = t.repair_object(o).unwrap();
+        assert!(c > 0.0, "repair re-publishes the path");
+        assert!(t.repair_cost() >= c);
+        assert_eq!(t.query(NodeId(63), o).unwrap().proxy, NodeId(0));
+        assert_eq!(t.repair_object(o).unwrap(), 0.0, "repair is idempotent");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn move_self_repairs_after_proxy_crash() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        t.publish(o, NodeId(14)).unwrap();
+        t.crash_node(NodeId(14));
+        t.recover_node(NodeId(14));
+        let handoff = t.proxy_of(o).unwrap();
+        let mv = t.move_object(o, NodeId(21)).unwrap();
+        assert_eq!(mv.from, handoff, "move starts from the handoff proxy");
+        assert_eq!(t.proxy_of(o), Some(NodeId(21)));
+        for x in f.g.nodes() {
+            assert_eq!(t.query(x, o).unwrap().proxy, NodeId(21));
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn operations_refuse_paths_through_down_nodes() {
+        let f = fixture(6, 6);
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        t.crash_node(NodeId(14));
+        assert_eq!(
+            t.publish(ObjectId(0), NodeId(14)),
+            Err(CoreError::NodeDown(NodeId(14)))
+        );
+        t.recover_node(NodeId(14));
+        t.publish(ObjectId(0), NodeId(14)).unwrap();
     }
 
     #[test]

@@ -158,6 +158,25 @@ impl NodeStores {
         }
     }
 
+    /// Simulates a crash of node `u`: every DL and SDL entry physically
+    /// stored there is lost. Returns the number of entries wiped.
+    ///
+    /// Load accounting assumes entries are charged to the node that
+    /// stores them (plain mode); the fault model does not compose with
+    /// load-balanced placement, whose entries live on hashed cluster
+    /// members.
+    pub fn wipe_node(&mut self, u: NodeId) -> usize {
+        let dl = std::mem::take(&mut self.dl[u.index()]);
+        let sdl = std::mem::take(&mut self.sdl[u.index()]);
+        let wiped = dl
+            .values()
+            .map(|mask| mask.count_ones() as usize)
+            .sum::<usize>()
+            + sdl.values().map(Vec::len).sum::<usize>();
+        self.load[u.index()] = self.load[u.index()].saturating_sub(wiped);
+        wiped
+    }
+
     /// Physical per-node load snapshot.
     pub fn loads(&self) -> &[usize] {
         &self.load

@@ -49,6 +49,36 @@ pub trait Tracker {
     /// Per-node count of stored object/bookkeeping entries — the
     /// load metric of Figs. 8–11.
     fn node_loads(&self) -> Vec<usize>;
+
+    // ---- fault model (optional) ---------------------------------------
+    //
+    // Trackers with a failure model override these; the defaults make
+    // crashes invisible so baselines without one keep compiling and a
+    // zero-fault run is bit-identical to a run without the fault layer.
+
+    /// Marks sensor `u` as crashed: every tracking entry it stored is
+    /// lost. Trackers with a failure model may eagerly hand objects
+    /// proxied at `u` to a live neighbor (billing the handoff to the
+    /// repair account); orphaned directory entries elsewhere are repaired
+    /// lazily by the next operation that hits them.
+    fn crash_node(&mut self, _u: NodeId) {}
+
+    /// Marks sensor `u` as rebooted: alive again, with empty memory.
+    fn recover_node(&mut self, _u: NodeId) {}
+
+    /// Re-publishes the pointer path of `o` if crash damage is detected,
+    /// billing the cost to the repair account. Returns the cost of this
+    /// repair (0.0 when nothing was damaged).
+    fn repair_object(&mut self, _o: ObjectId) -> Result<f64> {
+        Ok(0.0)
+    }
+
+    /// Total message distance spent on crash repair so far (handoffs and
+    /// path re-publications) — the degradation account reported by the
+    /// fault experiments.
+    fn repair_cost(&self) -> f64 {
+        0.0
+    }
 }
 
 #[cfg(test)]

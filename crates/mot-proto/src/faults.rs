@@ -1,0 +1,139 @@
+//! The fault-model interface consulted by [`crate::LossyTransport`].
+//!
+//! The transport asks the model one question per transmission attempt
+//! (lost or not?), one per successful delivery (duplicated or not?), and
+//! checks receiver liveness. Implementations must be deterministic for a
+//! fixed construction (seeded RNG or script) so every faulty run is
+//! replayable; `mot-sim`'s `FaultPlan` is the seeded rate-based
+//! implementation, while [`ScriptedFaults`] here drives unit tests.
+
+use mot_net::NodeId;
+use std::collections::{HashSet, VecDeque};
+
+/// Decides the fate of individual transmissions. Consulted by the lossy
+/// transport in delivery order, so implementations may use a sequential
+/// RNG and stay deterministic.
+pub trait FaultModel {
+    /// Whether this transmission attempt from `src` to `dst` vanishes
+    /// (link loss). Consulted once per attempt, retransmissions included.
+    fn drop_message(&mut self, src: NodeId, dst: NodeId) -> bool;
+
+    /// Whether a successful delivery spawns one redundant duplicate
+    /// (e.g. a lost ack making the sender retransmit anyway).
+    fn duplicate_message(&mut self, src: NodeId, dst: NodeId) -> bool;
+
+    /// Whether this delivery is deferred behind the rest of the queue
+    /// (timeout-induced reordering). Costs nothing — the message simply
+    /// arrives later. Implementations must not answer `true` forever for
+    /// the same message or delivery livelocks.
+    fn delay_message(&mut self, _src: NodeId, _dst: NodeId) -> bool {
+        false
+    }
+
+    /// Whether `u` is currently crashed — its inbox is gone, so every
+    /// transmission to it is lost without consulting [`Self::drop_message`].
+    fn node_down(&self, _u: NodeId) -> bool {
+        false
+    }
+}
+
+/// The always-clean model: no drops, no duplicates, no crashes. A lossy
+/// transport over `NoFaults` bills exactly what the reliable one does.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn drop_message(&mut self, _src: NodeId, _dst: NodeId) -> bool {
+        false
+    }
+    fn duplicate_message(&mut self, _src: NodeId, _dst: NodeId) -> bool {
+        false
+    }
+}
+
+/// A scripted model for unit tests: each consultation pops the next
+/// decision from its queue, defaulting to "no fault" when the script
+/// runs dry. Nodes in `down` are crashed until removed.
+#[derive(Debug, Default)]
+pub struct ScriptedFaults {
+    pub drops: VecDeque<bool>,
+    pub dups: VecDeque<bool>,
+    pub delays: VecDeque<bool>,
+    pub down: HashSet<NodeId>,
+}
+
+impl ScriptedFaults {
+    /// A script that answers `drop_message` from `script`, never
+    /// duplicates, and has no crashed nodes.
+    pub fn dropping(script: impl IntoIterator<Item = bool>) -> Self {
+        ScriptedFaults {
+            drops: script.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A script that answers `duplicate_message` from `script`.
+    pub fn duplicating(script: impl IntoIterator<Item = bool>) -> Self {
+        ScriptedFaults {
+            dups: script.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A script that answers `delay_message` from `script`.
+    pub fn delaying(script: impl IntoIterator<Item = bool>) -> Self {
+        ScriptedFaults {
+            delays: script.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A model where every node in `down` is crashed forever.
+    pub fn nodes_down(down: impl IntoIterator<Item = NodeId>) -> Self {
+        ScriptedFaults {
+            down: down.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+}
+
+impl FaultModel for ScriptedFaults {
+    fn drop_message(&mut self, _src: NodeId, _dst: NodeId) -> bool {
+        self.drops.pop_front().unwrap_or(false)
+    }
+    fn duplicate_message(&mut self, _src: NodeId, _dst: NodeId) -> bool {
+        self.dups.pop_front().unwrap_or(false)
+    }
+    fn delay_message(&mut self, _src: NodeId, _dst: NodeId) -> bool {
+        self.delays.pop_front().unwrap_or(false)
+    }
+    fn node_down(&self, u: NodeId) -> bool {
+        self.down.contains(&u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_model_replays_and_runs_dry_clean() {
+        let mut f = ScriptedFaults::dropping([true, false]);
+        assert!(f.drop_message(NodeId(0), NodeId(1)));
+        assert!(!f.drop_message(NodeId(0), NodeId(1)));
+        assert!(!f.drop_message(NodeId(0), NodeId(1)), "dry script is clean");
+        assert!(!f.duplicate_message(NodeId(0), NodeId(1)));
+        assert!(!f.node_down(NodeId(0)));
+        let g = ScriptedFaults::nodes_down([NodeId(3)]);
+        assert!(g.node_down(NodeId(3)));
+        assert!(!g.node_down(NodeId(2)));
+    }
+
+    #[test]
+    fn no_faults_is_clean() {
+        let mut f = NoFaults;
+        assert!(!f.drop_message(NodeId(0), NodeId(1)));
+        assert!(!f.duplicate_message(NodeId(0), NodeId(1)));
+        assert!(!f.node_down(NodeId(0)));
+    }
+}

@@ -13,7 +13,9 @@
 //!   query descent should visit), SDL entries, and the handler that maps
 //!   one incoming message to outgoing messages,
 //! * [`transport`] — a deterministic message queue with a distance-based
-//!   cost ledger per message kind,
+//!   cost ledger per message kind, plus [`LossyTransport`]: an ack/retry
+//!   pipe that consults a pluggable [`faults::FaultModel`] and bills
+//!   fault overhead under the uncharged `retries` kind,
 //! * [`runtime`] — [`ProtoTracker`], a [`mot_core::Tracker`] that drives
 //!   the node machines to quiescence per operation (the paper's
 //!   one-by-one case).
@@ -54,11 +56,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod faults;
 pub mod message;
 pub mod node;
 pub mod runtime;
 pub mod transport;
 
+pub use faults::{FaultModel, NoFaults, ScriptedFaults};
 pub use message::{Message, Payload};
 pub use runtime::{BatchOp, BatchOutcome, ProtoTracker};
-pub use transport::{CostLedger, TimedTransport, Transport};
+pub use transport::{
+    CostLedger, Delivery, LossyTransport, TimedTransport, Transport, RETRIES_KIND,
+};

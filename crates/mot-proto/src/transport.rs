@@ -6,9 +6,16 @@
 //! the ledger separates charged protocol traffic from uncharged
 //! bookkeeping (special-parent updates, repoints) and from query replies.
 
+use crate::faults::FaultModel;
 use crate::message::{Message, Payload};
 use mot_net::DistanceOracle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Ledger kind under which fault overhead is billed: lost transmissions,
+/// retransmissions, and redundant duplicate arrivals. Never charged —
+/// each operation's charged cost stays "one bill per effective delivery"
+/// so zero-fault runs are bit-identical to the reliable transport.
+pub const RETRIES_KIND: &str = "retries";
 
 /// Per-kind accumulated message distance.
 #[derive(Clone, Debug, Default)]
@@ -32,6 +39,19 @@ impl CostLedger {
             self.charged += dist;
         }
         self.messages += 1;
+    }
+
+    /// Bills a wasted transmission (drop, retransmission, or duplicate
+    /// arrival) to the [`RETRIES_KIND`] account without charging it.
+    fn bill_retry(&mut self, dist: f64) {
+        *self.by_kind.entry(RETRIES_KIND).or_insert(0.0) += dist;
+        self.messages += 1;
+    }
+
+    /// Total fault overhead (lost + duplicate transmission distance)
+    /// since the last reset.
+    pub fn retries(&self) -> f64 {
+        self.of_kind(RETRIES_KIND)
     }
 
     /// Clears the per-operation counters.
@@ -72,6 +92,140 @@ impl Transport {
         let dist = oracle.dist(msg.src, msg.dst);
         self.ledger.bill(&msg.payload, dist);
         Some(msg)
+    }
+
+    /// True when no messages remain in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// What a [`LossyTransport::deliver`] call produced.
+#[derive(Debug)]
+pub enum Delivery {
+    /// First successful arrival of this message: apply its effects.
+    Apply(Message),
+    /// A redundant duplicate of an already-applied message; billed as
+    /// retry overhead. The handler must NOT run again.
+    Duplicate(Message),
+    /// The retry budget is exhausted; the operation cannot complete.
+    Failed { msg: Message, attempts: u32 },
+}
+
+/// A message with its ack/retry bookkeeping.
+#[derive(Debug)]
+struct InFlight {
+    /// Per-message sequence number: the dedup key that makes redelivery
+    /// idempotent (effects are applied exactly once per sequence number).
+    seq: u64,
+    /// Transmission attempts made so far.
+    attempt: u32,
+    msg: Message,
+}
+
+/// A lossy FIFO transport: every transmission consults a [`FaultModel`]
+/// (drop? duplicate? receiver crashed?) and charged traffic is protected
+/// by an ack/retry protocol — a lost transmission is retransmitted from
+/// the back of the queue (the implicit ack timeout doubles as backoff)
+/// until `max_attempts` is reached, at which point delivery fails.
+///
+/// Billing: each effective delivery is billed once, exactly like the
+/// reliable [`Transport`]; all wasted distance (drops, retransmissions
+/// that were themselves dropped, duplicate arrivals) accrues under the
+/// uncharged [`RETRIES_KIND`]. Over a clean fault model the ledger is
+/// therefore bit-identical to the reliable transport's.
+pub struct LossyTransport {
+    queue: VecDeque<InFlight>,
+    pub ledger: CostLedger,
+    faults: Box<dyn FaultModel>,
+    /// Transmission attempts per message before giving up.
+    pub max_attempts: u32,
+    next_seq: u64,
+    /// Sequence numbers whose effects were already applied.
+    applied: HashSet<u64>,
+}
+
+impl LossyTransport {
+    /// Wraps a fault model; `max_attempts` bounds the retry budget
+    /// (must be ≥ 1).
+    pub fn new(faults: Box<dyn FaultModel>, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        LossyTransport {
+            queue: VecDeque::new(),
+            ledger: CostLedger::default(),
+            faults,
+            max_attempts,
+            next_seq: 0,
+            applied: HashSet::new(),
+        }
+    }
+
+    /// Enqueues a message with a fresh sequence number.
+    pub fn send(&mut self, msg: Message) {
+        self.queue.push_back(InFlight {
+            seq: self.next_seq,
+            attempt: 0,
+            msg,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Enqueues a batch.
+    pub fn send_all(&mut self, msgs: impl IntoIterator<Item = Message>) {
+        for m in msgs {
+            self.send(m);
+        }
+    }
+
+    /// Runs the loss process until a message arrives (or the queue
+    /// drains): dropped attempts are billed as retries and retransmitted;
+    /// arrivals are deduplicated by sequence number.
+    pub fn deliver(&mut self, oracle: &dyn DistanceOracle) -> Option<Delivery> {
+        while let Some(mut inflight) = self.queue.pop_front() {
+            if self
+                .faults
+                .delay_message(inflight.msg.src, inflight.msg.dst)
+            {
+                // Timeout-induced reordering: the message falls behind the
+                // rest of the queue at no cost and with no attempt spent.
+                self.queue.push_back(inflight);
+                continue;
+            }
+            let dist = oracle.dist(inflight.msg.src, inflight.msg.dst);
+            inflight.attempt += 1;
+            let lost = self.faults.node_down(inflight.msg.dst)
+                || self.faults.drop_message(inflight.msg.src, inflight.msg.dst);
+            if lost {
+                self.ledger.bill_retry(dist);
+                if inflight.attempt >= self.max_attempts {
+                    return Some(Delivery::Failed {
+                        attempts: inflight.attempt,
+                        msg: inflight.msg,
+                    });
+                }
+                self.queue.push_back(inflight);
+                continue;
+            }
+            if !self.applied.insert(inflight.seq) {
+                self.ledger.bill_retry(dist);
+                return Some(Delivery::Duplicate(inflight.msg));
+            }
+            self.ledger.bill(&inflight.msg.payload, dist);
+            if self
+                .faults
+                .duplicate_message(inflight.msg.src, inflight.msg.dst)
+            {
+                // A lost ack: the sender will retransmit even though the
+                // message arrived. Same sequence number, fresh budget.
+                self.queue.push_back(InFlight {
+                    seq: inflight.seq,
+                    attempt: 0,
+                    msg: inflight.msg.clone(),
+                });
+            }
+            return Some(Delivery::Apply(inflight.msg));
+        }
+        None
     }
 
     /// True when no messages remain in flight.
@@ -307,6 +461,150 @@ mod tests {
             index: 0,
         };
         assert_eq!(q.level_entry(), None, "level-0 start is not a level entry");
+    }
+
+    #[test]
+    fn lossy_over_no_faults_matches_reliable_billing() {
+        use crate::faults::NoFaults;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        let mk = || {
+            msg(
+                0,
+                4,
+                Payload::Query {
+                    object: ObjectId(0),
+                    origin: NodeId(0),
+                    level: 0,
+                    index: 0,
+                },
+            )
+        };
+        let mut reliable = Transport::new();
+        reliable.send(mk());
+        reliable.deliver(&m).unwrap();
+        let mut lossy = LossyTransport::new(Box::new(NoFaults), 8);
+        lossy.send(mk());
+        assert!(matches!(lossy.deliver(&m), Some(Delivery::Apply(_))));
+        assert_eq!(lossy.ledger.charged, reliable.ledger.charged);
+        assert_eq!(lossy.ledger.messages, reliable.ledger.messages);
+        assert_eq!(lossy.ledger.retries(), 0.0);
+        assert!(lossy.is_idle());
+    }
+
+    #[test]
+    fn dropped_transmissions_are_retried_and_billed_as_retries() {
+        use crate::faults::ScriptedFaults;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        // first two attempts drop, third succeeds
+        let faults = ScriptedFaults::dropping([true, true, false]);
+        let mut t = LossyTransport::new(Box::new(faults), 8);
+        t.send(msg(
+            0,
+            4,
+            Payload::Query {
+                object: ObjectId(0),
+                origin: NodeId(0),
+                level: 0,
+                index: 0,
+            },
+        ));
+        let d = t.deliver(&m);
+        assert!(matches!(d, Some(Delivery::Apply(_))), "got {d:?}");
+        assert_eq!(t.ledger.charged, 4.0, "charged once per delivery");
+        assert_eq!(t.ledger.retries(), 8.0, "two wasted 4-distance attempts");
+        assert_eq!(t.ledger.messages, 3);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_instead_of_hanging() {
+        use crate::faults::ScriptedFaults;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        // the receiver is crashed forever: every attempt is lost
+        let faults = ScriptedFaults::nodes_down([NodeId(4)]);
+        let mut t = LossyTransport::new(Box::new(faults), 5);
+        t.send(msg(
+            0,
+            4,
+            Payload::Query {
+                object: ObjectId(7),
+                origin: NodeId(0),
+                level: 0,
+                index: 0,
+            },
+        ));
+        match t.deliver(&m) {
+            Some(Delivery::Failed { msg, attempts }) => {
+                assert_eq!(attempts, 5);
+                assert_eq!(msg.payload.object(), ObjectId(7));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(t.ledger.charged, 0.0, "nothing was delivered");
+        assert_eq!(t.ledger.retries(), 20.0, "five wasted attempts");
+    }
+
+    #[test]
+    fn duplicates_arrive_but_apply_once() {
+        use crate::faults::ScriptedFaults;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        let faults = ScriptedFaults::duplicating([true]);
+        let mut t = LossyTransport::new(Box::new(faults), 8);
+        t.send(msg(
+            0,
+            4,
+            Payload::Query {
+                object: ObjectId(0),
+                origin: NodeId(0),
+                level: 0,
+                index: 0,
+            },
+        ));
+        assert!(matches!(t.deliver(&m), Some(Delivery::Apply(_))));
+        assert!(
+            matches!(t.deliver(&m), Some(Delivery::Duplicate(_))),
+            "the redundant copy surfaces as Duplicate, never Apply"
+        );
+        assert!(t.deliver(&m).is_none());
+        assert_eq!(t.ledger.charged, 4.0, "charged once despite two arrivals");
+        assert_eq!(t.ledger.retries(), 4.0, "the duplicate is fault overhead");
+    }
+
+    #[test]
+    fn delayed_messages_reorder_without_cost() {
+        use crate::faults::ScriptedFaults;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        // first pop is delayed: the second message overtakes the first
+        let faults = ScriptedFaults::delaying([true]);
+        let mut t = LossyTransport::new(Box::new(faults), 8);
+        for object in [ObjectId(0), ObjectId(1)] {
+            t.send(msg(
+                0,
+                4,
+                Payload::Query {
+                    object,
+                    origin: NodeId(0),
+                    level: 0,
+                    index: 0,
+                },
+            ));
+        }
+        let first = match t.deliver(&m) {
+            Some(Delivery::Apply(m)) => m,
+            other => panic!("expected Apply, got {other:?}"),
+        };
+        assert_eq!(first.payload.object(), ObjectId(1), "overtaken");
+        let second = match t.deliver(&m) {
+            Some(Delivery::Apply(m)) => m,
+            other => panic!("expected Apply, got {other:?}"),
+        };
+        assert_eq!(second.payload.object(), ObjectId(0));
+        assert_eq!(t.ledger.charged, 8.0, "both still billed exactly once");
+        assert_eq!(t.ledger.retries(), 0.0, "delay is free");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   (adjacent random walks, shortest-path waypoint tours),
 //! * [`run`] — one-by-one execution: publish, replay moves, issue
 //!   queries, with cost-ratio accounting against the optimal costs,
+//! * [`faults`] — seeded, replayable fault plans (message loss,
+//!   duplication, delay, link failures, sensor crashes) and the faulty
+//!   replay/query harness that exercises tracker self-repair,
 //! * [`concurrent`] — the discrete-event engine for concurrent
 //!   executions: message latency = distance, per-level forwarding periods
 //!   `Φ(i) ∝ 2^i` (§4.1.2), bounded in-flight operations per object,
@@ -40,6 +43,7 @@
 
 pub mod concurrent;
 pub mod error;
+pub mod faults;
 pub mod io;
 pub mod metrics;
 pub mod mobility;
@@ -48,6 +52,10 @@ pub mod testbed;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentEngine};
 pub use error::SimError;
+pub use faults::{
+    repair_all, replay_moves_faulty, run_queries_faulty, unrepaired_objects, FaultConfig,
+    FaultPlan, FaultyQueryStats, FaultyRunStats,
+};
 pub use io::{load_workload, save_workload, validate_against};
 pub use metrics::{CostStats, LoadStats};
 pub use mobility::{MobilityModel, MoveOp, Workload, WorkloadSpec};

@@ -7,6 +7,7 @@
 //! (traffic-obliviousness is its defining property).
 
 use crate::concurrent::ClimbStructure;
+use crate::faults::{FaultConfig, FaultPlan};
 use mot_baselines::{build_dat, build_stun, build_zdat, DetectionRates, TreeTracker, ZdatParams};
 use mot_core::{MotConfig, MotTracker};
 use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
@@ -64,6 +65,8 @@ pub struct TestBed {
     pub graph: Graph,
     pub oracle: Box<dyn DistanceOracle>,
     pub overlay: Overlay,
+    /// Optional fault environment; [`TestBed::fault_plan`] expands it.
+    pub faults: Option<FaultConfig>,
 }
 
 impl TestBed {
@@ -129,7 +132,22 @@ impl TestBed {
             graph,
             oracle,
             overlay,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault environment to this bed.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = Some(cfg);
+        self
+    }
+
+    /// Expands the attached fault config (if any) into a replayable plan
+    /// over this bed's sensors and a workload of `steps` moves.
+    pub fn fault_plan(&self, steps: usize) -> Option<FaultPlan> {
+        self.faults
+            .as_ref()
+            .map(|cfg| cfg.plan(self.graph.node_count(), steps))
     }
 
     /// `rows × cols` unit grid bed (the paper's topology).

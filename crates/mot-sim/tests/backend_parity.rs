@@ -7,7 +7,10 @@
 
 use mot_baselines::DetectionRates;
 use mot_net::OracleKind;
-use mot_sim::{replay_moves, run_publish, run_queries, Algo, TestBed, WorkloadSpec};
+use mot_sim::{
+    replay_moves, replay_moves_faulty, run_publish, run_queries, run_queries_faulty, Algo,
+    FaultConfig, TestBed, WorkloadSpec,
+};
 
 struct PipelineOutcome {
     publish: f64,
@@ -52,6 +55,55 @@ fn grid_pipeline_costs_are_identical_dense_vs_lazy_vs_hybrid() {
             );
             assert_eq!(other.query_ratio, dense.query_ratio, "{label}: query ratio");
             assert_eq!(other.correct, dense.correct, "{label}: query correctness");
+        }
+    }
+}
+
+/// The same pipeline threaded through the fault harness instead of the
+/// reliable one.
+fn run_pipeline_faulty(kind: OracleKind, algo: Algo, cfg: &FaultConfig) -> PipelineOutcome {
+    let bed = TestBed::grid_with_oracle(12, 12, 7, kind).with_faults(cfg.clone());
+    let w = WorkloadSpec::new(4, 120, 3).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut plan = bed.fault_plan(w.moves.len()).unwrap();
+    let mut t = bed.make_tracker(algo, &rates);
+    let publish = run_publish(t.as_mut(), &w).unwrap();
+    let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan).unwrap();
+    let q = run_queries_faulty(t.as_mut(), &bed.oracle, 4, 80, 5, &mut plan).unwrap();
+    PipelineOutcome {
+        publish,
+        maintenance: run.maintenance.total,
+        maintenance_ratio: run.maintenance.ratio(),
+        query_ratio: q.batch.cost.ratio(),
+        correct: q.batch.correct,
+    }
+}
+
+/// The acceptance gate for the fault layer: with all rates zero the
+/// faulty harness must reproduce the reliable pipeline's cost accounts
+/// bit for bit — the fault machinery costs nothing when disabled.
+#[test]
+fn zero_fault_pipeline_is_bit_identical_to_the_reliable_one() {
+    let clean = FaultConfig::default();
+    for algo in [Algo::Mot, Algo::MotLb, Algo::Stun] {
+        for kind in [OracleKind::Dense, OracleKind::Lazy] {
+            let reliable = run_pipeline(kind, algo);
+            let faulty = run_pipeline_faulty(kind, algo, &clean);
+            let label = format!("{algo:?}/{kind:?}");
+            assert_eq!(faulty.publish, reliable.publish, "{label}: publish cost");
+            assert_eq!(
+                faulty.maintenance, reliable.maintenance,
+                "{label}: maintenance cost"
+            );
+            assert_eq!(
+                faulty.maintenance_ratio, reliable.maintenance_ratio,
+                "{label}: maintenance ratio"
+            );
+            assert_eq!(
+                faulty.query_ratio, reliable.query_ratio,
+                "{label}: query ratio"
+            );
+            assert_eq!(faulty.correct, reliable.correct, "{label}: correctness");
         }
     }
 }

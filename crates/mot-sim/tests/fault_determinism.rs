@@ -1,0 +1,83 @@
+//! Determinism regression for the fault layer: one `FaultConfig` seed
+//! must expand to bit-identical fault schedules, cost ledgers, and
+//! repair accounts — across repeated runs and across distance backends.
+//! Faulty experiments are only trustworthy if they replay exactly.
+
+use mot_baselines::DetectionRates;
+use mot_net::OracleKind;
+use mot_sim::{
+    replay_moves_faulty, run_publish, run_queries_faulty, unrepaired_objects, Algo, FaultConfig,
+    FaultyQueryStats, FaultyRunStats, TestBed,
+};
+use mot_sim::{Workload, WorkloadSpec};
+
+const OBJECTS: usize = 4;
+
+fn config() -> FaultConfig {
+    FaultConfig {
+        seed: 77,
+        drop_rate: 0.08,
+        duplicate_rate: 0.03,
+        delay_rate: 0.02,
+        crashes: 20,
+        ..FaultConfig::default()
+    }
+}
+
+struct FaultyOutcome {
+    schedule: Vec<(usize, mot_net::NodeId)>,
+    run: FaultyRunStats,
+    queries: FaultyQueryStats,
+    repair_cost: f64,
+    unrepaired: usize,
+}
+
+fn run_faulty(kind: OracleKind, algo: Algo, w: &Workload) -> FaultyOutcome {
+    let bed = TestBed::grid_with_oracle(10, 10, 4, kind).with_faults(config());
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut plan = bed.fault_plan(w.moves.len()).unwrap();
+    let schedule = plan.crash_schedule().to_vec();
+    let mut t = bed.make_tracker(algo, &rates);
+    run_publish(t.as_mut(), w).unwrap();
+    let run = replay_moves_faulty(t.as_mut(), w, &bed.oracle, &mut plan).unwrap();
+    let queries = run_queries_faulty(t.as_mut(), &bed.oracle, OBJECTS, 100, 6, &mut plan).unwrap();
+    FaultyOutcome {
+        schedule,
+        run,
+        repair_cost: t.repair_cost(),
+        unrepaired: unrepaired_objects(t.as_ref(), OBJECTS, bed.center()),
+        queries,
+    }
+}
+
+#[test]
+fn same_seed_replays_bit_identically_across_runs_and_backends() {
+    let w = WorkloadSpec::new(OBJECTS, 80, 12).generate(&TestBed::grid(10, 10, 4).graph);
+    for algo in [Algo::Mot, Algo::Stun] {
+        let first = run_faulty(OracleKind::Dense, algo, &w);
+        // identical rerun: schedules, ledgers, and repair accounts match
+        let rerun = run_faulty(OracleKind::Dense, algo, &w);
+        let label = algo.label();
+        assert_eq!(rerun.schedule, first.schedule, "{label}: crash schedule");
+        assert_eq!(rerun.run, first.run, "{label}: maintenance account");
+        assert_eq!(rerun.queries, first.queries, "{label}: query account");
+        assert_eq!(rerun.repair_cost, first.repair_cost, "{label}: repairs");
+        // a different distance backend changes nothing either
+        let lazy = run_faulty(OracleKind::Lazy, algo, &w);
+        assert_eq!(lazy.schedule, first.schedule, "{label}: schedule vs lazy");
+        assert_eq!(lazy.run, first.run, "{label}: maintenance vs lazy");
+        assert_eq!(lazy.queries, first.queries, "{label}: queries vs lazy");
+        assert_eq!(
+            lazy.repair_cost, first.repair_cost,
+            "{label}: repair vs lazy"
+        );
+        // and the faults were real: overhead, repairs, full recovery
+        assert!(
+            first.run.retry_overhead > 0.0,
+            "{label}: no drops injected?"
+        );
+        assert!(first.repair_cost > 0.0, "{label}: no crash damage?");
+        assert_eq!(first.queries.batch.correct, 100, "{label}: wrong answers");
+        assert_eq!(first.unrepaired, 0, "{label}: unrepaired objects remain");
+    }
+}
