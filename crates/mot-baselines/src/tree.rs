@@ -9,7 +9,10 @@
 //! (representative-to-representative), so each hop costs the shortest-path
 //! distance between its endpoints.
 
-use mot_core::{CoreError, MoveOutcome, ObjectId, QueryResult, Tracker};
+use mot_core::{
+    CoreError, LedgerKind, MoveOutcome, ObjectId, OpKind, QueryResult, TraceEvent, TracePhase,
+    TraceSink, Tracker,
+};
 use mot_net::{DistanceOracle, NodeId};
 use std::collections::{HashMap, HashSet};
 
@@ -173,6 +176,10 @@ pub struct TreeTracker<'a> {
     dirty: HashSet<ObjectId>,
     /// Message distance spent on crash repair (handoffs + chain rebuilds).
     repair_spent: f64,
+    /// Optional structured-trace consumer (`None` = zero-cost silence).
+    /// Events are tagged with the tree depth of the destination node as
+    /// the "level" (the tree analogue of MOT's hierarchy level).
+    sink: Option<&'a dyn TraceSink>,
 }
 
 impl<'a> TreeTracker<'a> {
@@ -197,6 +204,7 @@ impl<'a> TreeTracker<'a> {
             down_count: 0,
             dirty: HashSet::new(),
             repair_spent: 0.0,
+            sink: None,
         }
     }
 
@@ -205,6 +213,48 @@ impl<'a> TreeTracker<'a> {
     pub fn with_root_queries(mut self) -> Self {
         self.via_root = true;
         self
+    }
+
+    /// Attaches a structured-trace sink (see the `Tracker` trait's
+    /// observability contract). Without one, no event is constructed.
+    pub fn with_sink(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    #[inline]
+    fn emit_op(&self, op: OpKind, o: ObjectId, cost: f64) {
+        if let Some(s) = self.sink {
+            s.op_complete(op, o, cost);
+        }
+    }
+
+    /// Emits one billed tree hop, tagged with the destination's depth
+    /// (free when no sink is attached).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn hop(
+        &self,
+        op: OpKind,
+        phase: TracePhase,
+        ledger: LedgerKind,
+        o: ObjectId,
+        src: NodeId,
+        dst: NodeId,
+        distance: f64,
+    ) {
+        if let Some(s) = self.sink {
+            s.event(&TraceEvent {
+                op,
+                phase,
+                ledger,
+                object: o,
+                src,
+                dst,
+                level: self.tree.depth(dst) as u32,
+                distance,
+            });
+        }
     }
 
     /// Whether queries are routed via the root.
@@ -315,11 +365,22 @@ impl Tracker for TreeTracker<'_> {
         let mut cur = proxy;
         self.add(cur, o);
         while let Some(p) = self.tree.parent(cur) {
-            cost += self.oracle.dist(cur, p);
+            let d = self.oracle.dist(cur, p);
+            cost += d;
+            self.hop(
+                OpKind::Publish,
+                TracePhase::Climb,
+                LedgerKind::Publish,
+                o,
+                cur,
+                p,
+                d,
+            );
             cur = p;
             self.add(cur, o);
         }
         self.proxies.insert(o, proxy);
+        self.emit_op(OpKind::Publish, o, cost);
         Ok(cost)
     }
 
@@ -338,6 +399,7 @@ impl Tracker for TreeTracker<'_> {
         }
         let from = *self.proxies.get(&o).expect("checked above");
         if from == to {
+            self.emit_op(OpKind::Move, o, 0.0);
             return Ok(MoveOutcome { from, cost: 0.0 });
         }
         let mut cost = 0.0;
@@ -352,7 +414,17 @@ impl Tracker for TreeTracker<'_> {
                 .tree
                 .parent(cur)
                 .expect("the root holds every published object");
-            cost += self.oracle.dist(cur, p);
+            let d = self.oracle.dist(cur, p);
+            cost += d;
+            self.hop(
+                OpKind::Move,
+                TracePhase::Climb,
+                LedgerKind::Maintenance,
+                o,
+                cur,
+                p,
+                d,
+            );
             cur = p;
         }
         let meet = cur;
@@ -368,7 +440,17 @@ impl Tracker for TreeTracker<'_> {
                 .find(|c| self.holds(*c, o) && !added.contains(c));
             match next {
                 Some(c) => {
-                    cost += self.oracle.dist(d, c);
+                    let dd = self.oracle.dist(d, c);
+                    cost += dd;
+                    self.hop(
+                        OpKind::Move,
+                        TracePhase::Prune,
+                        LedgerKind::Maintenance,
+                        o,
+                        d,
+                        c,
+                        dd,
+                    );
                     self.remove(c, o);
                     d = c;
                 }
@@ -377,6 +459,7 @@ impl Tracker for TreeTracker<'_> {
         }
         debug_assert_eq!(d, from, "stale branch must end at the old proxy");
         self.proxies.insert(o, to);
+        self.emit_op(OpKind::Move, o, cost);
         Ok(MoveOutcome { from, cost })
     }
 
@@ -417,12 +500,32 @@ impl Tracker for TreeTracker<'_> {
                 .tree
                 .parent(cur)
                 .expect("the root holds every published object");
-            cost += self.oracle.dist(cur, p);
+            let d = self.oracle.dist(cur, p);
+            cost += d;
+            self.hop(
+                OpKind::Query,
+                TracePhase::Climb,
+                LedgerKind::Query,
+                o,
+                cur,
+                p,
+                d,
+            );
             cur = p;
         }
         if self.shortcuts {
             // Ancestors store the routing detail: jump straight down.
-            cost += self.oracle.dist(cur, proxy);
+            let d = self.oracle.dist(cur, proxy);
+            cost += d;
+            self.hop(
+                OpKind::Query,
+                TracePhase::SdlJump,
+                LedgerKind::Query,
+                o,
+                cur,
+                proxy,
+                d,
+            );
         } else {
             // Walk the detection chain down, one tree hop at a time.
             while cur != proxy {
@@ -433,10 +536,21 @@ impl Tracker for TreeTracker<'_> {
                     .copied()
                     .find(|c| self.holds(*c, o))
                     .expect("detection chain must lead to the proxy");
-                cost += self.oracle.dist(cur, c);
+                let d = self.oracle.dist(cur, c);
+                cost += d;
+                self.hop(
+                    OpKind::Query,
+                    TracePhase::Descend,
+                    LedgerKind::Query,
+                    o,
+                    cur,
+                    c,
+                    d,
+                );
                 cur = c;
             }
         }
+        self.emit_op(OpKind::Query, o, cost);
         Ok(QueryResult { proxy, cost })
     }
 
@@ -465,7 +579,18 @@ impl Tracker for TreeTracker<'_> {
             // hop, billed as repair); its chain rebuild stays lazy.
             if self.proxies.get(&o) == Some(&u) {
                 if let Some(next) = self.nearest_live(u) {
-                    self.repair_spent += self.oracle.dist(u, next);
+                    let d = self.oracle.dist(u, next);
+                    self.repair_spent += d;
+                    self.hop(
+                        OpKind::Repair,
+                        TracePhase::Handoff,
+                        LedgerKind::Repair,
+                        o,
+                        u,
+                        next,
+                        d,
+                    );
+                    self.emit_op(OpKind::Repair, o, d);
                     self.proxies.insert(o, next);
                     self.add(next, o);
                 }
@@ -506,12 +631,23 @@ impl Tracker for TreeTracker<'_> {
         let mut cur = proxy;
         self.add(cur, o);
         while let Some(p) = self.tree.parent(cur) {
-            cost += self.oracle.dist(cur, p);
+            let d = self.oracle.dist(cur, p);
+            cost += d;
+            self.hop(
+                OpKind::Repair,
+                TracePhase::Climb,
+                LedgerKind::Repair,
+                o,
+                cur,
+                p,
+                d,
+            );
             cur = p;
             self.add(cur, o);
         }
         self.repair_spent += cost;
         self.dirty.remove(&o);
+        self.emit_op(OpKind::Repair, o, cost);
         Ok(cost)
     }
 
@@ -710,6 +846,43 @@ mod tests {
         ));
         t.recover_node(NodeId(0));
         t.publish(ObjectId(0), NodeId(15)).unwrap();
+    }
+
+    #[test]
+    fn trace_events_sum_to_costs_and_tag_tree_depth() {
+        use mot_core::MemorySink;
+        let (_, m, parents) = grid_tracker(false);
+        let tree = TrackingTree::from_parents(NodeId(0), parents);
+        let sink = MemorySink::new();
+        let mut t = TreeTracker::new("BFS", tree, &m, false).with_sink(&sink);
+        let o = ObjectId(0);
+        let pc = t.publish(o, NodeId(15)).unwrap();
+        let mv = t.move_object(o, NodeId(12)).unwrap();
+        let q = t.query(NodeId(3), o).unwrap();
+        let ops = sink.ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], (OpKind::Publish, o, pc));
+        assert_eq!(ops[1], (OpKind::Move, o, mv.cost));
+        assert_eq!(ops[2], (OpKind::Query, o, q.cost));
+        for ev in sink.events() {
+            assert_eq!(ev.level, t.tree().depth(ev.dst) as u32);
+        }
+        // tracing off must not change costs (bit parity)
+        let (_, m2, parents2) = grid_tracker(false);
+        let tree2 = TrackingTree::from_parents(NodeId(0), parents2);
+        let mut silent = TreeTracker::new("BFS", tree2, &m2, false);
+        assert_eq!(
+            silent.publish(o, NodeId(15)).unwrap().to_bits(),
+            pc.to_bits()
+        );
+        assert_eq!(
+            silent.move_object(o, NodeId(12)).unwrap().cost.to_bits(),
+            mv.cost.to_bits()
+        );
+        assert_eq!(
+            silent.query(NodeId(3), o).unwrap().cost.to_bits(),
+            q.cost.to_bits()
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     eprintln!("{}", churn_table().expect("figure").render());
 
     // Variant timing: plain vs no-SP vs LB on one workload.
-    let bed = TestBed::grid(12, 12, 1);
+    let bed = TestBed::grid(12, 12, 1).unwrap();
     let w = WorkloadSpec::new(10, 80, 2).generate(&bed.graph);
     let mut group = c.benchmark_group("mot_variants_12x12");
     group.sample_size(20);
@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
     for k in [1usize, 2, 5, 10, 20] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                let mut t = bed.make_tracker(mot_sim::Algo::Mot, &rates);
+                let mut t = bed.make_tracker(mot_sim::Algo::Mot, &rates).unwrap();
                 run_publish(t.as_mut(), &w).unwrap();
                 ConcurrentEngine::run(
                     t.as_mut(),

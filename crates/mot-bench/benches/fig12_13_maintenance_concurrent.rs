@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
             .render()
     );
 
-    let bed = TestBed::grid(12, 12, 1);
+    let bed = TestBed::grid(12, 12, 1).unwrap();
     let w = WorkloadSpec::new(8, 80, 2).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let cfg = ConcurrentConfig {
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
             &algo,
             |b, &algo| {
                 b.iter(|| {
-                    let mut t = bed.make_tracker(algo, &rates);
+                    let mut t = bed.make_tracker(algo, &rates).unwrap();
                     run_publish(t.as_mut(), &w).unwrap();
                     ConcurrentEngine::run(t.as_mut(), &w, &bed.oracle, &cfg).unwrap()
                 })

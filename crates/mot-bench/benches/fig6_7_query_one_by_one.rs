@@ -15,14 +15,14 @@ fn bench(c: &mut Criterion) {
             .render()
     );
 
-    let bed = TestBed::grid(12, 12, 1);
+    let bed = TestBed::grid(12, 12, 1).unwrap();
     let w = WorkloadSpec::new(10, 100, 2).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
 
     let mut group = c.benchmark_group("query_after_workload_12x12");
     for algo in Algo::paper_lineup() {
         // Prepare state once; time pure queries.
-        let mut t = bed.make_tracker(algo, &rates);
+        let mut t = bed.make_tracker(algo, &rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, _| {

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         eprintln!("{}", load_figure(&p, vs, after).expect("figure").render());
     }
 
-    let bed = TestBed::grid(16, 16, 1);
+    let bed = TestBed::grid(16, 16, 1).unwrap();
     let w = WorkloadSpec::new(50, 1, 2).generate(&bed.graph);
     let rates = DetectionRates::uniform(&bed.graph);
 
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
             &algo,
             |b, &algo| {
                 b.iter(|| {
-                    let mut t = bed.make_tracker(algo, &rates);
+                    let mut t = bed.make_tracker(algo, &rates).unwrap();
                     run_publish(t.as_mut(), &w).unwrap();
                     LoadStats::from_loads(&t.node_loads())
                 })

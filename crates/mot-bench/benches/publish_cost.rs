@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("publish_per_object");
     for (r, cols) in [(8usize, 8usize), (16, 16), (23, 23)] {
-        let bed = TestBed::grid(r, cols, 1);
+        let bed = TestBed::grid(r, cols, 1).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(r * cols), &bed, |b, bed| {
             let mut k = 0u32;
             b.iter(|| {

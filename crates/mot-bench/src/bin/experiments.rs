@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--profile quick|standard|paper] [--oracle auto|dense|lazy|hybrid]
-//!             [--csv DIR] [IDS...]
+//!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson] [IDS...]
 //! ```
 //!
 //! `IDS` default to every figure. Examples:
@@ -12,23 +12,30 @@
 //! cargo run --release -p mot-bench --bin experiments -- --profile paper all
 //! cargo run --release -p mot-bench --bin experiments -- --oracle lazy scale
 //! cargo run --release -p mot-bench --bin experiments -- --profile quick faults-smoke
+//! cargo run --release -p mot-bench --bin experiments -- --metrics out.json fig4 level-decomp
 //! ```
+//!
+//! `--metrics` writes every produced table, per-experiment wall-clock,
+//! and the fixed-seed instrumented run's aggregates as one JSON report;
+//! `--trace` dumps that run's raw event stream as NDJSON (one event per
+//! line, deterministic for a fixed profile).
 //!
 //! Any failure — bad arguments, an unwritable CSV directory, a tracker
 //! error, or a runner's own health check (wrong query answers,
 //! unrepaired objects) — exits nonzero with a readable message.
 
 use mot_bench::{
-    ablation_table, churn_table, faults_table, general_graph_table, load_figure, locality_table,
-    maintenance_figure, mobility_table, publish_cost_table, query_figure, scale_table,
-    state_size_table, BenchError, FigureTable, Profile,
+    ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
+    load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,
+    query_figure, scale_table, state_size_table, trace_aggregates, trace_events, BenchError,
+    FigureTable, Profile, RunReport,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
 use std::process::ExitCode;
 
-const ALL_IDS: [&str; 22] = [
+const ALL_IDS: [&str; 23] = [
     "fig4",
     "fig5",
     "fig6",
@@ -51,6 +58,7 @@ const ALL_IDS: [&str; 22] = [
     "scale",
     "faults",
     "faults-smoke",
+    "level-decomp",
 ];
 
 fn profile_for(objects: usize, name: &str, oracle: OracleKind) -> Result<Profile, BenchError> {
@@ -87,6 +95,8 @@ fn run() -> Result<(), BenchError> {
     let mut profile_name = "standard".to_string();
     let mut oracle = OracleKind::Auto;
     let mut csv_dir: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -100,10 +110,13 @@ fn run() -> Result<(), BenchError> {
                     .ok_or_else(|| format!("unknown oracle '{v}' (auto|dense|lazy|hybrid)"))?;
             }
             "--csv" => csv_dir = Some(it.next().ok_or("--csv needs a directory")?),
+            "--metrics" => metrics_path = Some(it.next().ok_or("--metrics needs a file path")?),
+            "--trace" => trace_path = Some(it.next().ok_or("--trace needs a file path")?),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--profile quick|standard|paper]\n\
-                     \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR] [IDS...]\n\
+                     \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR]\n\
+                     \x20                  [--metrics FILE.json] [--trace FILE.ndjson] [IDS...]\n\
                      ids: {}\n\
                      \x20    all",
                     ALL_IDS.join(" ")
@@ -132,6 +145,11 @@ fn run() -> Result<(), BenchError> {
         Ok(())
     };
 
+    let mut report = RunReport {
+        profile: profile_name.clone(),
+        oracle: oracle.label().to_string(),
+        ..RunReport::default()
+    };
     for id in &ids {
         let started = std::time::Instant::now();
         let name = profile_name.as_str();
@@ -158,16 +176,41 @@ fn run() -> Result<(), BenchError> {
             "scale" => scale_table(&scale_profile(name, oracle)?),
             "faults" => faults_table(&profile_for(100, name, oracle)?, (32, 32)),
             "faults-smoke" => faults_table(&smoke_profile(oracle), (16, 16)),
+            "level-decomp" => level_decomposition_table(&profile_for(100, name, oracle)?),
             other => {
                 let known = ALL_IDS.join(" ");
                 return Err(format!("unknown experiment id '{other}' (known: {known} all)").into());
             }
         };
-        emit(
-            table.map_err(|e| format!("experiment '{id}' failed: {e}"))?,
-            id,
-        )?;
+        let table = table.map_err(|e| format!("experiment '{id}' failed: {e}"))?;
+        if metrics_path.is_some() {
+            report.tables.push((id.clone(), table.clone()));
+        }
+        emit(table, id)?;
+        report
+            .timings_secs
+            .push((id.clone(), started.elapsed().as_secs_f64()));
         eprintln!("[{id} took {:.1?}]", started.elapsed());
+    }
+    if let Some(path) = &trace_path {
+        let events = trace_events(&profile_for(100, profile_name.as_str(), oracle)?, 1)
+            .map_err(|e| format!("--trace run failed: {e}"))?;
+        let mut out = String::new();
+        for ev in &events {
+            out.push_str(&ev.to_ndjson());
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!("wrote {path} ({} events)", events.len());
+    }
+    if let Some(path) = &metrics_path {
+        report.trace = Some(
+            trace_aggregates(&profile_for(100, profile_name.as_str(), oracle)?, 1)
+                .map_err(|e| format!("--metrics instrumented run failed: {e}"))?,
+        );
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!("wrote {path}");
     }
     Ok(())
 }

@@ -2,13 +2,13 @@
 
 use crate::report::FigureTable;
 use mot_baselines::DetectionRates;
-use mot_core::{MotConfig, MotTracker, Tracker};
+use mot_core::{LedgerKind, MemorySink, MotConfig, MotTracker, TraceEvent, TraceSink, Tracker};
 use mot_hierarchy::OverlayConfig;
 use mot_net::{generators, DistanceOracle, OracleKind};
 use mot_sim::{
     repair_all, replay_moves, replay_moves_faulty, run_publish, run_queries, run_queries_faulty,
     unrepaired_objects, Algo, ConcurrentConfig, ConcurrentEngine, CostStats, FaultConfig,
-    LoadStats, TestBed, WorkloadSpec,
+    LoadStats, Recorder, TestBed, TraceAggregates, WorkloadSpec,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -92,12 +92,12 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> BenchResult {
     for &(r, c) in &p.grids {
         let mut per_algo = vec![CostStats::default(); algos.len()];
         for seed in 0..p.seeds {
-            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle);
+            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
             let w =
                 WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
             for (ai, &algo) in algos.iter().enumerate() {
-                let mut t = bed.make_tracker(algo, &rates);
+                let mut t = bed.make_tracker(algo, &rates)?;
                 run_publish(t.as_mut(), &w)?;
                 let stats = if concurrent {
                     ConcurrentEngine::run(
@@ -152,12 +152,12 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> BenchResult {
     for &(r, c) in &p.grids {
         let mut per_algo = vec![CostStats::default(); algos.len()];
         for seed in 0..p.seeds {
-            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle);
+            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
             let w =
                 WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
             let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
             for (ai, &algo) in algos.iter().enumerate() {
-                let mut t = bed.make_tracker(algo, &rates);
+                let mut t = bed.make_tracker(algo, &rates)?;
                 run_publish(t.as_mut(), &w)?;
                 if concurrent {
                     // queries race the maintenance batches (§4.2.2)
@@ -229,12 +229,12 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> BenchResult {
 /// initialization (0 = "just after initialization").
 pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> BenchResult {
     let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
-    let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
+    let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
     let w = WorkloadSpec::new(p.objects, moves_per_object.max(1), 5).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let mut rows = Vec::new();
     for algo in [Algo::MotLb, vs] {
-        let mut t = bed.make_tracker(algo, &rates);
+        let mut t = bed.make_tracker(algo, &rates)?;
         run_publish(t.as_mut(), &w)?;
         if moves_per_object > 0 {
             replay_moves(t.as_mut(), &w, &bed.oracle)?;
@@ -282,7 +282,7 @@ pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> BenchResul
 pub fn publish_cost_table(p: &Profile) -> BenchResult {
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
-        let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle);
+        let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle)?;
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let n = bed.graph.node_count();
@@ -330,7 +330,7 @@ pub fn ablation_table(p: &Profile) -> BenchResult {
     let mut rows = Vec::new();
     for (label, ocfg, mcfg) in variants {
         let bed =
-            TestBed::with_oracle(generators::grid(r, c).expect("grid"), &ocfg, seed, p.oracle);
+            TestBed::with_oracle(generators::grid(r, c).expect("grid"), &ocfg, seed, p.oracle)?;
         let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9).generate(&bed.graph);
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg);
         run_publish(&mut t, &w)?;
@@ -367,10 +367,10 @@ pub fn general_graph_table(p: &Profile) -> BenchResult {
     let mut rows = Vec::new();
     for (name, g) in topologies {
         for (kind, bed) in [
-            ("doubling", TestBed::new(g.clone(), 4)),
+            ("doubling", TestBed::new(g.clone(), 4)?),
             (
                 "general",
-                TestBed::general(g.clone(), &OverlayConfig::practical(), 4),
+                TestBed::general(g.clone(), &OverlayConfig::practical(), 4)?,
             ),
         ] {
             let w =
@@ -402,7 +402,7 @@ pub fn state_size_table(p: &Profile) -> BenchResult {
     use mot_core::lb::ClusterTable;
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
-        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
+        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
         let table = ClusterTable::build(&bed.overlay, &bed.oracle);
         let (mut max_table, mut max_cluster, mut sum_table, mut count) =
             (0usize, 0usize, 0usize, 0usize);
@@ -447,7 +447,7 @@ pub fn state_size_table(p: &Profile) -> BenchResult {
 /// root detour exactly there.
 pub fn locality_table(p: &Profile) -> BenchResult {
     let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
-    let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle);
+    let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle)?;
     let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let algos = [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts];
@@ -455,7 +455,7 @@ pub fn locality_table(p: &Profile) -> BenchResult {
     // prepare one tracker per algorithm
     let mut trackers = Vec::new();
     for &a in &algos {
-        let mut t = bed.make_tracker(a, &rates);
+        let mut t = bed.make_tracker(a, &rates)?;
         run_publish(t.as_mut(), &w)?;
         replay_moves(t.as_mut(), &w, &bed.oracle)?;
         trackers.push(t);
@@ -515,7 +515,7 @@ pub fn mobility_table(p: &Profile) -> BenchResult {
         ("waypoint", MobilityModel::Waypoint),
         ("commuter", MobilityModel::Commuter),
     ] {
-        let bed = TestBed::grid_with_oracle(r, c, 3, p.oracle);
+        let bed = TestBed::grid_with_oracle(r, c, 3, p.oracle)?;
         let spec = mot_sim::WorkloadSpec {
             objects: p.objects.min(50),
             moves_per_object: p.moves_per_object,
@@ -526,7 +526,7 @@ pub fn mobility_table(p: &Profile) -> BenchResult {
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
         let mut ys = Vec::new();
         for &algo in &algos {
-            let mut t = bed.make_tracker(algo, &rates);
+            let mut t = bed.make_tracker(algo, &rates)?;
             run_publish(t.as_mut(), &w)?;
             let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
             ys.push(stats.ratio());
@@ -551,11 +551,11 @@ pub fn scale_table(p: &Profile) -> BenchResult {
     const MIB: f64 = (1024 * 1024) as f64;
     let mut rows = Vec::new();
     for &(r, c) in &p.grids {
-        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle);
+        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
         let w = WorkloadSpec::new(p.objects.min(50), p.moves_per_object.min(100), 5)
             .generate(&bed.graph);
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        let mut t = bed.make_tracker(Algo::Mot, &rates)?;
         run_publish(t.as_mut(), &w)?;
         let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
         let n = bed.graph.node_count();
@@ -584,11 +584,112 @@ pub fn scale_table(p: &Profile) -> BenchResult {
     })
 }
 
+/// The fixed-seed instrumented MOT run behind `level-decomp`, `--trace`,
+/// and the `--metrics` report's observability section: publish +
+/// maintenance replay + a query batch over the profile's largest grid,
+/// every billed hop mirrored to `sink`. Returns the maintenance stats so
+/// callers can cross-check the ledger against [`CostStats`] totals.
+fn observed_mot_run(p: &Profile, seed: u64, sink: &dyn TraceSink) -> Result<CostStats, BenchError> {
+    let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
+    let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
+    let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, seed * 7 + 1)
+        .generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut t = bed.make_tracker_traced(Algo::Mot, &rates, sink)?;
+    run_publish(t.as_mut(), &w)?;
+    let maint = replay_moves(t.as_mut(), &w, &bed.oracle)?;
+    run_queries(
+        t.as_ref(),
+        &bed.oracle,
+        w.object_count(),
+        p.queries,
+        seed + 31,
+    )?;
+    Ok(maint)
+}
+
+/// Raw event stream of the fixed-seed instrumented run (the `--trace`
+/// NDJSON export). Deterministic for a fixed profile and seed.
+pub fn trace_events(p: &Profile, seed: u64) -> Result<Vec<TraceEvent>, BenchError> {
+    let sink = MemorySink::new();
+    observed_mot_run(p, seed, &sink)?;
+    Ok(sink.events())
+}
+
+/// Mergeable aggregates of the fixed-seed instrumented run (the
+/// `--metrics` report's observability section).
+pub fn trace_aggregates(p: &Profile, seed: u64) -> Result<TraceAggregates, BenchError> {
+    let rec = Recorder::new();
+    observed_mot_run(p, seed, &rec)?;
+    Ok(rec.finish())
+}
+
+/// Per-level cost decomposition of the instrumented MOT run: one row per
+/// hierarchy level, one column per cost ledger plus the level total.
+///
+/// Two built-in health checks fail the run with a readable error:
+/// the maintenance column must sum to the replay's [`CostStats::total`]
+/// (the trace must account for every billed unit of distance, within
+/// float-summation tolerance), and level-ℓ maintenance spend must decay
+/// up the hierarchy — under a diffusive workload only a geometrically
+/// shrinking fraction of moves climbs past level ℓ, so the top half of
+/// the populated levels has to spend strictly less than the bottom half.
+pub fn level_decomposition_table(p: &Profile) -> BenchResult {
+    let rec = Recorder::new();
+    let maint = observed_mot_run(p, 1, &rec)?;
+    let agg = rec.finish();
+    let ledger = &agg.ledger;
+    let maint_sum = ledger.ledger_total(LedgerKind::Maintenance);
+    let rel = (maint_sum - maint.total).abs() / maint.total.max(1.0);
+    if rel > 1e-6 {
+        return Err(format!(
+            "per-level maintenance decomposition {maint_sum} does not sum to \
+             CostStats::total {} (relative error {rel:.2e})",
+            maint.total
+        )
+        .into());
+    }
+    let height = ledger.height();
+    let maint_by_level: Vec<f64> = (0..height)
+        .map(|l| ledger.get(l, LedgerKind::Maintenance))
+        .collect();
+    if height >= 2 {
+        let mid = height.div_ceil(2);
+        let bottom: f64 = maint_by_level[..mid].iter().sum();
+        let top: f64 = maint_by_level[mid..].iter().sum();
+        if top >= bottom {
+            return Err(format!(
+                "maintenance spend does not decay up the hierarchy: \
+                 levels 0..{mid} spend {bottom}, levels {mid}..{height} spend {top}"
+            )
+            .into());
+        }
+    }
+    let kinds = LedgerKind::all();
+    let mut rows = Vec::new();
+    for l in 0..height {
+        let mut ys: Vec<f64> = kinds.iter().map(|&k| ledger.get(l, k)).collect();
+        ys.push(ledger.level_total(l));
+        rows.push((format!("L{l}"), ys));
+    }
+    let mut columns: Vec<String> = kinds.iter().map(|k| k.label().to_string()).collect();
+    columns.push("total".into());
+    Ok(FigureTable {
+        title: format!(
+            "Per-level cost decomposition, instrumented MOT run \
+             (maintenance column sums to {maint_sum:.3})"
+        ),
+        x_label: "level".into(),
+        columns,
+        rows,
+    })
+}
+
 /// §7: amortized adaptability under churn.
 pub fn churn_table() -> BenchResult {
     let mut rows = Vec::new();
     for &(r, c) in &[(8usize, 8usize), (16, 16)] {
-        let bed = TestBed::grid(r, c, 6);
+        let bed = TestBed::grid(r, c, 6)?;
         let mut sim = mot_core::dynamics::ChurnSimulator::new(&bed.overlay, &bed.oracle, 4.0);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let n = bed.graph.node_count();
@@ -650,7 +751,7 @@ pub fn faults_table(p: &Profile, grid: (usize, usize)) -> BenchResult {
                 let (mut retry, mut repair) = (0.0, 0.0);
                 for seed in 0..p.seeds {
                     let bed =
-                        TestBed::grid_with_oracle(r, c, seed, p.oracle).with_faults(FaultConfig {
+                        TestBed::grid_with_oracle(r, c, seed, p.oracle)?.with_faults(FaultConfig {
                             seed: seed * 101 + 13,
                             drop_rate,
                             crashes,
@@ -660,7 +761,7 @@ pub fn faults_table(p: &Profile, grid: (usize, usize)) -> BenchResult {
                         .generate(&bed.graph);
                     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
                     let mut plan = bed.fault_plan(w.moves.len()).ok_or("bed has no faults")?;
-                    let mut t = bed.make_tracker(algo, &rates);
+                    let mut t = bed.make_tracker(algo, &rates)?;
                     run_publish(t.as_mut(), &w)?;
                     let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan)?;
                     let q = run_queries_faulty(
@@ -854,6 +955,41 @@ mod tests {
         for (_, ys) in &t.rows {
             assert!(ys[0] >= 1.0 && ys[4] >= 1.0, "stretch below optimal");
         }
+    }
+
+    #[test]
+    fn level_decomposition_sums_to_cost_stats_total() {
+        let mut p = Profile::quick(10);
+        p.grids = vec![(12, 12)];
+        p.moves_per_object = 60;
+        // the runner itself errors if the maintenance column mismatches
+        // CostStats::total or spend fails to decay up the hierarchy
+        let t = level_decomposition_table(&p).unwrap();
+        assert!(t.rows.len() >= 2, "expected multiple populated levels");
+        assert_eq!(t.columns.last().map(String::as_str), Some("total"));
+        let maint = t.column("maintenance").unwrap();
+        assert!(maint.iter().sum::<f64>() > 0.0);
+        // row totals equal the sum of their ledger columns
+        for (x, ys) in &t.rows {
+            let parts: f64 = ys[..ys.len() - 1].iter().sum();
+            assert!(
+                (parts - ys[ys.len() - 1]).abs() < 1e-9,
+                "{x} total mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_exports_are_deterministic_for_a_fixed_seed() {
+        let mut p = Profile::quick(6);
+        p.grids = vec![(8, 8)];
+        let a = trace_events(&p, 3).unwrap();
+        let b = trace_events(&p, 3).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same profile + seed must produce identical traces");
+        let agg1 = trace_aggregates(&p, 3).unwrap();
+        let agg2 = trace_aggregates(&p, 3).unwrap();
+        assert_eq!(agg1.to_json(), agg2.to_json());
     }
 
     #[test]

@@ -15,13 +15,19 @@
 //! | `fig14`/`fig15` | Figs. 14–15 | query ratio, concurrent |
 //! | `faults` | — | fault sweep: drop rates × crashes, MOT vs STUN, 32×32 grid |
 //! | `faults-smoke` | — | fixed-seed 16×16 fault sweep (CI health check) |
+//! | `level-decomp` | — | per-level cost decomposition of an instrumented MOT run |
+//!
+//! `--metrics out.json` additionally writes a machine-readable
+//! [`RunReport`]; `--trace out.ndjson` dumps the fixed-seed instrumented
+//! run's raw event stream as NDJSON.
 
 pub mod figures;
 pub mod report;
 
 pub use figures::{
-    ablation_table, churn_table, faults_table, general_graph_table, load_figure, locality_table,
-    maintenance_figure, mobility_table, publish_cost_table, query_figure, scale_table,
-    state_size_table, BenchError, BenchResult, Profile,
+    ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
+    load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,
+    query_figure, scale_table, state_size_table, trace_aggregates, trace_events, BenchError,
+    BenchResult, Profile,
 };
-pub use report::FigureTable;
+pub use report::{FigureTable, RunReport};

@@ -1,4 +1,27 @@
-//! Plain-text / CSV rendering of experiment tables.
+//! Plain-text / CSV / JSON rendering of experiment tables, plus the
+//! machine-readable [`RunReport`] behind `experiments --metrics`.
+
+use mot_core::fmt_f64;
+use mot_sim::TraceAggregates;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// table titles and ids are plain ASCII, but stay correct regardless.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// One regenerated figure: a labelled series per algorithm over an x axis
 /// (network size, usually).
@@ -76,6 +99,72 @@ impl FigureTable {
         let idx = self.columns.iter().position(|c| c == name)?;
         Some(self.rows.iter().map(|(_, ys)| ys[idx]).collect())
     }
+
+    /// JSON rendering:
+    /// `{"title":…,"x_label":…,"columns":[…],"rows":[{"x":…,"ys":[…]}]}`.
+    pub fn to_json(&self) -> String {
+        let columns: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(x, ys)| {
+                let vals: Vec<String> = ys.iter().map(|&y| fmt_f64(y)).collect();
+                format!("{{\"x\":{},\"ys\":[{}]}}", json_string(x), vals.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":{},\"x_label\":{},\"columns\":[{}],\"rows\":[{}]}}",
+            json_string(&self.title),
+            json_string(&self.x_label),
+            columns.join(","),
+            rows.join(",")
+        )
+    }
+}
+
+/// The machine-readable report `experiments --metrics out.json` writes:
+/// every table the run produced (keyed by experiment id), per-experiment
+/// wall-clock seconds, and the aggregates of the fixed-seed instrumented
+/// MOT run (per-level ledgers and hop/cost histograms).
+#[derive(Default)]
+pub struct RunReport {
+    /// Profile name the run used (`quick`/`standard`/`paper`).
+    pub profile: String,
+    /// Distance-backend label.
+    pub oracle: String,
+    /// `(experiment id, table)` in execution order.
+    pub tables: Vec<(String, FigureTable)>,
+    /// `(experiment id, wall-clock seconds)` in execution order.
+    pub timings_secs: Vec<(String, f64)>,
+    /// Aggregates of the fixed-seed instrumented run, when collected.
+    pub trace: Option<TraceAggregates>,
+}
+
+impl RunReport {
+    pub fn to_json(&self) -> String {
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|(id, t)| format!("{}:{}", json_string(id), t.to_json()))
+            .collect();
+        let timings: Vec<String> = self
+            .timings_secs
+            .iter()
+            .map(|(id, s)| format!("{}:{}", json_string(id), fmt_f64(*s)))
+            .collect();
+        let trace = self
+            .trace
+            .as_ref()
+            .map_or_else(|| "null".to_string(), TraceAggregates::to_json);
+        format!(
+            "{{\"profile\":{},\"oracle\":{},\"timings_secs\":{{{}}},\"trace\":{},\"tables\":{{{}}}}}",
+            json_string(&self.profile),
+            json_string(&self.oracle),
+            timings.join(","),
+            trace,
+            tables.join(",")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +206,33 @@ mod tests {
         let t = sample();
         assert_eq!(t.column("MOT"), Some(vec![1.5, 2.25]));
         assert_eq!(t.column("nope"), None);
+    }
+
+    #[test]
+    fn json_rendering_is_complete() {
+        let j = sample().to_json();
+        assert!(j.contains("\"columns\":[\"MOT\",\"STUN\"]"), "{j}");
+        assert!(j.contains("{\"x\":\"1024\",\"ys\":[2.25,30.125]}"), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_and_backslashes() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn run_report_embeds_tables_and_null_trace() {
+        let r = RunReport {
+            profile: "quick".into(),
+            oracle: "auto".into(),
+            tables: vec![("fig4".into(), sample())],
+            timings_secs: vec![("fig4".into(), 1.5)],
+            trace: None,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"fig4\":{\"title\""), "{j}");
+        assert!(j.contains("\"trace\":null"), "{j}");
+        assert!(j.contains("\"timings_secs\":{\"fig4\":1.5}"), "{j}");
     }
 }

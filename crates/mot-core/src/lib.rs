@@ -50,6 +50,7 @@ pub mod lb;
 pub mod mot;
 pub mod object;
 pub mod state;
+pub mod trace;
 pub mod tracker;
 
 pub use config::MotConfig;
@@ -58,6 +59,7 @@ pub use mot::MotTracker;
 /// Distance-backend selector, re-exported for experiment configuration.
 pub use mot_net::OracleKind;
 pub use object::ObjectId;
+pub use trace::{fmt_f64, LedgerKind, MemorySink, OpKind, TraceEvent, TracePhase, TraceSink};
 pub use tracker::{MoveOutcome, QueryResult, Tracker};
 
 /// Convenient result alias for this crate.

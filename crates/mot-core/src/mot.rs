@@ -11,6 +11,7 @@ use crate::error::CoreError;
 use crate::lb::ClusterTable;
 use crate::object::ObjectId;
 use crate::state::{NodeStores, ObjectRecord, SpEntry, TrailLevel};
+use crate::trace::{LedgerKind, OpKind, TraceEvent, TracePhase, TraceSink};
 use crate::tracker::{MoveOutcome, QueryResult, Tracker};
 use crate::Result;
 use mot_hierarchy::Overlay;
@@ -34,6 +35,9 @@ pub struct MotTracker<'a> {
     ever_crashed: bool,
     /// Message distance spent on crash repair (handoffs + re-publishes).
     repair_spent: f64,
+    /// Optional structured-trace consumer. `None` (the default) keeps
+    /// every hot path free of event construction — see [`crate::trace`].
+    sink: Option<&'a dyn TraceSink>,
 }
 
 impl<'a> MotTracker<'a> {
@@ -53,7 +57,57 @@ impl<'a> MotTracker<'a> {
             down_count: 0,
             ever_crashed: false,
             repair_spent: 0.0,
+            sink: None,
         }
+    }
+
+    /// Attaches a structured-trace sink: every billed message hop will
+    /// emit a [`TraceEvent`] and every completed operation a summary.
+    /// Without a sink no event is ever constructed, so traced-off runs
+    /// are bit-identical to the uninstrumented tracker.
+    pub fn with_sink(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    #[inline]
+    fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(s) = self.sink {
+            s.event(&f());
+        }
+    }
+
+    #[inline]
+    fn emit_op(&self, op: OpKind, o: ObjectId, cost: f64) {
+        if let Some(s) = self.sink {
+            s.op_complete(op, o, cost);
+        }
+    }
+
+    /// Emits one billed hop (free when no sink is attached).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn hop(
+        &self,
+        op: OpKind,
+        phase: TracePhase,
+        ledger: LedgerKind,
+        o: ObjectId,
+        src: NodeId,
+        dst: NodeId,
+        level: usize,
+        distance: f64,
+    ) {
+        self.emit(|| TraceEvent {
+            op,
+            phase,
+            ledger,
+            object: o,
+            src,
+            dst,
+            level: level as u32,
+            distance,
+        });
     }
 
     /// The overlay this tracker runs on.
@@ -90,9 +144,37 @@ impl<'a> MotTracker<'a> {
         }
     }
 
+    /// [`Self::placement`] plus a `LbRoute` trace event when the de
+    /// Bruijn round is billed (used on charged paths only — probe-only
+    /// callers use `placement` directly and stay silent).
+    fn placement_traced(
+        &self,
+        node: NodeId,
+        level: usize,
+        o: ObjectId,
+        op: OpKind,
+        ledger: LedgerKind,
+    ) -> (NodeId, f64) {
+        let (holder, cost) = self.placement(node, level, o);
+        if cost != 0.0 {
+            self.hop(
+                op,
+                TracePhase::LbRoute,
+                ledger,
+                o,
+                node,
+                holder,
+                level,
+                cost,
+            );
+        }
+        (holder, cost)
+    }
+
     /// Installs the SDL entry guarding holder `child` (station index `j`
     /// of `path_origin`'s level-`level` station). Returns the entry (for
     /// the trail) and any counted cost.
+    #[allow(clippy::too_many_arguments)]
     fn install_sp(
         &mut self,
         path_origin: NodeId,
@@ -100,6 +182,8 @@ impl<'a> MotTracker<'a> {
         j: usize,
         child: NodeId,
         o: ObjectId,
+        op: OpKind,
+        ledger: LedgerKind,
     ) -> (Option<SpEntry>, f64) {
         if !self.cfg.use_special_parents {
             return (None, 0.0);
@@ -111,7 +195,7 @@ impl<'a> MotTracker<'a> {
             return (None, 0.0);
         }
         let host = self.overlay.sp_host(path_origin, level, j);
-        let (holder, lb_cost) = self.placement(host, sp_level, o);
+        let (holder, lb_cost) = self.placement_traced(host, sp_level, o, op, ledger);
         let entry = SpEntry {
             host,
             child,
@@ -120,15 +204,35 @@ impl<'a> MotTracker<'a> {
         self.stores.sdl_add(entry, level, o);
         let mut cost = lb_cost;
         if self.cfg.count_sp_cost {
-            cost += self.oracle.dist(child, host);
+            let d = self.oracle.dist(child, host);
+            cost += d;
+            self.hop(op, TracePhase::SpInstall, ledger, o, child, host, level, d);
         }
         (Some(entry), cost)
     }
 
-    fn remove_sp(&mut self, entry: SpEntry, level: usize, o: ObjectId) -> f64 {
+    fn remove_sp(
+        &mut self,
+        entry: SpEntry,
+        level: usize,
+        o: ObjectId,
+        op: OpKind,
+        ledger: LedgerKind,
+    ) -> f64 {
         self.stores.sdl_remove(entry, level, o);
         if self.cfg.count_sp_cost {
-            self.oracle.dist(entry.child, entry.host)
+            let d = self.oracle.dist(entry.child, entry.host);
+            self.hop(
+                op,
+                TracePhase::SpRemove,
+                ledger,
+                o,
+                entry.child,
+                entry.host,
+                level,
+                d,
+            );
+            d
         } else {
             0.0
         }
@@ -138,7 +242,18 @@ impl<'a> MotTracker<'a> {
     /// proxy following DL holders, accumulating cost. At each level the
     /// message forwards to the nearest child holder (sensors know their
     /// geographic locations, §2.1).
-    fn descend(&self, rec: &ObjectRecord, from_node: NodeId, from_level: usize) -> f64 {
+    ///
+    /// `trace` carries the billed operation context, or `None` when the
+    /// walk is a hypothetical cost probe (`descend_cost`/`locate_cost`
+    /// feed the concurrent engine's planning and must stay silent).
+    fn descend(
+        &self,
+        rec: &ObjectRecord,
+        o: ObjectId,
+        from_node: NodeId,
+        from_level: usize,
+        trace: Option<(OpKind, LedgerKind)>,
+    ) -> f64 {
         let mut cost = 0.0;
         let mut cur = from_node;
         for level in (0..from_level).rev() {
@@ -146,7 +261,11 @@ impl<'a> MotTracker<'a> {
                 .oracle
                 .nearest_in(cur, &rec.trail[level].holders)
                 .expect("trail levels are never empty");
-            cost += self.oracle.dist(cur, next);
+            let d = self.oracle.dist(cur, next);
+            cost += d;
+            if let Some((op, ledger)) = trace {
+                self.hop(op, TracePhase::Descend, ledger, o, cur, next, level, d);
+            }
             cur = next;
         }
         cost
@@ -169,7 +288,7 @@ impl<'a> MotTracker<'a> {
     pub fn descend_cost(&self, o: ObjectId, node: NodeId, level: usize) -> Option<f64> {
         self.records
             .get(&o)
-            .map(|rec| self.descend(rec, node, level))
+            .map(|rec| self.descend(rec, o, node, level, None))
     }
 
     /// The tracker's configuration.
@@ -183,12 +302,13 @@ impl<'a> MotTracker<'a> {
     pub fn locate_cost(&self, node: NodeId, _level: usize, o: ObjectId) -> Option<f64> {
         let rec = self.records.get(&o)?;
         if let Some(found_level) = self.stores.dl_lowest_level(node, o) {
-            return Some(self.descend(rec, node, found_level));
+            return Some(self.descend(rec, o, node, found_level, None));
         }
         if self.cfg.use_special_parents {
             if let Some((guarded_level, child)) = self.stores.sdl_get(node, o) {
                 return Some(
-                    self.oracle.dist(node, child) + self.descend(rec, child, guarded_level),
+                    self.oracle.dist(node, child)
+                        + self.descend(rec, o, child, guarded_level, None),
                 );
             }
         }
@@ -198,7 +318,13 @@ impl<'a> MotTracker<'a> {
     /// Climbs `DPath(proxy)` from scratch, installing a complete trail
     /// for `o` — the publish path, reused verbatim by crash repair so a
     /// repaired object is indistinguishable from a freshly published one.
-    fn build_trail(&mut self, o: ObjectId, proxy: NodeId) -> (Vec<TrailLevel>, f64) {
+    fn build_trail(
+        &mut self,
+        o: ObjectId,
+        proxy: NodeId,
+        op: OpKind,
+        ledger: LedgerKind,
+    ) -> (Vec<TrailLevel>, f64) {
         let h = self.overlay.height();
         let mut cost = 0.0;
         let mut cur = proxy;
@@ -207,13 +333,15 @@ impl<'a> MotTracker<'a> {
             let station = self.overlay.station(proxy, level).to_vec();
             let mut tl = TrailLevel::default();
             for (j, &s) in station.iter().enumerate() {
-                cost += self.oracle.dist(cur, s);
+                let d = self.oracle.dist(cur, s);
+                cost += d;
+                self.hop(op, TracePhase::Climb, ledger, o, cur, s, level, d);
                 cur = s;
-                let (holder, lb_cost) = self.placement(s, level, o);
+                let (holder, lb_cost) = self.placement_traced(s, level, o, op, ledger);
                 cost += lb_cost;
                 self.stores.dl_add(s, level, o, holder);
                 tl.holders.push(s);
-                let (entry, sp_cost) = self.install_sp(proxy, level, j, s, o);
+                let (entry, sp_cost) = self.install_sp(proxy, level, j, s, o, op, ledger);
                 cost += sp_cost;
                 if let Some(e) = entry {
                     tl.sp_entries.push(e);
@@ -292,9 +420,10 @@ impl<'a> MotTracker<'a> {
                 self.stores.sdl_remove(e, level, o);
             }
         }
-        let (trail, cost) = self.build_trail(o, proxy);
+        let (trail, cost) = self.build_trail(o, proxy, OpKind::Repair, LedgerKind::Repair);
         self.records.insert(o, ObjectRecord { trail });
         self.repair_spent += cost;
+        self.emit_op(OpKind::Repair, o, cost);
         Ok(cost)
     }
 
@@ -349,8 +478,9 @@ impl Tracker for MotTracker<'_> {
         if let Some(s) = self.path_blocked(proxy) {
             return Err(CoreError::NodeDown(s));
         }
-        let (trail, cost) = self.build_trail(o, proxy);
+        let (trail, cost) = self.build_trail(o, proxy, OpKind::Publish, LedgerKind::Publish);
         self.records.insert(o, ObjectRecord { trail });
+        self.emit_op(OpKind::Publish, o, cost);
         Ok(cost)
     }
 
@@ -369,8 +499,11 @@ impl Tracker for MotTracker<'_> {
         }
         let from = self.records.get(&o).expect("checked above").proxy();
         if from == to {
+            self.emit_op(OpKind::Move, o, 0.0);
             return Ok(MoveOutcome { from, cost: 0.0 });
         }
+        let op = OpKind::Move;
+        let ledger = LedgerKind::Maintenance;
         let h = self.overlay.height();
         let mut cost = 0.0;
         let mut cur = to;
@@ -379,14 +512,14 @@ impl Tracker for MotTracker<'_> {
         // Level 0: the new proxy takes the object.
         let mut new_levels: Vec<TrailLevel> = Vec::new();
         {
-            let (holder, lb_cost) = self.placement(to, 0, o);
+            let (holder, lb_cost) = self.placement_traced(to, 0, o, op, ledger);
             cost += lb_cost;
             self.stores.dl_add(to, 0, o, holder);
             let mut tl = TrailLevel {
                 holders: vec![to],
                 sp_entries: Vec::new(),
             };
-            let (entry, sp_cost) = self.install_sp(to, 0, 0, to, o);
+            let (entry, sp_cost) = self.install_sp(to, 0, 0, to, o, op, ledger);
             cost += sp_cost;
             if let Some(e) = entry {
                 tl.sp_entries.push(e);
@@ -398,11 +531,13 @@ impl Tracker for MotTracker<'_> {
             let station = self.overlay.station(to, level).to_vec();
             let mut tl = TrailLevel::default();
             for (j, &s) in station.iter().enumerate() {
-                cost += self.oracle.dist(cur, s);
+                let d = self.oracle.dist(cur, s);
+                cost += d;
+                self.hop(op, TracePhase::Climb, ledger, o, cur, s, level, d);
                 cur = s;
                 // Probing the DL costs a de Bruijn round within the
                 // cluster in load-balanced mode.
-                let (holder, lb_cost) = self.placement(s, level, o);
+                let (holder, lb_cost) = self.placement_traced(s, level, o, op, ledger);
                 cost += lb_cost;
                 if self.stores.dl_has(s, level, o) {
                     // Found the lowest ancestor already holding o: the
@@ -420,13 +555,15 @@ impl Tracker for MotTracker<'_> {
                     let mut back = s;
                     for ri in (0..tl.holders.len()).rev() {
                         let rs = tl.holders[ri];
-                        cost += self.oracle.dist(back, rs);
+                        let d = self.oracle.dist(back, rs);
+                        cost += d;
+                        self.hop(op, TracePhase::Rollback, ledger, o, back, rs, level, d);
                         back = rs;
-                        let (h2, lb2) = self.placement(rs, level, o);
+                        let (h2, lb2) = self.placement_traced(rs, level, o, op, ledger);
                         cost += lb2;
                         self.stores.dl_remove(rs, level, o, h2);
                         if let Some(&e) = tl.sp_entries.get(ri) {
-                            cost += self.remove_sp(e, level, o);
+                            cost += self.remove_sp(e, level, o, op, ledger);
                         }
                     }
                     meet = Some((level, s));
@@ -434,7 +571,7 @@ impl Tracker for MotTracker<'_> {
                 }
                 self.stores.dl_add(s, level, o, holder);
                 tl.holders.push(s);
-                let (entry, sp_cost) = self.install_sp(to, level, j, s, o);
+                let (entry, sp_cost) = self.install_sp(to, level, j, s, o, op, ledger);
                 cost += sp_cost;
                 if let Some(e) = entry {
                     tl.sp_entries.push(e);
@@ -450,14 +587,16 @@ impl Tracker for MotTracker<'_> {
         for level in (0..meet_level).rev() {
             let tl = std::mem::take(&mut rec.trail[level]);
             for &hnode in &tl.holders {
-                cost += self.oracle.dist(dcur, hnode);
+                let d = self.oracle.dist(dcur, hnode);
+                cost += d;
+                self.hop(op, TracePhase::Prune, ledger, o, dcur, hnode, level, d);
                 dcur = hnode;
-                let (holder, lb_cost) = self.placement(hnode, level, o);
+                let (holder, lb_cost) = self.placement_traced(hnode, level, o, op, ledger);
                 cost += lb_cost;
                 self.stores.dl_remove(hnode, level, o, holder);
             }
             for e in tl.sp_entries {
-                cost += self.remove_sp(e, level, o);
+                cost += self.remove_sp(e, level, o, op, ledger);
             }
         }
 
@@ -466,6 +605,7 @@ impl Tracker for MotTracker<'_> {
         trail.extend(rec.trail.into_iter().skip(meet_level));
         debug_assert_eq!(trail.len(), h + 1);
         self.records.insert(o, ObjectRecord { trail });
+        self.emit_op(OpKind::Move, o, cost);
         Ok(MoveOutcome { from, cost })
     }
 
@@ -483,29 +623,37 @@ impl Tracker for MotTracker<'_> {
             }
         }
         let proxy = rec.proxy();
+        let op = OpKind::Query;
+        let ledger = LedgerKind::Query;
         let h = self.overlay.height();
         let mut cost = 0.0;
         let mut cur = from;
         for level in 0..=h {
             for &s in self.overlay.station(from, level) {
-                cost += self.oracle.dist(cur, s);
+                let d = self.oracle.dist(cur, s);
+                cost += d;
+                self.hop(op, TracePhase::Climb, ledger, o, cur, s, level, d);
                 cur = s;
                 // DL probe (pays the intra-cluster route when balanced).
                 // A physical node knows the DL of every role it plays, so
                 // the probe may hit any level; descending from the lowest
                 // is cheapest.
-                let (_, lb_cost) = self.placement(s, level, o);
+                let (_, lb_cost) = self.placement_traced(s, level, o, op, ledger);
                 cost += lb_cost;
                 if let Some(found_level) = self.stores.dl_lowest_level(s, o) {
-                    cost += self.descend(rec, s, found_level);
+                    cost += self.descend(rec, o, s, found_level, Some((op, ledger)));
+                    self.emit_op(op, o, cost);
                     return Ok(QueryResult { proxy, cost });
                 }
                 if self.cfg.use_special_parents {
                     if let Some((guarded_level, child)) = self.stores.sdl_get(s, o) {
                         // Jump to the special child, then follow its DL
                         // trail down (Algorithm 1, line 24).
-                        cost += self.oracle.dist(s, child);
-                        cost += self.descend(rec, child, guarded_level);
+                        let jump = self.oracle.dist(s, child);
+                        cost += jump;
+                        self.hop(op, TracePhase::SdlJump, ledger, o, s, child, level, jump);
+                        cost += self.descend(rec, o, child, guarded_level, Some((op, ledger)));
+                        self.emit_op(op, o, cost);
                         return Ok(QueryResult { proxy, cost });
                     }
                 }
@@ -546,7 +694,19 @@ impl Tracker for MotTracker<'_> {
             let Some(next) = self.nearest_live(u) else {
                 break;
             };
-            self.repair_spent += self.oracle.dist(u, next);
+            let d = self.oracle.dist(u, next);
+            self.repair_spent += d;
+            self.hop(
+                OpKind::Repair,
+                TracePhase::Handoff,
+                LedgerKind::Repair,
+                o,
+                u,
+                next,
+                0,
+                d,
+            );
+            self.emit_op(OpKind::Repair, o, d);
             let (holder, _) = self.placement(next, 0, o);
             let old_sp = {
                 let rec = self
@@ -911,6 +1071,113 @@ mod tests {
         );
         t.recover_node(NodeId(14));
         t.publish(ObjectId(0), NodeId(14)).unwrap();
+    }
+
+    #[test]
+    fn trace_event_distances_sum_to_op_costs() {
+        use crate::trace::MemorySink;
+        // Every completed operation's event distances must sum exactly
+        // (same accumulation order) to the cost the tracker returned.
+        for cfg in [
+            MotConfig::plain(),
+            MotConfig::no_special_parents(),
+            MotConfig::load_balanced(),
+        ] {
+            let f = fixture(6, 6);
+            let sink = MemorySink::new();
+            let mut t = MotTracker::new(&f.overlay, &f.m, cfg).with_sink(&sink);
+            let o = ObjectId(0);
+            let pc = t.publish(o, NodeId(14)).unwrap();
+            let mv = t.move_object(o, NodeId(21)).unwrap();
+            let q = t.query(NodeId(0), o).unwrap();
+            let ops = sink.ops();
+            assert_eq!(
+                ops.iter().map(|(k, _, _)| *k).collect::<Vec<_>>(),
+                vec![OpKind::Publish, OpKind::Move, OpKind::Query]
+            );
+            assert_eq!(ops[0].2, pc);
+            assert_eq!(ops[1].2, mv.cost);
+            assert_eq!(ops[2].2, q.cost);
+            // event-by-event: group by op position and re-sum
+            let evs = sink.events();
+            let publish_sum: f64 = evs
+                .iter()
+                .filter(|e| e.op == OpKind::Publish)
+                .map(|e| e.distance)
+                .sum();
+            let move_sum: f64 = evs
+                .iter()
+                .filter(|e| e.op == OpKind::Move)
+                .map(|e| e.distance)
+                .sum();
+            let query_sum: f64 = evs
+                .iter()
+                .filter(|e| e.op == OpKind::Query)
+                .map(|e| e.distance)
+                .sum();
+            assert!((publish_sum - pc).abs() < 1e-9);
+            assert!((move_sum - mv.cost).abs() < 1e-9);
+            assert!((query_sum - q.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_is_bit_identical() {
+        use crate::trace::MemorySink;
+        let f = fixture(6, 6);
+        let sink = MemorySink::new();
+        let mut traced = MotTracker::new(&f.overlay, &f.m, MotConfig::plain()).with_sink(&sink);
+        let mut silent = MotTracker::new(&f.overlay, &f.m, MotConfig::plain());
+        let o = ObjectId(0);
+        assert_eq!(
+            traced.publish(o, NodeId(3)).unwrap(),
+            silent.publish(o, NodeId(3)).unwrap()
+        );
+        for p in [4, 12, 20, 19] {
+            let a = traced.move_object(o, NodeId(p)).unwrap();
+            let b = silent.move_object(o, NodeId(p)).unwrap();
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+        for x in [NodeId(0), NodeId(35), NodeId(17)] {
+            let a = traced.query(x, o).unwrap();
+            let b = silent.query(x, o).unwrap();
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn probe_paths_emit_no_events() {
+        use crate::trace::MemorySink;
+        let f = fixture(6, 6);
+        let sink = MemorySink::new();
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain()).with_sink(&sink);
+        let o = ObjectId(0);
+        t.publish(o, NodeId(14)).unwrap();
+        let before = sink.events().len();
+        // Hypothetical probes used by the concurrent engine must stay
+        // silent — they are not billed operations.
+        let _ = t.locate_cost(NodeId(0), 0, o);
+        let _ = t.descend_cost(o, f.overlay.root(), f.overlay.height());
+        assert_eq!(sink.events().len(), before);
+    }
+
+    #[test]
+    fn repair_events_bill_the_repair_ledger() {
+        use crate::trace::{LedgerKind, MemorySink};
+        let f = fixture(6, 6);
+        let sink = MemorySink::new();
+        let mut t = MotTracker::new(&f.overlay, &f.m, MotConfig::plain()).with_sink(&sink);
+        let o = ObjectId(0);
+        t.publish(o, NodeId(14)).unwrap();
+        t.crash_node(NodeId(14));
+        t.recover_node(NodeId(14));
+        t.repair_object(o).unwrap();
+        let repair_total = sink.ledger_total(LedgerKind::Repair);
+        assert!(
+            (repair_total - t.repair_cost()).abs() < 1e-9,
+            "repair ledger {repair_total} != repair_spent {}",
+            t.repair_cost()
+        );
     }
 
     #[test]

@@ -29,6 +29,17 @@ pub struct MoveOutcome {
 /// Implemented by [`crate::MotTracker`] (plain and load-balanced) and by
 /// the STUN / DAT / Z-DAT baselines in `mot-baselines`, so experiments
 /// treat every algorithm identically.
+///
+/// # Observability contract
+///
+/// Instrumented implementations accept a [`crate::TraceSink`] at
+/// construction (`with_sink`) and then emit one [`crate::TraceEvent`]
+/// per billed message hop plus a `TraceSink::op_complete` per finished
+/// operation, such that the event distances of an operation sum to the
+/// cost it returned. Hypothetical cost probes (e.g. the concurrent
+/// engine's planning reads) must stay silent. Without a sink no event
+/// is constructed: a traced-off run is bit-identical to one on an
+/// uninstrumented build.
 pub trait Tracker {
     /// Human-readable algorithm name used in reports.
     fn name(&self) -> String;

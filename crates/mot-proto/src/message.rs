@@ -124,6 +124,39 @@ impl Payload {
         }
     }
 
+    /// The trace ledger this payload's travel distance is billed under:
+    /// the charged kinds split into publish / maintenance / query, the
+    /// uncharged ones (SP updates, repoints, replies) are bookkeeping.
+    pub fn trace_ledger(&self) -> mot_core::LedgerKind {
+        use mot_core::LedgerKind;
+        match self {
+            Payload::Climb { publish: true, .. } => LedgerKind::Publish,
+            Payload::Climb { .. } | Payload::Delete { .. } => LedgerKind::Maintenance,
+            Payload::Query { .. } | Payload::Descend { .. } => LedgerKind::Query,
+            Payload::Repoint { .. }
+            | Payload::SpInstall { .. }
+            | Payload::SpRemove { .. }
+            | Payload::Reply { .. } => LedgerKind::Bookkeeping,
+        }
+    }
+
+    /// The hierarchy level a trace event for this message is tagged with
+    /// (the level being visited / guarded; 0 for replies, which carry no
+    /// level of their own).
+    pub fn trace_level(&self) -> usize {
+        match *self {
+            Payload::Climb { level, .. }
+            | Payload::Repoint { level, .. }
+            | Payload::Delete { level, .. }
+            | Payload::Query { level, .. }
+            | Payload::Descend { level, .. } => level,
+            Payload::SpInstall { guarded_level, .. } | Payload::SpRemove { guarded_level, .. } => {
+                guarded_level
+            }
+            Payload::Reply { .. } => 0,
+        }
+    }
+
     /// Short kind label for ledgers and debugging.
     pub fn kind(&self) -> &'static str {
         match self {

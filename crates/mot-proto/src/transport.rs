@@ -8,8 +8,36 @@
 
 use crate::faults::FaultModel;
 use crate::message::{Message, Payload};
+use mot_core::{LedgerKind, OpKind, TraceEvent, TracePhase, TraceSink};
 use mot_net::DistanceOracle;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// Emits one transport-level trace event for a billed transmission
+/// (free when no sink is attached). `retry` bills the hop to the retry
+/// ledger with a `Retransmit` phase regardless of the payload.
+fn emit_msg(sink: &Option<Rc<dyn TraceSink>>, msg: &Message, dist: f64, retry: bool) {
+    if let Some(s) = sink {
+        s.event(&TraceEvent {
+            op: OpKind::Transport,
+            phase: if retry {
+                TracePhase::Retransmit
+            } else {
+                TracePhase::Deliver
+            },
+            ledger: if retry {
+                LedgerKind::Retry
+            } else {
+                msg.payload.trace_ledger()
+            },
+            object: msg.payload.object(),
+            src: msg.src,
+            dst: msg.dst,
+            level: msg.payload.trace_level() as u32,
+            distance: dist,
+        });
+    }
+}
 
 /// Ledger kind under which fault overhead is billed: lost transmissions,
 /// retransmissions, and redundant duplicate arrivals. Never charged —
@@ -63,15 +91,22 @@ impl CostLedger {
 }
 
 /// FIFO message queue between sensor nodes.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Transport {
     queue: VecDeque<Message>,
     pub ledger: CostLedger,
+    sink: Option<Rc<dyn TraceSink>>,
 }
 
 impl Transport {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a structured-trace sink: every billed delivery emits a
+    /// transport-level [`TraceEvent`]. Without one nothing is built.
+    pub fn set_sink(&mut self, sink: Rc<dyn TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Enqueues a message.
@@ -91,6 +126,7 @@ impl Transport {
         let msg = self.queue.pop_front()?;
         let dist = oracle.dist(msg.src, msg.dst);
         self.ledger.bill(&msg.payload, dist);
+        emit_msg(&self.sink, &msg, dist, false);
         Some(msg)
     }
 
@@ -143,6 +179,7 @@ pub struct LossyTransport {
     next_seq: u64,
     /// Sequence numbers whose effects were already applied.
     applied: HashSet<u64>,
+    sink: Option<Rc<dyn TraceSink>>,
 }
 
 impl LossyTransport {
@@ -157,7 +194,14 @@ impl LossyTransport {
             max_attempts,
             next_seq: 0,
             applied: HashSet::new(),
+            sink: None,
         }
+    }
+
+    /// Attaches a structured-trace sink. Wasted transmissions (drops,
+    /// duplicates) emit `Retransmit` events under the retry ledger.
+    pub fn set_sink(&mut self, sink: Rc<dyn TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Enqueues a message with a fresh sequence number.
@@ -197,6 +241,7 @@ impl LossyTransport {
                 || self.faults.drop_message(inflight.msg.src, inflight.msg.dst);
             if lost {
                 self.ledger.bill_retry(dist);
+                emit_msg(&self.sink, &inflight.msg, dist, true);
                 if inflight.attempt >= self.max_attempts {
                     return Some(Delivery::Failed {
                         attempts: inflight.attempt,
@@ -208,9 +253,11 @@ impl LossyTransport {
             }
             if !self.applied.insert(inflight.seq) {
                 self.ledger.bill_retry(dist);
+                emit_msg(&self.sink, &inflight.msg, dist, true);
                 return Some(Delivery::Duplicate(inflight.msg));
             }
             self.ledger.bill(&inflight.msg.payload, dist);
+            emit_msg(&self.sink, &inflight.msg, dist, false);
             if self
                 .faults
                 .duplicate_message(inflight.msg.src, inflight.msg.dst)
@@ -268,7 +315,6 @@ impl PartialOrd for Scheduled {
 /// latency equals message distance, and a climb/query entering level `i`
 /// waits for the end of the current period `Φ(i) = period_base · 2^i`
 /// (§4.1.2's forwarding discipline; `period_base = 0` disables gating).
-#[derive(Debug)]
 pub struct TimedTransport {
     heap: std::collections::BinaryHeap<Scheduled>,
     seq: u64,
@@ -276,6 +322,7 @@ pub struct TimedTransport {
     pub now: f64,
     pub period_base: f64,
     pub ledger: CostLedger,
+    sink: Option<Rc<dyn TraceSink>>,
 }
 
 impl TimedTransport {
@@ -286,7 +333,13 @@ impl TimedTransport {
             now: 0.0,
             period_base,
             ledger: CostLedger::default(),
+            sink: None,
         }
+    }
+
+    /// Attaches a structured-trace sink for billed deliveries.
+    pub fn set_sink(&mut self, sink: Rc<dyn TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Schedules `msg` sent at time `sent_at`.
@@ -314,8 +367,9 @@ impl TimedTransport {
         } = self.heap.pop()?;
         debug_assert!(deliver_at >= self.now - 1e-9, "time ran backwards");
         self.now = self.now.max(deliver_at);
-        self.ledger
-            .bill(&msg.payload, oracle.dist(msg.src, msg.dst));
+        let dist = oracle.dist(msg.src, msg.dst);
+        self.ledger.bill(&msg.payload, dist);
+        emit_msg(&self.sink, &msg, dist, false);
         Some(msg)
     }
 
@@ -605,6 +659,62 @@ mod tests {
         assert_eq!(second.payload.object(), ObjectId(0));
         assert_eq!(t.ledger.charged, 8.0, "both still billed exactly once");
         assert_eq!(t.ledger.retries(), 0.0, "delay is free");
+    }
+
+    #[test]
+    fn sinks_see_deliveries_and_retries_with_the_right_ledgers() {
+        use crate::faults::ScriptedFaults;
+        use mot_core::MemorySink;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        let sink = Rc::new(MemorySink::new());
+        let faults = ScriptedFaults::dropping([true, false]);
+        let mut t = LossyTransport::new(Box::new(faults), 8);
+        t.set_sink(sink.clone());
+        t.send(msg(
+            0,
+            4,
+            Payload::Query {
+                object: ObjectId(3),
+                origin: NodeId(0),
+                level: 1,
+                index: 0,
+            },
+        ));
+        assert!(matches!(t.deliver(&m), Some(Delivery::Apply(_))));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2, "one wasted attempt + one delivery");
+        assert_eq!(evs[0].phase, TracePhase::Retransmit);
+        assert_eq!(evs[0].ledger, LedgerKind::Retry);
+        assert_eq!(evs[1].phase, TracePhase::Deliver);
+        assert_eq!(evs[1].ledger, LedgerKind::Query);
+        assert_eq!(evs[1].op, OpKind::Transport);
+        assert_eq!(evs[1].level, 1);
+        assert_eq!(sink.ledger_total(LedgerKind::Retry), t.ledger.retries());
+        assert_eq!(sink.ledger_total(LedgerKind::Query), t.ledger.charged);
+    }
+
+    #[test]
+    fn reliable_transport_sink_mirrors_the_ledger() {
+        use mot_core::MemorySink;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        let sink = Rc::new(MemorySink::new());
+        let mut t = Transport::new();
+        t.set_sink(sink.clone());
+        t.send(msg(
+            0,
+            4,
+            Payload::Reply {
+                object: ObjectId(0),
+                proxy: NodeId(4),
+            },
+        ));
+        t.deliver(&m).unwrap();
+        assert_eq!(
+            sink.ledger_total(LedgerKind::Bookkeeping),
+            t.ledger.of_kind("reply")
+        );
     }
 
     #[test]

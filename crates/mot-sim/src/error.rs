@@ -1,7 +1,7 @@
 //! Simulation-level errors.
 
 use mot_core::{CoreError, ObjectId};
-use mot_net::NodeId;
+use mot_net::{NetError, NodeId};
 
 /// Errors surfaced while driving a tracker through a workload.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,6 +23,9 @@ pub enum SimError {
     },
     /// An error reported by the tracker itself.
     Core(CoreError),
+    /// The network layer rejected the topology (disconnected graph,
+    /// missing positions, degenerate size) while assembling a bed.
+    Net(NetError),
 }
 
 impl std::fmt::Display for SimError {
@@ -39,6 +42,7 @@ impl std::fmt::Display for SimError {
                  expected at {expected}, structure records {actual}"
             ),
             SimError::Core(e) => write!(f, "tracker error: {e}"),
+            SimError::Net(e) => write!(f, "network error: {e}"),
         }
     }
 }
@@ -47,6 +51,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Core(e) => Some(e),
+            SimError::Net(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +60,12 @@ impl std::error::Error for SimError {
 impl From<CoreError> for SimError {
     fn from(e: CoreError) -> Self {
         SimError::Core(e)
+    }
+}
+
+impl From<NetError> for SimError {
+    fn from(e: NetError) -> Self {
+        SimError::Net(e)
     }
 }
 

@@ -477,7 +477,7 @@ mod tests {
 
     #[test]
     fn faulty_replay_repairs_everything_for_mot_and_stun() {
-        let bed = TestBed::grid(8, 8, 5);
+        let bed = TestBed::grid(8, 8, 5).unwrap();
         let w = WorkloadSpec::new(4, 60, 9).generate(&bed.graph);
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
         let cfg = FaultConfig {
@@ -489,7 +489,7 @@ mod tests {
         };
         for algo in [Algo::Mot, Algo::Stun] {
             let mut plan = cfg.plan(bed.graph.node_count(), w.moves.len());
-            let mut t = bed.make_tracker(algo, &rates);
+            let mut t = bed.make_tracker(algo, &rates).unwrap();
             run_publish(t.as_mut(), &w).unwrap();
             let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan).unwrap();
             assert_eq!(run.crashes_injected, 6, "{}", algo.label());
@@ -515,17 +515,17 @@ mod tests {
 
     #[test]
     fn zero_fault_replay_matches_the_reliable_path_exactly() {
-        let bed = TestBed::grid(6, 6, 2);
+        let bed = TestBed::grid(6, 6, 2).unwrap();
         let w = WorkloadSpec::new(3, 50, 4).generate(&bed.graph);
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
         let cfg = FaultConfig::default();
         for algo in [Algo::Mot, Algo::Stun] {
-            let mut clean = bed.make_tracker(algo, &rates);
+            let mut clean = bed.make_tracker(algo, &rates).unwrap();
             run_publish(clean.as_mut(), &w).unwrap();
             let reliable = replay_moves(clean.as_mut(), &w, &bed.oracle).unwrap();
 
             let mut plan = cfg.plan(bed.graph.node_count(), w.moves.len());
-            let mut faulty = bed.make_tracker(algo, &rates);
+            let mut faulty = bed.make_tracker(algo, &rates).unwrap();
             run_publish(faulty.as_mut(), &w).unwrap();
             let run = replay_moves_faulty(faulty.as_mut(), &w, &bed.oracle, &mut plan).unwrap();
             assert_eq!(run.maintenance, reliable, "{}", algo.label());

@@ -27,11 +27,11 @@
 //! use mot_sim::{replay_moves, run_publish, run_queries, Algo, TestBed, WorkloadSpec};
 //! use mot_baselines::DetectionRates;
 //!
-//! let bed = TestBed::grid(6, 6, 42);
+//! let bed = TestBed::grid(6, 6, 42)?;
 //! let w = WorkloadSpec::new(3, 50, 1).generate(&bed.graph);
 //! let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
 //!
-//! let mut tracker = bed.make_tracker(Algo::Mot, &rates);
+//! let mut tracker = bed.make_tracker(Algo::Mot, &rates)?;
 //! run_publish(tracker.as_mut(), &w)?;
 //! let maint = replay_moves(tracker.as_mut(), &w, &bed.oracle)?;
 //! assert!(maint.ratio() >= 1.0); // nothing beats the optimal cost
@@ -57,7 +57,12 @@ pub use faults::{
     FaultPlan, FaultyQueryStats, FaultyRunStats,
 };
 pub use io::{load_workload, save_workload, validate_against};
-pub use metrics::{CostStats, LoadStats};
+pub use metrics::{
+    CostStats, Histogram, LevelLedger, LoadStats, Profiler, Recorder, Summary, TraceAggregates,
+};
 pub use mobility::{MobilityModel, MoveOp, Workload, WorkloadSpec};
-pub use run::{replay_moves, run_local_queries, run_publish, run_queries, QueryBatchStats};
+pub use run::{
+    replay_moves, replay_moves_observed, run_local_queries, run_publish, run_queries,
+    run_queries_observed, QueryBatchStats,
+};
 pub use testbed::{Algo, TestBed};

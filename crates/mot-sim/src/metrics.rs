@@ -1,4 +1,11 @@
-//! Cost and load statistics.
+//! Cost and load statistics, plus the aggregation side of the
+//! observability layer: per-level cost ledgers, mergeable log-spaced
+//! histograms, a trace-consuming [`Recorder`], and a wall-clock
+//! [`Profiler`] scope guard.
+
+use mot_core::{fmt_f64, LedgerKind, ObjectId, OpKind, TraceEvent, TraceSink};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
 
 /// Accumulated algorithm-vs-optimal communication cost.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -13,6 +20,12 @@ pub struct CostStats {
     pub ratio_sum: f64,
     /// Number of operations accumulated.
     pub operations: usize,
+    /// Operations whose optimal cost was zero. A per-operation ratio is
+    /// undefined for these, so they are counted here and excluded from
+    /// `ratio_sum` instead of being invented as ratio 1 (which would
+    /// understate `mean_ratio` whenever the algorithm paid a positive
+    /// cost against a zero optimal).
+    pub zero_optimal_ops: usize,
 }
 
 impl CostStats {
@@ -23,8 +36,7 @@ impl CostStats {
         if optimal > 0.0 {
             self.ratio_sum += cost / optimal;
         } else {
-            // free operation served free: ratio 1 by convention
-            self.ratio_sum += 1.0;
+            self.zero_optimal_ops += 1;
         }
         self.operations += 1;
     }
@@ -41,13 +53,15 @@ impl CostStats {
         }
     }
 
-    /// Mean of per-operation ratios — the metric of the query analysis
+    /// Mean of per-operation ratios over the operations that have one
+    /// (positive optimal cost) — the metric of the query analysis
     /// (each query is charged against its own optimal, Theorem 4.11).
     pub fn mean_ratio(&self) -> f64 {
-        if self.operations == 0 {
+        let ratioed = self.operations - self.zero_optimal_ops;
+        if ratioed == 0 {
             1.0
         } else {
-            self.ratio_sum / self.operations as f64
+            self.ratio_sum / ratioed as f64
         }
     }
 
@@ -57,6 +71,7 @@ impl CostStats {
         self.optimal += other.optimal;
         self.ratio_sum += other.ratio_sum;
         self.operations += other.operations;
+        self.zero_optimal_ops += other.zero_optimal_ops;
     }
 }
 
@@ -137,6 +152,396 @@ impl LoadStats {
     }
 }
 
+/// Number of buckets in a [`Histogram`]. Bucket 0 covers `[0, 1)`;
+/// bucket `i ≥ 1` covers `[2^(i-1), 2^i)`; the last bucket also absorbs
+/// everything beyond its upper edge, so `2^30` (~1e9) is the largest
+/// resolvable value — far above any message distance in the suite.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A fixed log-spaced histogram of non-negative samples.
+///
+/// The bucket edges are powers of two and never depend on the data, so
+/// histograms from different seeds (or different runs entirely) merge
+/// bucket-by-bucket without rebinning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for the mean; exact, unlike the buckets).
+    pub sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a sample lands in (negative samples clamp to 0).
+    pub fn bucket_index(x: f64) -> usize {
+        if x < 1.0 {
+            return 0;
+        }
+        // [2^(i-1), 2^i) for i >= 1; log2(x) in [i-1, i)
+        let i = x.log2().floor() as usize + 1;
+        i.min(HIST_BUCKETS - 1)
+    }
+
+    /// The `[lo, hi)` range of bucket `i` (the last bucket's `hi` is
+    /// `f64::INFINITY`).
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        assert!(i < HIST_BUCKETS, "bucket out of range");
+        let lo = if i == 0 {
+            0.0
+        } else {
+            (1u64 << (i - 1)) as f64
+        };
+        let hi = if i == HIST_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (1u64 << i) as f64
+        };
+        (lo, hi)
+    }
+
+    /// Folds one sample in.
+    pub fn record(&mut self, x: f64) {
+        self.buckets[Self::bucket_index(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Merges another histogram (e.g. across seeds). Exact: buckets are
+    /// fixed, so merging N per-seed histograms equals one histogram fed
+    /// all N sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any sample was recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// JSON rendering: `{"count":N,"sum":S,"buckets":[...]}` with the
+    /// trailing run of empty buckets trimmed.
+    pub fn to_json(&self) -> String {
+        let used = self.max_bucket().map_or(0, |i| i + 1);
+        let buckets: Vec<String> = self.buckets[..used].iter().map(u64::to_string).collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            self.count,
+            fmt_f64(self.sum),
+            buckets.join(",")
+        )
+    }
+}
+
+/// Message distance decomposed by hierarchy level and ledger kind — the
+/// aggregation behind the per-level cost-decomposition table that checks
+/// the geometric decay of MOT's level-ℓ maintenance spend.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LevelLedger {
+    /// `levels[l][k]` = distance billed at level `l` under
+    /// `LedgerKind::all()[k]`. Grows on demand.
+    levels: Vec<[f64; 6]>,
+}
+
+impl LevelLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn kind_index(kind: LedgerKind) -> usize {
+        LedgerKind::all()
+            .iter()
+            .position(|&k| k == kind)
+            .expect("all() covers every kind")
+    }
+
+    /// Bills `dist` at `level` under `kind`.
+    pub fn add(&mut self, level: usize, kind: LedgerKind, dist: f64) {
+        if level >= self.levels.len() {
+            self.levels.resize(level + 1, [0.0; 6]);
+        }
+        self.levels[level][Self::kind_index(kind)] += dist;
+    }
+
+    /// Number of levels with any billing (the vector's length).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Distance billed at `level` under `kind` (0.0 beyond the recorded
+    /// height).
+    pub fn get(&self, level: usize, kind: LedgerKind) -> f64 {
+        self.levels
+            .get(level)
+            .map_or(0.0, |row| row[Self::kind_index(kind)])
+    }
+
+    /// Total distance billed at `level` across all ledgers.
+    pub fn level_total(&self, level: usize) -> f64 {
+        self.levels.get(level).map_or(0.0, |row| row.iter().sum())
+    }
+
+    /// Total distance billed under `kind` across all levels.
+    pub fn ledger_total(&self, kind: LedgerKind) -> f64 {
+        let k = Self::kind_index(kind);
+        self.levels.iter().map(|row| row[k]).sum()
+    }
+
+    /// Grand total across levels and ledgers.
+    pub fn total(&self) -> f64 {
+        self.levels.iter().flat_map(|row| row.iter()).sum()
+    }
+
+    /// Merges another ledger (e.g. across seeds).
+    pub fn merge(&mut self, other: &LevelLedger) {
+        if other.levels.len() > self.levels.len() {
+            self.levels.resize(other.levels.len(), [0.0; 6]);
+        }
+        for (l, row) in other.levels.iter().enumerate() {
+            for (k, v) in row.iter().enumerate() {
+                self.levels[l][k] += v;
+            }
+        }
+    }
+
+    /// JSON rendering: an array of per-level objects keyed by ledger
+    /// label, zero entries omitted.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, row)| {
+                let fields: Vec<String> = LedgerKind::all()
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| row[*k] != 0.0)
+                    .map(|(k, kind)| format!("\"{}\":{}", kind.label(), fmt_f64(row[k])))
+                    .collect();
+                let sep = if fields.is_empty() { "" } else { "," };
+                format!("{{\"level\":{l}{sep}{}}}", fields.join(","))
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+/// The standard trace consumer: aggregates events into a [`LevelLedger`]
+/// plus hop-count and per-op cost histograms, all mergeable across
+/// seeds. Implements [`TraceSink`] with interior mutability (trackers
+/// emit through `&self`).
+#[derive(Default)]
+pub struct Recorder {
+    state: RefCell<RecorderState>,
+}
+
+#[derive(Default)]
+struct RecorderState {
+    ledger: LevelLedger,
+    /// Hops (events) per completed operation.
+    hops: Histogram,
+    /// Billed cost per completed operation.
+    op_costs: Histogram,
+    /// Events seen since the last `op_complete`.
+    pending_hops: u64,
+    /// Number of completed operations per op kind, indexed like `ops`.
+    op_counts: Vec<(OpKind, usize)>,
+}
+
+/// The aggregates extracted from a [`Recorder`] once tracing is done.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceAggregates {
+    pub ledger: LevelLedger,
+    pub hops: Histogram,
+    pub op_costs: Histogram,
+    /// Completed operations per kind, in first-seen order.
+    pub op_counts: Vec<(OpKind, usize)>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the recorder, returning its aggregates.
+    pub fn finish(self) -> TraceAggregates {
+        let s = self.state.into_inner();
+        TraceAggregates {
+            ledger: s.ledger,
+            hops: s.hops,
+            op_costs: s.op_costs,
+            op_counts: s.op_counts,
+        }
+    }
+
+    /// A snapshot of the aggregates without consuming the recorder.
+    pub fn snapshot(&self) -> TraceAggregates {
+        let s = self.state.borrow();
+        TraceAggregates {
+            ledger: s.ledger.clone(),
+            hops: s.hops.clone(),
+            op_costs: s.op_costs.clone(),
+            op_counts: s.op_counts.clone(),
+        }
+    }
+}
+
+impl TraceSink for Recorder {
+    fn event(&self, ev: &TraceEvent) {
+        let mut s = self.state.borrow_mut();
+        s.ledger.add(ev.level as usize, ev.ledger, ev.distance);
+        s.pending_hops += 1;
+    }
+
+    fn op_complete(&self, op: OpKind, _object: ObjectId, cost: f64) {
+        let mut s = self.state.borrow_mut();
+        let hops = s.pending_hops;
+        s.pending_hops = 0;
+        s.hops.record(hops as f64);
+        s.op_costs.record(cost);
+        match s.op_counts.iter_mut().find(|(k, _)| *k == op) {
+            Some((_, n)) => *n += 1,
+            None => s.op_counts.push((op, 1)),
+        }
+    }
+}
+
+impl TraceAggregates {
+    /// Merges another run's aggregates (e.g. across seeds).
+    pub fn merge(&mut self, other: &TraceAggregates) {
+        self.ledger.merge(&other.ledger);
+        self.hops.merge(&other.hops);
+        self.op_costs.merge(&other.op_costs);
+        for &(op, n) in &other.op_counts {
+            match self.op_counts.iter_mut().find(|(k, _)| *k == op) {
+                Some((_, m)) => *m += n,
+                None => self.op_counts.push((op, n)),
+            }
+        }
+    }
+
+    /// JSON rendering bundling the ledger, both histograms, and the
+    /// per-kind operation counts.
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self
+            .op_counts
+            .iter()
+            .map(|(op, n)| format!("\"{}\":{n}", op.label()))
+            .collect();
+        format!(
+            "{{\"ledger\":{},\"hops\":{},\"op_costs\":{},\"op_counts\":{{{}}}}}",
+            self.ledger.to_json(),
+            self.hops.to_json(),
+            self.op_costs.to_json(),
+            counts.join(",")
+        )
+    }
+}
+
+/// Wall-clock section profiler. `scope()` returns a guard that bills the
+/// elapsed time to its section on drop:
+///
+/// ```
+/// use mot_sim::Profiler;
+/// let prof = Profiler::new();
+/// {
+///     let _g = prof.scope("build");
+///     // ... timed work ...
+/// }
+/// assert_eq!(prof.report()[0].0, "build");
+/// ```
+#[derive(Default)]
+pub struct Profiler {
+    sections: RefCell<Vec<(&'static str, Duration, u64)>>,
+}
+
+/// Scope guard produced by [`Profiler::scope`].
+pub struct ProfileGuard<'a> {
+    profiler: &'a Profiler,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts timing `name`; the returned guard stops on drop.
+    pub fn scope(&self, name: &'static str) -> ProfileGuard<'_> {
+        ProfileGuard {
+            profiler: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    fn bill(&self, name: &'static str, elapsed: Duration) {
+        let mut sections = self.sections.borrow_mut();
+        match sections.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, total, calls)) => {
+                *total += elapsed;
+                *calls += 1;
+            }
+            None => sections.push((name, elapsed, 1)),
+        }
+    }
+
+    /// `(section, total elapsed, calls)` in first-seen order.
+    pub fn report(&self) -> Vec<(&'static str, Duration, u64)> {
+        self.sections.borrow().clone()
+    }
+
+    /// JSON rendering: `[{"section":...,"secs":...,"calls":...}]`.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .sections
+            .borrow()
+            .iter()
+            .map(|(n, d, c)| {
+                format!(
+                    "{{\"section\":\"{n}\",\"secs\":{},\"calls\":{c}}}",
+                    fmt_f64(d.as_secs_f64())
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+impl Drop for ProfileGuard<'_> {
+    fn drop(&mut self) {
+        self.profiler.bill(self.name, self.start.elapsed());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,7 +597,177 @@ mod tests {
         assert!((even.jain_index - 1.0).abs() < 1e-12);
         let skewed = LoadStats::from_loads(&[20, 0, 0, 0]);
         assert!((skewed.jain_index - 0.25).abs() < 1e-12);
-        let empty = LoadStats::from_loads(&[0, 0]);
-        assert_eq!(empty.jain_index, 1.0);
+    }
+
+    #[test]
+    fn jain_index_all_zero_loads_is_one_not_nan() {
+        // Regression: 0²/(n·0) used to be NaN and propagated into figure
+        // tables; the degenerate all-idle network is perfectly fair.
+        for loads in [vec![0usize; 2], vec![0; 64], Vec::new()] {
+            let s = LoadStats::from_loads(&loads);
+            assert!(!s.jain_index.is_nan(), "NaN for {loads:?}");
+            assert_eq!(s.jain_index, 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_optimal_ops_are_counted_not_invented() {
+        // Regression: a positive-cost op against a zero optimal used to
+        // be folded in as ratio 1.0, understating mean_ratio.
+        let mut c = CostStats::default();
+        c.record(10.0, 5.0); // ratio 2
+        c.record(7.5, 0.0); // no defined ratio
+        assert_eq!(c.operations, 2);
+        assert_eq!(c.zero_optimal_ops, 1);
+        assert_eq!(c.ratio_sum, 2.0);
+        assert!((c.mean_ratio() - 2.0).abs() < 1e-12, "{}", c.mean_ratio());
+        // totals still include the zero-optimal op's cost
+        assert_eq!(c.total, 17.5);
+        assert_eq!(c.optimal, 5.0);
+        // all-zero-optimal accumulator falls back to 1.0, not 0/0
+        let mut z = CostStats::default();
+        z.record(3.0, 0.0);
+        assert_eq!(z.mean_ratio(), 1.0);
+        assert_eq!(z.zero_optimal_ops, 1);
+    }
+
+    #[test]
+    fn zero_optimal_counter_merges() {
+        let mut a = CostStats::default();
+        a.record(1.0, 0.0);
+        let mut b = CostStats::default();
+        b.record(2.0, 0.0);
+        b.record(4.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.zero_optimal_ops, 2);
+        assert_eq!(a.operations, 3);
+        assert!((a.mean_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(0.999), 0);
+        assert_eq!(Histogram::bucket_index(1.0), 1);
+        assert_eq!(Histogram::bucket_index(1.999), 1);
+        assert_eq!(Histogram::bucket_index(2.0), 2);
+        assert_eq!(Histogram::bucket_index(3.999), 2);
+        assert_eq!(Histogram::bucket_index(4.0), 3);
+        assert_eq!(Histogram::bucket_index(-1.0), 0, "negatives clamp");
+        assert_eq!(Histogram::bucket_index(1e30), HIST_BUCKETS - 1);
+        // bounds agree with the index function at every edge
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo edge of {i}");
+            if hi.is_finite() {
+                assert_eq!(Histogram::bucket_index(hi), i + 1, "hi edge of {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let samples = [0.0, 0.5, 1.0, 3.7, 16.0, 1000.0, 2.0, 2.0];
+        let mut whole = Histogram::new();
+        for &x in &samples {
+            whole.record(x);
+        }
+        let (left, right) = samples.split_at(3);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &x in left {
+            a.record(x);
+        }
+        for &x in right {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "cross-seed merge must be exact");
+        assert_eq!(a.count, 8);
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_json_trims_trailing_zeros() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(5.0);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":2,\"sum\":5.0,\"buckets\":[1,0,0,1]}"
+        );
+        assert_eq!(
+            Histogram::new().to_json(),
+            "{\"count\":0,\"sum\":0.0,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn level_ledger_accumulates_and_merges() {
+        let mut a = LevelLedger::new();
+        a.add(0, LedgerKind::Maintenance, 2.0);
+        a.add(2, LedgerKind::Maintenance, 4.0);
+        a.add(2, LedgerKind::Query, 1.0);
+        assert_eq!(a.height(), 3);
+        assert_eq!(a.get(2, LedgerKind::Maintenance), 4.0);
+        assert_eq!(a.level_total(2), 5.0);
+        assert_eq!(a.level_total(9), 0.0);
+        assert_eq!(a.ledger_total(LedgerKind::Maintenance), 6.0);
+        assert_eq!(a.total(), 7.0);
+        let mut b = LevelLedger::new();
+        b.add(5, LedgerKind::Repair, 3.0);
+        a.merge(&b);
+        assert_eq!(a.height(), 6);
+        assert_eq!(a.total(), 10.0);
+        assert!(a.to_json().contains("\"level\":5,\"repair\":3.0"));
+    }
+
+    #[test]
+    fn recorder_groups_hops_per_operation() {
+        use mot_net::NodeId;
+        let r = Recorder::new();
+        let ev = |level: u32, dist: f64| TraceEvent {
+            op: OpKind::Move,
+            phase: mot_core::TracePhase::Climb,
+            ledger: LedgerKind::Maintenance,
+            object: ObjectId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            level,
+            distance: dist,
+        };
+        r.event(&ev(0, 1.0));
+        r.event(&ev(1, 2.0));
+        r.op_complete(OpKind::Move, ObjectId(0), 3.0);
+        r.event(&ev(0, 4.0));
+        r.op_complete(OpKind::Move, ObjectId(0), 4.0);
+        let agg = r.finish();
+        assert_eq!(agg.ledger.total(), 7.0);
+        assert_eq!(agg.ledger.level_total(1), 2.0);
+        assert_eq!(agg.hops.count, 2);
+        // op 1 had 2 hops (bucket 2), op 2 had 1 hop (bucket 1)
+        assert_eq!(agg.hops.buckets[1], 1);
+        assert_eq!(agg.hops.buckets[2], 1);
+        assert_eq!(agg.op_counts, vec![(OpKind::Move, 2)]);
+        assert_eq!(agg.op_costs.count, 2);
+    }
+
+    #[test]
+    fn profiler_scope_guard_bills_sections() {
+        let prof = Profiler::new();
+        {
+            let _g = prof.scope("a");
+            let _h = prof.scope("b");
+        }
+        {
+            let _g = prof.scope("a");
+        }
+        let report = prof.report();
+        assert_eq!(report.len(), 2);
+        let a = report.iter().find(|(n, _, _)| *n == "a").unwrap();
+        assert_eq!(a.2, 2, "two calls billed to section a");
+        let b = report.iter().find(|(n, _, _)| *n == "b").unwrap();
+        assert_eq!(b.2, 1);
+        assert!(prof.to_json().starts_with("[{\"section\":"));
     }
 }

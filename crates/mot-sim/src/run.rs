@@ -5,7 +5,7 @@
 //! propagation times).
 
 use crate::error::SimError;
-use crate::metrics::CostStats;
+use crate::metrics::{CostStats, Histogram};
 use crate::mobility::Workload;
 use mot_core::{ObjectId, Result, Tracker};
 use mot_net::{DistanceOracle, NodeId};
@@ -34,6 +34,28 @@ pub fn replay_moves(
     workload: &Workload,
     oracle: &dyn DistanceOracle,
 ) -> std::result::Result<CostStats, SimError> {
+    replay_inner(tracker, workload, oracle, None)
+}
+
+/// [`replay_moves`] plus observability: each move's per-operation cost
+/// ratio is recorded into `ratios` (moves with zero optimal cost are
+/// skipped, matching [`CostStats`] accounting). The returned stats are
+/// identical to [`replay_moves`]'.
+pub fn replay_moves_observed(
+    tracker: &mut dyn Tracker,
+    workload: &Workload,
+    oracle: &dyn DistanceOracle,
+    ratios: &mut Histogram,
+) -> std::result::Result<CostStats, SimError> {
+    replay_inner(tracker, workload, oracle, Some(ratios))
+}
+
+fn replay_inner(
+    tracker: &mut dyn Tracker,
+    workload: &Workload,
+    oracle: &dyn DistanceOracle,
+    mut ratios: Option<&mut Histogram>,
+) -> std::result::Result<CostStats, SimError> {
     let mut stats = CostStats::default();
     for (step, m) in workload.moves.iter().enumerate() {
         let outcome = tracker.move_object(m.object, m.to)?;
@@ -45,7 +67,13 @@ pub fn replay_moves(
                 actual: outcome.from,
             });
         }
-        stats.record(outcome.cost, oracle.dist(m.from, m.to));
+        let optimal = oracle.dist(m.from, m.to);
+        stats.record(outcome.cost, optimal);
+        if let Some(h) = ratios.as_deref_mut() {
+            if optimal > 0.0 {
+                h.record(outcome.cost / optimal);
+            }
+        }
     }
     Ok(stats)
 }
@@ -71,6 +99,31 @@ pub fn run_queries(
     count: usize,
     seed: u64,
 ) -> Result<QueryBatchStats> {
+    queries_inner(tracker, oracle, object_count, count, seed, None)
+}
+
+/// [`run_queries`] plus observability: each query's per-operation cost
+/// ratio is recorded into `ratios` (zero-distance queries excluded, as
+/// in [`QueryBatchStats`]). Identical stats and query stream.
+pub fn run_queries_observed(
+    tracker: &dyn Tracker,
+    oracle: &dyn DistanceOracle,
+    object_count: usize,
+    count: usize,
+    seed: u64,
+    ratios: &mut Histogram,
+) -> Result<QueryBatchStats> {
+    queries_inner(tracker, oracle, object_count, count, seed, Some(ratios))
+}
+
+fn queries_inner(
+    tracker: &dyn Tracker,
+    oracle: &dyn DistanceOracle,
+    object_count: usize,
+    count: usize,
+    seed: u64,
+    mut ratios: Option<&mut Histogram>,
+) -> Result<QueryBatchStats> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = oracle.node_count();
     let mut out = QueryBatchStats::default();
@@ -89,6 +142,9 @@ pub fn run_queries(
             out.zero_distance += 1;
         } else {
             out.cost.record(r.cost, optimal);
+            if let Some(h) = ratios.as_deref_mut() {
+                h.record(r.cost / optimal);
+            }
         }
     }
     Ok(out)

@@ -7,9 +7,10 @@
 //! (traffic-obliviousness is its defining property).
 
 use crate::concurrent::ClimbStructure;
+use crate::error::SimError;
 use crate::faults::{FaultConfig, FaultPlan};
 use mot_baselines::{build_dat, build_stun, build_zdat, DetectionRates, TreeTracker, ZdatParams};
-use mot_core::{MotConfig, MotTracker};
+use mot_core::{MotConfig, MotTracker, TraceSink};
 use mot_hierarchy::{build_doubling, build_general, Overlay, OverlayConfig};
 use mot_net::{DistanceOracle, Graph, HybridOracle, NodeId, OracleKind};
 
@@ -72,24 +73,30 @@ pub struct TestBed {
 impl TestBed {
     /// Builds a bed over an arbitrary connected graph with the doubling
     /// (MIS) overlay — the constant-doubling model used by the paper's
-    /// experiments.
-    pub fn new(graph: Graph, seed: u64) -> Self {
+    /// experiments. Errors (instead of panicking) on topologies the
+    /// distance backend rejects, e.g. disconnected graphs.
+    pub fn new(graph: Graph, seed: u64) -> Result<Self, SimError> {
         Self::with_config(graph, &OverlayConfig::practical(), seed)
     }
 
     /// Builds a bed with an explicit overlay configuration.
-    pub fn with_config(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
+    pub fn with_config(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Result<Self, SimError> {
         Self::with_oracle(graph, cfg, seed, OracleKind::Auto)
     }
 
     /// Builds a doubling-overlay bed on an explicit distance backend.
-    pub fn with_oracle(graph: Graph, cfg: &OverlayConfig, seed: u64, kind: OracleKind) -> Self {
+    pub fn with_oracle(
+        graph: Graph,
+        cfg: &OverlayConfig,
+        seed: u64,
+        kind: OracleKind,
+    ) -> Result<Self, SimError> {
         Self::assemble(graph, cfg, seed, kind, false)
     }
 
     /// Builds a bed with the §6 general-network (sparse partition)
     /// overlay instead of the doubling one.
-    pub fn general(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Self {
+    pub fn general(graph: Graph, cfg: &OverlayConfig, seed: u64) -> Result<Self, SimError> {
         Self::assemble(graph, cfg, seed, OracleKind::Auto, true)
     }
 
@@ -99,7 +106,7 @@ impl TestBed {
         seed: u64,
         kind: OracleKind,
         general: bool,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         let build_overlay = |g: &Graph, m: &dyn DistanceOracle| {
             if general {
                 build_general(g, m, cfg, seed)
@@ -110,7 +117,7 @@ impl TestBed {
         let (oracle, overlay): (Box<dyn DistanceOracle>, Overlay) =
             match kind.resolve(graph.node_count()) {
                 OracleKind::Hybrid => {
-                    let h = HybridOracle::new(&graph).expect("connected graph");
+                    let h = HybridOracle::new(&graph)?;
                     let overlay = build_overlay(&graph, &h);
                     // Pin the hierarchy-internal hot set: every level-1+
                     // member is hit by each publish/move/query climb.
@@ -123,17 +130,17 @@ impl TestBed {
                     (Box::new(h), overlay)
                 }
                 resolved => {
-                    let oracle = resolved.build(&graph).expect("connected graph");
+                    let oracle = resolved.build(&graph)?;
                     let overlay = build_overlay(&graph, &*oracle);
                     (oracle, overlay)
                 }
             };
-        TestBed {
+        Ok(TestBed {
             graph,
             oracle,
             overlay,
             faults: None,
-        }
+        })
     }
 
     /// Attaches a fault environment to this bed.
@@ -151,17 +158,19 @@ impl TestBed {
     }
 
     /// `rows × cols` unit grid bed (the paper's topology).
-    pub fn grid(rows: usize, cols: usize, seed: u64) -> Self {
-        Self::new(
-            mot_net::generators::grid(rows, cols).expect("valid grid"),
-            seed,
-        )
+    pub fn grid(rows: usize, cols: usize, seed: u64) -> Result<Self, SimError> {
+        Self::new(mot_net::generators::grid(rows, cols)?, seed)
     }
 
     /// Grid bed on an explicit distance backend.
-    pub fn grid_with_oracle(rows: usize, cols: usize, seed: u64, kind: OracleKind) -> Self {
+    pub fn grid_with_oracle(
+        rows: usize,
+        cols: usize,
+        seed: u64,
+        kind: OracleKind,
+    ) -> Result<Self, SimError> {
         Self::with_oracle(
-            mot_net::generators::grid(rows, cols).expect("valid grid"),
+            mot_net::generators::grid(rows, cols)?,
             &OverlayConfig::practical(),
             seed,
             kind,
@@ -187,54 +196,70 @@ impl TestBed {
 
     /// Instantiates `algo` over this bed. `rates` is the traffic
     /// knowledge handed to the traffic-conscious baselines (ignored by
-    /// the MOT variants).
+    /// the MOT variants). Errors if the bed's topology lacks what the
+    /// algorithm needs (Z-DAT requires node positions).
     pub fn make_tracker<'a>(
         &'a self,
         algo: Algo,
         rates: &DetectionRates,
-    ) -> Box<dyn ClimbStructure + 'a> {
-        match algo {
-            Algo::Mot => Box::new(MotTracker::new(
-                &self.overlay,
-                &self.oracle,
-                MotConfig::plain(),
-            )),
-            Algo::MotLb => Box::new(MotTracker::new(
-                &self.overlay,
-                &self.oracle,
-                MotConfig::load_balanced(),
-            )),
-            Algo::MotNoSp => Box::new(MotTracker::new(
-                &self.overlay,
-                &self.oracle,
-                MotConfig::no_special_parents(),
-            )),
+    ) -> Result<Box<dyn ClimbStructure + 'a>, SimError> {
+        self.tracker_inner(algo, rates, None)
+    }
+
+    /// [`TestBed::make_tracker`] with a structured-trace sink attached:
+    /// every billed hop the tracker performs is mirrored to `sink` (see
+    /// the observability contract on [`mot_core::Tracker`]).
+    pub fn make_tracker_traced<'a>(
+        &'a self,
+        algo: Algo,
+        rates: &DetectionRates,
+        sink: &'a dyn TraceSink,
+    ) -> Result<Box<dyn ClimbStructure + 'a>, SimError> {
+        self.tracker_inner(algo, rates, Some(sink))
+    }
+
+    fn tracker_inner<'a>(
+        &'a self,
+        algo: Algo,
+        rates: &DetectionRates,
+        sink: Option<&'a dyn TraceSink>,
+    ) -> Result<Box<dyn ClimbStructure + 'a>, SimError> {
+        let mot = |cfg: MotConfig| -> Box<dyn ClimbStructure + 'a> {
+            let mut t = MotTracker::new(&self.overlay, &self.oracle, cfg);
+            if let Some(s) = sink {
+                t = t.with_sink(s);
+            }
+            Box::new(t)
+        };
+        let tree = |t: TreeTracker<'a>| -> Box<dyn ClimbStructure + 'a> {
+            match sink {
+                Some(s) => Box::new(t.with_sink(s)),
+                None => Box::new(t),
+            }
+        };
+        Ok(match algo {
+            Algo::Mot => mot(MotConfig::plain()),
+            Algo::MotLb => mot(MotConfig::load_balanced()),
+            Algo::MotNoSp => mot(MotConfig::no_special_parents()),
             Algo::Stun => {
                 // Kung & Vlah's queries are served from the sink: the
                 // request travels to the root and descends from there.
-                let tree = build_stun(&self.graph, rates);
-                Box::new(TreeTracker::new("STUN", tree, &self.oracle, false).with_root_queries())
+                let t = build_stun(&self.graph, rates);
+                tree(TreeTracker::new("STUN", t, &self.oracle, false).with_root_queries())
             }
             Algo::Dat => {
-                let tree = build_dat(&self.graph, rates, self.center());
-                Box::new(TreeTracker::new("DAT", tree, &self.oracle, false))
+                let t = build_dat(&self.graph, rates, self.center());
+                tree(TreeTracker::new("DAT", t, &self.oracle, false))
             }
             Algo::Zdat => {
-                let tree = build_zdat(&self.graph, rates, ZdatParams::default())
-                    .expect("beds carry positions");
-                Box::new(TreeTracker::new("Z-DAT", tree, &self.oracle, false))
+                let t = build_zdat(&self.graph, rates, ZdatParams::default())?;
+                tree(TreeTracker::new("Z-DAT", t, &self.oracle, false))
             }
             Algo::ZdatShortcuts => {
-                let tree = build_zdat(&self.graph, rates, ZdatParams::default())
-                    .expect("beds carry positions");
-                Box::new(TreeTracker::new(
-                    "Z-DAT+shortcuts",
-                    tree,
-                    &self.oracle,
-                    true,
-                ))
+                let t = build_zdat(&self.graph, rates, ZdatParams::default())?;
+                tree(TreeTracker::new("Z-DAT+shortcuts", t, &self.oracle, true))
             }
-        }
+        })
     }
 }
 
@@ -246,7 +271,7 @@ mod tests {
 
     #[test]
     fn all_algorithms_run_one_workload() {
-        let bed = TestBed::grid(5, 5, 3);
+        let bed = TestBed::grid(5, 5, 3).unwrap();
         let w = WorkloadSpec::new(3, 40, 1).generate(&bed.graph);
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
         for algo in [
@@ -258,7 +283,7 @@ mod tests {
             Algo::Zdat,
             Algo::ZdatShortcuts,
         ] {
-            let mut t = bed.make_tracker(algo, &rates);
+            let mut t = bed.make_tracker(algo, &rates).unwrap();
             run_publish(t.as_mut(), &w).unwrap();
             let stats = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
             assert!(
@@ -274,8 +299,27 @@ mod tests {
 
     #[test]
     fn center_of_grid_is_central() {
-        let bed = TestBed::grid(5, 5, 1);
+        let bed = TestBed::grid(5, 5, 1).unwrap();
         assert_eq!(bed.center(), NodeId(12));
+    }
+
+    #[test]
+    fn disconnected_graph_is_an_error_not_a_panic() {
+        // Two 2-node islands: every distance backend must reject it, and
+        // the bed has to surface that as `SimError::Net` instead of the
+        // old `.expect("connected graph")` panic.
+        let mut b = mot_net::GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build_unchecked();
+        let err = match TestBed::new(g, 1) {
+            Ok(_) => panic!("disconnected graph produced a bed"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, SimError::Net(_)),
+            "expected a network error, got {err:?}"
+        );
     }
 
     #[test]
@@ -287,10 +331,10 @@ mod tests {
     #[test]
     fn general_overlay_bed_works_end_to_end() {
         let g = mot_net::generators::grid(5, 5).unwrap();
-        let bed = TestBed::general(g, &mot_hierarchy::OverlayConfig::practical(), 2);
+        let bed = TestBed::general(g, &mot_hierarchy::OverlayConfig::practical(), 2).unwrap();
         let w = WorkloadSpec::new(2, 30, 5).generate(&bed.graph);
         let rates = DetectionRates::uniform(&bed.graph);
-        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        let mut t = bed.make_tracker(Algo::Mot, &rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
         let q = run_queries(t.as_ref(), &bed.oracle, 2, 40, 3).unwrap();

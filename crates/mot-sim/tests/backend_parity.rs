@@ -21,10 +21,10 @@ struct PipelineOutcome {
 }
 
 fn run_pipeline(kind: OracleKind, algo: Algo) -> PipelineOutcome {
-    let bed = TestBed::grid_with_oracle(12, 12, 7, kind);
+    let bed = TestBed::grid_with_oracle(12, 12, 7, kind).unwrap();
     let w = WorkloadSpec::new(4, 120, 3).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-    let mut t = bed.make_tracker(algo, &rates);
+    let mut t = bed.make_tracker(algo, &rates).unwrap();
     let publish = run_publish(t.as_mut(), &w).unwrap();
     let stats = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
     let q = run_queries(t.as_ref(), &bed.oracle, 4, 80, 5).unwrap();
@@ -62,11 +62,13 @@ fn grid_pipeline_costs_are_identical_dense_vs_lazy_vs_hybrid() {
 /// The same pipeline threaded through the fault harness instead of the
 /// reliable one.
 fn run_pipeline_faulty(kind: OracleKind, algo: Algo, cfg: &FaultConfig) -> PipelineOutcome {
-    let bed = TestBed::grid_with_oracle(12, 12, 7, kind).with_faults(cfg.clone());
+    let bed = TestBed::grid_with_oracle(12, 12, 7, kind)
+        .unwrap()
+        .with_faults(cfg.clone());
     let w = WorkloadSpec::new(4, 120, 3).generate(&bed.graph);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let mut plan = bed.fault_plan(w.moves.len()).unwrap();
-    let mut t = bed.make_tracker(algo, &rates);
+    let mut t = bed.make_tracker(algo, &rates).unwrap();
     let publish = run_publish(t.as_mut(), &w).unwrap();
     let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan).unwrap();
     let q = run_queries_faulty(t.as_mut(), &bed.oracle, 4, 80, 5, &mut plan).unwrap();

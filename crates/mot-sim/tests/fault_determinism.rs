@@ -33,11 +33,13 @@ struct FaultyOutcome {
 }
 
 fn run_faulty(kind: OracleKind, algo: Algo, w: &Workload) -> FaultyOutcome {
-    let bed = TestBed::grid_with_oracle(10, 10, 4, kind).with_faults(config());
+    let bed = TestBed::grid_with_oracle(10, 10, 4, kind)
+        .unwrap()
+        .with_faults(config());
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let mut plan = bed.fault_plan(w.moves.len()).unwrap();
     let schedule = plan.crash_schedule().to_vec();
-    let mut t = bed.make_tracker(algo, &rates);
+    let mut t = bed.make_tracker(algo, &rates).unwrap();
     run_publish(t.as_mut(), w).unwrap();
     let run = replay_moves_faulty(t.as_mut(), w, &bed.oracle, &mut plan).unwrap();
     let queries = run_queries_faulty(t.as_mut(), &bed.oracle, OBJECTS, 100, 6, &mut plan).unwrap();
@@ -52,7 +54,7 @@ fn run_faulty(kind: OracleKind, algo: Algo, w: &Workload) -> FaultyOutcome {
 
 #[test]
 fn same_seed_replays_bit_identically_across_runs_and_backends() {
-    let w = WorkloadSpec::new(OBJECTS, 80, 12).generate(&TestBed::grid(10, 10, 4).graph);
+    let w = WorkloadSpec::new(OBJECTS, 80, 12).generate(&TestBed::grid(10, 10, 4).unwrap().graph);
     for algo in [Algo::Mot, Algo::Stun] {
         let first = run_faulty(OracleKind::Dense, algo, &w);
         // identical rerun: schedules, ledgers, and repair accounts match

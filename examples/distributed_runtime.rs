@@ -16,7 +16,7 @@ use mot_tracking::prelude::*;
 use mot_tracking::proto::BatchOp;
 
 fn main() {
-    let bed = TestBed::grid(8, 8, 42);
+    let bed = TestBed::grid(8, 8, 42).unwrap();
     let cfg = MotConfig::plain();
     let mut direct = MotTracker::new(&bed.overlay, &bed.oracle, cfg.clone());
     let mut proto = ProtoTracker::new(&bed.overlay, &bed.oracle, &cfg);

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let bed = TestBed::grid(16, 16, 23);
+    let bed = TestBed::grid(16, 16, 23).unwrap();
     println!(
         "deployment: {} sensors; overlay has {} levels",
         bed.graph.node_count(),

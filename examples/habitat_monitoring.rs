@@ -18,7 +18,7 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     // 200 sensors dropped over a 16x16 km reserve, 2.2 km radio range.
     let field = generators::random_geometric(200, 16.0, 2.2, 7).expect("deployment");
-    let bed = TestBed::new(field, 11);
+    let bed = TestBed::new(field, 11).unwrap();
     println!(
         "reserve: {} sensors, {} links, diameter {:.1}",
         bed.graph.node_count(),

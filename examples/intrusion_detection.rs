@@ -15,7 +15,7 @@ use mot_tracking::prelude::*;
 
 fn main() {
     let n = 64;
-    let bed = TestBed::new(generators::ring(n).expect("ring"), 17);
+    let bed = TestBed::new(generators::ring(n).expect("ring"), 17).unwrap();
     println!(
         "perimeter fence: ring of {n} sensors, diameter {}\n",
         bed.oracle.diameter()
@@ -36,7 +36,7 @@ fn main() {
         "algorithm", "total cost", "cost ratio"
     );
     for algo in [Algo::Mot, Algo::Stun, Algo::Dat] {
-        let mut t = bed.make_tracker(algo, &rates);
+        let mut t = bed.make_tracker(algo, &rates).unwrap();
         t.publish(ObjectId(0), NodeId(0)).expect("publish");
         let mut total = 0.0;
         for &(_, to) in &moves {

@@ -12,7 +12,7 @@ use mot_tracking::prelude::*;
 
 fn main() {
     // 1. A sensor deployment: an 8x8 grid (64 sensors, unit spacing).
-    let bed = TestBed::grid(8, 8, 42);
+    let bed = TestBed::grid(8, 8, 42).unwrap();
     println!(
         "network: {} sensors, diameter {}",
         bed.graph.node_count(),

@@ -17,7 +17,7 @@ use mot_tracking::prelude::*;
 
 fn main() {
     // A 16x16 road-intersection sensor grid.
-    let bed = TestBed::grid(16, 16, 8);
+    let bed = TestBed::grid(16, 16, 8).unwrap();
     let spec = WorkloadSpec {
         objects: 40,
         moves_per_object: 300,
@@ -45,7 +45,7 @@ fn main() {
         Algo::Zdat,
         Algo::ZdatShortcuts,
     ] {
-        let mut t = bed.make_tracker(algo, &rates);
+        let mut t = bed.make_tracker(algo, &rates).unwrap();
         run_publish(t.as_mut(), &traffic).expect("publish");
         let maint = replay_moves(t.as_mut(), &traffic, &bed.oracle).expect("replay");
         let q = run_queries(t.as_ref(), &bed.oracle, spec.objects, 400, 13).expect("queries");

@@ -14,7 +14,7 @@
 //! use mot_tracking::prelude::*;
 //!
 //! // A 8x8 sensor grid with its distance oracle and overlay hierarchy.
-//! let bed = TestBed::grid(8, 8, 42);
+//! let bed = TestBed::grid(8, 8, 42).unwrap();
 //! let mut tracker = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
 //!
 //! // An object appears at sensor 0, wanders, and is queried.
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn prelude_covers_the_quickstart_flow() {
-        let bed = TestBed::grid(4, 4, 1);
+        let bed = TestBed::grid(4, 4, 1).unwrap();
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
         t.publish(ObjectId(0), NodeId(0)).unwrap();
         let q = t.query(NodeId(15), ObjectId(0)).unwrap();

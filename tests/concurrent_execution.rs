@@ -3,7 +3,7 @@
 use mot_tracking::prelude::*;
 
 fn bed_and_workload(seed: u64) -> (TestBed, Workload) {
-    let bed = TestBed::grid(8, 8, seed);
+    let bed = TestBed::grid(8, 8, seed).unwrap();
     let w = WorkloadSpec::new(4, 80, seed + 1).generate(&bed.graph);
     (bed, w)
 }
@@ -13,11 +13,11 @@ fn single_inflight_equals_sequential_for_every_algorithm() {
     let (bed, w) = bed_and_workload(2);
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     for algo in [Algo::Mot, Algo::Stun, Algo::Zdat] {
-        let mut seq = bed.make_tracker(algo, &rates);
+        let mut seq = bed.make_tracker(algo, &rates).unwrap();
         run_publish(seq.as_mut(), &w).unwrap();
         let s = replay_moves(seq.as_mut(), &w, &bed.oracle).unwrap();
 
-        let mut con = bed.make_tracker(algo, &rates);
+        let mut con = bed.make_tracker(algo, &rates).unwrap();
         run_publish(con.as_mut(), &w).unwrap();
         let c = ConcurrentEngine::run(
             con.as_mut(),
@@ -45,7 +45,7 @@ fn concurrency_never_loses_operations() {
     let (bed, w) = bed_and_workload(5);
     let rates = DetectionRates::uniform(&bed.graph);
     for k in [2, 5, 10, 17] {
-        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        let mut t = bed.make_tracker(Algo::Mot, &rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         let out = ConcurrentEngine::run(
             t.as_mut(),
@@ -70,11 +70,11 @@ fn concurrent_cost_at_least_sequential_cost() {
     let (bed, w) = bed_and_workload(7);
     let rates = DetectionRates::uniform(&bed.graph);
 
-    let mut seq = bed.make_tracker(Algo::Mot, &rates);
+    let mut seq = bed.make_tracker(Algo::Mot, &rates).unwrap();
     run_publish(seq.as_mut(), &w).unwrap();
     let s = replay_moves(seq.as_mut(), &w, &bed.oracle).unwrap();
 
-    let mut con = bed.make_tracker(Algo::Mot, &rates);
+    let mut con = bed.make_tracker(Algo::Mot, &rates).unwrap();
     run_publish(con.as_mut(), &w).unwrap();
     let c =
         ConcurrentEngine::run(con.as_mut(), &w, &bed.oracle, &ConcurrentConfig::default()).unwrap();
@@ -97,7 +97,7 @@ fn overlapping_queries_settle_for_all_algorithms() {
         Algo::Zdat,
         Algo::ZdatShortcuts,
     ] {
-        let mut t = bed.make_tracker(algo, &rates);
+        let mut t = bed.make_tracker(algo, &rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         let out = ConcurrentEngine::run(
             t.as_mut(),

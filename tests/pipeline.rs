@@ -20,7 +20,7 @@ fn exercise(bed: &TestBed, objects: usize, moves: usize, seed: u64) {
     let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let finals = w.final_proxies();
     for algo in algorithms() {
-        let mut t = bed.make_tracker(algo, &rates);
+        let mut t = bed.make_tracker(algo, &rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         let maint = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
         assert!(
@@ -50,31 +50,31 @@ fn exercise(bed: &TestBed, objects: usize, moves: usize, seed: u64) {
 
 #[test]
 fn grid_pipeline() {
-    exercise(&TestBed::grid(8, 8, 3), 6, 120, 5);
+    exercise(&TestBed::grid(8, 8, 3).unwrap(), 6, 120, 5);
 }
 
 #[test]
 fn random_geometric_pipeline() {
     let g = generators::random_geometric(70, 9.0, 2.1, 4).unwrap();
-    exercise(&TestBed::new(g, 9), 5, 80, 7);
+    exercise(&TestBed::new(g, 9).unwrap(), 5, 80, 7);
 }
 
 #[test]
 fn ring_pipeline() {
     let g = generators::ring(40).unwrap();
-    exercise(&TestBed::new(g, 2), 4, 80, 11);
+    exercise(&TestBed::new(g, 2).unwrap(), 4, 80, 11);
 }
 
 #[test]
 fn torus_pipeline() {
     let g = generators::torus(7, 7).unwrap();
-    exercise(&TestBed::new(g, 5), 4, 60, 13);
+    exercise(&TestBed::new(g, 5).unwrap(), 4, 60, 13);
 }
 
 #[test]
 fn mot_on_general_overlay_pipeline() {
     let g = generators::grid(7, 7).unwrap();
-    let bed = TestBed::general(g, &OverlayConfig::practical(), 8);
+    let bed = TestBed::general(g, &OverlayConfig::practical(), 8).unwrap();
     let w = WorkloadSpec::new(4, 100, 3).generate(&bed.graph);
     let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
     run_publish(&mut t, &w).unwrap();
@@ -88,11 +88,11 @@ fn mot_on_general_overlay_pipeline() {
 fn load_conservation_between_plain_and_balanced() {
     // Load balancing relocates entries but must not create or destroy
     // them.
-    let bed = TestBed::grid(8, 8, 1);
+    let bed = TestBed::grid(8, 8, 1).unwrap();
     let w = WorkloadSpec::new(10, 60, 2).generate(&bed.graph);
     let rates = DetectionRates::uniform(&bed.graph);
-    let mut plain = bed.make_tracker(Algo::Mot, &rates);
-    let mut lb = bed.make_tracker(Algo::MotLb, &rates);
+    let mut plain = bed.make_tracker(Algo::Mot, &rates).unwrap();
+    let mut lb = bed.make_tracker(Algo::MotLb, &rates).unwrap();
     for t in [&mut plain, &mut lb] {
         run_publish(t.as_mut(), &w).unwrap();
         replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
@@ -108,7 +108,7 @@ fn load_conservation_between_plain_and_balanced() {
 #[test]
 fn saved_workload_replays_identically() {
     use mot_tracking::sim::{load_workload, save_workload, validate_against};
-    let bed = TestBed::grid(6, 6, 3);
+    let bed = TestBed::grid(6, 6, 3).unwrap();
     let w = WorkloadSpec::new(4, 60, 9).generate(&bed.graph);
     let path = std::env::temp_dir().join(format!("mot-pipeline-{}.json", std::process::id()));
     save_workload(&w, &path).unwrap();
@@ -118,7 +118,7 @@ fn saved_workload_replays_identically() {
 
     let rates = DetectionRates::uniform(&bed.graph);
     let run = |w: &Workload| {
-        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        let mut t = bed.make_tracker(Algo::Mot, &rates).unwrap();
         run_publish(t.as_mut(), w).unwrap();
         replay_moves(t.as_mut(), w, &bed.oracle).unwrap().total
     };
@@ -131,14 +131,14 @@ fn saved_workload_replays_identically() {
 
 #[test]
 fn traffic_knowledge_changes_baseline_trees_not_mot() {
-    let bed = TestBed::grid(6, 6, 4);
+    let bed = TestBed::grid(6, 6, 4).unwrap();
     let w = WorkloadSpec::new(4, 100, 6).generate(&bed.graph);
     let hot = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let cold = DetectionRates::uniform(&bed.graph);
 
     // MOT ignores rates: identical costs either way.
     let run = |rates: &DetectionRates, algo: Algo| {
-        let mut t = bed.make_tracker(algo, rates);
+        let mut t = bed.make_tracker(algo, rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         replay_moves(t.as_mut(), &w, &bed.oracle).unwrap().total
     };

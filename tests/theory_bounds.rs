@@ -10,7 +10,7 @@ use mot_tracking::prelude::*;
 #[test]
 fn publish_cost_linear_in_diameter() {
     for (r, c) in [(4, 4), (8, 8), (16, 16), (23, 23)] {
-        let bed = TestBed::grid(r, c, 1);
+        let bed = TestBed::grid(r, c, 1).unwrap();
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
         let mut worst: f64 = 0.0;
         for (k, u) in bed.graph.nodes().step_by(7).enumerate() {
@@ -31,10 +31,10 @@ fn publish_cost_linear_in_diameter() {
 #[test]
 fn maintenance_ratio_grows_sublinearly() {
     let ratio_at = |rows: usize, cols: usize| {
-        let bed = TestBed::grid(rows, cols, 2);
+        let bed = TestBed::grid(rows, cols, 2).unwrap();
         let w = WorkloadSpec::new(10, 150, 3).generate(&bed.graph);
         let rates = DetectionRates::uniform(&bed.graph);
-        let mut t = bed.make_tracker(Algo::Mot, &rates);
+        let mut t = bed.make_tracker(Algo::Mot, &rates).unwrap();
         run_publish(t.as_mut(), &w).unwrap();
         replay_moves(t.as_mut(), &w, &bed.oracle).unwrap().ratio()
     };
@@ -52,10 +52,10 @@ fn maintenance_ratio_grows_sublinearly() {
 /// scale with the query distance.
 #[test]
 fn query_ratio_flat_across_distances() {
-    let bed = TestBed::grid(16, 16, 3);
+    let bed = TestBed::grid(16, 16, 3).unwrap();
     let w = WorkloadSpec::new(8, 200, 5).generate(&bed.graph);
     let rates = DetectionRates::uniform(&bed.graph);
-    let mut t = bed.make_tracker(Algo::Mot, &rates);
+    let mut t = bed.make_tracker(Algo::Mot, &rates).unwrap();
     run_publish(t.as_mut(), &w).unwrap();
     replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
     // bucket per-query ratios by distance scale
@@ -90,15 +90,15 @@ fn query_ratio_flat_across_distances() {
 /// at a bounded cost multiplier.
 #[test]
 fn load_balancing_tradeoff_matches_corollary_5_2() {
-    let bed = TestBed::grid(16, 16, 4);
+    let bed = TestBed::grid(16, 16, 4).unwrap();
     let w = WorkloadSpec::new(40, 100, 7).generate(&bed.graph);
     let rates = DetectionRates::uniform(&bed.graph);
 
-    let mut plain = bed.make_tracker(Algo::Mot, &rates);
+    let mut plain = bed.make_tracker(Algo::Mot, &rates).unwrap();
     run_publish(plain.as_mut(), &w).unwrap();
     let plain_cost = replay_moves(plain.as_mut(), &w, &bed.oracle).unwrap();
 
-    let mut lb = bed.make_tracker(Algo::MotLb, &rates);
+    let mut lb = bed.make_tracker(Algo::MotLb, &rates).unwrap();
     run_publish(lb.as_mut(), &w).unwrap();
     let lb_cost = replay_moves(lb.as_mut(), &w, &bed.oracle).unwrap();
 
@@ -123,11 +123,11 @@ fn load_balancing_tradeoff_matches_corollary_5_2() {
 /// ablation stays correct.
 #[test]
 fn special_parents_only_help() {
-    let bed = TestBed::grid(12, 12, 5);
+    let bed = TestBed::grid(12, 12, 5).unwrap();
     let w = WorkloadSpec::new(6, 250, 9).generate(&bed.graph);
     let rates = DetectionRates::uniform(&bed.graph);
-    let mut with_sp = bed.make_tracker(Algo::Mot, &rates);
-    let mut without = bed.make_tracker(Algo::MotNoSp, &rates);
+    let mut with_sp = bed.make_tracker(Algo::Mot, &rates).unwrap();
+    let mut without = bed.make_tracker(Algo::MotNoSp, &rates).unwrap();
     for t in [&mut with_sp, &mut without] {
         run_publish(t.as_mut(), &w).unwrap();
         replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
@@ -150,7 +150,7 @@ fn special_parents_only_help() {
 /// moves alone or interleaved with other objects.
 #[test]
 fn per_object_costs_are_independent_of_other_objects() {
-    let bed = TestBed::grid(8, 8, 6);
+    let bed = TestBed::grid(8, 8, 6).unwrap();
     let w = WorkloadSpec::new(4, 80, 11).generate(&bed.graph);
 
     // isolated: replay only object 0's trace
@@ -194,8 +194,8 @@ fn general_overlay_within_polylog_of_doubling() {
         run_publish(&mut t, &w).unwrap();
         replay_moves(&mut t, &w, &bed.oracle).unwrap().ratio()
     };
-    let doubling = run(&TestBed::new(g.clone(), 6));
-    let general = run(&TestBed::general(g, &OverlayConfig::practical(), 6));
+    let doubling = run(&TestBed::new(g.clone(), 6).unwrap());
+    let general = run(&TestBed::general(g, &OverlayConfig::practical(), 6).unwrap());
     let log_n2 = (100f64).log2().powi(2);
     assert!(
         general <= doubling * log_n2,
