@@ -1,4 +1,4 @@
-//! DAT — Deviation-Avoidance Tree (Lin et al. [21]).
+//! DAT — Deviation-Avoidance Tree (Lin et al. \[21\]).
 //!
 //! A tree avoids deviation when every node's tree distance to the sink
 //! equals its graph distance (no detour on the query/update path to the

@@ -45,6 +45,13 @@
 //! assert_eq!(stun.query(NodeId(0), ObjectId(0))?.proxy, NodeId(15));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! Depends on `mot-net` and `mot-core` (for the `Tracker` trait);
+//! `mot-sim` instantiates it next to MOT. Implements the §1.3/§8
+//! comparison algorithms; serves every comparative figure (4–15).
+//! See DESIGN.md §3 and §7 (baseline fidelity).
 
 pub mod dat;
 pub mod stun;

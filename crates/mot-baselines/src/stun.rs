@@ -1,4 +1,4 @@
-//! STUN — Scalable Tracking Using Networked sensors (Kung & Vlah [18]).
+//! STUN — Scalable Tracking Using Networked sensors (Kung & Vlah \[18\]).
 //!
 //! STUN builds its hierarchy with **Drain-And-Balance (DAB)**: walk the
 //! detection-rate thresholds from highest to lowest; at each threshold,

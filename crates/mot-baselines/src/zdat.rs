@@ -1,4 +1,4 @@
-//! Z-DAT — Zone-based Deviation-Avoidance Tree (Lin et al. [21]).
+//! Z-DAT — Zone-based Deviation-Avoidance Tree (Lin et al. \[21\]).
 //!
 //! The sensing region is divided into rectangular zones which are
 //! recursively combined into a tree: quadrant subdivision until zones are
@@ -10,7 +10,7 @@
 //! paper's cost figures.
 //!
 //! The `shortcuts` flavor is obtained by wrapping the same tree in
-//! [`crate::TreeTracker`] with `shortcuts = true` (Liu et al. [23]).
+//! [`crate::TreeTracker`] with `shortcuts = true` (Liu et al. \[23\]).
 
 use crate::traffic::DetectionRates;
 use crate::tree::TrackingTree;

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     let p = Profile::quick(50);
     eprintln!("{}", ablation_table(&p).expect("figure").render());
     eprintln!("{}", general_graph_table(&p).expect("figure").render());
-    eprintln!("{}", churn_table().expect("figure").render());
+    eprintln!("{}", churn_table(0).expect("figure").render());
 
     // Variant timing: plain vs no-SP vs LB on one workload.
     let bed = TestBed::grid(12, 12, 1).unwrap();

@@ -1,9 +1,14 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--profile quick|standard|paper] [--oracle auto|dense|lazy|hybrid]
+//! experiments [--profile quick|standard|paper] [--jobs N]
+//!             [--oracle auto|dense|lazy|hybrid]
 //!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson] [IDS...]
 //! ```
+//!
+//! `--jobs N` sizes the fan-out worker pool (default 0 = one worker per
+//! hardware thread). Output is bit-identical for every value — see
+//! DESIGN.md §12 — so the flag only changes wall-clock time.
 //!
 //! `IDS` default to every figure. Examples:
 //!
@@ -61,21 +66,27 @@ const ALL_IDS: [&str; 23] = [
     "level-decomp",
 ];
 
-fn profile_for(objects: usize, name: &str, oracle: OracleKind) -> Result<Profile, BenchError> {
+fn profile_for(
+    objects: usize,
+    name: &str,
+    oracle: OracleKind,
+    jobs: usize,
+) -> Result<Profile, BenchError> {
     Ok(match name {
         "quick" => Profile::quick(objects),
         "standard" => Profile::standard(objects),
         "paper" => Profile::paper(objects),
         other => return Err(format!("unknown profile '{other}' (quick|standard|paper)").into()),
     }
-    .with_oracle(oracle))
+    .with_oracle(oracle)
+    .with_jobs(jobs))
 }
 
 /// The `scale` experiment sweeps grids past the paper's sizes; the
 /// largest (64×64 = 4096 nodes) sits exactly at the dense limit, so
 /// `--oracle lazy` runs it well under the dense matrix's 64 MiB.
-fn scale_profile(name: &str, oracle: OracleKind) -> Result<Profile, BenchError> {
-    let mut p = profile_for(50, name, oracle)?;
+fn scale_profile(name: &str, oracle: OracleKind, jobs: usize) -> Result<Profile, BenchError> {
+    let mut p = profile_for(50, name, oracle, jobs)?;
     p.grids = vec![(32, 32), (64, 64)];
     Ok(p)
 }
@@ -83,8 +94,8 @@ fn scale_profile(name: &str, oracle: OracleKind) -> Result<Profile, BenchError> 
 /// The CI smoke environment: a fixed-seed quick profile on a 16×16 grid
 /// whose health checks (all queries correct, zero unrepaired objects)
 /// fail the process — the `--profile` flag deliberately has no effect.
-fn smoke_profile(oracle: OracleKind) -> Profile {
-    let mut p = Profile::quick(10).with_oracle(oracle);
+fn smoke_profile(oracle: OracleKind, jobs: usize) -> Profile {
+    let mut p = Profile::quick(10).with_oracle(oracle).with_jobs(jobs);
     p.moves_per_object = 60;
     p.queries = 120;
     p
@@ -97,6 +108,7 @@ fn run() -> Result<(), BenchError> {
     let mut csv_dir: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut jobs: usize = 0;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -112,9 +124,15 @@ fn run() -> Result<(), BenchError> {
             "--csv" => csv_dir = Some(it.next().ok_or("--csv needs a directory")?),
             "--metrics" => metrics_path = Some(it.next().ok_or("--metrics needs a file path")?),
             "--trace" => trace_path = Some(it.next().ok_or("--trace needs a file path")?),
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a worker count (0 = auto)")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got '{v}'"))?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--profile quick|standard|paper]\n\
+                    "usage: experiments [--profile quick|standard|paper] [--jobs N]\n\
                      \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR]\n\
                      \x20                  [--metrics FILE.json] [--trace FILE.ndjson] [IDS...]\n\
                      ids: {}\n\
@@ -154,29 +172,29 @@ fn run() -> Result<(), BenchError> {
         let started = std::time::Instant::now();
         let name = profile_name.as_str();
         let table = match id.as_str() {
-            "fig4" => maintenance_figure(&profile_for(100, name, oracle)?, false),
-            "fig5" => maintenance_figure(&profile_for(1000, name, oracle)?, false),
-            "fig6" => query_figure(&profile_for(100, name, oracle)?, false),
-            "fig7" => query_figure(&profile_for(1000, name, oracle)?, false),
-            "fig8" => load_figure(&profile_for(100, name, oracle)?, Algo::Stun, 0),
-            "fig9" => load_figure(&profile_for(100, name, oracle)?, Algo::Stun, 10),
-            "fig10" => load_figure(&profile_for(100, name, oracle)?, Algo::Zdat, 0),
-            "fig11" => load_figure(&profile_for(100, name, oracle)?, Algo::Zdat, 10),
-            "fig12" => maintenance_figure(&profile_for(100, name, oracle)?, true),
-            "fig13" => maintenance_figure(&profile_for(1000, name, oracle)?, true),
-            "fig14" => query_figure(&profile_for(100, name, oracle)?, true),
-            "fig15" => query_figure(&profile_for(1000, name, oracle)?, true),
-            "pub-cost" => publish_cost_table(&profile_for(100, name, oracle)?),
-            "ablations" => ablation_table(&profile_for(100, name, oracle)?),
-            "general" => general_graph_table(&profile_for(50, name, oracle)?),
-            "churn" => churn_table(),
-            "state-size" => state_size_table(&profile_for(100, name, oracle)?),
-            "locality" => locality_table(&profile_for(100, name, oracle)?),
-            "mobility" => mobility_table(&profile_for(50, name, oracle)?),
-            "scale" => scale_table(&scale_profile(name, oracle)?),
-            "faults" => faults_table(&profile_for(100, name, oracle)?, (32, 32)),
-            "faults-smoke" => faults_table(&smoke_profile(oracle), (16, 16)),
-            "level-decomp" => level_decomposition_table(&profile_for(100, name, oracle)?),
+            "fig4" => maintenance_figure(&profile_for(100, name, oracle, jobs)?, false),
+            "fig5" => maintenance_figure(&profile_for(1000, name, oracle, jobs)?, false),
+            "fig6" => query_figure(&profile_for(100, name, oracle, jobs)?, false),
+            "fig7" => query_figure(&profile_for(1000, name, oracle, jobs)?, false),
+            "fig8" => load_figure(&profile_for(100, name, oracle, jobs)?, Algo::Stun, 0),
+            "fig9" => load_figure(&profile_for(100, name, oracle, jobs)?, Algo::Stun, 10),
+            "fig10" => load_figure(&profile_for(100, name, oracle, jobs)?, Algo::Zdat, 0),
+            "fig11" => load_figure(&profile_for(100, name, oracle, jobs)?, Algo::Zdat, 10),
+            "fig12" => maintenance_figure(&profile_for(100, name, oracle, jobs)?, true),
+            "fig13" => maintenance_figure(&profile_for(1000, name, oracle, jobs)?, true),
+            "fig14" => query_figure(&profile_for(100, name, oracle, jobs)?, true),
+            "fig15" => query_figure(&profile_for(1000, name, oracle, jobs)?, true),
+            "pub-cost" => publish_cost_table(&profile_for(100, name, oracle, jobs)?),
+            "ablations" => ablation_table(&profile_for(100, name, oracle, jobs)?),
+            "general" => general_graph_table(&profile_for(50, name, oracle, jobs)?),
+            "churn" => churn_table(jobs),
+            "state-size" => state_size_table(&profile_for(100, name, oracle, jobs)?),
+            "locality" => locality_table(&profile_for(100, name, oracle, jobs)?),
+            "mobility" => mobility_table(&profile_for(50, name, oracle, jobs)?),
+            "scale" => scale_table(&scale_profile(name, oracle, jobs)?),
+            "faults" => faults_table(&profile_for(100, name, oracle, jobs)?, (32, 32)),
+            "faults-smoke" => faults_table(&smoke_profile(oracle, jobs), (16, 16)),
+            "level-decomp" => level_decomposition_table(&profile_for(100, name, oracle, jobs)?),
             other => {
                 let known = ALL_IDS.join(" ");
                 return Err(format!("unknown experiment id '{other}' (known: {known} all)").into());
@@ -193,7 +211,7 @@ fn run() -> Result<(), BenchError> {
         eprintln!("[{id} took {:.1?}]", started.elapsed());
     }
     if let Some(path) = &trace_path {
-        let events = trace_events(&profile_for(100, profile_name.as_str(), oracle)?, 1)
+        let events = trace_events(&profile_for(100, profile_name.as_str(), oracle, jobs)?, 1)
             .map_err(|e| format!("--trace run failed: {e}"))?;
         let mut out = String::new();
         for ev in &events {
@@ -205,7 +223,7 @@ fn run() -> Result<(), BenchError> {
     }
     if let Some(path) = &metrics_path {
         report.trace = Some(
-            trace_aggregates(&profile_for(100, profile_name.as_str(), oracle)?, 1)
+            trace_aggregates(&profile_for(100, profile_name.as_str(), oracle, jobs)?, 1)
                 .map_err(|e| format!("--metrics instrumented run failed: {e}"))?,
         );
         std::fs::write(path, report.to_json())

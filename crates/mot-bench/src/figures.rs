@@ -1,4 +1,11 @@
 //! Runners that regenerate the paper's tables and figures.
+//!
+//! Every sweep-shaped figure family fans its *(grid × seed × algorithm)*
+//! cells out on a [`ParallelRunner`] and folds the per-cell statistics
+//! back in canonical cell order, so tables are bit-identical whatever
+//! `Profile::jobs` says (DESIGN.md §12). The instrumented single-run
+//! paths (`level-decomp`, `--trace`, `--metrics` aggregates) stay
+//! sequential — they are one fixed-seed run by construction.
 
 use crate::report::FigureTable;
 use mot_baselines::DetectionRates;
@@ -7,15 +14,16 @@ use mot_hierarchy::OverlayConfig;
 use mot_net::{generators, DistanceOracle, OracleKind};
 use mot_sim::{
     repair_all, replay_moves, replay_moves_faulty, run_publish, run_queries, run_queries_faulty,
-    unrepaired_objects, Algo, ConcurrentConfig, ConcurrentEngine, CostStats, FaultConfig,
-    LoadStats, Recorder, TestBed, TraceAggregates, WorkloadSpec,
+    unrepaired_objects, Algo, CellKey, ConcurrentConfig, ConcurrentEngine, CostStats, FaultConfig,
+    Keyed, LoadStats, ParallelRunner, Recorder, TestBed, TraceAggregates, WorkloadSpec,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Errors a figure run can surface: tracker/simulation failures plus the
 /// runners' own sanity checks (e.g. a query batch answering wrong).
-pub type BenchError = Box<dyn std::error::Error>;
+/// `Send + Sync` so cell failures cross worker-thread boundaries intact.
+pub type BenchError = Box<dyn std::error::Error + Send + Sync>;
 
 /// Every runner returns the table or a readable error — the
 /// `experiments` binary turns these into a nonzero exit, not a panic.
@@ -34,6 +42,10 @@ pub struct Profile {
     pub grids: Vec<(usize, usize)>,
     /// Distance backend every bed in the run is built on.
     pub oracle: OracleKind,
+    /// Worker threads for the cell fan-out (0 = one per hardware
+    /// thread). Output is bit-identical for any value — see DESIGN.md
+    /// §12 — so this is purely a wall-clock knob.
+    pub jobs: usize,
 }
 
 impl Profile {
@@ -46,6 +58,7 @@ impl Profile {
             queries: 100,
             grids: vec![(3, 3), (6, 6), (10, 10)],
             oracle: OracleKind::Auto,
+            jobs: 0,
         }
     }
 
@@ -58,6 +71,7 @@ impl Profile {
             queries: 500,
             grids: generators::paper_grid_sizes(),
             oracle: OracleKind::Auto,
+            jobs: 0,
         }
     }
 
@@ -70,6 +84,7 @@ impl Profile {
             queries: 1000,
             grids: generators::paper_grid_sizes(),
             oracle: OracleKind::Auto,
+            jobs: 0,
         }
     }
 
@@ -78,50 +93,100 @@ impl Profile {
         self.oracle = kind;
         self
     }
+
+    /// Same profile with an explicit fan-out width (0 = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The cell fan-out engine this profile asks for.
+    fn runner(&self) -> ParallelRunner {
+        ParallelRunner::new(self.jobs)
+    }
 }
 
 fn lineup() -> Vec<Algo> {
     Algo::paper_lineup().to_vec()
 }
 
+/// The sweep-shaped figures share one cell layout — grid-major, then
+/// seed, then algorithm — mirroring the historical sequential loop
+/// nesting, so the canonical merge below reproduces its exact
+/// floating-point accumulation order.
+fn sweep_cells(p: &Profile, figure: &str, algos: &[Algo]) -> Vec<Keyed<(usize, usize, u64, Algo)>> {
+    let mut cells = Vec::with_capacity(p.grids.len() * p.seeds as usize * algos.len());
+    for &(r, c) in &p.grids {
+        for seed in 0..p.seeds {
+            for &algo in algos {
+                cells.push(Keyed::new(
+                    CellKey::new(figure, r * c, algo.label(), seed),
+                    (r, c, seed, algo),
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// Folds per-cell stats from [`sweep_cells`] order back into one
+/// accumulator per (grid, algorithm), merging seeds in ascending order —
+/// the canonical order that keeps output independent of worker count.
+fn merge_sweep(p: &Profile, algo_count: usize, results: Vec<CostStats>) -> Vec<Vec<CostStats>> {
+    let mut per_grid = Vec::with_capacity(p.grids.len());
+    let mut it = results.into_iter();
+    for _ in &p.grids {
+        let mut per_algo = vec![CostStats::default(); algo_count];
+        for _seed in 0..p.seeds {
+            for acc in per_algo.iter_mut() {
+                acc.merge(&it.next().expect("one result per cell"));
+            }
+        }
+        per_grid.push(per_algo);
+    }
+    per_grid
+}
+
 /// Figs. 4/5 (one-by-one) and 12/13 (concurrent): maintenance cost ratio
 /// across network sizes.
 pub fn maintenance_figure(p: &Profile, concurrent: bool) -> BenchResult {
     let algos = lineup();
-    let mut rows = Vec::new();
-    for &(r, c) in &p.grids {
-        let mut per_algo = vec![CostStats::default(); algos.len()];
-        for seed in 0..p.seeds {
-            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
-            let w =
-                WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
-            let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-            for (ai, &algo) in algos.iter().enumerate() {
-                let mut t = bed.make_tracker(algo, &rates)?;
-                run_publish(t.as_mut(), &w)?;
-                let stats = if concurrent {
-                    ConcurrentEngine::run(
-                        t.as_mut(),
-                        &w,
-                        &bed.oracle,
-                        &ConcurrentConfig {
-                            max_inflight_per_object: 10,
-                            queries_per_batch: 0,
-                            seed,
-                        },
-                    )?
-                    .maintenance
-                } else {
-                    replay_moves(t.as_mut(), &w, &bed.oracle)?
-                };
-                per_algo[ai].merge(&stats);
-            }
-        }
-        rows.push((
-            (r * c).to_string(),
-            per_algo.iter().map(CostStats::ratio).collect(),
-        ));
-    }
+    let figure = if concurrent { "maint-conc" } else { "maint" };
+    let cells = sweep_cells(p, figure, &algos);
+    let results: Vec<CostStats> = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (r, c, seed, algo) = cell.data;
+        let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
+        let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+        let mut t = bed.make_tracker(algo, &rates)?;
+        run_publish(t.as_mut(), &w)?;
+        Ok(if concurrent {
+            ConcurrentEngine::run(
+                t.as_mut(),
+                &w,
+                &bed.oracle,
+                &ConcurrentConfig {
+                    max_inflight_per_object: 10,
+                    queries_per_batch: 0,
+                    seed,
+                },
+            )?
+            .maintenance
+        } else {
+            replay_moves(t.as_mut(), &w, &bed.oracle)?
+        })
+    })?;
+    let rows = p
+        .grids
+        .iter()
+        .zip(merge_sweep(p, algos.len(), results))
+        .map(|(&(r, c), per_algo)| {
+            (
+                (r * c).to_string(),
+                per_algo.iter().map(CostStats::ratio).collect(),
+            )
+        })
+        .collect();
     Ok(FigureTable {
         title: format!(
             "Maintenance cost ratio, {} objects, {} execution (paper Fig. {})",
@@ -148,60 +213,63 @@ pub fn maintenance_figure(p: &Profile, concurrent: bool) -> BenchResult {
 /// network sizes, after the maintenance workload.
 pub fn query_figure(p: &Profile, concurrent: bool) -> BenchResult {
     let algos = lineup();
-    let mut rows = Vec::new();
-    for &(r, c) in &p.grids {
-        let mut per_algo = vec![CostStats::default(); algos.len()];
-        for seed in 0..p.seeds {
-            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
-            let w =
-                WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
-            let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-            for (ai, &algo) in algos.iter().enumerate() {
-                let mut t = bed.make_tracker(algo, &rates)?;
-                run_publish(t.as_mut(), &w)?;
-                if concurrent {
-                    // queries race the maintenance batches (§4.2.2)
-                    let out = ConcurrentEngine::run(
-                        t.as_mut(),
-                        &w,
-                        &bed.oracle,
-                        &ConcurrentConfig {
-                            max_inflight_per_object: 10,
-                            queries_per_batch: 1,
-                            seed,
-                        },
-                    )?;
-                    if out.queries_correct != out.queries_issued {
-                        return Err(format!(
-                            "{}: {}/{} concurrent queries answered wrong",
-                            algo.label(),
-                            out.queries_issued - out.queries_correct,
-                            out.queries_issued
-                        )
-                        .into());
-                    }
-                    per_algo[ai].merge(&out.queries);
-                } else {
-                    replay_moves(t.as_mut(), &w, &bed.oracle)?;
-                    let q = run_queries(t.as_ref(), &bed.oracle, p.objects, p.queries, seed + 31)?;
-                    if q.correct != p.queries {
-                        return Err(format!(
-                            "{}: {}/{} queries answered wrong",
-                            algo.label(),
-                            p.queries - q.correct,
-                            p.queries
-                        )
-                        .into());
-                    }
-                    per_algo[ai].merge(&q.cost);
-                }
+    let figure = if concurrent { "query-conc" } else { "query" };
+    let cells = sweep_cells(p, figure, &algos);
+    let results: Vec<CostStats> = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (r, c, seed, algo) = cell.data;
+        let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
+        let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+        let mut t = bed.make_tracker(algo, &rates)?;
+        run_publish(t.as_mut(), &w)?;
+        if concurrent {
+            // queries race the maintenance batches (§4.2.2)
+            let out = ConcurrentEngine::run(
+                t.as_mut(),
+                &w,
+                &bed.oracle,
+                &ConcurrentConfig {
+                    max_inflight_per_object: 10,
+                    queries_per_batch: 1,
+                    seed,
+                },
+            )?;
+            if out.queries_correct != out.queries_issued {
+                return Err(format!(
+                    "{}: {}/{} concurrent queries answered wrong",
+                    algo.label(),
+                    out.queries_issued - out.queries_correct,
+                    out.queries_issued
+                )
+                .into());
             }
+            Ok(out.queries)
+        } else {
+            replay_moves(t.as_mut(), &w, &bed.oracle)?;
+            let q = run_queries(t.as_ref(), &bed.oracle, p.objects, p.queries, seed + 31)?;
+            if q.correct != p.queries {
+                return Err(format!(
+                    "{}: {}/{} queries answered wrong",
+                    algo.label(),
+                    p.queries - q.correct,
+                    p.queries
+                )
+                .into());
+            }
+            Ok(q.cost)
         }
-        rows.push((
-            (r * c).to_string(),
-            per_algo.iter().map(CostStats::mean_ratio).collect(),
-        ));
-    }
+    })?;
+    let rows = p
+        .grids
+        .iter()
+        .zip(merge_sweep(p, algos.len(), results))
+        .map(|(&(r, c), per_algo)| {
+            (
+                (r * c).to_string(),
+                per_algo.iter().map(CostStats::mean_ratio).collect(),
+            )
+        })
+        .collect();
     Ok(FigureTable {
         title: format!(
             "Query cost ratio, {} objects, {} execution (paper Fig. {})",
@@ -229,18 +297,22 @@ pub fn query_figure(p: &Profile, concurrent: bool) -> BenchResult {
 /// initialization (0 = "just after initialization").
 pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> BenchResult {
     let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
-    let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
-    let w = WorkloadSpec::new(p.objects, moves_per_object.max(1), 5).generate(&bed.graph);
-    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-    let mut rows = Vec::new();
-    for algo in [Algo::MotLb, vs] {
+    let cells: Vec<Keyed<Algo>> = [Algo::MotLb, vs]
+        .into_iter()
+        .map(|algo| Keyed::new(CellKey::new("load", r * c, algo.label(), 1), algo))
+        .collect();
+    let rows = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let algo = cell.data;
+        let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
+        let w = WorkloadSpec::new(p.objects, moves_per_object.max(1), 5).generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
         let mut t = bed.make_tracker(algo, &rates)?;
         run_publish(t.as_mut(), &w)?;
         if moves_per_object > 0 {
             replay_moves(t.as_mut(), &w, &bed.oracle)?;
         }
         let stats = LoadStats::from_loads(&t.node_loads());
-        rows.push((
+        Ok((
             algo.label().to_string(),
             vec![
                 stats.max as f64,
@@ -248,8 +320,8 @@ pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> BenchResul
                 stats.nodes_above_10 as f64,
                 stats.jain_index,
             ],
-        ));
-    }
+        ))
+    })?;
     let fig = match (vs, moves_per_object > 0) {
         (Algo::Stun, false) => "8",
         (Algo::Stun, true) => "9",
@@ -280,8 +352,13 @@ pub fn load_figure(p: &Profile, vs: Algo, moves_per_object: usize) -> BenchResul
 
 /// Theorem 4.1 sanity: publish cost stays `O(D)` as the diameter grows.
 pub fn publish_cost_table(p: &Profile) -> BenchResult {
-    let mut rows = Vec::new();
-    for &(r, c) in &p.grids {
+    let cells: Vec<Keyed<(usize, usize)>> = p
+        .grids
+        .iter()
+        .map(|&(r, c)| Keyed::new(CellKey::new("pub-cost", r * c, "MOT", 2), (r, c)))
+        .collect();
+    let rows = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (r, c) = cell.data;
         let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle)?;
         let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -294,8 +371,8 @@ pub fn publish_cost_table(p: &Profile) -> BenchResult {
         }
         let d = bed.oracle.diameter();
         let per_object = total / objects as f64;
-        rows.push(((r * c).to_string(), vec![d, per_object, per_object / d]));
-    }
+        Ok(((r * c).to_string(), vec![d, per_object, per_object / d]))
+    })?;
     Ok(FigureTable {
         title: "Publish cost vs diameter (Theorem 4.1: O(D) per object)".into(),
         x_label: "nodes".into(),
@@ -327,21 +404,25 @@ pub fn ablation_table(p: &Profile) -> BenchResult {
             MotConfig::load_balanced(),
         ),
     ];
-    let mut rows = Vec::new();
-    for (label, ocfg, mcfg) in variants {
+    let cells: Vec<Keyed<(&'static str, OverlayConfig, MotConfig)>> = variants
+        .into_iter()
+        .map(|v| Keyed::new(CellKey::new("ablations", r * c, v.0, seed), v))
+        .collect();
+    let rows = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (label, ocfg, mcfg) = &cell.data;
         let bed =
-            TestBed::with_oracle(generators::grid(r, c).expect("grid"), &ocfg, seed, p.oracle)?;
+            TestBed::with_oracle(generators::grid(r, c).expect("grid"), ocfg, seed, p.oracle)?;
         let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 9).generate(&bed.graph);
-        let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg);
+        let mut t = MotTracker::new(&bed.overlay, &bed.oracle, mcfg.clone());
         run_publish(&mut t, &w)?;
         let maint = replay_moves(&mut t, &w, &bed.oracle)?;
         let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 17)?;
         let loads = LoadStats::from_loads(&t.node_loads());
-        rows.push((
+        Ok((
             label.to_string(),
             vec![maint.ratio(), q.cost.mean_ratio(), loads.max as f64],
-        ));
-    }
+        ))
+    })?;
     Ok(FigureTable {
         title: format!("Ablations on a {r}x{c} grid (maintenance / query / max load)"),
         x_label: "variant".into(),
@@ -364,27 +445,31 @@ pub fn general_graph_table(p: &Profile) -> BenchResult {
             generators::random_geometric(100, 12.0, 2.2, 7).expect("rgg"),
         ),
     ];
-    let mut rows = Vec::new();
-    for (name, g) in topologies {
-        for (kind, bed) in [
-            ("doubling", TestBed::new(g.clone(), 4)?),
-            (
-                "general",
-                TestBed::general(g.clone(), &OverlayConfig::practical(), 4)?,
-            ),
-        ] {
-            let w =
-                WorkloadSpec::new(p.objects.min(50), p.moves_per_object, 13).generate(&bed.graph);
-            let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
-            run_publish(&mut t, &w)?;
-            let maint = replay_moves(&mut t, &w, &bed.oracle)?;
-            let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23)?;
-            rows.push((
-                format!("{name}/{kind}"),
-                vec![maint.ratio(), q.cost.mean_ratio()],
+    let mut cells = Vec::new();
+    for (name, g) in &topologies {
+        for kind in ["doubling", "general"] {
+            cells.push(Keyed::new(
+                CellKey::new(format!("general/{name}"), g.node_count(), kind, 4),
+                (*name, g, kind),
             ));
         }
     }
+    let rows = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (name, g, kind) = cell.data;
+        let bed = match kind {
+            "doubling" => TestBed::new(g.clone(), 4)?,
+            _ => TestBed::general(g.clone(), &OverlayConfig::practical(), 4)?,
+        };
+        let w = WorkloadSpec::new(p.objects.min(50), p.moves_per_object, 13).generate(&bed.graph);
+        let mut t = MotTracker::new(&bed.overlay, &bed.oracle, MotConfig::plain());
+        run_publish(&mut t, &w)?;
+        let maint = replay_moves(&mut t, &w, &bed.oracle)?;
+        let q = run_queries(&t, &bed.oracle, w.object_count(), p.queries, 23)?;
+        Ok((
+            format!("{name}/{kind}"),
+            vec![maint.ratio(), q.cost.mean_ratio()],
+        ))
+    })?;
     Ok(FigureTable {
         title: "MOT on doubling vs general (sparse-partition) overlays".into(),
         x_label: "topology/overlay".into(),
@@ -400,8 +485,13 @@ pub fn general_graph_table(p: &Profile) -> BenchResult {
 /// the overlay's actual clusters.
 pub fn state_size_table(p: &Profile) -> BenchResult {
     use mot_core::lb::ClusterTable;
-    let mut rows = Vec::new();
-    for &(r, c) in &p.grids {
+    let cells: Vec<Keyed<(usize, usize)>> = p
+        .grids
+        .iter()
+        .map(|&(r, c)| Keyed::new(CellKey::new("state-size", r * c, "MOT+LB", 1), (r, c)))
+        .collect();
+    let rows = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (r, c) = cell.data;
         let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
         let table = ClusterTable::build(&bed.overlay, &bed.oracle);
         let (mut max_table, mut max_cluster, mut sum_table, mut count) =
@@ -420,15 +510,15 @@ pub fn state_size_table(p: &Profile) -> BenchResult {
                 }
             }
         }
-        rows.push((
+        Ok((
             (r * c).to_string(),
             vec![
                 max_cluster as f64, // naive per-member state O(|X|)
                 max_table as f64,   // de Bruijn per-member state
                 sum_table as f64 / count.max(1) as f64,
             ],
-        ));
-    }
+        ))
+    })?;
     Ok(FigureTable {
         title: "Per-member routing state: naive cluster tables vs de Bruijn embedding (§5)".into(),
         x_label: "nodes".into(),
@@ -447,53 +537,62 @@ pub fn state_size_table(p: &Profile) -> BenchResult {
 /// root detour exactly there.
 pub fn locality_table(p: &Profile) -> BenchResult {
     let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
-    let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle)?;
-    let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4).generate(&bed.graph);
-    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
     let algos = [Algo::Mot, Algo::Stun, Algo::Zdat, Algo::ZdatShortcuts];
-    let radii = [2.0, 4.0, 8.0, 16.0, bed.oracle.diameter()];
-    // prepare one tracker per algorithm
-    let mut trackers = Vec::new();
-    for &a in &algos {
-        let mut t = bed.make_tracker(a, &rates)?;
-        run_publish(t.as_mut(), &w)?;
-        replay_moves(t.as_mut(), &w, &bed.oracle)?;
-        trackers.push(t);
-    }
-    let mut rows = Vec::new();
-    for &radius in &radii {
-        let mut ys = Vec::new();
-        for t in trackers.iter_mut() {
-            let q = mot_sim::run_local_queries(
-                t.as_ref(),
-                &bed.oracle,
-                w.object_count(),
-                radius,
-                p.queries,
-                11,
-            )?;
-            if q.correct != p.queries {
-                return Err(format!(
-                    "local queries answered wrong: {}/{} correct",
-                    q.correct, p.queries
-                )
-                .into());
+    let cells: Vec<Keyed<Algo>> = algos
+        .iter()
+        .map(|&a| Keyed::new(CellKey::new("locality", r * c, a.label(), 2), a))
+        .collect();
+    // One cell per algorithm: build the bed, replay the workload once,
+    // then sweep every radius on the settled tracker. Each cell returns
+    // (diameter, per-radius series); the diameter labels the last row.
+    let per_algo: Vec<(f64, Vec<f64>)> =
+        p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+            let bed = TestBed::grid_with_oracle(r, c, 2, p.oracle)?;
+            let w =
+                WorkloadSpec::new(p.objects.min(100), p.moves_per_object, 4).generate(&bed.graph);
+            let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+            let mut t = bed.make_tracker(cell.data, &rates)?;
+            run_publish(t.as_mut(), &w)?;
+            replay_moves(t.as_mut(), &w, &bed.oracle)?;
+            let radii = [2.0, 4.0, 8.0, 16.0, bed.oracle.diameter()];
+            let mut ys = Vec::with_capacity(radii.len());
+            for &radius in &radii {
+                let q = mot_sim::run_local_queries(
+                    t.as_ref(),
+                    &bed.oracle,
+                    w.object_count(),
+                    radius,
+                    p.queries,
+                    11,
+                )?;
+                if q.correct != p.queries {
+                    return Err(format!(
+                        "local queries answered wrong: {}/{} correct",
+                        q.correct, p.queries
+                    )
+                    .into());
+                }
+                ys.push(q.cost.mean_ratio());
             }
-            ys.push(q.cost.mean_ratio());
-        }
-        let label = if radius >= bed.oracle.diameter() {
+            Ok((bed.oracle.diameter(), ys))
+        })?;
+    let diameter = per_algo[0].0;
+    let radii = [2.0, 4.0, 8.0, 16.0, diameter];
+    let mut rows = Vec::new();
+    for (ri, &radius) in radii.iter().enumerate() {
+        let label = if radius >= diameter {
             "any".to_string()
         } else {
             format!("<={radius:.0}")
         };
-        rows.push((label, ys));
+        rows.push((label, per_algo.iter().map(|(_, ys)| ys[ri]).collect()));
     }
     Ok(FigureTable {
         title: format!(
             "Query cost ratio by requester distance ({}x{} grid, {} objects)",
             r,
             c,
-            w.object_count()
+            p.objects.min(100)
         ),
         x_label: "distance".into(),
         columns: algos.iter().map(|a| a.label().to_string()).collect(),
@@ -509,12 +608,26 @@ pub fn mobility_table(p: &Profile) -> BenchResult {
     use mot_sim::MobilityModel;
     let (r, c) = (16usize, 16usize);
     let algos = [Algo::Mot, Algo::Stun, Algo::Dat, Algo::Zdat];
-    let mut rows = Vec::new();
-    for (label, model) in [
+    let models = [
         ("random-walk", MobilityModel::RandomWalk),
         ("waypoint", MobilityModel::Waypoint),
         ("commuter", MobilityModel::Commuter),
-    ] {
+    ];
+    // Model-major, algo-minor — the historical nesting, so merge order
+    // (and f64 placement) is unchanged.
+    let cells: Vec<Keyed<(MobilityModel, Algo)>> = models
+        .iter()
+        .flat_map(|&(label, model)| {
+            algos.iter().map(move |&algo| {
+                Keyed::new(
+                    CellKey::new(format!("mobility/{label}"), r * c, algo.label(), 5),
+                    (model, algo),
+                )
+            })
+        })
+        .collect();
+    let ratios = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (model, algo) = cell.data;
         let bed = TestBed::grid_with_oracle(r, c, 3, p.oracle)?;
         let spec = mot_sim::WorkloadSpec {
             objects: p.objects.min(50),
@@ -524,15 +637,19 @@ pub fn mobility_table(p: &Profile) -> BenchResult {
         };
         let w = spec.generate(&bed.graph);
         let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-        let mut ys = Vec::new();
-        for &algo in &algos {
-            let mut t = bed.make_tracker(algo, &rates)?;
-            run_publish(t.as_mut(), &w)?;
-            let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
-            ys.push(stats.ratio());
-        }
-        rows.push((label.to_string(), ys));
-    }
+        let mut t = bed.make_tracker(algo, &rates)?;
+        run_publish(t.as_mut(), &w)?;
+        let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
+        Ok(stats.ratio())
+    })?;
+    let rows = models
+        .iter()
+        .enumerate()
+        .map(|(mi, &(label, _))| {
+            let ys = ratios[mi * algos.len()..(mi + 1) * algos.len()].to_vec();
+            (label.to_string(), ys)
+        })
+        .collect();
     Ok(FigureTable {
         title: format!("Maintenance cost ratio by mobility model ({r}x{c} grid)"),
         x_label: "mobility".into(),
@@ -549,8 +666,13 @@ pub fn mobility_table(p: &Profile) -> BenchResult {
 /// ~50 MiB of rows against a 1 GiB matrix.
 pub fn scale_table(p: &Profile) -> BenchResult {
     const MIB: f64 = (1024 * 1024) as f64;
-    let mut rows = Vec::new();
-    for &(r, c) in &p.grids {
+    let cells: Vec<Keyed<(usize, usize)>> = p
+        .grids
+        .iter()
+        .map(|&(r, c)| Keyed::new(CellKey::new("scale", r * c, "MOT", 1), (r, c)))
+        .collect();
+    let rows = p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+        let (r, c) = cell.data;
         let bed = TestBed::grid_with_oracle(r, c, 1, p.oracle)?;
         let w = WorkloadSpec::new(p.objects.min(50), p.moves_per_object.min(100), 5)
             .generate(&bed.graph);
@@ -560,15 +682,15 @@ pub fn scale_table(p: &Profile) -> BenchResult {
         let stats = replay_moves(t.as_mut(), &w, &bed.oracle)?;
         let n = bed.graph.node_count();
         let dense_bytes = (n * n * std::mem::size_of::<f32>()) as f64;
-        rows.push((
+        Ok((
             (r * c).to_string(),
             vec![
                 stats.ratio(),
                 bed.oracle.memory_bytes() as f64 / MIB,
                 dense_bytes / MIB,
             ],
-        ));
-    }
+        ))
+    })?;
     Ok(FigureTable {
         title: format!(
             "MOT maintenance at scale, {} distance backend (measured memory vs dense matrix)",
@@ -685,10 +807,17 @@ pub fn level_decomposition_table(p: &Profile) -> BenchResult {
     })
 }
 
-/// §7: amortized adaptability under churn.
-pub fn churn_table() -> BenchResult {
-    let mut rows = Vec::new();
-    for &(r, c) in &[(8usize, 8usize), (16, 16)] {
+/// §7: amortized adaptability under churn. `jobs` sizes the worker
+/// pool exactly as [`Profile::jobs`] does (0 = one per hardware
+/// thread); the table itself is identical for every value.
+pub fn churn_table(jobs: usize) -> BenchResult {
+    let grids = [(8usize, 8usize), (16, 16)];
+    let cells: Vec<Keyed<(usize, usize)>> = grids
+        .iter()
+        .map(|&(r, c)| Keyed::new(CellKey::new("churn", r * c, "churn-sim", 6), (r, c)))
+        .collect();
+    let rows = ParallelRunner::new(jobs).run(&cells, |cell| -> Result<_, BenchError> {
+        let (r, c) = cell.data;
         let bed = TestBed::grid(r, c, 6)?;
         let mut sim = mot_core::dynamics::ChurnSimulator::new(&bed.overlay, &bed.oracle, 4.0);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
@@ -709,14 +838,14 @@ pub fn churn_table() -> BenchResult {
                 }
             }
         }
-        rows.push((
+        Ok((
             (r * c).to_string(),
             vec![
                 sim.amortized_adaptability(),
                 sim.rebuilds_recommended as f64,
             ],
-        ));
-    }
+        ))
+    })?;
     Ok(FigureTable {
         title: "Amortized adaptability under churn (§7: O(1) per cluster event)".into(),
         x_label: "nodes".into(),
@@ -741,61 +870,95 @@ pub fn faults_table(p: &Profile, grid: (usize, usize)) -> BenchResult {
     let drop_rates = [0.0, 0.01, 0.05, 0.10];
     let crash_counts = [0usize, 4, 16];
     let algos = [Algo::Mot, Algo::Stun];
+    // Crashes → drop → algo → seed, matching the historical loop nesting
+    // so the merge below reproduces the exact f64 accumulation order.
+    let mut cells: Vec<Keyed<(usize, f64, Algo, u64)>> = Vec::new();
+    for &crashes in &crash_counts {
+        for &drop_rate in &drop_rates {
+            for &algo in &algos {
+                for seed in 0..p.seeds {
+                    cells.push(Keyed::new(
+                        CellKey::new(
+                            format!("faults/d{drop_rate}/x{crashes}"),
+                            r * c,
+                            algo.label(),
+                            seed,
+                        ),
+                        (crashes, drop_rate, algo, seed),
+                    ));
+                }
+            }
+        }
+    }
+    // Each cell replays one (fault mix, algo, seed) run, keeping its
+    // health checks (query correctness + full repair) inside the cell so
+    // a failure names the exact run that broke.
+    let per_cell: Vec<(CostStats, CostStats, f64, f64)> =
+        p.runner().run(&cells, |cell| -> Result<_, BenchError> {
+            let (crashes, drop_rate, algo, seed) = cell.data;
+            let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?.with_faults(FaultConfig {
+                seed: seed * 101 + 13,
+                drop_rate,
+                crashes,
+                ..FaultConfig::default()
+            });
+            let w =
+                WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1).generate(&bed.graph);
+            let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+            let mut plan = bed.fault_plan(w.moves.len()).ok_or("bed has no faults")?;
+            let mut t = bed.make_tracker(algo, &rates)?;
+            run_publish(t.as_mut(), &w)?;
+            let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan)?;
+            let q = run_queries_faulty(
+                t.as_mut(),
+                &bed.oracle,
+                p.objects,
+                p.queries,
+                seed + 31,
+                &mut plan,
+            )?;
+            if q.batch.correct != p.queries {
+                return Err(format!(
+                    "{} (drop {drop_rate}, {crashes} crashes): {}/{} faulty \
+                 queries answered wrong",
+                    algo.label(),
+                    p.queries - q.batch.correct,
+                    p.queries
+                )
+                .into());
+            }
+            repair_all(t.as_mut(), p.objects)?;
+            let unrepaired = unrepaired_objects(t.as_ref(), p.objects, bed.center());
+            if unrepaired != 0 {
+                return Err(format!(
+                    "{} (drop {drop_rate}, {crashes} crashes): {unrepaired} \
+                 objects unrepaired after the repair pass",
+                    algo.label()
+                )
+                .into());
+            }
+            Ok((
+                run.maintenance,
+                q.batch.cost,
+                run.retry_overhead + q.retry_overhead,
+                t.repair_cost(),
+            ))
+        })?;
     let mut rows = Vec::new();
+    let mut next = per_cell.into_iter();
     for &crashes in &crash_counts {
         for &drop_rate in &drop_rates {
             let mut ys = Vec::new();
-            for &algo in &algos {
+            for _ in &algos {
                 let mut maint = CostStats::default();
                 let mut query = CostStats::default();
                 let (mut retry, mut repair) = (0.0, 0.0);
-                for seed in 0..p.seeds {
-                    let bed =
-                        TestBed::grid_with_oracle(r, c, seed, p.oracle)?.with_faults(FaultConfig {
-                            seed: seed * 101 + 13,
-                            drop_rate,
-                            crashes,
-                            ..FaultConfig::default()
-                        });
-                    let w = WorkloadSpec::new(p.objects, p.moves_per_object, seed * 7 + 1)
-                        .generate(&bed.graph);
-                    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-                    let mut plan = bed.fault_plan(w.moves.len()).ok_or("bed has no faults")?;
-                    let mut t = bed.make_tracker(algo, &rates)?;
-                    run_publish(t.as_mut(), &w)?;
-                    let run = replay_moves_faulty(t.as_mut(), &w, &bed.oracle, &mut plan)?;
-                    let q = run_queries_faulty(
-                        t.as_mut(),
-                        &bed.oracle,
-                        p.objects,
-                        p.queries,
-                        seed + 31,
-                        &mut plan,
-                    )?;
-                    if q.batch.correct != p.queries {
-                        return Err(format!(
-                            "{} (drop {drop_rate}, {crashes} crashes): {}/{} faulty \
-                             queries answered wrong",
-                            algo.label(),
-                            p.queries - q.batch.correct,
-                            p.queries
-                        )
-                        .into());
-                    }
-                    repair_all(t.as_mut(), p.objects)?;
-                    let unrepaired = unrepaired_objects(t.as_ref(), p.objects, bed.center());
-                    if unrepaired != 0 {
-                        return Err(format!(
-                            "{} (drop {drop_rate}, {crashes} crashes): {unrepaired} \
-                             objects unrepaired after the repair pass",
-                            algo.label()
-                        )
-                        .into());
-                    }
-                    maint.merge(&run.maintenance);
-                    query.merge(&q.batch.cost);
-                    retry += run.retry_overhead + q.retry_overhead;
-                    repair += t.repair_cost();
+                for _ in 0..p.seeds {
+                    let (m, q, rt, rp) = next.next().expect("cell count mismatch");
+                    maint.merge(&m);
+                    query.merge(&q);
+                    retry += rt;
+                    repair += rp;
                 }
                 let effective = maint.total.max(f64::EPSILON);
                 ys.push(maint.ratio());
@@ -879,7 +1042,7 @@ mod tests {
 
     #[test]
     fn churn_adaptability_is_constant_like() {
-        let t = churn_table().unwrap();
+        let t = churn_table(1).unwrap();
         for (_, ys) in &t.rows {
             assert!(ys[0] < 10.0, "amortized adaptability {} too large", ys[0]);
         }

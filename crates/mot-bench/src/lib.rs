@@ -20,6 +20,13 @@
 //! `--metrics out.json` additionally writes a machine-readable
 //! [`RunReport`]; `--trace out.ndjson` dumps the fixed-seed instrumented
 //! run's raw event stream as NDJSON.
+//!
+//! # Place in the workspace
+//!
+//! The top of the crate DAG — depends on everything, nothing depends
+//! on it. Reproduces §8's evaluation; the table above maps each
+//! experiment id to its paper figure. See DESIGN.md §4
+//! (per-experiment index) and §12 (the `--jobs` determinism contract).
 
 pub mod figures;
 pub mod report;

@@ -1,0 +1,138 @@
+//! The determinism contract of the fan-out engine (DESIGN.md §12):
+//! every figure table, CSV file, and metrics report must be
+//! byte-identical whatever `--jobs` says. Cells derive their randomness
+//! from their own (figure, size, algo, seed) key and merge in canonical
+//! cell order, so worker count and scheduling can only change
+//! wall-clock time — these tests fail on the first byte that differs.
+
+use mot_bench::{
+    faults_table, locality_table, maintenance_figure, mobility_table, query_figure, FigureTable,
+    Profile,
+};
+use mot_sim::{CellKey, Keyed, ParallelRunner, SimError};
+
+/// A small but non-trivial profile: 3 grids × 2 seeds × the full
+/// algorithm lineup per sweep figure.
+fn profile(jobs: usize) -> Profile {
+    Profile::quick(8).with_jobs(jobs)
+}
+
+fn bytes_of(t: &FigureTable) -> (String, String) {
+    (t.to_csv(), t.to_json())
+}
+
+#[test]
+fn tables_are_byte_identical_for_1_and_4_jobs() {
+    let runs: Vec<Vec<(String, String)>> = [1usize, 4]
+        .iter()
+        .map(|&jobs| {
+            let p = profile(jobs);
+            vec![
+                bytes_of(&maintenance_figure(&p, false).expect("maintenance")),
+                bytes_of(&query_figure(&p, false).expect("query")),
+                bytes_of(&locality_table(&p).expect("locality")),
+                bytes_of(&mobility_table(&p).expect("mobility")),
+            ]
+        })
+        .collect();
+    for (i, (a, b)) in runs[0].iter().zip(&runs[1]).enumerate() {
+        assert_eq!(a.0, b.0, "CSV bytes differ for table {i}");
+        assert_eq!(a.1, b.1, "JSON bytes differ for table {i}");
+    }
+}
+
+#[test]
+fn fault_sweep_is_byte_identical_for_1_and_4_jobs() {
+    // The faults table exercises the widest cell fan-out (crashes ×
+    // drop × algo × seed) and the most merge accumulation.
+    let mut p = profile(1);
+    p.moves_per_object = 20;
+    p.queries = 40;
+    let a = faults_table(&p, (8, 8)).expect("faults jobs=1");
+    let b = faults_table(&p.clone().with_jobs(4), (8, 8)).expect("faults jobs=4");
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+/// End-to-end parity through the `experiments` binary: identical CSV
+/// files and identical `--metrics` JSON (after dropping the wall-clock
+/// `timings_secs` span, the one intentionally non-deterministic field).
+#[test]
+fn binary_output_is_byte_identical_across_jobs() {
+    let exe = env!("CARGO_BIN_EXE_experiments");
+    let tmp = std::env::temp_dir().join(format!("jobs-parity-{}", std::process::id()));
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4"] {
+        let dir = tmp.join(format!("j{jobs}"));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let csv = dir.join("csv");
+        let metrics = dir.join("metrics.json");
+        let status = std::process::Command::new(exe)
+            .args([
+                "--profile",
+                "quick",
+                "--jobs",
+                jobs,
+                "--csv",
+                csv.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+                "fig4",
+                "fig6",
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("run experiments");
+        assert!(status.success(), "experiments --jobs {jobs} failed");
+        let fig4 = std::fs::read(csv.join("fig4.csv")).expect("fig4.csv");
+        let fig6 = std::fs::read(csv.join("fig6.csv")).expect("fig6.csv");
+        let json = std::fs::read_to_string(&metrics).expect("metrics.json");
+        outputs.push((fig4, fig6, strip_timings(&json)));
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    assert_eq!(outputs[0].0, outputs[1].0, "fig4.csv differs across --jobs");
+    assert_eq!(outputs[0].1, outputs[1].1, "fig6.csv differs across --jobs");
+    assert_eq!(
+        outputs[0].2, outputs[1].2,
+        "metrics JSON differs across --jobs (timings stripped)"
+    );
+}
+
+/// Removes the `"timings_secs":{...}` span — wall-clock measurements,
+/// the only part of the report allowed to vary between runs.
+fn strip_timings(json: &str) -> String {
+    let start = json
+        .find("\"timings_secs\":{")
+        .expect("report has timings_secs");
+    let rest = &json[start..];
+    let close = rest.find('}').expect("timings object closes");
+    format!("{}{}", &json[..start], &rest[close + 1..])
+}
+
+#[test]
+fn worker_panic_is_reported_as_the_cell_and_others_complete() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cells: Vec<Keyed<usize>> = (0..9)
+        .map(|i| Keyed::new(CellKey::new("poison", 64, "MOT", i as u64), i))
+        .collect();
+    let completed = AtomicUsize::new(0);
+    let err = ParallelRunner::new(4)
+        .run(&cells, |cell| -> Result<usize, SimError> {
+            if cell.data == 5 {
+                panic!("poisoned cell");
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+            Ok(cell.data)
+        })
+        .expect_err("poisoned cell must fail the run");
+    match err {
+        SimError::Cell { key, cause } => {
+            assert_eq!(key.seed, 5, "wrong cell blamed: {key}");
+            assert!(cause.contains("poisoned cell"), "cause lost: {cause}");
+        }
+        other => panic!("expected SimError::Cell, got {other}"),
+    }
+    // The panic poisons one cell, not the pool: every other cell ran.
+    assert_eq!(completed.load(Ordering::SeqCst), 8);
+}

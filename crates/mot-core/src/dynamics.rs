@@ -155,8 +155,11 @@ impl<'a> ChurnSimulator<'a> {
 /// deployment, its fresh oracle/overlay, id mappings, and the proxy
 /// assignment for every surviving tracked object.
 pub struct RebuildPlan {
+    /// The surviving deployment (departed sensors removed).
     pub graph: Graph,
+    /// Distance backend rebuilt over the surviving graph.
     pub oracle: Box<dyn DistanceOracle>,
+    /// Fresh hierarchical overlay over the surviving graph.
     pub overlay: Overlay,
     /// `old_of_new[new] = old` node id mapping.
     pub old_of_new: Vec<NodeId>,

@@ -23,7 +23,12 @@ pub enum CoreError {
     /// A lossy transport exhausted its retry budget for a message of
     /// `object` after `attempts` transmissions; the operation did not
     /// complete.
-    DeliveryFailed { object: ObjectId, attempts: u32 },
+    DeliveryFailed {
+        /// The object whose message was lost.
+        object: ObjectId,
+        /// Transmissions attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for CoreError {

@@ -42,6 +42,16 @@
 //! assert!(q.cost >= oracle.dist(NodeId(63), NodeId(1)));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! The algorithmic heart of the DAG: builds on `mot-net`,
+//! `mot-hierarchy`, and `mot-debruijn`; the baselines, simulator, and
+//! bench crates all drive it through the [`Tracker`] trait. Implements
+//! §4 (MOT, Algorithm 1), §5 (load balancing), §7 (dynamics); serves
+//! every figure. See DESIGN.md §3 and §5.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod dynamics;

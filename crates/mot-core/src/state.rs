@@ -22,8 +22,12 @@ use std::collections::HashMap;
 /// `holder` (different from `host` only in load-balanced mode).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpEntry {
+    /// The special parent guarding the entry.
     pub host: NodeId,
+    /// The DL holder this entry points down to.
     pub child: NodeId,
+    /// The node physically charged for the entry (a hashed cluster
+    /// member under load balancing, otherwise `host` itself).
     pub holder: NodeId,
 }
 
@@ -40,6 +44,7 @@ pub struct TrailLevel {
 /// `trail[0].holders == [proxy]`.
 #[derive(Clone, Debug)]
 pub struct ObjectRecord {
+    /// `trail[ℓ]` is the object's level-ℓ slice, bottom (proxy) first.
     pub trail: Vec<TrailLevel>,
 }
 
@@ -65,6 +70,7 @@ pub struct NodeStores {
 }
 
 impl NodeStores {
+    /// Empty stores for an `n`-node deployment.
     pub fn new(n: usize) -> Self {
         NodeStores {
             dl: vec![HashMap::new(); n],

@@ -66,10 +66,15 @@ impl OpKind {
 /// transmissions under the ack/retry transport, respectively).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LedgerKind {
+    /// One-time publish traffic (Thm 4.1's `O(D)` account).
     Publish,
+    /// Move-driven trail updates (the maintenance cost ratio's account).
     Maintenance,
+    /// Query climbs and descents (the query cost ratio's account).
     Query,
+    /// Crash handoffs and pointer-path re-publishes.
     Repair,
+    /// Wasted transmissions under the ack/retry transport.
     Retry,
     /// Uncharged protocol bookkeeping (special-parent updates, repoints,
     /// query replies) — traffic the paper's ratios exclude.
@@ -151,11 +156,17 @@ impl TracePhase {
 /// One billed message hop.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceEvent {
+    /// The tracker operation the hop belongs to.
     pub op: OpKind,
+    /// What the hop was doing within that operation.
     pub phase: TracePhase,
+    /// The cost account the hop is billed under.
     pub ledger: LedgerKind,
+    /// The tracked object the operation concerns.
     pub object: ObjectId,
+    /// Sending node.
     pub src: NodeId,
+    /// Receiving node.
     pub dst: NodeId,
     /// Hierarchy level touched (tree depth for the tree baselines; the
     /// level of the payload for protocol transmissions).
@@ -219,6 +230,7 @@ pub struct MemorySink {
 }
 
 impl MemorySink {
+    /// An empty sink.
     pub fn new() -> Self {
         Self::default()
     }

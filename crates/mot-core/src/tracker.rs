@@ -1,10 +1,25 @@
 //! The uniform tracker interface driven by the simulator.
+//!
+//! Corresponds to the operation triple of the paper's §3 problem
+//! statement — `publish` / `move` / `query` — with every operation
+//! returning the message distance it spent, so cost ratios against the
+//! optimal offline algorithm can be accounted per operation
+//! (DESIGN.md §2).
 
 use crate::object::ObjectId;
 use crate::Result;
 use mot_net::NodeId;
 
 /// Result of a query operation.
+///
+/// ```
+/// use mot_core::{QueryResult};
+/// use mot_net::NodeId;
+///
+/// let q = QueryResult { proxy: NodeId(3), cost: 2.5 };
+/// assert_eq!(q.proxy, NodeId(3)); // where the object is detected
+/// assert!(q.cost > 0.0); // message distance billed to the querier
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueryResult {
     /// The proxy node the query located.
@@ -14,6 +29,16 @@ pub struct QueryResult {
 }
 
 /// Result of a maintenance (move) operation.
+///
+/// ```
+/// use mot_core::MoveOutcome;
+/// use mot_net::NodeId;
+///
+/// let m = MoveOutcome { from: NodeId(1), cost: 4.0 };
+/// // `from` is the structure's own record of the old proxy — the
+/// // simulator cross-checks it against the workload's ground truth.
+/// assert_eq!(m.from, NodeId(1));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MoveOutcome {
     /// The proxy the object moved away from (the structure's own record —
@@ -40,6 +65,29 @@ pub struct MoveOutcome {
 /// engine's planning reads) must stay silent. Without a sink no event
 /// is constructed: a traced-off run is bit-identical to one on an
 /// uninstrumented build.
+///
+/// # Example
+///
+/// Publish an object, move it, and query it on a small grid:
+///
+/// ```
+/// use mot_core::{MotConfig, MotTracker, ObjectId, Tracker};
+/// use mot_hierarchy::{build_doubling, OverlayConfig};
+/// use mot_net::{generators, DenseOracle, NodeId};
+///
+/// let g = generators::grid(4, 4)?;
+/// let oracle = DenseOracle::build(&g)?;
+/// let overlay = build_doubling(&g, &oracle, &OverlayConfig::practical(), 7);
+/// let mut t = MotTracker::new(&overlay, &oracle, MotConfig::plain());
+///
+/// let o = ObjectId(0);
+/// t.publish(o, NodeId(0))?;
+/// let moved = t.move_object(o, NodeId(1))?;
+/// assert_eq!(moved.from, NodeId(0));
+/// let q = t.query(NodeId(15), o)?;
+/// assert_eq!(q.proxy, NodeId(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub trait Tracker {
     /// Human-readable algorithm name used in reports.
     fn name(&self) -> String;

@@ -1,7 +1,7 @@
 //! Dynamic cluster membership (paper §7).
 //!
 //! When sensors join or leave, the embedded de Bruijn graph must track the
-//! cluster. The paper's scheme (borrowed from Rajaraman et al. [28]):
+//! cluster. The paper's scheme (borrowed from Rajaraman et al. \[28\]):
 //!
 //! * **join:** the newcomer takes label `|X|`. If `|X|+1` becomes a power
 //!   of two the dimension grows by one and every member splits its

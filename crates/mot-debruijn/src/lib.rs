@@ -39,6 +39,12 @@
 //! let g = DeBruijnGraph::new(4);
 //! assert_eq!(g.distance(0b1010, 0b0101), 1); // overlap of 3 bits
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! Depends only on `mot-net`; consumed by `mot-core`'s load-balanced
+//! tracker. Implements §5 (load balancing) and §7 (dynamics); serves
+//! Figs. 8–11 and the `state-size` table. See DESIGN.md §3 and §5.
 
 pub mod dynamic;
 pub mod embedding;

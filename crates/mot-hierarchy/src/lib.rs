@@ -39,6 +39,13 @@
 //! assert!(overlay.meet_level(NodeId(0), NodeId(1)) <= overlay.height());
 //! # Ok::<(), mot_net::NetError>(())
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! Sits directly above `mot-net` in the crate DAG; `mot-core`,
+//! `mot-sim`, and `mot-bench` build on it. Implements §2.2 (doubling
+//! overlays) and §6 (general overlays); the overlay choice drives the
+//! `general` experiment table. See DESIGN.md §3 and §5.
 
 pub mod config;
 pub mod doubling;

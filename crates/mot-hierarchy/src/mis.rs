@@ -1,6 +1,6 @@
 //! Luby's randomized maximal independent set.
 //!
-//! The overlay coarsens each level with an MIS (§2.2 cites Luby [24]): in
+//! The overlay coarsens each level with an MIS (§2.2 cites Luby \[24\]): in
 //! every round each undecided node draws a random priority; a node joins
 //! the MIS when its priority beats every undecided neighbor's, and then it
 //! and its neighbors leave the contest. Expected `O(log n)` rounds. We run

@@ -111,8 +111,11 @@ fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<f64>, Vec<Option<Nod
 /// deviation-free shortest-path tree.
 #[derive(Clone, Debug)]
 pub struct PathTree {
+    /// The node the tree is rooted at.
     pub root: NodeId,
+    /// `dist[u]` = shortest-path distance from `u` to the root.
     pub dist: Vec<f64>,
+    /// `parent[u]` = next hop toward the root (`None` at the root).
     pub parent: Vec<Option<NodeId>>,
 }
 

@@ -7,14 +7,34 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
     /// An edge referenced a node outside `0..n`.
-    NodeOutOfRange { node: NodeId, n: usize },
+    NodeOutOfRange {
+        /// The out-of-range id.
+        node: NodeId,
+        /// The graph's node count.
+        n: usize,
+    },
     /// An edge weight was not strictly positive and finite.
-    InvalidWeight { a: NodeId, b: NodeId, weight: f64 },
+    InvalidWeight {
+        /// One endpoint of the offending edge.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
     /// A self-loop was requested (the paper fixes `w(u,u) = 0`; explicit
     /// self-loop edges are rejected instead of stored).
-    SelfLoop { node: NodeId },
+    SelfLoop {
+        /// The node the loop was requested on.
+        node: NodeId,
+    },
     /// The same undirected edge was inserted twice with different weights.
-    DuplicateEdge { a: NodeId, b: NodeId },
+    DuplicateEdge {
+        /// One endpoint of the duplicated edge.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
     /// The operation requires a connected graph.
     Disconnected,
     /// The operation requires geographic positions but the graph has none.

@@ -12,7 +12,7 @@
 //!   ([`generators::grid`], [`generators::ring`], [`generators::torus`],
 //!   [`generators::line`], [`generators::random_geometric`],
 //!   [`generators::random_tree`]),
-//! * single-source shortest paths ([`dijkstra`]) and shortest-path trees,
+//! * single-source shortest paths ([`dijkstra()`]) and shortest-path trees,
 //! * the [`DistanceOracle`] trait with three backends — the dense
 //!   all-pairs [`DenseOracle`] (built in parallel), the on-demand
 //!   [`LazyOracle`], and the pinned-hot-set [`HybridOracle`] — selected
@@ -45,6 +45,15 @@
 //! assert_eq!(auto.dist(NodeId(0), NodeId(1023)), 62.0);
 //! # Ok::<(), mot_net::NetError>(())
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! The root of the crate DAG — depends on nothing, everything else
+//! depends on it. Implements the system model of the paper's §2.1 and
+//! serves every figure (all costs are oracle distances). See DESIGN.md
+//! §3 (crate map) and §5 (distance-backend decisions).
+
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod dijkstra;

@@ -12,10 +12,15 @@ use crate::oracle::DistanceOracle;
 /// Summary statistics of a deployed sensor network.
 #[derive(Clone, Debug)]
 pub struct GraphStats {
+    /// Sensor count `|V|`.
     pub nodes: usize,
+    /// Undirected edge count `|E|`.
     pub edges: usize,
+    /// Weighted shortest-path diameter `D`.
     pub diameter: f64,
+    /// Mean node degree `2|E|/|V|`.
     pub avg_degree: f64,
+    /// Largest node degree.
     pub max_degree: usize,
     /// Empirical doubling dimension `ρ` (see
     /// [`estimate_doubling_dimension`]).

@@ -51,11 +51,14 @@ impl From<u32> for NodeId {
 /// rectangular zones.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 
 impl Point {
+    /// A point at `(x, y)`.
     pub fn new(x: f64, y: f64) -> Self {
         Point { x, y }
     }

@@ -26,6 +26,18 @@ use crate::Result;
 
 /// Symmetric all-pairs shortest-path distance matrix.
 #[derive(Debug)]
+/// # Example
+///
+/// ```
+/// use mot_net::{generators, DenseOracle, DistanceOracle, NodeId};
+///
+/// let g = generators::grid(4, 4)?;
+/// let m = DenseOracle::build(&g)?;
+/// // Exact everything: distances, diameter, memory = n² f32 entries.
+/// assert_eq!(m.diameter(), 6.0);
+/// assert_eq!(m.memory_bytes(), 16 * 16 * 4);
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
 pub struct DenseOracle {
     n: usize,
     data: Vec<f32>,

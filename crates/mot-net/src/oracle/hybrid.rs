@@ -18,6 +18,19 @@ use crate::node::NodeId;
 use crate::Result;
 
 /// [`LazyOracle`] plus an explicitly pinned row set.
+///
+/// # Example
+///
+/// ```
+/// use mot_net::{generators, DistanceOracle, HybridOracle, NodeId};
+///
+/// let g = generators::grid(4, 4)?;
+/// let m = HybridOracle::new(&g)?;
+/// m.pin(&[NodeId(0)]); // hot row held outside the LRU forever
+/// assert_eq!(m.pinned_rows(), 1);
+/// assert_eq!(m.dist(NodeId(0), NodeId(15)), 6.0); // served pinned
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
 pub struct HybridOracle {
     lazy: LazyOracle,
     /// Rows held forever, outside the LRU: source id → row.

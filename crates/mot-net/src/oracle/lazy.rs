@@ -34,6 +34,19 @@ struct Shard {
 }
 
 /// Distance oracle that computes per-source rows on demand.
+///
+/// # Example
+///
+/// ```
+/// use mot_net::{generators, DistanceOracle, LazyOracle, NodeId};
+///
+/// let g = generators::grid(4, 4)?;
+/// let m = LazyOracle::new(&g)?; // O(1) construction, no rows yet
+/// assert_eq!(m.cached_rows(), 0);
+/// assert_eq!(m.dist(NodeId(0), NodeId(15)), 6.0); // solves row 0
+/// assert!(m.cached_rows() >= 1);
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
 pub struct LazyOracle {
     g: Graph,
     shards: Vec<Mutex<Shard>>,

@@ -42,6 +42,20 @@ use crate::Result;
 /// back parallel construction and concurrent replay. Distances are
 /// quantized through `f32` by every backend, which keeps cost accounts
 /// bit-identical when backends are swapped.
+///
+/// # Example
+///
+/// ```
+/// use mot_net::{generators, DenseOracle, DistanceOracle, NodeId};
+///
+/// let g = generators::grid(3, 3)?; // unit-weight 3×3 grid
+/// let m = DenseOracle::build(&g)?;
+/// assert_eq!(m.dist(NodeId(0), NodeId(8)), 4.0); // corner to corner
+/// assert_eq!(m.diameter(), 4.0);
+/// // N(u, r): nodes within distance 1 of the center, itself included
+/// assert_eq!(m.ball(NodeId(4), 1.0).len(), 5);
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
 pub trait DistanceOracle: Send + Sync {
     /// Number of nodes covered by the oracle.
     fn node_count(&self) -> usize;
@@ -216,8 +230,12 @@ pub enum OracleKind {
     /// Dense for small deployments, lazy past the node limit.
     #[default]
     Auto,
+    /// Full n² matrix of exact distances ([`DenseOracle`]).
     Dense,
+    /// Bounded LRU of on-demand Dijkstra rows ([`LazyOracle`]).
     Lazy,
+    /// Landmark upper bounds refined to exact rows on demand
+    /// ([`HybridOracle`]).
     Hybrid,
 }
 
@@ -262,6 +280,7 @@ impl OracleKind {
         }
     }
 
+    /// Stable lowercase name (the inverse of [`OracleKind::parse`]).
     pub fn label(&self) -> &'static str {
         match self {
             OracleKind::Auto => "auto",

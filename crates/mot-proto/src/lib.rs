@@ -55,6 +55,13 @@
 //! assert_eq!(out.replies, vec![(ObjectId(0), NodeId(1))]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! Builds on `mot-net`, `mot-hierarchy`, and `mot-core`; `mot-sim`'s
+//! differential tests replay it against the reference tracker.
+//! Implements footnote 2's message-passing rendering of Algorithm 1.
+//! See DESIGN.md §3 and §9.
 
 pub mod faults;
 pub mod message;

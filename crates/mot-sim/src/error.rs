@@ -15,6 +15,7 @@ pub enum SimError {
     TraceDiverged {
         /// Index of the offending move in `workload.moves`.
         step: usize,
+        /// The object whose record diverged.
         object: ObjectId,
         /// Proxy the trace expects the object to move from.
         expected: NodeId,
@@ -26,6 +27,18 @@ pub enum SimError {
     /// The network layer rejected the topology (disconnected graph,
     /// missing positions, degenerate size) while assembling a bed.
     Net(NetError),
+    /// One cell of a fan-out run failed — most commonly a worker panic
+    /// caught by [`crate::parallel::ParallelRunner`], surfaced with the
+    /// cell's stable key instead of poisoning the pool. Other cells keep
+    /// running to completion; the error reported is the failing cell
+    /// that comes first in canonical (submission) order, independent of
+    /// worker count and scheduling.
+    Cell {
+        /// Stable identity of the failed experiment cell.
+        key: crate::parallel::CellKey,
+        /// The panic payload or error message, as text.
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -43,6 +56,9 @@ impl std::fmt::Display for SimError {
             ),
             SimError::Core(e) => write!(f, "tracker error: {e}"),
             SimError::Net(e) => write!(f, "network error: {e}"),
+            SimError::Cell { key, cause } => {
+                write!(f, "experiment cell {key} failed: {cause}")
+            }
         }
     }
 }

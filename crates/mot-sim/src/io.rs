@@ -18,6 +18,7 @@ use std::path::Path;
 /// Errors raised by workload I/O.
 #[derive(Debug)]
 pub enum IoError {
+    /// An underlying filesystem read/write failed.
     Io(std::io::Error),
     /// Malformed JSON, with a human-readable position/diagnosis.
     Json(String),

@@ -17,6 +17,11 @@
 //!   queries that chase moving objects (§4.2.2),
 //! * [`metrics`] — cost and load statistics (ratios, histograms,
 //!   fairness),
+//! * [`parallel`] — the deterministic fan-out engine: a
+//!   [`ParallelRunner`] worker pool over independent *(figure × size ×
+//!   algo × seed)* cells whose output is bit-identical for 1 worker and
+//!   N workers (cell-keyed RNG streams, canonical merge order —
+//!   DESIGN.md §12),
 //! * [`testbed`] — one-stop construction of a topology, its distance
 //!   oracle, overlay, and any of the six trackers the experiments
 //!   compare.
@@ -40,6 +45,17 @@
 //! assert_eq!(queries.correct, 50); // every query finds the true proxy
 //! # Ok::<(), mot_sim::SimError>(())
 //! ```
+//!
+//! # Place in the workspace
+//!
+//! The execution layer of the DAG: builds on every algorithm crate
+//! (`mot-core`, `mot-baselines`, `mot-proto`) and their substrates;
+//! only `mot-bench` sits above it. Implements the paper's §8
+//! methodology; every figure's workload and cost account comes from
+//! here. See DESIGN.md §3, §6 (faults), §11 (observability), and §12
+//! (determinism contract).
+
+#![warn(missing_docs)]
 
 pub mod concurrent;
 pub mod error;
@@ -47,6 +63,7 @@ pub mod faults;
 pub mod io;
 pub mod metrics;
 pub mod mobility;
+pub mod parallel;
 pub mod run;
 pub mod testbed;
 
@@ -61,6 +78,7 @@ pub use metrics::{
     CostStats, Histogram, LevelLedger, LoadStats, Profiler, Recorder, Summary, TraceAggregates,
 };
 pub use mobility::{MobilityModel, MoveOp, Workload, WorkloadSpec};
+pub use parallel::{CellKey, Keyed, ParallelRunner};
 pub use run::{
     replay_moves, replay_moves_observed, run_local_queries, run_publish, run_queries,
     run_queries_observed, QueryBatchStats,

@@ -8,6 +8,23 @@ use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 /// Accumulated algorithm-vs-optimal communication cost.
+///
+/// # Example
+///
+/// ```
+/// use mot_sim::CostStats;
+///
+/// let mut s = CostStats::default();
+/// s.record(3.0, 2.0); // algorithm paid 3, the optimal was 2
+/// s.record(2.0, 2.0);
+/// assert_eq!(s.ratio(), 5.0 / 4.0); // amortized C(E)/C*(E)
+/// assert_eq!(s.mean_ratio(), (1.5 + 1.0) / 2.0); // per-op mean
+///
+/// // merging is exact and order-independent in the totals
+/// let mut t = CostStats::default();
+/// t.merge(&s);
+/// assert_eq!(t.ratio(), s.ratio());
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostStats {
     /// Total message distance spent by the algorithm.
@@ -77,10 +94,24 @@ impl CostStats {
 
 /// Mean and (sample) standard deviation of a series of repeated
 /// measurements — used when reporting across seeds.
+///
+/// # Example
+///
+/// ```
+/// use mot_sim::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.stddev, 1.0);
+/// assert_eq!(s.count, 3);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
+    /// Arithmetic mean of the samples.
     pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
     pub stddev: f64,
+    /// Number of samples summarized.
     pub count: usize,
 }
 
@@ -106,9 +137,23 @@ impl Summary {
 }
 
 /// Snapshot statistics over per-node loads (Figs. 8–11).
+///
+/// # Example
+///
+/// ```
+/// use mot_sim::LoadStats;
+///
+/// let s = LoadStats::from_loads(&[0, 1, 1, 2]);
+/// assert_eq!(s.max, 2);
+/// assert_eq!(s.mean, 1.0);
+/// assert_eq!(s.nodes_above_10, 0);
+/// assert!(s.jain_index <= 1.0); // 1.0 = perfectly even
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoadStats {
+    /// Largest per-node load.
     pub max: usize,
+    /// Mean per-node load.
     pub mean: f64,
     /// Number of nodes with load strictly greater than 10 — the
     /// threshold the paper's load figures call out.
@@ -163,8 +208,24 @@ pub const HIST_BUCKETS: usize = 32;
 /// The bucket edges are powers of two and never depend on the data, so
 /// histograms from different seeds (or different runs entirely) merge
 /// bucket-by-bucket without rebinning.
+///
+/// # Example
+///
+/// ```
+/// use mot_sim::Histogram;
+///
+/// let mut a = Histogram::new();
+/// a.record(0.5); // bucket 0: [0, 1)
+/// a.record(3.0); // bucket 2: [2, 4)
+/// let mut b = Histogram::new();
+/// b.record(3.5);
+/// a.merge(&b); // exact: same fixed buckets, no rebinning
+/// assert_eq!(a.count, 3);
+/// assert_eq!(a.buckets[2], 2);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
+    /// Sample counts per fixed power-of-two bucket.
     pub buckets: [u64; HIST_BUCKETS],
     /// Number of samples recorded.
     pub count: u64,
@@ -183,6 +244,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
     }
@@ -271,6 +333,7 @@ pub struct LevelLedger {
 }
 
 impl LevelLedger {
+    /// An empty ledger.
     pub fn new() -> Self {
         Self::default()
     }
@@ -378,14 +441,18 @@ struct RecorderState {
 /// The aggregates extracted from a [`Recorder`] once tracing is done.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceAggregates {
+    /// Distance billed per (hierarchy level, cost ledger).
     pub ledger: LevelLedger,
+    /// Distribution of hop distances.
     pub hops: Histogram,
+    /// Distribution of completed operations' total costs.
     pub op_costs: Histogram,
     /// Completed operations per kind, in first-seen order.
     pub op_counts: Vec<(OpKind, usize)>,
 }
 
 impl Recorder {
+    /// An empty recorder.
     pub fn new() -> Self {
         Self::default()
     }
@@ -490,6 +557,7 @@ pub struct ProfileGuard<'a> {
 }
 
 impl Profiler {
+    /// A profiler with no recorded scopes.
     pub fn new() -> Self {
         Self::default()
     }

@@ -34,8 +34,11 @@ pub enum MobilityModel {
 /// replaying).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MoveOp {
+    /// The moving object.
     pub object: ObjectId,
+    /// Proxy the object departs (its pre-move detector).
     pub from: NodeId,
+    /// Proxy the object arrives at (its new detector).
     pub to: NodeId,
 }
 
@@ -76,9 +79,13 @@ impl Workload {
 /// Workload parameters.
 #[derive(Clone, Debug)]
 pub struct WorkloadSpec {
+    /// Number of tracked objects.
     pub objects: usize,
+    /// Moves generated per object.
     pub moves_per_object: usize,
+    /// Mobility model driving the trace.
     pub model: MobilityModel,
+    /// RNG seed — the same spec always generates the same workload.
     pub seed: u64,
 }
 

@@ -14,6 +14,21 @@ use rand_chacha::ChaCha8Rng;
 
 /// Publishes every object of `workload` at its initial proxy. Returns the
 /// total publish cost (a one-time cost outside the cost ratios).
+///
+/// # Example
+///
+/// ```
+/// use mot_sim::{run_publish, Algo, TestBed, WorkloadSpec};
+/// use mot_baselines::DetectionRates;
+///
+/// let bed = TestBed::grid(4, 4, 1)?;
+/// let w = WorkloadSpec::new(2, 10, 3).generate(&bed.graph);
+/// let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+/// let mut t = bed.make_tracker(Algo::Mot, &rates)?;
+/// let cost = run_publish(t.as_mut(), &w)?;
+/// assert!(cost > 0.0); // Thm 4.1: O(D) per object, never free here
+/// # Ok::<(), mot_sim::SimError>(())
+/// ```
 pub fn run_publish(tracker: &mut dyn Tracker, workload: &Workload) -> Result<f64> {
     let mut total = 0.0;
     for (oi, &proxy) in workload.initial.iter().enumerate() {
@@ -81,6 +96,7 @@ fn replay_inner(
 /// Statistics of one query batch.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueryBatchStats {
+    /// Query cost vs optimal (requester–proxy distance) per query.
     pub cost: CostStats,
     /// Queries whose requester happened to be the proxy (optimal cost 0;
     /// excluded from the ratio, reported for completeness).

@@ -63,8 +63,11 @@ impl Algo {
 /// node's row right after overlay construction, so the hot set never
 /// churns out of the row cache.
 pub struct TestBed {
+    /// The sensor-network topology.
     pub graph: Graph,
+    /// Distance backend every cost account is billed against.
     pub oracle: Box<dyn DistanceOracle>,
+    /// The hierarchical overlay the trackers are built on.
     pub overlay: Overlay,
     /// Optional fault environment; [`TestBed::fault_plan`] expands it.
     pub faults: Option<FaultConfig>,

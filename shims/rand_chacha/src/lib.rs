@@ -26,25 +26,46 @@ fn quarter_round(state: &mut [u32; WORDS], a: usize, b: usize, c: usize, d: usiz
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// ChaCha with 8 rounds, seeded from 32 key bytes; nonce fixed at zero
-/// (one independent stream per seed, which is all the workspace needs).
+/// ChaCha with 8 rounds, seeded from 32 key bytes. The 64-bit nonce
+/// selects one of 2^64 independent *streams* per seed (defaults to
+/// stream 0); see [`ChaCha8Rng::set_stream`].
 #[derive(Clone, Debug)]
 pub struct ChaCha8Rng {
     key: [u32; 8],
     counter: u64,
+    /// Nonce words (RFC 7539 state[14..16]): the stream id.
+    stream: u64,
     buffer: [u32; WORDS],
     /// Next unread word in `buffer`; `WORDS` means exhausted.
     index: usize,
 }
 
 impl ChaCha8Rng {
+    /// Switches this generator to an independent keystream identified by
+    /// `stream` and rewinds it to the start of that stream. Streams of
+    /// the same seed never overlap (they differ in the cipher's nonce),
+    /// which makes `(seed, stream)` a stable two-level key: seed an
+    /// experiment once, then split one non-overlapping substream per
+    /// work item — deterministic regardless of which worker runs it.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = WORDS;
+    }
+
+    /// The stream id selected by [`ChaCha8Rng::set_stream`] (0 unless set).
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
     fn refill(&mut self) {
         let mut state: [u32; WORDS] = [0; WORDS];
         state[..4].copy_from_slice(&SIGMA);
         state[4..12].copy_from_slice(&self.key);
         state[12] = self.counter as u32;
         state[13] = (self.counter >> 32) as u32;
-        // state[14], state[15]: zero nonce
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
         let input = state;
         for _ in 0..4 {
             // column round
@@ -87,6 +108,7 @@ impl SeedableRng for ChaCha8Rng {
         ChaCha8Rng {
             key,
             counter: 0,
+            stream: 0,
             buffer: [0; WORDS],
             index: WORDS,
         }
@@ -143,6 +165,28 @@ mod tests {
         assert!(x < 10);
         let f: f64 = rng.gen();
         assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn streams_are_independent_and_replayable() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let base: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        // switching streams rewinds into a different keystream
+        a.set_stream(7);
+        let s7: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        assert_ne!(base, s7, "stream 7 must differ from stream 0");
+        // re-selecting a stream replays it from the start
+        a.set_stream(7);
+        let s7_again: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        assert_eq!(s7, s7_again);
+        a.set_stream(0);
+        let s0: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        assert_eq!(base, s0, "stream 0 must replay the default stream");
+        // a fresh generator on the same (seed, stream) pair agrees
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        b.set_stream(7);
+        let fresh: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(s7, fresh);
     }
 
     #[test]
