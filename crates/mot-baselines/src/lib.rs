@@ -53,6 +53,8 @@
 //! comparison algorithms; serves every comparative figure (4–15).
 //! See DESIGN.md §3 and §7 (baseline fidelity).
 
+#![warn(missing_docs)]
+
 pub mod dat;
 pub mod stun;
 pub mod traffic;

@@ -1,0 +1,369 @@
+//! Phase-timed benchmark baseline behind `experiments bench-baseline`.
+//!
+//! Everything else in `mot-bench` measures *cost ratios* — numbers the
+//! determinism contract (DESIGN.md §12) pins bit-exactly. This module
+//! measures *wall-clock*, phase by phase, against the frozen
+//! [`reference_build_doubling`] yardstick, and serializes the result as
+//! the schema'd JSON committed at the repo root (`BENCH_pr5.json`).
+//!
+//! Per grid size the harness times, strictly in order and sequentially
+//! (so phases never contend with each other):
+//!
+//! 1. `graph_build_secs` — CSR construction via [`generators::grid`];
+//! 2. `oracle_warmup_secs` — distance-backend build
+//!    ([`OracleKind::build`] after `resolve`);
+//! 3. `hierarchy_secs` — the optimized [`build_doubling`];
+//! 4. `hierarchy_seq_secs` — the frozen pre-optimization builder on the
+//!    same inputs, whose overlay is then asserted **identical** to the
+//!    optimized one (a mismatch fails the run, not just a test);
+//! 5. `fig4_replay_secs` — publish + one-by-one move replay of a Fig. 4
+//!    MOT arm, plus its cost ratio as a cross-check value.
+//!
+//! `jobs` is recorded for provenance only: timed phases are sequential
+//! by design so numbers stay comparable across runs and machines.
+
+use crate::figures::BenchError;
+use mot_baselines::DetectionRates;
+use mot_core::fmt_f64;
+use mot_hierarchy::{build_doubling, reference_build_doubling, Overlay, OverlayConfig};
+use mot_net::{generators, OracleKind};
+use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
+use std::time::Instant;
+
+/// Schema identifier stamped into every report this module writes.
+pub const BENCH_SCHEMA: &str = "mot-bench-baseline/1";
+
+/// Scale knobs for one `bench-baseline` run.
+#[derive(Clone, Debug)]
+pub struct BaselineProfile {
+    /// Profile name recorded in the report (`smoke` / `full`).
+    pub name: String,
+    /// Grid sizes timed, in order.
+    pub sizes: Vec<(usize, usize)>,
+    /// Objects in the fig4-replay phase.
+    pub objects: usize,
+    /// Moves per object in the fig4-replay phase.
+    pub moves_per_object: usize,
+    /// Distance backend for the oracle-warmup and replay phases.
+    pub oracle: OracleKind,
+    /// Recorded for provenance; phases are timed sequentially.
+    pub jobs: usize,
+    /// Seed for overlay construction and the replay workload.
+    pub seed: u64,
+}
+
+impl BaselineProfile {
+    /// CI-scale run: three small grids, seconds of wall-clock.
+    pub fn smoke() -> Self {
+        BaselineProfile {
+            name: "smoke".into(),
+            sizes: vec![(8, 8), (12, 12), (16, 16)],
+            objects: 10,
+            moves_per_object: 30,
+            oracle: OracleKind::Auto,
+            jobs: 1,
+            seed: 1,
+        }
+    }
+
+    /// The committed-artifact run: up to the paper's 4096-node grid.
+    pub fn full() -> Self {
+        BaselineProfile {
+            name: "full".into(),
+            sizes: vec![(16, 16), (32, 32), (64, 64)],
+            objects: 100,
+            moves_per_object: 100,
+            oracle: OracleKind::Auto,
+            jobs: 1,
+            seed: 1,
+        }
+    }
+
+    /// Profile by CLI name.
+    pub fn for_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// Same profile on an explicit distance backend.
+    pub fn with_oracle(mut self, kind: OracleKind) -> Self {
+        self.oracle = kind;
+        self
+    }
+
+    /// Same profile with an explicit recorded jobs value.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Phase timings for one grid size.
+#[derive(Clone, Debug)]
+pub struct SizeTiming {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// `rows * cols`.
+    pub nodes: usize,
+    /// CSR graph construction.
+    pub graph_build_secs: f64,
+    /// Distance-backend build.
+    pub oracle_warmup_secs: f64,
+    /// Optimized doubling-overlay construction.
+    pub hierarchy_secs: f64,
+    /// Frozen reference doubling-overlay construction (same inputs).
+    pub hierarchy_seq_secs: f64,
+    /// `hierarchy_seq_secs / hierarchy_secs`.
+    pub hierarchy_speedup: f64,
+    /// Publish + one-by-one replay of the fig4 MOT arm.
+    pub fig4_replay_secs: f64,
+    /// Maintenance cost ratio of that arm (cross-check value).
+    pub fig4_mot_ratio: f64,
+}
+
+/// A full `bench-baseline` report, serializable as schema'd JSON.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// Always [`BENCH_SCHEMA`].
+    pub schema: &'static str,
+    /// Profile name the run used.
+    pub profile: String,
+    /// Distance-backend label.
+    pub oracle: String,
+    /// Recorded `--jobs` value (provenance only).
+    pub jobs: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub hardware_threads: usize,
+    /// One entry per grid size, in run order.
+    pub sizes: Vec<SizeTiming>,
+}
+
+impl BaselineReport {
+    /// Pretty-printed JSON matching the schema documented in
+    /// PERFORMANCE.md.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", self.schema));
+        out.push_str(&format!("  \"profile\": \"{}\",\n", self.profile));
+        out.push_str(&format!("  \"oracle\": \"{}\",\n", self.oracle));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            self.hardware_threads
+        ));
+        out.push_str("  \"sizes\": [\n");
+        for (i, s) in self.sizes.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"rows\": {},\n", s.rows));
+            out.push_str(&format!("      \"cols\": {},\n", s.cols));
+            out.push_str(&format!("      \"nodes\": {},\n", s.nodes));
+            for (key, v) in [
+                ("graph_build_secs", s.graph_build_secs),
+                ("oracle_warmup_secs", s.oracle_warmup_secs),
+                ("hierarchy_secs", s.hierarchy_secs),
+                ("hierarchy_seq_secs", s.hierarchy_seq_secs),
+                ("hierarchy_speedup", s.hierarchy_speedup),
+                ("fig4_replay_secs", s.fig4_replay_secs),
+                ("fig4_mot_ratio", s.fig4_mot_ratio),
+            ] {
+                out.push_str(&format!("      \"{}\": {},\n", key, fmt_f64(v)));
+            }
+            // trailing comma removal: rewrite last ",\n" as "\n"
+            out.truncate(out.len() - 2);
+            out.push('\n');
+            out.push_str(if i + 1 == self.sizes.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl BaselineReport {
+    /// Human-readable summary table (same rendering pipeline as the
+    /// figure experiments; seconds, plus the speedup column).
+    pub fn to_table(&self) -> crate::report::FigureTable {
+        crate::report::FigureTable {
+            title: format!(
+                "bench-baseline phase timings, profile {}, oracle {}",
+                self.profile, self.oracle
+            ),
+            x_label: "nodes".into(),
+            columns: vec![
+                "graph_s".into(),
+                "oracle_s".into(),
+                "hier_s".into(),
+                "hier_seq_s".into(),
+                "speedup".into(),
+                "fig4_s".into(),
+                "fig4_ratio".into(),
+            ],
+            rows: self
+                .sizes
+                .iter()
+                .map(|s| {
+                    (
+                        s.nodes.to_string(),
+                        vec![
+                            s.graph_build_secs,
+                            s.oracle_warmup_secs,
+                            s.hierarchy_secs,
+                            s.hierarchy_seq_secs,
+                            s.hierarchy_speedup,
+                            s.fig4_replay_secs,
+                            s.fig4_mot_ratio,
+                        ],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Structural equality through the public overlay accessors: kinds,
+/// levels, and every per-node station must agree.
+fn overlays_identical(a: &Overlay, b: &Overlay) -> bool {
+    if a.kind() != b.kind()
+        || a.height() != b.height()
+        || a.node_count() != b.node_count()
+        || a.sp_gap() != b.sp_gap()
+    {
+        return false;
+    }
+    for l in 0..=a.height() {
+        if a.level_members(l) != b.level_members(l) {
+            return false;
+        }
+    }
+    for u in 0..a.node_count() {
+        let u = mot_net::NodeId::from_index(u);
+        for l in 0..=a.height() {
+            if a.station(u, l) != b.station(u, l) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Runs every phase of the baseline for every size in the profile.
+///
+/// Fails if any phase fails or if the optimized and reference overlays
+/// ever disagree — the speedup column is only meaningful while both
+/// builders produce the same structure.
+pub fn run_baseline(p: &BaselineProfile) -> Result<BaselineReport, BenchError> {
+    let cfg = OverlayConfig::practical();
+    let mut sizes = Vec::with_capacity(p.sizes.len());
+    for &(rows, cols) in &p.sizes {
+        let t = Instant::now();
+        let g = generators::grid(rows, cols)?;
+        let graph_build_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let oracle = p.oracle.build(&g)?;
+        let oracle_warmup_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let fast = build_doubling(&g, &*oracle, &cfg, p.seed);
+        let hierarchy_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let reference = reference_build_doubling(&g, &*oracle, &cfg, p.seed);
+        let hierarchy_seq_secs = t.elapsed().as_secs_f64();
+
+        if !overlays_identical(&fast, &reference) {
+            return Err(format!(
+                "optimized and reference overlays differ on {rows}x{cols} \
+                 (seed {}) — speedup numbers would be meaningless",
+                p.seed
+            )
+            .into());
+        }
+
+        let bed = TestBed::grid_with_oracle(rows, cols, p.seed, p.oracle)?;
+        let w =
+            WorkloadSpec::new(p.objects, p.moves_per_object, p.seed * 7 + 1).generate(&bed.graph);
+        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+        let mut tracker = bed.make_tracker(Algo::Mot, &rates)?;
+        let t = Instant::now();
+        run_publish(tracker.as_mut(), &w)?;
+        let stats = replay_moves(tracker.as_mut(), &w, &bed.oracle)?;
+        let fig4_replay_secs = t.elapsed().as_secs_f64();
+
+        sizes.push(SizeTiming {
+            rows,
+            cols,
+            nodes: rows * cols,
+            graph_build_secs,
+            oracle_warmup_secs,
+            hierarchy_secs,
+            hierarchy_seq_secs,
+            hierarchy_speedup: hierarchy_seq_secs / hierarchy_secs.max(1e-12),
+            fig4_replay_secs,
+            fig4_mot_ratio: stats.ratio(),
+        });
+    }
+    Ok(BaselineReport {
+        schema: BENCH_SCHEMA,
+        profile: p.name.clone(),
+        oracle: p.oracle.label().to_string(),
+        jobs: p.jobs,
+        hardware_threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BaselineProfile {
+        BaselineProfile {
+            name: "tiny".into(),
+            sizes: vec![(4, 4), (5, 5)],
+            objects: 3,
+            moves_per_object: 10,
+            oracle: OracleKind::Auto,
+            jobs: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_runs_and_serializes() {
+        let report = run_baseline(&tiny()).unwrap();
+        assert_eq!(report.schema, BENCH_SCHEMA);
+        assert_eq!(report.sizes.len(), 2);
+        for s in &report.sizes {
+            assert!(s.hierarchy_secs > 0.0);
+            assert!(s.hierarchy_seq_secs > 0.0);
+            assert!(s.hierarchy_speedup > 0.0);
+            assert!(s.fig4_mot_ratio >= 1.0 - 1e-9, "ratio {}", s.fig4_mot_ratio);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mot-bench-baseline/1\""));
+        assert!(json.contains("\"nodes\": 25"));
+        assert!(json.contains("\"hierarchy_speedup\""));
+        // No trailing commas before closers (the usual hand-rolled bug).
+        assert!(!json.contains(",\n    }"), "{json}");
+        assert!(!json.contains(",\n  ]"), "{json}");
+    }
+
+    #[test]
+    fn named_profiles_resolve() {
+        assert_eq!(BaselineProfile::for_name("smoke").unwrap().name, "smoke");
+        assert_eq!(BaselineProfile::for_name("full").unwrap().name, "full");
+        assert!(BaselineProfile::for_name("nope").is_none());
+    }
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--profile quick|standard|paper] [--jobs N]
 //!             [--oracle auto|dense|lazy|hybrid]
-//!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson] [IDS...]
+//!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson]
+//!             [--bench-out FILE.json] [IDS...]
 //! ```
 //!
 //! `--jobs N` sizes the fan-out worker pool (default 0 = one worker per
@@ -18,7 +19,14 @@
 //! cargo run --release -p mot-bench --bin experiments -- --oracle lazy scale
 //! cargo run --release -p mot-bench --bin experiments -- --profile quick faults-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --metrics out.json fig4 level-decomp
+//! cargo run --release -p mot-bench --bin experiments -- --profile smoke bench-baseline
 //! ```
+//!
+//! `bench-baseline` is the wall-clock harness (PERFORMANCE.md): it times
+//! graph build, oracle warm-up, optimized vs frozen-reference hierarchy
+//! construction, and a fig4 replay per grid size, then writes the
+//! schema'd JSON to `--bench-out` (default `BENCH_pr5.json`). Its
+//! profiles are `smoke`/`full`; the figure profile names map onto them.
 //!
 //! `--metrics` writes every produced table, per-experiment wall-clock,
 //! and the fixed-seed instrumented run's aggregates as one JSON report;
@@ -32,15 +40,16 @@
 use mot_bench::{
     ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
     load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,
-    query_figure, scale_table, state_size_table, trace_aggregates, trace_events, BenchError,
-    FigureTable, Profile, RunReport,
+    query_figure, run_baseline, scale_table, state_size_table, trace_aggregates, trace_events,
+    BaselineProfile, BenchError, FigureTable, Profile, RunReport,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
 use std::process::ExitCode;
 
-const ALL_IDS: [&str; 23] = [
+const ALL_IDS: [&str; 24] = [
+    "bench-baseline",
     "fig4",
     "fig5",
     "fig6",
@@ -101,6 +110,23 @@ fn smoke_profile(oracle: OracleKind, jobs: usize) -> Profile {
     p
 }
 
+/// `bench-baseline` measures wall-clock, not cost ratios, so it has its
+/// own scale names: `smoke` (CI seconds-scale) and `full` (the committed
+/// `BENCH_pr5.json` artifact, up to 4096 nodes). The figure profile
+/// names map onto them so `--profile quick all` keeps working.
+fn baseline_profile_for(
+    name: &str,
+    oracle: OracleKind,
+    jobs: usize,
+) -> Result<BaselineProfile, BenchError> {
+    let p = match name {
+        "smoke" | "quick" => BaselineProfile::smoke(),
+        "full" | "standard" | "paper" => BaselineProfile::full(),
+        other => return Err(format!("unknown bench profile '{other}' (smoke|full)").into()),
+    };
+    Ok(p.with_oracle(oracle).with_jobs(jobs))
+}
+
 fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile_name = "standard".to_string();
@@ -109,6 +135,7 @@ fn run() -> Result<(), BenchError> {
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut jobs: usize = 0;
+    let mut bench_out = "BENCH_pr5.json".to_string();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -130,13 +157,17 @@ fn run() -> Result<(), BenchError> {
                     .parse()
                     .map_err(|_| format!("--jobs needs a number, got '{v}'"))?;
             }
+            "--bench-out" => bench_out = it.next().ok_or("--bench-out needs a file path")?,
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--profile quick|standard|paper] [--jobs N]\n\
                      \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR]\n\
-                     \x20                  [--metrics FILE.json] [--trace FILE.ndjson] [IDS...]\n\
+                     \x20                  [--metrics FILE.json] [--trace FILE.ndjson]\n\
+                     \x20                  [--bench-out FILE.json] [IDS...]\n\
                      ids: {}\n\
-                     \x20    all",
+                     \x20    all\n\
+                     bench-baseline also accepts --profile smoke|full and writes\n\
+                     its phase timings to --bench-out (default BENCH_pr5.json)",
                     ALL_IDS.join(" ")
                 );
                 return Ok(());
@@ -172,6 +203,14 @@ fn run() -> Result<(), BenchError> {
         let started = std::time::Instant::now();
         let name = profile_name.as_str();
         let table = match id.as_str() {
+            "bench-baseline" => baseline_profile_for(name, oracle, jobs)
+                .and_then(|bp| run_baseline(&bp))
+                .and_then(|rep| {
+                    std::fs::write(&bench_out, rep.to_json())
+                        .map_err(|e| format!("cannot write '{bench_out}': {e}"))?;
+                    eprintln!("wrote {bench_out}");
+                    Ok(rep.to_table())
+                }),
             "fig4" => maintenance_figure(&profile_for(100, name, oracle, jobs)?, false),
             "fig5" => maintenance_figure(&profile_for(1000, name, oracle, jobs)?, false),
             "fig6" => query_figure(&profile_for(100, name, oracle, jobs)?, false),

@@ -32,7 +32,9 @@ pub type BenchResult = Result<FigureTable, BenchError>;
 /// Workload scale for a figure run.
 #[derive(Clone, Debug)]
 pub struct Profile {
+    /// Tracked objects per repetition.
     pub objects: usize,
+    /// Moves per object per repetition.
     pub moves_per_object: usize,
     /// Repetitions averaged (the paper averages 5).
     pub seeds: u64,

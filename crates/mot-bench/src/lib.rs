@@ -16,6 +16,7 @@
 //! | `faults` | — | fault sweep: drop rates × crashes, MOT vs STUN, 32×32 grid |
 //! | `faults-smoke` | — | fixed-seed 16×16 fault sweep (CI health check) |
 //! | `level-decomp` | — | per-level cost decomposition of an instrumented MOT run |
+//! | `bench-baseline` | — | wall-clock phase timings vs the frozen builder (`BENCH_*.json`) |
 //!
 //! `--metrics out.json` additionally writes a machine-readable
 //! [`RunReport`]; `--trace out.ndjson` dumps the fixed-seed instrumented
@@ -28,9 +29,13 @@
 //! experiment id to its paper figure. See DESIGN.md §4
 //! (per-experiment index) and §12 (the `--jobs` determinism contract).
 
+#![warn(missing_docs)]
+
+pub mod baseline;
 pub mod figures;
 pub mod report;
 
+pub use baseline::{run_baseline, BaselineProfile, BaselineReport, SizeTiming, BENCH_SCHEMA};
 pub use figures::{
     ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
     load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,

@@ -27,6 +27,7 @@ fn json_string(s: &str) -> String {
 /// (network size, usually).
 #[derive(Clone, Debug)]
 pub struct FigureTable {
+    /// Rendered table heading (figure name and workload summary).
     pub title: String,
     /// x-axis label (e.g. "nodes").
     pub x_label: String,
@@ -141,6 +142,8 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The whole report as one JSON object (tables keyed by experiment
+    /// id, timings, and the optional trace aggregates).
     pub fn to_json(&self) -> String {
         let tables: Vec<String> = self
             .tables

@@ -46,6 +46,8 @@
 //! tracker. Implements §5 (load balancing) and §7 (dynamics); serves
 //! Figs. 8–11 and the `state-size` table. See DESIGN.md §3 and §5.
 
+#![warn(missing_docs)]
+
 pub mod dynamic;
 pub mod embedding;
 pub mod graph;

@@ -6,15 +6,46 @@
 //! pairwise `≥ 2^{ℓ+1}` apart and every level-ℓ member lies within
 //! `2^{ℓ+1}` of one (its *default parent*). Construction ends when a level
 //! holds a single member — the root. `h ≤ ⌈log D⌉ + 1` levels.
+//!
+//! # Hot path
+//!
+//! Construction used to scan all-pairs oracle distances: `O(k²)` virtual
+//! `dist` calls per level for the connectivity graph and `O(n · k_ℓ)`
+//! more for the detection-path stations. It now runs radius-bounded
+//! Dijkstra (`bounded_ball` on a reusable
+//! [`mot_net::DijkstraWorkspace`]) straight over the
+//! CSR graph, touching only the `O(2^{dim·ℓ})`-sized neighborhoods the
+//! doubling predicate actually inspects, and caches stations per
+//! `(level, home)` pair — every node whose detection path passes through
+//! the same home shares the same station set by definition. All
+//! predicates quantize the exact f64 Dijkstra distances through `f32`
+//! before comparing, exactly like every oracle backend does, so the
+//! overlay is bit-identical to the oracle-scan construction (enforced by
+//! the `hierarchy_parity` tests and the frozen reference builder in
+//! `mot-bench`). See DESIGN.md §13.
 
 use crate::config::OverlayConfig;
 use crate::mis::luby_mis;
 use crate::overlay::{Overlay, OverlayKind};
 use crate::path::DetectionPath;
-use mot_net::{DistanceOracle, Graph, NodeId};
+use mot_net::{DijkstraWorkspace, DistanceOracle, Graph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+
+/// Relative padding applied to bounded-ball radii when the selection
+/// predicate compares f32-quantized distances with `<=`: quantization
+/// can round a distance just above the radius down onto it, so the ball
+/// must over-collect by at least half an f32 ulp (2⁻²⁵ relative). The
+/// exact quantized predicate then filters the candidates, so padding
+/// only costs a few extra settles, never changes the result.
+const BALL_PAD: f64 = 1.0 + 1e-6;
+
+/// Quantizes a distance through `f32` exactly like the oracle backends
+/// store it, so graph-side Dijkstra and oracle reads agree bit-for-bit.
+#[inline]
+fn q32(d: f64) -> f64 {
+    d as f32 as f64
+}
 
 /// Builds the MIS-coarsened overlay for a (constant-doubling) network.
 ///
@@ -33,6 +64,21 @@ pub fn build_doubling(
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = g.node_count();
+    let mut ws = DijkstraWorkspace::with_capacity(n);
+    // Reused scratch: bounded_ball's result borrows the workspace, so
+    // copy it out before querying distances from the same workspace.
+    let mut ball: Vec<NodeId> = Vec::new();
+    // Position of each node in the level currently marked (stamped so a
+    // new level needs no O(n) clear).
+    let mut mark: Vec<(u32, u32)> = vec![(0, u32::MAX); n];
+    let mut mark_gen: u32 = 0;
+    let mut mark_level = |mark: &mut Vec<(u32, u32)>, members: &[NodeId]| -> u32 {
+        mark_gen += 1;
+        for (i, &u) in members.iter().enumerate() {
+            mark[u.index()] = (mark_gen, i as u32);
+        }
+        mark_gen
+    };
 
     // --- level sets -----------------------------------------------------
     let mut levels: Vec<Vec<NodeId>> = vec![g.nodes().collect()];
@@ -44,14 +90,23 @@ pub fn build_doubling(
             break;
         }
         let radius = (1u64 << level) as f64; // edges join nodes with dist < 2^ℓ at stage ℓ-1→ℓ
+        let stamp = mark_level(&mut mark, prev);
+        // Connectivity rows via bounded Dijkstra: `q32(d) < radius`
+        // implies `d < radius`, so the unpadded inclusive ball is a
+        // superset of every strict-predicate edge.
         let adjacency: Vec<Vec<usize>> = prev
             .iter()
             .map(|&u| {
-                prev.iter()
-                    .enumerate()
-                    .filter(|&(_, &v)| v != u && m.dist(u, v) < radius)
-                    .map(|(j, _)| j)
-                    .collect()
+                ball.clear();
+                ball.extend_from_slice(ws.bounded_ball(g, u, radius));
+                let mut row: Vec<usize> = ball
+                    .iter()
+                    .filter(|&&v| v != u)
+                    .filter(|&&v| mark[v.index()].0 == stamp && q32(ws.dist(v)) < radius)
+                    .map(|&v| mark[v.index()].1 as usize)
+                    .collect();
+                row.sort_unstable();
+                row
             })
             .collect();
         let mis = luby_mis(prev, &adjacency, &mut rng);
@@ -68,26 +123,74 @@ pub fn build_doubling(
     let height = levels.len() - 1;
 
     // --- default parents (per level: member -> nearest next-level node) --
-    let default_parent: Vec<HashMap<NodeId, NodeId>> = (0..height)
-        .map(|l| {
-            levels[l]
+    // parent_of[l][u] = the level-(l+1) member nearest to the level-l
+    // member u (ties by id), indexed by global node id.
+    let mut parent_of: Vec<Vec<u32>> = Vec::with_capacity(height);
+    for l in 0..height {
+        let stamp = mark_level(&mut mark, &levels[l + 1]);
+        let cover = (1u64 << (l + 1)) as f64;
+        let mut parents = vec![u32::MAX; n];
+        for &w in &levels[l] {
+            // MIS maximality guarantees a next-level member with
+            // quantized distance < 2^{l+1}; the padded ball therefore
+            // contains the global (dist, id) minimum over the level.
+            ball.clear();
+            ball.extend_from_slice(ws.bounded_ball(g, w, cover * BALL_PAD));
+            let p = ball
                 .iter()
-                .map(|&w| {
-                    let p = m
-                        .nearest_in(w, &levels[l + 1])
-                        .expect("non-empty upper level");
-                    debug_assert!(
-                        m.dist(w, p) < (1u64 << (l + 1)) as f64 + 1e-6,
-                        "default parent must lie within 2^(l+1): dist({w},{p}) = {}",
-                        m.dist(w, p)
-                    );
-                    (w, p)
-                })
+                .filter(|&&v| mark[v.index()].0 == stamp)
+                .map(|&v| (q32(ws.dist(v)), v))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+                .map(|(_, v)| v)
+                .expect("non-empty upper level");
+            debug_assert!(
+                m.dist(w, p) < cover + 1e-6,
+                "default parent must lie within 2^(l+1): dist({w},{p}) = {}",
+                m.dist(w, p)
+            );
+            parents[w.index()] = p.0;
+        }
+        parent_of.push(parents);
+    }
+
+    // --- detection paths -------------------------------------------------
+    // The level-l station of a node depends only on its level-(l-1) home,
+    // so build each distinct (level, home) station once and share it down
+    // every path that passes through that home.
+    let mut station_of: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(height + 1);
+    station_of.push(Vec::new()); // level 0 stations are the nodes themselves
+    for l in 1..=height {
+        let stamp = mark_level(&mut mark, &levels[l]);
+        let radius = cfg.parent_set_radius_mult * (1u64 << l) as f64;
+        let homes = &levels[l - 1];
+        let mut per_home: Vec<Vec<NodeId>> = Vec::with_capacity(homes.len());
+        for &home in homes {
+            let dp = NodeId(parent_of[l - 1][home.index()]);
+            ball.clear();
+            ball.extend_from_slice(ws.bounded_ball(g, home, radius * BALL_PAD));
+            let mut station: Vec<NodeId> = ball
+                .iter()
+                .copied()
+                .filter(|&v| mark[v.index()].0 == stamp && q32(ws.dist(v)) <= radius)
+                .collect();
+            if !station.contains(&dp) {
+                station.push(dp);
+            }
+            station.sort();
+            per_home.push(station);
+        }
+        station_of.push(per_home);
+    }
+    let pos_in_level: Vec<std::collections::HashMap<u32, u32>> = levels
+        .iter()
+        .map(|members| {
+            members
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| (u.0, i as u32))
                 .collect()
         })
         .collect();
-
-    // --- detection paths -------------------------------------------------
     let paths: Vec<DetectionPath> = g
         .nodes()
         .map(|u| {
@@ -95,19 +198,9 @@ pub fn build_doubling(
             stations.push(vec![u]);
             let mut home = u;
             for l in 1..=height {
-                let dp = default_parent[l - 1][&home];
-                let radius = cfg.parent_set_radius_mult * (1u64 << l) as f64;
-                let mut station: Vec<NodeId> = levels[l]
-                    .iter()
-                    .copied()
-                    .filter(|&v| m.dist(home, v) <= radius)
-                    .collect();
-                if !station.contains(&dp) {
-                    station.push(dp);
-                }
-                station.sort();
-                stations.push(station);
-                home = dp;
+                let hp = pos_in_level[l - 1][&home.0] as usize;
+                stations.push(station_of[l][hp].clone());
+                home = NodeId(parent_of[l - 1][home.index()]);
             }
             DetectionPath { stations }
         })

@@ -77,16 +77,23 @@ pub fn build_general(g: &Graph, m: &dyn DistanceOracle, cfg: &OverlayConfig, see
 
     // Root: a graph center (min eccentricity) — "the sink node is often
     // the root of HS" and a center minimizes worst-case publish cost.
+    // Eccentricities are computed once per node up front; the previous
+    // min_by recomputed both rows inside every comparison.
+    let ecc: Vec<f64> = (0..n)
+        .map(|u| {
+            let u = NodeId::from_index(u);
+            (0..n)
+                .map(|v| m.dist(u, NodeId::from_index(v)))
+                .fold(0.0, f64::max)
+        })
+        .collect();
     let root = (0..n)
         .map(NodeId::from_index)
         .min_by(|&a, &b| {
-            let ea = (0..n)
-                .map(|v| m.dist(a, NodeId::from_index(v)))
-                .fold(0.0, f64::max);
-            let eb = (0..n)
-                .map(|v| m.dist(b, NodeId::from_index(v)))
-                .fold(0.0, f64::max);
-            ea.partial_cmp(&eb).unwrap().then(a.cmp(&b))
+            ecc[a.index()]
+                .partial_cmp(&ecc[b.index()])
+                .unwrap()
+                .then(a.cmp(&b))
         })
         .expect("non-empty graph");
 

@@ -47,12 +47,15 @@
 //! overlays) and §6 (general overlays); the overlay choice drives the
 //! `general` experiment table. See DESIGN.md §3 and §5.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod doubling;
 pub mod general;
 pub mod mis;
 pub mod overlay;
 pub mod path;
+pub mod reference;
 pub mod validate;
 
 pub use config::OverlayConfig;
@@ -61,3 +64,4 @@ pub use general::build_general;
 pub use mis::luby_mis;
 pub use overlay::{Overlay, OverlayKind};
 pub use path::DetectionPath;
+pub use reference::reference_build_doubling;

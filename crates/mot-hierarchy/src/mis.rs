@@ -32,6 +32,8 @@ pub fn luby_mis<R: Rng>(nodes: &[NodeId], neighbors: &[Vec<usize>], rng: &mut R)
     let mut state = vec![State::Undecided; n];
     let mut undecided = n;
     let mut priority = vec![0u64; n];
+    // Hoisted across rounds so the round loop stays allocation-free.
+    let mut winners: Vec<usize> = Vec::new();
     while undecided > 0 {
         for i in 0..n {
             if state[i] == State::Undecided {
@@ -40,7 +42,7 @@ pub fn luby_mis<R: Rng>(nodes: &[NodeId], neighbors: &[Vec<usize>], rng: &mut R)
         }
         // A node wins its round when (priority, id) is the local maximum
         // among undecided neighbors.
-        let mut winners = Vec::new();
+        winners.clear();
         for i in 0..n {
             if state[i] != State::Undecided {
                 continue;

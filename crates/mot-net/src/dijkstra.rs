@@ -1,106 +1,33 @@
 //! Single-source shortest paths and shortest-path trees.
+//!
+//! These are the classic one-shot entry points; each call runs a fresh
+//! [`DijkstraWorkspace`]. Hot callers that run
+//! Dijkstra many times over the same graph (the oracle backends, the
+//! hierarchy builders) hold a workspace and reuse it — see
+//! [`crate::workspace`] for the zero-allocation variant. Both paths
+//! produce bit-identical distances, parents, and settle orders.
 
 use crate::graph::Graph;
 use crate::node::NodeId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Max-heap entry flipped into a min-heap on distance.
-#[derive(PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap pops the smallest distance first.
-        // Distances are finite and non-NaN by graph construction.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+use crate::workspace::DijkstraWorkspace;
 
 /// Shortest-path distances from `source` to every node.
 ///
 /// Unreachable nodes get `f64::INFINITY` (cannot happen for the connected
 /// graphs the suite uses, but kept well-defined for robustness).
 pub fn dijkstra(g: &Graph, source: NodeId) -> Vec<f64> {
-    let (dist, _) = dijkstra_with_parents(g, source);
+    let mut ws = DijkstraWorkspace::with_capacity(g.node_count());
+    ws.sssp(g, source);
+    let mut dist = Vec::new();
+    ws.fill_dist(&mut dist);
     dist
 }
 
 /// Shortest-path distance from `source` to a single `target`, stopping
 /// early once the target is settled.
 pub fn dijkstra_targeted(g: &Graph, source: NodeId, target: NodeId) -> f64 {
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: source,
-    });
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
-        }
-        if u == target {
-            return d;
-        }
-        for e in g.neighbors(u) {
-            let nd = d + e.weight;
-            if nd < dist[e.to.index()] {
-                dist[e.to.index()] = nd;
-                heap.push(HeapEntry {
-                    dist: nd,
-                    node: e.to,
-                });
-            }
-        }
-    }
-    dist[target.index()]
-}
-
-fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>) {
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: source,
-    });
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
-        }
-        for e in g.neighbors(u) {
-            let nd = d + e.weight;
-            let vi = e.to.index();
-            if nd < dist[vi] {
-                dist[vi] = nd;
-                parent[vi] = Some(u);
-                heap.push(HeapEntry {
-                    dist: nd,
-                    node: e.to,
-                });
-            }
-        }
-    }
-    (dist, parent)
+    let mut ws = DijkstraWorkspace::with_capacity(g.node_count());
+    ws.sssp_targeted(g, source, target)
 }
 
 /// A shortest-path tree rooted at `root`.
@@ -140,7 +67,11 @@ impl PathTree {
 
 /// Builds a shortest-path tree from `root`.
 pub fn shortest_path_tree(g: &Graph, root: NodeId) -> PathTree {
-    let (dist, parent) = dijkstra_with_parents(g, root);
+    let mut ws = DijkstraWorkspace::with_capacity(g.node_count());
+    ws.sssp(g, root);
+    let mut dist = Vec::new();
+    ws.fill_dist(&mut dist);
+    let parent = g.nodes().map(|u| ws.parent(u)).collect();
     PathTree { root, dist, parent }
 }
 

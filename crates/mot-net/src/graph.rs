@@ -1,10 +1,20 @@
 //! The weighted sensor-network graph `G = (V, E, w)`.
+//!
+//! # Memory layout
+//!
+//! The graph is stored in compressed-sparse-row (CSR) form: one flat
+//! array of packed half-[`Edge`]s plus a `u32` offset per node
+//! (`neighbors(u)` is the slice `edges[offsets[u]..offsets[u+1]]`).
+//! Every Dijkstra run — and therefore every oracle row, hierarchy
+//! radius query, and cost account in the suite — iterates neighbor
+//! lists, so they are contiguous in memory instead of one heap
+//! allocation per node. See DESIGN.md §13.
 
 use crate::error::NetError;
 use crate::node::{NodeId, Point};
 use crate::Result;
 
-/// A weighted half-edge stored in a node's adjacency list.
+/// A weighted half-edge stored in a node's adjacency row.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Edge {
     /// The neighbor this half-edge points to.
@@ -21,9 +31,40 @@ pub struct Edge {
 /// edges; once built the graph is immutable, matching the paper's static
 /// network model (dynamism is layered on top in `mot-core::dynamics` by
 /// masking nodes, not by mutating `G`).
+///
+/// Internally the adjacency structure is a flat CSR array (see the
+/// module docs), but the API is unchanged from the per-node
+/// representation: [`Graph::neighbors`] still hands out a `&[Edge]`
+/// slice per node.
+///
+/// # Example
+///
+/// Neighbor iteration is a contiguous-slice walk — the hot loop of
+/// every shortest-path computation in the suite:
+///
+/// ```
+/// use mot_net::{generators, NodeId};
+///
+/// let g = generators::grid(3, 3)?; // unit 3×3 grid
+/// let center = NodeId(4);
+/// // The adjacency row is a plain slice, sorted by neighbor id.
+/// let row = g.neighbors(center);
+/// assert_eq!(row.len(), 4);
+/// assert!(row.windows(2).all(|w| w[0].to < w[1].to));
+/// // Summing weights over a row touches one contiguous cache run.
+/// let total: f64 = row.iter().map(|e| e.weight).sum();
+/// assert_eq!(total, 4.0);
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct Graph {
-    adjacency: Vec<Vec<Edge>>,
+    /// CSR row offsets: node `u`'s half-edges live at
+    /// `edges[offsets[u] as usize..offsets[u + 1] as usize]`.
+    /// `offsets.len() == node_count() + 1`.
+    offsets: Vec<u32>,
+    /// All half-edges, packed row by row (each undirected edge appears
+    /// twice, once per endpoint).
+    edges: Vec<Edge>,
     positions: Option<Vec<Point>>,
     edge_count: usize,
 }
@@ -34,8 +75,22 @@ impl Graph {
         positions: Option<Vec<Point>>,
         edge_count: usize,
     ) -> Self {
+        let n = adjacency.len();
+        let half_edges: usize = adjacency.iter().map(Vec::len).sum();
+        debug_assert!(
+            half_edges <= u32::MAX as usize,
+            "half-edge count overflows the CSR u32 offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(half_edges);
+        offsets.push(0u32);
+        for row in &adjacency {
+            edges.extend_from_slice(row);
+            offsets.push(edges.len() as u32);
+        }
         Graph {
-            adjacency,
+            offsets,
+            edges,
             positions,
             edge_count,
         }
@@ -44,7 +99,7 @@ impl Graph {
     /// Number of sensor nodes `n = |V|`.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `|E|`.
@@ -53,21 +108,31 @@ impl Graph {
         self.edge_count
     }
 
-    /// Iterator over all node ids `0..n`.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adjacency.len()).map(NodeId::from_index)
+    /// Number of stored half-edges (`2 |E|`) — the length of the packed
+    /// CSR edge array.
+    #[inline]
+    pub fn half_edge_count(&self) -> usize {
+        self.edges.len()
     }
 
-    /// The adjacency list of `u`.
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// The adjacency row of `u`: a contiguous slice of half-edges,
+    /// sorted ascending by neighbor id.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[Edge] {
-        &self.adjacency[u.index()]
+        let i = u.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adjacency[u.index()].len()
+        let i = u.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Returns the weight of the undirected edge `(u, v)` if present.
@@ -76,22 +141,23 @@ impl Graph {
         if u == v {
             return Some(0.0);
         }
-        self.adjacency[u.index()]
-            .iter()
-            .find(|e| e.to == v)
-            .map(|e| e.weight)
+        // Rows are sorted by neighbor id, so this is a binary search.
+        let row = self.neighbors(u);
+        row.binary_search_by(|e| e.to.cmp(&v))
+            .ok()
+            .map(|i| row[i].weight)
     }
 
     /// True when `(u, v)` is an edge of `G`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v && self.adjacency[u.index()].iter().any(|e| e.to == v)
+        u != v && self.neighbors(u).binary_search_by(|e| e.to.cmp(&v)).is_ok()
     }
 
     /// Iterator over undirected edges, each reported once with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(i, adj)| {
-            let a = NodeId::from_index(i);
-            adj.iter()
+        self.nodes().flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
                 .filter(move |e| a < e.to)
                 .map(move |e| (a, e.to, e.weight))
         })
@@ -131,10 +197,8 @@ impl Graph {
             return self.clone();
         }
         let mut g = self.clone();
-        for adj in &mut g.adjacency {
-            for e in adj {
-                e.weight /= min_w;
-            }
+        for e in &mut g.edges {
+            e.weight /= min_w;
         }
         g
     }
@@ -153,7 +217,7 @@ impl Graph {
         seen[0] = true;
         let mut visited = 1usize;
         while let Some(u) = stack.pop() {
-            for e in &self.adjacency[u] {
+            for e in self.neighbors(NodeId::from_index(u)) {
                 let v = e.to.index();
                 if !seen[v] {
                     seen[v] = true;
@@ -189,6 +253,7 @@ mod tests {
         let g = triangle();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.half_edge_count(), 6);
         for u in g.nodes() {
             assert_eq!(g.degree(u), 2);
         }
@@ -212,6 +277,20 @@ mod tests {
         for (a, b, _) in edges {
             assert!(a < b);
         }
+    }
+
+    #[test]
+    fn csr_rows_are_contiguous_and_sorted() {
+        let g = crate::generators::grid(4, 5).unwrap();
+        let mut total = 0usize;
+        for u in g.nodes() {
+            let row = g.neighbors(u);
+            assert_eq!(row.len(), g.degree(u));
+            assert!(row.windows(2).all(|w| w[0].to < w[1].to));
+            total += row.len();
+        }
+        assert_eq!(total, g.half_edge_count());
+        assert_eq!(total, 2 * g.edge_count());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   ([`generators::grid`], [`generators::ring`], [`generators::torus`],
 //!   [`generators::line`], [`generators::random_geometric`],
 //!   [`generators::random_tree`]),
-//! * single-source shortest paths ([`dijkstra()`]) and shortest-path trees,
+//! * single-source shortest paths ([`dijkstra()`]) and shortest-path
+//!   trees, plus the reusable zero-allocation [`DijkstraWorkspace`]
+//!   (`sssp` / `bounded_ball`) that hot callers thread through,
 //! * the [`DistanceOracle`] trait with three backends — the dense
 //!   all-pairs [`DenseOracle`] (built in parallel), the on-demand
 //!   [`LazyOracle`], and the pinned-hot-set [`HybridOracle`] — selected
@@ -64,6 +66,7 @@ pub mod metrics;
 pub mod node;
 pub mod ops;
 pub mod oracle;
+pub mod workspace;
 
 pub use builder::GraphBuilder;
 pub use dijkstra::{dijkstra, dijkstra_targeted, shortest_path_tree, PathTree};
@@ -73,6 +76,7 @@ pub use metrics::{estimate_doubling_dimension, growth_ratio, GraphStats};
 pub use node::{NodeId, Point};
 pub use ops::{k_nearest, path_between, subgraph};
 pub use oracle::{DenseOracle, DistanceOracle, HybridOracle, LazyOracle, OracleKind};
+pub use workspace::DijkstraWorkspace;
 
 /// Convenient result alias for this crate.
 pub type Result<T> = std::result::Result<T, NetError>;

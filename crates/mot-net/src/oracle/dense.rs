@@ -18,10 +18,10 @@
 use std::sync::OnceLock;
 
 use super::DistanceOracle;
-use crate::dijkstra::dijkstra;
 use crate::error::NetError;
 use crate::graph::Graph;
 use crate::node::NodeId;
+use crate::workspace::DijkstraWorkspace;
 use crate::Result;
 
 /// Symmetric all-pairs shortest-path distance matrix.
@@ -82,11 +82,14 @@ impl DenseOracle {
             for (chunk_idx, chunk) in data.chunks_mut(rows_per * n).enumerate() {
                 let start = chunk_idx * rows_per;
                 s.spawn(move || {
+                    // One workspace per worker: after the first row, each
+                    // source solve reuses the same dist/heap buffers.
+                    let mut ws = DijkstraWorkspace::with_capacity(n);
                     for (row_off, row) in chunk.chunks_mut(n).enumerate() {
                         let src = NodeId::from_index(start + row_off);
-                        let d = dijkstra(g, src);
-                        for (cell, dv) in row.iter_mut().zip(d) {
-                            *cell = dv as f32;
+                        ws.sssp(g, src);
+                        for (v, cell) in row.iter_mut().enumerate() {
+                            *cell = ws.dist(NodeId::from_index(v)) as f32;
                         }
                     }
                 });
@@ -208,6 +211,7 @@ impl DistanceOracle for DenseOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra::dijkstra;
     use crate::generators;
 
     #[test]

@@ -7,7 +7,10 @@
 //! for the long tail but lets the overlay [`pin`](HybridOracle::pin)
 //! its internal nodes after construction, so the hot rows are computed
 //! once and never churn out of the LRU cache regardless of query
-//! pattern.
+//! pattern. Row solves (both pinned and on-demand) go through the
+//! inner lazy backend's pooled
+//! [`DijkstraWorkspace`](crate::DijkstraWorkspace)s, so warming the pin
+//! set allocates nothing beyond the rows themselves.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};

@@ -19,10 +19,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use super::{DistRow, DistanceOracle};
-use crate::dijkstra::dijkstra;
 use crate::error::NetError;
 use crate::graph::Graph;
 use crate::node::NodeId;
+use crate::workspace::DijkstraWorkspace;
 use crate::Result;
 
 const SHARDS: usize = 16;
@@ -55,6 +55,11 @@ pub struct LazyOracle {
     /// Monotonic LRU clock; advanced on every row touch.
     clock: AtomicU64,
     diameter: OnceLock<f64>,
+    /// Pool of Dijkstra workspaces reused across cache misses, so a
+    /// miss allocates only the cached [`DistRow`] product, never the
+    /// solver scratch. Bounded at [`SHARDS`] workspaces (one per
+    /// plausibly concurrent miss).
+    workspaces: Mutex<Vec<DijkstraWorkspace>>,
 }
 
 impl std::fmt::Debug for LazyOracle {
@@ -95,6 +100,7 @@ impl LazyOracle {
             per_shard: rows.div_ceil(SHARDS).max(1),
             clock: AtomicU64::new(0),
             diameter: OnceLock::new(),
+            workspaces: Mutex::new(Vec::new()),
         })
     }
 
@@ -110,7 +116,18 @@ impl LazyOracle {
                 return Arc::clone(row);
             }
         }
-        let row = Arc::new(DistRow::from_dijkstra(&dijkstra(&self.g, u)));
+        let mut ws = {
+            let mut pool = self.workspaces.lock().expect("workspace pool poisoned");
+            pool.pop().unwrap_or_default()
+        };
+        ws.sssp(&self.g, u);
+        let row = Arc::new(DistRow::from_workspace(&ws, self.g.node_count()));
+        {
+            let mut pool = self.workspaces.lock().expect("workspace pool poisoned");
+            if pool.len() < SHARDS {
+                pool.push(ws);
+            }
+        }
         let mut s = shard.lock().expect("oracle shard poisoned");
         // Another thread may have raced us here; keep whichever row is
         // already in (they're identical — Dijkstra is deterministic).

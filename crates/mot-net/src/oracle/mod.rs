@@ -160,10 +160,12 @@ pub(crate) struct DistRow {
 }
 
 impl DistRow {
-    /// Builds a row from f64 Dijkstra output, quantizing through f32
-    /// exactly like the dense matrix does.
-    pub(crate) fn from_dijkstra(dists: &[f64]) -> Self {
-        let by_node: Vec<f32> = dists.iter().map(|&d| d as f32).collect();
+    /// Builds a row straight from a just-run [`DijkstraWorkspace`]
+    /// (same f32 quantization, no intermediate f64 vector).
+    pub(crate) fn from_workspace(ws: &crate::workspace::DijkstraWorkspace, n: usize) -> Self {
+        let by_node: Vec<f32> = (0..n)
+            .map(|v| ws.dist(NodeId::from_index(v)) as f32)
+            .collect();
         Self::from_f32(by_node)
     }
 
@@ -298,7 +300,7 @@ mod tests {
 
     #[test]
     fn dist_row_ball_is_binary_search_prefix() {
-        let row = DistRow::from_dijkstra(&[0.0, 1.0, 1.0, 2.0, 5.0]);
+        let row = DistRow::from_f32(vec![0.0, 1.0, 1.0, 2.0, 5.0]);
         assert_eq!(row.dist(NodeId(3)), 2.0);
         assert_eq!(row.ball(1.0), vec![NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(row.ball_size(1.0), 3);

@@ -1,0 +1,419 @@
+//! Reusable Dijkstra scratch space: zero allocation per shortest-path run.
+//!
+//! Every substrate in the suite (oracle rows, hierarchy radii, cost
+//! accounting, baselines) bottoms out in repeated Dijkstra runs over the
+//! same graph. A [`DijkstraWorkspace`] owns the dist/parent/visited
+//! buffers and the priority queue, so a run touches no allocator at all
+//! once the workspace has grown to the graph's size:
+//!
+//! * **Generation-stamped clearing** — instead of re-filling the `dist`
+//!   array with `INFINITY` (an O(n) write per call), every slot carries a
+//!   generation stamp; a slot is live only if its stamp matches the
+//!   current run's generation, so "clearing" is a single counter bump.
+//! * **4-ary heap** — a flat implicit d-ary heap with branching factor 4.
+//!   Shallower than a binary heap (fewer cache-missing levels on
+//!   `sift_down`) and, crucially, keyed on the pair `(dist, node)` with
+//!   ties broken by ascending node id — the exact total order the
+//!   previous `BinaryHeap` implementation used, which makes settle order,
+//!   relaxation order, parents, and distances bit-identical to the seed
+//!   implementation (DESIGN.md §12/§13 determinism contract).
+//!
+//! The classic entry points [`crate::dijkstra()`],
+//! [`crate::dijkstra_targeted()`] and [`crate::shortest_path_tree()`]
+//! are now thin wrappers that run a fresh workspace once; hot callers
+//! (the oracle backends, the hierarchy builders) hold a workspace and
+//! reuse it across thousands of runs.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Sentinel in the packed parent array: "no parent recorded".
+const NO_PARENT: u32 = u32::MAX;
+
+/// A flat 4-ary min-heap over `(dist, node)` pairs.
+///
+/// Pops strictly in ascending `(dist, node)` lexicographic order; since
+/// that is a total order over the pushed entries (distances are finite
+/// and non-NaN by graph construction), the sequence of popped values is
+/// independent of heap arity — the property the parity suite relies on.
+#[derive(Clone, Debug, Default)]
+struct QuadHeap {
+    slots: Vec<(f64, u32)>,
+}
+
+impl QuadHeap {
+    #[inline]
+    fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+        // Finite, non-NaN distances: `<` and `==` implement a total order.
+        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Hole insertion: walk the hole up moving losing parents down, then
+    /// write the element once (the same trick std's BinaryHeap uses —
+    /// one move per level instead of a three-move swap).
+    #[inline]
+    fn push(&mut self, dist: f64, node: u32) {
+        let elem = (dist, node);
+        let mut hole = self.slots.len();
+        self.slots.push(elem);
+        while hole > 0 {
+            let p = (hole - 1) / 4;
+            if Self::less(elem, self.slots[p]) {
+                self.slots[hole] = self.slots[p];
+                hole = p;
+            } else {
+                break;
+            }
+        }
+        self.slots[hole] = elem;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        let top = *self.slots.first()?;
+        let elem = self.slots.pop().expect("non-empty");
+        let len = self.slots.len();
+        if len == 0 {
+            return Some(top);
+        }
+        // Sift the former last element down from the root with a hole.
+        let mut hole = 0usize;
+        loop {
+            let first = 4 * hole + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            let last = (first + 4).min(len);
+            for c in (first + 1)..last {
+                if Self::less(self.slots[c], self.slots[best]) {
+                    best = c;
+                }
+            }
+            if Self::less(self.slots[best], elem) {
+                self.slots[hole] = self.slots[best];
+                hole = best;
+            } else {
+                break;
+            }
+        }
+        self.slots[hole] = elem;
+        Some(top)
+    }
+}
+
+/// Reusable scratch buffers for Dijkstra runs on one or more graphs.
+///
+/// A workspace grows to the largest graph it has seen and never shrinks;
+/// after the first run on a given size, [`DijkstraWorkspace::sssp`] and
+/// [`DijkstraWorkspace::bounded_ball`] perform **zero heap allocations**.
+/// Results are read back through [`DijkstraWorkspace::dist`] /
+/// [`DijkstraWorkspace::parent`] / [`DijkstraWorkspace::settled`] and
+/// stay valid until the next run on the same workspace.
+///
+/// Workspaces are plain owned values: keep one per thread (they are
+/// `Send`), or a small pool behind a mutex as [`crate::LazyOracle`]
+/// does. Reuse is purely a performance optimization — a reused
+/// workspace returns bit-identical results to a fresh one, in any
+/// interleaving (covered by the `csr_parity` test suite).
+///
+/// # Example
+///
+/// ```
+/// use mot_net::{generators, DijkstraWorkspace, NodeId};
+///
+/// let g = generators::grid(4, 4)?; // unit 4×4 grid
+/// let mut ws = DijkstraWorkspace::new();
+///
+/// // Full single-source shortest paths; dist = Manhattan distance here.
+/// ws.sssp(&g, NodeId(0));
+/// assert_eq!(ws.dist(NodeId(15)), 6.0);
+/// assert_eq!(ws.parent(NodeId(0)), None); // the source has no parent
+///
+/// // The same workspace, reused: a radius-2 ball around the far corner.
+/// // `bounded_ball` settles exactly the nodes within the radius and
+/// // returns them sorted by (distance, node id). Copy the slice out if
+/// // you need to query distances afterwards (it borrows the workspace).
+/// let ball = ws.bounded_ball(&g, NodeId(15), 2.0).to_vec();
+/// assert_eq!(ball.len(), 6); // self + 2 at distance 1 + 3 at distance 2
+/// assert_eq!(ball[0], NodeId(15));
+/// assert!(ball.iter().all(|&v| ws.dist(v) <= 2.0));
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraWorkspace {
+    /// Tentative distances; live only where `stamp[v] == generation`.
+    dist: Vec<f64>,
+    /// Packed parent pointers (`NO_PARENT` = none); same liveness rule.
+    parent: Vec<u32>,
+    /// Generation stamp per node — the "visited" bitmap without clears.
+    stamp: Vec<u32>,
+    /// Current run's generation; bumped (not cleared) at every start.
+    generation: u32,
+    heap: QuadHeap,
+    /// Nodes settled by the last run, in settle order = ascending
+    /// `(dist, node id)`.
+    settled: Vec<NodeId>,
+}
+
+impl DijkstraWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for graphs of up to `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut ws = Self::default();
+        ws.reserve(n);
+        ws
+    }
+
+    /// Grows the buffers to hold `n` nodes without running anything.
+    pub fn reserve(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, NO_PARENT);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Number of nodes the buffers currently hold.
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Starts a new run: bumps the generation (lazily invalidating every
+    /// slot) and clears the heap and settled list.
+    fn begin(&mut self, n: usize) {
+        self.reserve(n);
+        if self.generation == u32::MAX {
+            // Stamp wrap-around: do the one real clear per 2^32 runs.
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+        self.settled.clear();
+    }
+
+    #[inline]
+    fn live_dist(&self, v: usize) -> f64 {
+        if self.stamp[v] == self.generation {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The core loop shared by all run flavors.
+    ///
+    /// Settles nodes in ascending `(dist, node)` order; stops early when
+    /// `target` settles or the next settle distance exceeds `radius`.
+    fn run(&mut self, g: &Graph, source: NodeId, radius: f64, target: Option<NodeId>) {
+        self.begin(g.node_count());
+        let s = source.index();
+        self.dist[s] = 0.0;
+        self.parent[s] = NO_PARENT;
+        self.stamp[s] = self.generation;
+        self.heap.push(0.0, source.0);
+        while let Some((d, u)) = self.heap.pop() {
+            let ui = u as usize;
+            if d > self.dist[ui] {
+                continue; // stale entry superseded by a later relaxation
+            }
+            if d > radius {
+                break; // every remaining node lies outside the ball
+            }
+            self.settled.push(NodeId(u));
+            if target == Some(NodeId(u)) {
+                return;
+            }
+            for e in g.neighbors(NodeId(u)) {
+                let nd = d + e.weight;
+                let vi = e.to.index();
+                if nd < self.live_dist(vi) {
+                    self.dist[vi] = nd;
+                    self.parent[vi] = u;
+                    self.stamp[vi] = self.generation;
+                    self.heap.push(nd, e.to.0);
+                }
+            }
+        }
+    }
+
+    /// Single-source shortest paths from `source` to every reachable
+    /// node. Read results via [`DijkstraWorkspace::dist`] (and
+    /// [`DijkstraWorkspace::parent`] for the shortest-path tree).
+    pub fn sssp(&mut self, g: &Graph, source: NodeId) {
+        self.run(g, source, f64::INFINITY, None);
+    }
+
+    /// Shortest-path distance from `source` to `target`, stopping as soon
+    /// as the target settles (the workspace equivalent of
+    /// [`crate::dijkstra_targeted()`]).
+    pub fn sssp_targeted(&mut self, g: &Graph, source: NodeId, target: NodeId) -> f64 {
+        self.run(g, source, f64::INFINITY, Some(target));
+        self.live_dist(target.index())
+    }
+
+    /// Dijkstra truncated at `radius`: settles exactly the nodes `v` with
+    /// `d(source, v) <= radius` and returns them sorted by
+    /// `(distance, node id)` — the paper's neighborhood `N(v, r)`.
+    ///
+    /// After this call, [`DijkstraWorkspace::dist`] is exact for the
+    /// returned nodes; nodes outside the ball may hold tentative
+    /// (over-)estimates or `INFINITY`.
+    pub fn bounded_ball(&mut self, g: &Graph, source: NodeId, radius: f64) -> &[NodeId] {
+        self.run(g, source, radius, None);
+        &self.settled
+    }
+
+    /// Distance computed by the last run (`INFINITY` if `v` was never
+    /// reached). Exact for settled nodes; see
+    /// [`DijkstraWorkspace::bounded_ball`] for the truncated-run caveat.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> f64 {
+        self.live_dist(v.index())
+    }
+
+    /// Parent of `v` in the shortest-path tree of the last run (`None`
+    /// for the source and for unreached nodes).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let vi = v.index();
+        if self.stamp[vi] == self.generation && self.parent[vi] != NO_PARENT {
+            Some(NodeId(self.parent[vi]))
+        } else {
+            None
+        }
+    }
+
+    /// Nodes settled by the last run, in settle order (ascending
+    /// `(dist, node id)`). After a full [`DijkstraWorkspace::sssp`] on a
+    /// connected graph this is every node.
+    pub fn settled(&self) -> &[NodeId] {
+        &self.settled
+    }
+
+    /// Copies the last run's distances for nodes `0..n` into `out`
+    /// (clearing it first), with `INFINITY` for unreached nodes.
+    pub fn fill_dist(&self, out: &mut Vec<f64>) {
+        let n = self.capacity();
+        out.clear();
+        out.reserve(n);
+        for v in 0..n {
+            out.push(self.live_dist(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn quad_heap_pops_in_total_order() {
+        let mut h = QuadHeap::default();
+        let items = [
+            (3.0, 7u32),
+            (1.0, 9),
+            (1.0, 2),
+            (0.5, 4),
+            (3.0, 1),
+            (2.0, 5),
+            (0.5, 4),
+        ];
+        for &(d, v) in &items {
+            h.push(d, v);
+        }
+        let mut popped = Vec::new();
+        while let Some(x) = h.pop() {
+            popped.push(x);
+        }
+        let mut expect = items.to_vec();
+        expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn sssp_matches_free_function() {
+        let g = generators::grid(6, 5).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        for src in g.nodes() {
+            ws.sssp(&g, src);
+            let reference = crate::dijkstra(&g, src);
+            for v in g.nodes() {
+                assert_eq!(ws.dist(v), reference[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_ball_matches_filtered_sssp() {
+        let g = generators::torus(5, 5).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        let mut full = DijkstraWorkspace::new();
+        for src in g.nodes() {
+            for r in [0.0, 1.0, 2.5, 100.0] {
+                let ball: Vec<NodeId> = ws.bounded_ball(&g, src, r).to_vec();
+                full.sssp(&g, src);
+                let mut expect: Vec<(f64, NodeId)> = g
+                    .nodes()
+                    .filter(|&v| full.dist(v) <= r)
+                    .map(|v| (full.dist(v), v))
+                    .collect();
+                expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                let expect: Vec<NodeId> = expect.into_iter().map(|(_, v)| v).collect();
+                assert_eq!(ball, expect, "src={src:?} r={r}");
+                for &v in &ball {
+                    assert_eq!(ws.dist(v), full.dist(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_early_exit_matches_full() {
+        let g = generators::random_geometric(60, 10.0, 3.0, 13).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        let reference = crate::dijkstra(&g, NodeId(0));
+        for t in g.nodes() {
+            assert_eq!(ws.sssp_targeted(&g, NodeId(0), t), reference[t.index()]);
+        }
+    }
+
+    #[test]
+    fn generation_stamps_isolate_consecutive_runs() {
+        let g = generators::line(12).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        // A tiny ball first, then a full run: no stale state may leak.
+        ws.bounded_ball(&g, NodeId(0), 1.0);
+        ws.sssp(&g, NodeId(11));
+        for v in g.nodes() {
+            assert_eq!(ws.dist(v), (11 - v.index()) as f64);
+        }
+    }
+
+    #[test]
+    fn workspace_grows_across_graph_sizes() {
+        let small = generators::grid(3, 3).unwrap();
+        let big = generators::grid(8, 8).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        ws.sssp(&small, NodeId(0));
+        assert_eq!(ws.capacity(), 9);
+        ws.sssp(&big, NodeId(0));
+        assert_eq!(ws.capacity(), 64);
+        assert_eq!(ws.dist(NodeId(63)), 14.0);
+        // And back down: capacity stays, results are for the small graph.
+        ws.sssp(&small, NodeId(8));
+        assert_eq!(ws.dist(NodeId(0)), 4.0);
+        assert_eq!(ws.settled().len(), 9);
+    }
+}

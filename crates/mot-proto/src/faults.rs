@@ -56,9 +56,13 @@ impl FaultModel for NoFaults {
 /// runs dry. Nodes in `down` are crashed until removed.
 #[derive(Debug, Default)]
 pub struct ScriptedFaults {
+    /// Scripted answers for `drop_message`.
     pub drops: VecDeque<bool>,
+    /// Scripted answers for `duplicate_message`.
     pub dups: VecDeque<bool>,
+    /// Scripted answers for delay decisions.
     pub delays: VecDeque<bool>,
+    /// Nodes currently crashed.
     pub down: HashSet<NodeId>,
 }
 

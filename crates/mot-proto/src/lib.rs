@@ -63,6 +63,8 @@
 //! Implements footnote 2's message-passing rendering of Algorithm 1.
 //! See DESIGN.md §3 and §9.
 
+#![warn(missing_docs)]
+
 pub mod faults;
 pub mod message;
 pub mod node;

@@ -14,10 +14,13 @@ pub enum Payload {
     /// A detection message climbing `DPath(origin)`, currently visiting
     /// `station(origin, level)[index]`.
     Climb {
+        /// The tracked object being inserted or published.
         object: ObjectId,
         /// The (new) proxy whose detection path this climb follows.
         origin: NodeId,
+        /// Level currently being visited on the detection path.
         level: usize,
+        /// Position within the level's station currently being visited.
         index: usize,
         /// Complete holder list of the level below (becomes each new
         /// entry's down-member routing state).
@@ -32,9 +35,13 @@ pub enum Payload {
     /// splice (bookkeeping fan-out; not charged, mirroring the analysis'
     /// treatment of special-parent probing).
     Repoint {
+        /// The object whose holder chain is being refreshed.
         object: ObjectId,
+        /// The meet level whose holders are repointed.
         level: usize,
+        /// The fresh down-member list each target installs.
         new_down: Vec<NodeId>,
+        /// Meet-level holders still awaiting the refresh.
         targets_remaining: Vec<NodeId>,
     },
     /// Remove the object from holders at `level`: walk
@@ -44,39 +51,61 @@ pub enum Payload {
     /// partial additions) set `continue_down = false`: the entries they
     /// remove point at the *fresh* fragment, which must survive.
     Delete {
+        /// The object whose stale entries are removed.
         object: ObjectId,
+        /// Level the deletion currently walks.
         level: usize,
+        /// Holders at this level still awaiting removal.
         members_remaining: Vec<NodeId>,
+        /// Whether the walk proceeds to the level below afterwards.
         continue_down: bool,
     },
     /// Install an SDL entry at a special parent.
     SpInstall {
+        /// The object the SDL entry tracks.
         object: ObjectId,
+        /// The level this special parent guards.
         guarded_level: usize,
+        /// The guarded child holding the object below.
         child: NodeId,
     },
     /// Remove an SDL entry from a special parent.
     SpRemove {
+        /// The object the SDL entry tracked.
         object: ObjectId,
+        /// The level the special parent guarded.
         guarded_level: usize,
+        /// The formerly guarded child.
         child: NodeId,
     },
     /// A query climbing `DPath(origin)`.
     Query {
+        /// The object being looked up.
         object: ObjectId,
+        /// The querying sensor whose detection path the climb follows.
         origin: NodeId,
+        /// Level currently being visited on the detection path.
         level: usize,
+        /// Position within the level's station currently being visited.
         index: usize,
     },
     /// A located query descending the holder chain; the receiver holds
     /// the object at `level`.
     Descend {
+        /// The object being looked up.
         object: ObjectId,
+        /// The querying sensor awaiting the reply.
         origin: NodeId,
+        /// The level at which the receiver holds the object.
         level: usize,
     },
     /// The proxy's answer heading back to the querier.
-    Reply { object: ObjectId, proxy: NodeId },
+    Reply {
+        /// The object that was looked up.
+        object: ObjectId,
+        /// The bottom-level proxy currently nearest the object.
+        proxy: NodeId,
+    },
 }
 
 impl Payload {
@@ -177,8 +206,11 @@ impl Payload {
 /// physical path; its cost is the shortest-path distance).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Message {
+    /// Sending sensor.
     pub src: NodeId,
+    /// Receiving sensor.
     pub dst: NodeId,
+    /// Protocol payload carried.
     pub payload: Payload,
 }
 

@@ -30,8 +30,11 @@ pub struct DlEntry {
 
 /// Context shared by every handler invocation.
 pub struct Ctx<'a> {
+    /// The hierarchy the node machines climb.
     pub overlay: &'a Overlay,
+    /// Distance backend used for cost accounting and proxy checks.
     pub oracle: &'a dyn DistanceOracle,
+    /// Whether SDL guards (Definition 3) are installed and consulted.
     pub use_special_parents: bool,
 }
 

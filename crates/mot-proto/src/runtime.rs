@@ -18,9 +18,27 @@ use std::collections::HashMap;
 /// makes cross-object concurrency safe at message granularity.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BatchOp {
-    Publish { object: ObjectId, proxy: NodeId },
-    Move { object: ObjectId, to: NodeId },
-    Query { object: ObjectId, from: NodeId },
+    /// First detection of `object` at `proxy`.
+    Publish {
+        /// The object entering the system.
+        object: ObjectId,
+        /// The detecting bottom-level sensor.
+        proxy: NodeId,
+    },
+    /// Hand `object` off to the sensor `to`.
+    Move {
+        /// The object moving.
+        object: ObjectId,
+        /// The destination sensor.
+        to: NodeId,
+    },
+    /// Locate `object` from the sensor `from`.
+    Query {
+        /// The object being located.
+        object: ObjectId,
+        /// The querying sensor.
+        from: NodeId,
+    },
 }
 
 impl BatchOp {

@@ -94,11 +94,13 @@ impl CostLedger {
 #[derive(Default)]
 pub struct Transport {
     queue: VecDeque<Message>,
+    /// Cost accounting for every delivery.
     pub ledger: CostLedger,
     sink: Option<Rc<dyn TraceSink>>,
 }
 
 impl Transport {
+    /// An empty reliable transport.
     pub fn new() -> Self {
         Self::default()
     }
@@ -145,7 +147,12 @@ pub enum Delivery {
     /// retry overhead. The handler must NOT run again.
     Duplicate(Message),
     /// The retry budget is exhausted; the operation cannot complete.
-    Failed { msg: Message, attempts: u32 },
+    Failed {
+        /// The undeliverable message.
+        msg: Message,
+        /// Transmission attempts consumed.
+        attempts: u32,
+    },
 }
 
 /// A message with its ack/retry bookkeeping.
@@ -172,6 +179,7 @@ struct InFlight {
 /// therefore bit-identical to the reliable transport's.
 pub struct LossyTransport {
     queue: VecDeque<InFlight>,
+    /// Cost accounting; wasted distance accrues under [`RETRIES_KIND`].
     pub ledger: CostLedger,
     faults: Box<dyn FaultModel>,
     /// Transmission attempts per message before giving up.
@@ -320,15 +328,21 @@ pub struct TimedTransport {
     seq: u64,
     /// Simulation clock: the delivery time of the last popped message.
     pub now: f64,
+    /// Base period of the §4.1.2 level gate (`0` disables gating).
     pub period_base: f64,
+    /// Cost accounting for every delivery.
     pub ledger: CostLedger,
     sink: Option<Rc<dyn TraceSink>>,
 }
 
 impl TimedTransport {
+    /// An empty timed transport with the given gating period base.
     pub fn new(period_base: f64) -> Self {
         TimedTransport {
-            heap: std::collections::BinaryHeap::new(),
+            // Sized for the typical in-flight window (a few messages per
+            // hop across a handful of concurrent climbs) so steady-state
+            // delivery never regrows the heap.
+            heap: std::collections::BinaryHeap::with_capacity(64),
             seq: 0,
             now: 0.0,
             period_base,

@@ -259,8 +259,11 @@ impl ConcurrentEngine {
         rng: &mut ChaCha8Rng,
         outcome: &mut ConcurrentOutcome,
     ) -> Result<()> {
-        let mut ops: Vec<Op> = Vec::new();
-        let mut heap = BinaryHeap::new();
+        // One op per move plus the query batch: reserving up front keeps
+        // the event loop free of heap regrowth.
+        let capacity = destinations.len() + cfg.queries_per_batch;
+        let mut ops: Vec<Op> = Vec::with_capacity(capacity);
+        let mut heap = BinaryHeap::with_capacity(capacity);
         for mv in destinations {
             let path = tracker.climb_sequence(mv.to);
             heap.push(Event {
