@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--profile quick|standard|paper] [--jobs N]
-//!             [--oracle auto|dense|lazy|hybrid]
+//!             [--oracle auto|dense|lazy|hybrid|cached]
 //!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson]
 //!             [--bench-out FILE.json] [IDS...]
 //! ```
@@ -16,7 +16,7 @@
 //! ```text
 //! cargo run --release -p mot-bench --bin experiments -- fig4 fig6
 //! cargo run --release -p mot-bench --bin experiments -- --profile paper all
-//! cargo run --release -p mot-bench --bin experiments -- --oracle lazy scale
+//! cargo run --release -p mot-bench --bin experiments -- --oracle cached scale
 //! cargo run --release -p mot-bench --bin experiments -- --profile quick faults-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --metrics out.json fig4 level-decomp
 //! cargo run --release -p mot-bench --bin experiments -- --profile smoke bench-baseline
@@ -24,9 +24,10 @@
 //!
 //! `bench-baseline` is the wall-clock harness (PERFORMANCE.md): it times
 //! graph build, oracle warm-up, optimized vs frozen-reference hierarchy
-//! construction, and a fig4 replay per grid size, then writes the
-//! schema'd JSON to `--bench-out` (default `BENCH_pr5.json`). Its
-//! profiles are `smoke`/`full`; the figure profile names map onto them.
+//! construction (reference only up to 4096 nodes), and a fig4 replay
+//! per size, then writes the schema'd JSON to `--bench-out` (default
+//! `BENCH_pr6.json`). Its profiles are `smoke`/`full`; the figure
+//! profile names map onto them.
 //!
 //! `--metrics` writes every produced table, per-experiment wall-clock,
 //! and the fixed-seed instrumented run's aggregates as one JSON report;
@@ -93,7 +94,8 @@ fn profile_for(
 
 /// The `scale` experiment sweeps grids past the paper's sizes; the
 /// largest (64×64 = 4096 nodes) sits exactly at the dense limit, so
-/// `--oracle lazy` runs it well under the dense matrix's 64 MiB.
+/// `--oracle lazy` or `--oracle cached` runs it well under the dense
+/// matrix's 64 MiB.
 fn scale_profile(name: &str, oracle: OracleKind, jobs: usize) -> Result<Profile, BenchError> {
     let mut p = profile_for(50, name, oracle, jobs)?;
     p.grids = vec![(32, 32), (64, 64)];
@@ -111,31 +113,37 @@ fn smoke_profile(oracle: OracleKind, jobs: usize) -> Profile {
 }
 
 /// `bench-baseline` measures wall-clock, not cost ratios, so it has its
-/// own scale names: `smoke` (CI seconds-scale) and `full` (the committed
-/// `BENCH_pr5.json` artifact, up to 4096 nodes). The figure profile
-/// names map onto them so `--profile quick all` keeps working.
+/// own scale names: `smoke` (CI seconds-scale, `auto` backend) and
+/// `full` (the committed `BENCH_pr6.json` artifact, up to 2^20 nodes on
+/// the cached backend). The figure profile names map onto them so
+/// `--profile quick all` keeps working. An explicit `--oracle` flag
+/// overrides either profile's default backend; without it each profile
+/// keeps its own.
 fn baseline_profile_for(
     name: &str,
-    oracle: OracleKind,
+    oracle: Option<OracleKind>,
     jobs: usize,
 ) -> Result<BaselineProfile, BenchError> {
-    let p = match name {
+    let mut p = match name {
         "smoke" | "quick" => BaselineProfile::smoke(),
         "full" | "standard" | "paper" => BaselineProfile::full(),
         other => return Err(format!("unknown bench profile '{other}' (smoke|full)").into()),
     };
-    Ok(p.with_oracle(oracle).with_jobs(jobs))
+    if let Some(kind) = oracle {
+        p = p.with_oracle(kind);
+    }
+    Ok(p.with_jobs(jobs))
 }
 
 fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile_name = "standard".to_string();
-    let mut oracle = OracleKind::Auto;
+    let mut oracle_flag: Option<OracleKind> = None;
     let mut csv_dir: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut jobs: usize = 0;
-    let mut bench_out = "BENCH_pr5.json".to_string();
+    let mut bench_out = "BENCH_pr6.json".to_string();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -144,9 +152,10 @@ fn run() -> Result<(), BenchError> {
             "--oracle" => {
                 let v = it
                     .next()
-                    .ok_or("--oracle needs a value (auto|dense|lazy|hybrid)")?;
-                oracle = OracleKind::parse(&v)
-                    .ok_or_else(|| format!("unknown oracle '{v}' (auto|dense|lazy|hybrid)"))?;
+                    .ok_or("--oracle needs a value (auto|dense|lazy|hybrid|cached)")?;
+                oracle_flag = Some(OracleKind::parse(&v).ok_or_else(|| {
+                    format!("unknown oracle '{v}' (auto|dense|lazy|hybrid|cached)")
+                })?);
             }
             "--csv" => csv_dir = Some(it.next().ok_or("--csv needs a directory")?),
             "--metrics" => metrics_path = Some(it.next().ok_or("--metrics needs a file path")?),
@@ -161,13 +170,13 @@ fn run() -> Result<(), BenchError> {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--profile quick|standard|paper] [--jobs N]\n\
-                     \x20                  [--oracle auto|dense|lazy|hybrid] [--csv DIR]\n\
+                     \x20                  [--oracle auto|dense|lazy|hybrid|cached] [--csv DIR]\n\
                      \x20                  [--metrics FILE.json] [--trace FILE.ndjson]\n\
                      \x20                  [--bench-out FILE.json] [IDS...]\n\
                      ids: {}\n\
                      \x20    all\n\
                      bench-baseline also accepts --profile smoke|full and writes\n\
-                     its phase timings to --bench-out (default BENCH_pr5.json)",
+                     its phase timings to --bench-out (default BENCH_pr6.json)",
                     ALL_IDS.join(" ")
                 );
                 return Ok(());
@@ -178,6 +187,9 @@ fn run() -> Result<(), BenchError> {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    // Figure experiments default to Auto; bench-baseline profiles carry
+    // their own backend default and only an explicit flag overrides it.
+    let oracle = oracle_flag.unwrap_or(OracleKind::Auto);
 
     let emit = |table: FigureTable, id: &str| -> Result<(), BenchError> {
         println!("{}", table.render());
@@ -203,7 +215,7 @@ fn run() -> Result<(), BenchError> {
         let started = std::time::Instant::now();
         let name = profile_name.as_str();
         let table = match id.as_str() {
-            "bench-baseline" => baseline_profile_for(name, oracle, jobs)
+            "bench-baseline" => baseline_profile_for(name, oracle_flag, jobs)
                 .and_then(|bp| run_baseline(&bp))
                 .and_then(|rep| {
                     std::fs::write(&bench_out, rep.to_json())

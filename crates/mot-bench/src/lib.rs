@@ -35,7 +35,10 @@ pub mod baseline;
 pub mod figures;
 pub mod report;
 
-pub use baseline::{run_baseline, BaselineProfile, BaselineReport, SizeTiming, BENCH_SCHEMA};
+pub use baseline::{
+    run_baseline, BaselineProfile, BaselineReport, SizeSpec, SizeTiming, BENCH_SCHEMA,
+    REFERENCE_PHASE_NODE_LIMIT,
+};
 pub use figures::{
     ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
     load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,

@@ -9,6 +9,8 @@
 //! test before it can silently move a published figure.
 
 use mot_baselines::DetectionRates;
+use mot_hierarchy::{build_doubling, OverlayConfig};
+use mot_net::{generators, CachedOracle, OracleKind};
 use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
 
 /// `(rows, cols, seed, algo, total_bits, optimal_bits, operations)`
@@ -167,14 +169,59 @@ fn replay_costs_match_pre_csr_bits() {
     // convention (10 objects, 30 moves, seed * 7 + 1).
     for &(r, c, seed, algo, total_bits, optimal_bits, operations) in &GOLDEN {
         let bed = TestBed::grid(r, c, seed).unwrap();
-        let w = WorkloadSpec::new(10, 30, seed * 7 + 1).generate(&bed.graph);
-        let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
-        let mut t = bed.make_tracker(algo, &rates).unwrap();
-        run_publish(t.as_mut(), &w).unwrap();
-        let s = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
         let ctx = format!("{r}x{c} seed {seed} {algo:?}");
-        assert_eq!(s.total.to_bits(), total_bits, "{ctx}: total drifted");
-        assert_eq!(s.optimal.to_bits(), optimal_bits, "{ctx}: optimal drifted");
-        assert_eq!(s.operations, operations, "{ctx}: operation count drifted");
+        assert_golden_replay(&bed, seed, algo, total_bits, optimal_bits, operations, &ctx);
+    }
+}
+
+fn assert_golden_replay(
+    bed: &TestBed,
+    seed: u64,
+    algo: Algo,
+    total_bits: u64,
+    optimal_bits: u64,
+    operations: usize,
+    ctx: &str,
+) {
+    let w = WorkloadSpec::new(10, 30, seed * 7 + 1).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut t = bed.make_tracker(algo, &rates).unwrap();
+    run_publish(t.as_mut(), &w).unwrap();
+    let s = replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
+    assert_eq!(s.total.to_bits(), total_bits, "{ctx}: total drifted");
+    assert_eq!(s.optimal.to_bits(), optimal_bits, "{ctx}: optimal drifted");
+    assert_eq!(s.operations, operations, "{ctx}: operation count drifted");
+}
+
+/// The cached backend must reproduce the same pre-CSR golden bits as the
+/// dense matrix: identical f32 quantization on every distance, so
+/// swapping the backend moves no published figure.
+#[test]
+fn cached_backend_reproduces_the_golden_bits() {
+    for &(r, c, seed, algo, total_bits, optimal_bits, operations) in &GOLDEN {
+        let bed = TestBed::grid_with_oracle(r, c, seed, OracleKind::Cached).unwrap();
+        let ctx = format!("{r}x{c} seed {seed} {algo:?} cached");
+        assert_golden_replay(&bed, seed, algo, total_bits, optimal_bits, operations, &ctx);
+    }
+}
+
+/// Same golden bits under continuous cache eviction: a two-row byte
+/// budget forces rows out and back throughout overlay construction and
+/// replay, and every recomputed row must quantize identically.
+#[test]
+fn cached_backend_under_eviction_reproduces_the_golden_bits() {
+    for &(r, c, seed, algo, total_bits, optimal_bits, operations) in &GOLDEN {
+        let g = generators::grid(r, c).unwrap();
+        let n = g.node_count();
+        let oracle = CachedOracle::with_byte_budget(&g, 2 * n * (4 + 8)).unwrap();
+        let overlay = build_doubling(&g, &oracle, &OverlayConfig::practical(), seed);
+        let bed = TestBed {
+            graph: g,
+            oracle: Box::new(oracle),
+            overlay,
+            faults: None,
+        };
+        let ctx = format!("{r}x{c} seed {seed} {algo:?} cached-evicting");
+        assert_golden_replay(&bed, seed, algo, total_bits, optimal_bits, operations, &ctx);
     }
 }

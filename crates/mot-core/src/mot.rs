@@ -5,6 +5,15 @@
 //! starts (the paper's primary analysis case; the concurrent execution
 //! engine in `mot-sim` layers message timing on top of the same
 //! transitions).
+//!
+//! **Distance locality.** Every oracle read the tracker issues is
+//! between a node and one of its overlay stations, or between two
+//! stations of adjacent levels — pairs whose separation is bounded by
+//! `O(2^ℓ)` at level `ℓ`, never arbitrary node pairs. On-demand
+//! backends like [`mot_net::CachedOracle`] exploit exactly this: a
+//! tracker workload settles small source-centered regions (plus a hot
+//! set of high-level stations that promote to cached rows) instead of
+//! ever needing an all-pairs table.
 
 use crate::config::MotConfig;
 use crate::error::CoreError;

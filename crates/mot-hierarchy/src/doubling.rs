@@ -47,11 +47,46 @@ fn q32(d: f64) -> f64 {
     d as f32 as f64
 }
 
-/// Builds the MIS-coarsened overlay for a (constant-doubling) network.
+/// Node count below which [`build_doubling`] dispatches to the frozen
+/// oracle-scan reference builder instead of the bounded-ball builder.
+///
+/// BENCH_pr5.json measured `hierarchy_speedup < 1` below ~1024 nodes
+/// (0.32× at 256, 0.80× at 1024, 3.1× at 4096): on tiny graphs the
+/// bounded-ball machinery's per-ball setup costs more than the O(k²)
+/// oracle scans it avoids, and a dense oracle row read is a plain array
+/// load. Both strategies are bit-identical by construction (pinned by
+/// the `hierarchy_parity` crossover test), so the dispatch is purely a
+/// performance choice.
+pub const ADAPTIVE_CROSSOVER_NODES: usize = 1024;
+
+/// Builds the MIS-coarsened overlay for a (constant-doubling) network,
+/// picking the construction strategy by size: the oracle-scan reference
+/// builder below [`ADAPTIVE_CROSSOVER_NODES`] nodes, the bounded-ball
+/// builder ([`build_doubling_balls`]) at and above it. Both produce
+/// bit-identical overlays; see the crossover constant for the
+/// measurements behind the threshold.
 ///
 /// `seed` drives Luby's random priorities; identical seeds yield identical
 /// overlays.
 pub fn build_doubling(
+    g: &Graph,
+    m: &dyn DistanceOracle,
+    cfg: &OverlayConfig,
+    seed: u64,
+) -> Overlay {
+    if g.node_count() < ADAPTIVE_CROSSOVER_NODES {
+        crate::reference::reference_build_doubling(g, m, cfg, seed)
+    } else {
+        build_doubling_balls(g, m, cfg, seed)
+    }
+}
+
+/// The bounded-ball construction: radius-bounded Dijkstra over the CSR
+/// graph instead of oracle distance scans (see the module docs). The
+/// strategy of choice at scale — it never asks the oracle for a
+/// distance, so it runs warm-up-free on on-demand backends — and what
+/// [`build_doubling`] dispatches to past [`ADAPTIVE_CROSSOVER_NODES`].
+pub fn build_doubling_balls(
     g: &Graph,
     m: &dyn DistanceOracle,
     cfg: &OverlayConfig,
@@ -215,10 +250,13 @@ mod tests {
     use mot_net::generators;
     use mot_net::DenseOracle;
 
+    // Exercise the bounded-ball path directly: these grids sit below the
+    // adaptive crossover, where `build_doubling` would dispatch to the
+    // reference builder.
     fn build(rows: usize, cols: usize, cfg: OverlayConfig) -> (Overlay, DenseOracle) {
         let g = generators::grid(rows, cols).unwrap();
         let m = DenseOracle::build(&g).unwrap();
-        let o = build_doubling(&g, &m, &cfg, 7);
+        let o = build_doubling_balls(&g, &m, &cfg, 7);
         (o, m)
     }
 
@@ -226,7 +264,7 @@ mod tests {
     fn single_node_graph_degenerates_gracefully() {
         let g = generators::line(1).unwrap();
         let m = DenseOracle::build(&g).unwrap();
-        let o = build_doubling(&g, &m, &OverlayConfig::practical(), 1);
+        let o = build_doubling_balls(&g, &m, &OverlayConfig::practical(), 1);
         assert_eq!(o.height(), 0);
         assert_eq!(o.root(), NodeId(0));
         assert_eq!(o.station(NodeId(0), 0), &[NodeId(0)]);
@@ -334,8 +372,8 @@ mod tests {
     fn deterministic_per_seed() {
         let g = generators::grid(8, 8).unwrap();
         let m = DenseOracle::build(&g).unwrap();
-        let a = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
-        let b = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+        let a = build_doubling_balls(&g, &m, &OverlayConfig::practical(), 3);
+        let b = build_doubling_balls(&g, &m, &OverlayConfig::practical(), 3);
         for l in 0..=a.height() {
             assert_eq!(a.level_members(l), b.level_members(l));
         }

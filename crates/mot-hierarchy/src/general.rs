@@ -18,10 +18,23 @@
 use crate::config::OverlayConfig;
 use crate::overlay::{Overlay, OverlayKind};
 use crate::path::DetectionPath;
-use mot_net::{DistanceOracle, Graph, NodeId};
+use mot_net::{DijkstraWorkspace, DistanceOracle, Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Relative padding for bounded-ball radii (see `doubling.rs`): f32
+/// quantization can round a distance just above the radius down onto
+/// it, so the bounded run over-collects by half an f32 ulp and the
+/// exact quantized predicate filters the candidates.
+const BALL_PAD: f64 = 1.0 + 1e-6;
+
+/// Quantizes through `f32` exactly like the oracle backends store
+/// distances, so graph-side Dijkstra and oracle reads agree bit-for-bit.
+#[inline]
+fn q32(d: f64) -> f64 {
+    d as f32 as f64
+}
 
 /// One carved partition of the node set.
 struct Partition {
@@ -31,12 +44,22 @@ struct Partition {
     leaders: Vec<NodeId>,
 }
 
-fn carve_partition<R: Rng>(m: &dyn DistanceOracle, radius: f64, rng: &mut R) -> Partition {
-    let n = m.node_count();
+/// Random-permutation ball carving via radius-bounded Dijkstra: each
+/// center claims the unassigned nodes of its padded ball whose
+/// quantized distance passes the `<= radius` predicate — the same set a
+/// full oracle-row scan would claim, at the cost of the ball, not O(n).
+fn carve_partition<R: Rng>(
+    g: &Graph,
+    ws: &mut DijkstraWorkspace,
+    radius: f64,
+    rng: &mut R,
+) -> Partition {
+    let n = g.node_count();
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
     let mut assignment = vec![usize::MAX; n];
     let mut leaders = Vec::new();
+    let mut ball: Vec<NodeId> = Vec::new();
     for &c in &order {
         if assignment[c] != usize::MAX {
             continue;
@@ -44,8 +67,11 @@ fn carve_partition<R: Rng>(m: &dyn DistanceOracle, radius: f64, rng: &mut R) -> 
         let center = NodeId::from_index(c);
         let cluster_idx = leaders.len();
         leaders.push(center);
-        for (v, slot) in assignment.iter_mut().enumerate() {
-            if *slot == usize::MAX && m.dist(center, NodeId::from_index(v)) <= radius {
+        ball.clear();
+        ball.extend_from_slice(ws.bounded_ball(g, center, radius * BALL_PAD));
+        for &v in &ball {
+            let slot = &mut assignment[v.index()];
+            if *slot == usize::MAX && q32(ws.dist(v)) <= radius {
                 *slot = cluster_idx;
             }
         }
@@ -75,15 +101,18 @@ pub fn build_general(g: &Graph, m: &dyn DistanceOracle, cfg: &OverlayConfig, see
     let n = g.node_count();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
+    let mut ws = DijkstraWorkspace::with_capacity(n);
+
     // Root: a graph center (min eccentricity) — "the sink node is often
     // the root of HS" and a center minimizes worst-case publish cost.
-    // Eccentricities are computed once per node up front; the previous
-    // min_by recomputed both rows inside every comparison.
+    // Eccentricities come from one graph-side SSSP per node (quantized
+    // through f32 like every oracle read), so no oracle row warm-up is
+    // ever triggered.
     let ecc: Vec<f64> = (0..n)
         .map(|u| {
-            let u = NodeId::from_index(u);
+            ws.sssp(g, NodeId::from_index(u));
             (0..n)
-                .map(|v| m.dist(u, NodeId::from_index(v)))
+                .map(|v| q32(ws.dist(NodeId::from_index(v))))
                 .fold(0.0, f64::max)
         })
         .collect();
@@ -127,7 +156,7 @@ pub fn build_general(g: &Graph, m: &dyn DistanceOracle, cfg: &OverlayConfig, see
         let mut padded = vec![false; n];
         for _trial in 0..trials {
             let radius = rng.gen_range(carve_radius..2.0 * carve_radius);
-            let p = carve_partition(m, radius, &mut rng);
+            let p = carve_partition(g, &mut ws, radius, &mut rng);
             for u in 0..n {
                 let uid = NodeId::from_index(u);
                 let leader = p.leaders[p.assignment[u]];

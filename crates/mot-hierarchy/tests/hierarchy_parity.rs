@@ -1,13 +1,19 @@
 //! Bit-parity between the optimized and frozen doubling builders.
 //!
-//! The optimized [`build_doubling`] replaced the reference builder's
-//! `O(k²)` oracle scans with radius-bounded Dijkstra over the CSR graph
-//! plus f32 re-quantization of every distance before each predicate.
-//! These tests pin the claim that the rewrite changed *nothing* about
-//! the output: identical levels, identical detection paths, on every
-//! topology generator and several seeds and configs.
+//! The optimized [`build_doubling_balls`] replaced the reference
+//! builder's `O(k²)` oracle scans with radius-bounded Dijkstra over the
+//! CSR graph plus f32 re-quantization of every distance before each
+//! predicate. These tests pin the claim that the rewrite changed
+//! *nothing* about the output: identical levels, identical detection
+//! paths, on every topology generator and several seeds and configs.
+//! The adaptive front door [`build_doubling`] dispatches between the
+//! two by node count, so a dedicated crossover test pins all three
+//! entry points identical on both sides of the threshold.
 
-use mot_hierarchy::{build_doubling, reference_build_doubling, Overlay, OverlayConfig};
+use mot_hierarchy::{
+    build_doubling, build_doubling_balls, reference_build_doubling, Overlay, OverlayConfig,
+    ADAPTIVE_CROSSOVER_NODES,
+};
 use mot_net::{generators, DenseOracle, Graph};
 
 /// Compares two overlays through the public accessors only.
@@ -29,7 +35,10 @@ fn assert_overlays_identical(a: &Overlay, b: &Overlay, ctx: &str) {
 
 fn check(g: &Graph, seed: u64, cfg: &OverlayConfig, ctx: &str) {
     let m = DenseOracle::build(g).unwrap();
-    let fast = build_doubling(g, &m, cfg, seed);
+    // Compare the ball builder directly (not through the adaptive
+    // dispatch, which would pick the reference itself on these small
+    // topologies and make the comparison vacuous).
+    let fast = build_doubling_balls(g, &m, cfg, seed);
     let reference = reference_build_doubling(g, &m, cfg, seed);
     assert_overlays_identical(&fast, &reference, ctx);
 }
@@ -101,6 +110,26 @@ fn parity_on_random_topologies() {
             &OverlayConfig::practical(),
             &format!("clustered seed {seed}"),
         );
+    }
+}
+
+#[test]
+fn adaptive_dispatch_is_bit_identical_across_the_crossover() {
+    // 31×33 = 1023 nodes (reference side) and 32×32 = 1024 nodes (ball
+    // side) straddle the threshold; on both, the adaptive entry point,
+    // the ball builder, and the frozen reference must agree bit-for-bit
+    // through every public accessor.
+    assert_eq!(ADAPTIVE_CROSSOVER_NODES, 1024);
+    for (rows, cols) in [(31, 33), (32, 32)] {
+        let g = generators::grid(rows, cols).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        let cfg = OverlayConfig::practical();
+        let adaptive = build_doubling(&g, &m, &cfg, 7);
+        let balls = build_doubling_balls(&g, &m, &cfg, 7);
+        let reference = reference_build_doubling(&g, &m, &cfg, 7);
+        let ctx = format!("crossover grid {rows}x{cols}");
+        assert_overlays_identical(&adaptive, &balls, &ctx);
+        assert_overlays_identical(&adaptive, &reference, &ctx);
     }
 }
 

@@ -114,6 +114,12 @@ pub fn random_tree(n: usize, seed: u64) -> Result<Graph> {
 /// weight is 1). If the sample is disconnected, the nearest pair across
 /// components is bridged — standard practice so experiments always run on
 /// connected deployments.
+///
+/// Edge discovery runs through a uniform spatial hash (near-linear for
+/// the sparse deployments the benchmarks use, so 100k+-sensor fields
+/// build in milliseconds rather than the minutes the old all-pairs scan
+/// took) but emits edges in the exact ascending `(i, j)` order that
+/// scan used, so generated graphs are bit-identical across releases.
 pub fn random_geometric(n: usize, side: f64, radius: f64, seed: u64) -> Result<Graph> {
     if n == 0 {
         return Err(NetError::EmptyGraph);
@@ -123,47 +129,68 @@ pub fn random_geometric(n: usize, side: f64, radius: f64, seed: u64) -> Result<G
         .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
         .collect();
     let mut b = GraphBuilder::new(n);
+    add_geometric_edges(&mut b, &positions, radius)?;
+    let g = b.with_positions(positions.clone()).build_unchecked();
+    bridge_to_connectivity(g, &positions).map(|g| g.normalized())
+}
+
+/// Adds every edge `{i, j}` with `0 < dist(i, j) <= radius` in ascending
+/// `(i, j)` order — the exact set and insertion order of a naive
+/// all-pairs scan, found through a bucket grid instead of O(n²) pair
+/// tests. Cell edges are at least `radius`, so every qualifying partner
+/// of `i` lives in the 3×3 cell neighborhood around `i`; the grid is
+/// capped at 1024² cells so degenerate radii cannot blow up memory
+/// (larger cells only mean more candidates, never missed ones).
+fn add_geometric_edges(b: &mut GraphBuilder, positions: &[Point], radius: f64) -> Result<()> {
+    if radius <= 0.0 {
+        return Ok(()); // `d <= radius && d > 0` is unsatisfiable
+    }
+    let n = positions.len();
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in positions {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let span = (max_x - min_x).max(max_y - min_y).max(radius);
+    let cell = radius.max(span / 1024.0);
+    let nx = ((max_x - min_x) / cell) as usize + 1;
+    let ny = ((max_y - min_y) / cell) as usize + 1;
+    let cell_of = |p: &Point| {
+        let cx = (((p.x - min_x) / cell) as usize).min(nx - 1);
+        let cy = (((p.y - min_y) / cell) as usize).min(ny - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+    for (i, p) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * nx + cx].push(i as u32);
+    }
+    let mut candidates: Vec<u32> = Vec::new();
     for i in 0..n {
-        for j in (i + 1)..n {
-            let d = positions[i].distance(&positions[j]);
+        let (cx, cy) = cell_of(&positions[i]);
+        candidates.clear();
+        for y in cy.saturating_sub(1)..=(cy + 1).min(ny - 1) {
+            for x in cx.saturating_sub(1)..=(cx + 1).min(nx - 1) {
+                candidates.extend(
+                    buckets[y * nx + x]
+                        .iter()
+                        .copied()
+                        .filter(|&j| j as usize > i),
+                );
+            }
+        }
+        candidates.sort_unstable();
+        for &j in &candidates {
+            let d = positions[i].distance(&positions[j as usize]);
             if d <= radius && d > 0.0 {
-                b.add_edge(NodeId::from_index(i), NodeId::from_index(j), d)?;
+                b.add_edge(NodeId::from_index(i), NodeId::from_index(j as usize), d)?;
             }
         }
     }
-    let mut g = b.with_positions(positions.clone()).build_unchecked();
-    // Bridge components until connected.
-    loop {
-        let comp = component_labels(&g);
-        let ncomp = comp.iter().copied().max().map(|m| m + 1).unwrap_or(0);
-        if ncomp <= 1 {
-            break;
-        }
-        // nearest pair with comp[i] == 0 != comp[j]
-        let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..n {
-            if comp[i] != 0 {
-                continue;
-            }
-            for j in 0..n {
-                if comp[j] == 0 {
-                    continue;
-                }
-                let d = positions[i].distance(&positions[j]).max(1e-9);
-                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
-                    best = Some((i, j, d));
-                }
-            }
-        }
-        let (i, j, d) = best.expect("multiple components imply a bridgeable pair");
-        let mut b = GraphBuilder::new(n);
-        for (a, c, w) in g.edges() {
-            b.add_edge(a, c, w)?;
-        }
-        b.add_edge(NodeId::from_index(i), NodeId::from_index(j), d)?;
-        g = b.with_positions(positions.clone()).build_unchecked();
-    }
-    Ok(g.normalized())
+    Ok(())
 }
 
 fn component_labels(g: &Graph) -> Vec<usize> {
@@ -263,18 +290,17 @@ pub fn clustered(n: usize, clusters: usize, side: f64, radius: f64, seed: u64) -
         .collect();
     // Reuse the geometric construction over fixed positions.
     let mut b = GraphBuilder::new(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = positions[i].distance(&positions[j]);
-            if d <= radius && d > 0.0 {
-                b.add_edge(NodeId::from_index(i), NodeId::from_index(j), d)?;
-            }
-        }
-    }
+    add_geometric_edges(&mut b, &positions, radius)?;
     let g = b.with_positions(positions.clone()).build_unchecked();
     bridge_to_connectivity(g, &positions).map(|g| g.normalized())
 }
 
+/// Bridges the nearest pair across components until `g` is connected.
+/// Each round adds the bridge between component 0 and the rest that a
+/// full `(i asc, j asc)` pair scan with a strict `<` would pick, but
+/// scans only `|comp 0| × |rest|` pairs — when the sample is one giant
+/// component plus a few stragglers (the typical supercritical case),
+/// that is linear, not quadratic.
 fn bridge_to_connectivity(mut g: Graph, positions: &[Point]) -> Result<Graph> {
     let n = g.node_count();
     loop {
@@ -282,15 +308,10 @@ fn bridge_to_connectivity(mut g: Graph, positions: &[Point]) -> Result<Graph> {
         if comp.iter().copied().max().map(|m| m + 1).unwrap_or(0) <= 1 {
             return Ok(g);
         }
+        let (inside, outside): (Vec<usize>, Vec<usize>) = (0..n).partition(|&i| comp[i] == 0);
         let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..n {
-            if comp[i] != 0 {
-                continue;
-            }
-            for j in 0..n {
-                if comp[j] == 0 {
-                    continue;
-                }
+        for &i in &inside {
+            for &j in &outside {
                 let d = positions[i].distance(&positions[j]).max(1e-9);
                 if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
                     best = Some((i, j, d));
@@ -383,6 +404,43 @@ mod tests {
             assert!(g.is_connected(), "seed {seed}");
             let min = g.min_edge_weight().unwrap();
             assert!((min - 1.0).abs() < 1e-9, "seed {seed}: min weight {min}");
+        }
+    }
+
+    #[test]
+    fn bucketed_edges_match_the_naive_pair_scan() {
+        // The spatial hash must reproduce the old O(n²) scan exactly:
+        // same edges, same insertion order, same weights.
+        for (n, side, radius, seed) in [
+            (80usize, 10.0, 1.8, 0u64),
+            (120, 6.0, 2.5, 3),
+            (60, 30.0, 1.0, 7), // sparse: many singleton cells
+            (50, 1.0, 2.0, 9),  // radius beyond the field: complete graph
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let positions: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+                .collect();
+            let mut bucketed = GraphBuilder::new(n);
+            add_geometric_edges(&mut bucketed, &positions, radius).unwrap();
+            let mut naive = GraphBuilder::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = positions[i].distance(&positions[j]);
+                    if d <= radius && d > 0.0 {
+                        naive
+                            .add_edge(NodeId::from_index(i), NodeId::from_index(j), d)
+                            .unwrap();
+                    }
+                }
+            }
+            let gb = bucketed.build_unchecked();
+            let gn = naive.build_unchecked();
+            assert_eq!(
+                gb.edges().collect::<Vec<_>>(),
+                gn.edges().collect::<Vec<_>>(),
+                "n={n} side={side} radius={radius} seed={seed}"
+            );
         }
     }
 

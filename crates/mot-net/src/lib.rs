@@ -15,10 +15,11 @@
 //! * single-source shortest paths ([`dijkstra()`]) and shortest-path
 //!   trees, plus the reusable zero-allocation [`DijkstraWorkspace`]
 //!   (`sssp` / `bounded_ball`) that hot callers thread through,
-//! * the [`DistanceOracle`] trait with three backends — the dense
+//! * the [`DistanceOracle`] trait with four backends — the dense
 //!   all-pairs [`DenseOracle`] (built in parallel), the on-demand
-//!   [`LazyOracle`], and the pinned-hot-set [`HybridOracle`] — selected
-//!   via [`OracleKind`]; every hierarchy construction, ball query, and
+//!   [`LazyOracle`], the bounded-solve byte-budgeted [`CachedOracle`],
+//!   and the pinned-hot-set [`HybridOracle`] — selected via
+//!   [`OracleKind`]; every hierarchy construction, ball query, and
 //!   cost account goes through the trait,
 //! * network [`metrics`]: diameter, doubling-dimension estimation,
 //!   growth-restriction checks.
@@ -42,7 +43,7 @@
 //! let near = m.ball(NodeId(0), 2.0);
 //! assert_eq!(near.len(), 6); // self + 2 at distance 1 + 3 at distance 2
 //!
-//! // Or let the factory pick: dense up to 4096 nodes, lazy beyond.
+//! // Or let the factory pick: dense up to 4096 nodes, cached beyond.
 //! let auto: Box<dyn DistanceOracle> = OracleKind::Auto.build(&g)?;
 //! assert_eq!(auto.dist(NodeId(0), NodeId(1023)), 62.0);
 //! # Ok::<(), mot_net::NetError>(())
@@ -75,7 +76,9 @@ pub use graph::{Edge, Graph};
 pub use metrics::{estimate_doubling_dimension, growth_ratio, GraphStats};
 pub use node::{NodeId, Point};
 pub use ops::{k_nearest, path_between, subgraph};
-pub use oracle::{DenseOracle, DistanceOracle, HybridOracle, LazyOracle, OracleKind};
+pub use oracle::{
+    CacheLedger, CachedOracle, DenseOracle, DistanceOracle, HybridOracle, LazyOracle, OracleKind,
+};
 pub use workspace::DijkstraWorkspace;
 
 /// Convenient result alias for this crate.

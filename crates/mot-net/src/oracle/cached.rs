@@ -1,0 +1,550 @@
+//! Byte-budgeted on-demand distance backend: the default at scale.
+//!
+//! [`DenseOracle`](super::DenseOracle) front-loads an O(n²) all-pairs
+//! solve; [`LazyOracle`](super::LazyOracle) computes a *full* row on
+//! every first touch of a source, which still makes a transient query
+//! (an object position billed once during a climb) cost a whole
+//! Dijkstra. [`CachedOracle`] finishes the "compute only what the query
+//! touches" discipline:
+//!
+//! * **`dist(u, v)` misses run a targeted Dijkstra** that stops the
+//!   moment `v` settles — a few dozen settled nodes for the locally
+//!   bounded pairs the trackers bill, never O(n) work.
+//! * **`ball(u, r)` misses run a radius-bounded Dijkstra** (the same
+//!   padded-ball + f32-filter discipline as the hierarchy builder), so
+//!   neighborhood queries cost the neighborhood, not a row.
+//! * **Hot sources get promoted to resident rows.** Every miss charges
+//!   its settled-node count against the source; once a source has paid
+//!   for a full SSSP's worth of work (≥ n settles), the next miss
+//!   computes the complete row and parks it in a byte-budgeted LRU
+//!   cache. Hierarchy stations and other structurally hot nodes promote
+//!   almost immediately; transient object positions never do.
+//!
+//! The LRU is bounded by **bytes**, not row count
+//! ([`CachedOracle::with_byte_budget`]): eviction walks
+//! least-recently-touched rows until the footprint fits, always
+//! retaining at least one row so a just-promoted source can be served.
+//! [`CachedOracle::ledger`] exposes the hit/miss/eviction/promotion
+//! counters; for a single-threaded query stream the ledger is fully
+//! deterministic (same stream + same budget → same counters), which the
+//! `cached_churn` test suite pins.
+//!
+//! Every distance this backend returns is the f32 quantization of the
+//! exact Dijkstra distance from source `u` — precisely the bits the
+//! dense matrix stores — so `dist`/`ball`/cost accounts are
+//! bit-identical to every other backend (see `oracle_differential` and
+//! the cross-crate `backend_parity`/`golden_costs` suites). Only
+//! `diameter` is the documented double-sweep estimate, identical to
+//! [`LazyOracle`](super::LazyOracle)'s.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::{CacheLedger, DistRow, DistanceOracle};
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::workspace::DijkstraWorkspace;
+use crate::Result;
+
+/// Relative padding for bounded-ball radii: f32 quantization can round
+/// a distance just above `r` down onto it, so the bounded run must
+/// over-collect by at least half an f32 ulp (2⁻²⁵ relative) before the
+/// exact quantized predicate filters the candidates. Identical to the
+/// hierarchy builder's pad (DESIGN.md §13/§14).
+const BALL_PAD: f64 = 1.0 + 1e-6;
+
+/// Max pooled Dijkstra workspaces (one per plausibly concurrent miss).
+const POOL: usize = 8;
+
+/// Quantizes through `f32` exactly like every backend stores distances.
+#[inline]
+fn q32(d: f64) -> f64 {
+    d as f32 as f64
+}
+
+/// Mutable cache state, all behind one lock so the ledger advances in
+/// a single total order (what makes single-threaded runs replayable).
+struct State {
+    /// Source id → (resident row, last-touch stamp).
+    rows: HashMap<u32, (Arc<DistRow>, u64)>,
+    /// Sum of [`DistRow::bytes`] over resident rows.
+    bytes: usize,
+    /// Monotonic LRU clock; advanced on every row touch.
+    clock: u64,
+    /// Settled-node work accumulated by misses, per source; cleared on
+    /// promotion so an evicted row has to earn its way back in.
+    work: HashMap<u32, u64>,
+    ledger: CacheLedger,
+}
+
+/// Distance oracle that answers misses with bounded solves and caches
+/// full rows only for sources that earn them.
+///
+/// # Example
+///
+/// ```
+/// use mot_net::{generators, CachedOracle, DistanceOracle, NodeId};
+///
+/// let g = generators::grid(4, 4)?;
+/// let m = CachedOracle::new(&g)?; // O(1) construction
+/// assert_eq!(m.dist(NodeId(0), NodeId(15)), 6.0); // targeted solve
+/// let ledger = m.ledger();
+/// assert_eq!((ledger.hits, ledger.misses), (0, 1));
+/// assert_eq!(m.memory_bytes(), 0); // no row was worth caching yet
+/// # Ok::<(), mot_net::NetError>(())
+/// ```
+pub struct CachedOracle {
+    g: Graph,
+    state: Mutex<State>,
+    /// Pool of Dijkstra workspaces reused across misses, so a solve
+    /// allocates nothing once the pool has warmed up.
+    workspaces: Mutex<Vec<DijkstraWorkspace>>,
+    byte_budget: usize,
+    diameter: OnceLock<f64>,
+}
+
+impl std::fmt::Debug for CachedOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ledger = self.ledger();
+        f.debug_struct("CachedOracle")
+            .field("node_count", &self.g.node_count())
+            .field("byte_budget", &self.byte_budget)
+            .field("ledger", &ledger)
+            .finish()
+    }
+}
+
+/// What a miss should do, decided under the state lock.
+enum Plan {
+    Hit(Arc<DistRow>),
+    Promote,
+    Solve,
+}
+
+impl CachedOracle {
+    /// Heap bytes of one resident [`DistRow`] for an `n`-node graph.
+    fn row_bytes(n: usize) -> usize {
+        n * (std::mem::size_of::<f32>() + std::mem::size_of::<(f32, u32)>())
+    }
+
+    /// Default byte budget for an `n`-node graph: room for the same
+    /// working set [`LazyOracle`](super::LazyOracle) would keep
+    /// (`max(n/16, 128)` rows), capped at 64 MiB — the dense matrix's
+    /// footprint at [`super::OracleKind::DENSE_NODE_LIMIT`] — and never
+    /// below a single row.
+    pub fn default_byte_budget(n: usize) -> usize {
+        const CAP: usize = 64 << 20;
+        let row = Self::row_bytes(n.max(1));
+        let rows = (n / 16).max(128);
+        rows.saturating_mul(row).min(CAP).max(row)
+    }
+
+    /// Cumulative settled-node work after which a source's next miss
+    /// computes and caches its full row: one SSSP's worth (`n`). Below
+    /// the threshold misses stay bounded; past it, caching the row is
+    /// cheaper than continuing to re-solve.
+    pub fn promote_threshold(n: usize) -> u64 {
+        n as u64
+    }
+
+    /// Validates the graph (connected, non-empty) and creates an oracle
+    /// with [`CachedOracle::default_byte_budget`]. No distances are
+    /// computed yet.
+    pub fn new(g: &Graph) -> Result<Self> {
+        Self::with_byte_budget(g, Self::default_byte_budget(g.node_count()))
+    }
+
+    /// As [`CachedOracle::new`] with an explicit LRU byte budget. The
+    /// budget is honored whenever it admits at least one row; one row
+    /// is always retained so promotion can never thrash to empty.
+    pub fn with_byte_budget(g: &Graph, bytes: usize) -> Result<Self> {
+        if g.node_count() == 0 {
+            return Err(NetError::EmptyGraph);
+        }
+        if !g.is_connected() {
+            return Err(NetError::Disconnected);
+        }
+        Ok(CachedOracle {
+            g: g.clone(),
+            state: Mutex::new(State {
+                rows: HashMap::new(),
+                bytes: 0,
+                clock: 0,
+                work: HashMap::new(),
+                ledger: CacheLedger::default(),
+            }),
+            workspaces: Mutex::new(Vec::new()),
+            byte_budget: bytes,
+            diameter: OnceLock::new(),
+        })
+    }
+
+    /// The configured LRU byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// The underlying graph (on-demand backends own a copy).
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Snapshot of the hit/miss/eviction/promotion counters and the
+    /// resident-row footprint. Deterministic for a single-threaded
+    /// query stream.
+    pub fn ledger(&self) -> CacheLedger {
+        let s = self.state.lock().expect("cache state poisoned");
+        let mut ledger = s.ledger;
+        ledger.resident_rows = s.rows.len();
+        ledger.resident_bytes = s.bytes;
+        ledger
+    }
+
+    fn take_ws(&self) -> DijkstraWorkspace {
+        let mut pool = self.workspaces.lock().expect("workspace pool poisoned");
+        pool.pop().unwrap_or_default()
+    }
+
+    fn put_ws(&self, ws: DijkstraWorkspace) {
+        let mut pool = self.workspaces.lock().expect("workspace pool poisoned");
+        if pool.len() < POOL {
+            pool.push(ws);
+        }
+    }
+
+    /// Ledger-advancing lookup: a resident row is a hit; otherwise the
+    /// miss is counted and the caller learns whether `u` has crossed
+    /// the promotion threshold.
+    fn plan(&self, u: NodeId) -> Plan {
+        let mut s = self.state.lock().expect("cache state poisoned");
+        let State {
+            rows,
+            clock,
+            work,
+            ledger,
+            ..
+        } = &mut *s;
+        if let Some((row, stamp)) = rows.get_mut(&u.0) {
+            *clock += 1;
+            *stamp = *clock;
+            ledger.hits += 1;
+            return Plan::Hit(Arc::clone(row));
+        }
+        ledger.misses += 1;
+        if work.get(&u.0).copied().unwrap_or(0) >= Self::promote_threshold(self.g.node_count()) {
+            Plan::Promote
+        } else {
+            Plan::Solve
+        }
+    }
+
+    /// Charges a bounded solve's settled-node count against `u`.
+    fn charge(&self, u: NodeId, settled: usize) {
+        let mut s = self.state.lock().expect("cache state poisoned");
+        *s.work.entry(u.0).or_insert(0) += settled as u64;
+    }
+
+    /// Computes `u`'s full row, inserts it into the LRU (first writer
+    /// wins under a race — rows are deterministic, so both are
+    /// identical), and evicts least-recently-touched rows until the
+    /// byte budget holds again.
+    fn promote(&self, u: NodeId) -> Arc<DistRow> {
+        let mut ws = self.take_ws();
+        ws.sssp(&self.g, u);
+        let row = Arc::new(DistRow::from_workspace(&ws, self.g.node_count()));
+        self.put_ws(ws);
+        let mut s = self.state.lock().expect("cache state poisoned");
+        s.ledger.promotions += 1;
+        s.work.remove(&u.0);
+        let State {
+            rows,
+            bytes,
+            clock,
+            ledger,
+            ..
+        } = &mut *s;
+        *clock += 1;
+        let entry = rows.entry(u.0).or_insert_with(|| {
+            *bytes += row.bytes();
+            (Arc::clone(&row), *clock)
+        });
+        entry.1 = *clock;
+        let out = Arc::clone(&entry.0);
+        while *bytes > self.byte_budget && rows.len() > 1 {
+            // The just-touched row carries the maximum stamp, so the
+            // minimum is always some other (evictable) row.
+            let victim = rows
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty row cache");
+            if let Some((gone, _)) = rows.remove(&victim) {
+                *bytes -= gone.bytes();
+                ledger.evictions += 1;
+            }
+        }
+        out
+    }
+
+    /// Bounded-ball miss: padded bounded Dijkstra, exact f32 filter,
+    /// re-sorted by `(f32 distance, id)` — the dense row's ball order.
+    /// (The bounded run settles by *exact* distance; two distinct exact
+    /// distances can quantize onto the same f32, so the re-sort is what
+    /// makes the order bit-identical to a row scan.)
+    fn solve_ball(&self, u: NodeId, r: f64) -> Vec<(f32, u32)> {
+        let mut ws = self.take_ws();
+        let padded = if r > 0.0 { r * BALL_PAD } else { r };
+        ws.bounded_ball(&self.g, u, padded);
+        let mut out: Vec<(f32, u32)> = ws
+            .settled()
+            .iter()
+            .filter_map(|&v| {
+                let d = ws.dist(v) as f32;
+                ((d as f64) <= r).then_some((d, v.0))
+            })
+            .collect();
+        let settled = ws.settled().len();
+        self.put_ws(ws);
+        self.charge(u, settled);
+        out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Double-sweep diameter estimate, computed exactly like
+    /// [`LazyOracle`](super::LazyOracle)'s (same f32 quantization, same
+    /// farthest-node tie-break) so the two backends report identical
+    /// estimates. Runs through pooled workspaces without caching rows.
+    fn double_sweep(&self) -> f64 {
+        let n = self.g.node_count();
+        let mut ws = self.take_ws();
+        ws.sssp(&self.g, NodeId(0));
+        let mut far = (0.0f32, 0u32);
+        for v in 0..n {
+            let d = ws.dist(NodeId::from_index(v)) as f32;
+            if d > far.0 || (d == far.0 && v as u32 > far.1) {
+                far = (d, v as u32);
+            }
+        }
+        ws.sssp(&self.g, NodeId(far.1));
+        let mut max = 0.0f32;
+        for v in 0..n {
+            max = max.max(ws.dist(NodeId::from_index(v)) as f32);
+        }
+        self.put_ws(ws);
+        max as f64
+    }
+}
+
+impl DistanceOracle for CachedOracle {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        match self.plan(u) {
+            Plan::Hit(row) => row.dist(v),
+            Plan::Promote => self.promote(u).dist(v),
+            Plan::Solve => {
+                let mut ws = self.take_ws();
+                let d = ws.sssp_targeted(&self.g, u, v);
+                let settled = ws.settled().len();
+                self.put_ws(ws);
+                self.charge(u, settled);
+                q32(d)
+            }
+        }
+    }
+
+    fn diameter(&self) -> f64 {
+        *self.diameter.get_or_init(|| self.double_sweep())
+    }
+
+    fn ball(&self, u: NodeId, r: f64) -> Vec<NodeId> {
+        match self.plan(u) {
+            Plan::Hit(row) => row.ball(r),
+            Plan::Promote => self.promote(u).ball(r),
+            Plan::Solve => self
+                .solve_ball(u, r)
+                .into_iter()
+                .map(|(_, i)| NodeId(i))
+                .collect(),
+        }
+    }
+
+    fn ball_size(&self, u: NodeId, r: f64) -> usize {
+        match self.plan(u) {
+            Plan::Hit(row) => row.ball_size(r),
+            Plan::Promote => self.promote(u).ball_size(r),
+            Plan::Solve => self.solve_ball(u, r).len(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.state.lock().expect("cache state poisoned").bytes
+    }
+
+    fn cache_stats(&self) -> Option<CacheLedger> {
+        Some(self.ledger())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::DenseOracle;
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dist_matches_dense() {
+        let g = generators::random_geometric(50, 8.0, 2.5, 17).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let cached = CachedOracle::new(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(cached.dist(u, v), dense.dist(u, v), "({u},{v})");
+            }
+        }
+        let ledger = cached.ledger();
+        assert!(ledger.promotions > 0, "50 queries/source must promote");
+        assert!(ledger.hits > 0 && ledger.misses > 0);
+    }
+
+    #[test]
+    fn ball_matches_dense_exactly() {
+        let g = generators::grid(7, 6).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let cached = CachedOracle::new(&g).unwrap();
+        for u in g.nodes() {
+            for r in [-1.0, 0.0, 1.0, 2.0, 3.5, 20.0] {
+                assert_eq!(cached.ball(u, r), dense.ball(u, r), "u = {u}, r = {r}");
+                assert_eq!(
+                    cached.ball_size(u, r),
+                    dense.ball_size(u, r),
+                    "u = {u}, r = {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ball_order_matches_dense_on_weighted_graphs() {
+        // Weighted topologies are where exact-f64 settle order and
+        // f32-quantized row order can disagree on ties.
+        for seed in 0..6 {
+            let g = generators::random_geometric(60, 9.0, 2.5, seed).unwrap();
+            let dense = DenseOracle::build(&g).unwrap();
+            let cached = CachedOracle::new(&g).unwrap();
+            let d = dense.diameter();
+            for u in g.nodes().step_by(3) {
+                for r in [1.0, 2.5, d / 2.0, d] {
+                    assert_eq!(
+                        cached.ball(u, r),
+                        dense.ball(u, r),
+                        "seed {seed} u {u} r {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_sources_stay_row_free() {
+        let g = generators::grid(10, 10).unwrap();
+        let cached = CachedOracle::new(&g).unwrap();
+        // One locally-bounded query per source: nobody earns a row.
+        for u in g.nodes() {
+            let v = NodeId::from_index((u.index() + 1) % 100);
+            cached.dist(u, v);
+        }
+        let ledger = cached.ledger();
+        assert_eq!(ledger.promotions, 0);
+        assert_eq!(ledger.resident_rows, 0);
+        assert_eq!(cached.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn hot_sources_promote_and_then_hit() {
+        let g = generators::grid(10, 10).unwrap();
+        let cached = CachedOracle::new(&g).unwrap();
+        // Far targeted solves settle ~n nodes each: the second miss
+        // crosses the threshold and promotes.
+        cached.dist(NodeId(0), NodeId(99));
+        cached.dist(NodeId(0), NodeId(98));
+        let ledger = cached.ledger();
+        assert_eq!(ledger.promotions, 1);
+        assert_eq!(ledger.resident_rows, 1);
+        cached.dist(NodeId(0), NodeId(55));
+        assert_eq!(cached.ledger().hits, 1, "resident row must serve hits");
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let g = generators::grid(10, 10).unwrap();
+        let budget = 2 * CachedOracle::row_bytes(100);
+        let cached = CachedOracle::with_byte_budget(&g, budget).unwrap();
+        for u in [0u32, 13, 37, 55, 99] {
+            // Two far solves promote each source in turn.
+            cached.dist(NodeId(u), NodeId(99 - u));
+            cached.dist(NodeId(u), NodeId((u + 50) % 100));
+            cached.dist(NodeId(u), NodeId((u + 1) % 100));
+        }
+        let ledger = cached.ledger();
+        assert!(ledger.evictions > 0, "{ledger:?}");
+        assert!(ledger.resident_rows <= 2, "{ledger:?}");
+        assert!(cached.memory_bytes() <= budget, "{ledger:?}");
+        // Evicted rows recompute transparently and exactly.
+        assert_eq!(cached.dist(NodeId(0), NodeId(99)), 18.0);
+    }
+
+    #[test]
+    fn diameter_matches_lazy_estimate() {
+        for seed in 0..6 {
+            let g = generators::random_geometric(40, 8.0, 2.5, seed).unwrap();
+            let exact = DenseOracle::build(&g).unwrap().diameter();
+            let lazy = super::super::LazyOracle::new(&g).unwrap().diameter();
+            let est = CachedOracle::new(&g).unwrap().diameter();
+            assert_eq!(est, lazy, "seed {seed}: cached and lazy sweeps differ");
+            assert!(
+                est <= exact + 1e-6 && est >= exact / 2.0 - 1e-6,
+                "seed {seed}: est {est} vs exact {exact}"
+            );
+        }
+        let g = generators::grid(8, 8).unwrap();
+        assert_eq!(CachedOracle::new(&g).unwrap().diameter(), 14.0);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let g = generators::grid(12, 12).unwrap();
+        let dense = DenseOracle::build(&g).unwrap();
+        let cached = CachedOracle::with_byte_budget(&g, CachedOracle::row_bytes(144) * 3).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (cached, dense, g) = (&cached, &dense, &g);
+                s.spawn(move || {
+                    for u in g.nodes().skip(t).step_by(4) {
+                        for v in g.nodes().step_by(7) {
+                            assert_eq!(cached.dist(u, v), dense.dist(u, v));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_bad_graphs() {
+        let mut b = crate::builder::GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build_unchecked();
+        assert!(matches!(CachedOracle::new(&g), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn default_budget_is_bounded_and_row_sized() {
+        assert!(CachedOracle::default_byte_budget(4096) <= 64 << 20);
+        assert!(CachedOracle::default_byte_budget(1 << 20) >= CachedOracle::row_bytes(1 << 20));
+        assert!(CachedOracle::default_byte_budget(1) >= CachedOracle::row_bytes(1));
+    }
+}

@@ -6,10 +6,15 @@
 //! Sources are solved with Dijkstra in parallel across
 //! `std::thread::scope` workers; entries are stored as `f32` (1024² ⇒
 //! 4 MiB, 4096² ⇒ 64 MiB) which is far more precision than the
-//! unit-normalized weights require. Past
-//! [`OracleKind::DENSE_NODE_LIMIT`](super::OracleKind::DENSE_NODE_LIMIT)
-//! the n² footprint is the reason [`LazyOracle`](super::LazyOracle)
-//! exists.
+//! unit-normalized weights require.
+//!
+//! Since the on-demand backends took over past
+//! [`OracleKind::DENSE_NODE_LIMIT`](super::OracleKind::DENSE_NODE_LIMIT),
+//! this backend's main role is the **opt-in parity verifier**: every
+//! other backend quantizes through the same `f32` pipeline, and the
+//! differential suites (`--oracle dense` on the CLI,
+//! `oracle_differential` / `backend_parity` / `golden_costs` in the
+//! tree) pin them bit-identical to the matrix computed here.
 //!
 //! `ball` queries go through a per-source sorted-by-distance index,
 //! built lazily on first touch and cached, so each query is a binary

@@ -3,31 +3,39 @@
 //! Every cost account and hierarchy radius query in the suite goes
 //! through the [`DistanceOracle`] trait: "how far apart are `u` and
 //! `v`?", "which nodes lie within `r` of `u`?", "what is the network
-//! diameter?". Three backends implement it:
+//! diameter?". Four backends implement it:
 //!
 //! * [`DenseOracle`] — the precomputed all-pairs matrix (parallel
 //!   Dijkstra, O(n²) f32 storage). Exact everything; the right choice
-//!   up to a few thousand nodes ([`OracleKind::DENSE_NODE_LIMIT`]).
+//!   up to a few thousand nodes ([`OracleKind::DENSE_NODE_LIMIT`]),
+//!   and the parity yardstick every other backend is tested against.
 //! * [`LazyOracle`] — per-source Dijkstra rows computed on demand and
 //!   kept in a sharded LRU cache. O(cached · n) memory; the diameter is
 //!   a double-sweep estimate (a lower bound within 2× of the true
-//!   diameter, exact on trees and grids).
+//!   diameter, exact on trees and grids). Every first-touch query
+//!   still pays for a *full* row.
+//! * [`CachedOracle`] — bounded solves on miss (targeted Dijkstra for
+//!   `dist`, radius-bounded for `ball`) plus a byte-budgeted LRU of
+//!   full rows for sources hot enough to earn one. The default at
+//!   scale: no query ever costs more than what it touches.
 //! * [`HybridOracle`] — lazy rows plus an explicitly pinned hot set
 //!   (hierarchy-internal nodes: every detection-list probe and
 //!   parent-set scan hits them), so the hot rows never churn out of
 //!   cache.
 //!
-//! All three quantize distances through `f32` exactly like the dense
+//! All four quantize distances through `f32` exactly like the dense
 //! matrix always has, so switching backends never changes a cost
 //! account (see the `oracle_differential` integration tests).
 //!
 //! [`OracleKind`] is the configuration-level selector; consumers take
 //! `&dyn DistanceOracle` and never name a concrete backend.
 
+mod cached;
 mod dense;
 mod hybrid;
 mod lazy;
 
+pub use cached::CachedOracle;
 pub use dense::DenseOracle;
 pub use hybrid::HybridOracle;
 pub use lazy::LazyOracle;
@@ -101,6 +109,36 @@ pub trait DistanceOracle: Send + Sync {
     /// pinned rows for the lazy backends. Experiment reports use this to
     /// compare backends at scale.
     fn memory_bytes(&self) -> usize;
+
+    /// Row-cache counters for backends that keep one ([`CachedOracle`]);
+    /// `None` for backends without a hit/miss ledger. Experiment
+    /// reports surface these to show how much distance work a replay
+    /// actually performed.
+    fn cache_stats(&self) -> Option<CacheLedger> {
+        None
+    }
+}
+
+/// Snapshot of a row cache's activity and footprint (see
+/// [`DistanceOracle::cache_stats`] and [`CachedOracle::ledger`]).
+///
+/// For a single-threaded query stream the counters are deterministic:
+/// the same queries against the same budget produce the same ledger
+/// (pinned by the `cached_churn` test suite).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheLedger {
+    /// Queries answered from a resident row.
+    pub hits: u64,
+    /// Queries that ran a (bounded or full) Dijkstra.
+    pub misses: u64,
+    /// Rows dropped by the byte-budget LRU.
+    pub evictions: u64,
+    /// Full rows computed and cached for hot sources.
+    pub promotions: u64,
+    /// Rows resident when the snapshot was taken.
+    pub resident_rows: usize,
+    /// Bytes held by resident rows (equals `memory_bytes()`).
+    pub resident_bytes: usize,
 }
 
 /// Boxed oracles are oracles, so owners of a `Box<dyn DistanceOracle>`
@@ -137,6 +175,10 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
 
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+
+    fn cache_stats(&self) -> Option<CacheLedger> {
+        (**self).cache_stats()
     }
 }
 
@@ -223,19 +265,32 @@ impl DistRow {
 
 /// Which distance backend to run an experiment on.
 ///
+/// # Selection rule (`Auto`)
+///
 /// `Auto` picks [`DenseOracle`] up to [`OracleKind::DENSE_NODE_LIMIT`]
-/// nodes (where the n² matrix is cheap and exact) and [`LazyOracle`]
-/// beyond it. Re-exported through `mot_core::config` for experiment
+/// nodes — the n² matrix is cheap there, exact, and the fastest thing
+/// to query — and [`CachedOracle`] beyond it: bounded Dijkstra solves
+/// on miss with a **byte-budgeted** row cache, so neither query time
+/// nor memory grows with n² ([`LazyOracle`], the previous fallback,
+/// computes a full O(n) row on every first-touch source and its
+/// row-count cap still admits O(n²/16) bytes of growth). Dense past
+/// the limit — and lazy/hybrid anywhere — stay available as explicit
+/// opt-ins, chiefly as parity verifiers (`--oracle dense`).
+///
+/// Re-exported through `mot_core::config` for experiment
 /// configuration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum OracleKind {
-    /// Dense for small deployments, lazy past the node limit.
+    /// Dense for small deployments, cached past the node limit.
     #[default]
     Auto,
     /// Full n² matrix of exact distances ([`DenseOracle`]).
     Dense,
     /// Bounded LRU of on-demand Dijkstra rows ([`LazyOracle`]).
     Lazy,
+    /// Bounded solves on miss + byte-budgeted LRU of promoted rows
+    /// ([`CachedOracle`]).
+    Cached,
     /// Landmark upper bounds refined to exact rows on demand
     /// ([`HybridOracle`]).
     Hybrid,
@@ -247,14 +302,16 @@ impl OracleKind {
     /// 1 GiB — that is what the lazy backends exist for.
     pub const DENSE_NODE_LIMIT: usize = 4096;
 
-    /// The concrete backend `Auto` resolves to for an `n`-node graph.
+    /// The concrete backend `Auto` resolves to for an `n`-node graph:
+    /// [`OracleKind::Dense`] up to [`OracleKind::DENSE_NODE_LIMIT`],
+    /// [`OracleKind::Cached`] beyond (see the type-level docs for why).
     pub fn resolve(self, n: usize) -> OracleKind {
         match self {
             OracleKind::Auto => {
                 if n <= Self::DENSE_NODE_LIMIT {
                     OracleKind::Dense
                 } else {
-                    OracleKind::Lazy
+                    OracleKind::Cached
                 }
             }
             other => other,
@@ -266,6 +323,7 @@ impl OracleKind {
         Ok(match self.resolve(g.node_count()) {
             OracleKind::Dense => Box::new(DenseOracle::build(g)?),
             OracleKind::Lazy => Box::new(LazyOracle::new(g)?),
+            OracleKind::Cached => Box::new(CachedOracle::new(g)?),
             OracleKind::Hybrid => Box::new(HybridOracle::new(g)?),
             OracleKind::Auto => unreachable!("resolve never returns Auto"),
         })
@@ -277,6 +335,7 @@ impl OracleKind {
             "auto" => Some(OracleKind::Auto),
             "dense" => Some(OracleKind::Dense),
             "lazy" => Some(OracleKind::Lazy),
+            "cached" => Some(OracleKind::Cached),
             "hybrid" => Some(OracleKind::Hybrid),
             _ => None,
         }
@@ -288,6 +347,7 @@ impl OracleKind {
             OracleKind::Auto => "auto",
             OracleKind::Dense => "dense",
             OracleKind::Lazy => "lazy",
+            OracleKind::Cached => "cached",
             OracleKind::Hybrid => "hybrid",
         }
     }
@@ -312,8 +372,9 @@ mod tests {
     #[test]
     fn auto_resolves_by_node_count() {
         assert_eq!(OracleKind::Auto.resolve(4096), OracleKind::Dense);
-        assert_eq!(OracleKind::Auto.resolve(4097), OracleKind::Lazy);
+        assert_eq!(OracleKind::Auto.resolve(4097), OracleKind::Cached);
         assert_eq!(OracleKind::Lazy.resolve(10), OracleKind::Lazy);
+        assert_eq!(OracleKind::Cached.resolve(10), OracleKind::Cached);
         assert_eq!(OracleKind::Hybrid.resolve(10_000), OracleKind::Hybrid);
     }
 
@@ -323,6 +384,7 @@ mod tests {
             OracleKind::Auto,
             OracleKind::Dense,
             OracleKind::Lazy,
+            OracleKind::Cached,
             OracleKind::Hybrid,
         ] {
             assert_eq!(OracleKind::parse(kind.label()), Some(kind));
@@ -337,12 +399,23 @@ mod tests {
             OracleKind::Auto,
             OracleKind::Dense,
             OracleKind::Lazy,
+            OracleKind::Cached,
             OracleKind::Hybrid,
         ] {
             let o = kind.build(&g).unwrap();
             assert_eq!(o.node_count(), 16);
             assert_eq!(o.dist(NodeId(0), NodeId(15)), 6.0);
         }
+    }
+
+    #[test]
+    fn cache_stats_default_is_none_and_forwards_through_box() {
+        let g = generators::grid(4, 4).unwrap();
+        assert!(OracleKind::Dense.build(&g).unwrap().cache_stats().is_none());
+        let cached = OracleKind::Cached.build(&g).unwrap();
+        cached.dist(NodeId(0), NodeId(15));
+        let ledger = cached.cache_stats().expect("cached keeps a ledger");
+        assert_eq!(ledger.misses, 1);
     }
 
     #[test]

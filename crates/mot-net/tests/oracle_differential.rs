@@ -1,14 +1,15 @@
-//! Backend parity: the lazy and hybrid oracles must agree with the
-//! dense matrix on every query the tracking stack issues.
+//! Backend parity: the lazy, cached, and hybrid oracles must agree
+//! with the dense matrix on every query the tracking stack issues.
 //!
 //! `dist` and `ball` agree *exactly* — all backends quantize through
 //! `f32` and Dijkstra is deterministic, so swapping backends can never
-//! change a cost account. `diameter` is exact for dense; the lazy
-//! double-sweep estimate must sit in the documented `[D/2, D]` band
-//! (and be exact on grids).
+//! change a cost account. `diameter` is exact for dense; the lazy /
+//! cached double-sweep estimate must sit in the documented `[D/2, D]`
+//! band (and be exact on grids).
 
 use mot_net::{
-    generators, DenseOracle, DistanceOracle, Graph, HybridOracle, LazyOracle, NodeId, OracleKind,
+    generators, CachedOracle, DenseOracle, DistanceOracle, Graph, HybridOracle, LazyOracle, NodeId,
+    OracleKind,
 };
 
 /// The topology families the evaluation sweeps.
@@ -34,12 +35,16 @@ fn topologies() -> Vec<(String, Graph)> {
     out
 }
 
-/// All three backends over the same graph; hybrid gets a pinned subset
-/// so both its row paths (pinned and LRU) are exercised.
+/// Every on-demand backend over the same graph; hybrid gets a pinned
+/// subset so both its row paths (pinned and LRU) are exercised, and
+/// cached runs once with its default budget (promotion-heavy under the
+/// exhaustive query sweeps) and once with a two-row budget so the
+/// eviction-then-recompute path is exercised on every topology.
 fn backends(g: &Graph) -> Vec<(&'static str, Box<dyn DistanceOracle>)> {
     let hybrid = HybridOracle::new(g).unwrap();
     let pins: Vec<NodeId> = g.nodes().step_by(4).collect();
     hybrid.pin(&pins);
+    let two_rows = 2 * 12 * g.node_count();
     vec![
         (
             "lazy",
@@ -48,6 +53,11 @@ fn backends(g: &Graph) -> Vec<(&'static str, Box<dyn DistanceOracle>)> {
         (
             "lazy-tiny-cache",
             Box::new(LazyOracle::with_row_capacity(g, 2).unwrap()),
+        ),
+        ("cached", Box::new(CachedOracle::new(g).unwrap())),
+        (
+            "cached-tiny-budget",
+            Box::new(CachedOracle::with_byte_budget(g, two_rows).unwrap()),
         ),
         ("hybrid", Box::new(hybrid)),
     ]
@@ -163,6 +173,7 @@ fn factory_backends_agree_on_shared_queries() {
     let oracles: Vec<Box<dyn DistanceOracle>> = [
         OracleKind::Dense,
         OracleKind::Lazy,
+        OracleKind::Cached,
         OracleKind::Hybrid,
         OracleKind::Auto,
     ]

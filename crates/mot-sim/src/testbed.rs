@@ -58,10 +58,11 @@ impl Algo {
 ///
 /// The oracle is a boxed [`DistanceOracle`] chosen via [`OracleKind`]:
 /// dense (exact all-pairs matrix) by default up to
-/// [`OracleKind::DENSE_NODE_LIMIT`] nodes, lazy per-source rows beyond
-/// that. With the hybrid backend the bed pins every hierarchy-internal
-/// node's row right after overlay construction, so the hot set never
-/// churns out of the row cache.
+/// [`OracleKind::DENSE_NODE_LIMIT`] nodes, the byte-budgeted cached
+/// backend (bounded solves on miss) beyond that — so no bed
+/// construction ever performs an n² warm-up. With the hybrid backend
+/// the bed pins every hierarchy-internal node's row right after overlay
+/// construction, so the hot set never churns out of the row cache.
 pub struct TestBed {
     /// The sensor-network topology.
     pub graph: Graph,
@@ -181,20 +182,25 @@ impl TestBed {
     }
 
     /// A graph center — the sink the tree baselines root at.
+    ///
+    /// Eccentricities come from one graph-side Dijkstra per node
+    /// (quantized through f32 like every oracle read, so the pick is
+    /// identical to an oracle scan) instead of n² oracle `dist` calls —
+    /// on-demand backends would otherwise warm a full row per node.
     pub fn center(&self) -> NodeId {
         let n = self.graph.node_count();
-        (0..n)
-            .map(NodeId::from_index)
-            .min_by(|&a, &b| {
-                let ea = (0..n)
-                    .map(|v| self.oracle.dist(a, NodeId::from_index(v)))
-                    .fold(0.0, f64::max);
-                let eb = (0..n)
-                    .map(|v| self.oracle.dist(b, NodeId::from_index(v)))
-                    .fold(0.0, f64::max);
-                ea.partial_cmp(&eb).unwrap().then(a.cmp(&b))
-            })
-            .expect("non-empty graph")
+        let mut ws = mot_net::DijkstraWorkspace::with_capacity(n);
+        let mut best: Option<(f64, NodeId)> = None;
+        for u in (0..n).map(NodeId::from_index) {
+            ws.sssp(&self.graph, u);
+            let ecc = (0..n)
+                .map(|v| ws.dist(NodeId::from_index(v)) as f32 as f64)
+                .fold(0.0, f64::max);
+            if best.map(|(be, bu)| (ecc, u) < (be, bu)).unwrap_or(true) {
+                best = Some((ecc, u));
+            }
+        }
+        best.expect("non-empty graph").1
     }
 
     /// Instantiates `algo` over this bed. `rates` is the traffic
