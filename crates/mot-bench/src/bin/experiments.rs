@@ -18,6 +18,7 @@
 //! cargo run --release -p mot-bench --bin experiments -- --profile paper all
 //! cargo run --release -p mot-bench --bin experiments -- --oracle cached scale
 //! cargo run --release -p mot-bench --bin experiments -- --profile quick faults-smoke
+//! cargo run --release -p mot-bench --bin experiments -- --jobs 2 --metrics svc.json service-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --metrics out.json fig4 level-decomp
 //! cargo run --release -p mot-bench --bin experiments -- --profile smoke bench-baseline
 //! ```
@@ -39,17 +40,17 @@
 //! unrepaired objects) — exits nonzero with a readable message.
 
 use mot_bench::{
-    ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
-    load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,
-    query_figure, run_baseline, scale_table, state_size_table, trace_aggregates, trace_events,
-    BaselineProfile, BenchError, FigureTable, Profile, RunReport,
+    ablation_table, churn_table, faults_table, general_graph_table, instrumented_run,
+    level_decomposition_table, load_figure, locality_table, maintenance_figure, mobility_table,
+    publish_cost_table, query_figure, run_baseline, scale_table, service_run, state_size_table,
+    trace_events, BaselineProfile, BenchError, FigureTable, Profile, RunReport, ServiceSpec,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
 use std::process::ExitCode;
 
-const ALL_IDS: [&str; 24] = [
+const ALL_IDS: [&str; 26] = [
     "bench-baseline",
     "fig4",
     "fig5",
@@ -73,6 +74,8 @@ const ALL_IDS: [&str; 24] = [
     "scale",
     "faults",
     "faults-smoke",
+    "service",
+    "service-smoke",
     "level-decomp",
 ];
 
@@ -211,6 +214,23 @@ fn run() -> Result<(), BenchError> {
         oracle: oracle.label().to_string(),
         ..RunReport::default()
     };
+    // Runs the chaos soak, prints its wall-clock throughput (stderr —
+    // tables stay byte-identical across --jobs), and stashes the full
+    // report for the --metrics trailer.
+    let run_service_id =
+        |spec: ServiceSpec, service_out: &mut Option<String>| -> Result<FigureTable, BenchError> {
+            let (table, rep) = service_run(&spec)?;
+            eprintln!(
+                "[service: {} ops in {:.2}s = {:.0} ops/s, {} workers]",
+                rep.sent,
+                rep.wall_secs,
+                rep.sent as f64 / rep.wall_secs.max(1e-9),
+                rep.workers
+            );
+            *service_out = Some(rep.to_json());
+            Ok(table)
+        };
+    let mut service_json: Option<String> = None;
     for id in &ids {
         let started = std::time::Instant::now();
         let name = profile_name.as_str();
@@ -245,6 +265,18 @@ fn run() -> Result<(), BenchError> {
             "scale" => scale_table(&scale_profile(name, oracle, jobs)?),
             "faults" => faults_table(&profile_for(100, name, oracle, jobs)?, (32, 32)),
             "faults-smoke" => faults_table(&smoke_profile(oracle, jobs), (16, 16)),
+            "service" => ServiceSpec::for_profile(name)
+                .map(|s| s.with_oracle(oracle).with_jobs(jobs))
+                .and_then(|s| run_service_id(s, &mut service_json)),
+            "service-smoke" => {
+                // Fixed CI spec: --profile has no effect, --jobs does
+                // (parity is part of the contract being smoked).
+                let mut spec = ServiceSpec::smoke().with_oracle(oracle);
+                if jobs != 0 {
+                    spec = spec.with_jobs(jobs);
+                }
+                run_service_id(spec, &mut service_json)
+            }
             "level-decomp" => level_decomposition_table(&profile_for(100, name, oracle, jobs)?),
             other => {
                 let known = ALL_IDS.join(" ");
@@ -273,10 +305,12 @@ fn run() -> Result<(), BenchError> {
         eprintln!("wrote {path} ({} events)", events.len());
     }
     if let Some(path) = &metrics_path {
-        report.trace = Some(
-            trace_aggregates(&profile_for(100, profile_name.as_str(), oracle, jobs)?, 1)
-                .map_err(|e| format!("--metrics instrumented run failed: {e}"))?,
-        );
+        let (agg, cache) =
+            instrumented_run(&profile_for(100, profile_name.as_str(), oracle, jobs)?, 1)
+                .map_err(|e| format!("--metrics instrumented run failed: {e}"))?;
+        report.trace = Some(agg);
+        report.cache = cache;
+        report.service = service_json;
         std::fs::write(path, report.to_json())
             .map_err(|e| format!("cannot write '{path}': {e}"))?;
         eprintln!("wrote {path}");

@@ -11,7 +11,7 @@ use crate::report::FigureTable;
 use mot_baselines::DetectionRates;
 use mot_core::{LedgerKind, MemorySink, MotConfig, MotTracker, TraceEvent, TraceSink, Tracker};
 use mot_hierarchy::OverlayConfig;
-use mot_net::{generators, DistanceOracle, OracleKind};
+use mot_net::{generators, CacheLedger, DistanceOracle, OracleKind};
 use mot_sim::{
     repair_all, replay_moves, replay_moves_faulty, run_publish, run_queries, run_queries_faulty,
     unrepaired_objects, Algo, CellKey, ConcurrentConfig, ConcurrentEngine, CostStats, FaultConfig,
@@ -712,8 +712,13 @@ pub fn scale_table(p: &Profile) -> BenchResult {
 /// and the `--metrics` report's observability section: publish +
 /// maintenance replay + a query batch over the profile's largest grid,
 /// every billed hop mirrored to `sink`. Returns the maintenance stats so
-/// callers can cross-check the ledger against [`CostStats`] totals.
-fn observed_mot_run(p: &Profile, seed: u64, sink: &dyn TraceSink) -> Result<CostStats, BenchError> {
+/// callers can cross-check the ledger against [`CostStats`] totals,
+/// plus the bed oracle's cache counters when its backend keeps them.
+fn observed_mot_run(
+    p: &Profile,
+    seed: u64,
+    sink: &dyn TraceSink,
+) -> Result<(CostStats, Option<CacheLedger>), BenchError> {
     let &(r, c) = p.grids.last().ok_or("profile has no grids")?;
     let bed = TestBed::grid_with_oracle(r, c, seed, p.oracle)?;
     let w = WorkloadSpec::new(p.objects.min(100), p.moves_per_object, seed * 7 + 1)
@@ -729,7 +734,7 @@ fn observed_mot_run(p: &Profile, seed: u64, sink: &dyn TraceSink) -> Result<Cost
         p.queries,
         seed + 31,
     )?;
-    Ok(maint)
+    Ok((maint, bed.oracle.cache_stats()))
 }
 
 /// Raw event stream of the fixed-seed instrumented run (the `--trace`
@@ -743,9 +748,20 @@ pub fn trace_events(p: &Profile, seed: u64) -> Result<Vec<TraceEvent>, BenchErro
 /// Mergeable aggregates of the fixed-seed instrumented run (the
 /// `--metrics` report's observability section).
 pub fn trace_aggregates(p: &Profile, seed: u64) -> Result<TraceAggregates, BenchError> {
+    instrumented_run(p, seed).map(|(agg, _)| agg)
+}
+
+/// [`trace_aggregates`] plus the run's oracle cache counters — the
+/// `--metrics` report exposes both so long soaks on the `cached`
+/// backend can watch hit/miss/eviction health over time. `None` for
+/// backends that keep no cache.
+pub fn instrumented_run(
+    p: &Profile,
+    seed: u64,
+) -> Result<(TraceAggregates, Option<CacheLedger>), BenchError> {
     let rec = Recorder::new();
-    observed_mot_run(p, seed, &rec)?;
-    Ok(rec.finish())
+    let (_, cache) = observed_mot_run(p, seed, &rec)?;
+    Ok((rec.finish(), cache))
 }
 
 /// Per-level cost decomposition of the instrumented MOT run: one row per
@@ -760,7 +776,7 @@ pub fn trace_aggregates(p: &Profile, seed: u64) -> Result<TraceAggregates, Bench
 /// the populated levels has to spend strictly less than the bottom half.
 pub fn level_decomposition_table(p: &Profile) -> BenchResult {
     let rec = Recorder::new();
-    let maint = observed_mot_run(p, 1, &rec)?;
+    let (maint, _) = observed_mot_run(p, 1, &rec)?;
     let agg = rec.finish();
     let ledger = &agg.ledger;
     let maint_sum = ledger.ledger_total(LedgerKind::Maintenance);

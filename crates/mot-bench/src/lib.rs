@@ -15,6 +15,8 @@
 //! | `fig14`/`fig15` | Figs. 14–15 | query ratio, concurrent |
 //! | `faults` | — | fault sweep: drop rates × crashes, MOT vs STUN, 32×32 grid |
 //! | `faults-smoke` | — | fixed-seed 16×16 fault sweep (CI health check) |
+//! | `service` | — | chaos soak of the long-lived service loop (DESIGN.md §15) |
+//! | `service-smoke` | — | short fixed-seed service soak (CI zero-silent-loss check) |
 //! | `level-decomp` | — | per-level cost decomposition of an instrumented MOT run |
 //! | `bench-baseline` | — | wall-clock phase timings vs the frozen builder (`BENCH_*.json`) |
 //!
@@ -34,15 +36,17 @@
 pub mod baseline;
 pub mod figures;
 pub mod report;
+pub mod service;
 
 pub use baseline::{
     run_baseline, BaselineProfile, BaselineReport, SizeSpec, SizeTiming, BENCH_SCHEMA,
     REFERENCE_PHASE_NODE_LIMIT,
 };
 pub use figures::{
-    ablation_table, churn_table, faults_table, general_graph_table, level_decomposition_table,
-    load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,
-    query_figure, scale_table, state_size_table, trace_aggregates, trace_events, BenchError,
-    BenchResult, Profile,
+    ablation_table, churn_table, faults_table, general_graph_table, instrumented_run,
+    level_decomposition_table, load_figure, locality_table, maintenance_figure, mobility_table,
+    publish_cost_table, query_figure, scale_table, state_size_table, trace_aggregates,
+    trace_events, BenchError, BenchResult, Profile,
 };
 pub use report::{FigureTable, RunReport};
+pub use service::{service_run, service_table, ServiceSpec};

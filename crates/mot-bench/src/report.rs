@@ -2,6 +2,7 @@
 //! machine-readable [`RunReport`] behind `experiments --metrics`.
 
 use mot_core::fmt_f64;
+use mot_net::CacheLedger;
 use mot_sim::TraceAggregates;
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
@@ -139,6 +140,13 @@ pub struct RunReport {
     pub timings_secs: Vec<(String, f64)>,
     /// Aggregates of the fixed-seed instrumented run, when collected.
     pub trace: Option<TraceAggregates>,
+    /// Distance-oracle cache counters of the instrumented run, when its
+    /// backend keeps them (`cached`) — long soaks watch hit/miss/eviction
+    /// rates here for cache health over time.
+    pub cache: Option<CacheLedger>,
+    /// Full service-mode report JSON (counters, histograms, and the
+    /// wall-clock throughput trailer), when a `service*` experiment ran.
+    pub service: Option<String>,
 }
 
 impl RunReport {
@@ -159,12 +167,26 @@ impl RunReport {
             .trace
             .as_ref()
             .map_or_else(|| "null".to_string(), TraceAggregates::to_json);
+        let cache = self.cache.as_ref().map_or_else(
+            || "null".to_string(),
+            |c| {
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"promotions\":{},\
+                     \"resident_rows\":{},\"resident_bytes\":{}}}",
+                    c.hits, c.misses, c.evictions, c.promotions, c.resident_rows, c.resident_bytes
+                )
+            },
+        );
+        let service = self.service.clone().unwrap_or_else(|| "null".to_string());
         format!(
-            "{{\"profile\":{},\"oracle\":{},\"timings_secs\":{{{}}},\"trace\":{},\"tables\":{{{}}}}}",
+            "{{\"profile\":{},\"oracle\":{},\"timings_secs\":{{{}}},\"trace\":{},\
+             \"cache\":{},\"service\":{},\"tables\":{{{}}}}}",
             json_string(&self.profile),
             json_string(&self.oracle),
             timings.join(","),
             trace,
+            cache,
+            service,
             tables.join(",")
         )
     }
@@ -232,10 +254,38 @@ mod tests {
             tables: vec![("fig4".into(), sample())],
             timings_secs: vec![("fig4".into(), 1.5)],
             trace: None,
+            cache: None,
+            service: None,
         };
         let j = r.to_json();
         assert!(j.contains("\"fig4\":{\"title\""), "{j}");
         assert!(j.contains("\"trace\":null"), "{j}");
+        assert!(j.contains("\"cache\":null"), "{j}");
+        assert!(j.contains("\"service\":null"), "{j}");
         assert!(j.contains("\"timings_secs\":{\"fig4\":1.5}"), "{j}");
+    }
+
+    #[test]
+    fn run_report_renders_cache_counters_and_service_trailer() {
+        let r = RunReport {
+            profile: "quick".into(),
+            oracle: "cached".into(),
+            cache: Some(CacheLedger {
+                hits: 10,
+                misses: 3,
+                evictions: 1,
+                promotions: 2,
+                resident_rows: 4,
+                resident_bytes: 4096,
+            }),
+            service: Some("{\"sent\":5}".into()),
+            ..RunReport::default()
+        };
+        let j = r.to_json();
+        assert!(
+            j.contains("\"cache\":{\"hits\":10,\"misses\":3,\"evictions\":1,"),
+            "{j}"
+        );
+        assert!(j.contains("\"service\":{\"sent\":5}"), "{j}");
     }
 }

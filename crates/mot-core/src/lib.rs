@@ -59,6 +59,7 @@ pub mod error;
 pub mod lb;
 pub mod mot;
 pub mod object;
+pub mod op;
 pub mod state;
 pub mod trace;
 pub mod tracker;
@@ -69,6 +70,7 @@ pub use mot::MotTracker;
 /// Distance-backend selector, re-exported for experiment configuration.
 pub use mot_net::OracleKind;
 pub use object::ObjectId;
+pub use op::{OpId, OpLedger};
 pub use trace::{fmt_f64, LedgerKind, MemorySink, OpKind, TraceEvent, TracePhase, TraceSink};
 pub use tracker::{MoveOutcome, QueryResult, Tracker};
 

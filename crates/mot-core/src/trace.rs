@@ -132,6 +132,8 @@ pub enum TracePhase {
     Retransmit,
     /// A protocol message delivery (message-passing rendering).
     Deliver,
+    /// A message whose retry budget ran out: recorded lost, never silent.
+    Exhausted,
 }
 
 impl TracePhase {
@@ -149,6 +151,7 @@ impl TracePhase {
             TracePhase::Handoff => "handoff",
             TracePhase::Retransmit => "retransmit",
             TracePhase::Deliver => "deliver",
+            TracePhase::Exhausted => "exhausted",
         }
     }
 }

@@ -5,6 +5,14 @@
 //! returning the message distance it spent, so cost ratios against the
 //! optimal offline algorithm can be accounted per operation
 //! (DESIGN.md §2).
+//!
+//! Trackers themselves are idempotency-oblivious: `publish` upserts and
+//! `move_object` rebinds to an absolute target, so replaying an entry
+//! point twice is harmless but *billed* twice. Drivers that deliver
+//! operations at-least-once (service mode, DESIGN.md §15) therefore
+//! assign every call an [`crate::OpId`] and gate it through an
+//! [`crate::OpLedger`] — effects and billing happen exactly once per id,
+//! and a stale retry is fenced before it reaches the entry point.
 
 use crate::object::ObjectId;
 use crate::Result;

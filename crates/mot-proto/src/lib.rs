@@ -75,5 +75,5 @@ pub use faults::{FaultModel, NoFaults, ScriptedFaults};
 pub use message::{Message, Payload};
 pub use runtime::{BatchOp, BatchOutcome, ProtoTracker};
 pub use transport::{
-    CostLedger, Delivery, LossyTransport, TimedTransport, Transport, RETRIES_KIND,
+    Backoff, CostLedger, Delivery, LossyTransport, TimedTransport, Transport, RETRIES_KIND,
 };

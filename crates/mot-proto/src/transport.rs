@@ -8,9 +8,9 @@
 
 use crate::faults::FaultModel;
 use crate::message::{Message, Payload};
-use mot_core::{LedgerKind, OpKind, TraceEvent, TracePhase, TraceSink};
+use mot_core::{LedgerKind, OpId, OpKind, OpLedger, TraceEvent, TracePhase, TraceSink};
 use mot_net::DistanceOracle;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Emits one transport-level trace event for a billed transmission
@@ -39,6 +39,59 @@ fn emit_msg(sink: &Option<Rc<dyn TraceSink>>, msg: &Message, dist: f64, retry: b
     }
 }
 
+/// Capped exponential backoff schedule for retry scheduling.
+///
+/// The delay before retry `attempt` is `base · 2^attempt`, saturated
+/// against both 64-bit overflow and the configured `cap` — unbounded
+/// doubling would overflow (and effectively park a message forever) past
+/// attempt 63, and even below that an uncapped delay explodes far beyond
+/// any useful retry horizon. Time units are whatever the caller ticks
+/// in: queue slots for [`LossyTransport`]'s implicit timeout, service
+/// batches for the mot-sim service loop.
+///
+/// ```
+/// use mot_proto::Backoff;
+///
+/// let b = Backoff::new(2, 100);
+/// assert_eq!(b.delay(0), 2);
+/// assert_eq!(b.delay(3), 16);
+/// assert_eq!(b.delay(9), 100); // capped, not 1024
+/// assert_eq!(b.delay(200), 100); // no overflow at absurd attempts
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay of the first retry (must be ≥ 1).
+    pub base: u64,
+    /// Hard ceiling every delay saturates to (must be ≥ `base`).
+    pub cap: u64,
+}
+
+impl Backoff {
+    /// A schedule doubling from `base` up to `cap`.
+    pub fn new(base: u64, cap: u64) -> Self {
+        assert!(base >= 1, "zero base would retry without waiting");
+        assert!(cap >= base, "cap below base would invert the schedule");
+        Backoff { base, cap }
+    }
+
+    /// The delay before retry number `attempt` (0-based), capped and
+    /// overflow-guarded.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        if attempt >= u64::BITS {
+            return self.cap;
+        }
+        self.base.saturating_mul(1u64 << attempt).min(self.cap)
+    }
+}
+
+impl Default for Backoff {
+    /// Doubling from 1, capped at 64 — a horizon past any realistic
+    /// `max_attempts` budget while staying far from overflow.
+    fn default() -> Self {
+        Backoff { base: 1, cap: 64 }
+    }
+}
+
 /// Ledger kind under which fault overhead is billed: lost transmissions,
 /// retransmissions, and redundant duplicate arrivals. Never charged —
 /// each operation's charged cost stays "one bill per effective delivery"
@@ -53,6 +106,13 @@ pub struct CostLedger {
     pub charged: f64,
     /// Number of messages delivered since the last reset.
     pub messages: usize,
+    /// Messages whose retry budget was exhausted since the last reset —
+    /// recorded loss, never silent. Every message a lossy transport
+    /// accepts ends as a delivery or here.
+    pub lost_messages: usize,
+    /// Distance of the undeliverable hop of each lost message (the
+    /// wasted attempts themselves accrue under [`RETRIES_KIND`]).
+    pub lost_distance: f64,
 }
 
 impl CostLedger {
@@ -76,6 +136,12 @@ impl CostLedger {
         self.messages += 1;
     }
 
+    /// Records a message that exhausted its retry budget.
+    fn record_lost(&mut self, dist: f64) {
+        self.lost_messages += 1;
+        self.lost_distance += dist;
+    }
+
     /// Total fault overhead (lost + duplicate transmission distance)
     /// since the last reset.
     pub fn retries(&self) -> f64 {
@@ -87,6 +153,8 @@ impl CostLedger {
         self.by_kind.clear();
         self.charged = 0.0;
         self.messages = 0;
+        self.lost_messages = 0;
+        self.lost_distance = 0.0;
     }
 }
 
@@ -169,8 +237,12 @@ struct InFlight {
 /// A lossy FIFO transport: every transmission consults a [`FaultModel`]
 /// (drop? duplicate? receiver crashed?) and charged traffic is protected
 /// by an ack/retry protocol — a lost transmission is retransmitted from
-/// the back of the queue (the implicit ack timeout doubles as backoff)
-/// until `max_attempts` is reached, at which point delivery fails.
+/// the back of the queue (the implicit ack timeout is one queue pass;
+/// drivers that schedule retries in real or simulated time use the
+/// explicit capped [`Backoff`] schedule instead) until `max_attempts`
+/// is reached, at which point delivery fails *loudly*: the sequence
+/// number is recorded in [`LossyTransport::ops`], the cost ledger's
+/// `lost_messages` counter, and a [`TracePhase::Exhausted`] event.
 ///
 /// Billing: each effective delivery is billed once, exactly like the
 /// reliable [`Transport`]; all wasted distance (drops, retransmissions
@@ -185,8 +257,10 @@ pub struct LossyTransport {
     /// Transmission attempts per message before giving up.
     pub max_attempts: u32,
     next_seq: u64,
-    /// Sequence numbers whose effects were already applied.
-    applied: HashSet<u64>,
+    /// Exactly-once admission: sequence numbers whose effects were
+    /// already applied (redeliveries fenced), plus the recorded-lost ids
+    /// of every message that exhausted its budget.
+    pub ops: OpLedger,
     sink: Option<Rc<dyn TraceSink>>,
 }
 
@@ -201,7 +275,7 @@ impl LossyTransport {
             faults,
             max_attempts,
             next_seq: 0,
-            applied: HashSet::new(),
+            ops: OpLedger::new(),
             sink: None,
         }
     }
@@ -251,6 +325,25 @@ impl LossyTransport {
                 self.ledger.bill_retry(dist);
                 emit_msg(&self.sink, &inflight.msg, dist, true);
                 if inflight.attempt >= self.max_attempts {
+                    // Exhaustion is recorded, never silent: the seq lands
+                    // in the op ledger's lost list, the cost ledger
+                    // counts it, and a zero-distance marker event (the
+                    // attempts were already billed above) flags it to any
+                    // attached sink.
+                    self.ops.record_lost(OpId(inflight.seq));
+                    self.ledger.record_lost(dist);
+                    if let Some(s) = &self.sink {
+                        s.event(&TraceEvent {
+                            op: OpKind::Transport,
+                            phase: TracePhase::Exhausted,
+                            ledger: LedgerKind::Retry,
+                            object: inflight.msg.payload.object(),
+                            src: inflight.msg.src,
+                            dst: inflight.msg.dst,
+                            level: inflight.msg.payload.trace_level() as u32,
+                            distance: 0.0,
+                        });
+                    }
                     return Some(Delivery::Failed {
                         attempts: inflight.attempt,
                         msg: inflight.msg,
@@ -259,7 +352,7 @@ impl LossyTransport {
                 self.queue.push_back(inflight);
                 continue;
             }
-            if !self.applied.insert(inflight.seq) {
+            if !self.ops.admit(OpId(inflight.seq), inflight.attempt) {
                 self.ledger.bill_retry(dist);
                 emit_msg(&self.sink, &inflight.msg, dist, true);
                 return Some(Delivery::Duplicate(inflight.msg));
@@ -729,6 +822,93 @@ mod tests {
             sink.ledger_total(LedgerKind::Bookkeeping),
             t.ledger.of_kind("reply")
         );
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let b = Backoff::new(1, 16);
+        let delays: Vec<u64> = (0..8).map(|a| b.delay(a)).collect();
+        assert_eq!(delays, vec![1, 2, 4, 8, 16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn backoff_never_overflows_at_high_attempt_counts() {
+        // Unbounded doubling overflows u64 past attempt 63; the schedule
+        // must saturate to the cap instead of wrapping to tiny delays.
+        let b = Backoff::new(u64::MAX / 2, u64::MAX);
+        assert_eq!(b.delay(1), u64::MAX - 1);
+        assert_eq!(b.delay(2), u64::MAX, "saturates, does not wrap");
+        assert_eq!(b.delay(63), u64::MAX);
+        assert_eq!(b.delay(64), u64::MAX, "shift ≥ 64 is guarded");
+        assert_eq!(b.delay(u32::MAX), u64::MAX);
+        let capped = Backoff::new(3, 1000);
+        assert_eq!(capped.delay(200), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap below base")]
+    fn backoff_rejects_inverted_bounds() {
+        let _ = Backoff::new(8, 4);
+    }
+
+    /// The zero-silent-loss audit: under a fault plan that exhausts some
+    /// retry budgets, every message the transport accepted is accounted
+    /// for — `sent == applied + recorded-lost` — and the lost ones are
+    /// visible in the op ledger, the cost ledger, and the trace stream.
+    #[test]
+    fn exhausted_messages_are_recorded_in_ledgers_and_trace() {
+        use crate::faults::ScriptedFaults;
+        use mot_core::MemorySink;
+        let g = generators::line(5).unwrap();
+        let m = DenseOracle::build(&g).unwrap();
+        // msg 0 burns its whole 2-attempt budget; msg 1 delivers; msg 2
+        // drops once, then delivers on its retry.
+        let faults = ScriptedFaults::dropping([true, false, true, true, false]);
+        let mut t = LossyTransport::new(Box::new(faults), 2);
+        let sink = Rc::new(MemorySink::new());
+        t.set_sink(sink.clone());
+        let sent = 3usize;
+        for object in 0..sent as u32 {
+            t.send(msg(
+                0,
+                4,
+                Payload::Query {
+                    object: ObjectId(object),
+                    origin: NodeId(0),
+                    level: 0,
+                    index: 0,
+                },
+            ));
+        }
+        let mut applied = 0usize;
+        let mut failed = Vec::new();
+        while let Some(d) = t.deliver(&m) {
+            match d {
+                Delivery::Apply(_) => applied += 1,
+                Delivery::Duplicate(_) => {}
+                Delivery::Failed { msg, attempts } => {
+                    assert_eq!(attempts, 2);
+                    failed.push(msg.payload.object());
+                }
+            }
+        }
+        assert!(t.is_idle());
+        assert_eq!(applied, 2);
+        assert_eq!(failed, vec![ObjectId(0)]);
+        // every sent message is accounted: delivered or recorded-lost
+        assert_eq!(sent, applied + t.ops.lost().len());
+        assert_eq!(t.ops.lost(), &[0], "seq 0 is the exhausted message");
+        assert_eq!(t.ledger.lost_messages, 1);
+        assert_eq!(t.ledger.lost_distance, 4.0);
+        let exhausted: Vec<_> = sink
+            .events()
+            .iter()
+            .filter(|e| e.phase == TracePhase::Exhausted)
+            .cloned()
+            .collect();
+        assert_eq!(exhausted.len(), 1, "loss surfaces as a trace event");
+        assert_eq!(exhausted[0].object, ObjectId(0));
+        assert_eq!(exhausted[0].distance, 0.0, "marker only, already billed");
     }
 
     #[test]

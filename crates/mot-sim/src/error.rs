@@ -39,6 +39,13 @@ pub enum SimError {
         /// The panic payload or error message, as text.
         cause: String,
     },
+    /// Service mode detected an operational-invariant violation: an op
+    /// unaccounted for (silent loss), a shard ledger that disagrees with
+    /// its tracker, a worker that died mid-tick, or an event loop that
+    /// failed to quiesce after the stream ended. Any of these means the
+    /// run's zero-silent-loss guarantee does not hold, so the run is
+    /// rejected rather than reported.
+    Service(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -59,6 +66,7 @@ impl std::fmt::Display for SimError {
             SimError::Cell { key, cause } => {
                 write!(f, "experiment cell {key} failed: {cause}")
             }
+            SimError::Service(msg) => write!(f, "service invariant violated: {msg}"),
         }
     }
 }

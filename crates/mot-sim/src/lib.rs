@@ -22,6 +22,12 @@
 //!   algo × seed)* cells whose output is bit-identical for 1 worker and
 //!   N workers (cell-keyed RNG streams, canonical merge order —
 //!   DESIGN.md §12),
+//! * [`stream`] + [`service`] — service mode (DESIGN.md §15): a seeded
+//!   publish/move/query op stream and the long-lived sharded event loop
+//!   that survives composed fault plans with zero silent loss —
+//!   exactly-once admission ledgers, attempt fencing, crash re-adoption
+//!   with bounded replay, and a measured backlog with a degrade/shed
+//!   policy,
 //! * [`testbed`] — one-stop construction of a topology, its distance
 //!   oracle, overlay, and any of the six trackers the experiments
 //!   compare.
@@ -65,6 +71,8 @@ pub mod metrics;
 pub mod mobility;
 pub mod parallel;
 pub mod run;
+pub mod service;
+pub mod stream;
 pub mod testbed;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentEngine};
@@ -83,4 +91,6 @@ pub use run::{
     replay_moves, replay_moves_observed, run_local_queries, run_publish, run_queries,
     run_queries_observed, QueryBatchStats,
 };
+pub use service::{run_service, ServiceConfig, ServiceOutcome, ServiceReport, ShedPolicy};
+pub use stream::{OpEnvelope, OpStream, ServiceOp, StreamSpec};
 pub use testbed::{Algo, TestBed};

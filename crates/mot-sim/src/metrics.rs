@@ -308,6 +308,28 @@ impl Histogram {
         self.buckets.iter().rposition(|&c| c > 0)
     }
 
+    /// Approximate quantile at power-of-two resolution: the upper edge
+    /// of the first bucket whose cumulative count reaches `q · count`
+    /// (its lower edge for the unbounded last bucket). Deterministic and
+    /// mergeable — the p50/p99 figures service mode reports — unlike an
+    /// exact percentile it costs no sample retention.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                return if hi.is_finite() { hi } else { lo };
+            }
+        }
+        unreachable!("cumulative count reaches total count");
+    }
+
     /// JSON rendering: `{"count":N,"sum":S,"buckets":[...]}` with the
     /// trailing run of empty buckets trimmed.
     pub fn to_json(&self) -> String {
@@ -753,6 +775,26 @@ mod tests {
         assert_eq!(a, whole, "cross-seed merge must be exact");
         assert_eq!(a.count, 8);
         assert!((a.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_land_on_bucket_edges() {
+        let mut h = Histogram::new();
+        for x in 1..=100 {
+            h.record(x as f64);
+        }
+        // p50 = sample 50, bucket [32,64) → upper edge 64
+        assert_eq!(h.quantile(0.5), 64.0);
+        // p99 = sample 99, bucket [64,128) → upper edge 128
+        assert_eq!(h.quantile(0.99), 128.0);
+        // q=0 clamps to the first sample: 1.0 sits in [1,2) → edge 2
+        assert_eq!(h.quantile(0.0), 2.0);
+        assert_eq!(h.quantile(1.0), 128.0);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0, "empty is zero");
+        // the unbounded last bucket reports its finite lower edge
+        let mut top = Histogram::new();
+        top.record(f64::MAX);
+        assert!(top.quantile(0.5).is_finite());
     }
 
     #[test]

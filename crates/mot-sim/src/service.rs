@@ -1,0 +1,1170 @@
+//! Service mode: a long-lived, sharded, fault-hardened event loop.
+//!
+//! Batch experiments replay a fixed workload and exit; a deployed
+//! tracking service instead ingests an open-ended stream of
+//! publish/move/query operations while links drop, duplicate, and delay
+//! messages and whole shards crash. [`run_service`] is that loop
+//! (DESIGN.md §15): it drives a seeded [`crate::OpStream`] through a
+//! pool of shard-affine workers and guarantees **zero silent loss** —
+//! at the end of every run each emitted op is accounted exactly once:
+//!
+//! ```text
+//! sent == applied (incl. superseded + degraded) + shed + recorded-lost
+//! ```
+//!
+//! and the run is rejected with [`SimError::Service`] if not.
+//!
+//! # Operational invariants
+//!
+//! * **Exactly-once effects.** Every envelope carries a global
+//!   [`mot_core::OpId`] and every delivery an attempt number; each
+//!   shard admits an op through its durable [`mot_core::OpLedger`]
+//!   before touching the tracker, so retries and duplicate deliveries
+//!   are fenced, never re-applied.
+//! * **Attempt fencing / staleness.** Move targets are absolute and
+//!   each shard keeps a per-object high-water mark over `obj_seq`; a
+//!   late or re-ordered state op at or below the mark is *superseded*
+//!   (counted, no effect) — a stale retry can never clobber newer
+//!   state.
+//! * **Crash re-adoption with bounded replay.** A shard crash destroys
+//!   its tracker and in-flight queue. The durable ledger (checkpointed
+//!   position snapshot + the op tail since) rebuilds a fresh tracker
+//!   with replay bounded by the checkpoint interval; queued ops lost in
+//!   the crash are redelivered by the coordinator.
+//! * **Measured backlog with degrade-before-shed.** Per-shard queue
+//!   depth and oldest-op age are recorded into [`Histogram`]s every
+//!   tick. Past `degrade_depth` queries are answered from the shard
+//!   ledger (cheap, still counted); past `shed_depth` queries are shed
+//!   (counted, terminal). State ops are **never** shed.
+//!
+//! # Determinism
+//!
+//! Fault coins are stateless hashes of `(seed, op, attempt, salt)` —
+//! never of delivery order — shard count is fixed independent of the
+//! worker count, and per-shard results merge in canonical shard order,
+//! so the deterministic report and the final object→location map are
+//! byte-identical for `--jobs 1` and `--jobs N`. Wall-clock throughput
+//! lives in a separate `"wall"` JSON trailer that parity comparisons
+//! strip.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+use mot_baselines::DetectionRates;
+use mot_core::{fmt_f64, ObjectId, OpLedger};
+use mot_net::{CacheLedger, NodeId};
+use mot_proto::Backoff;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::concurrent::ClimbStructure;
+use crate::error::SimError;
+use crate::faults::FaultConfig;
+use crate::metrics::Histogram;
+use crate::stream::{OpEnvelope, OpStream, ServiceOp, StreamSpec};
+use crate::testbed::{Algo, TestBed};
+
+/// Backlog policy: the queue depths at which a shard stops giving
+/// queries the full tracker treatment. Degradation always precedes
+/// shedding, and state ops (publish/move) are exempt from both.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShedPolicy {
+    /// Queue depth at which arriving queries are answered immediately
+    /// from the shard ledger instead of climbing the tracker.
+    pub degrade_depth: usize,
+    /// Queue depth at which arriving queries are shed outright
+    /// (counted, terminal — never silent).
+    pub shed_depth: usize,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            degrade_depth: 512,
+            shed_depth: 2048,
+        }
+    }
+}
+
+/// Configuration of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The generated op stream (also the fault-free oracle).
+    pub stream: StreamSpec,
+    /// Number of state shards (objects map to shard `id % shards`).
+    /// Fixed independently of `jobs` — the determinism anchor.
+    pub shards: usize,
+    /// Worker threads; `0` means one per available hardware thread
+    /// (capped at the shard count).
+    pub jobs: usize,
+    /// Stream ops injected per tick.
+    pub batch: usize,
+    /// Ops a shard may process per tick (`0` = unbounded). A bounded
+    /// budget is what makes backlog — and the shed policy — real.
+    pub shard_budget: usize,
+    /// Transport + crash fault plan (crash count is interpreted as
+    /// shard crashes scheduled across the run).
+    pub faults: FaultConfig,
+    /// Retry schedule for dropped transmissions.
+    pub backoff: Backoff,
+    /// Ticks between durable position checkpoints (`0` = never: crash
+    /// replay then walks the full tail).
+    pub checkpoint_every: u64,
+    /// Backlog degrade/shed thresholds.
+    pub policy: ShedPolicy,
+}
+
+impl ServiceConfig {
+    /// A fault-free single-threaded service over `stream` with default
+    /// sharding, batching, and policy.
+    pub fn new(stream: StreamSpec) -> Self {
+        ServiceConfig {
+            stream,
+            shards: 8,
+            jobs: 1,
+            batch: 256,
+            shard_budget: 0,
+            faults: FaultConfig::default(),
+            backoff: Backoff::default(),
+            checkpoint_every: 16,
+            policy: ShedPolicy::default(),
+        }
+    }
+}
+
+/// The deterministic ledger of one service run plus a wall-clock
+/// trailer. Everything except `wall_secs`, `workers`, and `cache` is
+/// byte-identical across worker counts.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Ops emitted by the stream.
+    pub sent: u64,
+    /// Ops that reached a terminal *applied* state: full application,
+    /// superseded no-ops, and degraded query answers.
+    pub applied: u64,
+    /// Queries shed under backlog pressure (terminal, counted).
+    pub shed: u64,
+    /// Ops whose retry budget was exhausted: recorded lost, never
+    /// silent.
+    pub lost: u64,
+    /// Publishes applied through a tracker (upserting moves included).
+    pub publishes: u64,
+    /// Moves applied through a tracker.
+    pub moves: u64,
+    /// Queries given the full tracker treatment.
+    pub queries: u64,
+    /// State ops fenced by a newer `obj_seq` (stale retries/reorders).
+    pub superseded: u64,
+    /// Queries answered from the shard ledger: backlog degradation
+    /// plus queries arriving before their object was adopted.
+    pub degraded: u64,
+    /// Full-path queries whose tracker answer matched the shard ledger.
+    pub queries_correct: u64,
+    /// Full-path queries whose tracker answer disagreed — always 0 in
+    /// a healthy run.
+    pub queries_wrong: u64,
+    /// Duplicate deliveries refused by shard admission ledgers.
+    pub fenced: u64,
+    /// Transmission attempts the transport dropped.
+    pub dropped_attempts: u64,
+    /// Retries scheduled for dropped attempts.
+    pub retries: u64,
+    /// Redundant duplicate deliveries the transport spawned.
+    pub dup_deliveries: u64,
+    /// Deliveries deferred by one tick.
+    pub delayed: u64,
+    /// Shard crash events injected.
+    pub crash_events: u64,
+    /// Ops replayed from durable ledgers while re-adopting crashed
+    /// shards (bounded by the checkpoint interval).
+    pub replayed_ops: u64,
+    /// Queued ops destroyed by crashes and redelivered.
+    pub redelivered: u64,
+    /// Message distance spent rebuilding crashed shards.
+    pub recovery_cost: f64,
+    /// Per-tick shard queue depths.
+    pub backlog_depth: Histogram,
+    /// Per-tick oldest-queued-op ages (in ticks).
+    pub backlog_age: Histogram,
+    /// Deepest queue observed.
+    pub max_depth: u64,
+    /// Oldest queued op observed (ticks).
+    pub max_age: u64,
+    /// Cost per applied publish.
+    pub publish_cost: Histogram,
+    /// Cost per applied move.
+    pub move_cost: Histogram,
+    /// Cost per full-path query.
+    pub query_cost: Histogram,
+    /// Ticks until quiescence.
+    pub ticks: u64,
+    /// Shard count (fixed, part of the deterministic contract).
+    pub shards: usize,
+    /// FNV-1a hash of the final object→location map.
+    pub final_map_fnv: u64,
+    /// Worker threads actually used (wall trailer only).
+    pub workers: usize,
+    /// Wall-clock seconds (wall trailer only).
+    pub wall_secs: f64,
+    /// Distance-oracle cache counters, when the bed's oracle keeps them
+    /// (wall trailer only: interleaving across workers makes them
+    /// timing-dependent).
+    pub cache: Option<CacheLedger>,
+}
+
+impl ServiceReport {
+    /// The zero-silent-loss identity: every emitted op reached exactly
+    /// one terminal account.
+    pub fn accounted(&self) -> bool {
+        self.sent == self.applied + self.shed + self.lost
+    }
+
+    /// The jobs-independent slice of the report as JSON — what parity
+    /// tests compare byte-for-byte.
+    pub fn deterministic_json(&self) -> String {
+        format!(
+            "{{\"sent\":{},\"applied\":{},\"shed\":{},\"lost\":{},\
+             \"publishes\":{},\"moves\":{},\"queries\":{},\
+             \"superseded\":{},\"degraded\":{},\
+             \"queries_correct\":{},\"queries_wrong\":{},\"fenced\":{},\
+             \"dropped_attempts\":{},\"retries\":{},\"dup_deliveries\":{},\
+             \"delayed\":{},\"crash_events\":{},\"replayed_ops\":{},\
+             \"redelivered\":{},\"recovery_cost\":{},\
+             \"ticks\":{},\"shards\":{},\"final_map_fnv\":{},\
+             \"backlog\":{{\"depth\":{},\"age\":{},\"max_depth\":{},\
+             \"max_age\":{},\"depth_p50\":{},\"depth_p99\":{},\"age_p99\":{}}},\
+             \"costs\":{{\"publish\":{},\"move\":{},\"query\":{},\
+             \"move_p50\":{},\"move_p99\":{},\"query_p50\":{},\"query_p99\":{}}}}}",
+            self.sent,
+            self.applied,
+            self.shed,
+            self.lost,
+            self.publishes,
+            self.moves,
+            self.queries,
+            self.superseded,
+            self.degraded,
+            self.queries_correct,
+            self.queries_wrong,
+            self.fenced,
+            self.dropped_attempts,
+            self.retries,
+            self.dup_deliveries,
+            self.delayed,
+            self.crash_events,
+            self.replayed_ops,
+            self.redelivered,
+            fmt_f64(self.recovery_cost),
+            self.ticks,
+            self.shards,
+            self.final_map_fnv,
+            self.backlog_depth.to_json(),
+            self.backlog_age.to_json(),
+            self.max_depth,
+            self.max_age,
+            fmt_f64(self.backlog_depth.quantile(0.5)),
+            fmt_f64(self.backlog_depth.quantile(0.99)),
+            fmt_f64(self.backlog_age.quantile(0.99)),
+            self.publish_cost.to_json(),
+            self.move_cost.to_json(),
+            self.query_cost.to_json(),
+            fmt_f64(self.move_cost.quantile(0.5)),
+            fmt_f64(self.move_cost.quantile(0.99)),
+            fmt_f64(self.query_cost.quantile(0.5)),
+            fmt_f64(self.query_cost.quantile(0.99)),
+        )
+    }
+
+    /// Full JSON: the deterministic slice plus the `"wall"` trailer
+    /// (throughput, worker count, oracle cache counters). Strip from
+    /// `"wall"` onward — or compare [`Self::deterministic_json`] — for
+    /// byte-level parity checks.
+    pub fn to_json(&self) -> String {
+        let mut s = self.deterministic_json();
+        s.pop();
+        let ops_per_sec = if self.wall_secs > 0.0 {
+            self.sent as f64 / self.wall_secs
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            ",\"wall\":{{\"secs\":{},\"ops_per_sec\":{},\"workers\":{}}}",
+            fmt_f64(self.wall_secs),
+            fmt_f64(ops_per_sec),
+            self.workers
+        ));
+        match &self.cache {
+            None => s.push_str(",\"cache\":null"),
+            Some(c) => s.push_str(&format!(
+                ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+                 \"promotions\":{},\"resident_rows\":{},\"resident_bytes\":{}}}",
+                c.hits, c.misses, c.evictions, c.promotions, c.resident_rows, c.resident_bytes
+            )),
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// What a service run produces: the report and the final map.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// Counters, histograms, and the wall trailer.
+    pub report: ServiceReport,
+    /// Final object→location map assembled from the shard ledgers in
+    /// canonical object order (`None` = never published).
+    pub final_positions: Vec<Option<NodeId>>,
+}
+
+// ---- deterministic fault coins -------------------------------------
+
+const SALT_DROP: u64 = 0xD809;
+const SALT_DUP: u64 = 0xD0B1;
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_LINK: u64 = 0x11F4;
+const CRASH_STREAM: u64 = 0xC4A5_11DE;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform coin in `[0, 1)` keyed on identity, never on order.
+fn coin(seed: u64, a: u64, b: u64, salt: u64) -> f64 {
+    let z = splitmix(seed ^ splitmix(a ^ splitmix(b ^ splitmix(salt))));
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn fnv1a_map(positions: &[Option<NodeId>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: u64, v: u32| -> u64 {
+        let mut h = h;
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    };
+    for (i, p) in positions.iter().enumerate() {
+        h = eat(h, i as u32);
+        h = eat(h, p.map_or(u32::MAX, |n| n.0));
+    }
+    h
+}
+
+// ---- coordinator ↔ worker wire types -------------------------------
+
+#[derive(Clone, Copy)]
+struct Sched {
+    env: OpEnvelope,
+    attempt: u32,
+    dup: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Delivered {
+    env: OpEnvelope,
+    attempt: u32,
+}
+
+struct ShardTickMsg {
+    shard: usize,
+    crash: bool,
+    deliveries: Vec<Delivered>,
+}
+
+enum ToWorker {
+    Tick {
+        tick: u64,
+        shards: Vec<ShardTickMsg>,
+    },
+    Finish,
+}
+
+struct TickOut {
+    shard: usize,
+    depth: usize,
+    redeliver: Vec<Delivered>,
+}
+
+struct ShardFinal {
+    shard: usize,
+    stats: ShardStats,
+    positions: Vec<(u32, NodeId)>,
+    integrity_mismatches: usize,
+}
+
+enum FromWorker {
+    Ticked(Vec<TickOut>),
+    Finished(Vec<ShardFinal>),
+    Error(String),
+}
+
+#[derive(Default)]
+struct ShardStats {
+    applied: u64,
+    publishes: u64,
+    moves: u64,
+    queries: u64,
+    superseded: u64,
+    degraded: u64,
+    shed: u64,
+    queries_correct: u64,
+    queries_wrong: u64,
+    fenced: u64,
+    crashes: u64,
+    replayed: u64,
+    recovery_cost: f64,
+    publish_cost: Histogram,
+    move_cost: Histogram,
+    query_cost: Histogram,
+    depth_hist: Histogram,
+    age_hist: Histogram,
+    max_depth: u64,
+    max_age: u64,
+}
+
+// ---- shard state ----------------------------------------------------
+
+struct Queued {
+    arrival: u64,
+    attempt: u32,
+    env: OpEnvelope,
+}
+
+/// The durable part of a shard: survives crashes, rebuilds the tracker.
+#[derive(Default)]
+struct ShardLedger {
+    ops: OpLedger,
+    positions: HashMap<u32, NodeId>,
+    hw: HashMap<u32, u32>,
+    checkpoint: Vec<(u32, NodeId)>,
+    tail: Vec<(u32, NodeId)>,
+}
+
+struct ShardState<'a> {
+    shard: usize,
+    tracker: Box<dyn ClimbStructure + 'a>,
+    ledger: ShardLedger,
+    queue: VecDeque<Queued>,
+    stats: ShardStats,
+}
+
+impl<'a> ShardState<'a> {
+    fn new(bed: &'a TestBed, rates: &DetectionRates, shard: usize) -> Result<Self, SimError> {
+        Ok(ShardState {
+            shard,
+            tracker: bed.make_tracker(Algo::Mot, rates)?,
+            ledger: ShardLedger::default(),
+            queue: VecDeque::new(),
+            stats: ShardStats::default(),
+        })
+    }
+
+    fn run_tick(
+        &mut self,
+        tick: u64,
+        msg: ShardTickMsg,
+        bed: &'a TestBed,
+        rates: &DetectionRates,
+        cfg: &ServiceConfig,
+    ) -> Result<TickOut, SimError> {
+        let redeliver = if msg.crash {
+            self.crash_recover(bed, rates)?
+        } else {
+            Vec::new()
+        };
+        for d in msg.deliveries {
+            self.enqueue(tick, d, cfg);
+        }
+        let budget = if cfg.shard_budget == 0 {
+            usize::MAX
+        } else {
+            cfg.shard_budget
+        };
+        let mut done = 0usize;
+        while done < budget {
+            match self.queue.pop_front() {
+                Some(q) => self.process(q)?,
+                None => break,
+            }
+            done += 1;
+        }
+        if cfg.checkpoint_every > 0 && tick > 0 && tick.is_multiple_of(cfg.checkpoint_every) {
+            let mut snap: Vec<(u32, NodeId)> = self
+                .ledger
+                .positions
+                .iter()
+                .map(|(&o, &n)| (o, n))
+                .collect();
+            snap.sort_unstable_by_key(|&(o, _)| o);
+            self.ledger.checkpoint = snap;
+            self.ledger.tail.clear();
+        }
+        let depth = self.queue.len();
+        self.stats.depth_hist.record(depth as f64);
+        self.stats.max_depth = self.stats.max_depth.max(depth as u64);
+        let age = self.queue.front().map_or(0, |q| tick - q.arrival);
+        self.stats.age_hist.record(age as f64);
+        self.stats.max_age = self.stats.max_age.max(age);
+        Ok(TickOut {
+            shard: self.shard,
+            depth,
+            redeliver,
+        })
+    }
+
+    /// Destroys the tracker and queue, then re-adopts the shard from
+    /// its durable ledger: checkpoint snapshot + tail replay. Returns
+    /// the queued ops lost in the crash (the sender's unacked window)
+    /// for redelivery.
+    fn crash_recover(
+        &mut self,
+        bed: &'a TestBed,
+        rates: &DetectionRates,
+    ) -> Result<Vec<Delivered>, SimError> {
+        self.stats.crashes += 1;
+        let lost: Vec<Delivered> = self
+            .queue
+            .drain(..)
+            .map(|q| Delivered {
+                env: q.env,
+                attempt: q.attempt,
+            })
+            .collect();
+        self.tracker = bed.make_tracker(Algo::Mot, rates)?;
+        let mut rebuilt: HashSet<u32> = HashSet::new();
+        for &(o, at) in &self.ledger.checkpoint {
+            self.stats.recovery_cost += self.tracker.publish(ObjectId(o), at)?;
+            rebuilt.insert(o);
+            self.stats.replayed += 1;
+        }
+        for &(o, to) in &self.ledger.tail {
+            if rebuilt.insert(o) {
+                self.stats.recovery_cost += self.tracker.publish(ObjectId(o), to)?;
+            } else {
+                self.stats.recovery_cost += self.tracker.move_object(ObjectId(o), to)?.cost;
+            }
+            self.stats.replayed += 1;
+        }
+        Ok(lost)
+    }
+
+    /// Admission with backlog policy: state ops always queue; queries
+    /// degrade past `degrade_depth` and shed past `shed_depth`. Both
+    /// short-circuits still pass the op through the admission ledger so
+    /// a later duplicate can't resurrect it into a second account.
+    fn enqueue(&mut self, tick: u64, d: Delivered, cfg: &ServiceConfig) {
+        let is_query = matches!(d.env.op, ServiceOp::Query { .. });
+        let depth = self.queue.len();
+        if is_query && depth >= cfg.policy.shed_depth {
+            if self.ledger.ops.admit(d.env.id, d.attempt) {
+                self.stats.shed += 1;
+            }
+            return;
+        }
+        if is_query && depth >= cfg.policy.degrade_depth {
+            if self.ledger.ops.admit(d.env.id, d.attempt) {
+                // Answered from the ledger's committed position — no
+                // tracker climb, zero cost, still a terminal answer.
+                self.stats.degraded += 1;
+                self.stats.applied += 1;
+            }
+            return;
+        }
+        self.queue.push_back(Queued {
+            arrival: tick,
+            attempt: d.attempt,
+            env: d.env,
+        });
+    }
+
+    fn process(&mut self, q: Queued) -> Result<(), SimError> {
+        if !self.ledger.ops.admit(q.env.id, q.attempt) {
+            return Ok(()); // duplicate delivery: fenced by the ledger
+        }
+        let o = q.env.object;
+        match q.env.op {
+            ServiceOp::Publish { at } => self.apply_state(q.env.obj_seq, o, at)?,
+            ServiceOp::Move { to } => self.apply_state(q.env.obj_seq, o, to)?,
+            ServiceOp::Query { from } => {
+                self.stats.applied += 1;
+                match self.ledger.positions.get(&o.0).copied() {
+                    // The object hasn't been adopted here yet (its
+                    // publish is still in flight): a degraded "not yet
+                    // tracked" answer, not an error.
+                    None => self.stats.degraded += 1,
+                    Some(truth) => {
+                        let r = self.tracker.query(from, o)?;
+                        self.stats.queries += 1;
+                        self.stats.query_cost.record(r.cost);
+                        if r.proxy == truth {
+                            self.stats.queries_correct += 1;
+                        } else {
+                            self.stats.queries_wrong += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a state op under the staleness fence: only an `obj_seq`
+    /// above the object's high-water mark may rebind its position.
+    /// Moves upsert (a move racing ahead of its publish adopts the
+    /// object), so out-of-order delivery converges on the newest state.
+    fn apply_state(&mut self, obj_seq: u32, o: ObjectId, target: NodeId) -> Result<(), SimError> {
+        self.stats.applied += 1;
+        if self.ledger.hw.get(&o.0).is_some_and(|&h| obj_seq <= h) {
+            self.stats.superseded += 1;
+            return Ok(());
+        }
+        self.ledger.hw.insert(o.0, obj_seq);
+        if self.ledger.positions.contains_key(&o.0) {
+            let out = self.tracker.move_object(o, target)?;
+            self.stats.moves += 1;
+            self.stats.move_cost.record(out.cost);
+        } else {
+            let c = self.tracker.publish(o, target)?;
+            self.stats.publishes += 1;
+            self.stats.publish_cost.record(c);
+        }
+        self.ledger.positions.insert(o.0, target);
+        self.ledger.tail.push((o.0, target));
+        Ok(())
+    }
+
+    fn finish(mut self) -> ShardFinal {
+        self.stats.fenced = self.ledger.ops.fenced;
+        let mut positions: Vec<(u32, NodeId)> = self
+            .ledger
+            .positions
+            .iter()
+            .map(|(&o, &n)| (o, n))
+            .collect();
+        positions.sort_unstable_by_key(|&(o, _)| o);
+        let integrity_mismatches = positions
+            .iter()
+            .filter(|&&(o, n)| self.tracker.proxy_of(ObjectId(o)) != Some(n))
+            .count();
+        ShardFinal {
+            shard: self.shard,
+            stats: self.stats,
+            positions,
+            integrity_mismatches,
+        }
+    }
+}
+
+// ---- worker ---------------------------------------------------------
+
+fn worker_main<'a>(
+    bed: &'a TestBed,
+    cfg: &ServiceConfig,
+    rates: &DetectionRates,
+    owned: Vec<usize>,
+    rx: Receiver<ToWorker>,
+    tx: Sender<FromWorker>,
+) {
+    let mut states: Vec<ShardState<'a>> = Vec::with_capacity(owned.len());
+    for &s in &owned {
+        match ShardState::new(bed, rates, s) {
+            Ok(st) => states.push(st),
+            Err(e) => {
+                let _ = tx.send(FromWorker::Error(e.to_string()));
+                return;
+            }
+        }
+    }
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Tick { tick, shards } => {
+                let mut outs = Vec::with_capacity(shards.len());
+                for (state, m) in states.iter_mut().zip(shards) {
+                    debug_assert_eq!(state.shard, m.shard, "shard routing out of order");
+                    match state.run_tick(tick, m, bed, rates, cfg) {
+                        Ok(out) => outs.push(out),
+                        Err(e) => {
+                            let _ = tx.send(FromWorker::Error(e.to_string()));
+                            return;
+                        }
+                    }
+                }
+                if tx.send(FromWorker::Ticked(outs)).is_err() {
+                    return;
+                }
+            }
+            ToWorker::Finish => {
+                let finals = states.drain(..).map(ShardState::finish).collect();
+                let _ = tx.send(FromWorker::Finished(finals));
+                return;
+            }
+        }
+    }
+}
+
+// ---- coordinator ----------------------------------------------------
+
+/// Runs the service loop to quiescence and verifies its operational
+/// invariants. See the module docs for the guarantees; any violation —
+/// unaccounted ops, ledger/tracker disagreement, a dead worker, a loop
+/// that never drains — is a [`SimError::Service`], not a report.
+pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome, SimError> {
+    assert!(cfg.shards > 0, "a service needs at least one shard");
+    assert!(cfg.batch > 0, "a zero batch would never make progress");
+    assert!(
+        cfg.policy.degrade_depth <= cfg.policy.shed_depth,
+        "degradation must engage before shedding"
+    );
+    let shards = cfg.shards;
+    let workers = if cfg.jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.jobs
+    }
+    .min(shards)
+    .max(1);
+    let seed = cfg.faults.seed;
+    let max_attempts = cfg.faults.max_attempts.max(1);
+    let est_ticks = cfg.stream.ops / cfg.batch as u64 + 1;
+    let tick_limit =
+        est_ticks + (max_attempts as u64 + 2) * (cfg.backoff.cap + 2) + cfg.stream.ops + 64;
+
+    // Crash schedule: (tick, shard) pairs from the fault seed, fixed
+    // before the loop starts so it is independent of worker count.
+    let mut crash_at: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    if cfg.faults.crashes > 0 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ CRASH_STREAM);
+        let span = est_ticks.max(2);
+        let mut seen: HashSet<(u64, usize)> = HashSet::new();
+        for _ in 0..cfg.faults.crashes {
+            let t = rng.gen_range(1..span);
+            let s = rng.gen_range(0..shards);
+            if seen.insert((t, s)) {
+                crash_at.entry(t).or_default().push(s);
+            }
+        }
+        for v in crash_at.values_mut() {
+            v.sort_unstable();
+        }
+    }
+
+    let rates = DetectionRates::uniform(&bed.graph);
+    let start = Instant::now();
+
+    struct LoopOut {
+        ticks: u64,
+        sent: u64,
+        dropped: u64,
+        retries: u64,
+        dups: u64,
+        delayed: u64,
+        redelivered: u64,
+        crash_events: u64,
+        lost: OpLedger,
+        finals: Vec<ShardFinal>,
+    }
+
+    let out: LoopOut = std::thread::scope(|scope| -> Result<LoopOut, SimError> {
+        let (from_tx, from_rx) = std::sync::mpsc::channel::<FromWorker>();
+        let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<ToWorker>();
+            to_workers.push(tx);
+            let from_tx = from_tx.clone();
+            let owned: Vec<usize> = (w..shards).step_by(workers).collect();
+            let rates = &rates;
+            scope.spawn(move || worker_main(bed, cfg, rates, owned, rx, from_tx));
+        }
+        drop(from_tx);
+
+        let recv = |rx: &Receiver<FromWorker>| -> Result<FromWorker, SimError> {
+            rx.recv()
+                .map_err(|_| SimError::Service("a worker exited mid-run".into()))
+        };
+
+        let mut stream = OpStream::new(&bed.graph, cfg.stream);
+        let mut scheduled: BTreeMap<u64, Vec<Sched>> = BTreeMap::new();
+        let mut lost = OpLedger::new();
+        let (mut sent, mut dropped, mut retries, mut dups) = (0u64, 0u64, 0u64, 0u64);
+        let (mut delayed, mut redelivered, mut crash_events) = (0u64, 0u64, 0u64);
+        let mut tick = 0u64;
+
+        loop {
+            // 1. This tick's deliveries: carried retries/delays/dups
+            //    first, then a fresh batch off the stream.
+            let mut due = scheduled.remove(&tick).unwrap_or_default();
+            for _ in 0..cfg.batch {
+                match stream.next_op() {
+                    Some(env) => {
+                        sent += 1;
+                        due.push(Sched {
+                            env,
+                            attempt: 0,
+                            dup: false,
+                        });
+                    }
+                    None => break,
+                }
+            }
+
+            // 2. Transport coins — keyed on (op, attempt), never on
+            //    order — route survivors to their shards.
+            let mut per_shard: Vec<Vec<Delivered>> = vec![Vec::new(); shards];
+            for s in due {
+                let op = s.env.id.0;
+                if !s.dup {
+                    let dead_link = s.attempt == 0
+                        && coin(seed, s.env.object.0 as u64, 0, SALT_LINK)
+                            < cfg.faults.link_failure_rate;
+                    if dead_link
+                        || coin(seed, op, s.attempt as u64, SALT_DROP) < cfg.faults.drop_rate
+                    {
+                        dropped += 1;
+                        let next = s.attempt + 1;
+                        if next >= max_attempts {
+                            lost.record_lost(s.env.id);
+                        } else {
+                            retries += 1;
+                            let wait = cfg.backoff.delay(s.attempt);
+                            scheduled
+                                .entry(tick + 1 + wait)
+                                .or_default()
+                                .push(Sched { attempt: next, ..s });
+                        }
+                        continue;
+                    }
+                }
+                let delay_key = tick.wrapping_mul(0x9E37).wrapping_add(s.attempt as u64);
+                if coin(seed, op, delay_key, SALT_DELAY) < cfg.faults.delay_rate {
+                    delayed += 1;
+                    scheduled.entry(tick + 1).or_default().push(s);
+                    continue;
+                }
+                if !s.dup && coin(seed, op, s.attempt as u64, SALT_DUP) < cfg.faults.duplicate_rate
+                {
+                    dups += 1;
+                    scheduled
+                        .entry(tick + 1)
+                        .or_default()
+                        .push(Sched { dup: true, ..s });
+                }
+                per_shard[s.env.object.index() % shards].push(Delivered {
+                    env: s.env,
+                    attempt: s.attempt,
+                });
+            }
+
+            // 3. Crashes due this tick, then dispatch in shard order.
+            let crashing = crash_at.remove(&tick).unwrap_or_default();
+            crash_events += crashing.len() as u64;
+            for (w, to) in to_workers.iter().enumerate() {
+                let msgs: Vec<ShardTickMsg> = (w..shards)
+                    .step_by(workers)
+                    .map(|s| ShardTickMsg {
+                        shard: s,
+                        crash: crashing.contains(&s),
+                        deliveries: std::mem::take(&mut per_shard[s]),
+                    })
+                    .collect();
+                to.send(ToWorker::Tick { tick, shards: msgs })
+                    .map_err(|_| SimError::Service("a worker exited mid-run".into()))?;
+            }
+
+            // 4. Barrier: collect every worker, merge in shard order.
+            let mut outs: Vec<TickOut> = Vec::with_capacity(shards);
+            for _ in 0..workers {
+                match recv(&from_rx)? {
+                    FromWorker::Ticked(v) => outs.extend(v),
+                    FromWorker::Error(e) => return Err(SimError::Service(e)),
+                    FromWorker::Finished(_) => {
+                        return Err(SimError::Service("worker finished early".into()))
+                    }
+                }
+            }
+            outs.sort_unstable_by_key(|o| o.shard);
+            let mut backlog_total = 0usize;
+            for o in outs {
+                backlog_total += o.depth;
+                for d in o.redeliver {
+                    redelivered += 1;
+                    scheduled.entry(tick + 1).or_default().push(Sched {
+                        env: d.env,
+                        attempt: d.attempt,
+                        dup: false,
+                    });
+                }
+            }
+
+            tick += 1;
+            let stream_done = stream.emitted() >= stream.total();
+            if stream_done && scheduled.is_empty() && backlog_total == 0 && crash_at.is_empty() {
+                break;
+            }
+            if tick > tick_limit {
+                return Err(SimError::Service(format!(
+                    "failed to quiesce within {tick_limit} ticks \
+                     ({backlog_total} queued, {} scheduled)",
+                    scheduled.len()
+                )));
+            }
+        }
+
+        for to in &to_workers {
+            to.send(ToWorker::Finish)
+                .map_err(|_| SimError::Service("a worker exited before finish".into()))?;
+        }
+        let mut finals: Vec<ShardFinal> = Vec::with_capacity(shards);
+        for _ in 0..workers {
+            match recv(&from_rx)? {
+                FromWorker::Finished(v) => finals.extend(v),
+                FromWorker::Error(e) => return Err(SimError::Service(e)),
+                FromWorker::Ticked(_) => {
+                    return Err(SimError::Service("stray tick after finish".into()))
+                }
+            }
+        }
+        finals.sort_unstable_by_key(|f| f.shard);
+        Ok(LoopOut {
+            ticks: tick,
+            sent,
+            dropped,
+            retries,
+            dups,
+            delayed,
+            redelivered,
+            crash_events,
+            lost,
+            finals,
+        })
+    })?;
+
+    // ---- merge (canonical shard order) and verify -------------------
+    let mut report = ServiceReport {
+        sent: out.sent,
+        applied: 0,
+        shed: 0,
+        lost: out.lost.lost().len() as u64,
+        publishes: 0,
+        moves: 0,
+        queries: 0,
+        superseded: 0,
+        degraded: 0,
+        queries_correct: 0,
+        queries_wrong: 0,
+        fenced: 0,
+        dropped_attempts: out.dropped,
+        retries: out.retries,
+        dup_deliveries: out.dups,
+        delayed: out.delayed,
+        crash_events: out.crash_events,
+        replayed_ops: 0,
+        redelivered: out.redelivered,
+        recovery_cost: 0.0,
+        backlog_depth: Histogram::new(),
+        backlog_age: Histogram::new(),
+        max_depth: 0,
+        max_age: 0,
+        publish_cost: Histogram::new(),
+        move_cost: Histogram::new(),
+        query_cost: Histogram::new(),
+        ticks: out.ticks,
+        shards,
+        final_map_fnv: 0,
+        workers,
+        wall_secs: 0.0,
+        cache: None,
+    };
+    let mut final_positions: Vec<Option<NodeId>> = vec![None; cfg.stream.objects];
+    let mut integrity = 0usize;
+    for f in &out.finals {
+        let s = &f.stats;
+        report.applied += s.applied;
+        report.shed += s.shed;
+        report.publishes += s.publishes;
+        report.moves += s.moves;
+        report.queries += s.queries;
+        report.superseded += s.superseded;
+        report.degraded += s.degraded;
+        report.queries_correct += s.queries_correct;
+        report.queries_wrong += s.queries_wrong;
+        report.fenced += s.fenced;
+        report.replayed_ops += s.replayed;
+        report.recovery_cost += s.recovery_cost;
+        report.backlog_depth.merge(&s.depth_hist);
+        report.backlog_age.merge(&s.age_hist);
+        report.max_depth = report.max_depth.max(s.max_depth);
+        report.max_age = report.max_age.max(s.max_age);
+        report.publish_cost.merge(&s.publish_cost);
+        report.move_cost.merge(&s.move_cost);
+        report.query_cost.merge(&s.query_cost);
+        integrity += f.integrity_mismatches;
+        for &(o, n) in &f.positions {
+            final_positions[o as usize] = Some(n);
+        }
+    }
+    report.final_map_fnv = fnv1a_map(&final_positions);
+    report.wall_secs = start.elapsed().as_secs_f64();
+    report.cache = bed.oracle.cache_stats();
+
+    if integrity > 0 {
+        return Err(SimError::Service(format!(
+            "{integrity} ledger positions disagree with their trackers"
+        )));
+    }
+    if !report.accounted() {
+        return Err(SimError::Service(format!(
+            "silent loss: sent {} != applied {} + shed {} + lost {}",
+            report.sent, report.applied, report.shed, report.lost
+        )));
+    }
+    Ok(ServiceOutcome {
+        report,
+        final_positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bed() -> TestBed {
+        TestBed::grid(6, 6, 42).unwrap()
+    }
+
+    fn truth(bed: &TestBed, spec: StreamSpec) -> Vec<Option<NodeId>> {
+        let mut s = OpStream::new(&bed.graph, spec);
+        while s.next_op().is_some() {}
+        s.positions().to_vec()
+    }
+
+    fn composed_faults(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop_rate: 0.2,
+            duplicate_rate: 0.1,
+            delay_rate: 0.1,
+            link_failure_rate: 0.05,
+            crashes: 2,
+            max_attempts: 8,
+        }
+    }
+
+    #[test]
+    fn clean_run_applies_every_op_and_matches_the_generator() {
+        let bed = bed();
+        let mut cfg = ServiceConfig::new(StreamSpec::new(10, 400, 7));
+        cfg.shards = 4;
+        cfg.jobs = 2;
+        cfg.batch = 64;
+        let out = run_service(&bed, &cfg).unwrap();
+        let r = &out.report;
+        assert!(r.accounted());
+        assert_eq!(r.sent, 400);
+        assert_eq!((r.lost, r.shed, r.fenced, r.superseded), (0, 0, 0, 0));
+        assert_eq!(r.queries_wrong, 0);
+        assert_eq!(out.final_positions, truth(&bed, cfg.stream));
+    }
+
+    #[test]
+    fn composed_faults_end_bit_identical_to_fault_free() {
+        let bed = bed();
+        let mut cfg = ServiceConfig::new(StreamSpec::new(10, 600, 3));
+        cfg.shards = 4;
+        cfg.jobs = 2;
+        cfg.batch = 64;
+        cfg.faults = composed_faults(11);
+        let out = run_service(&bed, &cfg).unwrap();
+        let r = &out.report;
+        assert!(r.accounted());
+        assert_eq!(r.lost, 0, "retry budget absorbs this fault plan");
+        assert!(r.dropped_attempts > 0 && r.dup_deliveries > 0 && r.delayed > 0);
+        assert!(r.crash_events > 0 && r.redelivered + r.replayed_ops > 0);
+        assert_eq!(r.queries_wrong, 0);
+        assert_eq!(out.final_positions, truth(&bed, cfg.stream));
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_worker_counts() {
+        let bed = bed();
+        let mut cfg = ServiceConfig::new(StreamSpec::new(12, 500, 5));
+        cfg.shards = 6;
+        cfg.batch = 50;
+        cfg.faults = composed_faults(21);
+        cfg.jobs = 1;
+        let one = run_service(&bed, &cfg).unwrap();
+        cfg.jobs = 4;
+        let four = run_service(&bed, &cfg).unwrap();
+        assert_eq!(
+            one.report.deterministic_json(),
+            four.report.deterministic_json()
+        );
+        assert_eq!(one.final_positions, four.final_positions);
+    }
+
+    #[test]
+    fn overload_degrades_queries_before_shedding_and_never_drops_state() {
+        let bed = bed();
+        let mut cfg = ServiceConfig::new(StreamSpec {
+            objects: 6,
+            ops: 600,
+            query_fraction: 0.6,
+            seed: 9,
+        });
+        cfg.shards = 1;
+        cfg.batch = 60;
+        cfg.shard_budget = 4;
+        cfg.policy = ShedPolicy {
+            degrade_depth: 6,
+            shed_depth: 12,
+        };
+        let out = run_service(&bed, &cfg).unwrap();
+        let r = &out.report;
+        assert!(r.accounted());
+        assert!(r.degraded > 0, "pressure must degrade queries first");
+        assert!(r.shed > 0, "this overload is past the shed threshold");
+        assert!(r.max_depth > 0 && r.max_age > 0);
+        assert_eq!(r.lost, 0);
+        assert_eq!(
+            out.final_positions,
+            truth(&bed, cfg.stream),
+            "state ops are never shed, so the map still converges"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_recorded_never_silent() {
+        let bed = bed();
+        let mut cfg = ServiceConfig::new(StreamSpec::new(8, 300, 13));
+        cfg.shards = 4;
+        cfg.jobs = 2;
+        cfg.faults = FaultConfig {
+            seed: 17,
+            drop_rate: 0.9,
+            max_attempts: 2,
+            ..FaultConfig::default()
+        };
+        let out = run_service(&bed, &cfg).unwrap();
+        let r = &out.report;
+        assert!(r.lost > 0, "a 90% drop rate defeats a 2-attempt budget");
+        assert!(r.accounted(), "every lost op is in a ledger, not silent");
+    }
+
+    #[test]
+    fn report_json_has_deterministic_body_and_wall_trailer() {
+        let bed = bed();
+        let cfg = ServiceConfig::new(StreamSpec::new(5, 100, 1));
+        let out = run_service(&bed, &cfg).unwrap();
+        let det = out.report.deterministic_json();
+        let full = out.report.to_json();
+        assert!(!det.contains("\"wall\""));
+        assert!(full.contains("\"wall\"") && full.contains("\"ops_per_sec\""));
+        assert!(full.starts_with(&det[..det.len() - 1]));
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded generation of the service-mode operation stream.
+//!
+//! Service mode (DESIGN.md §15) ingests an unbounded sequence of
+//! publish/move/query operations instead of a fixed [`crate::Workload`].
+//! [`OpStream`] produces that sequence lazily: the first `objects` ops
+//! publish each object at a random sensor, and every subsequent op picks
+//! a published object and either hops it to an adjacent sensor (the
+//! paper's bounded-speed mobility assumption) or queries it from a
+//! random origin. Every envelope carries a dense global [`OpId`] and a
+//! per-object sequence number, the handles the delivery layer needs for
+//! exactly-once admission and staleness fencing.
+//!
+//! The generator doubles as the fault-free oracle: [`OpStream::positions`]
+//! is the ground-truth object→location map after the ops emitted so far,
+//! so any run of the service — however faulty its transport — can be
+//! checked bit-for-bit against it.
+
+use mot_core::{ObjectId, OpId};
+use mot_net::{Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of one generated operation stream. The same spec over the
+/// same graph always yields the same stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamSpec {
+    /// Tracked objects; the stream opens by publishing each one.
+    pub objects: usize,
+    /// Total operations to emit (publishes included).
+    pub ops: u64,
+    /// Probability an op after the publish prefix is a query (the rest
+    /// are adjacent-hop moves).
+    pub query_fraction: f64,
+    /// Stream RNG seed.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// A stream of `ops` operations over `objects` objects with the
+    /// default 20% query share.
+    pub fn new(objects: usize, ops: u64, seed: u64) -> Self {
+        StreamSpec {
+            objects,
+            ops,
+            query_fraction: 0.2,
+            seed,
+        }
+    }
+}
+
+/// One operation of the service stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceOp {
+    /// Start tracking the object at sensor `at`.
+    Publish {
+        /// The object's first proxy.
+        at: NodeId,
+    },
+    /// The object hands off to the adjacent sensor `to`. Targets are
+    /// absolute, so a skipped or reordered move never derails later
+    /// ones — only the *newest* applied move defines the position.
+    Move {
+        /// The object's next proxy.
+        to: NodeId,
+    },
+    /// Locate the object from sensor `from`.
+    Query {
+        /// The querying sensor.
+        from: NodeId,
+    },
+}
+
+/// An operation with its delivery identity: the dense global [`OpId`]
+/// and the object's own sequence number (the fencing order — a move is
+/// stale iff a higher `obj_seq` for the same object already applied).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpEnvelope {
+    /// Globally unique, dense operation id.
+    pub id: OpId,
+    /// The object the op concerns.
+    pub object: ObjectId,
+    /// Position of this op in its object's own sequence.
+    pub obj_seq: u32,
+    /// The operation itself.
+    pub op: ServiceOp,
+}
+
+/// The lazy, deterministic op generator. See the module docs.
+pub struct OpStream<'g> {
+    graph: &'g Graph,
+    spec: StreamSpec,
+    rng: ChaCha8Rng,
+    /// Ground truth: where each published object is after the emitted
+    /// prefix (`None` = not yet published).
+    positions: Vec<Option<NodeId>>,
+    obj_seq: Vec<u32>,
+    emitted: u64,
+}
+
+impl<'g> OpStream<'g> {
+    /// A stream over `graph`. Panics on a zero-object spec or a query
+    /// fraction outside `[0, 1]` — both are configuration errors.
+    pub fn new(graph: &'g Graph, spec: StreamSpec) -> Self {
+        assert!(spec.objects > 0, "a stream needs at least one object");
+        assert!(
+            (0.0..=1.0).contains(&spec.query_fraction),
+            "query fraction is a probability"
+        );
+        OpStream {
+            graph,
+            spec,
+            rng: ChaCha8Rng::seed_from_u64(spec.seed),
+            positions: vec![None; spec.objects],
+            obj_seq: vec![0; spec.objects],
+            emitted: 0,
+        }
+    }
+
+    /// Ops emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Total ops the stream will emit.
+    pub fn total(&self) -> u64 {
+        self.spec.ops
+    }
+
+    /// Ground-truth position per object after the emitted prefix
+    /// (`None` = not yet published).
+    pub fn positions(&self) -> &[Option<NodeId>] {
+        &self.positions
+    }
+
+    /// The next operation, or `None` once `spec.ops` were emitted.
+    pub fn next_op(&mut self) -> Option<OpEnvelope> {
+        if self.emitted >= self.spec.ops {
+            return None;
+        }
+        let id = OpId(self.emitted);
+        let n = self.graph.node_count();
+        let published = (self.emitted as usize).min(self.spec.objects);
+        let (object, op) = if published < self.spec.objects {
+            // Publish prefix: object ids in order, uniform start sensors.
+            let o = published;
+            let at = NodeId::from_index(self.rng.gen_range(0..n));
+            self.positions[o] = Some(at);
+            (o, ServiceOp::Publish { at })
+        } else {
+            let o = self.rng.gen_range(0..self.spec.objects);
+            if self.rng.gen::<f64>() < self.spec.query_fraction {
+                let from = NodeId::from_index(self.rng.gen_range(0..n));
+                (o, ServiceOp::Query { from })
+            } else {
+                let cur = self.positions[o].expect("published object has a position");
+                let nbrs = self.graph.neighbors(cur);
+                let to = nbrs[self.rng.gen_range(0..nbrs.len())].to;
+                self.positions[o] = Some(to);
+                (o, ServiceOp::Move { to })
+            }
+        };
+        let obj_seq = self.obj_seq[object];
+        self.obj_seq[object] += 1;
+        self.emitted += 1;
+        Some(OpEnvelope {
+            id,
+            object: ObjectId(object as u32),
+            obj_seq,
+            op,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot_net::generators;
+
+    fn collect(spec: StreamSpec) -> (Vec<OpEnvelope>, Vec<Option<NodeId>>) {
+        let g = generators::grid(6, 6).unwrap();
+        let mut s = OpStream::new(&g, spec);
+        let mut ops = Vec::new();
+        while let Some(e) = s.next_op() {
+            ops.push(e);
+        }
+        (ops, s.positions().to_vec())
+    }
+
+    #[test]
+    fn same_spec_generates_the_same_stream() {
+        let spec = StreamSpec::new(7, 300, 42);
+        let (a, pa) = collect(spec);
+        let (b, pb) = collect(spec);
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+        assert_eq!(a.len(), 300);
+    }
+
+    #[test]
+    fn publish_prefix_then_adjacent_moves_and_ground_truth_replay() {
+        let g = generators::grid(6, 6).unwrap();
+        let spec = StreamSpec::new(5, 200, 9);
+        let mut s = OpStream::new(&g, spec);
+        let mut replay: Vec<Option<NodeId>> = vec![None; 5];
+        let mut expected_id = 0u64;
+        let mut seqs = [0u32; 5];
+        while let Some(e) = s.next_op() {
+            assert_eq!(e.id, OpId(expected_id), "ids are dense");
+            expected_id += 1;
+            assert_eq!(e.obj_seq, seqs[e.object.index()], "per-object order");
+            seqs[e.object.index()] += 1;
+            match e.op {
+                ServiceOp::Publish { at } => {
+                    assert!(expected_id <= 5, "publishes form the prefix");
+                    replay[e.object.index()] = Some(at);
+                }
+                ServiceOp::Move { to } => {
+                    let cur = replay[e.object.index()].expect("move after publish");
+                    assert!(
+                        g.neighbors(cur).iter().any(|edge| edge.to == to),
+                        "moves hop one adjacency"
+                    );
+                    replay[e.object.index()] = Some(to);
+                }
+                ServiceOp::Query { .. } => {}
+            }
+        }
+        assert_eq!(replay, s.positions(), "generator tracks its own truth");
+        assert!(replay.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn query_fraction_bounds_are_respected() {
+        let (ops, _) = collect(StreamSpec {
+            objects: 3,
+            ops: 100,
+            query_fraction: 0.0,
+            seed: 1,
+        });
+        assert!(
+            !ops.iter().any(|e| matches!(e.op, ServiceOp::Query { .. })),
+            "zero fraction means no queries"
+        );
+        let (ops, _) = collect(StreamSpec {
+            objects: 3,
+            ops: 100,
+            query_fraction: 1.0,
+            seed: 1,
+        });
+        let queries = ops
+            .iter()
+            .filter(|e| matches!(e.op, ServiceOp::Query { .. }))
+            .count();
+        assert_eq!(queries, 97, "everything after the publish prefix");
+    }
+}

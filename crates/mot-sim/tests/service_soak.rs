@@ -1,0 +1,99 @@
+//! Service-mode soak (ISSUE 7 acceptance): ≥10⁵ ops through the
+//! long-lived sharded event loop under a composed
+//! drop+dup+delay+link+crash fault plan, asserting
+//!
+//! * **zero silent loss** — `sent == applied + shed + recorded-lost`
+//!   with nothing unaccounted,
+//! * **chaos transparency** — the end-state object→location map is
+//!   bit-identical to the fault-free oracle run (the stream generator's
+//!   own ground truth),
+//! * **jobs parity** — the deterministic report slice and the final map
+//!   are byte-identical for `--jobs 1` and `--jobs 4`.
+
+use mot_sim::{run_service, FaultConfig, OpStream, ServiceConfig, StreamSpec, TestBed};
+
+const SOAK_OPS: u64 = 100_000;
+
+fn soak_spec() -> StreamSpec {
+    StreamSpec::new(1_000, SOAK_OPS, 1234)
+}
+
+fn soak_config(jobs: usize, faults: FaultConfig) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(soak_spec());
+    cfg.shards = 8;
+    cfg.jobs = jobs;
+    cfg.batch = 512;
+    cfg.faults = faults;
+    cfg
+}
+
+fn composed_plan() -> FaultConfig {
+    FaultConfig {
+        seed: 77,
+        drop_rate: 0.15,
+        duplicate_rate: 0.05,
+        delay_rate: 0.05,
+        link_failure_rate: 0.02,
+        crashes: 6,
+        max_attempts: 8,
+    }
+}
+
+#[test]
+fn soak_100k_ops_survives_composed_faults_with_zero_silent_loss() {
+    let bed = TestBed::grid(8, 8, 99).unwrap();
+
+    // Fault-free oracle: the generator replayed to the end.
+    let mut oracle = OpStream::new(&bed.graph, soak_spec());
+    while oracle.next_op().is_some() {}
+
+    let faulty = run_service(&bed, &soak_config(4, composed_plan())).unwrap();
+    let r = &faulty.report;
+    assert_eq!(r.sent, SOAK_OPS);
+    assert!(
+        r.accounted(),
+        "zero silent loss: {}",
+        r.deterministic_json()
+    );
+    assert_eq!(r.lost, 0, "an 8-attempt budget absorbs this plan");
+    assert_eq!(r.queries_wrong, 0, "trackers never disagree with ledgers");
+
+    // The chaos actually happened…
+    assert!(r.dropped_attempts > 0, "drops injected");
+    assert!(r.dup_deliveries > 0, "duplicates injected");
+    assert!(r.delayed > 0, "delays injected");
+    assert!(r.crash_events > 0, "shard crashes injected");
+    assert!(r.fenced > 0, "duplicate deliveries were fenced");
+    assert!(r.superseded > 0, "stale state ops were fenced");
+    assert!(r.replayed_ops > 0, "crash re-adoption replayed the ledger");
+
+    // …and left no trace on the end state.
+    assert_eq!(
+        faulty.final_positions,
+        oracle.positions(),
+        "end state is bit-identical to the fault-free oracle"
+    );
+
+    // A fault-free service run lands on the same map.
+    let clean = run_service(&bed, &soak_config(2, FaultConfig::default())).unwrap();
+    assert_eq!(clean.final_positions, faulty.final_positions);
+    assert_eq!(clean.report.final_map_fnv, faulty.report.final_map_fnv);
+}
+
+#[test]
+fn soak_report_is_byte_identical_for_jobs_1_and_4() {
+    let bed = TestBed::grid(8, 8, 99).unwrap();
+    let one = run_service(&bed, &soak_config(1, composed_plan())).unwrap();
+    let four = run_service(&bed, &soak_config(4, composed_plan())).unwrap();
+    assert_eq!(
+        one.report.deterministic_json(),
+        four.report.deterministic_json(),
+        "the deterministic report slice is jobs-independent"
+    );
+    assert_eq!(one.final_positions, four.final_positions);
+    // The quantiles the soak profile reports are part of that slice.
+    assert_eq!(
+        one.report.move_cost.quantile(0.99),
+        four.report.move_cost.quantile(0.99)
+    );
+}
