@@ -3,7 +3,7 @@
 //! Everything else in `mot-bench` measures *cost ratios* — numbers the
 //! determinism contract (DESIGN.md §12) pins bit-exactly. This module
 //! measures *wall-clock*, phase by phase, and serializes the result as
-//! the schema'd JSON committed at the repo root (`BENCH_pr6.json`).
+//! the schema'd JSON committed at the repo root (`BENCH_pr8.json`).
 //!
 //! Per size the harness times, strictly in order and sequentially (so
 //! phases never contend with each other):
@@ -24,11 +24,20 @@
 //!    `hierarchy_speedup` only run up to
 //!    [`REFERENCE_PHASE_NODE_LIMIT`] nodes and serialize as `null`
 //!    beyond it;
-//! 5. `fig4_replay_secs` — publish + one-by-one move replay of a Fig. 4
+//! 5. `hierarchy_dispatch_secs` — the adaptive [`build_doubling`] entry
+//!    point on the same inputs, gated within [`DISPATCH_TOLERANCE`] of
+//!    the better specialized builder (same size limit as phase 4);
+//! 6. `fig4_replay_secs` — publish + one-by-one move replay of a Fig. 4
 //!    MOT arm, plus its cost ratio as a cross-check value. The bed
 //!    reuses the already-built oracle and overlay (this skips the
 //!    hybrid backend's hot-row pinning — a perf-only concern that
 //!    would double-build the hierarchy here).
+//!
+//! After the sizes, the profile's service soaks run (the `service`
+//! section of the report): end-to-end wall-clock and throughput of the
+//! chaos-hardened event loop plus its deterministic move/query cost
+//! quantiles, turning PERFORMANCE.md's service numbers into a delta-
+//! gated contract rather than a snapshot.
 //!
 //! After the replay the report captures the backend's
 //! [`CacheLedger`](mot_net::CacheLedger) counters (zero on ledger-free
@@ -39,9 +48,12 @@
 //! by design so numbers stay comparable across runs and machines.
 
 use crate::figures::BenchError;
+use crate::service::{service_run, ServiceSpec};
 use mot_baselines::DetectionRates;
 use mot_core::fmt_f64;
-use mot_hierarchy::{build_doubling_balls, reference_build_doubling, Overlay, OverlayConfig};
+use mot_hierarchy::{
+    build_doubling, build_doubling_balls, reference_build_doubling, Overlay, OverlayConfig,
+};
 use mot_net::{generators, Graph, OracleKind};
 use mot_sim::{replay_moves, run_publish, Algo, TestBed, WorkloadSpec};
 use std::time::Instant;
@@ -50,8 +62,30 @@ use std::time::Instant;
 ///
 /// `/2` added `topology`, the cache hit/miss/memory counters, and made
 /// `hierarchy_seq_secs` / `hierarchy_speedup` nullable past
-/// [`REFERENCE_PHASE_NODE_LIMIT`].
-pub const BENCH_SCHEMA: &str = "mot-bench-baseline/2";
+/// [`REFERENCE_PHASE_NODE_LIMIT`]. `/3` added `hierarchy_dispatch_secs`
+/// (the adaptive [`build_doubling`] entry point, timed on the same
+/// sizes as the reference phase and asserted competitive — see
+/// [`DISPATCH_TOLERANCE`]) and the `service` phase family: wall-clock
+/// throughput plus deterministic cost quantiles from the chaos-soak
+/// specs of [`crate::service`].
+pub const BENCH_SCHEMA: &str = "mot-bench-baseline/3";
+
+/// The adaptive dispatcher may cost at most this factor over the better
+/// of the two specialized builders on any timed size (enforced by
+/// [`run_baseline`], not just reported). Guards the
+/// [`ADAPTIVE_CROSSOVER_NODES`](mot_hierarchy::ADAPTIVE_CROSSOVER_NODES)
+/// threshold against rotting as the builders evolve. The headroom is
+/// deliberately wide: when the dispatch picks correctly, this compares
+/// two timings of the *same* code, which on a busy single-core box can
+/// differ by tens of percent from jitter alone — while a genuine
+/// mis-dispatch costs a multiple (3×–16× measured across backends), so
+/// 1.5× still catches every real mis-tuning without flapping.
+pub const DISPATCH_TOLERANCE: f64 = 1.5;
+
+/// Dispatch timings below this are considered noise and never fail the
+/// run (tiny sizes finish in microseconds, where jitter swamps any
+/// real regression).
+const DISPATCH_FLOOR_SECS: f64 = 0.010;
 
 /// Largest size on which the frozen reference builder (full oracle-row
 /// scans) is timed and identity-checked. Matches
@@ -140,6 +174,9 @@ pub struct BaselineProfile {
     pub jobs: usize,
     /// Seed for overlay construction and the replay workload.
     pub seed: u64,
+    /// Service-mode soaks timed after the per-size phases, as
+    /// `(name, spec)` pairs; the name keys the delta gate in CI.
+    pub service: Vec<(String, ServiceSpec)>,
 }
 
 impl BaselineProfile {
@@ -157,6 +194,7 @@ impl BaselineProfile {
             oracle: OracleKind::Auto,
             jobs: 1,
             seed: 1,
+            service: vec![("smoke".into(), ServiceSpec::smoke())],
         }
     }
 
@@ -199,6 +237,14 @@ impl BaselineProfile {
             oracle: OracleKind::Cached,
             jobs: 1,
             seed: 1,
+            // The smoke spec rides along so CI's smoke run and the
+            // committed full artifact share a delta-gate key; quick and
+            // standard document the scales PERFORMANCE.md tabulates.
+            service: vec![
+                ("smoke".into(), ServiceSpec::smoke()),
+                ("quick".into(), ServiceSpec::quick()),
+                ("standard".into(), ServiceSpec::standard()),
+            ],
         }
     }
 
@@ -247,6 +293,11 @@ pub struct SizeTiming {
     /// `hierarchy_seq_secs / hierarchy_secs`; `None` when the reference
     /// phase was skipped.
     pub hierarchy_speedup: Option<f64>,
+    /// The adaptive [`build_doubling`] entry point on the same inputs —
+    /// what production callers actually pay. Timed on the same sizes as
+    /// the reference phase (`None` beyond them) and asserted within
+    /// [`DISPATCH_TOLERANCE`] of the better specialized builder.
+    pub hierarchy_dispatch_secs: Option<f64>,
     /// Publish + one-by-one replay of the fig4 MOT arm.
     pub fig4_replay_secs: f64,
     /// Maintenance cost ratio of that arm (cross-check value).
@@ -257,6 +308,44 @@ pub struct SizeTiming {
     pub oracle_cache_misses: u64,
     /// Backend-reported resident bytes after the replay.
     pub oracle_memory_bytes: usize,
+}
+
+/// Wall-clock and deterministic cost numbers for one service soak.
+///
+/// `wall_secs` / `ops_per_sec` drift with the machine and are
+/// delta-gated with a tolerance in CI; the cost quantiles come from the
+/// deterministic per-op ledgers (bit-identical across `--jobs` and
+/// machines) and are gated *exactly*.
+#[derive(Clone, Debug)]
+pub struct ServiceTiming {
+    /// Spec name (`smoke` / `quick` / `standard` / `paper`).
+    pub name: String,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Tracked objects.
+    pub objects: usize,
+    /// Ops in the stream.
+    pub ops: u64,
+    /// Shard count.
+    pub shards: usize,
+    /// Worker threads the soak ran with (`0` = auto).
+    pub jobs: usize,
+    /// End-to-end soak wall-clock.
+    pub wall_secs: f64,
+    /// `ops / wall_secs`.
+    pub ops_per_sec: f64,
+    /// Median move cost (deterministic).
+    pub move_p50_cost: f64,
+    /// 99th-percentile move cost (deterministic).
+    pub move_p99_cost: f64,
+    /// Median query cost (deterministic).
+    pub query_p50_cost: f64,
+    /// 99th-percentile query cost (deterministic).
+    pub query_p99_cost: f64,
 }
 
 /// A full `bench-baseline` report, serializable as schema'd JSON.
@@ -274,6 +363,8 @@ pub struct BaselineReport {
     pub hardware_threads: usize,
     /// One entry per size, in run order.
     pub sizes: Vec<SizeTiming>,
+    /// One entry per service soak, in run order.
+    pub service: Vec<ServiceTiming>,
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -307,6 +398,10 @@ impl BaselineReport {
                 ("hierarchy_secs", fmt_f64(s.hierarchy_secs)),
                 ("hierarchy_seq_secs", fmt_opt(s.hierarchy_seq_secs)),
                 ("hierarchy_speedup", fmt_opt(s.hierarchy_speedup)),
+                (
+                    "hierarchy_dispatch_secs",
+                    fmt_opt(s.hierarchy_dispatch_secs),
+                ),
                 ("fig4_replay_secs", fmt_f64(s.fig4_replay_secs)),
                 ("fig4_mot_ratio", fmt_f64(s.fig4_mot_ratio)),
                 ("oracle_cache_hits", s.oracle_cache_hits.to_string()),
@@ -320,6 +415,38 @@ impl BaselineReport {
             out.push_str(&body.join(",\n"));
             out.push('\n');
             out.push_str(if i + 1 == self.sizes.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"service\": [\n");
+        for (i, s) in self.service.iter().enumerate() {
+            out.push_str("    {\n");
+            let fields = [
+                ("name", format!("\"{}\"", s.name)),
+                ("rows", s.rows.to_string()),
+                ("cols", s.cols.to_string()),
+                ("nodes", s.nodes.to_string()),
+                ("objects", s.objects.to_string()),
+                ("ops", s.ops.to_string()),
+                ("shards", s.shards.to_string()),
+                ("jobs", s.jobs.to_string()),
+                ("wall_secs", fmt_f64(s.wall_secs)),
+                ("ops_per_sec", fmt_f64(s.ops_per_sec)),
+                ("move_p50_cost", fmt_f64(s.move_p50_cost)),
+                ("move_p99_cost", fmt_f64(s.move_p99_cost)),
+                ("query_p50_cost", fmt_f64(s.query_p50_cost)),
+                ("query_p99_cost", fmt_f64(s.query_p99_cost)),
+            ];
+            let body: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("      \"{k}\": {v}"))
+                .collect();
+            out.push_str(&body.join(",\n"));
+            out.push('\n');
+            out.push_str(if i + 1 == self.service.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -347,6 +474,7 @@ impl BaselineReport {
                 "hier_s".into(),
                 "hier_seq_s".into(),
                 "speedup".into(),
+                "disp_s".into(),
                 "fig4_s".into(),
                 "fig4_ratio".into(),
             ],
@@ -367,6 +495,7 @@ impl BaselineReport {
                             s.hierarchy_secs,
                             s.hierarchy_seq_secs.unwrap_or(f64::NAN),
                             s.hierarchy_speedup.unwrap_or(f64::NAN),
+                            s.hierarchy_dispatch_secs.unwrap_or(f64::NAN),
                             s.fig4_replay_secs,
                             s.fig4_mot_ratio,
                         ],
@@ -374,6 +503,44 @@ impl BaselineReport {
                 })
                 .collect(),
         }
+    }
+
+    /// Summary table of the service soaks; `None` when the profile ran
+    /// none. Wall-clock columns are machine-dependent by nature — this
+    /// table is a human summary, not a determinism surface.
+    pub fn service_to_table(&self) -> Option<crate::report::FigureTable> {
+        if self.service.is_empty() {
+            return None;
+        }
+        Some(crate::report::FigureTable {
+            title: format!("bench-baseline service soaks, profile {}", self.profile),
+            x_label: "spec".into(),
+            columns: vec![
+                "wall_s".into(),
+                "ops_per_s".into(),
+                "move_p50".into(),
+                "move_p99".into(),
+                "query_p50".into(),
+                "query_p99".into(),
+            ],
+            rows: self
+                .service
+                .iter()
+                .map(|s| {
+                    (
+                        format!("{} ({}x{}, {} ops)", s.name, s.rows, s.cols, s.ops),
+                        vec![
+                            s.wall_secs,
+                            s.ops_per_sec,
+                            s.move_p50_cost,
+                            s.move_p99_cost,
+                            s.query_p50_cost,
+                            s.query_p99_cost,
+                        ],
+                    )
+                })
+                .collect(),
+        })
     }
 }
 
@@ -426,24 +593,44 @@ pub fn run_baseline(p: &BaselineProfile) -> Result<BaselineReport, BenchError> {
         let hierarchy_secs = t.elapsed().as_secs_f64();
 
         let nodes = g.node_count();
-        let (hierarchy_seq_secs, hierarchy_speedup) = if nodes <= REFERENCE_PHASE_NODE_LIMIT {
-            let t = Instant::now();
-            let reference = reference_build_doubling(&g, &*oracle, &cfg, p.seed);
-            let seq = t.elapsed().as_secs_f64();
-            if !overlays_identical(&fast, &reference) {
-                let (rows, cols) = spec.rows_cols();
-                return Err(format!(
-                    "optimized and reference overlays differ on {} {rows}x{cols} \
-                     ({nodes} nodes, seed {}) — speedup numbers would be meaningless",
-                    spec.topology(),
-                    p.seed
-                )
-                .into());
-            }
-            (Some(seq), Some(seq / hierarchy_secs.max(1e-12)))
-        } else {
-            (None, None)
-        };
+        let (hierarchy_seq_secs, hierarchy_speedup, hierarchy_dispatch_secs) =
+            if nodes <= REFERENCE_PHASE_NODE_LIMIT {
+                let t = Instant::now();
+                let reference = reference_build_doubling(&g, &*oracle, &cfg, p.seed);
+                let seq = t.elapsed().as_secs_f64();
+                if !overlays_identical(&fast, &reference) {
+                    let (rows, cols) = spec.rows_cols();
+                    return Err(format!(
+                        "optimized and reference overlays differ on {} {rows}x{cols} \
+                         ({nodes} nodes, seed {}) — speedup numbers would be meaningless",
+                        spec.topology(),
+                        p.seed
+                    )
+                    .into());
+                }
+                // What production callers pay: the adaptive entry point.
+                // Below the crossover the reference builder legitimately
+                // wins the direct comparison above, and the dispatcher's
+                // job is to always take the winner — so it is gated
+                // against the better of the two, not against either one.
+                let t = Instant::now();
+                let dispatched = build_doubling(&g, &*oracle, &cfg, p.seed);
+                let disp = t.elapsed().as_secs_f64();
+                debug_assert!(overlays_identical(&fast, &dispatched));
+                drop(dispatched);
+                let best = hierarchy_secs.min(seq);
+                if disp > DISPATCH_FLOOR_SECS && disp > best * DISPATCH_TOLERANCE {
+                    return Err(format!(
+                        "adaptive build_doubling took {disp:.3}s on {nodes} nodes where the \
+                         better specialized builder takes {best:.3}s — the \
+                         ADAPTIVE_CROSSOVER_NODES threshold is mis-tuned",
+                    )
+                    .into());
+                }
+                (Some(seq), Some(seq / hierarchy_secs.max(1e-12)), Some(disp))
+            } else {
+                (None, None, None)
+            };
 
         // Reuse the timed oracle and overlay instead of rebuilding a
         // bed from scratch: at these sizes a second hierarchy build
@@ -477,11 +664,37 @@ pub fn run_baseline(p: &BaselineProfile) -> Result<BaselineReport, BenchError> {
             hierarchy_secs,
             hierarchy_seq_secs,
             hierarchy_speedup,
+            hierarchy_dispatch_secs,
             fig4_replay_secs,
             fig4_mot_ratio: stats.ratio(),
             oracle_cache_hits: ledger.hits,
             oracle_cache_misses: ledger.misses,
             oracle_memory_bytes: bed.oracle.memory_bytes(),
+        });
+    }
+    let mut service = Vec::with_capacity(p.service.len());
+    for (name, spec) in &p.service {
+        let (_, rep) = service_run(spec)?;
+        // The report's own wall clock wraps just the soak loop; bed
+        // construction cost is the sizes section's concern.
+        let wall_secs = rep.wall_secs;
+        let (rows, cols) = spec.grid;
+        let ops = spec.cfg.stream.ops;
+        service.push(ServiceTiming {
+            name: name.clone(),
+            rows,
+            cols,
+            nodes: rows * cols,
+            objects: spec.cfg.stream.objects,
+            ops,
+            shards: spec.cfg.shards,
+            jobs: spec.cfg.jobs,
+            wall_secs,
+            ops_per_sec: ops as f64 / wall_secs.max(1e-12),
+            move_p50_cost: rep.move_cost.quantile(0.5),
+            move_p99_cost: rep.move_cost.quantile(0.99),
+            query_p50_cost: rep.query_cost.quantile(0.5),
+            query_p99_cost: rep.query_cost.quantile(0.99),
         });
     }
     Ok(BaselineReport {
@@ -493,6 +706,7 @@ pub fn run_baseline(p: &BaselineProfile) -> Result<BaselineReport, BenchError> {
             .map(|p| p.get())
             .unwrap_or(1),
         sizes,
+        service,
     })
 }
 
@@ -512,12 +726,23 @@ mod tests {
             oracle: OracleKind::Auto,
             jobs: 1,
             seed: 1,
+            service: vec![],
         }
+    }
+
+    /// A seconds-scale service spec for serialization coverage.
+    fn micro_service() -> (String, ServiceSpec) {
+        let mut s = ServiceSpec::smoke();
+        s.cfg.stream.ops = 1_000;
+        s.cfg.stream.objects = 30;
+        ("micro".into(), s)
     }
 
     #[test]
     fn baseline_runs_and_serializes() {
-        let report = run_baseline(&tiny()).unwrap();
+        let mut p = tiny();
+        p.service = vec![micro_service()];
+        let report = run_baseline(&p).unwrap();
         assert_eq!(report.schema, BENCH_SCHEMA);
         assert_eq!(report.sizes.len(), 2);
         for s in &report.sizes {
@@ -525,17 +750,28 @@ mod tests {
             assert!(s.hierarchy_secs > 0.0);
             assert!(s.hierarchy_seq_secs.unwrap() > 0.0);
             assert!(s.hierarchy_speedup.unwrap() > 0.0);
+            assert!(s.hierarchy_dispatch_secs.unwrap() > 0.0);
             assert!(s.fig4_mot_ratio >= 1.0 - 1e-9, "ratio {}", s.fig4_mot_ratio);
         }
+        assert_eq!(report.service.len(), 1);
+        let sv = &report.service[0];
+        assert_eq!((sv.name.as_str(), sv.nodes, sv.ops), ("micro", 144, 1_000));
+        assert!(sv.wall_secs > 0.0 && sv.ops_per_sec > 0.0);
+        assert!(sv.move_p99_cost >= sv.move_p50_cost);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mot-bench-baseline/2\""));
+        assert!(json.contains("\"schema\": \"mot-bench-baseline/3\""));
         assert!(json.contains("\"topology\": \"grid\""));
         assert!(json.contains("\"nodes\": 25"));
         assert!(json.contains("\"hierarchy_speedup\""));
+        assert!(json.contains("\"hierarchy_dispatch_secs\""));
         assert!(json.contains("\"oracle_cache_hits\""));
+        assert!(json.contains("\"name\": \"micro\""));
+        assert!(json.contains("\"ops_per_sec\""));
         // No trailing commas before closers (the usual hand-rolled bug).
         assert!(!json.contains(",\n    }"), "{json}");
         assert!(!json.contains(",\n  ]"), "{json}");
+        let service_table = report.service_to_table().unwrap();
+        assert_eq!(service_table.rows.len(), 1);
     }
 
     #[test]
@@ -594,27 +830,36 @@ mod tests {
                 hierarchy_secs: 0.1,
                 hierarchy_seq_secs: None,
                 hierarchy_speedup: None,
+                hierarchy_dispatch_secs: None,
                 fig4_replay_secs: 0.1,
                 fig4_mot_ratio: 1.5,
                 oracle_cache_hits: 10,
                 oracle_cache_misses: 5,
                 oracle_memory_bytes: 1024,
             }],
+            service: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\"hierarchy_seq_secs\": null"), "{json}");
         assert!(json.contains("\"hierarchy_speedup\": null"), "{json}");
+        assert!(json.contains("\"hierarchy_dispatch_secs\": null"), "{json}");
         assert!(!json.contains(",\n    }"), "{json}");
         let table = report.to_table();
         assert!(table.rows[0].1[3].is_nan());
+        assert!(report.service_to_table().is_none());
     }
 
     #[test]
     fn named_profiles_resolve() {
-        assert_eq!(BaselineProfile::for_name("smoke").unwrap().name, "smoke");
+        let smoke = BaselineProfile::for_name("smoke").unwrap();
+        assert_eq!(smoke.name, "smoke");
+        assert_eq!(smoke.service[0].0, "smoke");
         let full = BaselineProfile::for_name("full").unwrap();
         assert_eq!(full.name, "full");
         assert!(full.sizes.iter().any(|s| s.nodes() >= 100_000));
+        // CI delta-gates service phases by name against the committed
+        // full artifact, so the smoke spec must appear in both.
+        assert!(full.service.iter().any(|(n, _)| n == "smoke"));
         // The committed artifact documents the on-demand cost profile,
         // so the full run must not fall back to a dense warm-up at any
         // size.

@@ -4,7 +4,7 @@
 //! experiments [--profile quick|standard|paper] [--jobs N]
 //!             [--oracle auto|dense|lazy|hybrid|cached]
 //!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson]
-//!             [--bench-out FILE.json] [IDS...]
+//!             [--bench-out FILE.json] [--profile-phases] [IDS...]
 //! ```
 //!
 //! `--jobs N` sizes the fan-out worker pool (default 0 = one worker per
@@ -25,10 +25,18 @@
 //!
 //! `bench-baseline` is the wall-clock harness (PERFORMANCE.md): it times
 //! graph build, oracle warm-up, optimized vs frozen-reference hierarchy
-//! construction (reference only up to 4096 nodes), and a fig4 replay
-//! per size, then writes the schema'd JSON to `--bench-out` (default
-//! `BENCH_pr6.json`). Its profiles are `smoke`/`full`; the figure
+//! construction (reference and adaptive-dispatch phases only up to 4096
+//! nodes), and a fig4 replay per size, plus the profile's service
+//! soaks, then writes the schema'd JSON to `--bench-out` (default
+//! `BENCH_pr8.json`). Its profiles are `smoke`/`full`; the figure
 //! profile names map onto them.
+//!
+//! `--profile-phases` additionally prints a self-timing breakdown to
+//! stderr for the `fig4` and `service`/`service-smoke` experiments
+//! (graph/oracle/hierarchy/publish/replay/queries, bed-build vs soak).
+//! Stdout tables are unaffected, so the flag composes with `--csv` and
+//! the determinism checks. See PERFORMANCE.md for the flamegraph recipe
+//! when per-function attribution is needed below phase granularity.
 //!
 //! `--metrics` writes every produced table, per-experiment wall-clock,
 //! and the fixed-seed instrumented run's aggregates as one JSON report;
@@ -42,8 +50,9 @@
 use mot_bench::{
     ablation_table, churn_table, faults_table, general_graph_table, instrumented_run,
     level_decomposition_table, load_figure, locality_table, maintenance_figure, mobility_table,
-    publish_cost_table, query_figure, run_baseline, scale_table, service_run, state_size_table,
-    trace_events, BaselineProfile, BenchError, FigureTable, Profile, RunReport, ServiceSpec,
+    profile_fig4_phases, publish_cost_table, query_figure, run_baseline, scale_table,
+    service_phase_timings, service_run, state_size_table, trace_events, BaselineProfile,
+    BenchError, FigureTable, Profile, RunReport, ServiceSpec, SizeSpec,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
@@ -117,7 +126,7 @@ fn smoke_profile(oracle: OracleKind, jobs: usize) -> Profile {
 
 /// `bench-baseline` measures wall-clock, not cost ratios, so it has its
 /// own scale names: `smoke` (CI seconds-scale, `auto` backend) and
-/// `full` (the committed `BENCH_pr6.json` artifact, up to 2^20 nodes on
+/// `full` (the committed `BENCH_pr8.json` artifact, up to 2^20 nodes on
 /// the cached backend). The figure profile names map onto them so
 /// `--profile quick all` keeps working. An explicit `--oracle` flag
 /// overrides either profile's default backend; without it each profile
@@ -146,7 +155,8 @@ fn run() -> Result<(), BenchError> {
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut jobs: usize = 0;
-    let mut bench_out = "BENCH_pr6.json".to_string();
+    let mut bench_out = "BENCH_pr8.json".to_string();
+    let mut profile_phases = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -170,16 +180,19 @@ fn run() -> Result<(), BenchError> {
                     .map_err(|_| format!("--jobs needs a number, got '{v}'"))?;
             }
             "--bench-out" => bench_out = it.next().ok_or("--bench-out needs a file path")?,
+            "--profile-phases" => profile_phases = true,
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--profile quick|standard|paper] [--jobs N]\n\
                      \x20                  [--oracle auto|dense|lazy|hybrid|cached] [--csv DIR]\n\
                      \x20                  [--metrics FILE.json] [--trace FILE.ndjson]\n\
-                     \x20                  [--bench-out FILE.json] [IDS...]\n\
+                     \x20                  [--bench-out FILE.json] [--profile-phases] [IDS...]\n\
                      ids: {}\n\
                      \x20    all\n\
                      bench-baseline also accepts --profile smoke|full and writes\n\
-                     its phase timings to --bench-out (default BENCH_pr6.json)",
+                     its phase timings to --bench-out (default BENCH_pr8.json);\n\
+                     --profile-phases prints self-timing breakdowns (stderr) for\n\
+                     fig4 and service/service-smoke runs",
                     ALL_IDS.join(" ")
                 );
                 return Ok(());
@@ -219,7 +232,9 @@ fn run() -> Result<(), BenchError> {
     // report for the --metrics trailer.
     let run_service_id =
         |spec: ServiceSpec, service_out: &mut Option<String>| -> Result<FigureTable, BenchError> {
+            let t0 = std::time::Instant::now();
             let (table, rep) = service_run(&spec)?;
+            let end_to_end = t0.elapsed().as_secs_f64();
             eprintln!(
                 "[service: {} ops in {:.2}s = {:.0} ops/s, {} workers]",
                 rep.sent,
@@ -227,6 +242,12 @@ fn run() -> Result<(), BenchError> {
                 rep.sent as f64 / rep.wall_secs.max(1e-9),
                 rep.workers
             );
+            if profile_phases {
+                eprint!(
+                    "{}",
+                    service_phase_timings(&spec, &rep, end_to_end).render()
+                );
+            }
             *service_out = Some(rep.to_json());
             Ok(table)
         };
@@ -234,6 +255,21 @@ fn run() -> Result<(), BenchError> {
     for id in &ids {
         let started = std::time::Instant::now();
         let name = profile_name.as_str();
+        if profile_phases && id == "fig4" {
+            // One extra instrumented replay on the profile's largest
+            // grid — the figure sweep itself stays untouched.
+            let p = profile_for(100, name, oracle, jobs)?;
+            let &(rows, cols) = p.grids.last().expect("profiles sweep at least one grid");
+            let timings = profile_fig4_phases(
+                SizeSpec::Grid { rows, cols },
+                p.objects,
+                p.moves_per_object,
+                p.oracle,
+                1,
+            )
+            .map_err(|e| format!("--profile-phases fig4 run failed: {e}"))?;
+            eprint!("{}", timings.render());
+        }
         let table = match id.as_str() {
             "bench-baseline" => baseline_profile_for(name, oracle_flag, jobs)
                 .and_then(|bp| run_baseline(&bp))
@@ -241,6 +277,9 @@ fn run() -> Result<(), BenchError> {
                     std::fs::write(&bench_out, rep.to_json())
                         .map_err(|e| format!("cannot write '{bench_out}': {e}"))?;
                     eprintln!("wrote {bench_out}");
+                    if let Some(service) = rep.service_to_table() {
+                        println!("{}", service.render());
+                    }
                     Ok(rep.to_table())
                 }),
             "fig4" => maintenance_figure(&profile_for(100, name, oracle, jobs)?, false),

@@ -35,18 +35,22 @@
 
 pub mod baseline;
 pub mod figures;
+pub mod profiling;
 pub mod report;
 pub mod service;
 
 pub use baseline::{
-    run_baseline, BaselineProfile, BaselineReport, SizeSpec, SizeTiming, BENCH_SCHEMA,
-    REFERENCE_PHASE_NODE_LIMIT,
+    run_baseline, BaselineProfile, BaselineReport, ServiceTiming, SizeSpec, SizeTiming,
+    BENCH_SCHEMA, DISPATCH_TOLERANCE, REFERENCE_PHASE_NODE_LIMIT,
 };
 pub use figures::{
     ablation_table, churn_table, faults_table, general_graph_table, instrumented_run,
     level_decomposition_table, load_figure, locality_table, maintenance_figure, mobility_table,
     publish_cost_table, query_figure, scale_table, state_size_table, trace_aggregates,
     trace_events, BenchError, BenchResult, Profile,
+};
+pub use profiling::{
+    profile_fig4_phases, profile_service_phases, service_phase_timings, PhaseTimings,
 };
 pub use report::{FigureTable, RunReport};
 pub use service::{service_run, service_table, ServiceSpec};

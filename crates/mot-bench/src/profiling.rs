@@ -1,0 +1,210 @@
+//! `--profile-phases`: self-timing breakdowns of the two hot
+//! experiments, printed to stderr so the deterministic stdout tables
+//! stay byte-identical with and without the flag.
+//!
+//! Where `bench-baseline` commits coarse per-phase numbers as the CI
+//! contract, this module answers the *why is it slow* question during
+//! optimization work: a fig4 replay split into graph/oracle/hierarchy/
+//! publish/replay/queries, and a service soak split into bed build vs
+//! the soak loop, each phase with its share of the total. For
+//! instruction-level attribution below this granularity, PERFORMANCE.md
+//! documents the flamegraph recipe (`perf record` against the
+//! `experiments` binary — no extra tooling baked into the crate).
+
+use crate::figures::BenchError;
+use crate::service::{service_run, ServiceSpec};
+use crate::SizeSpec;
+use mot_baselines::DetectionRates;
+use mot_hierarchy::{build_doubling, OverlayConfig};
+use mot_net::OracleKind;
+use mot_sim::{replay_moves, run_publish, run_queries, Algo, TestBed, WorkloadSpec};
+use std::time::Instant;
+
+/// A labelled sequence of phase durations with a one-line context
+/// header. Rendering is fixed-width and stderr-friendly.
+#[derive(Clone, Debug)]
+pub struct PhaseTimings {
+    /// What was profiled (topology, scale, backend).
+    pub title: String,
+    /// `(phase name, seconds)`, in execution order.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Aligned text table: one row per phase with seconds and share of
+    /// the total, then a total row.
+    pub fn render(&self) -> String {
+        let width = self
+            .phases
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let total = self.total();
+        let mut out = format!("profile-phases: {}\n", self.title);
+        for (name, secs) in &self.phases {
+            let share = if total > 0.0 {
+                secs / total * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  {name:width$}  {secs:>10.4}s  {share:>5.1}%\n"));
+        }
+        out.push_str(&format!("  {:width$}  {total:>10.4}s\n", "total"));
+        out
+    }
+}
+
+/// Times every phase of one fig4-style replay: graph build, oracle
+/// build, hierarchy build (the adaptive dispatch production callers
+/// use), publish, the one-by-one move replay, and a query batch.
+pub fn profile_fig4_phases(
+    spec: SizeSpec,
+    objects: usize,
+    moves_per_object: usize,
+    oracle: OracleKind,
+    seed: u64,
+) -> Result<PhaseTimings, BenchError> {
+    let mut phases = Vec::new();
+    let mut timed = |name: &str, secs: f64| phases.push((name.to_string(), secs));
+
+    let t = Instant::now();
+    let g = match spec {
+        SizeSpec::Grid { rows, cols } => mot_net::generators::grid(rows, cols)?,
+        SizeSpec::Geometric {
+            nodes,
+            side,
+            radius,
+            seed,
+        } => mot_net::generators::random_geometric(nodes, side, radius, seed)?,
+    };
+    timed("graph", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let m = oracle.build(&g)?;
+    timed("oracle", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let overlay = build_doubling(&g, &*m, &OverlayConfig::practical(), seed);
+    timed("hierarchy", t.elapsed().as_secs_f64());
+
+    let bed = TestBed {
+        graph: g,
+        oracle: m,
+        overlay,
+        faults: None,
+    };
+    let w = WorkloadSpec::new(objects, moves_per_object, seed * 7 + 1).generate(&bed.graph);
+    let rates = DetectionRates::from_moves(&bed.graph, &w.move_pairs());
+    let mut tracker = bed.make_tracker(Algo::Mot, &rates)?;
+
+    let t = Instant::now();
+    run_publish(tracker.as_mut(), &w)?;
+    timed("publish", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    replay_moves(tracker.as_mut(), &w, &bed.oracle)?;
+    timed("replay", t.elapsed().as_secs_f64());
+
+    let queries = (objects * 10).max(100);
+    let t = Instant::now();
+    run_queries(tracker.as_ref(), &bed.oracle, objects, queries, seed + 2)?;
+    timed("queries", t.elapsed().as_secs_f64());
+
+    let (rows, cols) = spec.rows_cols();
+    Ok(PhaseTimings {
+        title: format!(
+            "fig4 replay, {} {rows}x{cols} ({} nodes), {objects} objects x \
+             {moves_per_object} moves, oracle {}",
+            spec.topology(),
+            spec.nodes(),
+            oracle.label(),
+        ),
+        phases,
+    })
+}
+
+/// Times a service soak split into bed construction and the soak loop
+/// itself, with throughput in the title. The soak number is the
+/// report's own wall clock (the same value `bench-baseline` gates).
+pub fn profile_service_phases(spec: &ServiceSpec) -> Result<PhaseTimings, BenchError> {
+    let t = Instant::now();
+    let (_, rep) = service_run(spec)?;
+    Ok(service_phase_timings(spec, &rep, t.elapsed().as_secs_f64()))
+}
+
+/// The breakdown behind [`profile_service_phases`], for callers that
+/// already ran the soak (the `experiments` binary times its normal
+/// `service` run and feeds it here, avoiding a second soak).
+pub fn service_phase_timings(
+    spec: &ServiceSpec,
+    rep: &mot_sim::ServiceReport,
+    end_to_end_secs: f64,
+) -> PhaseTimings {
+    let setup = (end_to_end_secs - rep.wall_secs).max(0.0);
+    let (rows, cols) = spec.grid;
+    PhaseTimings {
+        title: format!(
+            "service soak, {rows}x{cols} grid, {} objects, {} ops, {} shards, jobs {} \
+             ({:.0} ops/s)",
+            spec.cfg.stream.objects,
+            spec.cfg.stream.ops,
+            spec.cfg.shards,
+            spec.cfg.jobs,
+            spec.cfg.stream.ops as f64 / rep.wall_secs.max(1e-12),
+        ),
+        phases: vec![("bed_build".into(), setup), ("soak".into(), rep.wall_secs)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_profile_times_every_phase() {
+        let t = profile_fig4_phases(
+            SizeSpec::Grid { rows: 6, cols: 6 },
+            4,
+            20,
+            OracleKind::Auto,
+            1,
+        )
+        .unwrap();
+        let names: Vec<&str> = t.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "graph",
+                "oracle",
+                "hierarchy",
+                "publish",
+                "replay",
+                "queries"
+            ]
+        );
+        assert!(t.phases.iter().all(|&(_, s)| s >= 0.0));
+        assert!(t.total() > 0.0);
+        let rendered = t.render();
+        assert!(rendered.contains("hierarchy"));
+        assert!(rendered.contains("total"));
+        assert!(rendered.contains('%'));
+    }
+
+    #[test]
+    fn service_profile_reports_setup_and_soak() {
+        let mut s = ServiceSpec::smoke();
+        s.cfg.stream.ops = 500;
+        s.cfg.stream.objects = 20;
+        let t = profile_service_phases(&s).unwrap();
+        assert_eq!(t.phases.len(), 2);
+        assert!(t.phases[1].1 > 0.0, "soak wall clock missing");
+        assert!(t.title.contains("ops/s"));
+    }
+}

@@ -47,7 +47,20 @@ pub struct MotTracker<'a> {
     /// Optional structured-trace consumer. `None` (the default) keeps
     /// every hot path free of event construction — see [`crate::trace`].
     sink: Option<&'a dyn TraceSink>,
+    /// Freelist of [`TrailLevel`]s pruned by moves/repairs, recycled by
+    /// the next climb so steady-state trail surgery reuses capacity
+    /// instead of allocating. Values are cleared on recycle; reuse is
+    /// capacity-only, so costs stay bit-identical to fresh allocation
+    /// (DESIGN.md §16).
+    spare_levels: Vec<TrailLevel>,
+    /// Reusable container for the fresh trail fragment a move builds
+    /// (drained into the spliced trail at the end of each move).
+    frag_buf: Vec<TrailLevel>,
 }
+
+/// Cap on [`MotTracker::spare_levels`]: enough to absorb a full-height
+/// prune while keeping a crash-heavy run's high-water mark bounded.
+const SPARE_LEVEL_CAP: usize = 64;
 
 impl<'a> MotTracker<'a> {
     /// Creates a tracker over a prebuilt overlay.
@@ -67,6 +80,28 @@ impl<'a> MotTracker<'a> {
             ever_crashed: false,
             repair_spent: 0.0,
             sink: None,
+            spare_levels: Vec::new(),
+            frag_buf: Vec::new(),
+        }
+    }
+
+    /// Pops a cleared [`TrailLevel`] off the freelist (or allocates an
+    /// empty one). Recycled levels are cleared at recycle time, so the
+    /// value handed out is indistinguishable from `TrailLevel::default()`
+    /// except for retained capacity.
+    #[inline]
+    fn take_level(&mut self) -> TrailLevel {
+        self.spare_levels.pop().unwrap_or_default()
+    }
+
+    /// Returns a pruned [`TrailLevel`] to the freelist, clearing its
+    /// contents so no holder or SP entry can leak into a later operation.
+    #[inline]
+    fn recycle_level(&mut self, mut tl: TrailLevel) {
+        if self.spare_levels.len() < SPARE_LEVEL_CAP {
+            tl.holders.clear();
+            tl.sp_entries.clear();
+            self.spare_levels.push(tl);
         }
     }
 
@@ -334,13 +369,17 @@ impl<'a> MotTracker<'a> {
         op: OpKind,
         ledger: LedgerKind,
     ) -> (Vec<TrailLevel>, f64) {
-        let h = self.overlay.height();
+        // `overlay` is a shared borrow with the tracker's own lifetime;
+        // copying the reference out of `self` lets station slices outlive
+        // the `&mut self` calls below, so no per-level copy is needed.
+        let overlay = self.overlay;
+        let h = overlay.height();
         let mut cost = 0.0;
         let mut cur = proxy;
         let mut trail = Vec::with_capacity(h + 1);
         for level in 0..=h {
-            let station = self.overlay.station(proxy, level).to_vec();
-            let mut tl = TrailLevel::default();
+            let station = overlay.station(proxy, level);
+            let mut tl = self.take_level();
             for (j, &s) in station.iter().enumerate() {
                 let d = self.oracle.dist(cur, s);
                 cost += d;
@@ -429,6 +468,11 @@ impl<'a> MotTracker<'a> {
                 self.stores.sdl_remove(e, level, o);
             }
         }
+        // The scrubbed levels feed the freelist so the re-publish climb
+        // below allocates nothing.
+        for tl in rec.trail {
+            self.recycle_level(tl);
+        }
         let (trail, cost) = self.build_trail(o, proxy, OpKind::Repair, LedgerKind::Repair);
         self.records.insert(o, ObjectRecord { trail });
         self.repair_spent += cost;
@@ -513,21 +557,24 @@ impl Tracker for MotTracker<'_> {
         }
         let op = OpKind::Move;
         let ledger = LedgerKind::Maintenance;
-        let h = self.overlay.height();
+        // Copy the overlay reference out of `self` (see `build_trail`):
+        // station slices then borrow the overlay, not the tracker, so the
+        // per-level `.to_vec()` copies this loop used to make are gone.
+        let overlay = self.overlay;
+        let h = overlay.height();
         let mut cost = 0.0;
         let mut cur = to;
 
         // ---- insert: climb DPath(to) until a node already holds o ------
         // Level 0: the new proxy takes the object.
-        let mut new_levels: Vec<TrailLevel> = Vec::new();
+        let mut new_levels = std::mem::take(&mut self.frag_buf);
+        debug_assert!(new_levels.is_empty());
         {
             let (holder, lb_cost) = self.placement_traced(to, 0, o, op, ledger);
             cost += lb_cost;
             self.stores.dl_add(to, 0, o, holder);
-            let mut tl = TrailLevel {
-                holders: vec![to],
-                sp_entries: Vec::new(),
-            };
+            let mut tl = self.take_level();
+            tl.holders.push(to);
             let (entry, sp_cost) = self.install_sp(to, 0, 0, to, o, op, ledger);
             cost += sp_cost;
             if let Some(e) = entry {
@@ -537,8 +584,8 @@ impl Tracker for MotTracker<'_> {
         }
         let mut meet: Option<(usize, NodeId)> = None;
         'climb: for level in 1..=h {
-            let station = self.overlay.station(to, level).to_vec();
-            let mut tl = TrailLevel::default();
+            let station = overlay.station(to, level);
+            let mut tl = self.take_level();
             for (j, &s) in station.iter().enumerate() {
                 let d = self.oracle.dist(cur, s);
                 cost += d;
@@ -576,6 +623,7 @@ impl Tracker for MotTracker<'_> {
                         }
                     }
                     meet = Some((level, s));
+                    self.recycle_level(tl);
                     break 'climb;
                 }
                 self.stores.dl_add(s, level, o, holder);
@@ -604,16 +652,24 @@ impl Tracker for MotTracker<'_> {
                 cost += lb_cost;
                 self.stores.dl_remove(hnode, level, o, holder);
             }
-            for e in tl.sp_entries {
+            for &e in &tl.sp_entries {
                 cost += self.remove_sp(e, level, o, op, ledger);
             }
+            self.recycle_level(tl);
         }
 
         // ---- splice the new fragment under the old upper trail ---------
-        let mut trail = new_levels; // levels 0..meet_level-1
-        trail.extend(rec.trail.into_iter().skip(meet_level));
-        debug_assert_eq!(trail.len(), h + 1);
-        self.records.insert(o, ObjectRecord { trail });
+        // Write the fresh fragment (levels 0..meet_level-1) over the
+        // scrubbed slots of the record's existing trail vector, keeping
+        // both the trail vector and the fragment buffer alive across
+        // moves (capacity-only reuse, DESIGN.md §16).
+        debug_assert_eq!(new_levels.len(), meet_level);
+        for (level, tl) in new_levels.drain(..).enumerate() {
+            rec.trail[level] = tl;
+        }
+        self.frag_buf = new_levels;
+        debug_assert_eq!(rec.trail.len(), h + 1);
+        self.records.insert(o, rec);
         self.emit_op(OpKind::Move, o, cost);
         Ok(MoveOutcome { from, cost })
     }

@@ -48,21 +48,29 @@ fn q32(d: f64) -> f64 {
 }
 
 /// Node count below which [`build_doubling`] dispatches to the frozen
-/// oracle-scan reference builder instead of the bounded-ball builder.
+/// oracle-scan reference builder instead of the bounded-ball builder —
+/// when the oracle's rows are precomputed.
 ///
-/// BENCH_pr5.json measured `hierarchy_speedup < 1` below ~1024 nodes
-/// (0.32× at 256, 0.80× at 1024, 3.1× at 4096): on tiny graphs the
-/// bounded-ball machinery's per-ball setup costs more than the O(k²)
-/// oracle scans it avoids, and a dense oracle row read is a plain array
-/// load. Both strategies are bit-identical by construction (pinned by
-/// the `hierarchy_parity` crossover test), so the dispatch is purely a
+/// Measured on the dense matrix, hierarchy speedup is below 1 under
+/// ~1024 nodes (0.32× at 256, 0.80× at 1024, 3.1× at 4096): on tiny
+/// graphs the bounded-ball machinery's per-ball setup costs more than
+/// the O(k²) oracle scans it avoids, and a dense oracle row read is a
+/// plain array load. That last property is load-bearing: on on-demand
+/// backends each row scan can trigger a Dijkstra solve, and the
+/// reference builder loses at *every* size (the bench-baseline dispatch
+/// gate caught it 16× slower at 256 nodes on the cached backend) — so
+/// the dispatch also requires
+/// [`rows_precomputed`](DistanceOracle::rows_precomputed). Both
+/// strategies are bit-identical by construction (pinned by the
+/// `hierarchy_parity` crossover test), so the dispatch is purely a
 /// performance choice.
 pub const ADAPTIVE_CROSSOVER_NODES: usize = 1024;
 
 /// Builds the MIS-coarsened overlay for a (constant-doubling) network,
-/// picking the construction strategy by size: the oracle-scan reference
-/// builder below [`ADAPTIVE_CROSSOVER_NODES`] nodes, the bounded-ball
-/// builder ([`build_doubling_balls`]) at and above it. Both produce
+/// picking the construction strategy by size and backend: the
+/// oracle-scan reference builder below [`ADAPTIVE_CROSSOVER_NODES`]
+/// nodes on precomputed-row oracles, the bounded-ball builder
+/// ([`build_doubling_balls`]) everywhere else. Both produce
 /// bit-identical overlays; see the crossover constant for the
 /// measurements behind the threshold.
 ///
@@ -74,7 +82,7 @@ pub fn build_doubling(
     cfg: &OverlayConfig,
     seed: u64,
 ) -> Overlay {
-    if g.node_count() < ADAPTIVE_CROSSOVER_NODES {
+    if g.node_count() < ADAPTIVE_CROSSOVER_NODES && m.rows_precomputed() {
         crate::reference::reference_build_doubling(g, m, cfg, seed)
     } else {
         build_doubling_balls(g, m, cfg, seed)

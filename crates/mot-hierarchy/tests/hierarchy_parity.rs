@@ -7,14 +7,15 @@
 //! *nothing* about the output: identical levels, identical detection
 //! paths, on every topology generator and several seeds and configs.
 //! The adaptive front door [`build_doubling`] dispatches between the
-//! two by node count, so a dedicated crossover test pins all three
-//! entry points identical on both sides of the threshold.
+//! two by node count and backend, so a dedicated crossover test pins
+//! all three entry points identical on both sides of the threshold and
+//! across precomputed vs on-demand oracles.
 
 use mot_hierarchy::{
     build_doubling, build_doubling_balls, reference_build_doubling, Overlay, OverlayConfig,
     ADAPTIVE_CROSSOVER_NODES,
 };
-use mot_net::{generators, DenseOracle, Graph};
+use mot_net::{generators, CachedOracle, DenseOracle, DistanceOracle, Graph};
 
 /// Compares two overlays through the public accessors only.
 fn assert_overlays_identical(a: &Overlay, b: &Overlay, ctx: &str) {
@@ -131,6 +132,22 @@ fn adaptive_dispatch_is_bit_identical_across_the_crossover() {
         assert_overlays_identical(&adaptive, &balls, &ctx);
         assert_overlays_identical(&adaptive, &reference, &ctx);
     }
+}
+
+#[test]
+fn adaptive_dispatch_is_bit_identical_across_backends() {
+    // Below the node crossover the dispatch also branches on the
+    // backend: reference builder on precomputed rows (dense), ball
+    // builder on on-demand backends (whose row scans would each pay a
+    // Dijkstra solve). The overlay must not care which path ran.
+    let g = generators::grid(12, 12).unwrap();
+    let cfg = OverlayConfig::practical();
+    let dense = DenseOracle::build(&g).unwrap();
+    let cached = CachedOracle::new(&g).unwrap();
+    assert!(dense.rows_precomputed() && !cached.rows_precomputed());
+    let via_dense = build_doubling(&g, &dense, &cfg, 7);
+    let via_cached = build_doubling(&g, &cached, &cfg, 7);
+    assert_overlays_identical(&via_dense, &via_cached, "backend dispatch 12x12");
 }
 
 #[test]

@@ -380,6 +380,15 @@ impl DistanceOracle for CachedOracle {
         }
     }
 
+    fn ball_into(&self, u: NodeId, r: f64, out: &mut Vec<NodeId>) {
+        out.clear();
+        match self.plan(u) {
+            Plan::Hit(row) => row.ball_into(r, out),
+            Plan::Promote => self.promote(u).ball_into(r, out),
+            Plan::Solve => out.extend(self.solve_ball(u, r).into_iter().map(|(_, i)| NodeId(i))),
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         self.state.lock().expect("cache state poisoned").bytes
     }

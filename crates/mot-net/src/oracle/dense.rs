@@ -157,6 +157,15 @@ impl DenseOracle {
         sorted[..cut].iter().map(|&(_, i)| NodeId(i)).collect()
     }
 
+    /// See [`DistanceOracle::ball_into`]: the ball prefix copied into a
+    /// reused buffer.
+    pub fn ball_into(&self, u: NodeId, r: f64, out: &mut Vec<NodeId>) {
+        let sorted = self.sorted_row(u);
+        let cut = sorted.partition_point(|&(d, _)| (d as f64) <= r);
+        out.clear();
+        out.extend(sorted[..cut].iter().map(|&(_, i)| NodeId(i)));
+    }
+
     /// Number of nodes within distance `r` of `u` (inclusive).
     pub fn ball_size(&self, u: NodeId, r: f64) -> usize {
         self.sorted_row(u)
@@ -206,6 +215,14 @@ impl DistanceOracle for DenseOracle {
 
     fn ball_size(&self, u: NodeId, r: f64) -> usize {
         DenseOracle::ball_size(self, u, r)
+    }
+
+    fn ball_into(&self, u: NodeId, r: f64, out: &mut Vec<NodeId>) {
+        DenseOracle::ball_into(self, u, r, out)
+    }
+
+    fn rows_precomputed(&self) -> bool {
+        true
     }
 
     fn memory_bytes(&self) -> usize {

@@ -213,6 +213,10 @@ impl DistanceOracle for LazyOracle {
         self.row(u).ball_size(r)
     }
 
+    fn ball_into(&self, u: NodeId, r: f64, out: &mut Vec<NodeId>) {
+        self.row(u).ball_into(r, out)
+    }
+
     fn memory_bytes(&self) -> usize {
         LazyOracle::memory_bytes(self)
     }

@@ -85,6 +85,15 @@ pub trait DistanceOracle: Send + Sync {
         self.ball(u, r).len()
     }
 
+    /// [`ball`](Self::ball) into a caller-owned buffer (cleared first),
+    /// so tight query loops can reuse one allocation. The default
+    /// delegates to `ball`; backends with a sorted row override it to
+    /// copy the prefix directly.
+    fn ball_into(&self, u: NodeId, r: f64, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.ball(u, r));
+    }
+
     /// The member of `candidates` nearest to `u`, ties broken by
     /// smallest node id (the paper breaks parent ties arbitrarily; ID
     /// order keeps runs reproducible). `None` on an empty list.
@@ -116,6 +125,16 @@ pub trait DistanceOracle: Send + Sync {
     /// actually performed.
     fn cache_stats(&self) -> Option<CacheLedger> {
         None
+    }
+
+    /// Whether every distance read is a plain lookup into fully
+    /// precomputed storage (true only for the dense matrix), as opposed
+    /// to potentially triggering an on-demand single-source solve.
+    /// Purely a performance hint — adaptive overlay construction uses
+    /// it to decide whether full-row oracle scans are affordable — and
+    /// never affects any result bit (all backends answer identically).
+    fn rows_precomputed(&self) -> bool {
+        false
     }
 }
 
@@ -165,6 +184,10 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
         (**self).ball_size(u, r)
     }
 
+    fn ball_into(&self, u: NodeId, r: f64, out: &mut Vec<NodeId>) {
+        (**self).ball_into(u, r, out)
+    }
+
     fn nearest_in(&self, u: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
         (**self).nearest_in(u, candidates)
     }
@@ -179,6 +202,10 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
 
     fn cache_stats(&self) -> Option<CacheLedger> {
         (**self).cache_stats()
+    }
+
+    fn rows_precomputed(&self) -> bool {
+        (**self).rows_precomputed()
     }
 }
 
@@ -250,6 +277,12 @@ impl DistRow {
             .iter()
             .map(|&(_, i)| NodeId(i))
             .collect()
+    }
+
+    /// [`ball`](Self::ball) into a caller-owned buffer (cleared first).
+    pub(crate) fn ball_into(&self, r: f64, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.sorted[..self.cut(r)].iter().map(|&(_, i)| NodeId(i)));
     }
 
     pub(crate) fn ball_size(&self, r: f64) -> usize {

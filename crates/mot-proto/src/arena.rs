@@ -1,0 +1,206 @@
+//! Generation-stamped freelist for route buffers.
+//!
+//! The message loop's hot allocations are the `Vec<NodeId>` route
+//! buffers riding inside [`crate::Payload`]s: down-member lists,
+//! level-member lists, delete walks, repoint fan-outs. Handlers retire
+//! such a buffer on almost every delivery and mint a new one for the
+//! next hop — under a general-purpose allocator that is two malloc
+//! round-trips per message. [`RouteArena`] turns the churn into
+//! capacity reuse: retired buffers are cleared and parked on a
+//! freelist, and later takes pop them instead of allocating.
+//!
+//! Two properties keep the reuse invisible to the protocol (the
+//! invariants of DESIGN.md §16):
+//!
+//! * **Values never survive recycling.** [`RouteArena::recycle`]
+//!   clears the buffer before parking it; a recycled buffer is
+//!   indistinguishable from a fresh `Vec::new()` except for its
+//!   capacity. The replay/parity suites are the witness — with the
+//!   arena [disabled](RouteArena::set_enabled) every take falls back
+//!   to fresh allocation, and both modes must produce bit-identical
+//!   results.
+//! * **No intra-operation aliasing.** Each buffer is stamped with the
+//!   operation generation at which it was recycled, and a take only
+//!   reuses buffers stamped *before* the current generation (bumped by
+//!   [`RouteArena::begin_op`]). A handler bug that recycled a buffer
+//!   still referenced by an in-flight message of the same operation
+//!   can therefore never observe its own corruption — the buffer sits
+//!   out the rest of the operation.
+
+use std::collections::VecDeque;
+
+use mot_net::NodeId;
+
+/// Parked buffers beyond this count are dropped instead of retained,
+/// bounding the arena to the high-water concurrency of one operation.
+const FREE_CAP: usize = 256;
+
+/// Reuse counters for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out ([`RouteArena::take`]/[`take_from`](RouteArena::take_from)).
+    pub taken: u64,
+    /// Takes served from the freelist instead of the allocator.
+    pub reused: u64,
+    /// Buffers parked by [`RouteArena::recycle`].
+    pub recycled: u64,
+}
+
+/// A freelist of route buffers with generation-stamped reuse.
+///
+/// See the [module docs](self) for the invariants. Disabled mode
+/// (`set_enabled(false)`) makes every take a fresh allocation and every
+/// recycle a drop — the fresh-allocation reference build the churn
+/// parity test compares against.
+#[derive(Debug)]
+pub struct RouteArena {
+    /// Parked buffers, each stamped with the generation that retired
+    /// it. Recycles push at the back, takes pop from the front, so
+    /// stamps are nondecreasing front to back and the front alone
+    /// decides reusability — a buffer retired mid-operation never
+    /// shadows the older, immediately reusable ones behind it.
+    free: VecDeque<(u64, Vec<NodeId>)>,
+    generation: u64,
+    enabled: bool,
+    stats: ArenaStats,
+}
+
+impl Default for RouteArena {
+    fn default() -> Self {
+        RouteArena {
+            free: VecDeque::new(),
+            generation: 0,
+            enabled: true,
+            stats: ArenaStats::default(),
+        }
+    }
+}
+
+impl RouteArena {
+    /// An empty, enabled arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns reuse on or off. Disabling drops the parked buffers so a
+    /// later re-enable starts cold.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.free.clear();
+        }
+    }
+
+    /// Whether takes may be served from the freelist.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks the start of a new tracker operation: buffers recycled
+    /// from now on only become reusable at the *next* `begin_op`.
+    pub fn begin_op(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Reuse counters since construction.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// An empty buffer: from the freelist when one from a previous
+    /// generation is parked, freshly allocated otherwise.
+    pub fn take(&mut self) -> Vec<NodeId> {
+        self.stats.taken += 1;
+        if self.enabled {
+            if let Some(&(stamp, _)) = self.free.front() {
+                if stamp < self.generation {
+                    self.stats.reused += 1;
+                    return self.free.pop_front().expect("checked non-empty").1;
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// [`take`](Self::take), filled with a copy of `src`.
+    pub fn take_from(&mut self, src: &[NodeId]) -> Vec<NodeId> {
+        let mut buf = self.take();
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Parks a retired buffer for reuse (cleared first; value reuse is
+    /// forbidden). Zero-capacity buffers and overflow beyond the cap
+    /// are dropped.
+    pub fn recycle(&mut self, mut buf: Vec<NodeId>) {
+        if !self.enabled || buf.capacity() == 0 || self.free.len() >= FREE_CAP {
+            return;
+        }
+        buf.clear();
+        self.stats.recycled += 1;
+        self.free.push_back((self.generation, buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_waits_for_the_next_generation() {
+        let mut a = RouteArena::new();
+        a.begin_op();
+        let mut b = a.take();
+        b.push(NodeId(7));
+        let cap = b.capacity();
+        a.recycle(b);
+        // Same generation: the parked buffer must sit out.
+        assert!(a.take().capacity() < cap.max(1));
+        a.begin_op();
+        let c = a.take();
+        assert_eq!(c.capacity(), cap, "previous-generation buffer reused");
+        assert!(c.is_empty(), "recycled values must not survive");
+        assert_eq!(a.stats().reused, 1);
+    }
+
+    #[test]
+    fn mid_op_recycle_does_not_shadow_older_buffers() {
+        let mut a = RouteArena::new();
+        a.begin_op();
+        let (mut x, mut y) = (a.take(), a.take());
+        x.push(NodeId(1)); // give both capacity
+        y.push(NodeId(2));
+        a.recycle(x);
+        a.recycle(y);
+        a.begin_op();
+        // Retire a buffer mid-operation: its same-generation park at the
+        // back must not block the still-reusable one at the front.
+        let first = a.take();
+        assert!(first.capacity() > 0);
+        a.recycle(first);
+        let second = a.take();
+        assert!(second.capacity() > 0, "front buffer was shadowed");
+        assert_eq!(a.stats().reused, 2);
+    }
+
+    #[test]
+    fn disabled_mode_never_reuses() {
+        let mut a = RouteArena::new();
+        a.set_enabled(false);
+        a.begin_op();
+        let mut b = a.take();
+        b.push(NodeId(1));
+        a.recycle(b);
+        a.begin_op();
+        assert_eq!(a.take().capacity(), 0);
+        assert_eq!(a.stats().reused, 0);
+        assert_eq!(a.stats().recycled, 0);
+    }
+
+    #[test]
+    fn take_from_copies_the_source() {
+        let mut a = RouteArena::new();
+        let src = [NodeId(1), NodeId(2)];
+        assert_eq!(a.take_from(&src), src.to_vec());
+    }
+}

@@ -65,12 +65,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod faults;
 pub mod message;
 pub mod node;
 pub mod runtime;
 pub mod transport;
 
+pub use arena::{ArenaStats, RouteArena};
 pub use faults::{FaultModel, NoFaults, ScriptedFaults};
 pub use message::{Message, Payload};
 pub use runtime::{BatchOp, BatchOutcome, ProtoTracker};

@@ -188,19 +188,46 @@ impl Payload {
 
     /// Short kind label for ledgers and debugging.
     pub fn kind(&self) -> &'static str {
+        KIND_LABELS[self.kind_index()]
+    }
+
+    /// Dense index of this payload's ledger kind into [`KIND_LABELS`]
+    /// (the retry account, which no payload carries, sits last). Lets
+    /// the transport ledger bill into a flat array instead of hashing a
+    /// label per delivery.
+    pub fn kind_index(&self) -> usize {
         match self {
-            Payload::Climb { publish: true, .. } => "publish",
-            Payload::Climb { .. } => "insert",
-            Payload::Repoint { .. } => "repoint",
-            Payload::Delete { .. } => "delete",
-            Payload::SpInstall { .. } => "sp_install",
-            Payload::SpRemove { .. } => "sp_remove",
-            Payload::Query { .. } => "query",
-            Payload::Descend { .. } => "descend",
-            Payload::Reply { .. } => "reply",
+            Payload::Climb { publish: true, .. } => 0,
+            Payload::Climb { .. } => 1,
+            Payload::Repoint { .. } => 2,
+            Payload::Delete { .. } => 3,
+            Payload::SpInstall { .. } => 4,
+            Payload::SpRemove { .. } => 5,
+            Payload::Query { .. } => 6,
+            Payload::Descend { .. } => 7,
+            Payload::Reply { .. } => 8,
         }
     }
 }
+
+/// Number of ledger-kind accounts: the nine payload kinds of
+/// [`Payload::kind_index`] plus the retry account.
+pub const KIND_COUNT: usize = 10;
+
+/// Ledger labels, indexed by [`Payload::kind_index`]; the last entry is
+/// the retry account ([`crate::RETRIES_KIND`]).
+pub const KIND_LABELS: [&str; KIND_COUNT] = [
+    "publish",
+    "insert",
+    "repoint",
+    "delete",
+    "sp_install",
+    "sp_remove",
+    "query",
+    "descend",
+    "reply",
+    "retries",
+];
 
 /// A message in flight between two sensors (routed along a shortest
 /// physical path; its cost is the shortest-path distance).

@@ -10,6 +10,7 @@
 //! levels included (partial additions are rolled back) — keeps both lists
 //! exact at all times.
 
+use crate::arena::RouteArena;
 use crate::message::{Message, Payload};
 use mot_core::ObjectId;
 use mot_hierarchy::Overlay;
@@ -93,9 +94,19 @@ impl NodeState {
         self.dl.insert((o, level as u8), entry);
     }
 
-    /// Handles one incoming message at node `me`, producing the outgoing
-    /// messages.
-    pub fn handle(&mut self, me: NodeId, msg: Payload, ctx: &Ctx<'_>) -> Vec<Message> {
+    /// Handles one incoming message at node `me`, appending the outgoing
+    /// messages to `out`. Route buffers carried by the consumed payload
+    /// are either forwarded in an outgoing message or retired into
+    /// `arena` — never silently dropped — so a steady-state message loop
+    /// allocates nothing.
+    pub fn handle(
+        &mut self,
+        me: NodeId,
+        msg: Payload,
+        ctx: &Ctx<'_>,
+        arena: &mut RouteArena,
+        out: &mut Vec<Message>,
+    ) {
         match msg {
             Payload::Climb {
                 object,
@@ -115,28 +126,34 @@ impl NodeState {
                 prev_members,
                 added,
                 publish,
+                arena,
+                out,
             ),
             Payload::Repoint {
                 object,
                 level,
                 new_down,
-                targets_remaining,
+                mut targets_remaining,
             } => {
                 if let Some(e) = self.dl.get_mut(&(object, level as u8)) {
-                    e.down_members = new_down.clone();
+                    e.down_members.clear();
+                    e.down_members.extend_from_slice(&new_down);
                 }
-                match targets_remaining.split_first() {
-                    Some((&next, rest)) => vec![Message {
+                if targets_remaining.is_empty() {
+                    arena.recycle(new_down);
+                    arena.recycle(targets_remaining);
+                } else {
+                    let next = targets_remaining.remove(0);
+                    out.push(Message {
                         src: me,
                         dst: next,
                         payload: Payload::Repoint {
                             object,
                             level,
                             new_down,
-                            targets_remaining: rest.to_vec(),
+                            targets_remaining,
                         },
-                    }],
-                    None => Vec::new(),
+                    });
                 }
             }
             Payload::Delete {
@@ -144,7 +161,15 @@ impl NodeState {
                 level,
                 members_remaining,
                 continue_down,
-            } => self.on_delete(me, object, level, members_remaining, continue_down),
+            } => self.on_delete(
+                me,
+                object,
+                level,
+                members_remaining,
+                continue_down,
+                arena,
+                out,
+            ),
             Payload::SpInstall {
                 object,
                 guarded_level,
@@ -154,7 +179,6 @@ impl NodeState {
                     .entry(object)
                     .or_default()
                     .push((guarded_level as u8, child));
-                Vec::new()
             }
             Payload::SpRemove {
                 object,
@@ -172,20 +196,19 @@ impl NodeState {
                         self.sdl.remove(&object);
                     }
                 }
-                Vec::new()
             }
             Payload::Query {
                 object,
                 origin,
                 level,
                 index,
-            } => self.on_query(me, ctx, object, origin, level, index),
+            } => self.on_query(me, ctx, object, origin, level, index, out),
             Payload::Descend {
                 object,
                 origin,
                 level,
-            } => self.on_descend(me, ctx, object, origin, level),
-            Payload::Reply { .. } => Vec::new(), // intercepted by the runtime
+            } => self.on_descend(me, ctx, object, origin, level, out),
+            Payload::Reply { .. } => {} // intercepted by the runtime
         }
     }
 
@@ -201,40 +224,46 @@ impl NodeState {
         prev_members: Vec<NodeId>,
         mut added: Vec<NodeId>,
         publish: bool,
-    ) -> Vec<Message> {
+        arena: &mut RouteArena,
+        out: &mut Vec<Message>,
+    ) {
         let station = ctx.overlay.station(origin, level);
         debug_assert_eq!(station.get(index), Some(&me), "climb misrouted");
         let key = (object, level as u8);
 
         if !publish && self.dl.contains_key(&key) {
             // --- the meet: lowest ancestor already holding the object ---
+            let fresh_down = arena.take_from(&prev_members);
             let entry = self.dl.get_mut(&key).expect("checked above");
-            let old_down = std::mem::replace(&mut entry.down_members, prev_members.clone());
-            let repoint_targets: Vec<NodeId> = entry
-                .level_members
-                .iter()
-                .copied()
-                .filter(|&t| t != me)
-                .collect();
-            let mut out = Vec::new();
+            let mut old_down = std::mem::replace(&mut entry.down_members, fresh_down);
+            let mut repoint_targets = arena.take();
+            repoint_targets.extend(entry.level_members.iter().copied().filter(|&t| t != me));
             // Roll back this pass's partial additions at the meet level
             // (reverse walk, continue_down = false: the rolled-back
             // entries point at the *fresh* fragment, which must survive),
             // keeping the level a complete parent set.
-            if let Some((&first_back, rest)) = added.split_last() {
-                out.push(Message {
-                    src: me,
-                    dst: first_back,
-                    payload: Payload::Delete {
-                        object,
-                        level,
-                        members_remaining: rest.iter().rev().copied().collect(),
-                        continue_down: false,
-                    },
-                });
+            match added.pop() {
+                Some(first_back) => {
+                    added.reverse();
+                    out.push(Message {
+                        src: me,
+                        dst: first_back,
+                        payload: Payload::Delete {
+                            object,
+                            level,
+                            members_remaining: added,
+                            continue_down: false,
+                        },
+                    });
+                }
+                None => arena.recycle(added),
             }
             // Repoint co-holders' down lists to the fresh fragment.
-            if let Some((&first, rest)) = repoint_targets.split_first() {
+            if repoint_targets.is_empty() {
+                arena.recycle(repoint_targets);
+                arena.recycle(prev_members);
+            } else {
+                let first = repoint_targets.remove(0);
                 out.push(Message {
                     src: me,
                     dst: first,
@@ -242,38 +271,38 @@ impl NodeState {
                         object,
                         level,
                         new_down: prev_members,
-                        targets_remaining: rest.to_vec(),
+                        targets_remaining: repoint_targets,
                     },
                 });
             }
             // Delete the stale trail below the meet.
             debug_assert!(!old_down.is_empty(), "meet below level 1 is filtered out");
-            if let Some((&first, rest)) = old_down.split_first() {
+            if old_down.is_empty() {
+                arena.recycle(old_down);
+            } else {
+                let first = old_down.remove(0);
                 out.push(Message {
                     src: me,
                     dst: first,
                     payload: Payload::Delete {
                         object,
                         level: level - 1,
-                        members_remaining: rest.to_vec(),
+                        members_remaining: old_down,
                         continue_down: true,
                     },
                 });
             }
-            return out;
+            return;
         }
 
         // --- fresh addition ------------------------------------------------
         let sp_host = ctx.sp_for(origin, level, index);
-        self.dl.insert(
-            key,
-            DlEntry {
-                down_members: prev_members.clone(),
-                level_members: station.to_vec(),
-                sp_host,
-            },
-        );
-        let mut out = Vec::new();
+        let entry = DlEntry {
+            down_members: arena.take_from(&prev_members),
+            level_members: arena.take_from(station),
+            sp_host,
+        };
+        self.dl.insert(key, entry);
         if let Some(host) = sp_host {
             out.push(Message {
                 src: me,
@@ -302,6 +331,7 @@ impl NodeState {
             });
         } else if level < ctx.overlay.height() {
             let next_station = ctx.overlay.station(origin, level + 1);
+            arena.recycle(prev_members);
             out.push(Message {
                 src: me,
                 dst: next_station[0],
@@ -311,28 +341,32 @@ impl NodeState {
                     level: level + 1,
                     index: 0,
                     prev_members: added,
-                    added: Vec::new(),
+                    added: arena.take(),
                     publish,
                 },
             });
         } else {
             debug_assert!(publish, "an insert must meet at the root at the latest");
+            arena.recycle(prev_members);
+            arena.recycle(added);
         }
-        out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_delete(
         &mut self,
         me: NodeId,
         object: ObjectId,
         level: usize,
-        members_remaining: Vec<NodeId>,
+        mut members_remaining: Vec<NodeId>,
         continue_down: bool,
-    ) -> Vec<Message> {
+        arena: &mut RouteArena,
+        out: &mut Vec<Message>,
+    ) {
         let removed = self.dl.remove(&(object, level as u8));
         debug_assert!(removed.is_some(), "delete routed to a non-holder");
-        let mut out = Vec::new();
-        if let Some(entry) = &removed {
+        let mut down_members = Vec::new();
+        if let Some(entry) = removed {
             if let Some(host) = entry.sp_host {
                 out.push(Message {
                     src: me,
@@ -344,38 +378,44 @@ impl NodeState {
                     },
                 });
             }
+            arena.recycle(entry.level_members);
+            down_members = entry.down_members;
         }
-        if let Some((&next, rest)) = members_remaining.split_first() {
+        if !members_remaining.is_empty() {
+            let next = members_remaining.remove(0);
+            arena.recycle(down_members);
             out.push(Message {
                 src: me,
                 dst: next,
                 payload: Payload::Delete {
                     object,
                     level,
-                    members_remaining: rest.to_vec(),
+                    members_remaining,
                     continue_down,
                 },
             });
-        } else if continue_down && level > 0 {
+        } else if continue_down && level > 0 && !down_members.is_empty() {
             // Last member of this level: continue to the level below via
             // this entry's down members.
-            let down = removed.map(|e| e.down_members).unwrap_or_default();
-            if let Some((&first, rest)) = down.split_first() {
-                out.push(Message {
-                    src: me,
-                    dst: first,
-                    payload: Payload::Delete {
-                        object,
-                        level: level - 1,
-                        members_remaining: rest.to_vec(),
-                        continue_down: true,
-                    },
-                });
-            }
+            arena.recycle(members_remaining);
+            let first = down_members.remove(0);
+            out.push(Message {
+                src: me,
+                dst: first,
+                payload: Payload::Delete {
+                    object,
+                    level: level - 1,
+                    members_remaining: down_members,
+                    continue_down: true,
+                },
+            });
+        } else {
+            arena.recycle(members_remaining);
+            arena.recycle(down_members);
         }
-        out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_query(
         &mut self,
         me: NodeId,
@@ -384,15 +424,16 @@ impl NodeState {
         origin: NodeId,
         level: usize,
         index: usize,
-    ) -> Vec<Message> {
+        out: &mut Vec<Message>,
+    ) {
         // A physical node knows every role's DL: probe all levels, lowest
         // first (matches the direct implementation).
         if let Some(lowest) = self.lowest_level(object) {
-            return self.descend_step(me, ctx, object, origin, lowest);
+            return self.descend_step(me, ctx, object, origin, lowest, out);
         }
         if ctx.use_special_parents {
             if let Some((guarded_level, child)) = self.sdl_entry(object) {
-                return vec![Message {
+                out.push(Message {
                     src: me,
                     dst: child,
                     payload: Payload::Descend {
@@ -400,13 +441,14 @@ impl NodeState {
                         origin,
                         level: guarded_level,
                     },
-                }];
+                });
+                return;
             }
         }
         // Continue climbing DPath(origin).
         let station = ctx.overlay.station(origin, level);
         if index + 1 < station.len() {
-            vec![Message {
+            out.push(Message {
                 src: me,
                 dst: station[index + 1],
                 payload: Payload::Query {
@@ -415,14 +457,14 @@ impl NodeState {
                     level,
                     index: index + 1,
                 },
-            }]
+            });
         } else {
             debug_assert!(
                 level < ctx.overlay.height(),
                 "the root always resolves a published object"
             );
             let next_station = ctx.overlay.station(origin, level + 1);
-            vec![Message {
+            out.push(Message {
                 src: me,
                 dst: next_station[0],
                 payload: Payload::Query {
@@ -431,7 +473,7 @@ impl NodeState {
                     level: level + 1,
                     index: 0,
                 },
-            }]
+            });
         }
     }
 
@@ -442,9 +484,10 @@ impl NodeState {
         object: ObjectId,
         origin: NodeId,
         level: usize,
-    ) -> Vec<Message> {
+        out: &mut Vec<Message>,
+    ) {
         debug_assert!(self.holds(object, level), "descend routed to a non-holder");
-        self.descend_step(me, ctx, object, origin, level)
+        self.descend_step(me, ctx, object, origin, level, out)
     }
 
     /// One step of the downward phase from a holder at `level`: reply if
@@ -456,20 +499,22 @@ impl NodeState {
         object: ObjectId,
         origin: NodeId,
         level: usize,
-    ) -> Vec<Message> {
+        out: &mut Vec<Message>,
+    ) {
         if level == 0 {
-            return vec![Message {
+            out.push(Message {
                 src: me,
                 dst: origin,
                 payload: Payload::Reply { object, proxy: me },
-            }];
+            });
+            return;
         }
         let entry = &self.dl[&(object, level as u8)];
         let next = ctx
             .oracle
             .nearest_in(me, &entry.down_members)
             .expect("trail levels are never empty");
-        vec![Message {
+        out.push(Message {
             src: me,
             dst: next,
             payload: Payload::Descend {
@@ -477,6 +522,6 @@ impl NodeState {
                 origin,
                 level: level - 1,
             },
-        }]
+        });
     }
 }

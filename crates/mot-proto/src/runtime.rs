@@ -2,6 +2,7 @@
 //! operation (the paper's one-by-one case, where event inter-arrival
 //! times dwarf message propagation times).
 
+use crate::arena::{ArenaStats, RouteArena};
 use crate::faults::FaultModel;
 use crate::message::{Message, Payload};
 use crate::node::{Ctx, DlEntry, NodeState};
@@ -134,6 +135,10 @@ struct Inner<'a> {
     /// Reply (result delivery) distance, reported separately from the
     /// query cost like the direct implementation.
     pub reply_distance: f64,
+    /// Freelist for the route buffers riding inside payloads.
+    arena: RouteArena,
+    /// Reused collector for each delivery's outgoing messages.
+    out_buf: Vec<Message>,
 }
 
 impl Inner<'_> {
@@ -149,8 +154,15 @@ impl Inner<'_> {
                 oracle: self.oracle,
                 use_special_parents: self.use_special_parents,
             };
-            let out = self.nodes[msg.dst.index()].handle(msg.dst, msg.payload, &ctx);
-            self.transport.send_all(out);
+            self.out_buf.clear();
+            self.nodes[msg.dst.index()].handle(
+                msg.dst,
+                msg.payload,
+                &ctx,
+                &mut self.arena,
+                &mut self.out_buf,
+            );
+            self.transport.send_all(self.out_buf.drain(..));
         }
         Ok(())
     }
@@ -158,13 +170,14 @@ impl Inner<'_> {
     /// Seeds the level-0 entry at a (new) proxy and builds the messages
     /// that launch the climb.
     fn seed_climb_messages(&mut self, o: ObjectId, proxy: NodeId, publish: bool) -> Vec<Message> {
+        self.arena.begin_op();
         // level-0 special parent, same policy as internal levels
         let sp0 = if self.use_special_parents && self.overlay.sp_level(0) != 0 {
             Some(self.overlay.sp_host(proxy, 0, 0))
         } else {
             None
         };
-        self.nodes[proxy.index()].seed_proxy_entry(o, proxy, sp0);
+        self.nodes[proxy.index()].seed_proxy_entry(o, proxy, sp0, &mut self.arena);
         let mut msgs = Vec::new();
         if let Some(host) = sp0 {
             msgs.push(Message {
@@ -179,6 +192,8 @@ impl Inner<'_> {
         }
         if self.overlay.height() >= 1 {
             let station = self.overlay.station(proxy, 1);
+            let mut prev_members = self.arena.take();
+            prev_members.push(proxy);
             msgs.push(Message {
                 src: proxy,
                 dst: station[0],
@@ -187,8 +202,8 @@ impl Inner<'_> {
                     origin: proxy,
                     level: 1,
                     index: 0,
-                    prev_members: vec![proxy],
-                    added: Vec::new(),
+                    prev_members,
+                    added: self.arena.take(),
                     publish,
                 },
             });
@@ -261,6 +276,8 @@ impl<'a> ProtoTracker<'a> {
                 proxies: HashMap::new(),
                 last_reply: None,
                 reply_distance: 0.0,
+                arena: RouteArena::new(),
+                out_buf: Vec::new(),
             }),
         }
     }
@@ -269,6 +286,18 @@ impl<'a> ProtoTracker<'a> {
     /// during the most recent operation; 0 on the reliable transport.
     pub fn retry_distance(&self) -> f64 {
         self.inner.borrow().transport.ledger().retries()
+    }
+
+    /// Toggles route-buffer reuse (on by default). Disabling makes every
+    /// buffer a fresh allocation — the reference mode the churn parity
+    /// test compares against; results must be bit-identical either way.
+    pub fn set_buffer_reuse(&mut self, on: bool) {
+        self.inner.borrow_mut().arena.set_enabled(on);
+    }
+
+    /// Route-buffer arena counters (takes / freelist hits / recycles).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.inner.borrow().arena.stats()
     }
 
     /// Whether `node` holds `o` at role `level` (for differential tests).
@@ -307,6 +336,7 @@ impl<'a> ProtoTracker<'a> {
             }
         }
         let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
         let mut timed = TimedTransport::new(period_base);
         let mut outcome = BatchOutcome::default();
         let mut per_object: HashMap<ObjectId, f64> = HashMap::new();
@@ -349,6 +379,7 @@ impl<'a> ProtoTracker<'a> {
                     if from.index() >= inner.nodes.len() {
                         return Err(CoreError::UnknownNode(from));
                     }
+                    inner.arena.begin_op();
                     timed.send_at(
                         Message {
                             src: from,
@@ -383,8 +414,15 @@ impl<'a> ProtoTracker<'a> {
                 oracle: inner.oracle,
                 use_special_parents: inner.use_special_parents,
             };
-            let out = inner.nodes[msg.dst.index()].handle(msg.dst, msg.payload, &ctx);
-            for m in out {
+            inner.out_buf.clear();
+            inner.nodes[msg.dst.index()].handle(
+                msg.dst,
+                msg.payload,
+                &ctx,
+                &mut inner.arena,
+                &mut inner.out_buf,
+            );
+            for m in inner.out_buf.drain(..) {
                 timed.send_at(m, sent_at, inner.oracle);
             }
         }
@@ -450,6 +488,7 @@ impl Tracker for ProtoTracker<'_> {
         }
         inner.transport.ledger_mut().reset();
         inner.last_reply = None;
+        inner.arena.begin_op();
         inner.transport.send(Message {
             src: from,
             dst: from, // zero-distance self-delivery starts the probe
@@ -486,13 +525,21 @@ impl Tracker for ProtoTracker<'_> {
 impl NodeState {
     /// Installs the level-0 (proxy) entry directly — the proxy detects
     /// the object locally; no message is needed for its own entry.
-    pub fn seed_proxy_entry(&mut self, o: ObjectId, me: NodeId, sp_host: Option<NodeId>) {
+    pub fn seed_proxy_entry(
+        &mut self,
+        o: ObjectId,
+        me: NodeId,
+        sp_host: Option<NodeId>,
+        arena: &mut RouteArena,
+    ) {
+        let mut level_members = arena.take();
+        level_members.push(me);
         self.insert_entry(
             o,
             0,
             DlEntry {
-                down_members: Vec::new(),
-                level_members: vec![me],
+                down_members: arena.take(),
+                level_members,
                 sp_host,
             },
         );

@@ -7,10 +7,10 @@
 //! bookkeeping (special-parent updates, repoints) and from query replies.
 
 use crate::faults::FaultModel;
-use crate::message::{Message, Payload};
+use crate::message::{Message, Payload, KIND_COUNT, KIND_LABELS};
 use mot_core::{LedgerKind, OpId, OpKind, OpLedger, TraceEvent, TracePhase, TraceSink};
 use mot_net::DistanceOracle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Emits one transport-level trace event for a billed transmission
@@ -98,10 +98,12 @@ impl Default for Backoff {
 /// so zero-fault runs are bit-identical to the reliable transport.
 pub const RETRIES_KIND: &str = "retries";
 
-/// Per-kind accumulated message distance.
+/// Per-kind accumulated message distance. Kinds live in a flat array
+/// indexed by [`Payload::kind_index`] — billing happens once per
+/// delivered message on the replay hot path, so it must not hash.
 #[derive(Clone, Debug, Default)]
 pub struct CostLedger {
-    by_kind: HashMap<&'static str, f64>,
+    by_kind: [f64; KIND_COUNT],
     /// Total distance of charged messages since the last reset.
     pub charged: f64,
     /// Number of messages delivered since the last reset.
@@ -116,13 +118,17 @@ pub struct CostLedger {
 }
 
 impl CostLedger {
-    /// Distance accumulated under a payload kind.
+    /// Distance accumulated under a payload kind (an unknown label
+    /// reads as zero, matching the old map-backed behavior).
     pub fn of_kind(&self, kind: &str) -> f64 {
-        self.by_kind.get(kind).copied().unwrap_or(0.0)
+        KIND_LABELS
+            .iter()
+            .position(|&l| l == kind)
+            .map_or(0.0, |i| self.by_kind[i])
     }
 
     fn bill(&mut self, payload: &Payload, dist: f64) {
-        *self.by_kind.entry(payload.kind()).or_insert(0.0) += dist;
+        self.by_kind[payload.kind_index()] += dist;
         if payload.charged() {
             self.charged += dist;
         }
@@ -132,7 +138,7 @@ impl CostLedger {
     /// Bills a wasted transmission (drop, retransmission, or duplicate
     /// arrival) to the [`RETRIES_KIND`] account without charging it.
     fn bill_retry(&mut self, dist: f64) {
-        *self.by_kind.entry(RETRIES_KIND).or_insert(0.0) += dist;
+        self.by_kind[KIND_COUNT - 1] += dist;
         self.messages += 1;
     }
 
@@ -150,7 +156,7 @@ impl CostLedger {
 
     /// Clears the per-operation counters.
     pub fn reset(&mut self) {
-        self.by_kind.clear();
+        self.by_kind = [0.0; KIND_COUNT];
         self.charged = 0.0;
         self.messages = 0;
         self.lost_messages = 0;

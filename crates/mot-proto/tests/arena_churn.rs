@@ -1,0 +1,125 @@
+//! Reuse-churn parity: recycled route buffers must never leak state.
+//!
+//! The same fixed workload runs twice through the message-passing
+//! runtime — once with the route-buffer arena enabled (the default),
+//! once with reuse disabled so every buffer is a fresh allocation —
+//! and the two runs must agree to the last bit: identical per-op
+//! costs, identical proxies, identical detection-list state and
+//! per-node loads. Any value surviving a recycle (a stale member in a
+//! reused down-list, an uncleared delete walk) shows up as a cost or
+//! state divergence here.
+
+use mot_core::{MotConfig, ObjectId, Tracker};
+use mot_hierarchy::{build_doubling, OverlayConfig};
+use mot_net::{generators, DenseOracle, NodeId};
+use mot_proto::ProtoTracker;
+use rand::{Rng, SeedableRng};
+
+/// Drives one tracker through a fixed publish/move/query churn and
+/// returns every observable bit: op costs, reply answers, final loads.
+fn churn(t: &mut ProtoTracker, rows: usize, cols: usize) -> (Vec<f64>, Vec<NodeId>, Vec<usize>) {
+    let n = (rows * cols) as u32;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC0FFEE);
+    let mut costs = Vec::new();
+    let mut answers = Vec::new();
+    for k in 0..12u32 {
+        costs.push(t.publish(ObjectId(k), NodeId(k * 7 % n)).unwrap());
+    }
+    for _ in 0..200 {
+        let o = ObjectId(rng.gen_range(0..12u32));
+        match rng.gen_range(0..3u32) {
+            0 | 1 => {
+                let to = NodeId(rng.gen_range(0..n));
+                if Some(to) != t.proxy_of(o) {
+                    costs.push(t.move_object(o, to).unwrap().cost);
+                }
+            }
+            _ => {
+                let from = NodeId(rng.gen_range(0..n));
+                let r = t.query(from, o).unwrap();
+                costs.push(r.cost);
+                answers.push(r.proxy);
+            }
+        }
+    }
+    (costs, answers, t.node_loads())
+}
+
+#[test]
+fn recycled_buffers_are_bit_identical_to_fresh_allocation() {
+    let (rows, cols) = (8, 8);
+    let g = generators::grid(rows, cols).unwrap();
+    let m = DenseOracle::build(&g).unwrap();
+    let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+    let cfg = MotConfig::plain();
+
+    let mut reused = ProtoTracker::new(&overlay, &m, &cfg);
+    let mut fresh = ProtoTracker::new(&overlay, &m, &cfg);
+    fresh.set_buffer_reuse(false);
+
+    let (costs_r, answers_r, loads_r) = churn(&mut reused, rows, cols);
+    let (costs_f, answers_f, loads_f) = churn(&mut fresh, rows, cols);
+
+    assert_eq!(
+        costs_r.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+        costs_f.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+        "op costs diverged between reused and fresh buffers"
+    );
+    assert_eq!(answers_r, answers_f, "query answers diverged");
+    assert_eq!(loads_r, loads_f, "node loads diverged");
+    for node in g.nodes() {
+        for level in 0..=overlay.height() {
+            for k in 0..12u32 {
+                assert_eq!(
+                    reused.holds(node, level, ObjectId(k)),
+                    fresh.holds(node, level, ObjectId(k)),
+                    "DL state diverged at {node} level {level} object {k}"
+                );
+            }
+        }
+    }
+
+    // The churn actually exercised the freelist (not vacuously green).
+    let stats = reused.arena_stats();
+    assert!(
+        stats.reused > 100,
+        "expected heavy freelist traffic, saw {stats:?}"
+    );
+    assert_eq!(
+        fresh.arena_stats().reused,
+        0,
+        "disabled arena must never reuse"
+    );
+}
+
+#[test]
+fn arena_reuse_reaches_steady_state() {
+    // After warm-up, a move/query workload should serve nearly every
+    // route buffer from the freelist: takes grow with ops, fresh
+    // allocations (taken - reused) stay at the warm-up watermark.
+    let g = generators::grid(8, 8).unwrap();
+    let m = DenseOracle::build(&g).unwrap();
+    let overlay = build_doubling(&g, &m, &OverlayConfig::practical(), 3);
+    let mut t = ProtoTracker::new(&overlay, &m, &MotConfig::plain());
+    let o = ObjectId(0);
+    t.publish(o, NodeId(0)).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    for _ in 0..50 {
+        t.move_object(o, NodeId(rng.gen_range(0..64u32))).unwrap();
+        t.query(NodeId(rng.gen_range(0..64u32)), o).unwrap();
+    }
+    let warm = t.arena_stats();
+    let warm_fresh = warm.taken - warm.reused;
+    for _ in 0..200 {
+        t.move_object(o, NodeId(rng.gen_range(0..64u32))).unwrap();
+        t.query(NodeId(rng.gen_range(0..64u32)), o).unwrap();
+    }
+    let end = t.arena_stats();
+    let end_fresh = end.taken - end.reused;
+    assert!(
+        end_fresh <= warm_fresh + 8,
+        "steady state still allocates: {warm_fresh} fresh after warm-up, \
+         {end_fresh} after 4x more ops"
+    );
+    assert!(end.taken > warm.taken + 400, "workload too small to judge");
+}

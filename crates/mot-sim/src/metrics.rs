@@ -313,10 +313,24 @@ impl Histogram {
     /// (its lower edge for the unbounded last bucket). Deterministic and
     /// mergeable — the p50/p99 figures service mode reports — unlike an
     /// exact percentile it costs no sample retention.
+    ///
+    /// Boundary semantics: `quantile(0.0)` is the *lower* edge of the
+    /// first non-empty bucket (the p0 is the smallest sample's bucket
+    /// floor, not a rank-1 upper bound); `quantile(1.0)` is the bound of
+    /// the last non-empty bucket, like every interior quantile whose
+    /// rank falls there. An empty histogram answers 0.0 at every `q`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.count == 0 {
             return 0.0;
+        }
+        if q == 0.0 {
+            let first = self
+                .buckets
+                .iter()
+                .position(|&c| c > 0)
+                .expect("count > 0 means some bucket is non-empty");
+            return Self::bucket_bounds(first).0;
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -787,14 +801,49 @@ mod tests {
         assert_eq!(h.quantile(0.5), 64.0);
         // p99 = sample 99, bucket [64,128) → upper edge 128
         assert_eq!(h.quantile(0.99), 128.0);
-        // q=0 clamps to the first sample: 1.0 sits in [1,2) → edge 2
-        assert_eq!(h.quantile(0.0), 2.0);
+        // p0 is the first non-empty bucket's *lower* edge: 1.0 ∈ [1,2)
+        assert_eq!(h.quantile(0.0), 1.0);
         assert_eq!(h.quantile(1.0), 128.0);
         assert_eq!(Histogram::new().quantile(0.5), 0.0, "empty is zero");
         // the unbounded last bucket reports its finite lower edge
         let mut top = Histogram::new();
         top.record(f64::MAX);
         assert!(top.quantile(0.5).is_finite());
+    }
+
+    #[test]
+    fn histogram_quantile_boundaries_are_pinned() {
+        // Empty: every q answers 0.0, boundaries included.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+
+        // Single bucket: p0 is its lower edge, p1 (and everything
+        // between) its upper edge.
+        let mut single = Histogram::new();
+        for _ in 0..5 {
+            single.record(10.0); // bucket [8,16)
+        }
+        assert_eq!(single.quantile(0.0), 8.0);
+        assert_eq!(single.quantile(0.5), 16.0);
+        assert_eq!(single.quantile(1.0), 16.0);
+
+        // Zero-valued samples land in bucket [0,1): p0 = 0.0.
+        let mut zeros = Histogram::new();
+        zeros.record(0.0);
+        zeros.record(100.0);
+        assert_eq!(zeros.quantile(0.0), 0.0);
+        assert_eq!(zeros.quantile(1.0), 128.0);
+
+        // Merged histograms keep the same boundary semantics.
+        let mut a = Histogram::new();
+        a.record(3.0); // [2,4)
+        let mut b = Histogram::new();
+        b.record(40.0); // [32,64)
+        a.merge(&b);
+        assert_eq!(a.quantile(0.0), 2.0, "p0 from the merged minimum");
+        assert_eq!(a.quantile(1.0), 64.0, "p1 from the merged maximum");
+        assert_eq!(a.quantile(0.5), 4.0, "interior ranks are unchanged");
     }
 
     #[test]

@@ -181,12 +181,13 @@ pub fn run_local_queries(
 ) -> Result<QueryBatchStats> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut out = QueryBatchStats::default();
+    let mut near = Vec::new();
     for _ in 0..count {
         let o = ObjectId(rng.gen_range(0..object_count as u32));
         let truth = tracker
             .proxy_of(o)
             .expect("workload published every object");
-        let near = oracle.ball(truth, radius);
+        oracle.ball_into(truth, radius, &mut near);
         let from = near[rng.gen_range(0..near.len())];
         let r = tracker.query(from, o)?;
         if r.proxy == truth {

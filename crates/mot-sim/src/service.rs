@@ -388,6 +388,10 @@ struct TickOut {
     shard: usize,
     depth: usize,
     redeliver: Vec<Delivered>,
+    /// The tick's drained delivery buffer, riding back to the
+    /// coordinator so its capacity is reused next tick (values never
+    /// survive the round-trip; DESIGN.md §16).
+    spent: Vec<Delivered>,
 }
 
 struct ShardFinal {
@@ -472,12 +476,17 @@ impl<'a> ShardState<'a> {
         rates: &DetectionRates,
         cfg: &ServiceConfig,
     ) -> Result<TickOut, SimError> {
-        let redeliver = if msg.crash {
+        let ShardTickMsg {
+            crash,
+            mut deliveries,
+            ..
+        } = msg;
+        let redeliver = if crash {
             self.crash_recover(bed, rates)?
         } else {
             Vec::new()
         };
-        for d in msg.deliveries {
+        for d in deliveries.drain(..) {
             self.enqueue(tick, d, cfg);
         }
         let budget = if cfg.shard_budget == 0 {
@@ -514,6 +523,7 @@ impl<'a> ShardState<'a> {
             shard: self.shard,
             depth,
             redeliver,
+            spent: deliveries,
         })
     }
 
@@ -795,6 +805,9 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
         let (mut sent, mut dropped, mut retries, mut dups) = (0u64, 0u64, 0u64, 0u64);
         let (mut delayed, mut redelivered, mut crash_events) = (0u64, 0u64, 0u64);
         let mut tick = 0u64;
+        // Per-shard delivery buffers, reused across ticks: workers drain
+        // them and ship the empties back in each `TickOut`.
+        let mut per_shard: Vec<Vec<Delivered>> = vec![Vec::new(); shards];
 
         loop {
             // 1. This tick's deliveries: carried retries/delays/dups
@@ -816,7 +829,6 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
 
             // 2. Transport coins — keyed on (op, attempt), never on
             //    order — route survivors to their shards.
-            let mut per_shard: Vec<Vec<Delivered>> = vec![Vec::new(); shards];
             for s in due {
                 let op = s.env.id.0;
                 if !s.dup {
@@ -892,6 +904,8 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
             let mut backlog_total = 0usize;
             for o in outs {
                 backlog_total += o.depth;
+                debug_assert!(o.spent.is_empty(), "spent buffers must come back drained");
+                per_shard[o.shard] = o.spent;
                 for d in o.redeliver {
                     redelivered += 1;
                     scheduled.entry(tick + 1).or_default().push(Sched {
