@@ -4,7 +4,8 @@
 //! experiments [--profile quick|standard|paper] [--jobs N]
 //!             [--oracle auto|dense|lazy|hybrid|cached]
 //!             [--csv DIR] [--metrics FILE.json] [--trace FILE.ndjson]
-//!             [--bench-out FILE.json] [--profile-phases] [IDS...]
+//!             [--bench-out FILE.json] [--profile-phases]
+//!             [--experiment ID] [IDS...]
 //! ```
 //!
 //! `--jobs N` sizes the fan-out worker pool (default 0 = one worker per
@@ -19,6 +20,8 @@
 //! cargo run --release -p mot-bench --bin experiments -- --oracle cached scale
 //! cargo run --release -p mot-bench --bin experiments -- --profile quick faults-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --jobs 2 --metrics svc.json service-smoke
+//! cargo run --release -p mot-bench --bin experiments -- --experiment churn-smoke
+//! cargo run --release -p mot-bench --bin experiments -- churn-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --metrics out.json fig4 level-decomp
 //! cargo run --release -p mot-bench --bin experiments -- --profile smoke bench-baseline
 //! ```
@@ -48,18 +51,18 @@
 //! unrepaired objects) — exits nonzero with a readable message.
 
 use mot_bench::{
-    ablation_table, churn_table, faults_table, general_graph_table, instrumented_run,
-    level_decomposition_table, load_figure, locality_table, maintenance_figure, mobility_table,
-    profile_fig4_phases, publish_cost_table, query_figure, run_baseline, scale_table,
-    service_phase_timings, service_run, state_size_table, trace_events, BaselineProfile,
-    BenchError, FigureTable, Profile, RunReport, ServiceSpec, SizeSpec,
+    ablation_table, churn_smoke_table, churn_table, faults_table, general_graph_table,
+    instrumented_run, level_decomposition_table, load_figure, locality_table, maintenance_figure,
+    mobility_table, profile_fig4_phases, publish_cost_table, query_figure, run_baseline,
+    scale_table, service_phase_timings, service_run, state_size_table, trace_events,
+    BaselineProfile, BenchError, FigureTable, Profile, RunReport, ServiceSpec, SizeSpec,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
 use std::process::ExitCode;
 
-const ALL_IDS: [&str; 26] = [
+const ALL_IDS: [&str; 27] = [
     "bench-baseline",
     "fig4",
     "fig5",
@@ -77,6 +80,7 @@ const ALL_IDS: [&str; 26] = [
     "ablations",
     "general",
     "churn",
+    "churn-smoke",
     "state-size",
     "locality",
     "mobility",
@@ -181,12 +185,16 @@ fn run() -> Result<(), BenchError> {
             }
             "--bench-out" => bench_out = it.next().ok_or("--bench-out needs a file path")?,
             "--profile-phases" => profile_phases = true,
+            // Alias for a positional id — reads naturally in scripts:
+            // `experiments --experiment churn-smoke`.
+            "--experiment" => ids.push(it.next().ok_or("--experiment needs an id")?),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--profile quick|standard|paper] [--jobs N]\n\
                      \x20                  [--oracle auto|dense|lazy|hybrid|cached] [--csv DIR]\n\
                      \x20                  [--metrics FILE.json] [--trace FILE.ndjson]\n\
-                     \x20                  [--bench-out FILE.json] [--profile-phases] [IDS...]\n\
+                     \x20                  [--bench-out FILE.json] [--profile-phases]\n\
+                     \x20                  [--experiment ID] [IDS...]\n\
                      ids: {}\n\
                      \x20    all\n\
                      bench-baseline also accepts --profile smoke|full and writes\n\
@@ -298,6 +306,9 @@ fn run() -> Result<(), BenchError> {
             "ablations" => ablation_table(&profile_for(100, name, oracle, jobs)?),
             "general" => general_graph_table(&profile_for(50, name, oracle, jobs)?),
             "churn" => churn_table(jobs),
+            // Fixed CI spec: --profile has no effect, --jobs does
+            // (table parity across jobs is part of the contract).
+            "churn-smoke" => churn_smoke_table(jobs),
             "state-size" => state_size_table(&profile_for(100, name, oracle, jobs)?),
             "locality" => locality_table(&profile_for(100, name, oracle, jobs)?),
             "mobility" => mobility_table(&profile_for(50, name, oracle, jobs)?),

@@ -825,53 +825,6 @@ pub fn level_decomposition_table(p: &Profile) -> BenchResult {
     })
 }
 
-/// §7: amortized adaptability under churn. `jobs` sizes the worker
-/// pool exactly as [`Profile::jobs`] does (0 = one per hardware
-/// thread); the table itself is identical for every value.
-pub fn churn_table(jobs: usize) -> BenchResult {
-    let grids = [(8usize, 8usize), (16, 16)];
-    let cells: Vec<Keyed<(usize, usize)>> = grids
-        .iter()
-        .map(|&(r, c)| Keyed::new(CellKey::new("churn", r * c, "churn-sim", 6), (r, c)))
-        .collect();
-    let rows = ParallelRunner::new(jobs).run(&cells, |cell| -> Result<_, BenchError> {
-        let (r, c) = cell.data;
-        let bed = TestBed::grid(r, c, 6)?;
-        let mut sim = mot_core::dynamics::ChurnSimulator::new(&bed.overlay, &bed.oracle, 4.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let n = bed.graph.node_count();
-        let mut out: Vec<mot_net::NodeId> = Vec::new();
-        let mut departed = vec![false; n];
-        for _ in 0..6 * n {
-            if !out.is_empty() && rng.gen_bool(0.5) {
-                let u = out.swap_remove(rng.gen_range(0..out.len()));
-                departed[u.index()] = false;
-                sim.node_joins(u);
-            } else {
-                let u = mot_net::NodeId::from_index(rng.gen_range(0..n));
-                if !departed[u.index()] {
-                    departed[u.index()] = true;
-                    sim.node_leaves(u);
-                    out.push(u);
-                }
-            }
-        }
-        Ok((
-            (r * c).to_string(),
-            vec![
-                sim.amortized_adaptability(),
-                sim.rebuilds_recommended as f64,
-            ],
-        ))
-    })?;
-    Ok(FigureTable {
-        title: "Amortized adaptability under churn (§7: O(1) per cluster event)".into(),
-        x_label: "nodes".into(),
-        columns: vec!["updates/event".into(), "rebuilds".into()],
-        rows,
-    })
-}
-
 /// Robustness sweep: the fig-4 grid workload replayed under injected
 /// faults — message drop rates × sensor crash counts — for MOT vs STUN.
 /// Per cell the table reports maintenance and query stretch of the
@@ -1055,14 +1008,6 @@ mod tests {
                 cost_over_d < 16.0,
                 "publish cost {cost_over_d} x D not O(D)"
             );
-        }
-    }
-
-    #[test]
-    fn churn_adaptability_is_constant_like() {
-        let t = churn_table(1).unwrap();
-        for (_, ys) in &t.rows {
-            assert!(ys[0] < 10.0, "amortized adaptability {} too large", ys[0]);
         }
     }
 

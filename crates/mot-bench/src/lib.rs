@@ -17,6 +17,8 @@
 //! | `faults-smoke` | — | fixed-seed 16×16 fault sweep (CI health check) |
 //! | `service` | — | chaos soak of the long-lived service loop (DESIGN.md §15) |
 //! | `service-smoke` | — | short fixed-seed service soak (CI zero-silent-loss check) |
+//! | `churn` | §7 | amortized hierarchy-repair cost under seeded join/leave schedules |
+//! | `churn-smoke` | §7 | per-delta divergence gate + churn service soak (CI) |
 //! | `level-decomp` | — | per-level cost decomposition of an instrumented MOT run |
 //! | `bench-baseline` | — | wall-clock phase timings vs the frozen builder (`BENCH_*.json`) |
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod churn;
 pub mod figures;
 pub mod profiling;
 pub mod report;
@@ -43,11 +46,12 @@ pub use baseline::{
     run_baseline, BaselineProfile, BaselineReport, ServiceTiming, SizeSpec, SizeTiming,
     BENCH_SCHEMA, DISPATCH_TOLERANCE, REFERENCE_PHASE_NODE_LIMIT,
 };
+pub use churn::{churn_smoke_table, churn_table};
 pub use figures::{
-    ablation_table, churn_table, faults_table, general_graph_table, instrumented_run,
-    level_decomposition_table, load_figure, locality_table, maintenance_figure, mobility_table,
-    publish_cost_table, query_figure, scale_table, state_size_table, trace_aggregates,
-    trace_events, BenchError, BenchResult, Profile,
+    ablation_table, faults_table, general_graph_table, instrumented_run, level_decomposition_table,
+    load_figure, locality_table, maintenance_figure, mobility_table, publish_cost_table,
+    query_figure, scale_table, state_size_table, trace_aggregates, trace_events, BenchError,
+    BenchResult, Profile,
 };
 pub use profiling::{
     profile_fig4_phases, profile_service_phases, service_phase_timings, PhaseTimings,

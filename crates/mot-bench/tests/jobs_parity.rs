@@ -6,8 +6,8 @@
 //! wall-clock time — these tests fail on the first byte that differs.
 
 use mot_bench::{
-    faults_table, locality_table, maintenance_figure, mobility_table, query_figure, FigureTable,
-    Profile,
+    churn_table, faults_table, locality_table, maintenance_figure, mobility_table, query_figure,
+    FigureTable, Profile,
 };
 use mot_sim::{CellKey, Keyed, ParallelRunner, SimError};
 
@@ -39,6 +39,16 @@ fn tables_are_byte_identical_for_1_and_4_jobs() {
         assert_eq!(a.0, b.0, "CSV bytes differ for table {i}");
         assert_eq!(a.1, b.1, "JSON bytes differ for table {i}");
     }
+}
+
+#[test]
+fn churn_experiment_is_byte_identical_for_1_and_4_jobs() {
+    // The churn table's cells mutate per-cell hierarchy state; parity
+    // proves the repair replay never leans on shared mutable state.
+    let a = churn_table(1).expect("churn jobs=1");
+    let b = churn_table(4).expect("churn jobs=4");
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
 }
 
 #[test]

@@ -18,6 +18,11 @@
 //! root. The [`Overlay`] type packages paths, levels, and the
 //! special-parent pairing (Definition 3) consumed by `mot-core`.
 //!
+//! For §7 topology churn, [`RepairableHierarchy`] maintains the same
+//! doubling structure under sensor leave/join deltas via deterministic
+//! hash-priority MIS and localized repair, with a rebuild-vs-repair
+//! cost ledger (DESIGN.md §17).
+//!
 //! # Example
 //!
 //! ```
@@ -56,6 +61,7 @@ pub mod mis;
 pub mod overlay;
 pub mod path;
 pub mod reference;
+pub mod repair;
 pub mod validate;
 
 pub use config::OverlayConfig;
@@ -65,3 +71,6 @@ pub use mis::luby_mis;
 pub use overlay::{Overlay, OverlayKind};
 pub use path::DetectionPath;
 pub use reference::reference_build_doubling;
+pub use repair::{
+    HierarchySnapshot, RepairDecision, RepairLedger, RepairReport, RepairableHierarchy,
+};

@@ -35,6 +35,17 @@ pub enum NetError {
         /// The other endpoint.
         b: NodeId,
     },
+    /// A mutation or query addressed a node that is currently inactive
+    /// (removed by [`crate::Graph::remove_node`] and not yet restored).
+    NodeInactive {
+        /// The inactive node.
+        node: NodeId,
+    },
+    /// A restore addressed a node that is already active.
+    NodeActive {
+        /// The already-active node.
+        node: NodeId,
+    },
     /// The operation requires a connected graph.
     Disconnected,
     /// The operation requires geographic positions but the graph has none.
@@ -55,6 +66,12 @@ impl fmt::Display for NetError {
             NetError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             NetError::DuplicateEdge { a, b } => {
                 write!(f, "edge ({a}, {b}) inserted twice with different weights")
+            }
+            NetError::NodeInactive { node } => {
+                write!(f, "node {node} is inactive (removed from the topology)")
+            }
+            NetError::NodeActive { node } => {
+                write!(f, "node {node} is already active")
             }
             NetError::Disconnected => write!(f, "graph is not connected"),
             NetError::MissingPositions => {

@@ -24,18 +24,25 @@ pub struct Edge {
     pub weight: f64,
 }
 
-/// A static, connected, undirected, weighted graph of sensor nodes.
+/// A connected, undirected, weighted graph of sensor nodes.
 ///
 /// Construction goes through [`crate::GraphBuilder`] (or a generator in
 /// [`crate::generators`]), which validates weights and rejects duplicate
-/// edges; once built the graph is immutable, matching the paper's static
-/// network model (dynamism is layered on top in `mot-core::dynamics` by
-/// masking nodes, not by mutating `G`).
+/// edges. The built graph is the paper's static network model; §7-style
+/// topology churn is layered on as *generation-stamped mutation*:
+/// [`Graph::remove_node`] deactivates a sensor and strips its incident
+/// edges, [`Graph::restore_node`] brings one back with an explicit edge
+/// star. Node ids are stable across leave/rejoin, every mutation bumps
+/// [`Graph::generation`], and each affected node records the generation
+/// that last touched it ([`Graph::node_generation`]) so caches built
+/// against an older generation can invalidate precisely (DESIGN.md §17).
 ///
 /// Internally the adjacency structure is a flat CSR array (see the
 /// module docs), but the API is unchanged from the per-node
 /// representation: [`Graph::neighbors`] still hands out a `&[Edge]`
-/// slice per node.
+/// slice per node. A never-mutated graph pays one predictable branch
+/// per `neighbors` call; mutated rows live in per-node patch vectors
+/// layered over the immutable CSR base.
 ///
 /// # Example
 ///
@@ -67,6 +74,26 @@ pub struct Graph {
     edges: Vec<Edge>,
     positions: Option<Vec<Point>>,
     edge_count: usize,
+    /// Mutation overlay; `None` until the first `remove_node` /
+    /// `restore_node` so static graphs stay branch-predictable and pay
+    /// no extra memory.
+    dyn_state: Option<Box<DynState>>,
+}
+
+/// Copy-on-write mutation overlay for a [`Graph`]. Rows that a mutation
+/// touched are shadowed by owned vectors; untouched rows keep serving
+/// straight from the CSR base.
+#[derive(Clone, Debug)]
+struct DynState {
+    /// `patch[u] = Some(row)` shadows the CSR row of `u`.
+    patch: Vec<Option<Vec<Edge>>>,
+    /// `true` while the node is removed from the topology.
+    inactive: Vec<bool>,
+    inactive_count: usize,
+    /// Monotone mutation counter; starts at 1 on the first mutation.
+    generation: u64,
+    /// Per-node stamp of the generation that last changed its row.
+    touched: Vec<u64>,
 }
 
 impl Graph {
@@ -93,7 +120,22 @@ impl Graph {
             edges,
             positions,
             edge_count,
+            dyn_state: None,
         }
+    }
+
+    /// Lazily materializes the mutation overlay.
+    fn dyn_state_mut(&mut self) -> &mut DynState {
+        let n = self.node_count();
+        self.dyn_state.get_or_insert_with(|| {
+            Box::new(DynState {
+                patch: vec![None; n],
+                inactive: vec![false; n],
+                inactive_count: 0,
+                generation: 0,
+                touched: vec![0; n],
+            })
+        })
     }
 
     /// Number of sensor nodes `n = |V|`.
@@ -108,11 +150,15 @@ impl Graph {
         self.edge_count
     }
 
-    /// Number of stored half-edges (`2 |E|`) — the length of the packed
-    /// CSR edge array.
+    /// Number of stored half-edges (`2 |E|`). For a never-mutated graph
+    /// this is the length of the packed CSR edge array.
     #[inline]
     pub fn half_edge_count(&self) -> usize {
-        self.edges.len()
+        if self.dyn_state.is_some() {
+            2 * self.edge_count
+        } else {
+            self.edges.len()
+        }
     }
 
     /// Iterator over all node ids `0..n`.
@@ -121,18 +167,24 @@ impl Graph {
     }
 
     /// The adjacency row of `u`: a contiguous slice of half-edges,
-    /// sorted ascending by neighbor id.
+    /// sorted ascending by neighbor id. For an inactive node the row is
+    /// empty. Mutated rows come from the patch overlay; untouched rows
+    /// come straight from the CSR base.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[Edge] {
         let i = u.index();
+        if let Some(d) = &self.dyn_state {
+            if let Some(row) = &d.patch[i] {
+                return row;
+            }
+        }
         &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// Degree of `u`.
+    /// Degree of `u` (0 while `u` is inactive).
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        let i = u.index();
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        self.neighbors(u).len()
     }
 
     /// Returns the weight of the undirected edge `(u, v)` if present.
@@ -200,21 +252,38 @@ impl Graph {
         for e in &mut g.edges {
             e.weight /= min_w;
         }
+        if let Some(d) = &mut g.dyn_state {
+            for row in d.patch.iter_mut().flatten() {
+                for e in row.iter_mut() {
+                    e.weight /= min_w;
+                }
+            }
+        }
         g
     }
 
-    /// Whether the graph is connected (trivially true for `n <= 1`).
+    /// Whether the *active* topology is connected (trivially true for at
+    /// most one active node).
     ///
-    /// The paper assumes `G` is connected; generators assert this and the
-    /// distance oracle rejects disconnected graphs.
+    /// The paper assumes `G` is connected; generators assert this and
+    /// the distance oracle rejects disconnected graphs. On a mutated
+    /// graph the inactive nodes are excluded: the question is whether
+    /// the surviving sensors still form one component.
     pub fn is_connected(&self) -> bool {
         let n = self.node_count();
-        if n <= 1 {
+        let active = self.active_count();
+        if active <= 1 {
             return true;
         }
+        // `active >= 2` guarantees a first active node exists.
+        let start = self
+            .nodes()
+            .find(|&u| self.is_active(u))
+            .expect("active_count >= 2")
+            .index();
         let mut seen = vec![false; n];
-        let mut stack = vec![0usize];
-        seen[0] = true;
+        let mut stack = vec![start];
+        seen[start] = true;
         let mut visited = 1usize;
         while let Some(u) = stack.pop() {
             for e in self.neighbors(NodeId::from_index(u)) {
@@ -226,7 +295,174 @@ impl Graph {
                 }
             }
         }
-        visited == n
+        visited == active
+    }
+
+    /// Total number of mutations applied to this graph (0 for a graph
+    /// that has never been mutated). Each successful `remove_node` /
+    /// `restore_node` bumps this by one.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.dyn_state.as_ref().map_or(0, |d| d.generation)
+    }
+
+    /// The generation that last changed `u`'s adjacency row (0 if the
+    /// row was never touched by a mutation). Caches keyed by source node
+    /// compare this against the generation they solved at.
+    #[inline]
+    pub fn node_generation(&self, u: NodeId) -> u64 {
+        self.dyn_state.as_ref().map_or(0, |d| d.touched[u.index()])
+    }
+
+    /// True while `u` participates in the topology (never removed, or
+    /// removed and since restored).
+    #[inline]
+    pub fn is_active(&self, u: NodeId) -> bool {
+        self.dyn_state
+            .as_ref()
+            .is_none_or(|d| !d.inactive[u.index()])
+    }
+
+    /// Number of currently active nodes.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.node_count() - self.dyn_state.as_ref().map_or(0, |d| d.inactive_count)
+    }
+
+    /// Iterator over the currently active node ids, ascending.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&u| self.is_active(u))
+    }
+
+    /// Removes sensor `u` from the topology (a §7 "leave" event).
+    ///
+    /// The node id stays valid — queries see an isolated, inactive node
+    /// with an empty adjacency row — and the incident edge star is
+    /// returned so the caller can later [`Graph::restore_node`] it. The
+    /// mutation bumps [`Graph::generation`] and stamps `u` plus every
+    /// former neighbor with the new generation.
+    ///
+    /// Errors with [`NetError::NodeOutOfRange`] or
+    /// [`NetError::NodeInactive`] (already removed).
+    ///
+    /// ```
+    /// use mot_net::{generators, NodeId};
+    ///
+    /// let mut g = generators::grid(3, 3)?; // unit 3×3 grid
+    /// assert_eq!(g.generation(), 0);
+    ///
+    /// // Remove the center sensor: its 4 incident edges vanish...
+    /// let star = g.remove_node(NodeId(4))?;
+    /// assert_eq!(star.len(), 4);
+    /// assert_eq!((g.active_count(), g.edge_count()), (8, 8));
+    /// assert!(g.neighbors(NodeId(4)).is_empty());
+    /// // ...the ring of 8 survivors is still connected,
+    /// assert!(g.is_connected());
+    /// // and only touched rows carry the new generation stamp.
+    /// assert_eq!(g.node_generation(NodeId(4)), 1);
+    /// assert_eq!(g.node_generation(NodeId(0)), 0);
+    ///
+    /// // A later "join" restores the same id with its old star.
+    /// g.restore_node(NodeId(4), &star)?;
+    /// assert_eq!((g.active_count(), g.edge_count(), g.generation()), (9, 12, 2));
+    /// # Ok::<(), mot_net::NetError>(())
+    /// ```
+    pub fn remove_node(&mut self, u: NodeId) -> Result<Vec<Edge>> {
+        let n = self.node_count();
+        if u.index() >= n {
+            return Err(NetError::NodeOutOfRange { node: u, n });
+        }
+        if !self.is_active(u) {
+            return Err(NetError::NodeInactive { node: u });
+        }
+        let star = self.neighbors(u).to_vec();
+        let d = self.dyn_state_mut();
+        d.generation += 1;
+        let gen = d.generation;
+        d.touched[u.index()] = gen;
+        d.patch[u.index()] = Some(Vec::new());
+        d.inactive[u.index()] = true;
+        d.inactive_count += 1;
+        self.edge_count -= star.len();
+        for e in &star {
+            let v = e.to;
+            let mut row = self.neighbors(v).to_vec();
+            row.retain(|f| f.to != u);
+            let d = self.dyn_state_mut();
+            d.patch[v.index()] = Some(row);
+            d.touched[v.index()] = gen;
+        }
+        Ok(star)
+    }
+
+    /// Restores sensor `u` with the given edge star (a §7 "join" event).
+    ///
+    /// `edges` lists the half-edges from `u`'s side; the reverse
+    /// half-edges are inserted into each endpoint's row. Endpoints must
+    /// be active, weights finite and positive, no self-loops, no
+    /// duplicates. On success the star is installed sorted by neighbor
+    /// id and the generation is bumped, stamping `u` and every new
+    /// neighbor.
+    ///
+    /// Errors with [`NetError::NodeActive`] if `u` was not removed, and
+    /// with the usual construction errors for a bad star.
+    pub fn restore_node(&mut self, u: NodeId, edges: &[Edge]) -> Result<()> {
+        let n = self.node_count();
+        if u.index() >= n {
+            return Err(NetError::NodeOutOfRange { node: u, n });
+        }
+        if self.is_active(u) {
+            return Err(NetError::NodeActive { node: u });
+        }
+        let mut star = edges.to_vec();
+        star.sort_by_key(|e| e.to);
+        for (i, e) in star.iter().enumerate() {
+            if e.to == u {
+                return Err(NetError::SelfLoop { node: u });
+            }
+            if e.to.index() >= n {
+                return Err(NetError::NodeOutOfRange { node: e.to, n });
+            }
+            if !self.is_active(e.to) {
+                return Err(NetError::NodeInactive { node: e.to });
+            }
+            if !(e.weight.is_finite() && e.weight > 0.0) {
+                return Err(NetError::InvalidWeight {
+                    a: u,
+                    b: e.to,
+                    weight: e.weight,
+                });
+            }
+            if i > 0 && star[i - 1].to == e.to {
+                return Err(NetError::DuplicateEdge { a: u, b: e.to });
+            }
+        }
+        let added = star.len();
+        let d = self.dyn_state_mut();
+        d.generation += 1;
+        let gen = d.generation;
+        d.touched[u.index()] = gen;
+        d.inactive[u.index()] = false;
+        d.inactive_count -= 1;
+        for e in &star {
+            let v = e.to;
+            let mut row = self.neighbors(v).to_vec();
+            let pos = row.partition_point(|f| f.to < u);
+            debug_assert!(row.get(pos).map(|f| f.to) != Some(u));
+            row.insert(
+                pos,
+                Edge {
+                    to: u,
+                    weight: e.weight,
+                },
+            );
+            let d = self.dyn_state_mut();
+            d.patch[v.index()] = Some(row);
+            d.touched[v.index()] = gen;
+        }
+        self.dyn_state_mut().patch[u.index()] = Some(star);
+        self.edge_count += added;
+        Ok(())
     }
 
     /// Sum of all edge weights — handy for sanity checks in tests.
@@ -311,6 +547,121 @@ mod tests {
         b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
         let g = b.build_unchecked();
         assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn remove_restore_round_trips_bitwise() {
+        let base = crate::generators::grid(4, 4).unwrap();
+        let mut g = base.clone();
+        let star = g.remove_node(NodeId(5)).unwrap();
+        assert_eq!(star.len(), 4);
+        assert_eq!(g.active_count(), 15);
+        assert_eq!(g.edge_count(), base.edge_count() - 4);
+        assert!(g.neighbors(NodeId(5)).is_empty());
+        assert_eq!(g.degree(NodeId(5)), 0);
+        for e in &star {
+            assert!(!g.has_edge(e.to, NodeId(5)));
+        }
+        assert!(g.is_connected());
+        g.restore_node(NodeId(5), &star).unwrap();
+        assert_eq!(g.active_count(), 16);
+        assert_eq!(g.edge_count(), base.edge_count());
+        assert_eq!(g.half_edge_count(), base.half_edge_count());
+        // Every row is bit-identical to the never-mutated graph.
+        for u in base.nodes() {
+            assert_eq!(g.neighbors(u), base.neighbors(u));
+        }
+        assert_eq!(g.generation(), 2);
+    }
+
+    #[test]
+    fn mutation_errors_are_reported() {
+        let mut g = crate::generators::grid(3, 3).unwrap();
+        assert_eq!(
+            g.restore_node(NodeId(4), &[]),
+            Err(NetError::NodeActive { node: NodeId(4) })
+        );
+        let star = g.remove_node(NodeId(4)).unwrap();
+        assert_eq!(
+            g.remove_node(NodeId(4)),
+            Err(NetError::NodeInactive { node: NodeId(4) })
+        );
+        // Can't attach a join to an inactive endpoint.
+        let star2 = g.remove_node(NodeId(1)).unwrap();
+        assert_eq!(
+            g.restore_node(NodeId(4), &star),
+            Err(NetError::NodeInactive { node: NodeId(1) })
+        );
+        g.restore_node(NodeId(1), &star2).unwrap();
+        // Bad weights and self-loops are rejected like at build time.
+        assert_eq!(
+            g.restore_node(
+                NodeId(4),
+                &[Edge {
+                    to: NodeId(4),
+                    weight: 1.0
+                }]
+            ),
+            Err(NetError::SelfLoop { node: NodeId(4) })
+        );
+        assert!(matches!(
+            g.restore_node(
+                NodeId(4),
+                &[Edge {
+                    to: NodeId(1),
+                    weight: f64::NAN
+                }]
+            ),
+            Err(NetError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.restore_node(
+                NodeId(4),
+                &[
+                    Edge {
+                        to: NodeId(1),
+                        weight: 1.0
+                    },
+                    Edge {
+                        to: NodeId(1),
+                        weight: 2.0
+                    }
+                ]
+            ),
+            Err(NetError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn generation_stamps_touch_only_mutated_region() {
+        let mut g = crate::generators::grid(4, 4).unwrap();
+        let star = g.remove_node(NodeId(0)).unwrap();
+        assert_eq!(g.generation(), 1);
+        assert_eq!(g.node_generation(NodeId(0)), 1);
+        for e in &star {
+            assert_eq!(g.node_generation(e.to), 1);
+        }
+        assert_eq!(g.node_generation(NodeId(15)), 0);
+        let s1 = g.remove_node(NodeId(5)).unwrap();
+        assert!(g.is_connected());
+        g.restore_node(NodeId(5), &s1).unwrap();
+        g.restore_node(NodeId(0), &star).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.generation(), 4);
+    }
+
+    #[test]
+    fn disconnection_is_detected_on_active_subgraph() {
+        // Path 0-1-2: removing the middle sensor splits the survivors.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let mut g = b.build().unwrap();
+        g.remove_node(NodeId(1)).unwrap();
+        assert!(!g.is_connected());
+        // A single surviving sensor is trivially connected.
+        g.remove_node(NodeId(2)).unwrap();
+        assert!(g.is_connected());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   [`OracleKind`]; every hierarchy construction, ball query, and
 //!   cost account goes through the trait,
 //! * network [`metrics`]: diameter, doubling-dimension estimation,
-//!   growth-restriction checks.
+//!   growth-restriction checks,
+//! * §7 topology churn: generation-stamped node leave/join mutation on
+//!   [`Graph`], [`TopologyDelta`] batches, and seeded
+//!   connectivity-preserving [`ChurnSchedule`]s (see DESIGN.md §17).
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod delta;
 pub mod dijkstra;
 pub mod error;
 pub mod generators;
@@ -70,6 +74,7 @@ pub mod oracle;
 pub mod workspace;
 
 pub use builder::GraphBuilder;
+pub use delta::{ChurnEvent, ChurnSchedule, ChurnSpec, TopologyDelta};
 pub use dijkstra::{dijkstra, dijkstra_targeted, shortest_path_tree, PathTree};
 pub use error::NetError;
 pub use graph::{Edge, Graph};
@@ -77,7 +82,8 @@ pub use metrics::{estimate_doubling_dimension, growth_ratio, GraphStats};
 pub use node::{NodeId, Point};
 pub use ops::{k_nearest, path_between, subgraph};
 pub use oracle::{
-    CacheLedger, CachedOracle, DenseOracle, DistanceOracle, HybridOracle, LazyOracle, OracleKind,
+    CacheLedger, CachedOracle, DeltaInvalidation, DenseOracle, DistanceOracle, HybridOracle,
+    LazyOracle, OracleKind,
 };
 pub use workspace::DijkstraWorkspace;
 

@@ -41,8 +41,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use super::{CacheLedger, DistRow, DistanceOracle};
+use crate::delta::{ChurnEvent, TopologyDelta};
 use crate::error::NetError;
-use crate::graph::Graph;
+use crate::graph::{Edge, Graph};
 use crate::node::NodeId;
 use crate::workspace::DijkstraWorkspace;
 use crate::Result;
@@ -121,6 +122,29 @@ enum Plan {
     Promote,
     Solve,
 }
+
+/// What [`CachedOracle::apply_delta`] did to the resident rows while
+/// absorbing one [`TopologyDelta`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaInvalidation {
+    /// Rows kept resident after an in-place patch (the event provably
+    /// changed no distance the row reports, except entries for the
+    /// departed node itself).
+    pub rows_patched: u64,
+    /// Rows dropped because a solve that produced them may have routed
+    /// through the mutated region.
+    pub rows_evicted: u64,
+    /// Events absorbed.
+    pub events: u64,
+}
+
+/// Conservative safety margin for quantized path comparisons: resident
+/// rows hold f32-quantized distances (relative error ≤ 2⁻²⁴ per value),
+/// so a strict inequality must hold by more than a couple of ulps
+/// before it proves anything about the exact distances. 1e-6 relative
+/// is ~8 f32 ulps — far above the quantization noise, far below any
+/// meaningful path-length difference.
+const Q_MARGIN: f64 = 1e-6;
 
 impl CachedOracle {
     /// Heap bytes of one resident [`DistRow`] for an `n`-node graph.
@@ -311,25 +335,133 @@ impl CachedOracle {
         out
     }
 
+    /// Absorbs a topology delta: mutates the owned graph copy and
+    /// invalidates exactly the resident rows the mutation could have
+    /// stale-ed, keeping the rest (DESIGN.md §17).
+    ///
+    /// * **Leave(u)** — a row for source `s` survives (patched: its `u`
+    ///   entry becomes `+∞`) iff for every former neighbor `w` of `u`
+    ///   the row proves `d(s,w) < d(s,u) + w(u,w)` by a safe margin: no
+    ///   shortest path from `s` enters and leaves `u`, so deleting `u`
+    ///   changes no other distance the row stores. Rows that cannot
+    ///   prove it — and the row for `u` itself — are evicted.
+    /// * **Join(u)** — every resident row is evicted. A join changes
+    ///   *every* row at slot `u` (from `+∞` to finite), and recomputing
+    ///   that entry from already-quantized f32 neighbor distances would
+    ///   double-round: the patched bits could disagree with what a
+    ///   fresh Dijkstra stores. Bit-identity to a rebuilt oracle is the
+    ///   contract, so joins fall back to re-solving on demand.
+    ///
+    /// Promotion work credits and the cached diameter estimate are
+    /// reset (both were measured against the old topology). The dense
+    /// backend has no incremental path at all: it stays the
+    /// rebuild-only verifier the differential suites compare against.
+    ///
+    /// Requires exclusive access (`&mut self`) — concurrent queries
+    /// observe either the old or the new topology, never a mix.
+    pub fn apply_delta(&mut self, delta: &TopologyDelta) -> Result<DeltaInvalidation> {
+        let mut report = DeltaInvalidation::default();
+        for ev in &delta.events {
+            match ev {
+                ChurnEvent::Leave(u) => {
+                    let star = self.g.remove_node(*u)?;
+                    self.invalidate_leave(*u, &star, &mut report);
+                }
+                ChurnEvent::Join { node, edges } => {
+                    self.g.restore_node(*node, edges)?;
+                    self.invalidate_join(&mut report);
+                }
+            }
+            report.events += 1;
+        }
+        let s = self.state.get_mut().expect("cache state poisoned");
+        // Work credits were earned against the old topology; promotion
+        // decisions must not carry them across the mutation.
+        s.work.clear();
+        self.diameter = OnceLock::new();
+        Ok(report)
+    }
+
+    /// Leave-event invalidation: patch provably-safe rows, evict the
+    /// rest. `star` is the removed node's pre-removal edge star.
+    fn invalidate_leave(&mut self, u: NodeId, star: &[Edge], report: &mut DeltaInvalidation) {
+        let s = self.state.get_mut().expect("cache state poisoned");
+        let mut evict: Vec<u32> = Vec::new();
+        let mut patch: Vec<u32> = Vec::new();
+        for (&src, (row, _)) in s.rows.iter() {
+            if src == u.0 {
+                evict.push(src);
+                continue;
+            }
+            let vals = row.values();
+            let du = vals[u.index()] as f64;
+            // Any shortest path from `src` through `u` extends `src→u`
+            // by one incident edge; if every such extension is beaten
+            // outright, no stored distance routed through `u`.
+            let safe = star.iter().all(|e| {
+                let dw = vals[e.to.index()] as f64;
+                dw < (du + e.weight) * (1.0 - Q_MARGIN)
+            });
+            if safe {
+                patch.push(src);
+            } else {
+                evict.push(src);
+            }
+        }
+        for src in evict {
+            if let Some((gone, _)) = s.rows.remove(&src) {
+                s.bytes -= gone.bytes();
+                s.ledger.evictions += 1;
+                report.rows_evicted += 1;
+            }
+        }
+        for src in patch {
+            if let Some((row, _)) = s.rows.get_mut(&src) {
+                let mut vals = row.values().to_vec();
+                vals[u.index()] = f32::INFINITY;
+                *row = Arc::new(DistRow::from_f32(vals));
+                report.rows_patched += 1;
+            }
+        }
+    }
+
+    /// Join-event invalidation: drop every resident row (see
+    /// [`CachedOracle::apply_delta`] for why joins cannot patch).
+    fn invalidate_join(&mut self, report: &mut DeltaInvalidation) {
+        let s = self.state.get_mut().expect("cache state poisoned");
+        let dropped = s.rows.len() as u64;
+        s.ledger.evictions += dropped;
+        report.rows_evicted += dropped;
+        s.rows.clear();
+        s.bytes = 0;
+    }
+
     /// Double-sweep diameter estimate, computed exactly like
     /// [`LazyOracle`](super::LazyOracle)'s (same f32 quantization, same
     /// farthest-node tie-break) so the two backends report identical
     /// estimates. Runs through pooled workspaces without caching rows.
     fn double_sweep(&self) -> f64 {
         let n = self.g.node_count();
+        // First active node is NodeId(0) on a never-mutated graph, so
+        // the estimate stays bit-identical to LazyOracle's there; on a
+        // churned graph the sweep ranges over the active component.
+        let start = self.g.active_nodes().next().unwrap_or(NodeId(0));
         let mut ws = self.take_ws();
-        ws.sssp(&self.g, NodeId(0));
-        let mut far = (0.0f32, 0u32);
+        ws.sssp(&self.g, start);
+        let mut far = (0.0f32, start.0);
         for v in 0..n {
             let d = ws.dist(NodeId::from_index(v)) as f32;
-            if d > far.0 || (d == far.0 && v as u32 > far.1) {
+            if d.is_finite() && (d > far.0 || (d == far.0 && v as u32 > far.1)) {
                 far = (d, v as u32);
             }
         }
         ws.sssp(&self.g, NodeId(far.1));
         let mut max = 0.0f32;
         for v in 0..n {
-            max = max.max(ws.dist(NodeId::from_index(v)) as f32);
+            let d = ws.dist(NodeId::from_index(v)) as f32;
+            if d.is_finite() {
+                max = max.max(d);
+            }
         }
         self.put_ws(ws);
         max as f64

@@ -47,6 +47,12 @@ pub struct DenseOracle {
     n: usize,
     data: Vec<f32>,
     diameter: f64,
+    /// [`Graph::generation`] at build time. The dense matrix has no
+    /// incremental repair path (every row is a function of the whole
+    /// topology): under churn it is the **rebuild-only verifier** — the
+    /// differential suites rebuild it on the final topology and compare
+    /// the incremental backends against it bit for bit (DESIGN.md §17).
+    built_generation: u64,
     /// Per-source `(dist, node)` pairs sorted ascending, built lazily:
     /// most sources never serve a `ball` query, and hierarchy
     /// construction only probes a subset per level.
@@ -61,6 +67,7 @@ impl Clone for DenseOracle {
             n: self.n,
             data: self.data.clone(),
             diameter: self.diameter,
+            built_generation: self.built_generation,
             index: std::iter::repeat_with(OnceLock::new).take(self.n).collect(),
         }
     }
@@ -100,14 +107,30 @@ impl DenseOracle {
                 });
             }
         });
-        let diameter = data.iter().copied().fold(0f32, f32::max) as f64;
+        // Mutated graphs carry +∞ entries for inactive pairs; the
+        // diameter ranges over the reachable (active) pairs.
+        let diameter = data
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0f32, f32::max) as f64;
         let index = std::iter::repeat_with(OnceLock::new).take(n).collect();
         Ok(DenseOracle {
             n,
             data,
             diameter,
+            built_generation: g.generation(),
             index,
         })
+    }
+
+    /// The graph mutation generation this matrix was computed at.
+    /// There is deliberately no `apply_delta` here: a fresh
+    /// [`DenseOracle::build`] on the mutated topology is the ground
+    /// truth the incremental paths are verified against.
+    #[inline]
+    pub fn built_generation(&self) -> u64 {
+        self.built_generation
     }
 
     #[inline]

@@ -35,7 +35,7 @@ mod dense;
 mod hybrid;
 mod lazy;
 
-pub use cached::CachedOracle;
+pub use cached::{CachedOracle, DeltaInvalidation};
 pub use dense::DenseOracle;
 pub use hybrid::HybridOracle;
 pub use lazy::LazyOracle;
@@ -251,6 +251,13 @@ impl DistRow {
     #[inline]
     pub(crate) fn dist(&self, v: NodeId) -> f64 {
         self.by_node[v.index()] as f64
+    }
+
+    /// The quantized distance array, indexed by node id (for cache
+    /// patching under topology deltas — see `CachedOracle::apply_delta`).
+    #[inline]
+    pub(crate) fn values(&self) -> &[f32] {
+        &self.by_node
     }
 
     #[inline]

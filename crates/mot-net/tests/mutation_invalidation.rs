@@ -1,0 +1,161 @@
+//! Eviction-under-mutation differential suite (DESIGN.md §17).
+//!
+//! After every delta of a seeded churn schedule, a `CachedOracle` that
+//! absorbed the deltas via `apply_delta` must answer every `dist` and
+//! `ball` query bit-identically to a fresh `DenseOracle` rebuilt on the
+//! mutated topology — the rebuild-only verifier. The suite also pins
+//! the patch-vs-evict split itself: leave events near a resident row's
+//! shortest-path structure evict, provably untouched rows patch in
+//! place, and the whole invalidation stream is deterministic.
+
+use mot_net::{
+    generators, CachedOracle, ChurnSchedule, ChurnSpec, DeltaInvalidation, DenseOracle,
+    DistanceOracle, NodeId, TopologyDelta,
+};
+
+/// Promote a handful of rows by issuing far-apart targeted queries
+/// (two full-length solves cross the promotion threshold).
+fn promote_rows(cached: &CachedOracle, sources: &[u32], n: usize) {
+    for &s in sources {
+        for t in [(s as usize + n / 2) % n, (s as usize + n / 2 + 1) % n] {
+            cached.dist(NodeId(s), NodeId::from_index(t));
+            cached.dist(NodeId(s), NodeId::from_index(t));
+        }
+    }
+}
+
+/// Full-pair differential against the rebuild-only dense verifier.
+fn assert_matches_dense(cached: &CachedOracle, g: &mot_net::Graph, ctx: &str) {
+    let dense = DenseOracle::build(g).expect("dense rebuild");
+    let d = dense.diameter();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(
+                cached.dist(u, v).to_bits(),
+                dense.dist(u, v).to_bits(),
+                "{ctx}: dist({u},{v})"
+            );
+        }
+        for r in [1.0, 2.0, d / 2.0, d] {
+            assert_eq!(cached.ball(u, r), dense.ball(u, r), "{ctx}: ball({u},{r})");
+        }
+    }
+}
+
+#[test]
+fn cached_matches_dense_rebuild_after_every_delta() {
+    for (name, g, seed) in [
+        ("grid", generators::grid(6, 6).unwrap(), 5u64),
+        (
+            "geometric",
+            generators::random_geometric(48, 8.0, 2.2, 21).unwrap(),
+            6,
+        ),
+    ] {
+        let sched = ChurnSchedule::generate(&g, &ChurnSpec::new(10, 4, seed)).unwrap();
+        let mut cached = CachedOracle::new(&g).unwrap();
+        let n = g.node_count();
+        promote_rows(&cached, &[0, (n as u32) / 3, (n as u32) - 1], n);
+        let mut live = g.clone();
+        for (i, delta) in sched.deltas().iter().enumerate() {
+            delta.apply(&mut live).unwrap();
+            cached.apply_delta(delta).unwrap();
+            assert_matches_dense(&cached, &live, &format!("{name} delta {i}"));
+        }
+    }
+}
+
+#[test]
+fn dead_end_leave_patches_resident_rows() {
+    // Removing corner (0,0) of a grid cannot lie on any other pair's
+    // shortest path: a resident row at the far corner survives as an
+    // in-place patch, and its other entries keep serving exact hits.
+    let g = generators::grid(5, 5).unwrap();
+    let mut cached = CachedOracle::new(&g).unwrap();
+    promote_rows(&cached, &[24], 25);
+    assert!(cached.ledger().resident_rows >= 1);
+    let report = cached
+        .apply_delta(&TopologyDelta::leave(NodeId(0)))
+        .unwrap();
+    assert!(report.rows_patched >= 1, "{report:?}");
+    assert_eq!(report.rows_evicted, 0, "{report:?}");
+    assert_eq!(cached.dist(NodeId(24), NodeId(0)), f64::INFINITY);
+    let hits_before = cached.ledger().hits;
+    assert_eq!(cached.dist(NodeId(24), NodeId(12)), 4.0);
+    assert_eq!(
+        cached.ledger().hits,
+        hits_before + 1,
+        "patched row must hit"
+    );
+}
+
+#[test]
+fn central_leave_evicts_rows_whose_paths_crossed_it() {
+    // Removing the center of a grid: corner rows route through it (or
+    // tie through it), so the conservative test must evict them.
+    let g = generators::grid(5, 5).unwrap();
+    let mut cached = CachedOracle::new(&g).unwrap();
+    promote_rows(&cached, &[0], 25);
+    let report = cached
+        .apply_delta(&TopologyDelta::leave(NodeId(12)))
+        .unwrap();
+    assert!(report.rows_evicted >= 1, "{report:?}");
+    assert_eq!(cached.ledger().resident_rows, 0);
+    // Re-solves on the mutated topology are exact: the detour around
+    // the missing center costs nothing on a grid's L1 geometry...
+    assert_eq!(cached.dist(NodeId(0), NodeId(24)), 8.0);
+    // ...but the removed node itself is unreachable.
+    assert_eq!(cached.dist(NodeId(0), NodeId(12)), f64::INFINITY);
+}
+
+#[test]
+fn join_evicts_every_resident_row() {
+    let g = generators::grid(5, 5).unwrap();
+    let mut cached = CachedOracle::new(&g).unwrap();
+    let star = {
+        let mut live = g.clone();
+        live.remove_node(NodeId(7)).unwrap()
+    };
+    cached
+        .apply_delta(&TopologyDelta::leave(NodeId(7)))
+        .unwrap();
+    promote_rows(&cached, &[24, 0], 25);
+    let resident = cached.ledger().resident_rows as u64;
+    assert!(resident >= 1);
+    let report = cached
+        .apply_delta(&TopologyDelta::join(NodeId(7), star))
+        .unwrap();
+    assert_eq!(report.rows_evicted, resident, "{report:?}");
+    assert_eq!(report.rows_patched, 0);
+    assert_eq!(cached.ledger().resident_rows, 0);
+    assert_eq!(cached.dist(NodeId(24), NodeId(7)), 5.0);
+}
+
+#[test]
+fn invalidation_reports_are_deterministic() {
+    let g = generators::random_geometric(40, 8.0, 2.2, 33).unwrap();
+    let sched = ChurnSchedule::generate(&g, &ChurnSpec::new(12, 5, 9)).unwrap();
+    let run = || -> Vec<DeltaInvalidation> {
+        let mut cached = CachedOracle::new(&g).unwrap();
+        promote_rows(&cached, &[0, 13, 37], 40);
+        sched
+            .deltas()
+            .iter()
+            .map(|d| cached.apply_delta(d).unwrap())
+            .collect()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn generation_stamps_advance_with_deltas() {
+    let g = generators::grid(4, 4).unwrap();
+    let mut cached = CachedOracle::new(&g).unwrap();
+    assert_eq!(cached.graph().generation(), 0);
+    cached
+        .apply_delta(&TopologyDelta::leave(NodeId(5)))
+        .unwrap();
+    assert_eq!(cached.graph().generation(), 1);
+    assert!(cached.graph().node_generation(NodeId(5)) == 1);
+    assert_eq!(cached.graph().node_generation(NodeId(15)), 0);
+}

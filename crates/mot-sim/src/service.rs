@@ -53,6 +53,7 @@ use std::time::Instant;
 
 use mot_baselines::DetectionRates;
 use mot_core::{fmt_f64, ObjectId, OpLedger};
+use mot_hierarchy::{OverlayConfig, RepairableHierarchy};
 use mot_net::{CacheLedger, NodeId};
 use mot_proto::Backoff;
 use rand::{Rng, SeedableRng};
@@ -183,6 +184,20 @@ pub struct ServiceReport {
     pub redelivered: u64,
     /// Message distance spent rebuilding crashed shards.
     pub recovery_cost: f64,
+    /// Topology deltas absorbed by the coordinator's hierarchy mirror
+    /// (0 on a static-topology run).
+    pub topology_ops: u64,
+    /// Topology deltas the mirror absorbed by localized repair.
+    pub hier_repairs: u64,
+    /// Topology deltas the mirror's ledger sent to a full rebuild.
+    pub hier_rebuilds: u64,
+    /// Structural units the mirror spent absorbing churn (membership
+    /// decisions + parent recomputes + station rebuilds).
+    pub hier_repair_units: u64,
+    /// Quiescence check: 1 if the repaired mirror diverged from a
+    /// from-scratch rebuild on the final topology. A healthy run is
+    /// always 0 — divergence is also a hard [`SimError::Service`].
+    pub hier_divergence: u64,
     /// Per-tick shard queue depths.
     pub backlog_depth: Histogram,
     /// Per-tick oldest-queued-op ages (in ticks).
@@ -231,6 +246,8 @@ impl ServiceReport {
              \"dropped_attempts\":{},\"retries\":{},\"dup_deliveries\":{},\
              \"delayed\":{},\"crash_events\":{},\"replayed_ops\":{},\
              \"redelivered\":{},\"recovery_cost\":{},\
+             \"topology\":{{\"ops\":{},\"repairs\":{},\"rebuilds\":{},\
+             \"repair_units\":{},\"divergence\":{}}},\
              \"ticks\":{},\"shards\":{},\"final_map_fnv\":{},\
              \"backlog\":{{\"depth\":{},\"age\":{},\"max_depth\":{},\
              \"max_age\":{},\"depth_p50\":{},\"depth_p99\":{},\"age_p99\":{}}},\
@@ -256,6 +273,11 @@ impl ServiceReport {
             self.replayed_ops,
             self.redelivered,
             fmt_f64(self.recovery_cost),
+            self.topology_ops,
+            self.hier_repairs,
+            self.hier_rebuilds,
+            self.hier_repair_units,
+            self.hier_divergence,
             self.ticks,
             self.shards,
             self.final_map_fnv,
@@ -619,6 +641,11 @@ impl<'a> ShardState<'a> {
                     }
                 }
             }
+            // Control-plane ops never reach a shard: the coordinator
+            // intercepts them before transport (no fault coins).
+            ServiceOp::Topology { .. } => {
+                unreachable!("topology ops are coordinator-intercepted")
+            }
         }
         Ok(())
     }
@@ -777,8 +804,12 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
         delayed: u64,
         redelivered: u64,
         crash_events: u64,
+        topology_ops: u64,
         lost: OpLedger,
         finals: Vec<ShardFinal>,
+        /// The coordinator's incrementally repaired hierarchy, when the
+        /// stream carries churn (verified against a rebuild below).
+        mirror: Option<RepairableHierarchy>,
     }
 
     let out: LoopOut = std::thread::scope(|scope| -> Result<LoopOut, SimError> {
@@ -800,6 +831,22 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
         };
 
         let mut stream = OpStream::new(&bed.graph, cfg.stream);
+        // Control plane: with churn in the stream, the coordinator
+        // keeps a repairable hierarchy mirror of the live topology —
+        // absorbing each delta in place, never stop-the-world.
+        let mut mirror = if cfg.stream.churn_every > 0 {
+            Some(
+                RepairableHierarchy::build(
+                    &bed.graph,
+                    &OverlayConfig::practical(),
+                    cfg.stream.seed,
+                )
+                .map_err(|e| SimError::Service(format!("hierarchy mirror: {e}")))?,
+            )
+        } else {
+            None
+        };
+        let mut topology_ops = 0u64;
         let mut scheduled: BTreeMap<u64, Vec<Sched>> = BTreeMap::new();
         let mut lost = OpLedger::new();
         let (mut sent, mut dropped, mut retries, mut dups) = (0u64, 0u64, 0u64, 0u64);
@@ -816,6 +863,19 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
             for _ in 0..cfg.batch {
                 match stream.next_op() {
                     Some(env) => {
+                        if let ServiceOp::Topology { delta } = env.op {
+                            // Intercepted control plane: no transport
+                            // coins, no shard routing, no data-plane
+                            // account — the mirror repairs in place.
+                            topology_ops += 1;
+                            let sched = stream
+                                .churn_schedule()
+                                .expect("topology op implies a schedule");
+                            let m = mirror.as_mut().expect("topology op implies a mirror");
+                            m.repair(&sched.deltas()[delta as usize])
+                                .map_err(|e| SimError::Service(format!("mirror repair: {e}")))?;
+                            continue;
+                        }
                         sent += 1;
                         due.push(Sched {
                             env,
@@ -954,10 +1014,35 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
             delayed,
             redelivered,
             crash_events,
+            topology_ops,
             lost,
             finals,
+            mirror,
         })
     })?;
+
+    // Quiescence divergence gate: the incrementally repaired mirror
+    // must be bit-identical to a from-scratch build on the final
+    // topology (the §7 correctness contract, DESIGN.md §17).
+    let mut hier = (0u64, 0u64, 0u64, 0u64); // repairs, rebuilds, units, divergence
+    if let Some(m) = &out.mirror {
+        let fresh =
+            RepairableHierarchy::build(m.graph(), &OverlayConfig::practical(), cfg.stream.seed)
+                .map_err(|e| SimError::Service(format!("mirror verification rebuild: {e}")))?;
+        let diverged = m.snapshot() != fresh.snapshot();
+        let ledger = m.ledger();
+        hier = (
+            ledger.repairs,
+            ledger.rebuilds,
+            ledger.repaired_units + ledger.rebuild_units,
+            diverged as u64,
+        );
+        if diverged {
+            return Err(SimError::Service(
+                "repaired hierarchy mirror diverged from a from-scratch rebuild".into(),
+            ));
+        }
+    }
 
     // ---- merge (canonical shard order) and verify -------------------
     let mut report = ServiceReport {
@@ -981,6 +1066,11 @@ pub fn run_service(bed: &TestBed, cfg: &ServiceConfig) -> Result<ServiceOutcome,
         replayed_ops: 0,
         redelivered: out.redelivered,
         recovery_cost: 0.0,
+        topology_ops: out.topology_ops,
+        hier_repairs: hier.0,
+        hier_rebuilds: hier.1,
+        hier_repair_units: hier.2,
+        hier_divergence: hier.3,
         backlog_depth: Histogram::new(),
         backlog_age: Histogram::new(),
         max_depth: 0,
@@ -1130,6 +1220,7 @@ mod tests {
             ops: 600,
             query_fraction: 0.6,
             seed: 9,
+            churn_every: 0,
         });
         cfg.shards = 1;
         cfg.batch = 60;
@@ -1168,6 +1259,50 @@ mod tests {
         let r = &out.report;
         assert!(r.lost > 0, "a 90% drop rate defeats a 2-attempt budget");
         assert!(r.accounted(), "every lost op is in a ledger, not silent");
+    }
+
+    #[test]
+    fn churn_run_absorbs_topology_deltas_without_divergence() {
+        let bed = bed();
+        let mut spec = StreamSpec::new(8, 400, 19);
+        spec.churn_every = 40;
+        let mut cfg = ServiceConfig::new(spec);
+        cfg.shards = 4;
+        cfg.jobs = 2;
+        cfg.batch = 64;
+        let out = run_service(&bed, &cfg).unwrap();
+        let r = &out.report;
+        assert!(r.accounted());
+        assert!(r.topology_ops > 0, "the stream must carry churn");
+        assert_eq!(r.hier_repairs + r.hier_rebuilds, r.topology_ops);
+        assert!(r.hier_repair_units > 0);
+        assert_eq!(r.hier_divergence, 0, "repair must match rebuild");
+        assert_eq!(r.queries_wrong, 0);
+        // Topology ops are control plane: data-plane accounting is
+        // complete without them.
+        assert_eq!(r.sent + r.topology_ops, cfg.stream.ops);
+        assert_eq!(out.final_positions, truth(&bed, cfg.stream));
+    }
+
+    #[test]
+    fn churn_report_is_bit_identical_across_worker_counts() {
+        let bed = bed();
+        let mut spec = StreamSpec::new(10, 500, 23);
+        spec.churn_every = 50;
+        let mut cfg = ServiceConfig::new(spec);
+        cfg.shards = 6;
+        cfg.batch = 50;
+        cfg.faults = composed_faults(29);
+        cfg.jobs = 1;
+        let one = run_service(&bed, &cfg).unwrap();
+        cfg.jobs = 4;
+        let four = run_service(&bed, &cfg).unwrap();
+        assert_eq!(
+            one.report.deterministic_json(),
+            four.report.deterministic_json()
+        );
+        assert_eq!(one.final_positions, four.final_positions);
+        assert!(one.report.topology_ops > 0);
     }
 
     #[test]

@@ -14,11 +14,20 @@
 //! is the ground-truth object→location map after the ops emitted so far,
 //! so any run of the service — however faulty its transport — can be
 //! checked bit-for-bit against it.
+//!
+//! With [`StreamSpec::churn_every`] set, the stream additionally
+//! interleaves [`ServiceOp::Topology`] control ops that walk a seeded
+//! [`mot_net::ChurnSchedule`], and steers data-plane sensors away from
+//! the schedule's removable pool (§7 churn, DESIGN.md §17).
 
 use mot_core::{ObjectId, OpId};
-use mot_net::{Graph, NodeId};
+use mot_net::{ChurnSchedule, ChurnSpec, Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Salt folded into the stream seed to derive the churn-schedule seed,
+/// so the op coins and the topology coins are independent streams.
+const CHURN_SEED_SALT: u64 = 0x43_48_55_52;
 
 /// Parameters of one generated operation stream. The same spec over the
 /// same graph always yields the same stream.
@@ -33,18 +42,43 @@ pub struct StreamSpec {
     pub query_fraction: f64,
     /// Stream RNG seed.
     pub seed: u64,
+    /// Emit a [`ServiceOp::Topology`] delta every this many ops after
+    /// the publish prefix (`0` = static topology, the default — and
+    /// bit-identical to pre-churn streams). Churn streams steer
+    /// publish/query origins and move targets away from the schedule's
+    /// removable pool, so data-plane ops never land on a sensor that
+    /// may currently be departed (DESIGN.md §17).
+    pub churn_every: u64,
 }
 
 impl StreamSpec {
     /// A stream of `ops` operations over `objects` objects with the
-    /// default 20% query share.
+    /// default 20% query share and a static topology.
     pub fn new(objects: usize, ops: u64, seed: u64) -> Self {
         StreamSpec {
             objects,
             ops,
             query_fraction: 0.2,
             seed,
+            churn_every: 0,
         }
+    }
+
+    /// The churn schedule parameters this spec implies on an `n`-node
+    /// graph, or `None` for a static topology: one delta per
+    /// `churn_every` ops, with up to `max(1, n/8)` concurrently
+    /// departed sensors.
+    pub fn churn_plan(&self, n: usize) -> Option<ChurnSpec> {
+        if self.churn_every == 0 {
+            return None;
+        }
+        let deltas = (self.ops / self.churn_every) as usize;
+        let max_departed = (n / 8).clamp(1, n.saturating_sub(1).max(1));
+        Some(ChurnSpec::new(
+            deltas,
+            max_departed,
+            self.seed ^ CHURN_SEED_SALT,
+        ))
     }
 }
 
@@ -67,6 +101,15 @@ pub enum ServiceOp {
     Query {
         /// The querying sensor.
         from: NodeId,
+    },
+    /// Control plane: apply delta `delta` of the stream's churn
+    /// schedule to the topology. The coordinator intercepts these
+    /// before transport — they ride no fault coins, count toward no
+    /// data-plane account, and carry the sentinel object
+    /// `ObjectId(u32::MAX)`.
+    Topology {
+        /// Index into [`OpStream::churn_schedule`].
+        delta: u32,
     },
 }
 
@@ -95,17 +138,43 @@ pub struct OpStream<'g> {
     positions: Vec<Option<NodeId>>,
     obj_seq: Vec<u32>,
     emitted: u64,
+    /// Publishes emitted so far (tracked separately because topology
+    /// ops also consume `emitted` slots).
+    published: usize,
+    /// Seeded churn schedule when `spec.churn_every > 0`.
+    schedule: Option<ChurnSchedule>,
+    next_delta: usize,
+    /// Sensors outside the schedule's removable pool — where steered
+    /// publishes/queries land. With a static topology this is every
+    /// node in id order, so indexing it draws the same values the
+    /// unsteered generator drew.
+    allowed: Vec<NodeId>,
+    /// Reusable per-move buffer of steered hop targets (the service
+    /// allocation regression budget covers this path).
+    move_scratch: Vec<NodeId>,
 }
 
 impl<'g> OpStream<'g> {
-    /// A stream over `graph`. Panics on a zero-object spec or a query
-    /// fraction outside `[0, 1]` — both are configuration errors.
+    /// A stream over `graph`. Panics on a zero-object spec, a query
+    /// fraction outside `[0, 1]`, or a churn spec the graph cannot
+    /// support — all configuration errors.
     pub fn new(graph: &'g Graph, spec: StreamSpec) -> Self {
         assert!(spec.objects > 0, "a stream needs at least one object");
         assert!(
             (0.0..=1.0).contains(&spec.query_fraction),
             "query fraction is a probability"
         );
+        let schedule = spec
+            .churn_plan(graph.node_count())
+            .map(|plan| ChurnSchedule::generate(graph, &plan).expect("churn schedule"));
+        let allowed: Vec<NodeId> = match &schedule {
+            None => graph.nodes().collect(),
+            Some(s) => graph
+                .nodes()
+                .filter(|u| s.removable().binary_search(u).is_err())
+                .collect(),
+        };
+        assert!(!allowed.is_empty(), "churn pool may not cover every sensor");
         OpStream {
             graph,
             spec,
@@ -113,6 +182,11 @@ impl<'g> OpStream<'g> {
             positions: vec![None; spec.objects],
             obj_seq: vec![0; spec.objects],
             emitted: 0,
+            published: 0,
+            schedule,
+            next_delta: 0,
+            allowed,
+            move_scratch: Vec::new(),
         }
     }
 
@@ -132,29 +206,80 @@ impl<'g> OpStream<'g> {
         &self.positions
     }
 
+    /// The seeded churn schedule [`ServiceOp::Topology`] ops index
+    /// into, when this is a churn stream.
+    pub fn churn_schedule(&self) -> Option<&ChurnSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Draws one steered sensor (uniform over the non-removable set;
+    /// with a static topology, uniform over all sensors — consuming
+    /// the identical RNG draw).
+    fn draw_sensor(&mut self) -> NodeId {
+        let i = self.rng.gen_range(0..self.allowed.len());
+        self.allowed[i]
+    }
+
     /// The next operation, or `None` once `spec.ops` were emitted.
     pub fn next_op(&mut self) -> Option<OpEnvelope> {
         if self.emitted >= self.spec.ops {
             return None;
         }
         let id = OpId(self.emitted);
-        let n = self.graph.node_count();
-        let published = (self.emitted as usize).min(self.spec.objects);
-        let (object, op) = if published < self.spec.objects {
+        // Control plane: after the publish prefix, every
+        // `churn_every`-th slot carries the next topology delta (no
+        // RNG draws, so the data-plane coin stream is untouched).
+        if let Some(sched) = &self.schedule {
+            if self.published >= self.spec.objects
+                && self.emitted.is_multiple_of(self.spec.churn_every)
+                && self.next_delta < sched.len()
+            {
+                let delta = self.next_delta as u32;
+                self.next_delta += 1;
+                self.emitted += 1;
+                return Some(OpEnvelope {
+                    id,
+                    object: ObjectId(u32::MAX),
+                    obj_seq: 0,
+                    op: ServiceOp::Topology { delta },
+                });
+            }
+        }
+        let (object, op) = if self.published < self.spec.objects {
             // Publish prefix: object ids in order, uniform start sensors.
-            let o = published;
-            let at = NodeId::from_index(self.rng.gen_range(0..n));
+            let o = self.published;
+            self.published += 1;
+            let at = self.draw_sensor();
             self.positions[o] = Some(at);
             (o, ServiceOp::Publish { at })
         } else {
             let o = self.rng.gen_range(0..self.spec.objects);
             if self.rng.gen::<f64>() < self.spec.query_fraction {
-                let from = NodeId::from_index(self.rng.gen_range(0..n));
+                let from = self.draw_sensor();
                 (o, ServiceOp::Query { from })
             } else {
                 let cur = self.positions[o].expect("published object has a position");
                 let nbrs = self.graph.neighbors(cur);
-                let to = nbrs[self.rng.gen_range(0..nbrs.len())].to;
+                let to = match &self.schedule {
+                    None => nbrs[self.rng.gen_range(0..nbrs.len())].to,
+                    Some(sched) => {
+                        // Steer the hop toward non-removable neighbors;
+                        // if the object is cornered, any hop will do —
+                        // the data plane runs on the static base graph.
+                        self.move_scratch.clear();
+                        for e in nbrs {
+                            if sched.removable().binary_search(&e.to).is_err() {
+                                self.move_scratch.push(e.to);
+                            }
+                        }
+                        if self.move_scratch.is_empty() {
+                            nbrs[self.rng.gen_range(0..nbrs.len())].to
+                        } else {
+                            let i = self.rng.gen_range(0..self.move_scratch.len());
+                            self.move_scratch[i]
+                        }
+                    }
+                };
                 self.positions[o] = Some(to);
                 (o, ServiceOp::Move { to })
             }
@@ -223,6 +348,7 @@ mod tests {
                     replay[e.object.index()] = Some(to);
                 }
                 ServiceOp::Query { .. } => {}
+                ServiceOp::Topology { .. } => unreachable!("static spec emits no topology ops"),
             }
         }
         assert_eq!(replay, s.positions(), "generator tracks its own truth");
@@ -236,6 +362,7 @@ mod tests {
             ops: 100,
             query_fraction: 0.0,
             seed: 1,
+            churn_every: 0,
         });
         assert!(
             !ops.iter().any(|e| matches!(e.op, ServiceOp::Query { .. })),
@@ -246,11 +373,73 @@ mod tests {
             ops: 100,
             query_fraction: 1.0,
             seed: 1,
+            churn_every: 0,
         });
         let queries = ops
             .iter()
             .filter(|e| matches!(e.op, ServiceOp::Query { .. }))
             .count();
         assert_eq!(queries, 97, "everything after the publish prefix");
+    }
+
+    #[test]
+    fn churn_stream_interleaves_topology_ops_and_steers_data_ops() {
+        let g = generators::grid(6, 6).unwrap();
+        let spec = StreamSpec {
+            objects: 4,
+            ops: 200,
+            query_fraction: 0.2,
+            seed: 5,
+            churn_every: 25,
+        };
+        let mut s = OpStream::new(&g, spec);
+        let removable: Vec<NodeId> = s.churn_schedule().unwrap().removable().to_vec();
+        assert!(!removable.is_empty());
+        let mut topo = Vec::new();
+        let mut steered = 0u64;
+        while let Some(e) = s.next_op() {
+            match e.op {
+                ServiceOp::Topology { delta } => {
+                    assert_eq!(e.object, ObjectId(u32::MAX), "sentinel control object");
+                    assert_eq!(e.obj_seq, 0);
+                    topo.push(delta);
+                }
+                ServiceOp::Publish { at } | ServiceOp::Query { from: at } => {
+                    assert!(
+                        removable.binary_search(&at).is_err(),
+                        "publish/query sensors avoid the removable pool"
+                    );
+                    steered += 1;
+                }
+                ServiceOp::Move { .. } => {}
+            }
+        }
+        assert_eq!(s.emitted(), 200);
+        assert!(steered > 0);
+        // Deltas arrive in order and index into the schedule.
+        assert!(!topo.is_empty());
+        assert!(topo.windows(2).all(|w| w[1] == w[0] + 1));
+        assert!((*topo.last().unwrap() as usize) < s.churn_schedule().unwrap().len());
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic() {
+        let g = generators::grid(6, 6).unwrap();
+        let spec = StreamSpec {
+            objects: 4,
+            ops: 150,
+            query_fraction: 0.3,
+            seed: 11,
+            churn_every: 20,
+        };
+        let run = || {
+            let mut s = OpStream::new(&g, spec);
+            let mut ops = Vec::new();
+            while let Some(e) = s.next_op() {
+                ops.push(e);
+            }
+            (ops, s.positions().to_vec())
+        };
+        assert_eq!(run(), run());
     }
 }
