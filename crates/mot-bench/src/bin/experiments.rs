@@ -22,6 +22,8 @@
 //! cargo run --release -p mot-bench --bin experiments -- --jobs 2 --metrics svc.json service-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --experiment churn-smoke
 //! cargo run --release -p mot-bench --bin experiments -- churn-smoke
+//! cargo run --release -p mot-bench --bin experiments -- --profile quick --csv out scenarios
+//! cargo run --release -p mot-bench --bin experiments -- --jobs 2 scenarios-smoke
 //! cargo run --release -p mot-bench --bin experiments -- --metrics out.json fig4 level-decomp
 //! cargo run --release -p mot-bench --bin experiments -- --profile smoke bench-baseline
 //! ```
@@ -54,15 +56,16 @@ use mot_bench::{
     ablation_table, churn_smoke_table, churn_table, faults_table, general_graph_table,
     instrumented_run, level_decomposition_table, load_figure, locality_table, maintenance_figure,
     mobility_table, profile_fig4_phases, publish_cost_table, query_figure, run_baseline,
-    scale_table, service_phase_timings, service_run, state_size_table, trace_events,
-    BaselineProfile, BenchError, FigureTable, Profile, RunReport, ServiceSpec, SizeSpec,
+    scale_table, scenario_tables, scenarios_smoke_table, service_phase_timings, service_run,
+    state_size_table, trace_events, BaselineProfile, BenchError, FigureTable, Profile, RunReport,
+    ScenarioProfile, ServiceSpec, SizeSpec,
 };
 use mot_net::OracleKind;
 use mot_sim::Algo;
 use std::io::Write;
 use std::process::ExitCode;
 
-const ALL_IDS: [&str; 27] = [
+const ALL_IDS: [&str; 29] = [
     "bench-baseline",
     "fig4",
     "fig5",
@@ -81,6 +84,8 @@ const ALL_IDS: [&str; 27] = [
     "general",
     "churn",
     "churn-smoke",
+    "scenarios",
+    "scenarios-smoke",
     "state-size",
     "locality",
     "mobility",
@@ -200,7 +205,10 @@ fn run() -> Result<(), BenchError> {
                      bench-baseline also accepts --profile smoke|full and writes\n\
                      its phase timings to --bench-out (default BENCH_pr8.json);\n\
                      --profile-phases prints self-timing breakdowns (stderr) for\n\
-                     fig4 and service/service-smoke runs",
+                     fig4 and service/service-smoke runs;\n\
+                     scenarios prints one table per family (waypoint levy hotspot\n\
+                     zipf adversarial) before its summary — see EXPERIMENTS.md's\n\
+                     scenario handbook",
                     ALL_IDS.join(" ")
                 );
                 return Ok(());
@@ -309,6 +317,23 @@ fn run() -> Result<(), BenchError> {
             // Fixed CI spec: --profile has no effect, --jobs does
             // (table parity across jobs is part of the contract).
             "churn-smoke" => churn_smoke_table(jobs),
+            // Emits one detail table per scenario family, then hands the
+            // cross-family summary back through the normal emit path so
+            // `{csv}/scenarios.csv` and the metrics report stay uniform.
+            "scenarios" => (|| {
+                let p = ScenarioProfile::for_profile(name)?.with_jobs(jobs);
+                let mut tables = scenario_tables(&p)?;
+                let (_, summary) = tables.pop().ok_or("scenario sweep produced no summary")?;
+                for (fid, t) in tables {
+                    if metrics_path.is_some() {
+                        report.tables.push((fid.clone(), t.clone()));
+                    }
+                    emit(t, &fid)?;
+                }
+                Ok(summary)
+            })(),
+            // Fixed CI spec: --profile has no effect, --jobs does.
+            "scenarios-smoke" => scenarios_smoke_table(jobs),
             "state-size" => state_size_table(&profile_for(100, name, oracle, jobs)?),
             "locality" => locality_table(&profile_for(100, name, oracle, jobs)?),
             "mobility" => mobility_table(&profile_for(50, name, oracle, jobs)?),

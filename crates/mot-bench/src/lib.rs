@@ -19,6 +19,8 @@
 //! | `service-smoke` | — | short fixed-seed service soak (CI zero-silent-loss check) |
 //! | `churn` | §7 | amortized hierarchy-repair cost under seeded join/leave schedules |
 //! | `churn-smoke` | §7 | per-delta divergence gate + churn service soak (CI) |
+//! | `scenarios` | §8 | mobility/workload scenario suite: waypoint, Lévy, hotspot, Zipf, adversarial |
+//! | `scenarios-smoke` | §8 | fixed-spec scenario sweep + gated claims + scenario service soak (CI) |
 //! | `level-decomp` | — | per-level cost decomposition of an instrumented MOT run |
 //! | `bench-baseline` | — | wall-clock phase timings vs the frozen builder (`BENCH_*.json`) |
 //!
@@ -40,6 +42,7 @@ pub mod churn;
 pub mod figures;
 pub mod profiling;
 pub mod report;
+pub mod scenarios;
 pub mod service;
 
 pub use baseline::{
@@ -57,4 +60,5 @@ pub use profiling::{
     profile_fig4_phases, profile_service_phases, service_phase_timings, PhaseTimings,
 };
 pub use report::{FigureTable, RunReport};
+pub use scenarios::{scenario_tables, scenarios_smoke_table, ScenarioProfile};
 pub use service::{service_run, service_table, ServiceSpec};

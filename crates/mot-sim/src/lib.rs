@@ -5,7 +5,12 @@
 //! and aggregates the metrics the figures report:
 //!
 //! * [`mobility`] — object mobility models and workload generation
-//!   (adjacent random walks, shortest-path waypoint tours),
+//!   (adjacent random walks, shortest-path waypoint tours, and the
+//!   scenario suite's Lévy flights, hotspot flows, and ping-pong
+//!   adversaries — DESIGN.md §18),
+//! * [`scenario`] — query-popularity models (uniform / Zipf-skewed)
+//!   and the model-aware query runner with per-object popularity
+//!   reporting,
 //! * [`run`] — one-by-one execution: publish, replay moves, issue
 //!   queries, with cost-ratio accounting against the optimal costs,
 //! * [`faults`] — seeded, replayable fault plans (message loss,
@@ -71,6 +76,7 @@ pub mod metrics;
 pub mod mobility;
 pub mod parallel;
 pub mod run;
+pub mod scenario;
 pub mod service;
 pub mod stream;
 pub mod testbed;
@@ -91,6 +97,7 @@ pub use run::{
     replay_moves, replay_moves_observed, run_local_queries, run_publish, run_queries,
     run_queries_observed, QueryBatchStats,
 };
+pub use scenario::{run_queries_model, QueryModel, ScenarioQueryStats, ZipfSampler};
 pub use service::{run_service, ServiceConfig, ServiceOutcome, ServiceReport, ShedPolicy};
 pub use stream::{OpEnvelope, OpStream, ServiceOp, StreamSpec};
 pub use testbed::{Algo, TestBed};

@@ -5,7 +5,11 @@
 //! walk model hops one adjacency per move (the classic tracking
 //! workload); the waypoint model walks shortest paths toward successive
 //! random targets, producing directional traces with hot corridors —
-//! traffic the rate-conscious baselines can genuinely exploit.
+//! traffic the rate-conscious baselines can genuinely exploit. The
+//! scenario suite (DESIGN.md §18) adds Lévy flights (heavy-tailed flight
+//! lengths), hotspot flows (rank-weighted popular destinations), and the
+//! ping-pong adversary (two fixed anchors hammered forever — pin them at
+//! a cluster boundary and every hop crosses the structure's worst cut).
 
 use mot_core::ObjectId;
 use mot_net::{Graph, NodeId};
@@ -14,7 +18,14 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// How objects pick their next proxy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// All models emit *adjacent-hop* move sequences (the paper's
+/// bounded-speed assumption); they differ only in how targets are
+/// chosen. Models with parameters are built via the constructors
+/// ([`MobilityModel::levy`], [`MobilityModel::hotspot`],
+/// [`MobilityModel::ping_pong`]), each of whose doc-tests pins a 3-step
+/// deterministic trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MobilityModel {
     /// Uniform hop to a random adjacent sensor per move.
     RandomWalk,
@@ -27,6 +38,192 @@ pub enum MobilityModel {
     /// corridor the rate-built trees can hug) and therefore the honest
     /// stress test for MOT's traffic-obliviousness claim.
     Commuter,
+    /// Lévy flight: successive shortest-path flights whose lengths are
+    /// drawn from a bounded Pareto distribution with tail exponent
+    /// `alpha` — mostly short relocations punctuated by rare
+    /// network-spanning jumps (the classic animal/human mobility
+    /// pattern). Smaller `alpha` = heavier tail = more long flights.
+    Levy {
+        /// Pareto tail exponent (sensible range ~1.0–2.5).
+        alpha: f64,
+    },
+    /// Hotspot flow: with probability `locality` the next destination is
+    /// one of `hotspots` fixed anchor sensors (rank-weighted — anchor
+    /// `i` drawn proportionally to `1/(i+1)`), otherwise a uniform
+    /// random sensor. Models commuter traffic converging on a few
+    /// popular sites, concentrating load where trees are weakest.
+    Hotspot {
+        /// Number of shared anchor sensors (drawn once per workload).
+        hotspots: usize,
+        /// Probability a flight targets a hotspot rather than a uniform
+        /// random sensor.
+        locality: f64,
+    },
+    /// Adversarial ping-pong: every object shuttles between two fixed
+    /// adjacent sensors forever (objects start at `a`). Pin `(a, b)` at
+    /// a cluster boundary ([`crate::TestBed::boundary_pair`]) or on a
+    /// spanning tree's missing ring edge and every unit move crosses
+    /// the structure's most expensive cut — the constructive form of
+    /// the paper's lower-bound discussion for fixed trees.
+    PingPong {
+        /// First anchor; all objects start here.
+        a: NodeId,
+        /// Second anchor (adjacent to `a` for unit-hop adversaries).
+        b: NodeId,
+    },
+}
+
+impl MobilityModel {
+    /// A Lévy-flight mover with tail exponent `alpha`.
+    ///
+    /// ```
+    /// use mot_sim::{MobilityModel, WorkloadSpec};
+    /// let g = mot_net::generators::grid(4, 4)?;
+    /// let spec = WorkloadSpec {
+    ///     objects: 1,
+    ///     moves_per_object: 3,
+    ///     model: MobilityModel::levy(1.6),
+    ///     seed: 7,
+    /// };
+    /// let first = spec.generate(&g);
+    /// let again = spec.generate(&g);
+    /// assert_eq!(first.moves, again.moves, "same seed ⇒ same trajectory");
+    /// assert_eq!(first.moves.len(), 3);
+    /// for m in &first.moves {
+    ///     assert!(g.has_edge(m.from, m.to)); // flights walk graph edges
+    /// }
+    /// # Ok::<(), mot_net::NetError>(())
+    /// ```
+    pub fn levy(alpha: f64) -> Self {
+        MobilityModel::Levy { alpha }
+    }
+
+    /// A hotspot-flow mover over `hotspots` shared anchors targeted
+    /// with probability `locality`.
+    ///
+    /// ```
+    /// use mot_sim::{MobilityModel, WorkloadSpec};
+    /// let g = mot_net::generators::grid(4, 4)?;
+    /// let spec = WorkloadSpec {
+    ///     objects: 1,
+    ///     moves_per_object: 3,
+    ///     model: MobilityModel::hotspot(3, 0.8),
+    ///     seed: 5,
+    /// };
+    /// let first = spec.generate(&g);
+    /// let again = spec.generate(&g);
+    /// assert_eq!(first.moves, again.moves, "same seed ⇒ same trajectory");
+    /// assert_eq!(first.moves.len(), 3);
+    /// for m in &first.moves {
+    ///     assert!(g.has_edge(m.from, m.to));
+    /// }
+    /// # Ok::<(), mot_net::NetError>(())
+    /// ```
+    pub fn hotspot(hotspots: usize, locality: f64) -> Self {
+        MobilityModel::Hotspot { hotspots, locality }
+    }
+
+    /// A ping-pong adversary shuttling every object between `a` and `b`.
+    ///
+    /// ```
+    /// use mot_net::NodeId;
+    /// use mot_sim::{MobilityModel, WorkloadSpec};
+    /// let g = mot_net::generators::grid(4, 4)?;
+    /// let spec = WorkloadSpec {
+    ///     objects: 1,
+    ///     moves_per_object: 3,
+    ///     model: MobilityModel::ping_pong(NodeId(5), NodeId(6)),
+    ///     seed: 1,
+    /// };
+    /// let w = spec.generate(&g);
+    /// // Deterministic regardless of seed: a→b→a→b.
+    /// let hops: Vec<(NodeId, NodeId)> = w.moves.iter().map(|m| (m.from, m.to)).collect();
+    /// assert_eq!(
+    ///     hops,
+    ///     vec![
+    ///         (NodeId(5), NodeId(6)),
+    ///         (NodeId(6), NodeId(5)),
+    ///         (NodeId(5), NodeId(6)),
+    ///     ]
+    /// );
+    /// # Ok::<(), mot_net::NetError>(())
+    /// ```
+    pub fn ping_pong(a: NodeId, b: NodeId) -> Self {
+        MobilityModel::PingPong { a, b }
+    }
+}
+
+/// Shortest path `cur → target` excluding `cur`, reversed so callers
+/// `pop()` successive hops from the end. Shared by workload generation
+/// and the op stream's flight planner.
+pub(crate) fn flight_to(g: &Graph, cur: NodeId, target: NodeId) -> Vec<NodeId> {
+    let tree = mot_net::shortest_path_tree(g, target);
+    let mut path = tree.path_to_root(cur);
+    path.remove(0);
+    path.reverse();
+    path
+}
+
+/// Draws a Lévy-flight destination from `cur`: flight length from a
+/// bounded Pareto on `[1, eccentricity(cur)]` via inverse CDF, landing
+/// on a node whose distance best matches the drawn length (±half a hop
+/// of the best match keeps the candidate set non-empty). Consumes
+/// exactly one `f64` and one `gen_range` draw.
+pub(crate) fn levy_target<R: Rng>(g: &Graph, cur: NodeId, alpha: f64, rng: &mut R) -> NodeId {
+    let d = mot_net::dijkstra(g, cur);
+    let dmax = d
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .fold(1.0_f64, f64::max);
+    let u: f64 = rng.gen();
+    let len = if (alpha - 1.0).abs() < 1e-9 {
+        dmax.powf(u)
+    } else {
+        let e = 1.0 - alpha;
+        (u * (dmax.powf(e) - 1.0) + 1.0).powf(1.0 / e)
+    };
+    let mut best = f64::INFINITY;
+    for (vi, dv) in d.iter().enumerate() {
+        if vi != cur.index() && dv.is_finite() {
+            best = best.min((dv - len).abs());
+        }
+    }
+    let candidates: Vec<NodeId> = d
+        .iter()
+        .enumerate()
+        .filter(|&(vi, dv)| vi != cur.index() && dv.is_finite() && (dv - len).abs() <= best + 0.5)
+        .map(|(vi, _)| NodeId::from_index(vi))
+        .collect();
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+/// Draws a hotspot-flow destination: with probability `locality` a
+/// rank-weighted anchor (anchor `i` proportional to `1/(i+1)`),
+/// otherwise a uniform random node. May return the caller's current
+/// position — callers fall back to an adjacent hop in that case.
+pub(crate) fn hotspot_target<R: Rng>(
+    g: &Graph,
+    anchors: &[NodeId],
+    locality: f64,
+    rng: &mut R,
+) -> NodeId {
+    if rng.gen::<f64>() < locality {
+        let total: f64 = (0..anchors.len()).map(|i| 1.0 / (i as f64 + 1.0)).sum();
+        let mut x = rng.gen::<f64>() * total;
+        let mut pick = anchors.len() - 1;
+        for i in 0..anchors.len() {
+            let w = 1.0 / (i as f64 + 1.0);
+            if x < w {
+                pick = i;
+                break;
+            }
+            x -= w;
+        }
+        anchors[pick]
+    } else {
+        NodeId::from_index(rng.gen_range(0..g.node_count()))
+    }
 }
 
 /// One maintenance operation: object `object` moves `from → to`
@@ -101,12 +298,44 @@ impl WorkloadSpec {
     }
 
     /// Generates the workload on `g`.
+    ///
+    /// RNG discipline (DESIGN.md §18): the draw sequence of the three
+    /// original models is frozen — new models only *add* draws inside
+    /// their own arms (plus the hotspot anchor header below, emitted
+    /// only for [`MobilityModel::Hotspot`]) — so pre-scenario workloads
+    /// are bit-identical to what this function generated before the
+    /// scenario layer existed.
     pub fn generate(&self, g: &Graph) -> Workload {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let n = g.node_count();
-        let initial: Vec<NodeId> = (0..self.objects)
+        let mut initial: Vec<NodeId> = (0..self.objects)
             .map(|_| NodeId::from_index(rng.gen_range(0..n)))
             .collect();
+        // Ping-pong adversaries start every object at anchor `a`: the
+        // uniform draws above still happen (keeping the header layout
+        // identical across models) but the values are overridden.
+        if let MobilityModel::PingPong { a, .. } = self.model {
+            for p in initial.iter_mut() {
+                *p = a;
+            }
+        }
+        // Hotspot anchors are shared across objects (popular sites are a
+        // property of the field, not of one mover) and drawn only for
+        // the hotspot model, so other models' streams are untouched.
+        let hotspot_anchors: Vec<NodeId> = match self.model {
+            MobilityModel::Hotspot { hotspots, .. } => {
+                let k = hotspots.clamp(1, n);
+                let mut anchors: Vec<NodeId> = Vec::with_capacity(k);
+                while anchors.len() < k {
+                    let t = NodeId::from_index(rng.gen_range(0..n));
+                    if !anchors.contains(&t) {
+                        anchors.push(t);
+                    }
+                }
+                anchors
+            }
+            _ => Vec::new(),
+        };
 
         // Per-object move sequences.
         let mut per_object: Vec<Vec<MoveOp>> = Vec::with_capacity(self.objects);
@@ -161,6 +390,41 @@ impl WorkloadSpec {
                                 path.remove(0);
                                 path.reverse();
                                 waypoint_path = path;
+                            }
+                        }
+                        waypoint_path.pop().expect("refilled above")
+                    }
+                    MobilityModel::Levy { alpha } => {
+                        if waypoint_path.is_empty() {
+                            let target = levy_target(g, cur, alpha, &mut rng);
+                            waypoint_path = flight_to(g, cur, target);
+                        }
+                        waypoint_path.pop().expect("refilled above")
+                    }
+                    MobilityModel::Hotspot { locality, .. } => {
+                        if waypoint_path.is_empty() {
+                            let target = hotspot_target(g, &hotspot_anchors, locality, &mut rng);
+                            if target == cur {
+                                // Already at the destination: hop away so
+                                // the move count stays on schedule.
+                                let nbrs = g.neighbors(cur);
+                                waypoint_path = vec![nbrs[rng.gen_range(0..nbrs.len())].to];
+                            } else {
+                                waypoint_path = flight_to(g, cur, target);
+                            }
+                        }
+                        waypoint_path.pop().expect("refilled above")
+                    }
+                    MobilityModel::PingPong { a, b } => {
+                        if waypoint_path.is_empty() {
+                            let target = if cur == a { b } else { a };
+                            if target == cur {
+                                // Degenerate a == b spec: behave like the
+                                // commuter's adjacent-anchor fallback.
+                                let nbrs = g.neighbors(cur);
+                                waypoint_path = vec![nbrs[0].to];
+                            } else {
+                                waypoint_path = flight_to(g, cur, target);
                             }
                         }
                         waypoint_path.pop().expect("refilled above")
@@ -274,6 +538,79 @@ mod tests {
             edges.len(),
             w.moves.len()
         );
+    }
+
+    #[test]
+    fn levy_walks_edges_with_heavy_tailed_flights() {
+        let g = generators::grid(8, 8).unwrap();
+        let spec = WorkloadSpec {
+            objects: 2,
+            moves_per_object: 150,
+            model: MobilityModel::levy(1.4),
+            seed: 13,
+        };
+        let w = spec.generate(&g);
+        for m in &w.moves {
+            assert!(g.has_edge(m.from, m.to), "levy hop {m:?} not an edge");
+        }
+        // The per-object trace must visit a wide spread of the field:
+        // heavy-tailed flights occasionally span the network, so a
+        // 150-move trace cannot stay confined to a tiny patch.
+        let visited: std::collections::HashSet<_> = w.moves.iter().map(|m| m.to).collect();
+        assert!(
+            visited.len() >= 16,
+            "levy trace visited only {} sensors",
+            visited.len()
+        );
+    }
+
+    #[test]
+    fn hotspot_traffic_concentrates_on_anchors() {
+        let g = generators::grid(8, 8).unwrap();
+        let spec = WorkloadSpec {
+            objects: 6,
+            moves_per_object: 80,
+            model: MobilityModel::hotspot(3, 0.9),
+            seed: 21,
+        };
+        let w = spec.generate(&g);
+        for m in &w.moves {
+            assert!(g.has_edge(m.from, m.to));
+        }
+        // Flight endpoints pile up on the 3 shared anchors: the three
+        // most-visited sensors must absorb well above the uniform share
+        // of arrivals (3/64 ≈ 5% — demand ≥ 20%).
+        let mut arrivals = vec![0usize; 64];
+        for m in &w.moves {
+            arrivals[m.to.index()] += 1;
+        }
+        arrivals.sort_unstable_by(|a, b| b.cmp(a));
+        let top3: usize = arrivals[..3].iter().sum();
+        assert!(
+            top3 * 5 >= w.moves.len(),
+            "top-3 sensors absorbed {top3}/{} arrivals — no hotspot",
+            w.moves.len()
+        );
+    }
+
+    #[test]
+    fn ping_pong_alternates_between_the_anchors() {
+        let g = generators::grid(5, 5).unwrap();
+        let (a, b) = (NodeId(7), NodeId(8));
+        let spec = WorkloadSpec {
+            objects: 3,
+            moves_per_object: 20,
+            model: MobilityModel::ping_pong(a, b),
+            seed: 2,
+        };
+        let w = spec.generate(&g);
+        assert!(w.initial.iter().all(|&p| p == a), "objects start at a");
+        for m in &w.moves {
+            assert!(
+                (m.from == a && m.to == b) || (m.from == b && m.to == a),
+                "ping-pong hop {m:?} left the anchor pair"
+            );
+        }
     }
 
     #[test]

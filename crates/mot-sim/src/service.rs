@@ -1216,11 +1216,8 @@ mod tests {
     fn overload_degrades_queries_before_shedding_and_never_drops_state() {
         let bed = bed();
         let mut cfg = ServiceConfig::new(StreamSpec {
-            objects: 6,
-            ops: 600,
             query_fraction: 0.6,
-            seed: 9,
-            churn_every: 0,
+            ..StreamSpec::new(6, 600, 9)
         });
         cfg.shards = 1;
         cfg.batch = 60;

@@ -19,7 +19,19 @@
 //! interleaves [`ServiceOp::Topology`] control ops that walk a seeded
 //! [`mot_net::ChurnSchedule`], and steers data-plane sensors away from
 //! the schedule's removable pool (§7 churn, DESIGN.md §17).
+//!
+//! The scenario layer (DESIGN.md §18) plugs in here too:
+//! [`StreamSpec::mobility`] swaps the adjacent-hop mover for any
+//! [`MobilityModel`] (flights are walked one hop per move op, so the
+//! bounded-speed contract holds for every model), and
+//! [`StreamSpec::query_model`] skews which object each query asks
+//! about. With the defaults ([`MobilityModel::RandomWalk`] +
+//! [`QueryModel::Uniform`]) the generator consumes the *identical* RNG
+//! draw sequence it did before the scenario layer existed, so static
+//! streams are bit-identical to pre-scenario output.
 
+use crate::mobility::{flight_to, hotspot_target, levy_target, MobilityModel};
+use crate::scenario::{QueryModel, ZipfSampler};
 use mot_core::{ObjectId, OpId};
 use mot_net::{ChurnSchedule, ChurnSpec, Graph, NodeId};
 use rand::{Rng, SeedableRng};
@@ -47,13 +59,24 @@ pub struct StreamSpec {
     /// bit-identical to pre-churn streams). Churn streams steer
     /// publish/query origins and move targets away from the schedule's
     /// removable pool, so data-plane ops never land on a sensor that
-    /// may currently be departed (DESIGN.md §17).
+    /// may currently be departed (DESIGN.md §17). Requires the default
+    /// random-walk mobility (path movers cannot steer).
     pub churn_every: u64,
+    /// How moves pick their targets. The default,
+    /// [`MobilityModel::RandomWalk`], reproduces the pre-scenario
+    /// stream bit-for-bit; every other model walks planned flights one
+    /// adjacent hop per move op.
+    pub mobility: MobilityModel,
+    /// How queries pick their object. The default,
+    /// [`QueryModel::Uniform`], reproduces the pre-scenario stream
+    /// bit-for-bit.
+    pub query_model: QueryModel,
 }
 
 impl StreamSpec {
     /// A stream of `ops` operations over `objects` objects with the
-    /// default 20% query share and a static topology.
+    /// default 20% query share, uniform queries, random-walk mobility,
+    /// and a static topology.
     pub fn new(objects: usize, ops: u64, seed: u64) -> Self {
         StreamSpec {
             objects,
@@ -61,7 +84,21 @@ impl StreamSpec {
             query_fraction: 0.2,
             seed,
             churn_every: 0,
+            mobility: MobilityModel::RandomWalk,
+            query_model: QueryModel::Uniform,
         }
+    }
+
+    /// This spec with a different mobility model.
+    pub fn with_mobility(mut self, m: MobilityModel) -> Self {
+        self.mobility = m;
+        self
+    }
+
+    /// This spec with a different query-popularity model.
+    pub fn with_query_model(mut self, q: QueryModel) -> Self {
+        self.query_model = q;
+        self
     }
 
     /// The churn schedule parameters this spec implies on an `n`-node
@@ -152,17 +189,33 @@ pub struct OpStream<'g> {
     /// Reusable per-move buffer of steered hop targets (the service
     /// allocation regression budget covers this path).
     move_scratch: Vec<NodeId>,
+    /// Pending flight hops per object (reversed, `pop()`ed one hop per
+    /// move op) — only populated under non-random-walk mobility.
+    flights: Vec<Vec<NodeId>>,
+    /// Commuter state per object: `(home, far_anchor, heading_out)`,
+    /// established on the object's first planned flight.
+    commuter: Vec<Option<(NodeId, NodeId, bool)>>,
+    /// Shared hotspot anchors (drawn at construction, hotspot mode only).
+    hotspot_anchors: Vec<NodeId>,
+    /// Zipf popularity sampler when the query model is skewed.
+    zipf: Option<ZipfSampler>,
 }
 
 impl<'g> OpStream<'g> {
     /// A stream over `graph`. Panics on a zero-object spec, a query
-    /// fraction outside `[0, 1]`, or a churn spec the graph cannot
-    /// support — all configuration errors.
+    /// fraction outside `[0, 1]`, a churn spec the graph cannot
+    /// support, or churn combined with a non-random-walk mobility
+    /// model — all configuration errors.
     pub fn new(graph: &'g Graph, spec: StreamSpec) -> Self {
         assert!(spec.objects > 0, "a stream needs at least one object");
         assert!(
             (0.0..=1.0).contains(&spec.query_fraction),
             "query fraction is a probability"
+        );
+        assert!(
+            matches!(spec.mobility, MobilityModel::RandomWalk) || spec.churn_every == 0,
+            "churn streams require random-walk mobility \
+             (path movers cannot steer around the removable pool)"
         );
         let schedule = spec
             .churn_plan(graph.node_count())
@@ -175,10 +228,33 @@ impl<'g> OpStream<'g> {
                 .collect(),
         };
         assert!(!allowed.is_empty(), "churn pool may not cover every sensor");
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        // Hotspot anchors are drawn before any op, and only in hotspot
+        // mode — every other mobility model leaves the op draw sequence
+        // exactly where it always started.
+        let hotspot_anchors: Vec<NodeId> = match spec.mobility {
+            MobilityModel::Hotspot { hotspots, .. } => {
+                let n = graph.node_count();
+                let k = hotspots.clamp(1, n);
+                let mut anchors: Vec<NodeId> = Vec::with_capacity(k);
+                while anchors.len() < k {
+                    let t = NodeId::from_index(rng.gen_range(0..n));
+                    if !anchors.contains(&t) {
+                        anchors.push(t);
+                    }
+                }
+                anchors
+            }
+            _ => Vec::new(),
+        };
+        let zipf = match spec.query_model {
+            QueryModel::Uniform => None,
+            QueryModel::Zipf { s } => Some(ZipfSampler::new(spec.objects, s)),
+        };
         OpStream {
             graph,
             spec,
-            rng: ChaCha8Rng::seed_from_u64(spec.seed),
+            rng,
             positions: vec![None; spec.objects],
             obj_seq: vec![0; spec.objects],
             emitted: 0,
@@ -187,6 +263,10 @@ impl<'g> OpStream<'g> {
             next_delta: 0,
             allowed,
             move_scratch: Vec::new(),
+            flights: vec![Vec::new(); spec.objects],
+            commuter: vec![None; spec.objects],
+            hotspot_anchors,
+            zipf,
         }
     }
 
@@ -218,6 +298,108 @@ impl<'g> OpStream<'g> {
     fn draw_sensor(&mut self) -> NodeId {
         let i = self.rng.gen_range(0..self.allowed.len());
         self.allowed[i]
+    }
+
+    /// Advances object `o` one hop per its mobility model and returns
+    /// the move op. Random walks draw single adjacent hops (with churn
+    /// steering) exactly as the pre-scenario generator did; every other
+    /// model pops the next hop of a planned flight, planning a fresh
+    /// one when the current flight is exhausted.
+    fn next_move(&mut self, o: usize) -> ServiceOp {
+        let cur = self.positions[o].expect("published object has a position");
+        let to = match self.spec.mobility {
+            MobilityModel::RandomWalk => {
+                let nbrs = self.graph.neighbors(cur);
+                match &self.schedule {
+                    None => nbrs[self.rng.gen_range(0..nbrs.len())].to,
+                    Some(sched) => {
+                        // Steer the hop toward non-removable neighbors;
+                        // if the object is cornered, any hop will do —
+                        // the data plane runs on the static base graph.
+                        self.move_scratch.clear();
+                        for e in nbrs {
+                            if sched.removable().binary_search(&e.to).is_err() {
+                                self.move_scratch.push(e.to);
+                            }
+                        }
+                        if self.move_scratch.is_empty() {
+                            nbrs[self.rng.gen_range(0..nbrs.len())].to
+                        } else {
+                            let i = self.rng.gen_range(0..self.move_scratch.len());
+                            self.move_scratch[i]
+                        }
+                    }
+                }
+            }
+            _ => {
+                if self.flights[o].is_empty() {
+                    self.flights[o] = self.plan_flight(o, cur);
+                }
+                self.flights[o].pop().expect("planned flight is non-empty")
+            }
+        };
+        self.positions[o] = Some(to);
+        ServiceOp::Move { to }
+    }
+
+    /// Plans the next flight for object `o` at `cur` under the spec's
+    /// (non-random-walk) mobility model. Mirrors
+    /// [`crate::WorkloadSpec::generate`]'s per-model target selection.
+    fn plan_flight(&mut self, o: usize, cur: NodeId) -> Vec<NodeId> {
+        let g = self.graph;
+        let n = g.node_count();
+        match self.spec.mobility {
+            MobilityModel::RandomWalk => unreachable!("random walks plan single hops"),
+            MobilityModel::Waypoint => {
+                let target = loop {
+                    let t = NodeId::from_index(self.rng.gen_range(0..n));
+                    if t != cur {
+                        break t;
+                    }
+                };
+                flight_to(g, cur, target)
+            }
+            MobilityModel::Commuter => {
+                if self.commuter[o].is_none() {
+                    let far = loop {
+                        let t = NodeId::from_index(self.rng.gen_range(0..n));
+                        if t != cur {
+                            break t;
+                        }
+                    };
+                    self.commuter[o] = Some((cur, far, true));
+                }
+                let (home, far, heading_out) = self.commuter[o].expect("established above");
+                self.commuter[o] = Some((home, far, !heading_out));
+                let target = if heading_out { far } else { home };
+                if target == cur {
+                    vec![g.neighbors(cur)[0].to]
+                } else {
+                    flight_to(g, cur, target)
+                }
+            }
+            MobilityModel::Levy { alpha } => {
+                let target = levy_target(g, cur, alpha, &mut self.rng);
+                flight_to(g, cur, target)
+            }
+            MobilityModel::Hotspot { locality, .. } => {
+                let target = hotspot_target(g, &self.hotspot_anchors, locality, &mut self.rng);
+                if target == cur {
+                    let nbrs = g.neighbors(cur);
+                    vec![nbrs[self.rng.gen_range(0..nbrs.len())].to]
+                } else {
+                    flight_to(g, cur, target)
+                }
+            }
+            MobilityModel::PingPong { a, b } => {
+                let target = if cur == a { b } else { a };
+                if target == cur {
+                    vec![g.neighbors(cur)[0].to]
+                } else {
+                    flight_to(g, cur, target)
+                }
+            }
+        }
     }
 
     /// The next operation, or `None` once `spec.ops` were emitted.
@@ -253,35 +435,35 @@ impl<'g> OpStream<'g> {
             self.positions[o] = Some(at);
             (o, ServiceOp::Publish { at })
         } else {
-            let o = self.rng.gen_range(0..self.spec.objects);
-            if self.rng.gen::<f64>() < self.spec.query_fraction {
-                let from = self.draw_sensor();
-                (o, ServiceOp::Query { from })
-            } else {
-                let cur = self.positions[o].expect("published object has a position");
-                let nbrs = self.graph.neighbors(cur);
-                let to = match &self.schedule {
-                    None => nbrs[self.rng.gen_range(0..nbrs.len())].to,
-                    Some(sched) => {
-                        // Steer the hop toward non-removable neighbors;
-                        // if the object is cornered, any hop will do —
-                        // the data plane runs on the static base graph.
-                        self.move_scratch.clear();
-                        for e in nbrs {
-                            if sched.removable().binary_search(&e.to).is_err() {
-                                self.move_scratch.push(e.to);
-                            }
-                        }
-                        if self.move_scratch.is_empty() {
-                            nbrs[self.rng.gen_range(0..nbrs.len())].to
-                        } else {
-                            let i = self.rng.gen_range(0..self.move_scratch.len());
-                            self.move_scratch[i]
-                        }
+            match self.spec.query_model {
+                // Frozen draw order: object, coin, then the op's own
+                // draws — identical to the pre-scenario generator.
+                QueryModel::Uniform => {
+                    let o = self.rng.gen_range(0..self.spec.objects);
+                    if self.rng.gen::<f64>() < self.spec.query_fraction {
+                        let from = self.draw_sensor();
+                        (o, ServiceOp::Query { from })
+                    } else {
+                        (o, self.next_move(o))
                     }
-                };
-                self.positions[o] = Some(to);
-                (o, ServiceOp::Move { to })
+                }
+                // Skewed popularity applies to *queries* only, so the
+                // coin flips first and the query path draws its object
+                // from the Zipf sampler; moves keep uniform coverage.
+                QueryModel::Zipf { .. } => {
+                    if self.rng.gen::<f64>() < self.spec.query_fraction {
+                        let o = self
+                            .zipf
+                            .as_ref()
+                            .expect("zipf model builds a sampler")
+                            .sample(&mut self.rng);
+                        let from = self.draw_sensor();
+                        (o, ServiceOp::Query { from })
+                    } else {
+                        let o = self.rng.gen_range(0..self.spec.objects);
+                        (o, self.next_move(o))
+                    }
+                }
             }
         };
         let obj_seq = self.obj_seq[object];
@@ -358,22 +540,16 @@ mod tests {
     #[test]
     fn query_fraction_bounds_are_respected() {
         let (ops, _) = collect(StreamSpec {
-            objects: 3,
-            ops: 100,
             query_fraction: 0.0,
-            seed: 1,
-            churn_every: 0,
+            ..StreamSpec::new(3, 100, 1)
         });
         assert!(
             !ops.iter().any(|e| matches!(e.op, ServiceOp::Query { .. })),
             "zero fraction means no queries"
         );
         let (ops, _) = collect(StreamSpec {
-            objects: 3,
-            ops: 100,
             query_fraction: 1.0,
-            seed: 1,
-            churn_every: 0,
+            ..StreamSpec::new(3, 100, 1)
         });
         let queries = ops
             .iter()
@@ -386,11 +562,8 @@ mod tests {
     fn churn_stream_interleaves_topology_ops_and_steers_data_ops() {
         let g = generators::grid(6, 6).unwrap();
         let spec = StreamSpec {
-            objects: 4,
-            ops: 200,
-            query_fraction: 0.2,
-            seed: 5,
             churn_every: 25,
+            ..StreamSpec::new(4, 200, 5)
         };
         let mut s = OpStream::new(&g, spec);
         let removable: Vec<NodeId> = s.churn_schedule().unwrap().removable().to_vec();
@@ -423,14 +596,93 @@ mod tests {
     }
 
     #[test]
+    fn scenario_streams_stay_adjacent_and_deterministic() {
+        for mobility in [
+            MobilityModel::Waypoint,
+            MobilityModel::Commuter,
+            MobilityModel::levy(1.6),
+            MobilityModel::hotspot(3, 0.8),
+            MobilityModel::ping_pong(NodeId(14), NodeId(15)),
+        ] {
+            let spec = StreamSpec::new(4, 250, 8).with_mobility(mobility);
+            let run = || {
+                let g = generators::grid(6, 6).unwrap();
+                let mut s = OpStream::new(&g, spec);
+                let mut ops = Vec::new();
+                let mut replay: Vec<Option<NodeId>> = vec![None; 4];
+                while let Some(e) = s.next_op() {
+                    match e.op {
+                        ServiceOp::Publish { at } => replay[e.object.index()] = Some(at),
+                        ServiceOp::Move { to } => {
+                            let cur = replay[e.object.index()].expect("move after publish");
+                            assert!(
+                                g.neighbors(cur).iter().any(|edge| edge.to == to),
+                                "{mobility:?}: move {cur} -> {to} not an adjacency"
+                            );
+                            replay[e.object.index()] = Some(to);
+                        }
+                        _ => {}
+                    }
+                    ops.push(e);
+                }
+                assert_eq!(replay, s.positions(), "{mobility:?}: ground truth diverged");
+                ops
+            };
+            assert_eq!(run(), run(), "{mobility:?}: stream not deterministic");
+        }
+    }
+
+    #[test]
+    fn zipf_queries_concentrate_on_low_object_ids() {
+        let g = generators::grid(6, 6).unwrap();
+        let spec = StreamSpec {
+            query_fraction: 0.5,
+            ..StreamSpec::new(10, 2_000, 17)
+        }
+        .with_query_model(QueryModel::zipf(1.5));
+        let mut s = OpStream::new(&g, spec);
+        let mut query_hits = [0usize; 10];
+        let mut move_hits = [0usize; 10];
+        while let Some(e) = s.next_op() {
+            match e.op {
+                ServiceOp::Query { .. } => query_hits[e.object.index()] += 1,
+                ServiceOp::Move { .. } => move_hits[e.object.index()] += 1,
+                _ => {}
+            }
+        }
+        let queries: usize = query_hits.iter().sum();
+        assert!(
+            query_hits[0] * 3 > queries,
+            "rank 0 drew {}/{queries} queries — not skewed",
+            query_hits[0]
+        );
+        // Moves stay uniform: skew applies to query popularity only.
+        let moves: usize = move_hits.iter().sum();
+        assert!(
+            move_hits.iter().all(|&m| m * 20 > moves),
+            "move coverage collapsed: {move_hits:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "churn streams require random-walk mobility")]
+    fn churn_rejects_path_movers() {
+        let g = generators::grid(6, 6).unwrap();
+        let spec = StreamSpec {
+            churn_every: 20,
+            ..StreamSpec::new(4, 100, 3)
+        }
+        .with_mobility(MobilityModel::Waypoint);
+        let _ = OpStream::new(&g, spec);
+    }
+
+    #[test]
     fn churn_stream_is_deterministic() {
         let g = generators::grid(6, 6).unwrap();
         let spec = StreamSpec {
-            objects: 4,
-            ops: 150,
             query_fraction: 0.3,
-            seed: 11,
             churn_every: 20,
+            ..StreamSpec::new(4, 150, 11)
         };
         let run = || {
             let mut s = OpStream::new(&g, spec);

@@ -181,6 +181,43 @@ impl TestBed {
         )
     }
 
+    /// An `n`-sensor ring bed — the adversarial topology for any fixed
+    /// spanning tree: the tree must drop one ring edge, and a ping-pong
+    /// mover across the dropped edge pays the full circumference per
+    /// unit move (the paper's lower-bound discussion; DESIGN.md §18).
+    pub fn ring(n: usize, seed: u64) -> Result<Self, SimError> {
+        Self::new(mot_net::generators::ring(n)?, seed)
+    }
+
+    /// An `n`-sensor line bed — the adversarial topology for sink-rooted
+    /// baselines: queries near one end detour through the root.
+    pub fn line(n: usize, seed: u64) -> Result<Self, SimError> {
+        Self::new(mot_net::generators::line(n)?, seed)
+    }
+
+    /// The adjacent sensor pair with the deepest cluster boundary
+    /// between them: the edge maximizing [`Overlay::meet_level`] (ties
+    /// broken toward the smaller ids, so the pick is deterministic).
+    /// Pinning a [`crate::MobilityModel::PingPong`] mover here makes
+    /// every unit move cross the overlay's most expensive cut — the
+    /// worst adversary a unit-speed object can mount against MOT.
+    pub fn boundary_pair(&self) -> (NodeId, NodeId) {
+        let mut best: Option<(usize, NodeId, NodeId)> = None;
+        for u in self.graph.nodes() {
+            for e in self.graph.neighbors(u) {
+                if u >= e.to {
+                    continue;
+                }
+                let level = self.overlay.meet_level(u, e.to);
+                if best.map(|(bl, _, _)| level > bl).unwrap_or(true) {
+                    best = Some((level, u, e.to));
+                }
+            }
+        }
+        let (_, a, b) = best.expect("non-empty graph has at least one edge");
+        (a, b)
+    }
+
     /// A graph center — the sink the tree baselines root at.
     ///
     /// Eccentricities come from one graph-side Dijkstra per node
@@ -304,6 +341,35 @@ mod tests {
             let q = run_queries(t.as_ref(), &bed.oracle, 3, 50, 2).unwrap();
             assert_eq!(q.correct, 50, "{} answered queries wrong", algo.label());
         }
+    }
+
+    #[test]
+    fn ring_and_line_beds_build_and_track() {
+        for bed in [TestBed::ring(16, 4).unwrap(), TestBed::line(16, 4).unwrap()] {
+            let w = WorkloadSpec::new(2, 20, 5).generate(&bed.graph);
+            let rates = DetectionRates::uniform(&bed.graph);
+            let mut t = bed.make_tracker(Algo::Mot, &rates).unwrap();
+            run_publish(t.as_mut(), &w).unwrap();
+            replay_moves(t.as_mut(), &w, &bed.oracle).unwrap();
+            let q = run_queries(t.as_ref(), &bed.oracle, 2, 30, 1).unwrap();
+            assert_eq!(q.correct, 30);
+        }
+    }
+
+    #[test]
+    fn boundary_pair_is_a_deterministic_deep_cut_edge() {
+        let bed = TestBed::grid(8, 8, 3).unwrap();
+        let (a, b) = bed.boundary_pair();
+        assert!(bed.graph.has_edge(a, b), "boundary pair must be an edge");
+        assert_eq!((a, b), bed.boundary_pair(), "pick must be deterministic");
+        // No edge meets strictly deeper than the reported pair.
+        let level = bed.overlay.meet_level(a, b);
+        for u in bed.graph.nodes() {
+            for e in bed.graph.neighbors(u) {
+                assert!(bed.overlay.meet_level(u, e.to) <= level);
+            }
+        }
+        assert!(level >= 1, "an 8×8 overlay has at least one real cut");
     }
 
     #[test]
